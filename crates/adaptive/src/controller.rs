@@ -1,0 +1,399 @@
+//! The overhead-driven adaptive controller.
+//!
+//! This is the system the paper's methodology is designed to enable: a
+//! runtime component that watches the *instantaneous* network-overhead
+//! metric (Eq. 4 computed over sampling windows) together with the parcel
+//! arrival-rate counters, and re-tunes the coalescing parameters of a live
+//! application — without requiring the application to be iterative, which
+//! is the limitation of the PICS approach ([`crate::PicsTuner`]).
+//!
+//! Structure:
+//! * [`ControllerCore`] — the pure decision logic (warm-up, phase-change
+//!   detection on the arrival rate, hill climbing on the overhead score).
+//!   Deterministically testable.
+//! * [`OverheadController`] — the runtime wrapper: a sampling thread that
+//!   reads the metrics and counters every window and applies the core's
+//!   decisions to a live [`ParamsHandle`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use rpx_coalesce::{CoalescingCounters, ParamsHandle};
+use rpx_metrics::MetricsReader;
+use rpx_util::Ewma;
+
+use crate::search::{HillClimber, Ladder};
+
+/// Controller configuration.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Measurement window between decisions.
+    pub window: Duration,
+    /// Candidate `nparcels` ladder.
+    pub ladder: Ladder,
+    /// Relative improvement required to keep climbing.
+    pub hysteresis: f64,
+    /// Arrival-rate shift (relative factor) treated as a phase change.
+    pub phase_change_factor: f64,
+    /// Windows ignored before the first decision (startup transients).
+    pub warmup_windows: u32,
+    /// Minimum parcels per window for a decision (quiet windows carry no
+    /// signal).
+    pub min_parcels_per_window: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window: Duration::from_millis(20),
+            ladder: Ladder::powers_of_two(1024),
+            hysteresis: 0.02,
+            phase_change_factor: 4.0,
+            warmup_windows: 2,
+            min_parcels_per_window: 16,
+        }
+    }
+}
+
+/// One decision made by the controller (for reporting/plots).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Time since the controller started.
+    pub at: Duration,
+    /// The `nparcels` value chosen for the next window.
+    pub nparcels: usize,
+    /// The overhead observed over the completed window.
+    pub overhead: f64,
+    /// Parcel arrival rate over the window (parcels/second).
+    pub rate: f64,
+    /// Whether this decision followed a detected phase change.
+    pub phase_change: bool,
+}
+
+/// Pure decision logic (no threads, no clocks).
+#[derive(Debug, Clone)]
+pub struct ControllerCore {
+    config: AdaptiveConfig,
+    climber: HillClimber,
+    rate_ewma: Ewma,
+    windows_seen: u32,
+    phase_changes: u32,
+}
+
+impl ControllerCore {
+    /// New core starting from `initial_nparcels`.
+    pub fn new(config: AdaptiveConfig, initial_nparcels: usize) -> Self {
+        let climber = HillClimber::new(config.ladder.clone(), initial_nparcels, config.hysteresis);
+        ControllerCore {
+            config,
+            climber,
+            rate_ewma: Ewma::with_half_life(4.0),
+            windows_seen: 0,
+            phase_changes: 0,
+        }
+    }
+
+    /// The `nparcels` the application should currently be running with.
+    pub fn current(&self) -> usize {
+        self.climber.current()
+    }
+
+    /// Number of detected phase changes.
+    pub fn phase_changes(&self) -> u32 {
+        self.phase_changes
+    }
+
+    /// Whether the search has converged for the current phase.
+    pub fn is_settled(&self) -> bool {
+        self.climber.is_settled()
+    }
+
+    /// Feed one window's observations; returns the next `nparcels` to
+    /// apply (and whether this window was treated as a phase change), or
+    /// `None` if no decision was made (warm-up or quiet window).
+    pub fn tick(&mut self, overhead: f64, parcels_in_window: u64, rate: f64) -> Option<(usize, bool)> {
+        self.windows_seen += 1;
+        if self.windows_seen <= self.config.warmup_windows {
+            self.rate_ewma.update(rate);
+            return None;
+        }
+        if parcels_in_window < self.config.min_parcels_per_window {
+            // Quiet window: the sparse-traffic bypass in the coalescer
+            // already handles this regime; don't steer on noise.
+            return None;
+        }
+        let mut phase_change = false;
+        if let Some(smoothed) = self.rate_ewma.value() {
+            if smoothed > 0.0 {
+                let ratio = rate / smoothed;
+                if ratio > self.config.phase_change_factor
+                    || ratio < 1.0 / self.config.phase_change_factor
+                {
+                    phase_change = true;
+                    self.phase_changes += 1;
+                    self.climber.reset();
+                    self.rate_ewma.reset();
+                }
+            }
+        }
+        self.rate_ewma.update(rate);
+        let next = self.climber.observe(overhead);
+        Some((next, phase_change))
+    }
+}
+
+struct Shared {
+    stop: AtomicBool,
+    decisions: Mutex<Vec<Decision>>,
+}
+
+/// The live controller thread.
+pub struct OverheadController {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl OverheadController {
+    /// Start controlling `params` using metrics from `reader` and traffic
+    /// counts from `counters`.
+    pub fn start(
+        reader: MetricsReader,
+        params: ParamsHandle,
+        counters: Arc<CoalescingCounters>,
+        config: AdaptiveConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            decisions: Mutex::new(Vec::new()),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("rpx-adaptive".to_string())
+            .spawn(move || {
+                let started = Instant::now();
+                let mut core = ControllerCore::new(config.clone(), params.load().nparcels);
+                let mut last_sample = reader.sample();
+                let mut last_parcels = counters.parcels.get();
+                while !thread_shared.stop.load(Ordering::SeqCst) {
+                    // Sleep the window in small slices so stop() is prompt.
+                    let wake = Instant::now() + config.window;
+                    while Instant::now() < wake {
+                        if thread_shared.stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let sample = reader.sample();
+                    let delta = sample.delta_since(&last_sample);
+                    last_sample = sample;
+                    let parcels_now = counters.parcels.get();
+                    let parcels_in_window = parcels_now.saturating_sub(last_parcels);
+                    last_parcels = parcels_now;
+                    let rate = parcels_in_window as f64 / config.window.as_secs_f64();
+                    if let Some((next, phase_change)) =
+                        core.tick(delta.network_overhead(), parcels_in_window, rate)
+                    {
+                        params.set_nparcels(next);
+                        thread_shared.decisions.lock().push(Decision {
+                            at: started.elapsed(),
+                            nparcels: next,
+                            overhead: delta.network_overhead(),
+                            rate,
+                            phase_change,
+                        });
+                    }
+                }
+            })
+            .expect("failed to spawn adaptive controller");
+        OverheadController {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Decisions made so far.
+    pub fn decisions(&self) -> Vec<Decision> {
+        self.shared.decisions.lock().clone()
+    }
+
+    /// Stop the controller and return its decision log.
+    pub fn stop(mut self) -> Vec<Decision> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        std::mem::take(&mut *self.shared.decisions.lock())
+    }
+}
+
+impl Drop for OverheadController {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AdaptiveConfig {
+        AdaptiveConfig {
+            window: Duration::from_millis(5),
+            ladder: Ladder::powers_of_two(256),
+            hysteresis: 0.01,
+            phase_change_factor: 4.0,
+            warmup_windows: 1,
+            min_parcels_per_window: 10,
+        }
+    }
+
+    /// Synthetic overhead landscape: convex in log2(nparcels) with a
+    /// minimum at `opt`.
+    fn overhead_for(nparcels: usize, opt: f64) -> f64 {
+        0.1 + 0.05 * ((nparcels as f64).log2() - opt).abs()
+    }
+
+    #[test]
+    fn core_converges_to_overhead_minimum() {
+        let mut core = ControllerCore::new(config(), 1);
+        for _ in 0..30 {
+            let oh = overhead_for(core.current(), 4.0); // optimum 16
+            core.tick(oh, 1000, 1e5);
+        }
+        assert!(core.is_settled());
+        let v = core.current();
+        assert!((8..=32).contains(&v), "settled at {v}");
+        assert_eq!(core.phase_changes(), 0);
+    }
+
+    #[test]
+    fn warmup_windows_make_no_decision() {
+        let mut core = ControllerCore::new(config(), 4);
+        assert_eq!(core.tick(0.5, 1000, 1e5), None); // warm-up
+        assert!(core.tick(0.5, 1000, 1e5).is_some());
+    }
+
+    #[test]
+    fn quiet_windows_make_no_decision() {
+        let mut core = ControllerCore::new(config(), 4);
+        core.tick(0.5, 1000, 1e5); // warm-up
+        assert_eq!(core.tick(0.5, 3, 300.0), None);
+        // The chosen value is untouched.
+        assert_eq!(core.current(), 4);
+    }
+
+    #[test]
+    fn rate_shift_triggers_phase_change_and_research() {
+        let mut core = ControllerCore::new(config(), 1);
+        // Converge in a slow phase (optimum 4).
+        for _ in 0..30 {
+            let oh = overhead_for(core.current(), 2.0);
+            core.tick(oh, 1000, 1e4);
+        }
+        assert!(core.is_settled());
+        // Rate jumps 10×: phase change must re-arm the search…
+        let (_, phase_change) = core
+            .tick(overhead_for(core.current(), 6.0), 10_000, 1e5)
+            .unwrap();
+        assert!(phase_change);
+        assert_eq!(core.phase_changes(), 1);
+        // …and the climber must then converge towards the new optimum 64.
+        for _ in 0..30 {
+            let oh = overhead_for(core.current(), 6.0);
+            core.tick(oh, 10_000, 1e5);
+        }
+        let v = core.current();
+        assert!(v >= 16, "re-converged to {v}");
+    }
+
+    #[test]
+    fn live_controller_steers_params_handle() {
+        use rpx_coalesce::CoalescingParams;
+        use rpx_counters::{CallbackCounter, CounterRegistry, CounterValue};
+        use std::sync::atomic::AtomicU64;
+
+        // Fake /threads counters whose overhead depends on the *current*
+        // nparcels — a closed loop without a real runtime.
+        let registry = CounterRegistry::new(0);
+        let params = ParamsHandle::new(CoalescingParams::new(1, Duration::from_micros(2000)));
+        let func = Arc::new(AtomicU64::new(0));
+        let bg = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&func);
+        registry.register_or_replace(
+            "/threads/time/cumulative",
+            CallbackCounter::new(move || CounterValue::Int(f2.load(Ordering::Relaxed) as i64)),
+        );
+        let b2 = Arc::clone(&bg);
+        registry.register_or_replace(
+            "/threads/background-work",
+            CallbackCounter::new(move || CounterValue::Int(b2.load(Ordering::Relaxed) as i64)),
+        );
+        let counters = CoalescingCounters::new();
+
+        // Simulated application: every 2 ms, generate load whose overhead
+        // follows a convex landscape with the optimum at nparcels = 32.
+        let stop = Arc::new(AtomicBool::new(false));
+        let app = {
+            let params = params.clone();
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            let func = Arc::clone(&func);
+            let bg = Arc::clone(&bg);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let n = params.load().nparcels;
+                    let oh = 0.1 + 0.08 * ((n as f64).log2() - 5.0).abs();
+                    func.fetch_add(1_000_000, Ordering::Relaxed);
+                    bg.fetch_add((1_000_000.0 * oh) as u64, Ordering::Relaxed);
+                    for _ in 0..200 {
+                        counters.record_arrival(Some(10_000));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+
+        let controller = OverheadController::start(
+            MetricsReader::new(registry),
+            params.clone(),
+            Arc::clone(&counters),
+            config(),
+        );
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::SeqCst);
+        app.join().unwrap();
+        let decisions = controller.stop();
+
+        assert!(!decisions.is_empty(), "controller made no decisions");
+        let final_n = params.load().nparcels;
+        assert!(
+            (8..=128).contains(&final_n),
+            "converged to {final_n}, decisions: {decisions:?}"
+        );
+    }
+
+    #[test]
+    fn stop_is_prompt_and_drop_is_clean() {
+        use rpx_coalesce::CoalescingParams;
+        use rpx_counters::CounterRegistry;
+        let registry = CounterRegistry::new(0);
+        let controller = OverheadController::start(
+            MetricsReader::new(registry),
+            ParamsHandle::new(CoalescingParams::default()),
+            CoalescingCounters::new(),
+            AdaptiveConfig {
+                window: Duration::from_secs(10), // long window
+                ..config()
+            },
+        );
+        let t0 = Instant::now();
+        let _ = controller.stop();
+        assert!(t0.elapsed() < Duration::from_secs(1), "stop was not prompt");
+    }
+}

@@ -1,0 +1,191 @@
+//! The PICS-style per-iteration tuning baseline.
+//!
+//! Charm++'s TRAM used PICS (a Performance-Analysis-Based Introspective
+//! Control System, [6][7] in the paper) to pick a coalescing buffer size:
+//! each application *iteration* runs with a candidate configuration, its
+//! time is measured, and the search converges after a handful of
+//! decisions (the paper cites 5 decisions for the all-to-all benchmark).
+//!
+//! [`PicsTuner`] reproduces that scheme over the `nparcels` ladder with a
+//! ternary-style elimination: each decision bisects the candidate range
+//! by comparing the measured times of its probe points. It requires the
+//! application to *have* iterations and to report their times — the
+//! structural limitation the paper's counter-driven approach removes.
+
+use crate::search::Ladder;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Probe {
+    Lo,
+    Hi,
+}
+
+/// Per-iteration search over `nparcels` candidates.
+#[derive(Debug, Clone)]
+pub struct PicsTuner {
+    ladder: Ladder,
+    lo: usize,
+    hi: usize,
+    probe: Probe,
+    lo_time: Option<f64>,
+    decisions: u32,
+    converged: bool,
+}
+
+impl PicsTuner {
+    /// New tuner over `ladder`.
+    pub fn new(ladder: Ladder) -> Self {
+        let hi = ladder.len() - 1;
+        PicsTuner {
+            ladder,
+            lo: 0,
+            hi,
+            probe: Probe::Lo,
+            lo_time: None,
+            decisions: 0,
+            converged: false,
+        }
+    }
+
+    fn lo_probe_index(&self) -> usize {
+        self.lo + (self.hi - self.lo) / 3
+    }
+
+    fn hi_probe_index(&self) -> usize {
+        self.hi - (self.hi - self.lo) / 3
+    }
+
+    /// The configuration to run the *next* iteration with.
+    pub fn current(&self) -> usize {
+        let idx = if self.converged {
+            self.lo
+        } else {
+            match self.probe {
+                Probe::Lo => self.lo_probe_index(),
+                Probe::Hi => self.hi_probe_index(),
+            }
+        };
+        self.ladder.values()[idx]
+    }
+
+    /// Whether the search has converged.
+    pub fn is_converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Number of decisions (range eliminations) made so far.
+    pub fn decisions(&self) -> u32 {
+        self.decisions
+    }
+
+    /// Report the measured time of the iteration that ran with
+    /// [`PicsTuner::current`]; returns the configuration for the next
+    /// iteration.
+    pub fn report_iteration(&mut self, time_secs: f64) -> usize {
+        if self.converged {
+            return self.current();
+        }
+        match self.probe {
+            Probe::Lo => {
+                self.lo_time = Some(time_secs);
+                if self.lo_probe_index() == self.hi_probe_index() {
+                    // Range too small to distinguish probes: done.
+                    self.lo = self.lo_probe_index();
+                    self.converged = true;
+                    self.decisions += 1;
+                } else {
+                    self.probe = Probe::Hi;
+                }
+            }
+            Probe::Hi => {
+                let lo_time = self.lo_time.take().expect("lo probed before hi");
+                self.decisions += 1;
+                if lo_time <= time_secs {
+                    self.hi = self.hi_probe_index().saturating_sub(1).max(self.lo);
+                } else {
+                    self.lo = (self.lo_probe_index() + 1).min(self.hi);
+                }
+                self.probe = Probe::Lo;
+                if self.lo >= self.hi {
+                    self.lo = self.lo.min(self.hi);
+                    self.converged = true;
+                }
+            }
+        }
+        self.current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mut tuner: PicsTuner, score: impl Fn(usize) -> f64, max_iters: u32) -> (usize, u32) {
+        let mut iters = 0;
+        while !tuner.is_converged() && iters < max_iters {
+            let t = score(tuner.current());
+            tuner.report_iteration(t);
+            iters += 1;
+        }
+        (tuner.current(), tuner.decisions())
+    }
+
+    #[test]
+    fn converges_on_convex_landscape() {
+        // Minimum at 4 — the Parquet shape (Fig. 6).
+        let score = |v: usize| ((v as f64).log2() - 2.0).powi(2) + 1.0;
+        let tuner = PicsTuner::new(Ladder::powers_of_two(1024));
+        let (best, decisions) = run(tuner, score, 100);
+        assert!((2..=8).contains(&best), "converged to {best}");
+        // The paper cites PICS converging in ~5 decisions on a similar
+        // ladder; ours must be in the same ballpark.
+        assert!(decisions <= 8, "{decisions} decisions");
+    }
+
+    #[test]
+    fn converges_on_monotone_landscape() {
+        let score = |v: usize| 1000.0 / v as f64; // bigger is better
+        let tuner = PicsTuner::new(Ladder::powers_of_two(1024));
+        let (best, _) = run(tuner, score, 100);
+        assert!(best >= 256, "converged to {best}");
+    }
+
+    #[test]
+    fn single_candidate_converges_immediately() {
+        let tuner = PicsTuner::new(Ladder::new(vec![4]));
+        let (best, _) = run(tuner, |_| 1.0, 10);
+        assert_eq!(best, 4);
+    }
+
+    #[test]
+    fn converged_tuner_holds_value() {
+        let mut tuner = PicsTuner::new(Ladder::new(vec![2, 4]));
+        let mut guard = 0;
+        while !tuner.is_converged() && guard < 20 {
+            tuner.report_iteration(1.0);
+            guard += 1;
+        }
+        assert!(tuner.is_converged());
+        let v = tuner.current();
+        assert_eq!(tuner.report_iteration(99.0), v);
+        assert_eq!(tuner.current(), v);
+    }
+
+    #[test]
+    fn iteration_budget_is_bounded() {
+        // Even a 11-rung ladder must converge within a few dozen
+        // iterations regardless of the landscape.
+        for seed in 0..5u64 {
+            let score = move |v: usize| ((v as f64 * (seed + 1) as f64).sin() + 2.0);
+            let tuner = PicsTuner::new(Ladder::powers_of_two(1024));
+            let mut t = tuner;
+            let mut iters = 0;
+            while !t.is_converged() {
+                let s = score(t.current());
+                t.report_iteration(s);
+                iters += 1;
+                assert!(iters < 64, "did not converge");
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Search machinery: value ladders and hill climbing.
+
+/// A discrete, ordered ladder of candidate values (e.g. powers of two for
+/// `nparcels`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ladder {
+    values: Vec<usize>,
+}
+
+impl Ladder {
+    /// A ladder from an explicit, strictly increasing value list.
+    ///
+    /// # Panics
+    /// Panics if empty or not strictly increasing.
+    pub fn new(values: Vec<usize>) -> Self {
+        assert!(!values.is_empty(), "ladder must not be empty");
+        assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "ladder must be strictly increasing"
+        );
+        Ladder { values }
+    }
+
+    /// Powers of two from 1 to `max` inclusive (1, 2, 4, …).
+    pub fn powers_of_two(max: usize) -> Self {
+        let mut values = Vec::new();
+        let mut v = 1usize;
+        while v <= max {
+            values.push(v);
+            v *= 2;
+        }
+        Ladder::new(values)
+    }
+
+    /// The candidate values.
+    pub fn values(&self) -> &[usize] {
+        &self.values
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the ladder is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Index of the rung closest to `value`.
+    pub fn nearest(&self, value: usize) -> usize {
+        self.values
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &v)| v.abs_diff(value))
+            .map(|(i, _)| i)
+            .expect("non-empty ladder")
+    }
+}
+
+/// Hill climbing over a [`Ladder`], minimising a noisy score.
+///
+/// Protocol: call [`HillClimber::current`] to get the value to apply, run
+/// a measurement window, then feed the observed score to
+/// [`HillClimber::observe`]; it returns the next value to apply.
+///
+/// The climber keeps moving in its current direction while scores improve
+/// by more than `hysteresis` (relative); otherwise it reverses once, and
+/// if that fails too it settles. A settled climber re-arms when
+/// [`HillClimber::reset`] is called (phase change).
+#[derive(Debug, Clone)]
+pub struct HillClimber {
+    ladder: Ladder,
+    index: usize,
+    direction: isize,
+    last_score: Option<f64>,
+    /// Relative improvement required to keep moving (e.g. 0.02 = 2 %).
+    hysteresis: f64,
+    reversals: u32,
+    settled: bool,
+}
+
+impl HillClimber {
+    /// New climber starting at the rung nearest `start`, moving upward
+    /// first.
+    pub fn new(ladder: Ladder, start: usize, hysteresis: f64) -> Self {
+        assert!(hysteresis >= 0.0, "hysteresis must be non-negative");
+        let index = ladder.nearest(start);
+        HillClimber {
+            ladder,
+            index,
+            direction: 1,
+            last_score: None,
+            hysteresis,
+            reversals: 0,
+            settled: false,
+        }
+    }
+
+    /// The value currently under evaluation.
+    pub fn current(&self) -> usize {
+        self.ladder.values()[self.index]
+    }
+
+    /// Whether the search has converged.
+    pub fn is_settled(&self) -> bool {
+        self.settled
+    }
+
+    /// Feed the score measured at [`HillClimber::current`]; returns the
+    /// next value to apply. Lower scores are better.
+    pub fn observe(&mut self, score: f64) -> usize {
+        if self.settled {
+            return self.current();
+        }
+        match self.last_score {
+            None => {
+                // First observation: just move in the current direction.
+                self.last_score = Some(score);
+                self.step();
+            }
+            Some(prev) => {
+                let improved = score < prev * (1.0 - self.hysteresis);
+                if improved {
+                    self.last_score = Some(score);
+                    self.step();
+                } else {
+                    // Worse (or flat): step back and reverse.
+                    self.step_back();
+                    self.direction = -self.direction;
+                    self.reversals += 1;
+                    if self.reversals >= 2 {
+                        self.settled = true;
+                    } else {
+                        // Try the other direction from the best-known rung.
+                        self.last_score = Some(prev.min(score));
+                        self.step();
+                    }
+                }
+            }
+        }
+        self.current()
+    }
+
+    /// Restart the search (e.g. on a detected phase change), keeping the
+    /// current position as the new starting point.
+    pub fn reset(&mut self) {
+        self.direction = 1;
+        self.last_score = None;
+        self.reversals = 0;
+        self.settled = false;
+    }
+
+    fn step(&mut self) {
+        let next = self.index as isize + self.direction;
+        if next < 0 || next >= self.ladder.len() as isize {
+            // Hit a ladder end: reverse instead.
+            self.direction = -self.direction;
+            self.reversals += 1;
+            if self.reversals >= 2 {
+                self.settled = true;
+                return;
+            }
+            let next = self.index as isize + self.direction;
+            if next >= 0 && next < self.ladder.len() as isize {
+                self.index = next as usize;
+            }
+        } else {
+            self.index = next as usize;
+        }
+    }
+
+    fn step_back(&mut self) {
+        let back = self.index as isize - self.direction;
+        if back >= 0 && back < self.ladder.len() as isize {
+            self.index = back as usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_construction() {
+        let l = Ladder::powers_of_two(128);
+        assert_eq!(l.values(), &[1, 2, 4, 8, 16, 32, 64, 128]);
+        assert_eq!(l.len(), 8);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn ladder_nearest() {
+        let l = Ladder::powers_of_two(128);
+        assert_eq!(l.values()[l.nearest(1)], 1);
+        assert_eq!(l.values()[l.nearest(5)], 4);
+        assert_eq!(l.values()[l.nearest(100)], 128);
+        assert_eq!(l.values()[l.nearest(1_000_000)], 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_ladder_panics() {
+        let _ = Ladder::new(vec![1, 4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not be empty")]
+    fn empty_ladder_panics() {
+        let _ = Ladder::new(vec![]);
+    }
+
+    /// Drive a climber against a known score function until settled;
+    /// returns (final value, observations used).
+    fn run_to_convergence(mut climber: HillClimber, score: impl Fn(usize) -> f64) -> (usize, u32) {
+        let mut steps = 0;
+        while !climber.is_settled() && steps < 50 {
+            let s = score(climber.current());
+            climber.observe(s);
+            steps += 1;
+        }
+        (climber.current(), steps)
+    }
+
+    #[test]
+    fn climbs_to_minimum_of_convex_score() {
+        // Score minimised at 16 (U-shape like Parquet's Fig. 6).
+        let score = |v: usize| ((v as f64).log2() - 4.0).abs() + 1.0;
+        let climber = HillClimber::new(Ladder::powers_of_two(256), 1, 0.01);
+        let (best, steps) = run_to_convergence(climber, score);
+        assert!(
+            (8..=32).contains(&best),
+            "settled at {best} after {steps} steps"
+        );
+    }
+
+    #[test]
+    fn climbs_downward_when_started_high() {
+        let score = |v: usize| ((v as f64).log2() - 2.0).abs() + 1.0; // min at 4
+        let climber = HillClimber::new(Ladder::powers_of_two(256), 256, 0.01);
+        let (best, _) = run_to_convergence(climber, score);
+        assert!((2..=8).contains(&best), "settled at {best}");
+    }
+
+    #[test]
+    fn monotone_score_settles_at_ladder_end() {
+        // Monotone improvement with size (toy app, Fig. 5): should end on
+        // the largest rung.
+        let score = |v: usize| 1000.0 / v as f64;
+        let climber = HillClimber::new(Ladder::powers_of_two(128), 1, 0.01);
+        let (best, _) = run_to_convergence(climber, score);
+        assert_eq!(best, 128);
+    }
+
+    #[test]
+    fn hysteresis_ignores_noise_level_changes() {
+        // Score flat within ±1%: climber must settle quickly, not wander.
+        let score = |v: usize| 1.0 + 0.005 * ((v % 3) as f64);
+        let climber = HillClimber::new(Ladder::powers_of_two(64), 8, 0.02);
+        let (_best, steps) = run_to_convergence(climber, score);
+        assert!(steps <= 6, "took {steps} steps on flat landscape");
+    }
+
+    #[test]
+    fn reset_rearms_a_settled_climber() {
+        let score = |v: usize| 1000.0 / v as f64;
+        let mut climber = HillClimber::new(Ladder::powers_of_two(8), 1, 0.01);
+        while !climber.is_settled() {
+            let s = score(climber.current());
+            climber.observe(s);
+        }
+        assert!(climber.is_settled());
+        climber.reset();
+        assert!(!climber.is_settled());
+        // Settled climbers hold their value on observe.
+        let mut settled = HillClimber::new(Ladder::powers_of_two(8), 1, 0.01);
+        settled.settled = true;
+        let v = settled.current();
+        assert_eq!(settled.observe(0.0), v);
+    }
+}

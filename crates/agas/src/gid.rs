@@ -1,0 +1,135 @@
+//! Global identifiers.
+
+use rpx_util::IdAllocator;
+
+/// A global identifier for an RPX object.
+///
+/// A GID is `(birth locality, sequence)` where the sequence number is
+/// unique within the birth locality. The birth locality is only a hint for
+/// debugging and initial resolution; the *authoritative* current locality
+/// comes from [`crate::AgasService`] (objects can be re-homed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gid {
+    birth_locality: u32,
+    sequence: u64,
+}
+
+impl Gid {
+    /// The invalid GID (sequence 0), used as a sentinel.
+    pub const INVALID: Gid = Gid {
+        birth_locality: 0,
+        sequence: 0,
+    };
+
+    /// Construct a GID from raw parts.
+    pub const fn from_parts(birth_locality: u32, sequence: u64) -> Self {
+        Gid {
+            birth_locality,
+            sequence,
+        }
+    }
+
+    /// The locality the object was created on.
+    pub fn birth_locality(&self) -> u32 {
+        self.birth_locality
+    }
+
+    /// The locality-unique sequence number.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Whether this is the invalid sentinel.
+    pub fn is_valid(&self) -> bool {
+        self.sequence != 0
+    }
+
+    /// Pack into a `u128` (for wire transmission).
+    pub fn pack(&self) -> u128 {
+        (u128::from(self.birth_locality) << 64) | u128::from(self.sequence)
+    }
+
+    /// Unpack from a `u128`.
+    pub fn unpack(v: u128) -> Self {
+        Gid {
+            birth_locality: (v >> 64) as u32,
+            sequence: v as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for Gid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{{:#x}.{:#x}}}", self.birth_locality, self.sequence)
+    }
+}
+
+/// Allocates GIDs born on one locality.
+#[derive(Debug)]
+pub struct GidAllocator {
+    locality: u32,
+    sequence: IdAllocator,
+}
+
+impl GidAllocator {
+    /// Allocator for `locality`.
+    pub fn new(locality: u32) -> Self {
+        GidAllocator {
+            locality,
+            sequence: IdAllocator::new(),
+        }
+    }
+
+    /// Allocate a fresh GID.
+    pub fn allocate(&self) -> Gid {
+        Gid {
+            birth_locality: self.locality,
+            sequence: self.sequence.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let g = Gid::from_parts(7, 0xdead_beef_cafe);
+        assert_eq!(Gid::unpack(g.pack()), g);
+        assert_eq!(g.birth_locality(), 7);
+        assert_eq!(g.sequence(), 0xdead_beef_cafe);
+    }
+
+    #[test]
+    fn invalid_sentinel() {
+        assert!(!Gid::INVALID.is_valid());
+        assert!(Gid::from_parts(0, 1).is_valid());
+        assert_eq!(Gid::unpack(0), Gid::INVALID);
+    }
+
+    #[test]
+    fn allocator_produces_unique_valid_gids() {
+        let a = GidAllocator::new(3);
+        let g1 = a.allocate();
+        let g2 = a.allocate();
+        assert_ne!(g1, g2);
+        assert!(g1.is_valid() && g2.is_valid());
+        assert_eq!(g1.birth_locality(), 3);
+    }
+
+    #[test]
+    fn allocators_on_different_localities_never_collide() {
+        let a = GidAllocator::new(0);
+        let b = GidAllocator::new(1);
+        let ga: std::collections::HashSet<Gid> = (0..100).map(|_| a.allocate()).collect();
+        let gb: std::collections::HashSet<Gid> = (0..100).map(|_| b.allocate()).collect();
+        assert!(ga.is_disjoint(&gb));
+    }
+
+    #[test]
+    fn display_is_braced_hex() {
+        let g = Gid::from_parts(1, 255);
+        assert_eq!(g.to_string(), "{0x1.0xff}");
+    }
+}

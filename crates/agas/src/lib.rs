@@ -1,0 +1,32 @@
+//! # rpx-agas
+//!
+//! The **Active Global Address Space** (AGAS) substrate.
+//!
+//! In HPX, AGAS assigns every object a Global Identifier (GID) that stays
+//! valid for the object's lifetime even if it migrates between localities
+//! (§II-A of the paper). Parcels address their destination through AGAS,
+//! and the parcel subsystem resolves a GID to a locality before choosing a
+//! network route.
+//!
+//! RPX reproduces the parts of AGAS the paper's workloads exercise:
+//!
+//! * [`Gid`] — 96-bit global ids carrying their *birth* locality plus a
+//!   locality-unique sequence number,
+//! * [`AgasService`] — the resolution service mapping GIDs to their
+//!   *current* locality (they may be re-homed) and symbolic names to GIDs,
+//! * [`ObjectRegistry`] — the per-locality table of live objects backing
+//!   locally-resolved GIDs (type-erased, downcast on access).
+//!
+//! Migration mid-flight is not implemented (the paper never moves
+//! objects); re-homing is supported through an explicit
+//! [`AgasService::rebind`].
+
+#![warn(missing_docs)]
+
+pub mod gid;
+pub mod registry;
+pub mod service;
+
+pub use gid::Gid;
+pub use registry::ObjectRegistry;
+pub use service::{AgasError, AgasService};

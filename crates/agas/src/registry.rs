@@ -1,0 +1,131 @@
+//! Per-locality object storage.
+//!
+//! Objects addressed by GIDs live in their hosting locality's
+//! `ObjectRegistry`; the registry is type-erased and access downcasts to
+//! the concrete type. The parcel subsystem uses this to deliver
+//! component-targeted actions; the LCO table in `rpx` core is a client as
+//! well.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::gid::Gid;
+
+/// A type-erased table of live objects on one locality.
+#[derive(Default)]
+pub struct ObjectRegistry {
+    objects: RwLock<HashMap<Gid, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl ObjectRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an object under `gid`, returning the previous occupant if
+    /// any.
+    pub fn insert<T: Any + Send + Sync>(
+        &self,
+        gid: Gid,
+        object: Arc<T>,
+    ) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.objects.write().insert(gid, object)
+    }
+
+    /// Fetch the object under `gid`, downcast to `T`.
+    ///
+    /// Returns `None` if absent or of a different type.
+    pub fn get<T: Any + Send + Sync>(&self, gid: Gid) -> Option<Arc<T>> {
+        let any = self.objects.read().get(&gid).cloned()?;
+        any.downcast::<T>().ok()
+    }
+
+    /// Remove and return the object under `gid` (type-erased).
+    pub fn remove(&self, gid: Gid) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.objects.write().remove(&gid)
+    }
+
+    /// Whether an object is stored under `gid`.
+    pub fn contains(&self, gid: Gid) -> bool {
+        self.objects.read().contains_key(&gid)
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let reg = ObjectRegistry::new();
+        let gid = Gid::from_parts(0, 1);
+        reg.insert(gid, Arc::new(42u64));
+        assert_eq!(reg.get::<u64>(gid).as_deref(), Some(&42));
+        assert!(reg.contains(gid));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn wrong_type_downcast_returns_none() {
+        let reg = ObjectRegistry::new();
+        let gid = Gid::from_parts(0, 1);
+        reg.insert(gid, Arc::new(42u64));
+        assert!(reg.get::<String>(gid).is_none());
+        // The object is still there.
+        assert!(reg.contains(gid));
+    }
+
+    #[test]
+    fn remove_returns_object() {
+        let reg = ObjectRegistry::new();
+        let gid = Gid::from_parts(0, 2);
+        reg.insert(gid, Arc::new(String::from("x")));
+        let removed = reg.remove(gid).unwrap();
+        assert_eq!(removed.downcast::<String>().unwrap().as_str(), "x");
+        assert!(!reg.contains(gid));
+        assert!(reg.remove(gid).is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_previous() {
+        let reg = ObjectRegistry::new();
+        let gid = Gid::from_parts(0, 3);
+        assert!(reg.insert(gid, Arc::new(1u32)).is_none());
+        let prev = reg.insert(gid, Arc::new(2u32)).unwrap();
+        assert_eq!(*prev.downcast::<u32>().unwrap(), 1);
+        assert_eq!(reg.get::<u32>(gid).as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn shared_access_from_threads() {
+        let reg = Arc::new(ObjectRegistry::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    for i in 0..250 {
+                        let gid = Gid::from_parts(t as u32, i + 1);
+                        reg.insert(gid, Arc::new(t * 1000 + i));
+                        assert_eq!(reg.get::<u64>(gid).as_deref(), Some(&(t * 1000 + i)));
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.len(), 1000);
+    }
+}

@@ -1,0 +1,229 @@
+//! The all-to-all benchmark.
+//!
+//! The adaptive-tuning prior art the paper compares against — Charm++'s
+//! TRAM steered by PICS ([6], [7]) — was evaluated on an **all-to-all**
+//! benchmark: every locality sends a stream of small messages to every
+//! other locality each iteration. This workload complements the paper's
+//! two applications in our adaptive-controller evaluation: unlike the toy
+//! app it exercises multi-destination coalescing queues, and unlike the
+//! Parquet proxy its per-message payload is tiny, so the per-message
+//! overhead dominates completely.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpx::{Barrier, CoalescingParams, PhaseRecorder, Runtime, RuntimeError};
+
+/// Configuration of an all-to-all run.
+#[derive(Debug, Clone)]
+pub struct AllToAllConfig {
+    /// Messages each locality sends to each peer per iteration.
+    pub messages_per_peer: usize,
+    /// Payload in `u64` words per message (small, like TRAM's benchmark).
+    pub payload_words: usize,
+    /// Iterations.
+    pub iterations: usize,
+    /// Coalescing parameters, or `None` for the bare runtime.
+    pub coalescing: Option<CoalescingParams>,
+}
+
+impl Default for AllToAllConfig {
+    fn default() -> Self {
+        AllToAllConfig {
+            messages_per_peer: 500,
+            payload_words: 2,
+            iterations: 3,
+            coalescing: Some(CoalescingParams::new(16, Duration::from_micros(2000))),
+        }
+    }
+}
+
+/// Per-iteration measurement of an all-to-all run.
+#[derive(Debug, Clone)]
+pub struct AllToAllIteration {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Wall seconds (locality-0 driver).
+    pub wall_secs: f64,
+    /// Instantaneous network overhead over the iteration (locality 0).
+    pub network_overhead: f64,
+}
+
+/// The outcome of an all-to-all run.
+#[derive(Debug, Clone)]
+pub struct AllToAllReport {
+    /// Per-iteration measurements.
+    pub iterations: Vec<AllToAllIteration>,
+    /// Total checksum over all delivered payloads (delivery validation).
+    pub checksum: u64,
+    /// Parcels counted by locality 0's coalescer (0 without coalescing).
+    pub parcels_counted: u64,
+    /// Messages counted by locality 0's coalescer.
+    pub messages_counted: u64,
+}
+
+impl AllToAllReport {
+    /// Mean iteration wall time in seconds.
+    pub fn mean_iteration_secs(&self) -> f64 {
+        if self.iterations.is_empty() {
+            return 0.0;
+        }
+        self.iterations.iter().map(|i| i.wall_secs).sum::<f64>() / self.iterations.len() as f64
+    }
+}
+
+/// The action name registered by this workload.
+pub const ALLTOALL_ACTION: &str = "alltoall::deliver";
+
+/// Run the all-to-all benchmark on `rt`.
+pub fn run_alltoall(
+    rt: &Arc<Runtime>,
+    config: &AllToAllConfig,
+) -> Result<AllToAllReport, RuntimeError> {
+    let localities = rt.num_localities();
+    assert!(localities >= 2, "all-to-all needs at least two localities");
+
+    let action = rt.register_action(ALLTOALL_ACTION, |payload: Vec<u64>| {
+        payload.iter().sum::<u64>()
+    });
+    let control = match &config.coalescing {
+        Some(p) => Some(rt.enable_coalescing(ALLTOALL_ACTION, *p)?),
+        None => None,
+    };
+
+    let barrier = Arc::new(Barrier::new(localities as usize));
+    let per_peer = config.messages_per_peer;
+    let words = config.payload_words;
+    let iterations = config.iterations;
+
+    // Peer drivers.
+    let mut peers = Vec::new();
+    for loc in 1..localities {
+        let rt2 = Arc::clone(rt);
+        let action = action.clone();
+        let barrier = Arc::clone(&barrier);
+        peers.push(std::thread::spawn(move || {
+            rt2.run_on(loc, move |ctx| {
+                let mut checksum = 0u64;
+                for iter in 0..iterations {
+                    checksum += exchange(ctx, &action, per_peer, words, iter)?;
+                    barrier.arrive_and_wait_with(|| ctx.pump());
+                }
+                Ok::<u64, RuntimeError>(checksum)
+            })
+        }));
+    }
+
+    // Measured driver on locality 0.
+    let mut recorder = PhaseRecorder::new(rt.metrics(0));
+    let mut out_iterations = Vec::with_capacity(iterations);
+    let mut checksum = 0u64;
+    for iter in 0..iterations {
+        recorder.start_phase(format!("a2a-{iter}"));
+        let rt2 = Arc::clone(rt);
+        let action2 = action.clone();
+        let barrier2 = Arc::clone(&barrier);
+        checksum += rt2.run_on(0, move |ctx| {
+            let sum = exchange(ctx, &action2, per_peer, words, iter)?;
+            barrier2.arrive_and_wait_with(|| ctx.pump());
+            Ok::<u64, RuntimeError>(sum)
+        })?;
+        let record = recorder.end_phase();
+        out_iterations.push(AllToAllIteration {
+            iteration: iter,
+            wall_secs: record.wall.as_secs_f64(),
+            network_overhead: record.network_overhead(),
+        });
+    }
+    for p in peers {
+        checksum = checksum.wrapping_add(p.join().expect("peer driver panicked")?);
+    }
+
+    let (parcels, messages) = match &control {
+        Some(c) => {
+            let counters = c.counters(0).expect("locality 0");
+            (counters.parcels.get(), counters.messages.get())
+        }
+        None => (0, 0),
+    };
+    Ok(AllToAllReport {
+        iterations: out_iterations,
+        checksum,
+        parcels_counted: parcels,
+        messages_counted: messages,
+    })
+}
+
+fn exchange(
+    ctx: &rpx::Ctx,
+    action: &rpx::ActionHandle<Vec<u64>, u64>,
+    per_peer: usize,
+    words: usize,
+    iteration: usize,
+) -> Result<u64, RuntimeError> {
+    let peers = ctx.find_remote_localities();
+    let mut futures = Vec::with_capacity(per_peer * peers.len());
+    for &peer in &peers {
+        for i in 0..per_peer {
+            let payload: Vec<u64> = (0..words)
+                .map(|w| (iteration as u64) + (i as u64) + (w as u64) + u64::from(peer))
+                .collect();
+            futures.push(ctx.async_action(action, peer, payload));
+        }
+    }
+    Ok(ctx.wait_all(futures)?.into_iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpx::RuntimeConfig;
+
+    fn tiny() -> AllToAllConfig {
+        AllToAllConfig {
+            messages_per_peer: 30,
+            payload_words: 2,
+            iterations: 2,
+            coalescing: Some(CoalescingParams::new(8, Duration::from_micros(1000))),
+        }
+    }
+
+    #[test]
+    fn all_to_all_delivers_and_counts() {
+        let rt = Runtime::new(RuntimeConfig {
+            localities: 3,
+            ..RuntimeConfig::small_test()
+        });
+        let report = run_alltoall(&rt, &tiny()).unwrap();
+        assert_eq!(report.iterations.len(), 2);
+        // Locality 0 sends 30 × 2 peers × 2 iterations.
+        assert_eq!(report.parcels_counted, 120);
+        assert!(report.messages_counted < 120);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn checksum_is_deterministic() {
+        let run = || {
+            let rt = Runtime::new(RuntimeConfig {
+                localities: 3,
+                ..RuntimeConfig::small_test()
+            });
+            let r = run_alltoall(&rt, &tiny()).unwrap();
+            rt.shutdown();
+            r.checksum
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn works_without_coalescing() {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let mut cfg = tiny();
+        cfg.coalescing = None;
+        let report = run_alltoall(&rt, &cfg).unwrap();
+        assert_eq!(report.parcels_counted, 0);
+        assert!(report.mean_iteration_secs() > 0.0);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,221 @@
+//! The sweep harness: run an application across a grid of coalescing
+//! parameters, fresh runtime per point, and collect the
+//! (time, overhead) measurements behind every figure of the paper.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpx::{CoalescingParams, LinkModel, Runtime, RuntimeConfig};
+use rpx_metrics::SweepPoint;
+
+use crate::parquet::{run_parquet, ParquetConfig, ParquetReport};
+use crate::toy::{run_toy, ToyConfig, ToyReport};
+
+/// A sweep measurement: the configuration plus the full application
+/// report.
+#[derive(Debug, Clone)]
+pub enum SweepOutcome {
+    /// A toy-application outcome.
+    Toy {
+        /// The parameters of this grid point.
+        params: CoalescingParams,
+        /// The application report.
+        report: ToyReport,
+    },
+    /// A Parquet-proxy outcome.
+    Parquet {
+        /// The parameters of this grid point.
+        params: CoalescingParams,
+        /// The application report.
+        report: ParquetReport,
+    },
+}
+
+impl SweepOutcome {
+    /// Reduce to the scatter-plot point used by Figs. 4 and 7.
+    pub fn to_point(&self) -> SweepPoint {
+        match self {
+            SweepOutcome::Toy { params, report } => SweepPoint {
+                nparcels: params.nparcels,
+                interval_us: params.interval.as_micros() as u64,
+                time_secs: report.mean_phase_secs(),
+                network_overhead: report.mean_overhead(),
+            },
+            SweepOutcome::Parquet { params, report } => SweepPoint {
+                nparcels: params.nparcels,
+                interval_us: params.interval.as_micros() as u64,
+                time_secs: report.mean_iteration_secs(),
+                network_overhead: report.mean_overhead(),
+            },
+        }
+    }
+
+    /// The parameters of this grid point.
+    pub fn params(&self) -> CoalescingParams {
+        match self {
+            SweepOutcome::Toy { params, .. } | SweepOutcome::Parquet { params, .. } => *params,
+        }
+    }
+}
+
+/// The runtime configuration used by sweep runs.
+pub fn sweep_runtime_config(localities: u32, link: LinkModel) -> RuntimeConfig {
+    RuntimeConfig {
+        localities,
+        workers_per_locality: 2,
+        link,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Run the toy application once per `(nparcels, interval)` grid point.
+///
+/// A fresh runtime is booted per point, mirroring the paper's independent
+/// job launches per parameter set.
+pub fn toy_sweep(
+    base: &ToyConfig,
+    link: LinkModel,
+    nparcels_grid: &[usize],
+    interval_us_grid: &[u64],
+) -> Vec<SweepOutcome> {
+    let mut out = Vec::with_capacity(nparcels_grid.len() * interval_us_grid.len());
+    for &interval_us in interval_us_grid {
+        for &nparcels in nparcels_grid {
+            let params = CoalescingParams::new(nparcels, Duration::from_micros(interval_us));
+            let mut config = base.clone();
+            config.coalescing = Some(params);
+            let rt = Runtime::new(sweep_runtime_config(2, link));
+            let report = run_toy(&rt, &config).expect("toy sweep run failed");
+            rt.shutdown();
+            out.push(SweepOutcome::Toy { params, report });
+        }
+    }
+    out
+}
+
+/// Run the Parquet proxy once per `(nparcels, interval)` grid point.
+pub fn parquet_sweep(
+    base: &ParquetConfig,
+    localities: u32,
+    link: LinkModel,
+    nparcels_grid: &[usize],
+    interval_us_grid: &[u64],
+) -> Vec<SweepOutcome> {
+    let mut out = Vec::with_capacity(nparcels_grid.len() * interval_us_grid.len());
+    for &interval_us in interval_us_grid {
+        for &nparcels in nparcels_grid {
+            let params = CoalescingParams::new(nparcels, Duration::from_micros(interval_us));
+            let mut config = base.clone();
+            config.coalescing = Some(params);
+            let rt = Runtime::new(sweep_runtime_config(localities, link));
+            let report = run_parquet(&rt, &config).expect("parquet sweep run failed");
+            rt.shutdown();
+            out.push(SweepOutcome::Parquet { params, report });
+        }
+    }
+    out
+}
+
+/// Repeat one Parquet configuration `repeats` times (fresh runtime each),
+/// returning the per-run mean iteration times — the §IV-C RSD experiment.
+pub fn parquet_repeats(
+    config: &ParquetConfig,
+    localities: u32,
+    link: LinkModel,
+    repeats: usize,
+) -> Vec<f64> {
+    (0..repeats)
+        .map(|_| {
+            let rt = Runtime::new(sweep_runtime_config(localities, link));
+            let report = run_parquet(&rt, config).expect("parquet repeat failed");
+            rt.shutdown();
+            report.mean_iteration_secs()
+        })
+        .collect()
+}
+
+/// A cheap link model for fast CI sweeps (small but non-zero overheads so
+/// shapes remain visible).
+pub fn fast_link() -> LinkModel {
+    LinkModel {
+        send_overhead: Duration::from_micros(5),
+        recv_overhead: Duration::from_micros(3),
+        per_byte: Duration::from_nanos(1),
+        latency: Duration::from_micros(2),
+        ..LinkModel::cluster()
+    }
+}
+
+/// Convert sweep outcomes to scatter points.
+pub fn to_points(outcomes: &[SweepOutcome]) -> Vec<SweepPoint> {
+    outcomes.iter().map(SweepOutcome::to_point).collect()
+}
+
+/// Convenience: the shared `Arc<Runtime>` boot used by examples.
+pub fn boot(localities: u32, link: LinkModel) -> Arc<Runtime> {
+    Runtime::new(sweep_runtime_config(localities, link))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_toy() -> ToyConfig {
+        ToyConfig {
+            numparcels: 60,
+            phases: 1,
+            bidirectional: false,
+            coalescing: None, // filled by the sweep
+            nparcels_schedule: None,
+        }
+    }
+
+    #[test]
+    fn toy_sweep_covers_grid() {
+        let outcomes = toy_sweep(&tiny_toy(), fast_link(), &[1, 8], &[1000, 4000]);
+        assert_eq!(outcomes.len(), 4);
+        let points = to_points(&outcomes);
+        let configs: Vec<(usize, u64)> =
+            points.iter().map(|p| (p.nparcels, p.interval_us)).collect();
+        assert!(configs.contains(&(1, 1000)));
+        assert!(configs.contains(&(8, 4000)));
+        assert!(points.iter().all(|p| p.time_secs > 0.0));
+        assert!(points.iter().all(|p| p.network_overhead.is_finite()));
+    }
+
+    #[test]
+    fn coalescing_reduces_messages_in_sweep() {
+        let outcomes = toy_sweep(&tiny_toy(), fast_link(), &[1, 16], &[4000]);
+        let msgs: Vec<u64> = outcomes
+            .iter()
+            .map(|o| match o {
+                SweepOutcome::Toy { report, .. } => report.messages_counted,
+                _ => unreachable!(),
+            })
+            .collect();
+        // nparcels=16 must generate far fewer messages than nparcels=1.
+        assert!(
+            msgs[1] * 4 <= msgs[0],
+            "messages: nparcels=1 → {}, nparcels=16 → {}",
+            msgs[0],
+            msgs[1]
+        );
+    }
+
+    #[test]
+    fn parquet_sweep_and_repeats() {
+        let base = ParquetConfig {
+            nc: 4,
+            iterations: 1,
+            coalescing: None,
+            compute_per_iteration: Duration::from_micros(100),
+        };
+        let outcomes = parquet_sweep(&base, 2, fast_link(), &[2], &[2000]);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].params().nparcels, 2);
+
+        let times = parquet_repeats(&base, 2, fast_link(), 2);
+        assert_eq!(times.len(), 2);
+        assert!(times.iter().all(|&t| t > 0.0));
+    }
+}

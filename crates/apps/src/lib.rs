@@ -1,0 +1,36 @@
+//! # rpx-apps
+//!
+//! The paper's evaluation workloads, ported to RPX:
+//!
+//! * [`toy`] — the **toy application** of Listing 1: two localities
+//!   exchange large numbers of single-`complex<double>` active messages
+//!   with no inter-message dependencies, in phases (`num_repeats = 4`).
+//!   It is the paper's stress test for per-message overhead and drives
+//!   Figs. 4, 5 and 9.
+//! * [`parquet`] — the **Parquet proxy**: the communication skeleton of
+//!   the self-consistent parquet solver [13] — iterations whose rotation
+//!   phase broadcasts `8·Nc²` parcels of `Nc` complex doubles between all
+//!   localities, followed by a tensor-contraction compute kernel and an
+//!   iteration barrier. Drives Figs. 6, 7 and 8. (The physics is replaced
+//!   by a stand-in kernel; only the communication pattern matters to the
+//!   paper's measurements.)
+//! * [`workloads`] — parameterised arrival-pattern generators (uniform,
+//!   bursty, sparse) used by the adaptive-controller evaluation and the
+//!   sparse-bypass ablation.
+//! * [`driver`] — the sweep harness running an application across a grid
+//!   of `(nparcels, interval)` configurations and collecting
+//!   time-vs-overhead points, the raw material of every figure.
+
+#![warn(missing_docs)]
+
+pub mod alltoall;
+pub mod driver;
+pub mod parquet;
+pub mod toy;
+pub mod workloads;
+
+pub use alltoall::{run_alltoall, AllToAllConfig, AllToAllReport};
+pub use driver::{parquet_sweep, toy_sweep, SweepOutcome};
+pub use parquet::{ParquetConfig, ParquetReport};
+pub use toy::{ToyConfig, ToyReport};
+pub use workloads::ArrivalPattern;

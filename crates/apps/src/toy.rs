@@ -1,0 +1,310 @@
+//! The toy application (Listing 1 of the paper).
+//!
+//! Two localities send `numparcels` active messages to each other, each
+//! carrying a single `complex<double>`; the process repeats for
+//! `phases` rounds ("we define the process of sending a million messages
+//! as a phase"). There are no dependencies between messages, making the
+//! workload an ideal stress test for per-message network overhead — and
+//! hence for parcel coalescing.
+//!
+//! The paper's experiments additionally *change the coalescing
+//! parameters between phases* (Fig. 9) to show the overhead counters
+//! react instantaneously; [`ToyConfig::nparcels_schedule`] reproduces
+//! that.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpx::{
+    CoalescingParams, Complex64, CoalescingControl, PhaseRecorder, Runtime, RuntimeError,
+};
+
+/// Configuration of a toy-application run.
+#[derive(Debug, Clone)]
+pub struct ToyConfig {
+    /// Messages sent per phase in each direction (the paper uses 1e6 on
+    /// its cluster; laptop-scale runs use 1e4–1e5).
+    pub numparcels: usize,
+    /// Number of phases (`num_repeats`, 4 in Listing 1).
+    pub phases: usize,
+    /// Whether both localities send (the paper's "two nodes sending a
+    /// million messages to each other"). `false` sends only 0 → 1.
+    pub bidirectional: bool,
+    /// Coalescing parameters, or `None` to run without the plug-in.
+    pub coalescing: Option<CoalescingParams>,
+    /// Per-phase `nparcels` overrides (Fig. 9's mid-run parameter
+    /// changes). Indexed by phase; missing entries keep the previous
+    /// value.
+    pub nparcels_schedule: Option<Vec<usize>>,
+}
+
+impl Default for ToyConfig {
+    fn default() -> Self {
+        ToyConfig {
+            numparcels: 10_000,
+            phases: 4,
+            bidirectional: true,
+            coalescing: Some(CoalescingParams::new(128, Duration::from_micros(4000))),
+            nparcels_schedule: None,
+        }
+    }
+}
+
+/// Measurements of one toy-application phase.
+#[derive(Debug, Clone)]
+pub struct ToyPhase {
+    /// Phase index.
+    pub phase: usize,
+    /// The `nparcels` in force during the phase.
+    pub nparcels: usize,
+    /// Wall time of the phase.
+    pub wall: Duration,
+    /// Instantaneous network overhead (Eq. 4 over the phase, locality 0).
+    pub network_overhead: f64,
+    /// Instantaneous task overhead (Eq. 2 over the phase, ns/task).
+    pub task_overhead_ns: f64,
+}
+
+/// The outcome of a toy-application run.
+#[derive(Debug, Clone)]
+pub struct ToyReport {
+    /// Per-phase measurements.
+    pub phases: Vec<ToyPhase>,
+    /// Total wall time across phases.
+    pub total: Duration,
+    /// `/coalescing/count/parcels@toy::get_cplx` on locality 0 (0 if
+    /// coalescing disabled).
+    pub parcels_counted: u64,
+    /// `/coalescing/count/messages@toy::get_cplx` on locality 0.
+    pub messages_counted: u64,
+    /// `/coalescing/count/average-parcels-per-message@toy::get_cplx`.
+    pub avg_parcels_per_message: f64,
+}
+
+impl ToyReport {
+    /// Mean phase wall time in seconds.
+    pub fn mean_phase_secs(&self) -> f64 {
+        if self.phases.is_empty() {
+            return 0.0;
+        }
+        self.phases.iter().map(|p| p.wall.as_secs_f64()).sum::<f64>() / self.phases.len() as f64
+    }
+
+    /// Mean per-phase network overhead.
+    pub fn mean_overhead(&self) -> f64 {
+        if self.phases.is_empty() {
+            return 0.0;
+        }
+        self.phases.iter().map(|p| p.network_overhead).sum::<f64>() / self.phases.len() as f64
+    }
+}
+
+/// The action name the toy application registers.
+pub const TOY_ACTION: &str = "toy::get_cplx";
+
+/// Run the toy application on `rt`.
+///
+/// Registers the `toy::get_cplx` action, so a given runtime can host at
+/// most one toy run (create a fresh runtime per configuration, as the
+/// paper launches fresh jobs per parameter set).
+pub fn run_toy(rt: &Arc<Runtime>, config: &ToyConfig) -> Result<ToyReport, RuntimeError> {
+    assert!(rt.num_localities() >= 2, "toy app needs two localities");
+    // Listing 1: the action returns complex<double>(13.3, -23.8).
+    let action = rt.register_action(TOY_ACTION, |(): ()| Complex64::new(13.3, -23.8));
+    let control = match &config.coalescing {
+        Some(params) => Some(rt.enable_coalescing(TOY_ACTION, *params)?),
+        None => None,
+    };
+    run_phases(rt, config, &action, control.as_ref())
+}
+
+fn run_phases(
+    rt: &Arc<Runtime>,
+    config: &ToyConfig,
+    action: &rpx::ActionHandle<(), Complex64>,
+    control: Option<&CoalescingControl>,
+) -> Result<ToyReport, RuntimeError> {
+    let mut recorder = PhaseRecorder::new(rt.metrics(0));
+    let mut phases = Vec::with_capacity(config.phases);
+    let total_start = std::time::Instant::now();
+    let mut current_nparcels = config
+        .coalescing
+        .as_ref()
+        .map(|p| p.nparcels)
+        .unwrap_or(1);
+
+    for phase in 0..config.phases {
+        if let (Some(schedule), Some(control)) = (&config.nparcels_schedule, control) {
+            if let Some(&n) = schedule.get(phase) {
+                control.set_nparcels(n);
+                current_nparcels = n;
+            }
+        }
+
+        let numparcels = config.numparcels;
+        let reverse = if config.bidirectional {
+            let action = action.clone();
+            let rt2 = Arc::clone(rt);
+            Some(std::thread::spawn(move || {
+                rt2.run_on(1, move |ctx| {
+                    let mut futures = Vec::with_capacity(numparcels);
+                    for _ in 0..numparcels {
+                        futures.push(ctx.async_action(&action, 0, ()));
+                    }
+                    ctx.wait_all(futures).map(|v| v.len())
+                })
+            }))
+        } else {
+            None
+        };
+
+        recorder.start_phase(format!("phase-{phase}"));
+        let forward = {
+            let action = action.clone();
+            rt.run_on(0, move |ctx| {
+                let mut futures = Vec::with_capacity(numparcels);
+                for _ in 0..numparcels {
+                    futures.push(ctx.async_action(&action, 1, ()));
+                }
+                ctx.wait_all(futures).map(|v| v.len())
+            })
+        };
+        forward?;
+        if let Some(t) = reverse {
+            t.join().expect("reverse driver panicked")?;
+        }
+        // Close the phase only once the runtime is quiescent so the
+        // drivers' task-execution time has been recorded and straggler
+        // flushes are attributed to the phase that caused them.
+        if let Some(control) = control {
+            control.flush();
+        }
+        rt.wait_quiescent(Duration::from_secs(30));
+        let record = recorder.end_phase().clone();
+
+        phases.push(ToyPhase {
+            phase,
+            nparcels: current_nparcels,
+            wall: record.wall,
+            network_overhead: record.network_overhead(),
+            task_overhead_ns: record.task_overhead_ns(),
+        });
+    }
+
+    let (parcels, messages, ppm) = match control {
+        Some(c) => {
+            let counters = c.counters(0).expect("locality 0");
+            (
+                counters.parcels.get(),
+                counters.messages.get(),
+                counters.parcels_per_message.ratio(),
+            )
+        }
+        None => (0, 0, 0.0),
+    };
+
+    Ok(ToyReport {
+        phases,
+        total: total_start.elapsed(),
+        parcels_counted: parcels,
+        messages_counted: messages,
+        avg_parcels_per_message: ppm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpx::RuntimeConfig;
+
+    fn small_toy(numparcels: usize, coalescing: Option<CoalescingParams>) -> ToyConfig {
+        ToyConfig {
+            numparcels,
+            phases: 2,
+            bidirectional: true,
+            coalescing,
+            nparcels_schedule: None,
+        }
+    }
+
+    #[test]
+    fn toy_runs_and_counts_all_parcels() {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let cfg = small_toy(
+            200,
+            Some(CoalescingParams::new(16, Duration::from_micros(2000))),
+        );
+        let report = run_toy(&rt, &cfg).unwrap();
+        assert_eq!(report.phases.len(), 2);
+        // 2 phases × 200 parcels × 2 directions, counted on locality 0's
+        // coalescer (locality 0 sends 400 of them).
+        assert_eq!(report.parcels_counted, 400);
+        assert!(report.messages_counted < 400, "no coalescing happened");
+        assert!(report.avg_parcels_per_message > 1.0);
+        assert!(report.total >= report.phases[0].wall);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn toy_without_coalescing_runs() {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let report = run_toy(&rt, &small_toy(100, None)).unwrap();
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.parcels_counted, 0);
+        assert!(report.mean_phase_secs() > 0.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unidirectional_mode() {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let mut cfg = small_toy(
+            100,
+            Some(CoalescingParams::new(8, Duration::from_micros(1000))),
+        );
+        cfg.bidirectional = false;
+        cfg.phases = 1;
+        let report = run_toy(&rt, &cfg).unwrap();
+        assert_eq!(report.parcels_counted, 100);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn schedule_changes_nparcels_per_phase() {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let cfg = ToyConfig {
+            numparcels: 100,
+            phases: 3,
+            bidirectional: false,
+            coalescing: Some(CoalescingParams::new(64, Duration::from_micros(2000))),
+            nparcels_schedule: Some(vec![64, 1, 16]),
+        };
+        let report = run_toy(&rt, &cfg).unwrap();
+        assert_eq!(
+            report.phases.iter().map(|p| p.nparcels).collect::<Vec<_>>(),
+            vec![64, 1, 16]
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn phase_metrics_are_finite_and_positive() {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let report = run_toy(
+            &rt,
+            &small_toy(
+                200,
+                Some(CoalescingParams::new(16, Duration::from_micros(2000))),
+            ),
+        )
+        .unwrap();
+        for p in &report.phases {
+            assert!(p.wall > Duration::ZERO);
+            assert!(p.network_overhead.is_finite());
+            assert!((0.0..=1.0).contains(&p.network_overhead));
+            assert!(p.task_overhead_ns.is_finite());
+        }
+        assert!(report.mean_overhead().is_finite());
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,161 @@
+//! Parameterised traffic generators.
+//!
+//! The paper motivates adaptive coalescing with applications whose
+//! communication *phases* differ — heavy bursts where aggressive
+//! coalescing wins, sparse stretches where it must get out of the way.
+//! These generators produce such arrival patterns for the adaptive
+//! controller's evaluation and the sparse-bypass ablation.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An inter-arrival pattern for generated traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Back-to-back parcels with a fixed gap.
+    Uniform {
+        /// Gap between consecutive parcels.
+        gap: Duration,
+    },
+    /// Bursts of dense traffic separated by quiet periods.
+    Bursty {
+        /// Parcels per burst.
+        burst: usize,
+        /// Gap between parcels inside a burst.
+        gap_within: Duration,
+        /// Gap between bursts.
+        gap_between: Duration,
+    },
+    /// Exponentially distributed gaps (Poisson arrivals).
+    Poisson {
+        /// Mean arrival rate in parcels/second.
+        rate_per_sec: f64,
+    },
+}
+
+impl ArrivalPattern {
+    /// Generate the gap *before* each of `n` parcels (the first gap is
+    /// zero). Deterministic for a given `seed`.
+    pub fn gaps(&self, n: usize, seed: u64) -> Vec<Duration> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gaps = Vec::with_capacity(n);
+        for i in 0..n {
+            if i == 0 {
+                gaps.push(Duration::ZERO);
+                continue;
+            }
+            let gap = match *self {
+                ArrivalPattern::Uniform { gap } => gap,
+                ArrivalPattern::Bursty {
+                    burst,
+                    gap_within,
+                    gap_between,
+                } => {
+                    if i % burst.max(1) == 0 {
+                        gap_between
+                    } else {
+                        gap_within
+                    }
+                }
+                ArrivalPattern::Poisson { rate_per_sec } => {
+                    let u: f64 = rng.gen_range(1e-12..1.0);
+                    Duration::from_secs_f64(-u.ln() / rate_per_sec.max(1e-9))
+                }
+            };
+            gaps.push(gap);
+        }
+        gaps
+    }
+
+    /// The asymptotic mean arrival rate of the pattern (parcels/second).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalPattern::Uniform { gap } => {
+                if gap.is_zero() {
+                    f64::INFINITY
+                } else {
+                    1.0 / gap.as_secs_f64()
+                }
+            }
+            ArrivalPattern::Bursty {
+                burst,
+                gap_within,
+                gap_between,
+            } => {
+                let period = gap_within.as_secs_f64() * (burst.max(1) - 1) as f64
+                    + gap_between.as_secs_f64();
+                if period <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    burst as f64 / period
+                }
+            }
+            ArrivalPattern::Poisson { rate_per_sec } => rate_per_sec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_gaps() {
+        let p = ArrivalPattern::Uniform {
+            gap: Duration::from_micros(50),
+        };
+        let gaps = p.gaps(4, 0);
+        assert_eq!(gaps[0], Duration::ZERO);
+        assert!(gaps[1..].iter().all(|&g| g == Duration::from_micros(50)));
+        assert!((p.mean_rate() - 20_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bursty_alternates() {
+        let p = ArrivalPattern::Bursty {
+            burst: 3,
+            gap_within: Duration::from_micros(1),
+            gap_between: Duration::from_millis(5),
+        };
+        let gaps = p.gaps(7, 0);
+        // Indices 3 and 6 start new bursts.
+        assert_eq!(gaps[3], Duration::from_millis(5));
+        assert_eq!(gaps[6], Duration::from_millis(5));
+        assert_eq!(gaps[1], Duration::from_micros(1));
+        assert!(p.mean_rate() > 0.0);
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic_with_correct_mean() {
+        let p = ArrivalPattern::Poisson { rate_per_sec: 10_000.0 };
+        let a = p.gaps(5000, 42);
+        let b = p.gaps(5000, 42);
+        assert_eq!(a, b);
+        let c = p.gaps(5000, 43);
+        assert_ne!(a, c);
+        let mean_gap =
+            a[1..].iter().map(|g| g.as_secs_f64()).sum::<f64>() / (a.len() - 1) as f64;
+        let rate = 1.0 / mean_gap;
+        assert!((rate - 10_000.0).abs() < 1_000.0, "rate {rate}");
+        assert_eq!(p.mean_rate(), 10_000.0);
+    }
+
+    #[test]
+    fn zero_and_one_parcel_edge_cases() {
+        let p = ArrivalPattern::Uniform {
+            gap: Duration::from_micros(1),
+        };
+        assert!(p.gaps(0, 0).is_empty());
+        assert_eq!(p.gaps(1, 0), vec![Duration::ZERO]);
+    }
+
+    #[test]
+    fn degenerate_rates() {
+        assert_eq!(
+            ArrivalPattern::Uniform { gap: Duration::ZERO }.mean_rate(),
+            f64::INFINITY
+        );
+    }
+}

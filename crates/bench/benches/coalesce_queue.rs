@@ -1,0 +1,65 @@
+//! Coalescing-queue hot-path benchmark: per-parcel submit cost as a
+//! function of the queue length (Algorithm 1's steady state).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parking_lot::Mutex;
+use rpx_agas::Gid;
+use rpx_coalesce::{CoalescingCounters, CoalescingParams, CoalescingQueue, ParamsHandle};
+use rpx_parcel::{ActionId, Parcel, SendPath};
+use rpx_util::TimerService;
+
+struct NullPath {
+    emitted: Mutex<usize>,
+}
+
+impl SendPath for NullPath {
+    fn emit(&self, _dst: u32, parcels: Vec<Parcel>) {
+        *self.emitted.lock() += parcels.len();
+    }
+}
+
+fn parcel() -> Parcel {
+    Parcel {
+        id: 1,
+        src_locality: 0,
+        dest_locality: 1,
+        dest_object: Gid::INVALID,
+        action: ActionId(0),
+        args: Bytes::from_static(&[0u8; 16]),
+        continuation: Gid::INVALID,
+    }
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalesce_queue");
+    for nparcels in [1usize, 4, 64, 1024] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::new("submit", nparcels),
+            &nparcels,
+            |b, &n| {
+                let timer = Arc::new(TimerService::new("bench"));
+                let path = Arc::new(NullPath {
+                    emitted: Mutex::new(0),
+                });
+                let queue = CoalescingQueue::new(
+                    1,
+                    ParamsHandle::new(CoalescingParams::new(n, Duration::from_secs(10))),
+                    timer,
+                    path as Arc<dyn SendPath>,
+                    CoalescingCounters::new(),
+                );
+                let p = parcel();
+                b.iter(|| queue.submit(std::hint::black_box(p.clone())));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Parquet-proxy iteration benchmark (the workload of Figs. 6, 7 and 8):
+//! one iteration at the paper's notable settings — disabled (1), the
+//! paper's optimum (4), and an oversized queue (32).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpx::CoalescingParams;
+use rpx_apps::driver;
+use rpx_apps::parquet::{run_parquet, ParquetConfig};
+
+fn iteration_config(nparcels: usize) -> ParquetConfig {
+    ParquetConfig {
+        nc: 8,
+        iterations: 1,
+        coalescing: Some(CoalescingParams::new(nparcels, Duration::from_micros(4_000))),
+        compute_per_iteration: Duration::from_micros(500),
+    }
+}
+
+fn bench_parquet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parquet_iteration");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    for nparcels in [1usize, 4, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("nc8_4loc", nparcels),
+            &nparcels,
+            |b, &n| {
+                b.iter(|| {
+                    let rt = driver::boot(4, rpx_bench::parquet_link(8));
+                    let report = run_parquet(&rt, &iteration_config(n)).unwrap();
+                    rt.shutdown();
+                    std::hint::black_box(report.mean_iteration_secs())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parquet);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Scheduler throughput: the lightweight-task machinery under the parcel
+//! subsystem (spawn → steal → execute, with time accounting on).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpx_threading::{Scheduler, SchedulerConfig};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.throughput(Throughput::Elements(10_000));
+        group.bench_with_input(
+            BenchmarkId::new("spawn_execute_10k", workers),
+            &workers,
+            |b, &w| {
+                let scheduler = Scheduler::new(SchedulerConfig {
+                    workers: w,
+                    name: "bench".into(),
+                    idle_park: Duration::from_micros(200),
+                });
+                b.iter(|| {
+                    let count = Arc::new(AtomicU64::new(0));
+                    for _ in 0..10_000u64 {
+                        let c = Arc::clone(&count);
+                        scheduler.spawn(move || {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    assert!(scheduler.wait_idle(Duration::from_secs(30)));
+                    assert_eq!(count.load(Ordering::Relaxed), 10_000);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

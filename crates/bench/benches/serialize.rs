@@ -1,0 +1,63 @@
+//! Serialization micro-benchmarks: the per-parcel encode/decode work that
+//! the fabric charges as background time.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpx_agas::Gid;
+use rpx_parcel::{ActionId, Parcel};
+use rpx_serialize::{from_bytes, to_bytes};
+use rpx_util::Complex64;
+
+fn sample_parcel(payload: &Bytes) -> Parcel {
+    Parcel {
+        id: 7,
+        src_locality: 0,
+        dest_locality: 1,
+        dest_object: Gid::INVALID,
+        action: ActionId(3),
+        args: payload.clone(),
+        continuation: Gid::from_parts(0, 42),
+    }
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialize");
+
+    // The toy payload: one complex double.
+    group.bench_function("complex64_roundtrip", |b| {
+        let v = Complex64::new(13.3, -23.8);
+        b.iter(|| {
+            let bytes = to_bytes(&v);
+            std::hint::black_box(from_bytes::<Complex64>(bytes).unwrap())
+        });
+    });
+
+    // Parquet rows at several Nc.
+    for nc in [16usize, 64, 512] {
+        let row = vec![Complex64::new(1.0, -1.0); nc];
+        group.throughput(Throughput::Bytes((nc * 16) as u64));
+        group.bench_with_input(BenchmarkId::new("row_roundtrip", nc), &row, |b, row| {
+            b.iter(|| {
+                let bytes = to_bytes(row);
+                std::hint::black_box(from_bytes::<Vec<Complex64>>(bytes).unwrap())
+            });
+        });
+    }
+
+    // Coalesced batches: k single-complex parcels per message.
+    for k in [1usize, 8, 128] {
+        let payload = to_bytes(&Complex64::new(13.3, -23.8));
+        let parcels: Vec<Parcel> = (0..k).map(|_| sample_parcel(&payload)).collect();
+        group.throughput(Throughput::Elements(k as u64));
+        group.bench_with_input(BenchmarkId::new("batch_roundtrip", k), &parcels, |b, ps| {
+            b.iter(|| {
+                let bytes = Parcel::encode_batch(ps);
+                std::hint::black_box(Parcel::decode_batch(bytes).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialize);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Toy-application phase benchmark (the workload of Figs. 4, 5 and 9):
+//! one phase at disabled vs aggressive coalescing. The ratio of these two
+//! is the paper's headline effect.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpx::CoalescingParams;
+use rpx_apps::driver;
+use rpx_apps::toy::{run_toy, ToyConfig};
+
+fn phase_config(nparcels: usize) -> ToyConfig {
+    ToyConfig {
+        numparcels: 800,
+        phases: 1,
+        bidirectional: true,
+        coalescing: Some(CoalescingParams::new(nparcels, Duration::from_micros(4_000))),
+        nparcels_schedule: None,
+    }
+}
+
+fn bench_toy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toy_phase");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for nparcels in [1usize, 8, 128] {
+        group.throughput(Throughput::Elements(800 * 2));
+        group.bench_with_input(
+            BenchmarkId::new("phase_800_parcels", nparcels),
+            &nparcels,
+            |b, &n| {
+                b.iter(|| {
+                    let rt = driver::boot(2, rpx_bench::paper_link());
+                    let report = run_toy(&rt, &phase_config(n)).unwrap();
+                    rt.shutdown();
+                    std::hint::black_box(report.mean_phase_secs())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_toy);
+criterion_main!(benches);

@@ -1,0 +1,321 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p rpx-bench --bin repro -- <experiment>…
+//! cargo run --release -p rpx-bench --bin repro -- all
+//! ```
+//!
+//! Experiments: `timer fig4 fig5 fig6 fig7 fig8 fig9 rsd adaptive
+//! ablate-trigger ablate-bypass ablate-timer`. Scale with
+//! `RPX_REPRO_SCALE=quick|full` (default quick).
+
+use rpx_bench::table::{print_csv, print_table, ratio, secs};
+use rpx_bench::{experiments as exp, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    let all = [
+        "timer", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "rsd", "adaptive",
+        "phase-change", "ablate-trigger", "ablate-bypass", "ablate-timer",
+    ];
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        all.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    println!("# RPX paper reproduction — scale {scale:?}");
+    for name in selected {
+        let t0 = std::time::Instant::now();
+        match name {
+            "timer" => run_timer(scale),
+            "fig4" => run_fig4(scale),
+            "fig5" => run_fig5(scale),
+            "fig6" => run_fig6(scale),
+            "fig7" => run_fig7(scale),
+            "fig8" => run_fig8(scale),
+            "fig9" => run_fig9(scale),
+            "rsd" => run_rsd(scale),
+            "adaptive" => run_adaptive(scale),
+            "phase-change" => run_phase_change(scale),
+            "ablate-trigger" => run_ablate_trigger(scale),
+            "ablate-bypass" => run_ablate_bypass(scale),
+            "ablate-timer" => run_ablate_timer(),
+            other => {
+                eprintln!("unknown experiment '{other}'; options: {all:?}");
+                std::process::exit(2);
+            }
+        }
+        println!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn run_timer(scale: Scale) {
+    let r = exp::exp_timer(scale.pick(200, 2_000));
+    print_table(
+        "T-timer — flush timer accuracy (paper §II-B: ≈33 µs mean)",
+        &["fired", "mean_err_us", "stddev_us", "max_err_us"],
+        &[vec![
+            r.fired.to_string(),
+            format!("{:.1}", r.mean_error_us),
+            format!("{:.1}", r.stddev_error_us),
+            format!("{:.1}", r.max_error_us),
+        ]],
+    );
+}
+
+fn scatter_table(title: &str, r: &exp::ScatterReport, paper_r: f64) {
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.nparcels.to_string(),
+                p.interval_us.to_string(),
+                ratio(p.network_overhead),
+                secs(p.time_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        title,
+        &["nparcels", "interval_us", "overhead", "time_s"],
+        &rows,
+    );
+    print_csv(&["nparcels", "interval_us", "overhead", "time_s"], &rows);
+    println!(
+        "Pearson r = {} (paper: {paper_r})",
+        r.pearson.map(|v| format!("{v:.3}")).unwrap_or("n/a".into())
+    );
+}
+
+fn run_fig4(scale: Scale) {
+    let r = exp::exp_fig4(scale);
+    scatter_table(
+        "Fig 4 — toy app: network overhead vs phase time",
+        &r,
+        0.97,
+    );
+}
+
+fn run_fig7(scale: Scale) {
+    let r = exp::exp_fig7(scale);
+    scatter_table(
+        "Fig 7 — Parquet: network overhead vs iteration time",
+        &r,
+        0.92,
+    );
+}
+
+fn completion_table(title: &str, r: &exp::CompletionReport) {
+    let phases = r.rows.first().map(|(_, c)| c.len()).unwrap_or(0);
+    let mut headers = vec!["nparcels".to_string()];
+    headers.extend((0..phases).map(|i| format!("phase{i}_s")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|(n, cum)| {
+            let mut row = vec![n.to_string()];
+            row.extend(cum.iter().map(|t| secs(*t)));
+            row
+        })
+        .collect();
+    print_table(title, &header_refs, &rows);
+    print_csv(&header_refs, &rows);
+    println!("fastest total at nparcels = {}", r.best_nparcels());
+}
+
+fn run_fig5(scale: Scale) {
+    let r = exp::exp_fig5(scale);
+    completion_table(
+        "Fig 5 — toy app: cumulative phase completion times (wait 4000 µs)",
+        &r,
+    );
+}
+
+fn run_fig6(scale: Scale) {
+    let r = exp::exp_fig6(scale);
+    completion_table(
+        "Fig 6 — Parquet: cumulative iteration completion times (wait 4000 µs)",
+        &r,
+    );
+}
+
+fn run_fig8(scale: Scale) {
+    let r = exp::exp_fig8(scale);
+    let mut headers = vec!["interval_us\\nparcels".to_string()];
+    headers.extend(r.nparcels.iter().map(|n| n.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = r
+        .intervals_us
+        .iter()
+        .zip(&r.matrix)
+        .map(|(i, row)| {
+            let mut out = vec![i.to_string()];
+            out.extend(row.iter().map(|t| secs(*t)));
+            out
+        })
+        .collect();
+    print_table(
+        "Fig 8 — Parquet: mean iteration seconds over (wait × nparcels)",
+        &header_refs,
+        &rows,
+    );
+    print_csv(&header_refs, &rows);
+    let (bi, bn) = r.best_cell();
+    println!(
+        "best cell: interval {bi} µs, nparcels {bn} | disabled-band mean {} s vs enabled mean {} s",
+        secs(r.disabled_band_mean()),
+        secs(r.enabled_mean())
+    );
+}
+
+fn run_fig9(scale: Scale) {
+    let runs = exp::exp_fig9(scale);
+    for run in &runs {
+        let rows: Vec<Vec<String>> = run
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, (n, oh, t))| {
+                vec![
+                    i.to_string(),
+                    n.to_string(),
+                    ratio(*oh),
+                    secs(*t),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Fig 9 — instantaneous overhead per phase ({})", run.label),
+            &["phase", "nparcels", "overhead", "time_s"],
+            &rows,
+        );
+        print_csv(&["phase", "nparcels", "overhead", "time_s"], &rows);
+    }
+}
+
+fn run_rsd(scale: Scale) {
+    let r = exp::exp_rsd(scale);
+    let rows: Vec<Vec<String>> = r
+        .times
+        .iter()
+        .enumerate()
+        .map(|(i, t)| vec![i.to_string(), secs(*t)])
+        .collect();
+    print_table("T-rsd — repeated Parquet runs (4 parcels, 5000 µs)", &["run", "mean_iter_s"], &rows);
+    println!(
+        "RSD = {} % (paper: < 5 %)",
+        r.rsd_percent
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or("n/a".into())
+    );
+}
+
+fn run_adaptive(scale: Scale) {
+    let r = exp::exp_adaptive(scale);
+    print_table(
+        "X-adaptive — adaptive control vs static vs PICS baseline",
+        &["configuration", "total_s", "notes"],
+        &[
+            vec![
+                "static worst (nparcels 1)".into(),
+                secs(r.static_worst_secs),
+                String::new(),
+            ],
+            vec![
+                format!("static best (nparcels {})", r.static_best_nparcels),
+                secs(r.static_best_secs),
+                "offline sweep".into(),
+            ],
+            vec![
+                "adaptive (start at 1)".into(),
+                secs(r.adaptive_secs),
+                format!(
+                    "{} decisions, final nparcels {}",
+                    r.adaptive_decisions, r.adaptive_final_nparcels
+                ),
+            ],
+        ],
+    );
+    println!(
+        "PICS baseline (Parquet): chose nparcels {} in {} decisions (paper cites 5)",
+        r.pics_choice, r.pics_decisions
+    );
+}
+
+fn run_phase_change(scale: Scale) {
+    let r = exp::exp_phase_change(scale);
+    let rows: Vec<Vec<String>> = r
+        .stages
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.clone(),
+                secs(s.wall_secs),
+                s.nparcels_after.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "X-phase — adaptive nparcels across communication phases",
+        &["stage", "wall_s", "nparcels_after"],
+        &rows,
+    );
+    println!(
+        "{} decisions, {} detected phase changes",
+        r.decisions, r.detected_phase_changes
+    );
+}
+
+fn run_ablate_trigger(scale: Scale) {
+    let rows_data = exp::exp_ablate_trigger(scale);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.payload_elems.to_string(),
+                secs(r.count_trigger_secs),
+                secs(r.size_trigger_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — count trigger (paper) vs size trigger (Active Pebbles/AM++)",
+        &["payload_elems", "count_trigger_s", "size_trigger_s"],
+        &rows,
+    );
+}
+
+fn run_ablate_bypass(scale: Scale) {
+    let rows_data = exp::exp_ablate_bypass(scale);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| vec![r.label.clone(), format!("{:.1}", r.mean_latency_us)])
+        .collect();
+    print_table(
+        "Ablation — sparse-traffic bypass (request latency on sparse traffic)",
+        &["scenario", "mean_latency_us"],
+        &rows,
+    );
+}
+
+fn run_ablate_timer() {
+    let rows_data = exp::exp_ablate_timer(300);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.1}", r.mean_error_us),
+                format!("{:.1}", r.max_error_us),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — flush-timer design (firing error)",
+        &["design", "mean_err_us", "max_err_us"],
+        &rows,
+    );
+}

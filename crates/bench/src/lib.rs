@@ -1,0 +1,55 @@
+//! # rpx-bench
+//!
+//! The reproduction harness: one experiment module per table/figure of
+//! the paper, shared by the `repro` binary (which prints the series the
+//! paper plots) and the Criterion benches.
+//!
+//! Experiment scale is controlled by `RPX_REPRO_SCALE`:
+//! * `quick` (default) — seconds per experiment, shapes clearly visible,
+//! * `full` — minutes per experiment, closer to paper magnitudes.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::{print_csv, print_table};
+
+/// Experiment scale selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly sizes.
+    Quick,
+    /// Paper-magnitude sizes.
+    Full,
+}
+
+impl Scale {
+    /// Read from `RPX_REPRO_SCALE` (`quick`/`full`, default quick).
+    pub fn from_env() -> Scale {
+        match std::env::var("RPX_REPRO_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Pick a size by scale.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 100), 1);
+        assert_eq!(Scale::Full.pick(1, 100), 100);
+    }
+}

@@ -1,0 +1,65 @@
+//! Plain-text table and CSV output.
+
+/// Print an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Print the same data as CSV (machine-readable companion output).
+pub fn print_csv(headers: &[&str], rows: &[Vec<String>]) {
+    println!("csv,{}", headers.join(","));
+    for row in rows {
+        println!("csv,{}", row.join(","));
+    }
+}
+
+/// Format seconds with 4 significant decimals.
+pub fn secs(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Format a ratio with 4 decimals.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(1.23456), "1.2346");
+        assert_eq!(ratio(0.5), "0.5000");
+    }
+
+    #[test]
+    fn tables_do_not_panic_on_ragged_rows() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into()], vec!["1".into(), "2".into(), "3".into()]],
+        );
+        print_csv(&["a"], &[vec!["x".into()]]);
+    }
+}

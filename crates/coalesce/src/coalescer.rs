@@ -1,0 +1,244 @@
+//! The per-action coalescer plugged into the parcel port.
+//!
+//! One [`Coalescer`] serves one coalesced action: it fans parcels out to
+//! per-destination [`CoalescingQueue`]s (coalescing only combines parcels
+//! "bound to the same destination"), shares one [`ParamsHandle`] and one
+//! [`CoalescingCounters`] across them, and implements the parcel port's
+//! [`ParcelInterceptor`] interface — the RPX analogue of flagging an
+//! action with `HPX_ACTION_USES_MESSAGE_COALESCING`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use rpx_counters::CounterRegistry;
+use rpx_parcel::{Parcel, ParcelInterceptor, SendPath};
+use rpx_util::TimerService;
+
+use crate::counters::CoalescingCounters;
+use crate::params::{CoalescingParams, ParamsHandle};
+use crate::queue::CoalescingQueue;
+
+/// The coalescing plug-in for one action.
+pub struct Coalescer {
+    action_name: String,
+    params: ParamsHandle,
+    timer: Arc<TimerService>,
+    path: Arc<dyn SendPath>,
+    counters: Arc<CoalescingCounters>,
+    queues: RwLock<HashMap<u32, Arc<CoalescingQueue>>>,
+}
+
+impl Coalescer {
+    /// Create a coalescer for `action_name` emitting through `path`.
+    pub fn new(
+        action_name: &str,
+        params: CoalescingParams,
+        timer: Arc<TimerService>,
+        path: Arc<dyn SendPath>,
+    ) -> Arc<Self> {
+        Self::with_handle(action_name, ParamsHandle::new(params), timer, path)
+    }
+
+    /// Create a coalescer sharing an existing parameter handle (used when
+    /// several localities' coalescers are steered by one global knob, as
+    /// in the paper's parameter sweeps).
+    pub fn with_handle(
+        action_name: &str,
+        params: ParamsHandle,
+        timer: Arc<TimerService>,
+        path: Arc<dyn SendPath>,
+    ) -> Arc<Self> {
+        Arc::new(Coalescer {
+            action_name: action_name.to_string(),
+            params,
+            timer,
+            path,
+            counters: CoalescingCounters::new(),
+            queues: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The action this coalescer serves.
+    pub fn action_name(&self) -> &str {
+        &self.action_name
+    }
+
+    /// The live-tunable parameter handle (shared with the adaptive
+    /// controller).
+    pub fn params(&self) -> &ParamsHandle {
+        &self.params
+    }
+
+    /// The per-action counters.
+    pub fn counters(&self) -> &Arc<CoalescingCounters> {
+        &self.counters
+    }
+
+    /// Register this action's `/coalescing/*` counters in `registry`.
+    pub fn register_counters(&self, registry: &CounterRegistry) {
+        self.counters.register(registry, &self.action_name);
+    }
+
+    /// Parcels currently buffered across all destinations.
+    pub fn pending(&self) -> usize {
+        self.queues.read().values().map(|q| q.pending()).sum()
+    }
+
+    fn queue_for(&self, dst: u32) -> Arc<CoalescingQueue> {
+        if let Some(q) = self.queues.read().get(&dst) {
+            return Arc::clone(q);
+        }
+        let mut queues = self.queues.write();
+        Arc::clone(queues.entry(dst).or_insert_with(|| {
+            CoalescingQueue::new(
+                dst,
+                self.params.clone(),
+                Arc::clone(&self.timer),
+                Arc::clone(&self.path),
+                Arc::clone(&self.counters),
+            )
+        }))
+    }
+}
+
+impl ParcelInterceptor for Coalescer {
+    fn submit(&self, parcel: Parcel) {
+        self.queue_for(parcel.dest_locality).submit(parcel);
+    }
+
+    fn flush(&self) {
+        let queues: Vec<_> = self.queues.read().values().cloned().collect();
+        for q in queues {
+            q.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use parking_lot::Mutex;
+    use rpx_agas::Gid;
+    use rpx_parcel::ActionId;
+    use std::time::Duration;
+
+    struct MockPath {
+        batches: Mutex<Vec<(u32, Vec<Parcel>)>>,
+    }
+    impl SendPath for MockPath {
+        fn emit(&self, dst: u32, parcels: Vec<Parcel>) {
+            self.batches.lock().push((dst, parcels));
+        }
+    }
+
+    fn parcel(id: u64, dst: u32) -> Parcel {
+        Parcel {
+            id,
+            src_locality: 0,
+            dest_locality: dst,
+            dest_object: Gid::INVALID,
+            action: ActionId(0),
+            args: Bytes::new(),
+            continuation: Gid::INVALID,
+        }
+    }
+
+    fn coalescer(
+        params: CoalescingParams,
+    ) -> (Arc<Coalescer>, Arc<MockPath>, Arc<TimerService>) {
+        let path = Arc::new(MockPath {
+            batches: Mutex::new(Vec::new()),
+        });
+        let timer = Arc::new(TimerService::new("coalescer-test"));
+        let c = Coalescer::new("act", params, Arc::clone(&timer), path.clone() as _);
+        (c, path, timer)
+    }
+
+    #[test]
+    fn destinations_coalesce_independently() {
+        let (c, path, _t) = coalescer(CoalescingParams::new(3, Duration::from_secs(10)));
+        // Interleave two destinations; each must fill its own queue.
+        for i in 0..3 {
+            c.submit(parcel(i, 1));
+            c.submit(parcel(100 + i, 2));
+        }
+        let batches = path.batches.lock();
+        assert_eq!(batches.len(), 2);
+        for (dst, batch) in batches.iter() {
+            assert_eq!(batch.len(), 3);
+            assert!(batch.iter().all(|p| p.dest_locality == *dst));
+        }
+    }
+
+    #[test]
+    fn flush_drains_every_destination() {
+        let (c, path, _t) = coalescer(CoalescingParams::new(100, Duration::from_secs(10)));
+        c.submit(parcel(1, 0));
+        c.submit(parcel(2, 1));
+        c.submit(parcel(3, 2));
+        assert_eq!(c.pending(), 3);
+        c.flush();
+        assert_eq!(c.pending(), 0);
+        assert_eq!(path.batches.lock().len(), 3);
+    }
+
+    #[test]
+    fn shared_params_apply_to_all_queues() {
+        let (c, path, _t) = coalescer(CoalescingParams::new(100, Duration::from_secs(10)));
+        c.submit(parcel(1, 1));
+        c.submit(parcel(2, 2));
+        c.params().set_nparcels(2);
+        c.submit(parcel(3, 1));
+        c.submit(parcel(4, 2));
+        assert_eq!(path.batches.lock().len(), 2, "both queues flushed at 2");
+    }
+
+    #[test]
+    fn counters_aggregate_across_destinations() {
+        let (c, _path, _t) = coalescer(CoalescingParams::new(2, Duration::from_secs(10)));
+        for dst in 0..4 {
+            c.submit(parcel(dst as u64 * 2, dst));
+            c.submit(parcel(dst as u64 * 2 + 1, dst));
+        }
+        assert_eq!(c.counters().parcels.get(), 8);
+        assert_eq!(c.counters().messages.get(), 4);
+        assert_eq!(c.counters().parcels_per_message.ratio(), 2.0);
+    }
+
+    #[test]
+    fn counter_registration_uses_action_name() {
+        let (c, _path, _t) = coalescer(CoalescingParams::default());
+        let reg = CounterRegistry::new(0);
+        c.register_counters(&reg);
+        assert!(reg.query("/coalescing/count/parcels@act").is_ok());
+        assert_eq!(c.action_name(), "act");
+    }
+
+    #[test]
+    fn concurrent_multi_destination_conservation() {
+        let (c, path, _t) = coalescer(CoalescingParams::new(4, Duration::from_millis(2)));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        c.submit(parcel(t * 1000 + i, (i % 3) as u32));
+                    }
+                });
+            }
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let batches = path.batches.lock();
+        let mut seen = std::collections::HashSet::new();
+        for (dst, batch) in batches.iter() {
+            for p in batch {
+                assert_eq!(p.dest_locality, *dst, "batch mixes destinations");
+                assert!(seen.insert(p.id));
+            }
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+}

@@ -1,0 +1,209 @@
+//! The `/coalescing/*` performance counters.
+//!
+//! These are the five counters the paper adds to HPX during the study
+//! (§II-B):
+//!
+//! * `/coalescing/count/parcels@action`
+//! * `/coalescing/count/messages@action`
+//! * `/coalescing/count/average-parcels-per-message@action`
+//! * `/coalescing/time/average-parcel-arrival@action` (nanoseconds)
+//! * `/coalescing/time/parcel-arrival-histogram@action` (microsecond gaps)
+
+use std::sync::Arc;
+
+use rpx_counters::{
+    AverageCounter, CallbackCounter, CounterRegistry, CounterValue, HistogramCounter,
+    MonotoneCounter, RatioCounter,
+};
+use rpx_util::Histogram;
+
+/// Default arrival-gap histogram range: 0–10 000 µs in 100 buckets.
+pub const HIST_MAX_US: u64 = 10_000;
+/// Default number of histogram buckets.
+pub const HIST_BUCKETS: usize = 100;
+
+/// The per-action coalescing counter set.
+///
+/// One instance is shared by all destination queues of an action, so the
+/// counters aggregate per action exactly as in the paper.
+pub struct CoalescingCounters {
+    /// Parcels submitted for this action.
+    pub parcels: Arc<MonotoneCounter>,
+    /// Messages generated for this action.
+    pub messages: Arc<MonotoneCounter>,
+    /// parcels-shipped / messages-shipped.
+    pub parcels_per_message: Arc<RatioCounter>,
+    /// Mean gap between parcel arrivals (recorded in nanoseconds).
+    pub average_arrival: Arc<AverageCounter>,
+    /// Histogram of arrival gaps in microseconds.
+    pub arrival_histogram: Arc<Histogram>,
+}
+
+impl CoalescingCounters {
+    /// Fresh counters (not yet registered anywhere).
+    pub fn new() -> Arc<Self> {
+        Arc::new(CoalescingCounters {
+            parcels: MonotoneCounter::new(),
+            messages: MonotoneCounter::new(),
+            parcels_per_message: RatioCounter::new(),
+            average_arrival: AverageCounter::new(),
+            arrival_histogram: Arc::new(Histogram::new(0, HIST_MAX_US, HIST_BUCKETS)),
+        })
+    }
+
+    /// Register all five counters in `registry` under `@action`.
+    pub fn register(self: &Arc<Self>, registry: &CounterRegistry, action: &str) {
+        registry.register_or_replace(
+            &format!("/coalescing/count/parcels@{action}"),
+            Arc::clone(&self.parcels) as _,
+        );
+        registry.register_or_replace(
+            &format!("/coalescing/count/messages@{action}"),
+            Arc::clone(&self.messages) as _,
+        );
+        // HPX computes this as a derived average; expose the ratio of the
+        // two monotones so it matches parcels/messages at every instant.
+        let this = Arc::clone(self);
+        registry.register_or_replace(
+            &format!("/coalescing/count/average-parcels-per-message@{action}"),
+            CallbackCounter::new(move || {
+                let msgs = this.messages.get();
+                let value = if msgs == 0 {
+                    0.0
+                } else {
+                    this.parcels_per_message.ratio()
+                };
+                CounterValue::Float(value)
+            }) as _,
+        );
+        registry.register_or_replace(
+            &format!("/coalescing/time/average-parcel-arrival@{action}"),
+            Arc::clone(&self.average_arrival) as _,
+        );
+        registry.register_or_replace(
+            &format!("/coalescing/time/parcel-arrival-histogram@{action}"),
+            HistogramCounter::new(Arc::clone(&self.arrival_histogram)) as _,
+        );
+    }
+
+    /// Record the arrival of one parcel with `gap` nanoseconds since the
+    /// previous one (`None` for the first parcel ever seen).
+    pub fn record_arrival(&self, gap_ns: Option<u64>) {
+        self.parcels.increment();
+        if let Some(gap_ns) = gap_ns {
+            self.average_arrival.record(gap_ns);
+            self.arrival_histogram.record(gap_ns / 1_000);
+        }
+    }
+
+    /// Record the emission of one message carrying `parcels` parcels.
+    pub fn record_message(&self, parcels: usize) {
+        self.messages.increment();
+        self.parcels_per_message.add_numerator(parcels as u64);
+        self.parcels_per_message.add_denominator(1);
+    }
+}
+
+impl Default for CoalescingCounters {
+    fn default() -> Self {
+        CoalescingCounters {
+            parcels: MonotoneCounter::new(),
+            messages: MonotoneCounter::new(),
+            parcels_per_message: RatioCounter::new(),
+            average_arrival: AverageCounter::new(),
+            arrival_histogram: Arc::new(Histogram::new(0, HIST_MAX_US, HIST_BUCKETS)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_recording() {
+        let c = CoalescingCounters::new();
+        c.record_arrival(None);
+        c.record_arrival(Some(2_000_000)); // 2 ms
+        c.record_arrival(Some(4_000_000)); // 4 ms
+        assert_eq!(c.parcels.get(), 3);
+        assert_eq!(c.average_arrival.mean(), 3_000_000.0);
+        // Histogram records µs: 2000 and 4000.
+        assert_eq!(c.arrival_histogram.count(), 2);
+        assert_eq!(c.arrival_histogram.sum(), 6000);
+    }
+
+    #[test]
+    fn message_recording_tracks_ratio() {
+        let c = CoalescingCounters::new();
+        c.record_message(4);
+        c.record_message(2);
+        assert_eq!(c.messages.get(), 2);
+        assert_eq!(c.parcels_per_message.ratio(), 3.0);
+    }
+
+    #[test]
+    fn registration_exposes_all_five_paper_counters() {
+        let reg = CounterRegistry::new(0);
+        let c = CoalescingCounters::new();
+        c.register(&reg, "get_cplx");
+        for path in [
+            "/coalescing/count/parcels@get_cplx",
+            "/coalescing/count/messages@get_cplx",
+            "/coalescing/count/average-parcels-per-message@get_cplx",
+            "/coalescing/time/average-parcel-arrival@get_cplx",
+            "/coalescing/time/parcel-arrival-histogram@get_cplx",
+        ] {
+            assert!(reg.query(path).is_ok(), "missing {path}");
+        }
+        assert_eq!(reg.discover("/coalescing/*@get_cplx").len(), 5);
+    }
+
+    #[test]
+    fn queried_values_are_consistent() {
+        let reg = CounterRegistry::new(0);
+        let c = CoalescingCounters::new();
+        c.register(&reg, "a");
+        for _ in 0..8 {
+            c.record_arrival(Some(1_000));
+        }
+        c.record_message(4);
+        c.record_message(4);
+        assert_eq!(reg.query_f64("/coalescing/count/parcels@a").unwrap(), 8.0);
+        assert_eq!(reg.query_f64("/coalescing/count/messages@a").unwrap(), 2.0);
+        assert_eq!(
+            reg.query_f64("/coalescing/count/average-parcels-per-message@a")
+                .unwrap(),
+            4.0
+        );
+        assert_eq!(
+            reg.query_f64("/coalescing/time/average-parcel-arrival@a")
+                .unwrap(),
+            1000.0
+        );
+    }
+
+    #[test]
+    fn zero_messages_ppm_is_zero() {
+        let reg = CounterRegistry::new(0);
+        let c = CoalescingCounters::new();
+        c.register(&reg, "b");
+        assert_eq!(
+            reg.query_f64("/coalescing/count/average-parcels-per-message@b")
+                .unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn multiple_actions_do_not_collide() {
+        let reg = CounterRegistry::new(0);
+        let ca = CoalescingCounters::new();
+        let cb = CoalescingCounters::new();
+        ca.register(&reg, "a");
+        cb.register(&reg, "b");
+        ca.record_arrival(None);
+        assert_eq!(reg.query_f64("/coalescing/count/parcels@a").unwrap(), 1.0);
+        assert_eq!(reg.query_f64("/coalescing/count/parcels@b").unwrap(), 0.0);
+    }
+}

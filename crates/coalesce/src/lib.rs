@@ -1,0 +1,46 @@
+//! # rpx-coalesce
+//!
+//! **Parcel coalescing** — the paper's primary mechanism (§II-B,
+//! Algorithm 1), implemented as a plug-in over the parcel subsystem's
+//! interceptor interface, just as the paper implements it as an HPX
+//! plug-in enabled per action with `HPX_ACTION_USES_MESSAGE_COALESCING`.
+//!
+//! The design revolves around the paper's two control parameters:
+//!
+//! * **`nparcels`** — how many parcels to coalesce into one message
+//!   (queue length). Note this is a *count*, the paper's deliberate
+//!   departure from the buffer-*size* triggers of Active Pebbles, AM++
+//!   and Charm++.
+//! * **`interval`** — the wait time in microseconds: when the first parcel
+//!   enters an empty queue a flush timer is armed; if the queue has not
+//!   filled when it fires, the queue is flushed anyway. This guarantees
+//!   progress (no deadlock by starvation).
+//!
+//! Two further rules from the paper:
+//!
+//! * a **maximum buffer size** caps memory ("we employ a limit on the
+//!   maximum size of the buffer in order to avoid memory overflow"),
+//! * the **sparse-traffic bypass**: parcels are only coalesced "when the
+//!   time between them is less than the maximum wait time" — if the gap
+//!   since the previous parcel exceeds `interval`, the parcel is sent
+//!   immediately, effectively disabling coalescing for sparse phases.
+//!
+//! Parameters are shared through an atomically updatable
+//! [`ParamsHandle`], so the adaptive controller (`rpx-adaptive`) can
+//! re-tune a live application — the capability Fig. 9 of the paper is
+//! building towards.
+//!
+//! The plug-in also registers the five `/coalescing/*` performance
+//! counters the paper added to HPX (see [`counters`]).
+
+#![warn(missing_docs)]
+
+pub mod coalescer;
+pub mod counters;
+pub mod params;
+pub mod queue;
+
+pub use coalescer::Coalescer;
+pub use counters::CoalescingCounters;
+pub use params::{CoalescingParams, ParamsHandle};
+pub use queue::CoalescingQueue;

@@ -1,0 +1,182 @@
+//! Coalescing parameters and their live-tunable handle.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A snapshot of the coalescing control parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalescingParams {
+    /// Parcels to coalesce into one message (queue length). `1` disables
+    /// coalescing (every parcel ships immediately).
+    pub nparcels: usize,
+    /// Wait time before the flush timer empties a partially filled queue.
+    pub interval: Duration,
+    /// Maximum buffered payload bytes before a forced flush (memory
+    /// overflow guard).
+    pub max_bytes: usize,
+}
+
+impl CoalescingParams {
+    /// Default maximum buffer size (1 MiB).
+    pub const DEFAULT_MAX_BYTES: usize = 1024 * 1024;
+
+    /// Parameters with the given queue length and wait time and the
+    /// default buffer cap.
+    pub fn new(nparcels: usize, interval: Duration) -> Self {
+        assert!(nparcels >= 1, "nparcels must be at least 1");
+        CoalescingParams {
+            nparcels,
+            interval,
+            max_bytes: Self::DEFAULT_MAX_BYTES,
+        }
+    }
+
+    /// Override the buffer cap.
+    pub fn with_max_bytes(mut self, max_bytes: usize) -> Self {
+        assert!(max_bytes > 0, "max_bytes must be positive");
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Whether these parameters effectively disable coalescing.
+    pub fn is_disabled(&self) -> bool {
+        self.nparcels <= 1
+    }
+}
+
+impl Default for CoalescingParams {
+    /// The paper's Parquet sweet spot: 4 parcels, 5000 µs wait.
+    fn default() -> Self {
+        CoalescingParams::new(4, Duration::from_micros(5000))
+    }
+}
+
+struct Inner {
+    nparcels: AtomicUsize,
+    interval_us: AtomicU64,
+    max_bytes: AtomicUsize,
+}
+
+/// A shared, atomically updatable view of [`CoalescingParams`].
+///
+/// The coalescer reads the handle on every submit; the adaptive
+/// controller (or the application) writes it at any time. Updates take
+/// effect for the *next* queuing decision — in-flight queues keep their
+/// armed timers.
+#[derive(Clone)]
+pub struct ParamsHandle {
+    inner: Arc<Inner>,
+}
+
+impl ParamsHandle {
+    /// Create a handle with initial parameters.
+    pub fn new(params: CoalescingParams) -> Self {
+        ParamsHandle {
+            inner: Arc::new(Inner {
+                nparcels: AtomicUsize::new(params.nparcels),
+                interval_us: AtomicU64::new(params.interval.as_micros() as u64),
+                max_bytes: AtomicUsize::new(params.max_bytes),
+            }),
+        }
+    }
+
+    /// Read the current parameters.
+    pub fn load(&self) -> CoalescingParams {
+        CoalescingParams {
+            nparcels: self.inner.nparcels.load(Ordering::Relaxed).max(1),
+            interval: Duration::from_micros(self.inner.interval_us.load(Ordering::Relaxed)),
+            max_bytes: self.inner.max_bytes.load(Ordering::Relaxed).max(1),
+        }
+    }
+
+    /// Replace all parameters.
+    pub fn store(&self, params: CoalescingParams) {
+        self.inner
+            .nparcels
+            .store(params.nparcels.max(1), Ordering::Relaxed);
+        self.inner
+            .interval_us
+            .store(params.interval.as_micros() as u64, Ordering::Relaxed);
+        self.inner
+            .max_bytes
+            .store(params.max_bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// Update only the queue length.
+    pub fn set_nparcels(&self, nparcels: usize) {
+        self.inner.nparcels.store(nparcels.max(1), Ordering::Relaxed);
+    }
+
+    /// Update only the wait time.
+    pub fn set_interval(&self, interval: Duration) {
+        self.inner
+            .interval_us
+            .store(interval.as_micros() as u64, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for ParamsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ParamsHandle").field(&self.load()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_sweet_spot() {
+        let p = CoalescingParams::default();
+        assert_eq!(p.nparcels, 4);
+        assert_eq!(p.interval, Duration::from_micros(5000));
+        assert!(!p.is_disabled());
+    }
+
+    #[test]
+    fn nparcels_one_means_disabled() {
+        assert!(CoalescingParams::new(1, Duration::from_micros(100)).is_disabled());
+        assert!(!CoalescingParams::new(2, Duration::from_micros(100)).is_disabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_nparcels_panics() {
+        let _ = CoalescingParams::new(0, Duration::from_micros(100));
+    }
+
+    #[test]
+    fn handle_roundtrips_and_updates() {
+        let h = ParamsHandle::new(CoalescingParams::new(8, Duration::from_micros(2000)));
+        assert_eq!(h.load().nparcels, 8);
+        h.set_nparcels(32);
+        h.set_interval(Duration::from_micros(4000));
+        let p = h.load();
+        assert_eq!(p.nparcels, 32);
+        assert_eq!(p.interval, Duration::from_micros(4000));
+        h.store(CoalescingParams::new(2, Duration::from_micros(1)));
+        assert_eq!(h.load().nparcels, 2);
+    }
+
+    #[test]
+    fn handle_clamps_degenerate_writes() {
+        let h = ParamsHandle::new(CoalescingParams::default());
+        h.set_nparcels(0);
+        assert_eq!(h.load().nparcels, 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let h = ParamsHandle::new(CoalescingParams::default());
+        let h2 = h.clone();
+        h.set_nparcels(64);
+        assert_eq!(h2.load().nparcels, 64);
+    }
+
+    #[test]
+    fn max_bytes_builder() {
+        let p = CoalescingParams::new(4, Duration::ZERO).with_max_bytes(128);
+        assert_eq!(p.max_bytes, 128);
+    }
+}

@@ -1,0 +1,445 @@
+//! The per-destination coalescing queue — Algorithm 1 of the paper.
+//!
+//! ```text
+//! procedure Coalescing Message Handler
+//!     nparcels ← number of parcels to coalesce in a message
+//!     interval ← wait time in microseconds
+//!     s       ← state of arriving parcel
+//!     tslp    ← time since last parcel
+//!     if tslp > interval then
+//!         send parcel                    (sparse-traffic bypass)
+//!     switch s do
+//!         case First:
+//!             Start Flush timer
+//!             Queue Parcel
+//!         case ¬First ∧ ¬Last:
+//!             Queue Parcel
+//!         case Last (QueueFull):
+//!             Stop Flush timer
+//!             Flush queued parcels
+//! ```
+//!
+//! A queue exists per (action, destination) pair; parameters and counters
+//! are shared across the destinations of one action.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use rpx_parcel::{Parcel, SendPath};
+use rpx_util::time::dur_to_ns;
+use rpx_util::{TimerHandle, TimerService};
+
+use crate::counters::CoalescingCounters;
+use crate::params::ParamsHandle;
+
+struct State {
+    buffer: Vec<Parcel>,
+    bytes: usize,
+    last_arrival: Option<Instant>,
+    /// Bumped on every flush; a timer callback carrying a stale epoch is
+    /// ignored (it raced with a queue-full flush).
+    epoch: u64,
+    timer: Option<TimerHandle>,
+}
+
+/// A coalescing queue for one destination locality.
+pub struct CoalescingQueue {
+    dst: u32,
+    params: ParamsHandle,
+    timer_service: Arc<TimerService>,
+    path: Arc<dyn SendPath>,
+    counters: Arc<CoalescingCounters>,
+    state: Mutex<State>,
+}
+
+impl CoalescingQueue {
+    /// Create a queue for destination `dst`.
+    pub fn new(
+        dst: u32,
+        params: ParamsHandle,
+        timer_service: Arc<TimerService>,
+        path: Arc<dyn SendPath>,
+        counters: Arc<CoalescingCounters>,
+    ) -> Arc<Self> {
+        Arc::new(CoalescingQueue {
+            dst,
+            params,
+            timer_service,
+            path,
+            counters,
+            state: Mutex::new(State {
+                buffer: Vec::new(),
+                bytes: 0,
+                last_arrival: None,
+                epoch: 0,
+                timer: None,
+            }),
+        })
+    }
+
+    /// The destination this queue serves.
+    pub fn destination(&self) -> u32 {
+        self.dst
+    }
+
+    /// Parcels currently buffered.
+    pub fn pending(&self) -> usize {
+        self.state.lock().buffer.len()
+    }
+
+    /// Submit one parcel (Algorithm 1).
+    pub fn submit(self: &Arc<Self>, parcel: Parcel) {
+        debug_assert_eq!(parcel.dest_locality, self.dst);
+        let params = self.params.load();
+        let mut batches: Vec<Vec<Parcel>> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let now = Instant::now();
+            let gap = st.last_arrival.map(|t| now.saturating_duration_since(t));
+            self.counters.record_arrival(gap.map(dur_to_ns));
+            st.last_arrival = Some(now);
+
+            let sparse = gap.is_some_and(|g| g > params.interval);
+            if params.is_disabled() || sparse {
+                // Coalescing off (nparcels = 1) or sparse bypass: anything
+                // still buffered goes first (parameters may have just been
+                // lowered), then the arriving parcel ships immediately.
+                if let Some(b) = self.flush_locked(&mut st) {
+                    batches.push(b);
+                }
+                self.counters.record_message(1);
+                batches.push(vec![parcel]);
+            } else {
+                st.bytes += parcel.wire_size();
+                st.buffer.push(parcel);
+                if st.buffer.len() == 1 {
+                    // case First: start the flush timer.
+                    let epoch = st.epoch;
+                    let weak = Arc::downgrade(self);
+                    st.timer = Some(self.timer_service.arm_after(params.interval, move || {
+                        if let Some(queue) = weak.upgrade() {
+                            queue.timer_flush(epoch);
+                        }
+                    }));
+                }
+                if st.buffer.len() >= params.nparcels || st.bytes >= params.max_bytes {
+                    // case Last: stop the timer and flush.
+                    if let Some(b) = self.flush_locked(&mut st) {
+                        batches.push(b);
+                    }
+                }
+            }
+        }
+        for batch in batches {
+            self.path.emit(self.dst, batch);
+        }
+    }
+
+    /// Force-flush the queue (phase boundaries, shutdown).
+    pub fn flush(&self) {
+        let batch = {
+            let mut st = self.state.lock();
+            self.flush_locked(&mut st)
+        };
+        if let Some(batch) = batch {
+            self.path.emit(self.dst, batch);
+        }
+    }
+
+    /// Take the buffered parcels, cancel the timer, bump the epoch.
+    /// Caller emits the returned batch after releasing the state lock.
+    fn flush_locked(&self, st: &mut State) -> Option<Vec<Parcel>> {
+        if let Some(t) = st.timer.take() {
+            t.cancel();
+        }
+        st.epoch += 1;
+        if st.buffer.is_empty() {
+            return None;
+        }
+        st.bytes = 0;
+        let batch = std::mem::take(&mut st.buffer);
+        self.counters.record_message(batch.len());
+        Some(batch)
+    }
+
+    /// Timer-driven flush; ignored if `epoch` is stale.
+    fn timer_flush(self: &Arc<Self>, epoch: u64) {
+        let batch = {
+            let mut st = self.state.lock();
+            if st.epoch != epoch {
+                return;
+            }
+            self.flush_locked(&mut st)
+        };
+        if let Some(batch) = batch {
+            self.path.emit(self.dst, batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CoalescingParams;
+    use bytes::Bytes;
+    use rpx_agas::Gid;
+    use rpx_parcel::ActionId;
+    use std::time::Duration;
+
+    pub(crate) struct MockPath {
+        pub batches: Mutex<Vec<(u32, Vec<Parcel>)>>,
+    }
+
+    impl MockPath {
+        pub fn new() -> Arc<Self> {
+            Arc::new(MockPath {
+                batches: Mutex::new(Vec::new()),
+            })
+        }
+        fn batch_sizes(&self) -> Vec<usize> {
+            self.batches.lock().iter().map(|(_, b)| b.len()).collect()
+        }
+        fn total_parcels(&self) -> usize {
+            self.batches.lock().iter().map(|(_, b)| b.len()).sum()
+        }
+    }
+
+    impl SendPath for MockPath {
+        fn emit(&self, dst: u32, parcels: Vec<Parcel>) {
+            self.batches.lock().push((dst, parcels));
+        }
+    }
+
+    fn parcel(id: u64) -> Parcel {
+        Parcel {
+            id,
+            src_locality: 0,
+            dest_locality: 1,
+            dest_object: Gid::INVALID,
+            action: ActionId(0),
+            args: Bytes::from_static(&[0u8; 16]),
+            continuation: Gid::INVALID,
+        }
+    }
+
+    fn queue(
+        params: CoalescingParams,
+    ) -> (Arc<CoalescingQueue>, Arc<MockPath>, Arc<CoalescingCounters>, Arc<TimerService>) {
+        let path = MockPath::new();
+        let counters = CoalescingCounters::new();
+        let timer = Arc::new(TimerService::new("coalesce-test"));
+        let q = CoalescingQueue::new(
+            1,
+            ParamsHandle::new(params),
+            Arc::clone(&timer),
+            path.clone() as Arc<dyn SendPath>,
+            Arc::clone(&counters),
+        );
+        (q, path, counters, timer)
+    }
+
+    #[test]
+    fn queue_full_triggers_flush() {
+        let (q, path, counters, _t) =
+            queue(CoalescingParams::new(4, Duration::from_secs(10)));
+        for i in 0..8 {
+            q.submit(parcel(i));
+        }
+        assert_eq!(path.batch_sizes(), vec![4, 4]);
+        assert_eq!(q.pending(), 0);
+        assert_eq!(counters.parcels.get(), 8);
+        assert_eq!(counters.messages.get(), 2);
+        assert_eq!(counters.parcels_per_message.ratio(), 4.0);
+    }
+
+    #[test]
+    fn partial_queue_is_flushed_by_timer() {
+        let (q, path, _c, _t) =
+            queue(CoalescingParams::new(100, Duration::from_millis(5)));
+        q.submit(parcel(1));
+        q.submit(parcel(2));
+        q.submit(parcel(3));
+        assert_eq!(q.pending(), 3);
+        assert!(path.batches.lock().is_empty());
+        // Wait past the interval: the flush timer must fire.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(path.batch_sizes(), vec![3]);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn nparcels_one_disables_coalescing() {
+        let (q, path, counters, _t) =
+            queue(CoalescingParams::new(1, Duration::from_secs(10)));
+        for i in 0..5 {
+            q.submit(parcel(i));
+        }
+        assert_eq!(path.batch_sizes(), vec![1, 1, 1, 1, 1]);
+        assert_eq!(counters.messages.get(), 5);
+        assert_eq!(counters.parcels_per_message.ratio(), 1.0);
+    }
+
+    #[test]
+    fn sparse_gap_bypasses_queueing() {
+        // interval = 1 ms; parcels arriving 10 ms apart must ship
+        // immediately (the paper's sparse-traffic rule).
+        let (q, path, _c, _t) = queue(CoalescingParams::new(100, Duration::from_millis(1)));
+        q.submit(parcel(1)); // first: queued, timer armed
+        std::thread::sleep(Duration::from_millis(10));
+        // Timer has already flushed parcel 1.
+        q.submit(parcel(2)); // gap 10 ms > 1 ms → bypass
+        assert_eq!(path.batch_sizes(), vec![1, 1]);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn max_bytes_forces_flush() {
+        // Each test parcel is ~56 wire bytes; cap at 120 → flush on the 3rd.
+        let (q, path, _c, _t) = queue(
+            CoalescingParams::new(1000, Duration::from_secs(10)).with_max_bytes(120),
+        );
+        q.submit(parcel(1));
+        q.submit(parcel(2));
+        assert_eq!(q.pending(), 2);
+        q.submit(parcel(3));
+        assert_eq!(q.pending(), 0);
+        assert_eq!(path.batch_sizes(), vec![3]);
+    }
+
+    #[test]
+    fn explicit_flush_empties_queue() {
+        let (q, path, _c, _t) = queue(CoalescingParams::new(100, Duration::from_secs(10)));
+        q.submit(parcel(1));
+        q.submit(parcel(2));
+        q.flush();
+        assert_eq!(path.batch_sizes(), vec![2]);
+        // Flushing an empty queue emits nothing.
+        q.flush();
+        assert_eq!(path.batch_sizes(), vec![2]);
+    }
+
+    #[test]
+    fn timer_does_not_double_flush_after_queue_full() {
+        let (q, path, _c, _t) = queue(CoalescingParams::new(2, Duration::from_millis(5)));
+        q.submit(parcel(1));
+        q.submit(parcel(2)); // fills queue → flush, cancels/invalidates timer
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(path.batch_sizes(), vec![2], "stale timer re-flushed");
+    }
+
+    #[test]
+    fn params_update_applies_to_next_decision() {
+        let (q, path, _c, _t) = queue(CoalescingParams::new(100, Duration::from_secs(10)));
+        q.submit(parcel(1));
+        q.params.set_nparcels(2);
+        q.submit(parcel(2)); // now 2 ≥ nparcels → flush
+        assert_eq!(path.batch_sizes(), vec![2]);
+    }
+
+    #[test]
+    fn arrival_gaps_feed_counters() {
+        let (q, _path, counters, _t) =
+            queue(CoalescingParams::new(100, Duration::from_secs(10)));
+        q.submit(parcel(1));
+        std::thread::sleep(Duration::from_millis(2));
+        q.submit(parcel(2));
+        assert_eq!(counters.average_arrival.count(), 1);
+        assert!(counters.average_arrival.mean() >= 2_000_000.0); // ≥ 2 ms in ns
+        assert_eq!(counters.arrival_histogram.count(), 1);
+    }
+
+    #[test]
+    fn conservation_under_concurrency() {
+        let (q, path, counters, _t) =
+            queue(CoalescingParams::new(8, Duration::from_millis(2)));
+        let n_threads = 4;
+        let per_thread = 500;
+        std::thread::scope(|s| {
+            for t in 0..n_threads {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        q.submit(parcel((t * per_thread + i) as u64));
+                    }
+                });
+            }
+        });
+        // Allow the final timer flush to land.
+        std::thread::sleep(Duration::from_millis(30));
+        let total = n_threads * per_thread;
+        assert_eq!(path.total_parcels(), total);
+        assert_eq!(counters.parcels.get() as usize, total);
+        // Every parcel id delivered exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for (_, batch) in path.batches.lock().iter() {
+            for p in batch {
+                assert!(seen.insert(p.id), "duplicate parcel {}", p.id);
+            }
+        }
+        assert_eq!(seen.len(), total);
+        // No batch exceeds nparcels.
+        assert!(path.batch_sizes().iter().all(|&s| s <= 8));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::tests::MockPath;
+    use super::*;
+    use crate::params::CoalescingParams;
+    use bytes::Bytes;
+    use proptest::prelude::*;
+    use rpx_agas::Gid;
+    use rpx_parcel::ActionId;
+    use std::time::Duration;
+
+    fn parcel(id: u64) -> Parcel {
+        Parcel {
+            id,
+            src_locality: 0,
+            dest_locality: 1,
+            dest_object: Gid::INVALID,
+            action: ActionId(0),
+            args: Bytes::from_static(&[0u8; 8]),
+            continuation: Gid::INVALID,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Invariant: regardless of nparcels and submission count, every
+        /// parcel is emitted exactly once, in order, and no batch exceeds
+        /// nparcels.
+        #[test]
+        fn conservation_and_batch_bounds(nparcels in 1usize..32, count in 0usize..200) {
+            let path = MockPath::new();
+            let counters = CoalescingCounters::new();
+            let timer = Arc::new(TimerService::new("prop"));
+            let q = CoalescingQueue::new(
+                1,
+                ParamsHandle::new(CoalescingParams::new(nparcels, Duration::from_secs(10))),
+                timer,
+                path.clone() as Arc<dyn SendPath>,
+                counters,
+            );
+            for i in 0..count {
+                q.submit(parcel(i as u64));
+            }
+            q.flush();
+            let batches = path.batches.lock();
+            let flat: Vec<u64> = batches.iter().flat_map(|(_, b)| b.iter().map(|p| p.id)).collect();
+            prop_assert_eq!(flat, (0..count as u64).collect::<Vec<_>>());
+            prop_assert!(batches.iter().all(|(_, b)| b.len() <= nparcels.max(1)));
+            // With a long interval and dense submissions, all full batches
+            // have exactly nparcels (only the final flush may be short).
+            if nparcels > 1 && count > 0 {
+                for (_, b) in batches.iter().take(count / nparcels) {
+                    prop_assert_eq!(b.len(), nparcels);
+                }
+            }
+        }
+    }
+}

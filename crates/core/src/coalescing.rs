@@ -1,0 +1,327 @@
+//! Runtime-level coalescing control.
+//!
+//! [`CoalescingControl`] is what `enable_coalescing` returns: one live
+//! knob (shared [`ParamsHandle`]) steering the coalescers installed on
+//! every locality for one action, plus access to the per-locality
+//! `/coalescing/*` counters and the hookup point for the adaptive
+//! controller.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpx_adaptive::{AdaptiveConfig, OverheadController};
+use rpx_coalesce::{Coalescer, CoalescingCounters, CoalescingParams, ParamsHandle};
+use rpx_parcel::{ActionId, SendPath};
+
+use crate::error::RuntimeError;
+use crate::runtime::Runtime;
+
+/// Live control over one action's coalescing across all localities.
+pub struct CoalescingControl {
+    action_name: String,
+    action_id: ActionId,
+    continuation_id: Option<ActionId>,
+    params: ParamsHandle,
+    per_locality: Vec<Arc<Coalescer>>,
+    continuation_coalescers: Vec<Arc<Coalescer>>,
+}
+
+impl std::fmt::Debug for CoalescingControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoalescingControl")
+            .field("action", &self.action_name)
+            .field("params", &self.params.load())
+            .field("localities", &self.per_locality.len())
+            .finish()
+    }
+}
+
+impl CoalescingControl {
+    pub(crate) fn install(
+        rt: &Arc<Runtime>,
+        action_name: &str,
+        params: CoalescingParams,
+    ) -> Result<CoalescingControl, RuntimeError> {
+        let action_id = rt
+            .locality(0)
+            .port
+            .actions()
+            .lookup(action_name)
+            .ok_or_else(|| RuntimeError::UnknownAction(action_name.to_string()))?;
+        let continuation_id = rt.locality(0).port.actions().lookup("rpx::set-lco");
+        let handle = ParamsHandle::new(params);
+        let mut per_locality = Vec::with_capacity(rt.num_localities() as usize);
+        let mut continuation_coalescers = Vec::new();
+        for id in 0..rt.num_localities() {
+            let locality = rt.locality(id);
+            let coalescer = Coalescer::with_handle(
+                action_name,
+                handle.clone(),
+                Arc::clone(rt.timer()),
+                Arc::clone(&locality.port) as Arc<dyn SendPath>,
+            );
+            coalescer.register_counters(&locality.registry);
+            locality
+                .port
+                .set_interceptor(action_id, Arc::clone(&coalescer) as _);
+            per_locality.push(coalescer);
+
+            // Results travelling back as continuation parcels are as
+            // fine-grained as the requests; coalesce them under the same
+            // knob (in HPX the set-value continuation action is flagged
+            // alongside the application action).
+            if let Some(cont_id) = continuation_id {
+                let cont = Coalescer::with_handle(
+                    "rpx::set-lco",
+                    handle.clone(),
+                    Arc::clone(rt.timer()),
+                    Arc::clone(&locality.port) as Arc<dyn SendPath>,
+                );
+                cont.register_counters(&locality.registry);
+                locality.port.set_interceptor(cont_id, Arc::clone(&cont) as _);
+                continuation_coalescers.push(cont);
+            }
+        }
+        Ok(CoalescingControl {
+            action_name: action_name.to_string(),
+            action_id,
+            continuation_id,
+            params: handle,
+            per_locality,
+            continuation_coalescers,
+        })
+    }
+
+    /// The controlled action's name.
+    pub fn action_name(&self) -> &str {
+        &self.action_name
+    }
+
+    /// The controlled action's id.
+    pub fn action_id(&self) -> ActionId {
+        self.action_id
+    }
+
+    /// The shared live parameter handle.
+    pub fn params(&self) -> &ParamsHandle {
+        &self.params
+    }
+
+    /// Set the number of parcels to coalesce per message (all localities).
+    pub fn set_nparcels(&self, nparcels: usize) {
+        self.params.set_nparcels(nparcels);
+    }
+
+    /// Set the flush wait time (all localities).
+    pub fn set_interval(&self, interval: Duration) {
+        self.params.set_interval(interval);
+    }
+
+    /// Replace all parameters at once.
+    pub fn set_params(&self, params: CoalescingParams) {
+        self.params.store(params);
+    }
+
+    /// Flush all queued parcels on every locality (phase boundaries),
+    /// including queued continuation results.
+    pub fn flush(&self) {
+        use rpx_parcel::ParcelInterceptor;
+        for c in self.per_locality.iter().chain(&self.continuation_coalescers) {
+            c.flush();
+        }
+    }
+
+    /// Parcels currently buffered across all localities (requests and
+    /// continuation results).
+    pub fn pending(&self) -> usize {
+        self.per_locality
+            .iter()
+            .chain(&self.continuation_coalescers)
+            .map(|c| c.pending())
+            .sum()
+    }
+
+    /// The `/coalescing/*` counters of one locality's coalescer.
+    pub fn counters(&self, locality: u32) -> Option<&Arc<CoalescingCounters>> {
+        self.per_locality.get(locality as usize).map(|c| c.counters())
+    }
+
+    /// Remove this control's interceptors from every locality (queued
+    /// parcels are flushed first).
+    pub(crate) fn uninstall(&self, rt: &Runtime) {
+        self.flush();
+        for id in 0..rt.num_localities() {
+            let port = &rt.locality(id).port;
+            port.clear_interceptor(self.action_id);
+            if let Some(cont_id) = self.continuation_id {
+                port.clear_interceptor(cont_id);
+            }
+        }
+    }
+
+    /// Start the adaptive overhead controller, steering this control's
+    /// parameters from `locality`'s metrics — the closed loop the paper
+    /// proposes as future work.
+    pub fn start_adaptive(
+        &self,
+        rt: &Runtime,
+        locality: u32,
+        config: AdaptiveConfig,
+    ) -> OverheadController {
+        OverheadController::start(
+            rt.metrics(locality),
+            self.params.clone(),
+            Arc::clone(self.counters(locality).expect("locality in range")),
+            config,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn test_runtime() -> Arc<Runtime> {
+        Runtime::new(RuntimeConfig::small_test())
+    }
+
+    #[test]
+    fn unknown_action_is_rejected() {
+        let rt = test_runtime();
+        let err = rt
+            .enable_coalescing("nope", CoalescingParams::default())
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::UnknownAction("nope".to_string()));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn coalesced_action_still_delivers_everything() {
+        let rt = test_runtime();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let act = rt.register_action("bump", move |(): ()| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        let control = rt
+            .enable_coalescing(
+                "bump",
+                CoalescingParams::new(8, Duration::from_micros(500)),
+            )
+            .unwrap();
+        rt.run_on(0, move |ctx| {
+            let futures: Vec<_> = (0..100).map(|_| ctx.async_action(&act, 1, ())).collect();
+            ctx.wait_all(futures).unwrap();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+        // The coalescing counters saw the traffic and produced fewer
+        // messages than parcels.
+        let c = control.counters(0).unwrap();
+        assert_eq!(c.parcels.get(), 100);
+        assert!(c.messages.get() < 100, "messages {}", c.messages.get());
+        assert!(c.parcels_per_message.ratio() > 1.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn counters_registered_in_locality_registries() {
+        let rt = test_runtime();
+        let _act = rt.register_action("a", |(): ()| ());
+        let _control = rt
+            .enable_coalescing("a", CoalescingParams::default())
+            .unwrap();
+        for l in 0..2 {
+            let v = rt.query_counter(l, "/coalescing/count/parcels@a");
+            assert!(v.is_some(), "locality {l} missing coalescing counters");
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn live_parameter_updates_change_batching() {
+        let rt = test_runtime();
+        let act = rt.register_action("x", |(): ()| ());
+        let control = rt
+            .enable_coalescing("x", CoalescingParams::new(4, Duration::from_secs(10)))
+            .unwrap();
+
+        let a2 = act.clone();
+        rt.run_on(0, move |ctx| {
+            let futures: Vec<_> = (0..8).map(|_| ctx.async_action(&a2, 1, ())).collect();
+            ctx.wait_all(futures).unwrap();
+        });
+        let messages_at_4 = control.counters(0).unwrap().messages.get();
+
+        control.set_nparcels(2);
+        rt.run_on(0, move |ctx| {
+            let futures: Vec<_> = (0..8).map(|_| ctx.async_action(&act, 1, ())).collect();
+            ctx.wait_all(futures).unwrap();
+        });
+        let messages_total = control.counters(0).unwrap().messages.get();
+        // 8 parcels at nparcels=4 → ≥2 messages; 8 more at nparcels=2 →
+        // ≥4 more messages.
+        assert!(messages_at_4 >= 2);
+        assert!(messages_total >= messages_at_4 + 4);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn disable_coalescing_restores_direct_path() {
+        let rt = test_runtime();
+        let act = rt.register_action("d", |(): ()| ());
+        let control = rt
+            .enable_coalescing("d", CoalescingParams::new(64, Duration::from_secs(10)))
+            .unwrap();
+        rt.disable_coalescing(&control);
+        rt.run_on(0, move |ctx| {
+            let futures: Vec<_> = (0..5).map(|_| ctx.async_action(&act, 1, ())).collect();
+            ctx.wait_all(futures).unwrap();
+        });
+        // No coalescing: counters untouched after disable.
+        assert_eq!(control.counters(0).unwrap().parcels.get(), 0);
+        assert_eq!(control.pending(), 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn flush_releases_stragglers() {
+        let rt = test_runtime();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let act = rt.register_action("strag", move |(): ()| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        let control = rt
+            .enable_coalescing(
+                "strag",
+                CoalescingParams::new(1000, Duration::from_secs(30)),
+            )
+            .unwrap();
+        // Fire-and-forget three parcels: they sit in the queue.
+        rt.run_on(0, move |ctx| {
+            for _ in 0..3 {
+                ctx.apply(&act, 1, ());
+            }
+        });
+        assert_eq!(control.pending(), 3);
+        control.flush();
+        assert!(rt.wait_quiescent(Duration::from_secs(10)));
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn adaptive_controller_attaches_and_stops() {
+        let rt = test_runtime();
+        let _act = rt.register_action("ad", |(): ()| ());
+        let control = rt
+            .enable_coalescing("ad", CoalescingParams::default())
+            .unwrap();
+        let controller = control.start_adaptive(&rt, 0, AdaptiveConfig::default());
+        std::thread::sleep(Duration::from_millis(50));
+        let _decisions = controller.stop();
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,275 @@
+//! Distributed components: GID-addressed objects with remotely invocable
+//! methods.
+//!
+//! HPX's AGAS lets any object be addressed globally and acted upon
+//! regardless of which locality hosts it (§II-A: "Each object in HPX is
+//! assigned a Global Identifier (GID) that is maintained throughout the
+//! lifetime of the object"). RPX reproduces the slice of that model the
+//! parcel subsystem needs: component *types* register method actions once,
+//! instances live in their hosting locality's [`rpx_agas::ObjectRegistry`],
+//! and method invocations are parcels whose `dest_object` field carries the
+//! target GID — resolved through AGAS at send time, so a re-homed
+//! component keeps its identity.
+//!
+//! Component methods receive `&T` (shared access); interior mutability is
+//! the component author's responsibility, exactly as with any `Sync` Rust
+//! type touched from many scheduler threads.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use rpx_agas::Gid;
+use rpx_serialize::{from_bytes, to_bytes, Wire};
+
+use crate::context::{Ctx, RemoteFuture};
+use crate::error::RuntimeError;
+use crate::runtime::Runtime;
+
+/// A typed handle to a registered component method.
+pub struct MethodHandle<T, A, R> {
+    pub(crate) id: rpx_parcel::ActionId,
+    pub(crate) name: Arc<str>,
+    pub(crate) _marker: PhantomData<fn(&T, A) -> R>,
+}
+
+impl<T, A, R> Clone for MethodHandle<T, A, R> {
+    fn clone(&self) -> Self {
+        MethodHandle {
+            id: self.id,
+            name: Arc::clone(&self.name),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T, A, R> MethodHandle<T, A, R> {
+    /// The method's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Runtime {
+    /// Register a component method: an action that runs against the
+    /// component instance addressed by the parcel's `dest_object` GID.
+    ///
+    /// The handler runs on the locality hosting the instance. Invoking a
+    /// method on a GID whose object is missing (or of the wrong type)
+    /// drops the parcel and counts it in the port's `dropped` statistic,
+    /// mirroring how unknown actions are handled.
+    pub fn register_component_method<T, A, R>(
+        self: &Arc<Self>,
+        name: &str,
+        f: impl Fn(&T, A) -> R + Send + Sync + 'static,
+    ) -> MethodHandle<T, A, R>
+    where
+        T: Send + Sync + 'static,
+        A: Wire + Send + 'static,
+        R: Wire + Send + 'static,
+    {
+        let f = Arc::new(f);
+        let mut id = None;
+        let guard = self.registration_guard();
+        for locality_id in 0..self.num_localities() {
+            let locality = self.locality(locality_id);
+            let objects = Arc::clone(locality.objects());
+            let f = Arc::clone(&f);
+            let this_id = locality.port.actions().register(
+                name,
+                Arc::new(move |args: Bytes| {
+                    // Component args are framed as (gid, method args).
+                    let ((birth, seq), a): ((u32, u64), A) = from_bytes(args)?;
+                    let gid = Gid::from_parts(birth, seq);
+                    let Some(instance) = objects.get::<T>(gid) else {
+                        // Missing or wrong-typed instance: surface as a
+                        // decode-style failure so the port counts a drop.
+                        return Err(rpx_serialize::WireError::BadDiscriminant(0xFF));
+                    };
+                    Ok(to_bytes(&f(&instance, a)))
+                }),
+            );
+            match id {
+                None => id = Some(this_id),
+                Some(prev) => assert_eq!(prev, this_id, "action id skew across localities"),
+            }
+        }
+        drop(guard);
+        MethodHandle {
+            id: id.expect("at least one locality"),
+            name: Arc::from(name),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Create a component instance on `locality`, returning its GID.
+    pub fn new_component<T: Send + Sync + 'static>(
+        self: &Arc<Self>,
+        locality: u32,
+        instance: T,
+    ) -> Gid {
+        let gid = self.agas().allocate(locality);
+        self.locality(locality).objects().insert(gid, Arc::new(instance));
+        gid
+    }
+
+    /// Destroy a component: remove the instance and its AGAS binding.
+    pub fn delete_component(self: &Arc<Self>, gid: Gid) -> Result<(), RuntimeError> {
+        let locality = self
+            .agas()
+            .resolve(gid)
+            .map_err(|_| RuntimeError::UnknownLocality(u32::MAX))?;
+        self.locality(locality).objects().remove(gid);
+        self.agas()
+            .unbind(gid)
+            .map_err(|_| RuntimeError::UnknownLocality(locality))?;
+        Ok(())
+    }
+}
+
+impl Ctx {
+    /// Invoke a component method on the instance addressed by `gid`,
+    /// wherever it currently lives (AGAS resolution at send time).
+    pub fn async_method<T, A, R>(
+        &self,
+        method: &MethodHandle<T, A, R>,
+        gid: Gid,
+        args: A,
+    ) -> Result<RemoteFuture<R>, RuntimeError>
+    where
+        T: Send + Sync + 'static,
+        A: Wire,
+        R: Wire,
+    {
+        let dest = self
+            .runtime()
+            .agas()
+            .resolve(gid)
+            .map_err(|_| RuntimeError::UnknownLocality(u32::MAX))?;
+        let framed = to_bytes(&((gid.birth_locality(), gid.sequence()), args));
+        Ok(self.async_raw(method.id, dest, gid, framed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+    use parking_lot::Mutex;
+
+    struct Accumulator {
+        total: Mutex<i64>,
+    }
+
+    fn setup() -> (
+        Arc<Runtime>,
+        MethodHandle<Accumulator, i64, i64>,
+    ) {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let add = rt.register_component_method(
+            "acc::add",
+            |acc: &Accumulator, v: i64| {
+                let mut total = acc.total.lock();
+                *total += v;
+                *total
+            },
+        );
+        (rt, add)
+    }
+
+    #[test]
+    fn component_methods_run_where_the_object_lives() {
+        let (rt, add) = setup();
+        let gid = rt.new_component(1, Accumulator { total: Mutex::new(0) });
+        let totals = rt.run_on(0, move |ctx| {
+            (1..=5)
+                .map(|v| ctx.async_method(&add, gid, v).unwrap().get().unwrap())
+                .collect::<Vec<i64>>()
+        });
+        // Sequential invocations accumulate server-side state.
+        assert_eq!(totals, vec![1, 3, 6, 10, 15]);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn component_keeps_gid_after_rehoming() {
+        let (rt, add) = setup();
+        let gid = rt.new_component(0, Accumulator { total: Mutex::new(100) });
+        let t1 = rt.run_on(1, {
+            let add = add.clone();
+            move |ctx| ctx.async_method(&add, gid, 1).unwrap().get().unwrap()
+        });
+        assert_eq!(t1, 101);
+
+        // Move the instance to locality 1 (state travels with it).
+        let instance = rt
+            .locality(0)
+            .objects()
+            .remove(gid)
+            .expect("instance exists");
+        let instance = instance.downcast::<Accumulator>().expect("right type");
+        rt.locality(1).objects().insert(gid, instance);
+        rt.agas().rebind(gid, 1).unwrap();
+
+        // The same GID still works: AGAS routes to the new home.
+        let t2 = rt.run_on(0, move |ctx| {
+            ctx.async_method(&add, gid, 1).unwrap().get().unwrap()
+        });
+        assert_eq!(t2, 102);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn missing_instance_is_dropped_not_fatal() {
+        let (rt, add) = setup();
+        let gid = rt.new_component(1, Accumulator { total: Mutex::new(0) });
+        rt.locality(1).objects().remove(gid);
+        let err = rt.run_on(0, move |ctx| {
+            ctx.async_method(&add, gid, 1)
+                .unwrap()
+                .get_timeout(std::time::Duration::from_millis(300))
+        });
+        // The parcel is dropped on the remote side; no continuation is
+        // ever delivered, so the wait times out instead of hanging.
+        assert!(err.is_err());
+        assert!(
+            rt.locality(1)
+                .port
+                .stats()
+                .dropped
+                .load(std::sync::atomic::Ordering::SeqCst)
+                >= 1,
+            "drop was not counted"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn delete_component_unbinds() {
+        let (rt, _add) = setup();
+        let gid = rt.new_component(0, Accumulator { total: Mutex::new(0) });
+        assert!(rt.agas().resolve(gid).is_ok());
+        rt.delete_component(gid).unwrap();
+        assert!(rt.agas().resolve(gid).is_err());
+        assert!(!rt.locality(0).objects().contains(gid));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn many_components_across_localities() {
+        let (rt, add) = setup();
+        let gids: Vec<Gid> = (0..10)
+            .map(|i| rt.new_component(i % 2, Accumulator { total: Mutex::new(0) }))
+            .collect();
+        let results = rt.run_on(0, move |ctx| {
+            let futures: Vec<_> = gids
+                .iter()
+                .map(|&g| ctx.async_method(&add, g, 7).unwrap())
+                .collect();
+            ctx.wait_all(futures).unwrap()
+        });
+        assert_eq!(results, vec![7; 10]);
+        rt.shutdown();
+    }
+}

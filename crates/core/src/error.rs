@@ -1,0 +1,62 @@
+//! Runtime-level errors.
+
+use std::fmt;
+
+use rpx_lco::LcoError;
+use rpx_serialize::WireError;
+
+/// Errors surfaced by the runtime façade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A future/promise failed (broken promise, timeout).
+    Lco(LcoError),
+    /// (De)serialization of action arguments or results failed.
+    Wire(WireError),
+    /// The named action is not registered.
+    UnknownAction(String),
+    /// The named locality does not exist.
+    UnknownLocality(u32),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Lco(e) => write!(f, "LCO failure: {e}"),
+            RuntimeError::Wire(e) => write!(f, "wire failure: {e}"),
+            RuntimeError::UnknownAction(name) => write!(f, "unknown action '{name}'"),
+            RuntimeError::UnknownLocality(l) => write!(f, "unknown locality {l}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<LcoError> for RuntimeError {
+    fn from(e: LcoError) -> Self {
+        RuntimeError::Lco(e)
+    }
+}
+
+impl From<WireError> for RuntimeError {
+    fn from(e: WireError) -> Self {
+        RuntimeError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RuntimeError = LcoError::BrokenPromise.into();
+        assert_eq!(e, RuntimeError::Lco(LcoError::BrokenPromise));
+        assert!(e.to_string().contains("LCO"));
+        let e: RuntimeError = WireError::InvalidUtf8.into();
+        assert!(matches!(e, RuntimeError::Wire(_)));
+        assert!(RuntimeError::UnknownAction("x".into())
+            .to_string()
+            .contains("'x'"));
+        assert!(RuntimeError::UnknownLocality(3).to_string().contains('3'));
+    }
+}

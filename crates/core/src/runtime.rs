@@ -1,0 +1,524 @@
+//! The runtime: an in-process cluster of localities.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use rpx_agas::{AgasService, Gid, ObjectRegistry};
+use rpx_counters::{CounterRegistry, CounterValue};
+use rpx_lco::Promise;
+use rpx_metrics::MetricsReader;
+use rpx_net::{Fabric, LinkModel};
+use rpx_parcel::{port::decode_continuation_args, ActionId, ActionRegistry, ParcelPort};
+use rpx_serialize::{from_bytes, to_bytes, Wire};
+use rpx_threading::{register_thread_counters, BackgroundWork, Scheduler, SchedulerConfig};
+use rpx_util::TimerService;
+
+use crate::coalescing::CoalescingControl;
+use crate::context::Ctx;
+use crate::error::RuntimeError;
+
+/// Runtime construction parameters.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of localities (simulated nodes).
+    pub localities: u32,
+    /// Scheduler worker threads per locality.
+    pub workers_per_locality: usize,
+    /// The fabric cost model.
+    pub link: LinkModel,
+    /// Idle park interval of scheduler workers.
+    pub idle_park: Duration,
+    /// Fixed CPU cost charged on the caller for every remote invocation
+    /// (future setup, AGAS traffic, parcel construction). Calibrated to
+    /// HPX's `hpx::async` cost on the paper's testbed (~1.5 µs); this is
+    /// what makes inter-parcel gaps comparable to the paper's, so the
+    /// `wait = 1 µs` sparse-bypass band of Fig. 8 reproduces.
+    pub invocation_overhead: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            localities: 2,
+            workers_per_locality: 2,
+            link: LinkModel::cluster(),
+            idle_park: Duration::from_micros(200),
+            invocation_overhead: Duration::from_nanos(1_500),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A small, fast configuration for tests and doc examples: two
+    /// localities, two workers each, a cheap link model.
+    pub fn small_test() -> Self {
+        RuntimeConfig {
+            localities: 2,
+            workers_per_locality: 2,
+            link: LinkModel {
+                send_overhead: Duration::from_micros(2),
+                recv_overhead: Duration::from_micros(1),
+                per_byte: Duration::ZERO,
+                latency: Duration::from_micros(1),
+                eager_threshold: usize::MAX,
+                rendezvous_extra: Duration::ZERO,
+            },
+            idle_park: Duration::from_micros(200),
+            invocation_overhead: Duration::ZERO,
+        }
+    }
+}
+
+/// A typed handle to a registered action.
+///
+/// Cloneable and cheap; carries the action's wire id and phantom types of
+/// its argument and result.
+pub struct ActionHandle<A, R> {
+    pub(crate) id: ActionId,
+    pub(crate) name: Arc<str>,
+    pub(crate) _marker: PhantomData<fn(A) -> R>,
+}
+
+impl<A, R> Clone for ActionHandle<A, R> {
+    fn clone(&self) -> Self {
+        ActionHandle {
+            id: self.id,
+            name: Arc::clone(&self.name),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A, R> ActionHandle<A, R> {
+    /// The action's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The action's wire id.
+    pub fn id(&self) -> ActionId {
+        self.id
+    }
+}
+
+/// The table of pending local LCOs awaiting remote results.
+pub(crate) struct LcoTable {
+    pending: Mutex<HashMap<Gid, Promise<Bytes>>>,
+}
+
+impl LcoTable {
+    fn new() -> Self {
+        LcoTable {
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn insert(&self, gid: Gid, promise: Promise<Bytes>) {
+        self.pending.lock().insert(gid, promise);
+    }
+
+    fn complete(&self, gid: Gid, value: Bytes) -> bool {
+        match self.pending.lock().remove(&gid) {
+            Some(mut promise) => promise.set_ref(value).is_ok(),
+            None => false,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+/// One simulated node: scheduler + parcel port + counters + local state.
+pub struct Locality {
+    id: u32,
+    pub(crate) scheduler: Arc<Scheduler>,
+    pub(crate) port: Arc<ParcelPort>,
+    pub(crate) registry: Arc<CounterRegistry>,
+    pub(crate) lco_table: Arc<LcoTable>,
+    pub(crate) objects: Arc<ObjectRegistry>,
+    actions: Arc<ActionRegistry>,
+}
+
+impl Locality {
+    /// This locality's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The locality's performance counter registry.
+    pub fn counters(&self) -> &Arc<CounterRegistry> {
+        &self.registry
+    }
+
+    /// The locality's object registry.
+    pub fn objects(&self) -> &Arc<ObjectRegistry> {
+        &self.objects
+    }
+
+    /// Cooperative progress for a blocked waiter: pump the parcel port
+    /// (charged as in-task background time), and if the network is dry,
+    /// help execute one pending scheduler task so single-worker
+    /// configurations cannot deadlock on local work.
+    pub(crate) fn cooperative_pump(&self) -> bool {
+        let t0 = std::time::Instant::now();
+        let pumped = self.port.pump();
+        // (The pump itself is the parcel port's send/receive engine.)
+        self.scheduler.stats().add_in_task_background(t0.elapsed());
+        if pumped {
+            return true;
+        }
+        self.scheduler.help_one()
+    }
+}
+
+struct PortPump {
+    port: Arc<ParcelPort>,
+}
+
+impl BackgroundWork for PortPump {
+    fn run(&self) -> bool {
+        self.port.pump()
+    }
+    fn name(&self) -> &str {
+        "parcel-pump"
+    }
+}
+
+/// The in-process cluster runtime.
+pub struct Runtime {
+    config: RuntimeConfig,
+    agas: Arc<AgasService>,
+    timer: Arc<TimerService>,
+    localities: Vec<Arc<Locality>>,
+    #[allow(dead_code)]
+    fabric: Arc<Fabric>,
+    /// Guards action registration so ids stay aligned across localities.
+    registration: Mutex<()>,
+    shut_down: std::sync::atomic::AtomicBool,
+}
+
+impl Runtime {
+    /// Boot a runtime.
+    pub fn new(config: RuntimeConfig) -> Arc<Self> {
+        assert!(config.localities > 0, "need at least one locality");
+        assert!(config.workers_per_locality > 0, "need at least one worker");
+        let agas = AgasService::new(config.localities);
+        let fabric = Fabric::new(config.localities, config.link);
+        let timer = Arc::new(TimerService::new("flush"));
+
+        let mut localities = Vec::with_capacity(config.localities as usize);
+        for id in 0..config.localities {
+            // Per-locality action registry, mirroring HPX where every
+            // process registers the same actions; ids stay aligned because
+            // registration is mirrored in order (see register_action).
+            let actions = ActionRegistry::new();
+            let scheduler = Scheduler::new(SchedulerConfig {
+                workers: config.workers_per_locality,
+                name: format!("loc{id}"),
+                idle_park: config.idle_park,
+            });
+            let registry = CounterRegistry::new(id);
+            register_thread_counters(&registry, Arc::clone(scheduler.stats()));
+
+            let net_port = fabric.port(id);
+            let port = ParcelPort::new(id, net_port, Arc::clone(&actions));
+
+            // Wire wake-ups: network/egress activity unparks the workers.
+            {
+                let sched = Arc::clone(&scheduler);
+                port.set_notify(move || sched.notify());
+            }
+            {
+                let sched = Arc::clone(&scheduler);
+                port.net().set_notify(move || sched.notify());
+            }
+            // Received parcels become scheduler tasks.
+            {
+                let sched = Arc::clone(&scheduler);
+                port.set_spawner(Arc::new(move |f| sched.spawn(f)));
+            }
+            // The parcel pump runs as scheduler background work — the
+            // paper's "background work" whose duration Eq. 3 measures.
+            scheduler.add_background(Arc::new(PortPump {
+                port: Arc::clone(&port),
+            }));
+
+            localities.push(Arc::new(Locality {
+                id,
+                scheduler,
+                port,
+                registry,
+                lco_table: Arc::new(LcoTable::new()),
+                objects: Arc::new(ObjectRegistry::new()),
+                actions,
+            }));
+        }
+
+        let rt = Arc::new(Runtime {
+            config,
+            agas,
+            timer,
+            localities,
+            fabric,
+            registration: Mutex::new(()),
+            shut_down: std::sync::atomic::AtomicBool::new(false),
+        });
+
+        // Builtin: the continuation-delivery action completing local LCOs.
+        rt.register_set_lco();
+        rt
+    }
+
+    fn register_set_lco(self: &Arc<Self>) {
+        let _guard = self.registration.lock();
+        for locality in &self.localities {
+            let table = Arc::clone(&locality.lco_table);
+            let id = locality.actions.register(
+                "rpx::set-lco",
+                Arc::new(move |args| {
+                    let (gid, result) = decode_continuation_args(args)?;
+                    // A missing entry means the future was dropped; that is
+                    // benign (fire-and-forget of an already-abandoned wait).
+                    let _ = table.complete(gid, result);
+                    Ok(Bytes::new())
+                }),
+            );
+            locality.port.set_continuation_action(id);
+            // Continuation delivery is short and non-blocking: run it
+            // inline on the receive path (HPX "direct action") so waiters
+            // make progress even when all workers are blocked.
+            locality.port.set_direct(id);
+        }
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Number of localities.
+    pub fn num_localities(&self) -> u32 {
+        self.config.localities
+    }
+
+    /// Lock action registration (keeps ids aligned across localities when
+    /// several registration helpers run concurrently).
+    pub(crate) fn registration_guard(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.registration.lock()
+    }
+
+    /// The AGAS service.
+    pub fn agas(&self) -> &Arc<AgasService> {
+        &self.agas
+    }
+
+    /// The shared flush-timer service.
+    pub fn timer(&self) -> &Arc<TimerService> {
+        &self.timer
+    }
+
+    /// A locality handle.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn locality(&self, id: u32) -> &Arc<Locality> {
+        &self.localities[id as usize]
+    }
+
+    /// Register a typed action on every locality; returns its handle.
+    ///
+    /// The handler runs on the destination locality inside a scheduler
+    /// task, with its arguments deserialized from the parcel and its
+    /// result serialized back (HPX_PLAIN_ACTION).
+    pub fn register_action<A, R>(
+        self: &Arc<Self>,
+        name: &str,
+        f: impl Fn(A) -> R + Send + Sync + 'static,
+    ) -> ActionHandle<A, R>
+    where
+        A: Wire + Send + 'static,
+        R: Wire + Send + 'static,
+    {
+        let _guard = self.registration.lock();
+        let f = Arc::new(f);
+        let mut id = None;
+        for locality in &self.localities {
+            let f = Arc::clone(&f);
+            let this_id = locality.actions.register(
+                name,
+                Arc::new(move |args: Bytes| {
+                    let args: A = from_bytes(args)?;
+                    Ok(to_bytes(&f(args)))
+                }),
+            );
+            match id {
+                None => id = Some(this_id),
+                Some(prev) => assert_eq!(
+                    prev, this_id,
+                    "action id skew across localities — registration must be mirrored"
+                ),
+            }
+        }
+        ActionHandle {
+            id: id.expect("at least one locality"),
+            name: Arc::from(name),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Register a typed action whose handler also receives the executing
+    /// locality id (needed by workloads that index distributed state).
+    pub fn register_action_with_locality<A, R>(
+        self: &Arc<Self>,
+        name: &str,
+        f: impl Fn(u32, A) -> R + Send + Sync + 'static,
+    ) -> ActionHandle<A, R>
+    where
+        A: Wire + Send + 'static,
+        R: Wire + Send + 'static,
+    {
+        let _guard = self.registration.lock();
+        let f = Arc::new(f);
+        let mut id = None;
+        for locality in &self.localities {
+            let f = Arc::clone(&f);
+            let here = locality.id;
+            let this_id = locality.actions.register(
+                name,
+                Arc::new(move |args: Bytes| {
+                    let args: A = from_bytes(args)?;
+                    Ok(to_bytes(&f(here, args)))
+                }),
+            );
+            match id {
+                None => id = Some(this_id),
+                Some(prev) => assert_eq!(prev, this_id, "action id skew across localities"),
+            }
+        }
+        ActionHandle {
+            id: id.expect("at least one locality"),
+            name: Arc::from(name),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Enable message coalescing for a registered action
+    /// (`HPX_ACTION_USES_MESSAGE_COALESCING`). All localities share one
+    /// live-tunable parameter handle; counters register per locality.
+    pub fn enable_coalescing(
+        self: &Arc<Self>,
+        action_name: &str,
+        params: rpx_coalesce::CoalescingParams,
+    ) -> Result<CoalescingControl, RuntimeError> {
+        CoalescingControl::install(self, action_name, params)
+    }
+
+    /// Disable coalescing for an action (parcels flow directly again).
+    /// Queued parcels are flushed first.
+    pub fn disable_coalescing(&self, control: &CoalescingControl) {
+        control.uninstall(self);
+    }
+
+    /// Run `f` inside a scheduler task on `locality`, blocking the
+    /// calling (external) thread until it returns.
+    pub fn run_on<R: Send + 'static>(
+        self: &Arc<Self>,
+        locality: u32,
+        f: impl FnOnce(&Ctx) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let rt = Arc::clone(self);
+        self.localities[locality as usize].scheduler.spawn(move || {
+            let ctx = Ctx::new(rt, locality);
+            let _ = tx.send(f(&ctx));
+        });
+        rx.recv().expect("driver task panicked or was dropped")
+    }
+
+    /// Spawn `f` on `locality` without waiting (fire-and-forget driver).
+    pub fn spawn_on(self: &Arc<Self>, locality: u32, f: impl FnOnce(&Ctx) + Send + 'static) {
+        let rt = Arc::clone(self);
+        self.localities[locality as usize].scheduler.spawn(move || {
+            let ctx = Ctx::new(rt, locality);
+            f(&ctx);
+        });
+    }
+
+    /// Query a performance counter on a locality.
+    pub fn query_counter(&self, locality: u32, path: &str) -> Option<CounterValue> {
+        self.localities
+            .get(locality as usize)?
+            .registry
+            .query(path)
+            .ok()
+    }
+
+    /// Install (or clear with `None`) a failure-injection plan on a
+    /// locality's outbound wire (testing hook; see
+    /// [`rpx_net::FaultPlan`]).
+    pub fn inject_faults(&self, locality: u32, plan: Option<Arc<rpx_net::FaultPlan>>) {
+        self.localities[locality as usize]
+            .port
+            .net()
+            .set_fault_plan(plan);
+    }
+
+    /// A metrics reader over a locality's counters.
+    pub fn metrics(&self, locality: u32) -> MetricsReader {
+        MetricsReader::new(Arc::clone(&self.localities[locality as usize].registry))
+    }
+
+    /// Block until all localities are quiescent (no pending tasks and no
+    /// parcels in flight). Returns `false` on timeout.
+    pub fn wait_quiescent(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let busy = self.localities.iter().any(|l| {
+                l.scheduler.pending_tasks() > 0
+                    || l.port.egress_backlog() > 0
+                    || l.port.processing() > 0
+                    || l.port.net().outbound_backlog() > 0
+                    || l.port.net().inflight_backlog() > 0
+                    || l.port.net().processing() > 0
+            });
+            if !busy {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Shut the runtime down: flush coalescers, drain, stop schedulers.
+    /// Idempotent; also called on drop.
+    pub fn shutdown(&self) {
+        if self
+            .shut_down
+            .swap(true, std::sync::atomic::Ordering::SeqCst)
+        {
+            return;
+        }
+        for l in &self.localities {
+            l.port.flush_interceptors();
+        }
+        let _ = self.wait_quiescent(Duration::from_secs(10));
+        for l in &self.localities {
+            l.scheduler.shutdown();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

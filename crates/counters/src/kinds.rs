@@ -1,0 +1,386 @@
+//! Concrete counter implementations.
+//!
+//! All counters are lock-free on their update path: the parcel hot path
+//! bumps relaxed atomics only. Derived values (averages, ratios) are
+//! computed at query time from sum/count pairs — the same design HPX uses
+//! for `/threads/time/average-overhead` and
+//! `/coalescing/count/average-parcels-per-message`.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rpx_util::Histogram;
+
+use crate::value::CounterValue;
+
+/// Anything that can serve a counter query.
+pub trait CounterSource: Send + Sync {
+    /// Current value.
+    fn value(&self) -> CounterValue;
+    /// Reset to the initial state (where meaningful).
+    fn reset(&self);
+}
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct MonotoneCounter {
+    count: AtomicU64,
+}
+
+impl MonotoneCounter {
+    /// New counter at zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Increment by one.
+    pub fn increment(&self) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl CounterSource for MonotoneCounter {
+    fn value(&self) -> CounterValue {
+        CounterValue::Int(self.get() as i64)
+    }
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous signed gauge.
+#[derive(Debug, Default)]
+pub struct GaugeCounter {
+    value: AtomicI64,
+}
+
+impl GaugeCounter {
+    /// New gauge at zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by `delta` and return the new value.
+    pub fn adjust(&self, delta: i64) -> i64 {
+        self.value.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl CounterSource for GaugeCounter {
+    fn value(&self) -> CounterValue {
+        CounterValue::Int(self.get())
+    }
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An average maintained as a (sum, count) pair; queries return sum/count.
+///
+/// Units are whatever the caller records (RPX uses nanoseconds for time
+/// averages such as `/coalescing/time/average-parcel-arrival`).
+#[derive(Debug, Default)]
+pub struct AverageCounter {
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl AverageCounter {
+    /// New empty average.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record one sample.
+    pub fn record(&self, sample: u64) {
+        self.sum.fetch_add(sample, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current mean, or 0.0 if no samples.
+    pub fn mean(&self) -> f64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+impl CounterSource for AverageCounter {
+    fn value(&self) -> CounterValue {
+        CounterValue::Float(self.mean())
+    }
+    fn reset(&self) {
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A ratio of two monotone quantities; queries return numerator/denominator.
+///
+/// `/threads/background-overhead` (Eq. 4: Σt_background / Σt_func) and
+/// `/coalescing/count/average-parcels-per-message` are both ratios.
+#[derive(Debug, Default)]
+pub struct RatioCounter {
+    numerator: AtomicU64,
+    denominator: AtomicU64,
+}
+
+impl RatioCounter {
+    /// New ratio 0/0 (which queries as 0.0).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Add to the numerator.
+    pub fn add_numerator(&self, n: u64) {
+        self.numerator.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add to the denominator.
+    pub fn add_denominator(&self, n: u64) {
+        self.denominator.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current ratio (0.0 when the denominator is zero).
+    pub fn ratio(&self) -> f64 {
+        let d = self.denominator.load(Ordering::Relaxed);
+        if d == 0 {
+            0.0
+        } else {
+            self.numerator.load(Ordering::Relaxed) as f64 / d as f64
+        }
+    }
+
+    /// Raw numerator.
+    pub fn numerator(&self) -> u64 {
+        self.numerator.load(Ordering::Relaxed)
+    }
+
+    /// Raw denominator.
+    pub fn denominator(&self) -> u64 {
+        self.denominator.load(Ordering::Relaxed)
+    }
+}
+
+impl CounterSource for RatioCounter {
+    fn value(&self) -> CounterValue {
+        CounterValue::Float(self.ratio())
+    }
+    fn reset(&self) {
+        self.numerator.store(0, Ordering::Relaxed);
+        self.denominator.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A histogram counter wrapping [`rpx_util::Histogram`].
+///
+/// Serves `/coalescing/time/parcel-arrival-histogram@action` in the HPX
+/// array-of-values layout.
+pub struct HistogramCounter {
+    hist: Arc<Histogram>,
+}
+
+impl HistogramCounter {
+    /// Wrap an existing histogram.
+    pub fn new(hist: Arc<Histogram>) -> Arc<Self> {
+        Arc::new(HistogramCounter { hist })
+    }
+
+    /// Access the underlying histogram (for recording).
+    pub fn histogram(&self) -> &Arc<Histogram> {
+        &self.hist
+    }
+}
+
+impl CounterSource for HistogramCounter {
+    fn value(&self) -> CounterValue {
+        CounterValue::Array(self.hist.snapshot())
+    }
+    fn reset(&self) {
+        self.hist.reset();
+    }
+}
+
+/// A counter whose value is produced by an arbitrary closure.
+///
+/// Used by the scheduler to expose values derived from several atomics
+/// (e.g. `/threads/time/average-overhead` = (Σt_func − Σt_exec)/n_t).
+pub struct CallbackCounter {
+    read: Box<dyn Fn() -> CounterValue + Send + Sync>,
+    do_reset: Option<Box<dyn Fn() + Send + Sync>>,
+}
+
+impl CallbackCounter {
+    /// A read-only callback counter (reset is a no-op).
+    pub fn new(read: impl Fn() -> CounterValue + Send + Sync + 'static) -> Arc<Self> {
+        Arc::new(CallbackCounter {
+            read: Box::new(read),
+            do_reset: None,
+        })
+    }
+
+    /// A callback counter with an explicit reset action.
+    pub fn with_reset(
+        read: impl Fn() -> CounterValue + Send + Sync + 'static,
+        reset: impl Fn() + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Arc::new(CallbackCounter {
+            read: Box::new(read),
+            do_reset: Some(Box::new(reset)),
+        })
+    }
+}
+
+impl CounterSource for CallbackCounter {
+    fn value(&self) -> CounterValue {
+        (self.read)()
+    }
+    fn reset(&self) {
+        if let Some(r) = &self.do_reset {
+            r();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_counts() {
+        let c = MonotoneCounter::new();
+        c.increment();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.value(), CounterValue::Int(5));
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_adjusts() {
+        let g = GaugeCounter::new();
+        g.set(10);
+        assert_eq!(g.adjust(-3), 7);
+        assert_eq!(g.value(), CounterValue::Int(7));
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn average_is_sum_over_count() {
+        let a = AverageCounter::new();
+        assert_eq!(a.mean(), 0.0);
+        a.record(10);
+        a.record(20);
+        a.record(60);
+        assert_eq!(a.mean(), 30.0);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 90);
+        assert_eq!(a.value(), CounterValue::Float(30.0));
+        a.reset();
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let r = RatioCounter::new();
+        assert_eq!(r.ratio(), 0.0);
+        r.add_numerator(30);
+        r.add_denominator(120);
+        assert_eq!(r.ratio(), 0.25);
+        assert_eq!(r.value(), CounterValue::Float(0.25));
+        r.reset();
+        assert_eq!(r.numerator(), 0);
+        assert_eq!(r.denominator(), 0);
+    }
+
+    #[test]
+    fn histogram_counter_serves_snapshots() {
+        let h = Arc::new(Histogram::new(0, 100, 4));
+        let c = HistogramCounter::new(Arc::clone(&h));
+        h.record(10);
+        h.record(95);
+        match c.value() {
+            CounterValue::Array(a) => {
+                assert_eq!(a[0], 0);
+                assert_eq!(a[1], 100);
+                assert_eq!(a[2], 4);
+                assert_eq!(a[3..].iter().sum::<u64>(), 2);
+            }
+            v => panic!("unexpected value {v:?}"),
+        }
+        c.reset();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn callback_counter_reads_and_resets() {
+        let state = Arc::new(AtomicU64::new(42));
+        let s1 = Arc::clone(&state);
+        let s2 = Arc::clone(&state);
+        let c = CallbackCounter::with_reset(
+            move || CounterValue::Int(s1.load(Ordering::Relaxed) as i64),
+            move || s2.store(0, Ordering::Relaxed),
+        );
+        assert_eq!(c.value(), CounterValue::Int(42));
+        c.reset();
+        assert_eq!(c.value(), CounterValue::Int(0));
+        // Read-only variant: reset is a no-op.
+        let ro = CallbackCounter::new(|| CounterValue::Float(1.5));
+        ro.reset();
+        assert_eq!(ro.value(), CounterValue::Float(1.5));
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let c = MonotoneCounter::new();
+        let a = AverageCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.increment();
+                        a.record(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(a.count(), 40_000);
+        assert_eq!(a.mean(), 2.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Hierarchical counter names.
+//!
+//! HPX counter names follow the grammar
+//!
+//! ```text
+//! /objectname{full_instancename}/countername@parameters
+//! ```
+//!
+//! for example `/threads{locality#0/total}/time/average-overhead` or
+//! `/coalescing{locality#0/total}/count/parcels@get_cplx`. Both the
+//! instance and the parameters are optional; omitted instances mean "the
+//! default aggregate instance".
+
+use std::fmt;
+
+/// A parsed counter name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CounterPath {
+    /// The counter object, e.g. `threads` or `coalescing`.
+    pub object: String,
+    /// The optional instance, e.g. `locality#0/total`.
+    pub instance: Option<String>,
+    /// The counter name below the object, e.g. `time/average-overhead`.
+    pub name: String,
+    /// Optional parameters following `@`, e.g. an action name.
+    pub parameters: Option<String>,
+}
+
+/// Errors produced when parsing a counter name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The name did not start with `/`.
+    MissingLeadingSlash,
+    /// The object segment was empty.
+    EmptyObject,
+    /// The counter name below the object was empty.
+    EmptyName,
+    /// An instance brace was opened but never closed (or vice versa).
+    UnbalancedBraces,
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::MissingLeadingSlash => write!(f, "counter name must start with '/'"),
+            PathError::EmptyObject => write!(f, "counter object must not be empty"),
+            PathError::EmptyName => write!(f, "counter name must not be empty"),
+            PathError::UnbalancedBraces => write!(f, "unbalanced '{{' '}}' in instance name"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl CounterPath {
+    /// Build a path without instance or parameters.
+    pub fn new(object: impl Into<String>, name: impl Into<String>) -> Self {
+        CounterPath {
+            object: object.into(),
+            instance: None,
+            name: name.into(),
+            parameters: None,
+        }
+    }
+
+    /// Attach an instance name (e.g. `locality#0/total`).
+    pub fn with_instance(mut self, instance: impl Into<String>) -> Self {
+        self.instance = Some(instance.into());
+        self
+    }
+
+    /// Attach parameters (e.g. an action name).
+    pub fn with_parameters(mut self, parameters: impl Into<String>) -> Self {
+        self.parameters = Some(parameters.into());
+        self
+    }
+
+    /// Parse an HPX-style counter name.
+    ///
+    /// ```
+    /// use rpx_counters::CounterPath;
+    /// let p = CounterPath::parse("/coalescing{locality#0/total}/count/parcels@get_cplx")
+    ///     .unwrap();
+    /// assert_eq!(p.object, "coalescing");
+    /// assert_eq!(p.instance.as_deref(), Some("locality#0/total"));
+    /// assert_eq!(p.name, "count/parcels");
+    /// assert_eq!(p.parameters.as_deref(), Some("get_cplx"));
+    /// ```
+    pub fn parse(s: &str) -> Result<Self, PathError> {
+        let rest = s.strip_prefix('/').ok_or(PathError::MissingLeadingSlash)?;
+
+        // Split off parameters first: they may contain anything but are
+        // always introduced by the last '@'.
+        let (rest, parameters) = match rest.rfind('@') {
+            Some(i) => {
+                let (head, tail) = rest.split_at(i);
+                let params = &tail[1..];
+                (head, (!params.is_empty()).then(|| params.to_string()))
+            }
+            None => (rest, None),
+        };
+
+        // The object is everything up to the first '/' or '{'.
+        let obj_end = rest
+            .find(|c| c == '/' || c == '{')
+            .unwrap_or(rest.len());
+        let object = &rest[..obj_end];
+        if object.is_empty() {
+            return Err(PathError::EmptyObject);
+        }
+        if object.contains('}') {
+            return Err(PathError::UnbalancedBraces);
+        }
+        let mut tail = &rest[obj_end..];
+
+        let mut instance = None;
+        if let Some(stripped) = tail.strip_prefix('{') {
+            let close = stripped.find('}').ok_or(PathError::UnbalancedBraces)?;
+            instance = Some(stripped[..close].to_string());
+            tail = &stripped[close + 1..];
+        } else if tail.contains('}') {
+            return Err(PathError::UnbalancedBraces);
+        }
+
+        let name = tail.strip_prefix('/').unwrap_or(tail);
+        if name.is_empty() {
+            return Err(PathError::EmptyName);
+        }
+        if name.contains('{') || name.contains('}') {
+            return Err(PathError::UnbalancedBraces);
+        }
+
+        Ok(CounterPath {
+            object: object.to_string(),
+            instance,
+            name: name.to_string(),
+            parameters,
+        })
+    }
+
+    /// The canonical string form, omitting the instance.
+    ///
+    /// Used as a registry key when counters are registered per locality in
+    /// a locality-local registry (the common case in RPX).
+    pub fn without_instance(&self) -> String {
+        let mut s = format!("/{}/{}", self.object, self.name);
+        if let Some(p) = &self.parameters {
+            s.push('@');
+            s.push_str(p);
+        }
+        s
+    }
+}
+
+impl fmt::Display for CounterPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/{}", self.object)?;
+        if let Some(i) = &self.instance {
+            write!(f, "{{{i}}}")?;
+        }
+        write!(f, "/{}", self.name)?;
+        if let Some(p) = &self.parameters {
+            write!(f, "@{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for CounterPath {
+    type Err = PathError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CounterPath::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_counter() {
+        let p = CounterPath::parse("/threads/time/average-overhead").unwrap();
+        assert_eq!(p.object, "threads");
+        assert_eq!(p.instance, None);
+        assert_eq!(p.name, "time/average-overhead");
+        assert_eq!(p.parameters, None);
+    }
+
+    #[test]
+    fn parses_instance_and_parameters() {
+        let p =
+            CounterPath::parse("/coalescing{locality#1/total}/count/messages@rotate").unwrap();
+        assert_eq!(p.object, "coalescing");
+        assert_eq!(p.instance.as_deref(), Some("locality#1/total"));
+        assert_eq!(p.name, "count/messages");
+        assert_eq!(p.parameters.as_deref(), Some("rotate"));
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in [
+            "/threads/time/average-overhead",
+            "/threads{locality#0/total}/background-overhead",
+            "/coalescing/count/parcels@get_cplx",
+            "/coalescing{locality#3/total}/time/parcel-arrival-histogram@a,0,1000,10",
+        ] {
+            let p = CounterPath::parse(s).unwrap();
+            assert_eq!(p.to_string(), s);
+            // Re-parsing the display form is identity.
+            assert_eq!(CounterPath::parse(&p.to_string()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn without_instance_strips_braces() {
+        let p = CounterPath::parse("/threads{locality#0/total}/background-work").unwrap();
+        assert_eq!(p.without_instance(), "/threads/background-work");
+        let p = CounterPath::parse("/coalescing{locality#0/total}/count/parcels@a").unwrap();
+        assert_eq!(p.without_instance(), "/coalescing/count/parcels@a");
+    }
+
+    #[test]
+    fn builder_api() {
+        let p = CounterPath::new("coalescing", "count/parcels")
+            .with_instance("locality#0/total")
+            .with_parameters("get_cplx");
+        assert_eq!(
+            p.to_string(),
+            "/coalescing{locality#0/total}/count/parcels@get_cplx"
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            CounterPath::parse("threads/foo"),
+            Err(PathError::MissingLeadingSlash)
+        );
+        assert_eq!(CounterPath::parse("//name"), Err(PathError::EmptyObject));
+        assert_eq!(CounterPath::parse("/threads"), Err(PathError::EmptyName));
+        assert_eq!(CounterPath::parse("/threads/"), Err(PathError::EmptyName));
+        assert_eq!(
+            CounterPath::parse("/threads{oops/foo"),
+            Err(PathError::UnbalancedBraces)
+        );
+        assert_eq!(
+            CounterPath::parse("/threads}oops/foo"),
+            Err(PathError::UnbalancedBraces)
+        );
+    }
+
+    #[test]
+    fn empty_parameters_are_dropped() {
+        let p = CounterPath::parse("/coalescing/count/parcels@").unwrap();
+        assert_eq!(p.parameters, None);
+    }
+
+    #[test]
+    fn parameters_may_contain_commas() {
+        let p =
+            CounterPath::parse("/coalescing/time/parcel-arrival-histogram@act,0,10000,20")
+                .unwrap();
+        assert_eq!(p.parameters.as_deref(), Some("act,0,10000,20"));
+    }
+}

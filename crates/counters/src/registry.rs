@@ -1,0 +1,357 @@
+//! The counter registry: registration, discovery, query, reset.
+//!
+//! Each RPX locality owns one registry (mirroring HPX, where counters are
+//! instantiated per locality and addressed via the `{locality#N/total}`
+//! instance). Subsystems register their counters under canonical
+//! instance-less paths such as `/threads/background-overhead`; queries may
+//! use the full instanced syntax — the instance is validated against the
+//! registry's locality id and then stripped.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::kinds::CounterSource;
+use crate::path::{CounterPath, PathError};
+use crate::value::CounterValue;
+
+/// Errors returned by registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CounterError {
+    /// The counter name failed to parse.
+    BadPath(PathError),
+    /// No counter is registered under the given name.
+    NotFound(String),
+    /// A counter is already registered under the given name.
+    AlreadyRegistered(String),
+    /// The query named an instance that this registry does not host.
+    WrongInstance {
+        /// The instance that was requested.
+        requested: String,
+        /// The instance this registry serves.
+        served: String,
+    },
+}
+
+impl fmt::Display for CounterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterError::BadPath(e) => write!(f, "invalid counter name: {e}"),
+            CounterError::NotFound(p) => write!(f, "no counter registered at {p}"),
+            CounterError::AlreadyRegistered(p) => {
+                write!(f, "a counter is already registered at {p}")
+            }
+            CounterError::WrongInstance { requested, served } => write!(
+                f,
+                "counter instance {requested} is not served here (this registry serves {served})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CounterError {}
+
+impl From<PathError> for CounterError {
+    fn from(e: PathError) -> Self {
+        CounterError::BadPath(e)
+    }
+}
+
+/// A per-locality counter registry.
+pub struct CounterRegistry {
+    locality: u32,
+    counters: RwLock<BTreeMap<String, Arc<dyn CounterSource>>>,
+}
+
+impl CounterRegistry {
+    /// Create a registry serving `locality#<id>/total` instances.
+    pub fn new(locality: u32) -> Arc<Self> {
+        Arc::new(CounterRegistry {
+            locality,
+            counters: RwLock::new(BTreeMap::new()),
+        })
+    }
+
+    /// The locality this registry serves.
+    pub fn locality(&self) -> u32 {
+        self.locality
+    }
+
+    /// The instance name this registry serves, e.g. `locality#0/total`.
+    pub fn instance_name(&self) -> String {
+        format!("locality#{}/total", self.locality)
+    }
+
+    /// Register a counter under `path` (instance-less canonical form).
+    ///
+    /// Returns an error if the path is invalid or already taken.
+    pub fn register(
+        &self,
+        path: &str,
+        source: Arc<dyn CounterSource>,
+    ) -> Result<(), CounterError> {
+        let parsed = CounterPath::parse(path)?;
+        let key = parsed.without_instance();
+        let mut map = self.counters.write();
+        if map.contains_key(&key) {
+            return Err(CounterError::AlreadyRegistered(key));
+        }
+        map.insert(key, source);
+        Ok(())
+    }
+
+    /// Register, replacing any existing counter at the same path.
+    pub fn register_or_replace(&self, path: &str, source: Arc<dyn CounterSource>) {
+        if let Ok(parsed) = CounterPath::parse(path) {
+            self.counters
+                .write()
+                .insert(parsed.without_instance(), source);
+        }
+    }
+
+    /// Remove the counter at `path`; returns whether one was present.
+    pub fn unregister(&self, path: &str) -> bool {
+        match CounterPath::parse(path) {
+            Ok(parsed) => self
+                .counters
+                .write()
+                .remove(&parsed.without_instance())
+                .is_some(),
+            Err(_) => false,
+        }
+    }
+
+    fn resolve(&self, path: &str) -> Result<Arc<dyn CounterSource>, CounterError> {
+        let parsed = CounterPath::parse(path)?;
+        if let Some(instance) = &parsed.instance {
+            let served = self.instance_name();
+            if instance != &served {
+                return Err(CounterError::WrongInstance {
+                    requested: instance.clone(),
+                    served,
+                });
+            }
+        }
+        let key = parsed.without_instance();
+        self.counters
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(CounterError::NotFound(key))
+    }
+
+    /// Query a counter by name.
+    pub fn query(&self, path: &str) -> Result<CounterValue, CounterError> {
+        Ok(self.resolve(path)?.value())
+    }
+
+    /// Query a counter and coerce the result to `f64`.
+    pub fn query_f64(&self, path: &str) -> Result<f64, CounterError> {
+        Ok(self.query(path)?.as_f64())
+    }
+
+    /// Reset a single counter.
+    pub fn reset(&self, path: &str) -> Result<(), CounterError> {
+        self.resolve(path)?.reset();
+        Ok(())
+    }
+
+    /// Reset every registered counter.
+    pub fn reset_all(&self) {
+        for c in self.counters.read().values() {
+            c.reset();
+        }
+    }
+
+    /// List all registered counter names matching `pattern`.
+    ///
+    /// The pattern is a canonical instance-less path in which `*` matches
+    /// any (possibly empty) run of characters, mirroring HPX's counter
+    /// discovery wildcards: `/coalescing/count/*`, `/*/background-*`, or
+    /// `*` for everything.
+    pub fn discover(&self, pattern: &str) -> Vec<String> {
+        let map = self.counters.read();
+        map.keys()
+            .filter(|k| glob_match(pattern, k))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.counters.read().len()
+    }
+
+    /// Whether no counters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.read().is_empty()
+    }
+}
+
+/// Match `pattern` (with `*` wildcards) against `text`.
+fn glob_match(pattern: &str, text: &str) -> bool {
+    // Classic iterative glob with '*' only.
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::{AverageCounter, MonotoneCounter, RatioCounter};
+
+    fn registry_with_counters() -> (Arc<CounterRegistry>, Arc<MonotoneCounter>) {
+        let reg = CounterRegistry::new(0);
+        let parcels = MonotoneCounter::new();
+        reg.register("/coalescing/count/parcels@get_cplx", parcels.clone())
+            .unwrap();
+        reg.register("/coalescing/count/messages@get_cplx", MonotoneCounter::new())
+            .unwrap();
+        reg.register("/threads/background-overhead", RatioCounter::new())
+            .unwrap();
+        reg.register("/threads/time/average-overhead", AverageCounter::new())
+            .unwrap();
+        (reg, parcels)
+    }
+
+    #[test]
+    fn register_and_query() {
+        let (reg, parcels) = registry_with_counters();
+        parcels.add(12);
+        assert_eq!(
+            reg.query("/coalescing/count/parcels@get_cplx").unwrap(),
+            CounterValue::Int(12)
+        );
+        assert_eq!(
+            reg.query_f64("/coalescing/count/parcels@get_cplx").unwrap(),
+            12.0
+        );
+    }
+
+    #[test]
+    fn instanced_query_matches_locality() {
+        let (reg, parcels) = registry_with_counters();
+        parcels.add(3);
+        assert_eq!(
+            reg.query("/coalescing{locality#0/total}/count/parcels@get_cplx")
+                .unwrap(),
+            CounterValue::Int(3)
+        );
+        let err = reg
+            .query("/coalescing{locality#5/total}/count/parcels@get_cplx")
+            .unwrap_err();
+        assert!(matches!(err, CounterError::WrongInstance { .. }));
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let (reg, _) = registry_with_counters();
+        let err = reg
+            .register("/threads/background-overhead", MonotoneCounter::new())
+            .unwrap_err();
+        assert!(matches!(err, CounterError::AlreadyRegistered(_)));
+        // But register_or_replace succeeds.
+        reg.register_or_replace("/threads/background-overhead", MonotoneCounter::new());
+        assert_eq!(
+            reg.query("/threads/background-overhead").unwrap(),
+            CounterValue::Int(0)
+        );
+    }
+
+    #[test]
+    fn missing_counter_and_bad_path() {
+        let (reg, _) = registry_with_counters();
+        assert!(matches!(
+            reg.query("/nope/nothing").unwrap_err(),
+            CounterError::NotFound(_)
+        ));
+        assert!(matches!(
+            reg.query("no-slash").unwrap_err(),
+            CounterError::BadPath(_)
+        ));
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let (reg, _) = registry_with_counters();
+        assert!(reg.unregister("/threads/time/average-overhead"));
+        assert!(!reg.unregister("/threads/time/average-overhead"));
+        assert!(matches!(
+            reg.query("/threads/time/average-overhead").unwrap_err(),
+            CounterError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn discovery_wildcards() {
+        let (reg, _) = registry_with_counters();
+        let all = reg.discover("*");
+        assert_eq!(all.len(), 4);
+        let coalescing = reg.discover("/coalescing/count/*");
+        assert_eq!(coalescing.len(), 2);
+        assert!(coalescing
+            .iter()
+            .all(|p| p.starts_with("/coalescing/count/")));
+        let threads = reg.discover("/threads/*");
+        assert_eq!(threads.len(), 2);
+        let exact = reg.discover("/threads/background-overhead");
+        assert_eq!(exact, vec!["/threads/background-overhead".to_string()]);
+        assert!(reg.discover("/xyz/*").is_empty());
+    }
+
+    #[test]
+    fn reset_single_and_all() {
+        let (reg, parcels) = registry_with_counters();
+        parcels.add(9);
+        reg.reset("/coalescing/count/parcels@get_cplx").unwrap();
+        assert_eq!(parcels.get(), 0);
+        parcels.add(9);
+        reg.reset_all();
+        assert_eq!(parcels.get(), 0);
+    }
+
+    #[test]
+    fn glob_match_cases() {
+        assert!(glob_match("*", "/anything/at/all"));
+        assert!(glob_match("/a/*", "/a/b"));
+        assert!(glob_match("/a/*/c", "/a/b/c"));
+        assert!(glob_match("/a/*c", "/a/bc"));
+        assert!(glob_match("/a/*c", "/a/c"));
+        assert!(!glob_match("/a/*d", "/a/bc"));
+        assert!(!glob_match("/a", "/a/b"));
+        assert!(glob_match("**", "x"));
+        assert!(glob_match("/co*/count/*@act", "/coalescing/count/parcels@act"));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let reg = CounterRegistry::new(1);
+        assert!(reg.is_empty());
+        reg.register("/a/b", MonotoneCounter::new()).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.instance_name(), "locality#1/total");
+    }
+}

@@ -1,0 +1,199 @@
+//! Background counter sampling.
+//!
+//! Fig. 9 of the paper plots the *instantaneous* network overhead per
+//! application phase — values obtained by polling counters while the
+//! application runs, not after it finishes. [`Sampler`] provides that
+//! capability: it polls a set of counters from a registry at a fixed
+//! interval on its own thread and hands back per-counter time series when
+//! stopped.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::registry::CounterRegistry;
+use crate::value::CounterValue;
+
+/// One observation in a sampled series.
+#[derive(Debug, Clone)]
+pub struct SampledPoint {
+    /// Time of the observation, relative to sampler start.
+    pub elapsed: Duration,
+    /// Observed value (`None` if the query failed at that instant, e.g.
+    /// the counter had not been registered yet).
+    pub value: Option<CounterValue>,
+}
+
+/// A complete sampled series for one counter.
+#[derive(Debug, Clone)]
+pub struct SampledSeries {
+    /// Canonical counter name.
+    pub path: String,
+    /// Chronological observations.
+    pub points: Vec<SampledPoint>,
+}
+
+impl SampledSeries {
+    /// The observations coerced to `f64`, skipping failed queries.
+    pub fn values_f64(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter_map(|p| p.value.as_ref().map(|v| v.as_f64()))
+            .collect()
+    }
+
+    /// Last successfully observed value.
+    pub fn last_value(&self) -> Option<&CounterValue> {
+        self.points.iter().rev().find_map(|p| p.value.as_ref())
+    }
+}
+
+struct Shared {
+    series: Mutex<Vec<SampledSeries>>,
+    stop: AtomicBool,
+}
+
+/// A background sampler polling counters at a fixed interval.
+pub struct Sampler {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Start sampling `paths` from `registry` every `interval`.
+    ///
+    /// The first sample is taken immediately.
+    pub fn start(
+        registry: Arc<CounterRegistry>,
+        paths: &[&str],
+        interval: Duration,
+    ) -> Sampler {
+        let shared = Arc::new(Shared {
+            series: Mutex::new(
+                paths
+                    .iter()
+                    .map(|p| SampledSeries {
+                        path: (*p).to_string(),
+                        points: Vec::new(),
+                    })
+                    .collect(),
+            ),
+            stop: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("rpx-counter-sampler".to_string())
+            .spawn(move || {
+                let started = Instant::now();
+                loop {
+                    {
+                        let mut series = thread_shared.series.lock();
+                        let elapsed = started.elapsed();
+                        for s in series.iter_mut() {
+                            let value = registry.query(&s.path).ok();
+                            s.points.push(SampledPoint { elapsed, value });
+                        }
+                    }
+                    if thread_shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let wake = Instant::now() + interval;
+                    while Instant::now() < wake {
+                        if thread_shared.stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_micros(
+                            interval.as_micros().min(500) as u64,
+                        ));
+                    }
+                }
+            })
+            .expect("failed to spawn sampler thread");
+        Sampler {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop sampling and return the collected series (one final sample is
+    /// taken during shutdown only if the interval loop was mid-flight).
+    pub fn stop(mut self) -> Vec<SampledSeries> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        std::mem::take(&mut *self.shared.series.lock())
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kinds::MonotoneCounter;
+
+    #[test]
+    fn samples_counter_over_time() {
+        let reg = CounterRegistry::new(0);
+        let c = MonotoneCounter::new();
+        reg.register("/test/count", c.clone()).unwrap();
+        let sampler = Sampler::start(Arc::clone(&reg), &["/test/count"], Duration::from_millis(2));
+        for _ in 0..5 {
+            c.add(10);
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        let series = sampler.stop();
+        assert_eq!(series.len(), 1);
+        let vals = series[0].values_f64();
+        assert!(vals.len() >= 3, "expected several samples, got {vals:?}");
+        // Monotone counter: samples must be non-decreasing and end at 50.
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(series[0].last_value(), Some(&CounterValue::Int(50)));
+    }
+
+    #[test]
+    fn unknown_counter_yields_none_points() {
+        let reg = CounterRegistry::new(0);
+        let sampler = Sampler::start(Arc::clone(&reg), &["/absent/counter"], Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        let series = sampler.stop();
+        assert!(!series[0].points.is_empty());
+        assert!(series[0].points.iter().all(|p| p.value.is_none()));
+        assert!(series[0].values_f64().is_empty());
+        assert_eq!(series[0].last_value(), None);
+    }
+
+    #[test]
+    fn counter_registered_mid_flight_is_picked_up() {
+        let reg = CounterRegistry::new(0);
+        let sampler = Sampler::start(Arc::clone(&reg), &["/late/counter"], Duration::from_millis(2));
+        std::thread::sleep(Duration::from_millis(6));
+        let c = MonotoneCounter::new();
+        c.add(7);
+        reg.register("/late/counter", c).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let series = sampler.stop();
+        let vals = series[0].values_f64();
+        assert!(!vals.is_empty());
+        assert_eq!(*vals.last().unwrap(), 7.0);
+        // Early points were None.
+        assert!(series[0].points[0].value.is_none());
+    }
+
+    #[test]
+    fn drop_without_stop_joins() {
+        let reg = CounterRegistry::new(0);
+        let sampler = Sampler::start(reg, &["/x/y"], Duration::from_millis(1));
+        drop(sampler); // must not hang or panic
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the counter framework: the path grammar and the
+//! discovery glob must never panic and must satisfy their algebraic
+//! invariants on arbitrary inputs.
+
+use proptest::prelude::*;
+use rpx_counters::{CounterPath, CounterRegistry, MonotoneCounter};
+
+/// Strategy for identifier-ish segments (no `/ { } @` metacharacters).
+fn segment() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,12}"
+}
+
+proptest! {
+    /// Any structurally valid path round-trips parse → display → parse.
+    #[test]
+    fn display_parse_roundtrip(
+        object in segment(),
+        name_parts in proptest::collection::vec(segment(), 1..4),
+        instance in proptest::option::of("[a-z#0-9/]{1,16}"),
+        params in proptest::option::of("[a-z0-9_,:.]{1,16}"),
+    ) {
+        let mut p = CounterPath::new(object, name_parts.join("/"));
+        if let Some(i) = instance {
+            p = p.with_instance(i);
+        }
+        if let Some(pa) = params {
+            p = p.with_parameters(pa);
+        }
+        let shown = p.to_string();
+        let back = CounterPath::parse(&shown).expect("display form parses");
+        prop_assert_eq!(back, p);
+    }
+
+    /// Arbitrary strings never panic the parser.
+    #[test]
+    fn parser_never_panics(s in ".{0,64}") {
+        let _ = CounterPath::parse(&s);
+    }
+
+    /// A counter registered under a structurally valid path is always
+    /// discoverable by its exact name and by the `*` wildcard.
+    #[test]
+    fn registered_paths_are_discoverable(
+        object in segment(),
+        name in segment(),
+        params in proptest::option::of("[a-z0-9_]{1,8}"),
+    ) {
+        let registry = CounterRegistry::new(0);
+        let mut path = format!("/{object}/{name}");
+        if let Some(p) = &params {
+            path.push('@');
+            path.push_str(p);
+        }
+        registry.register(&path, MonotoneCounter::new()).unwrap();
+        prop_assert!(registry.query(&path).is_ok());
+        prop_assert_eq!(registry.discover(&path).len(), 1);
+        prop_assert_eq!(registry.discover("*").len(), 1);
+        // A prefix glob of the object also matches.
+        prop_assert_eq!(registry.discover(&format!("/{object}/*")).len(), 1);
+    }
+
+    /// Instanced queries against the right locality behave exactly like
+    /// the instance-less form.
+    #[test]
+    fn instanced_query_equivalence(locality in 0u32..16, value in 0u64..1000) {
+        let registry = CounterRegistry::new(locality);
+        let counter = MonotoneCounter::new();
+        counter.add(value);
+        registry.register("/obj/count", counter).unwrap();
+        let plain = registry.query_f64("/obj/count").unwrap();
+        let instanced = registry
+            .query_f64(&format!("/obj{{locality#{locality}/total}}/count"))
+            .unwrap();
+        prop_assert_eq!(plain, instanced);
+        prop_assert_eq!(plain, value as f64);
+    }
+}

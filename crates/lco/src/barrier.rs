@@ -1,0 +1,182 @@
+//! Reusable generation-counted barrier.
+//!
+//! The Parquet proxy synchronises localities at every iteration boundary;
+//! a reusable barrier avoids re-allocating per iteration. Waiting supports
+//! the same cooperative pump as futures, so scheduler workers blocked at
+//! the barrier keep the parcel pump running.
+
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+struct State {
+    /// Parties still to arrive in the current generation.
+    remaining: usize,
+    /// Increments each time the barrier trips.
+    generation: u64,
+}
+
+/// A reusable barrier for a fixed number of parties.
+pub struct Barrier {
+    parties: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Barrier {
+    /// Barrier for `parties` participants.
+    ///
+    /// # Panics
+    /// Panics if `parties == 0`.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Barrier {
+            parties,
+            state: Mutex::new(State {
+                remaining: parties,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Completed generations (how many times the barrier has tripped).
+    pub fn generation(&self) -> u64 {
+        self.state.lock().generation
+    }
+
+    /// Arrive and block until all parties have arrived.
+    ///
+    /// Returns `true` for exactly one "leader" arrival per generation.
+    pub fn arrive_and_wait(&self) -> bool {
+        let mut state = self.state.lock();
+        let gen = state.generation;
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            state.remaining = self.parties;
+            state.generation += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        while state.generation == gen {
+            self.cv.wait(&mut state);
+        }
+        false
+    }
+
+    /// Arrive and wait, invoking `pump` while blocked (parking briefly
+    /// between pumps that report no work).
+    pub fn arrive_and_wait_with(&self, mut pump: impl FnMut() -> bool) -> bool {
+        let gen = {
+            let mut state = self.state.lock();
+            let gen = state.generation;
+            state.remaining -= 1;
+            if state.remaining == 0 {
+                state.remaining = self.parties;
+                state.generation += 1;
+                self.cv.notify_all();
+                return true;
+            }
+            gen
+        };
+        loop {
+            {
+                let state = self.state.lock();
+                if state.generation != gen {
+                    return false;
+                }
+                // Don't hold the lock across the pump.
+            }
+            let did_work = pump();
+            let mut state = self.state.lock();
+            if state.generation != gen {
+                return false;
+            }
+            if !did_work {
+                let _ = self.cv.wait_for(&mut state, Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_parties_released_one_leader() {
+        let b = Arc::new(Barrier::new(4));
+        let leaders = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = Arc::clone(&b);
+            let l = Arc::clone(&leaders);
+            handles.push(std::thread::spawn(move || {
+                if b.arrive_and_wait() {
+                    l.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        assert_eq!(b.generation(), 1);
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let b = Arc::new(Barrier::new(2));
+        let b2 = Arc::clone(&b);
+        let t = std::thread::spawn(move || {
+            for _ in 0..10 {
+                b2.arrive_and_wait();
+            }
+        });
+        for _ in 0..10 {
+            b.arrive_and_wait();
+        }
+        t.join().unwrap();
+        assert_eq!(b.generation(), 10);
+    }
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = Barrier::new(1);
+        assert!(b.arrive_and_wait());
+        assert!(b.arrive_and_wait());
+        assert_eq!(b.generation(), 2);
+    }
+
+    #[test]
+    fn pumped_wait_invokes_pump() {
+        let b = Arc::new(Barrier::new(2));
+        let pumps = Arc::new(AtomicU64::new(0));
+        let b2 = Arc::clone(&b);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            b2.arrive_and_wait()
+        });
+        let p = Arc::clone(&pumps);
+        let leader = b.arrive_and_wait_with(move || {
+            p.fetch_add(1, Ordering::Relaxed);
+            false
+        });
+        let other_leader = t.join().unwrap();
+        assert!(leader ^ other_leader, "exactly one leader");
+        assert!(pumps.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_panics() {
+        let _ = Barrier::new(0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Single-use countdown latch.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A single-use countdown latch: waiters block until the count reaches
+/// zero.
+pub struct Latch {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    /// Latch requiring `count` count-downs. A zero count is immediately
+    /// open.
+    pub fn new(count: usize) -> Self {
+        Latch {
+            count: Mutex::new(count),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Decrement the count (saturating at zero); opens the latch at zero.
+    pub fn count_down(&self) {
+        let mut count = self.count.lock();
+        if *count > 0 {
+            *count -= 1;
+            if *count == 0 {
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Current count.
+    pub fn count(&self) -> usize {
+        *self.count.lock()
+    }
+
+    /// Whether the latch is open.
+    pub fn is_open(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Block until the latch opens.
+    pub fn wait(&self) {
+        let mut count = self.count.lock();
+        while *count > 0 {
+            self.cv.wait(&mut count);
+        }
+    }
+
+    /// Block until the latch opens or `timeout` passes; returns whether it
+    /// opened.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut count = self.count.lock();
+        while *count > 0 {
+            if self.cv.wait_until(&mut count, deadline).timed_out() {
+                return *count == 0;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn opens_at_zero() {
+        let l = Latch::new(2);
+        assert!(!l.is_open());
+        l.count_down();
+        assert_eq!(l.count(), 1);
+        l.count_down();
+        assert!(l.is_open());
+        l.wait(); // returns immediately
+    }
+
+    #[test]
+    fn zero_initial_count_is_open() {
+        let l = Latch::new(0);
+        assert!(l.is_open());
+        l.wait();
+    }
+
+    #[test]
+    fn count_down_saturates() {
+        let l = Latch::new(1);
+        l.count_down();
+        l.count_down();
+        assert_eq!(l.count(), 0);
+    }
+
+    #[test]
+    fn waiters_are_released() {
+        let l = Arc::new(Latch::new(3));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || l.wait()));
+        }
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(1));
+            l.count_down();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn wait_timeout_behaviour() {
+        let l = Latch::new(1);
+        assert!(!l.wait_timeout(Duration::from_millis(5)));
+        l.count_down();
+        assert!(l.wait_timeout(Duration::from_millis(5)));
+    }
+}

@@ -1,0 +1,29 @@
+//! # rpx-lco
+//!
+//! **Local Control Objects**: the synchronisation primitives HPX uses to
+//! coordinate tasks (§II-A of the paper). RPX provides the subset the
+//! paper's workloads need:
+//!
+//! * [`Promise`]/[`Future`] — one-shot value transfer; remote action
+//!   results arrive through these (the `hpx::future` of Listing 1),
+//! * [`wait_all`] — block until a set of futures is ready (the
+//!   `hpx::wait_all(vec)` call closing every phase of the toy
+//!   application),
+//! * [`Latch`] — single-use countdown,
+//! * [`Barrier`] — reusable generation-counted barrier (the per-iteration
+//!   synchronisation of the Parquet proxy).
+//!
+//! Futures support **cooperative waiting**: a waiter can supply a `pump`
+//! closure that is invoked while blocked. The runtime passes the parcel
+//! pump here so that a worker thread blocked on a remote result keeps
+//! making network progress instead of deadlocking a one-worker scheduler.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod latch;
+pub mod promise;
+
+pub use barrier::Barrier;
+pub use latch::Latch;
+pub use promise::{channel, wait_all, Future, LcoError, Promise};

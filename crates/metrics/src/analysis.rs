@@ -1,0 +1,113 @@
+//! Evaluation statistics over experiment sweeps.
+//!
+//! These are the statistical claims the paper's evaluation makes:
+//! Pearson correlation of the overhead metric with execution time across
+//! the coalescing-parameter sweep (Figs. 4 and 7), and run-to-run relative
+//! standard deviation (§IV-C, < 5 %).
+
+use rpx_util::{pearson, OnlineStats};
+
+/// One point of a parameter sweep: a (nparcels, interval) configuration
+/// with its measured time and overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Number of parcels coalesced per message.
+    pub nparcels: usize,
+    /// Wait time in microseconds.
+    pub interval_us: u64,
+    /// Measured execution time (seconds) — per phase or per iteration,
+    /// matching the paper's figures.
+    pub time_secs: f64,
+    /// Measured network overhead (Eq. 4).
+    pub network_overhead: f64,
+}
+
+/// Pearson correlation between network overhead and execution time across
+/// sweep points (the r = 0.97 / 0.92 claims of Figs. 4 and 7).
+pub fn overhead_time_correlation(points: &[SweepPoint]) -> Option<f64> {
+    let overheads: Vec<f64> = points.iter().map(|p| p.network_overhead).collect();
+    let times: Vec<f64> = points.iter().map(|p| p.time_secs).collect();
+    pearson(&overheads, &times)
+}
+
+/// Relative standard deviation (%) of repeated measurements (§IV-C's
+/// < 5 % stability claim).
+pub fn rsd_percent(samples: &[f64]) -> Option<f64> {
+    OnlineStats::from_slice(samples).rsd()
+}
+
+/// The sweep point with the minimum time (the "best static
+/// configuration" the adaptive controller is compared against).
+pub fn best_point(points: &[SweepPoint]) -> Option<&SweepPoint> {
+    points
+        .iter()
+        .min_by(|a, b| a.time_secs.total_cmp(&b.time_secs))
+}
+
+/// The sweep point with the maximum time.
+pub fn worst_point(points: &[SweepPoint]) -> Option<&SweepPoint> {
+    points
+        .iter()
+        .max_by(|a, b| a.time_secs.total_cmp(&b.time_secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(n: usize, t: f64, oh: f64) -> SweepPoint {
+        SweepPoint {
+            nparcels: n,
+            interval_us: 4000,
+            time_secs: t,
+            network_overhead: oh,
+        }
+    }
+
+    #[test]
+    fn correlation_of_linear_sweep_is_one() {
+        let points: Vec<SweepPoint> = (1..=8)
+            .map(|i| point(i, i as f64 * 0.5, i as f64 * 0.1))
+            .collect();
+        let r = overhead_time_correlation(&points).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_with_noise_stays_high() {
+        // Mimic the paper's scatter: strongly but not perfectly correlated.
+        let points: Vec<SweepPoint> = (1..=16)
+            .map(|i| {
+                let jitter = if i % 2 == 0 { 0.02 } else { -0.02 };
+                point(i, i as f64 * 0.5 + jitter, i as f64 * 0.1)
+            })
+            .collect();
+        let r = overhead_time_correlation(&points).unwrap();
+        assert!(r > 0.95, "r = {r}");
+    }
+
+    #[test]
+    fn degenerate_sweeps_yield_none() {
+        assert_eq!(overhead_time_correlation(&[]), None);
+        assert_eq!(overhead_time_correlation(&[point(1, 1.0, 0.5)]), None);
+        // Constant overhead → zero variance → None.
+        let flat = vec![point(1, 1.0, 0.5), point(2, 2.0, 0.5)];
+        assert_eq!(overhead_time_correlation(&flat), None);
+    }
+
+    #[test]
+    fn rsd_matches_definition() {
+        assert_eq!(rsd_percent(&[5.0, 5.0, 5.0]), Some(0.0));
+        let rsd = rsd_percent(&[9.0, 10.0, 11.0]).unwrap();
+        assert!(rsd > 5.0 && rsd < 12.0, "rsd {rsd}");
+        assert_eq!(rsd_percent(&[]), None);
+    }
+
+    #[test]
+    fn best_and_worst_points() {
+        let points = vec![point(1, 3.0, 0.9), point(4, 1.0, 0.2), point(64, 2.0, 0.5)];
+        assert_eq!(best_point(&points).unwrap().nparcels, 4);
+        assert_eq!(worst_point(&points).unwrap().nparcels, 1);
+        assert_eq!(best_point(&[]), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! # rpx-metrics
+//!
+//! The paper's **network performance metrics** (§III), computed from the
+//! performance counter framework:
+//!
+//! | Eq. | Metric | Definition |
+//! |---|---|---|
+//! | 1 | task duration | `t_d = Σ t_func` |
+//! | 2 | task overhead | `t_o = (Σ t_func − Σ t_exec) / n_t` |
+//! | 3 | background-work duration | `t_bd = Σ t_background` |
+//! | 4 | **network overhead** | `n_oh = Σ t_background / Σ t_func` |
+//!
+//! The paper's argument: Eq. 4 is an *intrinsic, instantaneous* signal of
+//! how much of the runtime's effort goes into communication processing;
+//! it correlates strongly with execution time (r = 0.97 toy / 0.92
+//! Parquet), so a controller can tune coalescing by watching it instead of
+//! by timing whole runs.
+//!
+//! * [`MetricsReader`] samples the `/threads/*` counters into
+//!   [`MetricsSample`]s and computes Eqs. 1–4, both cumulatively and as
+//!   deltas between samples (the *instantaneous* view of Fig. 9).
+//! * [`PhaseRecorder`] brackets application phases (the toy app's
+//!   million-message rounds, Parquet's iterations) and records wall time +
+//!   per-phase metric deltas.
+//! * [`analysis`] provides the evaluation statistics: Pearson correlation
+//!   of overhead vs time across a parameter sweep, and relative standard
+//!   deviation across repeated runs.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod phase;
+pub mod reader;
+
+pub use analysis::{overhead_time_correlation, rsd_percent, SweepPoint};
+pub use phase::{PhaseRecord, PhaseRecorder};
+pub use reader::{MetricsDelta, MetricsReader, MetricsSample};

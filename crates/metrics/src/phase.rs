@@ -1,0 +1,205 @@
+//! Phase-resolved measurement.
+//!
+//! The paper's instantaneous analysis (Fig. 9) and its per-phase plots
+//! (Figs. 4 and 5) measure each application *phase* — a round of a million
+//! messages in the toy app, one iteration in Parquet — separately.
+//! [`PhaseRecorder`] brackets phases and captures the metric deltas and
+//! wall time of each.
+
+use std::time::{Duration, Instant};
+
+use crate::reader::{MetricsDelta, MetricsReader, MetricsSample};
+
+/// The measured outcome of one application phase.
+#[derive(Debug, Clone)]
+pub struct PhaseRecord {
+    /// Phase label (e.g. `"phase-2"` or `"iteration-5"`).
+    pub name: String,
+    /// Wall-clock duration of the phase.
+    pub wall: Duration,
+    /// Metric deltas over the phase.
+    pub delta: MetricsDelta,
+}
+
+impl PhaseRecord {
+    /// The phase's instantaneous network overhead (Eq. 4 over the phase).
+    pub fn network_overhead(&self) -> f64 {
+        self.delta.network_overhead()
+    }
+
+    /// The phase's task overhead (Eq. 2 over the phase).
+    pub fn task_overhead_ns(&self) -> f64 {
+        self.delta.task_overhead_ns()
+    }
+
+    /// Wall time in seconds (convenience for plotting).
+    pub fn wall_secs(&self) -> f64 {
+        self.wall.as_secs_f64()
+    }
+}
+
+/// Brackets application phases and records per-phase metrics.
+pub struct PhaseRecorder {
+    reader: MetricsReader,
+    records: Vec<PhaseRecord>,
+    current: Option<(String, MetricsSample, Instant)>,
+}
+
+impl PhaseRecorder {
+    /// New recorder reading from `reader`.
+    pub fn new(reader: MetricsReader) -> Self {
+        PhaseRecorder {
+            reader,
+            records: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Begin a phase.
+    ///
+    /// # Panics
+    /// Panics if a phase is already open (phases do not nest).
+    pub fn start_phase(&mut self, name: impl Into<String>) {
+        assert!(self.current.is_none(), "phase already open");
+        self.current = Some((name.into(), self.reader.sample(), Instant::now()));
+    }
+
+    /// End the open phase, recording and returning its measurements.
+    ///
+    /// # Panics
+    /// Panics if no phase is open.
+    pub fn end_phase(&mut self) -> &PhaseRecord {
+        let (name, start_sample, start_wall) =
+            self.current.take().expect("no phase open");
+        let end_sample = self.reader.sample();
+        let record = PhaseRecord {
+            name,
+            wall: start_wall.elapsed(),
+            delta: end_sample.delta_since(&start_sample),
+        };
+        self.records.push(record);
+        self.records.last().expect("just pushed")
+    }
+
+    /// Run `f` as a named phase and return its record.
+    pub fn phase<R>(&mut self, name: impl Into<String>, f: impl FnOnce() -> R) -> (R, &PhaseRecord) {
+        self.start_phase(name);
+        let out = f();
+        (out, self.end_phase())
+    }
+
+    /// All completed phases in order.
+    pub fn records(&self) -> &[PhaseRecord] {
+        &self.records
+    }
+
+    /// Consume the recorder, returning all records.
+    pub fn into_records(self) -> Vec<PhaseRecord> {
+        self.records
+    }
+
+    /// The paired series (network overhead, wall seconds) across phases —
+    /// the axes of the paper's Fig. 4 scatter.
+    pub fn overhead_time_series(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            self.records.iter().map(|r| r.network_overhead()).collect(),
+            self.records.iter().map(|r| r.wall_secs()).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpx_counters::{CallbackCounter, CounterRegistry, CounterValue};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// A registry whose /threads counters are backed by test-controlled
+    /// atomics.
+    fn controllable() -> (MetricsReader, Arc<AtomicU64>, Arc<AtomicU64>) {
+        let registry = CounterRegistry::new(0);
+        let func = Arc::new(AtomicU64::new(0));
+        let bg = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&func);
+        registry.register_or_replace(
+            "/threads/time/cumulative",
+            CallbackCounter::new(move || CounterValue::Int(f.load(Ordering::Relaxed) as i64)),
+        );
+        let b = Arc::clone(&bg);
+        registry.register_or_replace(
+            "/threads/background-work",
+            CallbackCounter::new(move || CounterValue::Int(b.load(Ordering::Relaxed) as i64)),
+        );
+        (MetricsReader::new(registry), func, bg)
+    }
+
+    #[test]
+    fn phases_capture_deltas() {
+        let (reader, func, bg) = controllable();
+        let mut rec = PhaseRecorder::new(reader);
+
+        rec.start_phase("p1");
+        func.store(1000, Ordering::Relaxed);
+        bg.store(100, Ordering::Relaxed);
+        let r1 = rec.end_phase().clone();
+        assert_eq!(r1.name, "p1");
+        assert!((r1.network_overhead() - 0.1).abs() < 1e-12);
+
+        rec.start_phase("p2");
+        func.store(2000, Ordering::Relaxed);
+        bg.store(900, Ordering::Relaxed);
+        let r2 = rec.end_phase().clone();
+        // Delta: func +1000, bg +800 → 0.8.
+        assert!((r2.network_overhead() - 0.8).abs() < 1e-12);
+        assert_eq!(rec.records().len(), 2);
+    }
+
+    #[test]
+    fn phase_closure_wrapper() {
+        let (reader, func, _bg) = controllable();
+        let mut rec = PhaseRecorder::new(reader);
+        let (out, record) = rec.phase("work", || {
+            func.store(500, Ordering::Relaxed);
+            rpx_util::busy_charge(std::time::Duration::from_micros(200));
+            7
+        });
+        assert_eq!(out, 7);
+        assert!(record.wall >= std::time::Duration::from_micros(200));
+    }
+
+    #[test]
+    fn overhead_time_series_axes_align() {
+        let (reader, func, bg) = controllable();
+        let mut rec = PhaseRecorder::new(reader);
+        for i in 1..=3u64 {
+            rec.start_phase(format!("p{i}"));
+            func.fetch_add(1000, Ordering::Relaxed);
+            bg.fetch_add(100 * i, Ordering::Relaxed);
+            rec.end_phase();
+        }
+        let (overheads, times) = rec.overhead_time_series();
+        assert_eq!(overheads.len(), 3);
+        assert_eq!(times.len(), 3);
+        // Overheads increase phase over phase by construction.
+        assert!(overheads[0] < overheads[1] && overheads[1] < overheads[2]);
+        assert_eq!(rec.into_records().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase already open")]
+    fn nested_phases_panic() {
+        let (reader, _f, _b) = controllable();
+        let mut rec = PhaseRecorder::new(reader);
+        rec.start_phase("a");
+        rec.start_phase("b");
+    }
+
+    #[test]
+    #[should_panic(expected = "no phase open")]
+    fn end_without_start_panics() {
+        let (reader, _f, _b) = controllable();
+        let mut rec = PhaseRecorder::new(reader);
+        rec.end_phase();
+    }
+}

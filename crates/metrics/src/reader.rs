@@ -1,0 +1,219 @@
+//! Sampling the `/threads/*` counters into metric values.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rpx_counters::CounterRegistry;
+
+/// One sample of the scheduler time accounts (all values cumulative since
+/// start or last counter reset).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSample {
+    /// When the sample was taken.
+    pub at: Instant,
+    /// `Σ t_func` in nanoseconds (Eq. 1 task duration).
+    pub func_ns: f64,
+    /// `Σ t_exec` in nanoseconds.
+    pub exec_ns: f64,
+    /// `Σ t_background` in nanoseconds (Eq. 3).
+    pub background_ns: f64,
+    /// `n_t`, tasks executed.
+    pub tasks: f64,
+}
+
+impl MetricsSample {
+    /// Eq. 1: task duration `t_d = Σ t_func` (ns).
+    pub fn task_duration_ns(&self) -> f64 {
+        self.func_ns
+    }
+
+    /// Eq. 2: task overhead `(Σ t_func − Σ t_exec) / n_t` (ns/task).
+    pub fn task_overhead_ns(&self) -> f64 {
+        if self.tasks <= 0.0 {
+            0.0
+        } else {
+            (self.func_ns - self.exec_ns) / self.tasks
+        }
+    }
+
+    /// Eq. 3: background-work duration (ns).
+    pub fn background_work_ns(&self) -> f64 {
+        self.background_ns
+    }
+
+    /// Eq. 4: network overhead `Σ t_background / Σ t_func` (dimensionless,
+    /// 0 when nothing has run). Clamped to `[0, 1]`: background work is a
+    /// component of `t_func`, so transient accounting skew (a task's
+    /// execution time is recorded only at completion) must not produce
+    /// impossible ratios.
+    pub fn network_overhead(&self) -> f64 {
+        if self.func_ns <= 0.0 {
+            0.0
+        } else {
+            (self.background_ns / self.func_ns).min(1.0)
+        }
+    }
+
+    /// The change from `earlier` to `self` — the instantaneous view.
+    pub fn delta_since(&self, earlier: &MetricsSample) -> MetricsDelta {
+        MetricsDelta {
+            wall: self.at.saturating_duration_since(earlier.at),
+            func_ns: (self.func_ns - earlier.func_ns).max(0.0),
+            exec_ns: (self.exec_ns - earlier.exec_ns).max(0.0),
+            background_ns: (self.background_ns - earlier.background_ns).max(0.0),
+            tasks: (self.tasks - earlier.tasks).max(0.0),
+        }
+    }
+}
+
+/// The difference between two samples; exposes the same equations over
+/// the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsDelta {
+    /// Wall time between the samples.
+    pub wall: std::time::Duration,
+    /// Δ `Σ t_func` (ns).
+    pub func_ns: f64,
+    /// Δ `Σ t_exec` (ns).
+    pub exec_ns: f64,
+    /// Δ `Σ t_background` (ns).
+    pub background_ns: f64,
+    /// Δ tasks executed.
+    pub tasks: f64,
+}
+
+impl MetricsDelta {
+    /// Eq. 2 over the window.
+    pub fn task_overhead_ns(&self) -> f64 {
+        if self.tasks <= 0.0 {
+            0.0
+        } else {
+            (self.func_ns - self.exec_ns) / self.tasks
+        }
+    }
+
+    /// Eq. 4 over the window — the paper's *instantaneous* network
+    /// overhead (Fig. 9). Clamped to `[0, 1]` (see
+    /// [`MetricsSample::network_overhead`]).
+    pub fn network_overhead(&self) -> f64 {
+        if self.func_ns <= 0.0 {
+            0.0
+        } else {
+            (self.background_ns / self.func_ns).min(1.0)
+        }
+    }
+}
+
+/// Reads the `/threads/*` counters of one locality.
+pub struct MetricsReader {
+    registry: Arc<CounterRegistry>,
+}
+
+impl MetricsReader {
+    /// Reader over `registry`.
+    pub fn new(registry: Arc<CounterRegistry>) -> Self {
+        MetricsReader { registry }
+    }
+
+    /// Take a sample. Counters missing from the registry read as zero (a
+    /// locality with no scheduler counters yet simply reports no load).
+    pub fn sample(&self) -> MetricsSample {
+        let q = |path: &str| self.registry.query_f64(path).unwrap_or(0.0);
+        MetricsSample {
+            at: Instant::now(),
+            func_ns: q("/threads/time/cumulative"),
+            exec_ns: q("/threads/time/cumulative-work"),
+            background_ns: q("/threads/background-work"),
+            tasks: q("/threads/count/cumulative"),
+        }
+    }
+
+    /// Convenience: current cumulative network overhead (Eq. 4).
+    pub fn network_overhead(&self) -> f64 {
+        self.sample().network_overhead()
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Arc<CounterRegistry> {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpx_counters::{CallbackCounter, CounterValue};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    fn sample(func: f64, exec: f64, bg: f64, tasks: f64) -> MetricsSample {
+        MetricsSample {
+            at: Instant::now(),
+            func_ns: func,
+            exec_ns: exec,
+            background_ns: bg,
+            tasks,
+        }
+    }
+
+    #[test]
+    fn equations_match_definitions() {
+        let s = sample(1000.0, 600.0, 250.0, 4.0);
+        assert_eq!(s.task_duration_ns(), 1000.0);
+        assert_eq!(s.task_overhead_ns(), 100.0);
+        assert_eq!(s.background_work_ns(), 250.0);
+        assert_eq!(s.network_overhead(), 0.25);
+    }
+
+    #[test]
+    fn zero_state_is_finite() {
+        let s = sample(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(s.task_overhead_ns(), 0.0);
+        assert_eq!(s.network_overhead(), 0.0);
+    }
+
+    #[test]
+    fn delta_gives_instantaneous_view() {
+        let mut a = sample(1000.0, 800.0, 100.0, 10.0);
+        let mut b = sample(3000.0, 2000.0, 900.0, 20.0);
+        b.at = a.at + Duration::from_millis(5);
+        a.at = b.at - Duration::from_millis(5);
+        let d = b.delta_since(&a);
+        assert_eq!(d.func_ns, 2000.0);
+        assert_eq!(d.background_ns, 800.0);
+        assert_eq!(d.network_overhead(), 0.4);
+        assert_eq!(d.task_overhead_ns(), (2000.0 - 1200.0) / 10.0);
+        assert_eq!(d.wall, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn delta_saturates_on_counter_reset() {
+        let a = sample(5000.0, 100.0, 100.0, 100.0);
+        let b = sample(10.0, 5.0, 2.0, 1.0); // counters were reset
+        let d = b.delta_since(&a);
+        assert_eq!(d.func_ns, 0.0);
+        assert_eq!(d.network_overhead(), 0.0);
+    }
+
+    #[test]
+    fn reader_queries_registry() {
+        let registry = CounterRegistry::new(0);
+        let bg = Arc::new(AtomicU64::new(0));
+        let b = Arc::clone(&bg);
+        registry.register_or_replace(
+            "/threads/background-work",
+            CallbackCounter::new(move || CounterValue::Int(b.load(Ordering::Relaxed) as i64)),
+        );
+        registry.register_or_replace(
+            "/threads/time/cumulative",
+            CallbackCounter::new(|| CounterValue::Int(1000)),
+        );
+        let reader = MetricsReader::new(registry);
+        bg.store(400, Ordering::Relaxed);
+        assert_eq!(reader.network_overhead(), 0.4);
+        let s = reader.sample();
+        // Unregistered counters read as zero.
+        assert_eq!(s.exec_ns, 0.0);
+        assert_eq!(s.tasks, 0.0);
+    }
+}

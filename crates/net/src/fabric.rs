@@ -1,0 +1,575 @@
+//! The fabric: per-locality ports, cost charging and delayed delivery.
+//!
+//! Each locality owns a [`NetPort`]. Sending enqueues onto the sender's
+//! outbound queue; scheduler background work drives [`NetPort::pump_send`]
+//! (charge sender CPU cost, stamp a delivery deadline `now + latency`,
+//! move the message to the destination's in-flight heap) and
+//! [`NetPort::pump_recv`] (pop due messages, charge receiver CPU cost,
+//! invoke the receive handler). Both pumps are safe to call concurrently
+//! from many workers; costs are paid by whichever worker handles the
+//! message, exactly as HPX parcelport progress work lands on arbitrary
+//! scheduler threads.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use rpx_util::busy_charge;
+
+use crate::fault::{FaultAction, FaultPlan};
+use crate::message::Message;
+use crate::model::LinkModel;
+
+/// Per-port traffic statistics (relaxed atomics, safe for hot paths).
+#[derive(Debug, Default)]
+pub struct PortStats {
+    /// Messages handed to `send`.
+    pub enqueued: AtomicU64,
+    /// Messages pushed onto the wire (send cost paid).
+    pub sent_messages: AtomicU64,
+    /// Payload bytes pushed onto the wire.
+    pub sent_bytes: AtomicU64,
+    /// Messages delivered to the receive handler (recv cost paid).
+    pub received_messages: AtomicU64,
+    /// Payload bytes delivered.
+    pub received_bytes: AtomicU64,
+}
+
+type ReceiveHandler = Arc<dyn Fn(Message) + Send + Sync>;
+type NotifyFn = Arc<dyn Fn() + Send + Sync>;
+
+struct InFlight {
+    deliver_at: Instant,
+    seq: u64,
+    message: Message,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deliver_at
+            .cmp(&other.deliver_at)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct PortShared {
+    locality: u32,
+    outbound_tx: Sender<Message>,
+    outbound_rx: Receiver<Message>,
+    inflight: Mutex<BinaryHeap<Reverse<InFlight>>>,
+    receiver: RwLock<Option<ReceiveHandler>>,
+    notify: RwLock<Option<NotifyFn>>,
+    stats: PortStats,
+    seq: AtomicU64,
+    /// Messages popped from a queue but not yet handed to the next stage
+    /// (mid-pump). Needed so quiescence checks do not declare the fabric
+    /// idle while a pump thread holds a message.
+    processing: std::sync::atomic::AtomicUsize,
+    /// Optional failure injection applied to outbound messages.
+    faults: RwLock<Option<Arc<FaultPlan>>>,
+}
+
+/// Decrements a processing gauge on drop (panic-safe).
+struct ProcessingGuard<'a>(&'a std::sync::atomic::AtomicUsize);
+
+impl<'a> ProcessingGuard<'a> {
+    fn enter(gauge: &'a std::sync::atomic::AtomicUsize) -> Self {
+        gauge.fetch_add(1, Ordering::SeqCst);
+        ProcessingGuard(gauge)
+    }
+}
+
+impl Drop for ProcessingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl PortShared {
+    fn notify(&self) {
+        if let Some(n) = self.notify.read().as_ref() {
+            n();
+        }
+    }
+}
+
+/// The software network connecting all localities of a cluster.
+pub struct Fabric {
+    model: LinkModel,
+    ports: Vec<Arc<PortShared>>,
+}
+
+impl Fabric {
+    /// Build a fabric for `localities` localities under `model`.
+    pub fn new(localities: u32, model: LinkModel) -> Arc<Self> {
+        assert!(localities > 0, "fabric needs at least one locality");
+        let ports = (0..localities)
+            .map(|locality| {
+                let (outbound_tx, outbound_rx) = unbounded();
+                Arc::new(PortShared {
+                    locality,
+                    outbound_tx,
+                    outbound_rx,
+                    inflight: Mutex::new(BinaryHeap::new()),
+                    receiver: RwLock::new(None),
+                    notify: RwLock::new(None),
+                    stats: PortStats::default(),
+                    seq: AtomicU64::new(0),
+                    processing: std::sync::atomic::AtomicUsize::new(0),
+                    faults: RwLock::new(None),
+                })
+            })
+            .collect();
+        Arc::new(Fabric { model, ports })
+    }
+
+    /// The link model in force.
+    pub fn model(&self) -> LinkModel {
+        self.model
+    }
+
+    /// Number of localities.
+    pub fn localities(&self) -> u32 {
+        self.ports.len() as u32
+    }
+
+    /// The port of `locality`.
+    ///
+    /// # Panics
+    /// Panics if `locality` is out of range.
+    pub fn port(self: &Arc<Self>, locality: u32) -> NetPort {
+        assert!(
+            (locality as usize) < self.ports.len(),
+            "locality {locality} out of range"
+        );
+        NetPort {
+            fabric: Arc::clone(self),
+            shared: Arc::clone(&self.ports[locality as usize]),
+        }
+    }
+}
+
+/// A locality's endpoint on the fabric.
+#[derive(Clone)]
+pub struct NetPort {
+    fabric: Arc<Fabric>,
+    shared: Arc<PortShared>,
+}
+
+/// How many messages one pump call processes before yielding, bounding
+/// the latency a single background poll can add to its worker.
+const PUMP_BATCH: usize = 8;
+
+impl NetPort {
+    /// This port's locality id.
+    pub fn locality(&self) -> u32 {
+        self.shared.locality
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &PortStats {
+        &self.shared.stats
+    }
+
+    /// Install the handler invoked (from pump threads) for every delivered
+    /// message.
+    pub fn set_receiver(&self, handler: impl Fn(Message) + Send + Sync + 'static) {
+        *self.shared.receiver.write() = Some(Arc::new(handler));
+    }
+
+    /// Install a wake-up hook called whenever traffic lands on this port's
+    /// queues (the runtime points this at `Scheduler::notify`).
+    pub fn set_notify(&self, notify: impl Fn() + Send + Sync + 'static) {
+        *self.shared.notify.write() = Some(Arc::new(notify));
+    }
+
+    /// Install (or clear) a failure-injection plan for this port's
+    /// outbound messages. Testing hook: drops/corruption happen after the
+    /// send cost has been paid, like a wire fault.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.shared.faults.write() = plan;
+    }
+
+    /// Enqueue a message for transmission.
+    ///
+    /// Cheap: the real send cost is paid later by `pump_send`.
+    ///
+    /// # Panics
+    /// Panics if `message.dst` is out of range or `message.src` does not
+    /// match this port.
+    pub fn send(&self, message: Message) {
+        assert_eq!(message.src, self.shared.locality, "src must be this port");
+        assert!(
+            (message.dst as usize) < self.fabric.ports.len(),
+            "destination {} out of range",
+            message.dst
+        );
+        self.shared.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .outbound_tx
+            .send(message)
+            .expect("outbound channel lives as long as the fabric");
+        self.shared.notify();
+    }
+
+    /// Pump outbound messages: pay the sender CPU cost and move messages
+    /// into the destination's in-flight heap. Returns `true` if any
+    /// message was processed.
+    pub fn pump_send(&self) -> bool {
+        let mut did_work = false;
+        for _ in 0..PUMP_BATCH {
+            let Ok(message) = self.shared.outbound_rx.try_recv() else {
+                break;
+            };
+            let _guard = ProcessingGuard::enter(&self.shared.processing);
+            did_work = true;
+            // The modelled per-message + per-byte cost, paid in real CPU
+            // time on this (background-work) thread.
+            busy_charge(self.fabric.model.send_cost(message.len()));
+            self.shared
+                .stats
+                .sent_messages
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .sent_bytes
+                .fetch_add(message.len() as u64, Ordering::Relaxed);
+            // Failure injection (tests): the cost is already paid, the
+            // wire then loses or mangles the message.
+            let fault = self.shared.faults.read().clone();
+            let message = match fault.map(|plan| plan.decide()) {
+                Some(FaultAction::Drop) => continue,
+                Some(FaultAction::Corrupt) if !message.is_empty() => {
+                    let mut bytes = message.payload.to_vec();
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0xA5;
+                    Message::new(
+                        message.src,
+                        message.dst,
+                        message.kind,
+                        bytes::Bytes::from(bytes),
+                    )
+                }
+                _ => message,
+            };
+            let dst = Arc::clone(&self.fabric.ports[message.dst as usize]);
+            // Store-and-forward: a message is deliverable only after its
+            // last byte has crossed the wire, so delivery lags by the
+            // transfer time (and any rendezvous handshake) in addition to
+            // propagation latency. This is the physical cost of lumping
+            // many parcels into one large message — the first parcel in
+            // the batch cannot execute until the whole batch has arrived.
+            let deliver_at = Instant::now() + self.fabric.model.delivery_delay(message.len());
+            let seq = dst.seq.fetch_add(1, Ordering::Relaxed);
+            dst.inflight.lock().push(Reverse(InFlight {
+                deliver_at,
+                seq,
+                message,
+            }));
+            dst.notify();
+        }
+        did_work
+    }
+
+    /// Pump inbound messages that have cleared their latency: pay the
+    /// receiver CPU cost and hand each to the receive handler. Returns
+    /// `true` if any message was delivered.
+    pub fn pump_recv(&self) -> bool {
+        let handler = self.shared.receiver.read().clone();
+        let Some(handler) = handler else {
+            return false;
+        };
+        let mut did_work = false;
+        for _ in 0..PUMP_BATCH {
+            let (message, _guard) = {
+                let mut heap = self.shared.inflight.lock();
+                match heap.peek() {
+                    Some(Reverse(head)) if head.deliver_at <= Instant::now() => {
+                        // Take the processing guard while still holding the
+                        // heap lock so the message is never unaccounted for.
+                        let guard = ProcessingGuard::enter(&self.shared.processing);
+                        (heap.pop().expect("peeked").0.message, guard)
+                    }
+                    _ => break,
+                }
+            };
+            did_work = true;
+            busy_charge(self.fabric.model.recv_cost());
+            self.shared
+                .stats
+                .received_messages
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .received_bytes
+                .fetch_add(message.len() as u64, Ordering::Relaxed);
+            handler(message);
+        }
+        did_work
+    }
+
+    /// Convenience: one full pump pass (send then receive).
+    pub fn pump(&self) -> bool {
+        let s = self.pump_send();
+        let r = self.pump_recv();
+        s || r
+    }
+
+    /// Messages queued but not yet put on the wire.
+    pub fn outbound_backlog(&self) -> usize {
+        self.shared.outbound_rx.len()
+    }
+
+    /// Messages in flight towards this port (latency not yet elapsed or
+    /// not yet pumped).
+    pub fn inflight_backlog(&self) -> usize {
+        self.shared.inflight.lock().len()
+    }
+
+    /// Messages currently mid-pump on this port (popped from a queue but
+    /// not yet delivered to the next stage).
+    pub fn processing(&self) -> usize {
+        self.shared.processing.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+    use bytes::Bytes;
+    use std::time::Duration;
+
+    fn msg(src: u32, dst: u32, payload: &'static [u8]) -> Message {
+        Message::new(src, dst, MessageKind::Parcel, Bytes::from_static(payload))
+    }
+
+    fn pump_until<F: Fn() -> bool>(ports: &[NetPort], done: F, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !done() {
+            for p in ports {
+                p.pump();
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn message_travels_between_ports() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        b.set_receiver(move |m| g.lock().push(m.payload.clone()));
+        a.send(msg(0, 1, b"hello"));
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || !got.lock().is_empty(),
+            Duration::from_secs(2)
+        ));
+        assert_eq!(got.lock()[0].as_ref(), b"hello");
+        assert_eq!(a.stats().sent_messages.load(Ordering::Relaxed), 1);
+        assert_eq!(b.stats().received_messages.load(Ordering::Relaxed), 1);
+        assert_eq!(b.stats().received_bytes.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn send_to_self_is_allowed() {
+        let fabric = Fabric::new(1, LinkModel::zero());
+        let a = fabric.port(0);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        a.set_receiver(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        a.send(msg(0, 0, b"self"));
+        assert!(pump_until(
+            &[a.clone()],
+            || hits.load(Ordering::SeqCst) == 1,
+            Duration::from_secs(2)
+        ));
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let model = LinkModel {
+            latency: Duration::from_millis(20),
+            ..LinkModel::zero()
+        };
+        let fabric = Fabric::new(2, model);
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        let got = Arc::new(AtomicU64::new(0));
+        let g = Arc::clone(&got);
+        b.set_receiver(move |_| {
+            g.fetch_add(1, Ordering::SeqCst);
+        });
+        let t0 = Instant::now();
+        a.send(msg(0, 1, b"x"));
+        a.pump_send();
+        // Immediately pumping the receiver delivers nothing.
+        assert!(!b.pump_recv());
+        assert_eq!(b.inflight_backlog(), 1);
+        assert!(pump_until(
+            &[b.clone()],
+            || got.load(Ordering::SeqCst) == 1,
+            Duration::from_secs(2)
+        ));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn send_cost_is_charged_to_pumping_thread() {
+        let model = LinkModel {
+            send_overhead: Duration::from_micros(500),
+            ..LinkModel::zero()
+        };
+        let fabric = Fabric::new(2, model);
+        let a = fabric.port(0);
+        fabric.port(1).set_receiver(|_| {});
+        a.send(msg(0, 1, b"x"));
+        let t0 = Instant::now();
+        a.pump_send();
+        assert!(t0.elapsed() >= Duration::from_micros(500));
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_link() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        b.set_receiver(move |m| g.lock().push(m.payload[0]));
+        for i in 0..50u8 {
+            a.send(Message::new(0, 1, MessageKind::Parcel, Bytes::copy_from_slice(&[i])));
+        }
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || got.lock().len() == 50,
+            Duration::from_secs(2)
+        ));
+        let got = got.lock();
+        assert_eq!(*got, (0..50).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn notify_hook_fires_on_send_and_delivery() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        let notified = Arc::new(AtomicU64::new(0));
+        let n = Arc::clone(&notified);
+        a.set_notify(move || {
+            n.fetch_add(1, Ordering::SeqCst);
+        });
+        let n = Arc::clone(&notified);
+        b.set_notify(move || {
+            n.fetch_add(1, Ordering::SeqCst);
+        });
+        b.set_receiver(|_| {});
+        a.send(msg(0, 1, b"x")); // notifies a (outbound)
+        a.pump_send(); // notifies b (inflight)
+        assert!(notified.load(Ordering::SeqCst) >= 2);
+    }
+
+    #[test]
+    fn backlog_counters() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        b.set_receiver(|_| {});
+        a.send(msg(0, 1, b"1"));
+        a.send(msg(0, 1, b"2"));
+        assert_eq!(a.outbound_backlog(), 2);
+        a.pump_send();
+        assert_eq!(a.outbound_backlog(), 0);
+        assert_eq!(b.inflight_backlog(), 2);
+        b.pump_recv();
+        assert_eq!(b.inflight_backlog(), 0);
+    }
+
+    #[test]
+    fn without_receiver_messages_wait() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        a.send(msg(0, 1, b"x"));
+        a.pump_send();
+        assert!(!b.pump_recv()); // no handler yet: nothing delivered
+        assert_eq!(b.inflight_backlog(), 1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_receiver(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(b.pump_recv());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_pumping_delivers_everything_once() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        b.set_receiver(move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let n = 2000u64;
+        for _ in 0..n {
+            a.send(msg(0, 1, b"x"));
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let a = a.clone();
+                let b = b.clone();
+                let count = Arc::clone(&count);
+                s.spawn(move || {
+                    let deadline = Instant::now() + Duration::from_secs(10);
+                    while count.load(Ordering::SeqCst) < n && Instant::now() < deadline {
+                        a.pump_send();
+                        b.pump_recv();
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), n);
+        assert_eq!(b.stats().received_messages.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_destination_panics() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        fabric.port(0).send(msg(0, 7, b"x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "src must be this port")]
+    fn wrong_src_panics() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        fabric.port(0).send(msg(1, 0, b"x"));
+    }
+}

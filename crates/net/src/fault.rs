@@ -1,0 +1,142 @@
+//! Failure injection for the fabric.
+//!
+//! A production messaging layer must tolerate lost and corrupted
+//! messages; the paper's stack sits on MPI/TCP, which surfaces both as
+//! timeouts and checksum failures. [`FaultPlan`] lets tests and the
+//! failure-injection suite drop or corrupt messages deterministically on
+//! the send path and verify that the runtime degrades gracefully (decode
+//! failures are counted and dropped; futures never silently hang — they
+//! time out).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Deterministic fault plan for one port's outbound traffic.
+///
+/// Counting is 1-based over messages passing `pump_send`: with
+/// `drop_every = Some(3)` the 3rd, 6th, 9th… messages are dropped.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Drop every n-th message.
+    pub drop_every: Option<u64>,
+    /// Corrupt (flip a payload byte of) every n-th message.
+    pub corrupt_every: Option<u64>,
+    sent: AtomicU64,
+    dropped: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+/// What the fault plan decided for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver unmodified.
+    Deliver,
+    /// Discard the message.
+    Drop,
+    /// Deliver with a corrupted payload.
+    Corrupt,
+}
+
+impl FaultPlan {
+    /// A plan that drops every `n`-th message.
+    pub fn drop_every(n: u64) -> Self {
+        assert!(n > 0, "period must be positive");
+        FaultPlan {
+            drop_every: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// A plan that corrupts every `n`-th message.
+    pub fn corrupt_every(n: u64) -> Self {
+        assert!(n > 0, "period must be positive");
+        FaultPlan {
+            corrupt_every: Some(n),
+            ..Default::default()
+        }
+    }
+
+    /// Decide the fate of the next message.
+    pub fn decide(&self) -> FaultAction {
+        let n = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(period) = self.drop_every {
+            if n % period == 0 {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return FaultAction::Drop;
+            }
+        }
+        if let Some(period) = self.corrupt_every {
+            if n % period == 0 {
+                self.corrupted.fetch_add(1, Ordering::Relaxed);
+                return FaultAction::Corrupt;
+            }
+        }
+        FaultAction::Deliver
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages corrupted so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_period_is_respected() {
+        let plan = FaultPlan::drop_every(3);
+        let decisions: Vec<FaultAction> = (0..9).map(|_| plan.decide()).collect();
+        assert_eq!(
+            decisions
+                .iter()
+                .filter(|&&d| d == FaultAction::Drop)
+                .count(),
+            3
+        );
+        assert_eq!(decisions[2], FaultAction::Drop);
+        assert_eq!(decisions[0], FaultAction::Deliver);
+        assert_eq!(plan.dropped(), 3);
+    }
+
+    #[test]
+    fn corrupt_period_is_respected() {
+        let plan = FaultPlan::corrupt_every(2);
+        let decisions: Vec<FaultAction> = (0..4).map(|_| plan.decide()).collect();
+        assert_eq!(decisions, vec![
+            FaultAction::Deliver,
+            FaultAction::Corrupt,
+            FaultAction::Deliver,
+            FaultAction::Corrupt
+        ]);
+        assert_eq!(plan.corrupted(), 2);
+    }
+
+    #[test]
+    fn drop_takes_precedence_over_corrupt() {
+        let plan = FaultPlan {
+            drop_every: Some(2),
+            corrupt_every: Some(2),
+            ..Default::default()
+        };
+        assert_eq!(plan.decide(), FaultAction::Deliver);
+        assert_eq!(plan.decide(), FaultAction::Drop);
+    }
+
+    #[test]
+    fn default_plan_always_delivers() {
+        let plan = FaultPlan::default();
+        assert!((0..100).all(|_| plan.decide() == FaultAction::Deliver));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = FaultPlan::drop_every(0);
+    }
+}

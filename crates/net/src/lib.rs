@@ -1,0 +1,40 @@
+//! # rpx-net
+//!
+//! The in-process **software network fabric** standing in for the paper's
+//! cluster interconnect (ROSTAM's Marvin nodes with Intel MPI).
+//!
+//! ## Substitution rationale
+//!
+//! The phenomenon the paper studies — per-message software overhead
+//! dominating fine-grained communication, and coalescing amortising it —
+//! does not require a physical wire, only that:
+//!
+//! 1. every message costs a fixed per-message software overhead on the
+//!    sending and receiving CPUs (driver/MPI stack work),
+//! 2. bytes cost transfer time proportional to size (bandwidth),
+//! 3. delivery happens after a propagation latency,
+//! 4. those CPU costs are paid *by scheduler threads as background work*,
+//!    where HPX pays them.
+//!
+//! [`LinkModel`] parameterises (1)–(3); [`Fabric`] charges the CPU costs in
+//! real time (busy-spinning the pumping thread) so they appear in the
+//! `/threads/background-work` account exactly like HPX's parcelport
+//! progress functions. Message pumping is done by [`NetPort::pump_send`] /
+//! [`NetPort::pump_recv`], which the runtime registers as scheduler
+//! background work.
+//!
+//! The default model (≈20 µs per message send, ≈15 µs receive, 1 GB/s,
+//! 10 µs latency) is in the range of MPI per-message costs on the paper's
+//! 2013-era cluster; `repro` experiments sweep it where relevant.
+
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod fault;
+pub mod message;
+pub mod model;
+
+pub use fabric::{Fabric, NetPort, PortStats};
+pub use fault::{FaultAction, FaultPlan};
+pub use message::{Message, MessageKind};
+pub use model::LinkModel;

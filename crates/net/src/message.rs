@@ -1,0 +1,84 @@
+//! Network messages.
+
+use bytes::Bytes;
+
+/// What a message's payload contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MessageKind {
+    /// A single encoded parcel.
+    Parcel = 0,
+    /// A coalesced batch of parcels (count-prefixed).
+    Coalesced = 1,
+    /// Runtime-internal control traffic.
+    Control = 2,
+}
+
+impl TryFrom<u8> for MessageKind {
+    type Error = u8;
+    fn try_from(v: u8) -> Result<Self, u8> {
+        match v {
+            0 => Ok(MessageKind::Parcel),
+            1 => Ok(MessageKind::Coalesced),
+            2 => Ok(MessageKind::Control),
+            other => Err(other),
+        }
+    }
+}
+
+/// A framed message travelling between localities.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sending locality.
+    pub src: u32,
+    /// Destination locality.
+    pub dst: u32,
+    /// Payload classification.
+    pub kind: MessageKind,
+    /// Encoded payload.
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Construct a message.
+    pub fn new(src: u32, dst: u32, kind: MessageKind, payload: Bytes) -> Self {
+        Message {
+            src,
+            dst,
+            kind,
+            payload,
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrips_through_u8() {
+        for k in [MessageKind::Parcel, MessageKind::Coalesced, MessageKind::Control] {
+            assert_eq!(MessageKind::try_from(k as u8), Ok(k));
+        }
+        assert_eq!(MessageKind::try_from(99), Err(99));
+    }
+
+    #[test]
+    fn message_accessors() {
+        let m = Message::new(0, 1, MessageKind::Parcel, Bytes::from_static(b"abc"));
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.src, 0);
+        assert_eq!(m.dst, 1);
+    }
+}

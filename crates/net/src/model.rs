@@ -1,0 +1,176 @@
+//! The link cost model.
+
+use std::time::Duration;
+
+/// Cost parameters of a point-to-point link (LogP-style).
+///
+/// * `send_overhead` / `recv_overhead` — fixed per-*message* CPU cost on
+///   each side (message setup, handshaking, protocol work). This is the
+///   cost message coalescing amortises.
+/// * `per_byte` — CPU/transfer cost per payload byte (inverse bandwidth),
+///   charged on the sender.
+/// * `latency` — propagation delay between send completion and delivery
+///   eligibility; *not* a CPU cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkModel {
+    /// Per-message sender-side CPU overhead.
+    pub send_overhead: Duration,
+    /// Per-message receiver-side CPU overhead.
+    pub recv_overhead: Duration,
+    /// Sender-side CPU/wire cost per payload byte.
+    pub per_byte: Duration,
+    /// Propagation latency.
+    pub latency: Duration,
+    /// Eager-protocol size limit: messages larger than this use a
+    /// rendezvous protocol (MPI-style) and pay [`LinkModel::rendezvous_extra`]
+    /// additional delivery delay plus a second send overhead for the
+    /// handshake. This is the mechanism that penalises oversized
+    /// coalesced messages on real MPI stacks.
+    pub eager_threshold: usize,
+    /// Sender stall for rendezvous-protocol messages: the
+    /// request-to-send/clear-to-send round trip during which the sending
+    /// progress thread is blocked (MPI synchronous-send behaviour).
+    pub rendezvous_extra: Duration,
+}
+
+impl LinkModel {
+    /// A model in the range of an MPI stack on the paper's testbed:
+    /// 20 µs/msg send, 15 µs/msg receive, ~1 GiB/s, 10 µs latency.
+    pub fn cluster() -> Self {
+        LinkModel {
+            send_overhead: Duration::from_micros(20),
+            recv_overhead: Duration::from_micros(15),
+            per_byte: Duration::from_nanos(1),
+            latency: Duration::from_micros(10),
+            // Intel-MPI-era inter-node eager limit and a handshake RTT.
+            eager_threshold: 16 * 1024,
+            rendezvous_extra: Duration::from_micros(30),
+        }
+    }
+
+    /// Override the eager/rendezvous crossover (used by scaled-down
+    /// workloads whose payloads shrank proportionally).
+    pub fn with_eager_threshold(mut self, bytes: usize) -> Self {
+        self.eager_threshold = bytes;
+        self
+    }
+
+    /// A free network (all costs zero): useful in unit tests that assert
+    /// on functional behaviour only.
+    pub fn zero() -> Self {
+        LinkModel {
+            send_overhead: Duration::ZERO,
+            recv_overhead: Duration::ZERO,
+            per_byte: Duration::ZERO,
+            latency: Duration::ZERO,
+            eager_threshold: usize::MAX,
+            rendezvous_extra: Duration::ZERO,
+        }
+    }
+
+    /// Whether a message of `bytes` payload uses the rendezvous protocol.
+    pub fn is_rendezvous(&self, bytes: usize) -> bool {
+        bytes > self.eager_threshold
+    }
+
+    /// Sender-side cost for one message of `bytes` payload bytes.
+    /// Rendezvous messages pay the fixed overhead twice (the handshake
+    /// message) plus the RTS/CTS round trip, during which the sending
+    /// progress thread is stalled — the fixed per-message price that
+    /// makes oversized coalesced batches lose (Fig. 6's right edge).
+    pub fn send_cost(&self, bytes: usize) -> Duration {
+        let base = self.send_overhead + self.per_byte * (bytes as u32);
+        if self.is_rendezvous(bytes) {
+            base + self.send_overhead + self.rendezvous_extra
+        } else {
+            base
+        }
+    }
+
+    /// Delivery delay (beyond sender CPU costs) for one message:
+    /// propagation plus store-and-forward transfer time.
+    pub fn delivery_delay(&self, bytes: usize) -> Duration {
+        self.latency + self.per_byte * (bytes as u32)
+    }
+
+    /// Receiver-side CPU cost for one message.
+    pub fn recv_cost(&self) -> Duration {
+        self.recv_overhead
+    }
+
+    /// Total fixed (size-independent) cost per message — the quantity
+    /// coalescing divides by the number of parcels per message.
+    pub fn per_message_cost(&self) -> Duration {
+        self.send_overhead + self.recv_overhead
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_cost_scales_with_bytes() {
+        let m = LinkModel::cluster();
+        let small = m.send_cost(16);
+        let large = m.send_cost(16 * 1024); // still eager at exactly 16 KiB
+        assert!(large > small);
+        assert_eq!(
+            large - small,
+            m.per_byte * ((16 * 1024 - 16) as u32)
+        );
+    }
+
+    #[test]
+    fn rendezvous_crossover_penalises_large_messages() {
+        let m = LinkModel::cluster();
+        assert!(!m.is_rendezvous(16 * 1024));
+        assert!(m.is_rendezvous(16 * 1024 + 1));
+        // The handshake adds a second fixed overhead plus the RTS/CTS
+        // stall on the send side.
+        let eager = m.send_cost(16 * 1024);
+        let rendezvous = m.send_cost(16 * 1024 + 1);
+        assert!(
+            rendezvous >= eager + m.send_overhead + m.rendezvous_extra
+                - Duration::from_nanos(10)
+        );
+        // Delivery delay is store-and-forward regardless of protocol.
+        assert!(m.delivery_delay(32 * 1024) >= m.latency);
+        // Custom thresholds for scaled-down workloads.
+        let scaled = m.with_eager_threshold(1024);
+        assert!(scaled.is_rendezvous(2048));
+    }
+
+    #[test]
+    fn fixed_cost_is_size_independent() {
+        let m = LinkModel::cluster();
+        assert_eq!(m.recv_cost(), m.recv_overhead);
+        assert_eq!(m.per_message_cost(), Duration::from_micros(35));
+    }
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = LinkModel::zero();
+        assert_eq!(m.send_cost(1_000_000), Duration::ZERO);
+        assert_eq!(m.recv_cost(), Duration::ZERO);
+    }
+
+    #[test]
+    fn coalescing_arithmetic_favours_batching() {
+        // k parcels of b bytes sent separately vs coalesced: the fixed
+        // overhead shrinks k-fold while byte cost is unchanged — the core
+        // economics of the paper.
+        let m = LinkModel::cluster();
+        let k = 128u32;
+        let b = 16usize;
+        let separate = (m.send_cost(b) + m.recv_cost()) * k;
+        let coalesced = m.send_cost(b * k as usize) + m.recv_cost();
+        assert!(coalesced < separate / 10);
+    }
+}

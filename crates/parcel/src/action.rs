@@ -1,0 +1,153 @@
+//! Action registration and dispatch.
+//!
+//! An *action* is a function that may be invoked remotely (HPX's
+//! `HPX_PLAIN_ACTION`). Actions are registered by name on every locality
+//! (in our in-process cluster, once in a shared registry) and addressed on
+//! the wire by their dense [`ActionId`]. Handlers at this layer are
+//! byte-level: argument decoding and result encoding are done by the typed
+//! wrappers in the `rpx` core crate.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use rpx_serialize::WireError;
+
+/// Dense identifier of a registered action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActionId(pub u32);
+
+/// A byte-level action handler: decodes its arguments from the payload,
+/// runs, and returns the encoded result.
+pub type RawHandler = Arc<dyn Fn(Bytes) -> Result<Bytes, WireError> + Send + Sync>;
+
+struct Entry {
+    name: String,
+    handler: RawHandler,
+}
+
+/// The table of registered actions, shared by all localities.
+#[derive(Default)]
+pub struct ActionRegistry {
+    entries: RwLock<Vec<Entry>>,
+    by_name: RwLock<HashMap<String, ActionId>>,
+}
+
+impl ActionRegistry {
+    /// New empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Register `handler` under `name`, returning its id.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered — duplicate action names
+    /// are a programming error, as in HPX.
+    pub fn register(&self, name: &str, handler: RawHandler) -> ActionId {
+        let mut by_name = self.by_name.write();
+        assert!(
+            !by_name.contains_key(name),
+            "action '{name}' registered twice"
+        );
+        let mut entries = self.entries.write();
+        let id = ActionId(entries.len() as u32);
+        entries.push(Entry {
+            name: name.to_string(),
+            handler,
+        });
+        by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an action id by name.
+    pub fn lookup(&self, name: &str) -> Option<ActionId> {
+        self.by_name.read().get(name).copied()
+    }
+
+    /// The name of an action.
+    pub fn name(&self, id: ActionId) -> Option<String> {
+        self.entries.read().get(id.0 as usize).map(|e| e.name.clone())
+    }
+
+    /// The handler of an action.
+    pub fn handler(&self, id: ActionId) -> Option<RawHandler> {
+        self.entries
+            .read()
+            .get(id.0 as usize)
+            .map(|e| Arc::clone(&e.handler))
+    }
+
+    /// Number of registered actions.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether no actions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpx_serialize::{from_bytes, to_bytes};
+
+    fn echo_handler() -> RawHandler {
+        Arc::new(|args| Ok(args))
+    }
+
+    #[test]
+    fn register_and_dispatch() {
+        let reg = ActionRegistry::new();
+        let id = reg.register("double", Arc::new(|args| {
+            let v: u64 = from_bytes(args)?;
+            Ok(to_bytes(&(v * 2)))
+        }));
+        assert_eq!(reg.lookup("double"), Some(id));
+        assert_eq!(reg.name(id).as_deref(), Some("double"));
+        let out = reg.handler(id).unwrap()(to_bytes(&21u64)).unwrap();
+        assert_eq!(from_bytes::<u64>(out).unwrap(), 42);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let reg = ActionRegistry::new();
+        let a = reg.register("a", echo_handler());
+        let b = reg.register("b", echo_handler());
+        assert_eq!(a, ActionId(0));
+        assert_eq!(b, ActionId(1));
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn unknown_lookups_return_none() {
+        let reg = ActionRegistry::new();
+        assert_eq!(reg.lookup("missing"), None);
+        assert!(reg.name(ActionId(5)).is_none());
+        assert!(reg.handler(ActionId(5)).is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_panics() {
+        let reg = ActionRegistry::new();
+        reg.register("x", echo_handler());
+        reg.register("x", echo_handler());
+    }
+
+    #[test]
+    fn handler_errors_propagate() {
+        let reg = ActionRegistry::new();
+        let id = reg.register("needs_u64", Arc::new(|args| {
+            let v: u64 = from_bytes(args)?;
+            Ok(to_bytes(&v))
+        }));
+        let err = reg.handler(id).unwrap()(Bytes::new());
+        assert!(err.is_err());
+    }
+}

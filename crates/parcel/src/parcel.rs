@@ -1,0 +1,194 @@
+//! The parcel: RPX's active message.
+
+use bytes::Bytes;
+use rpx_agas::Gid;
+use rpx_serialize::{ArchiveReader, ArchiveWriter, WireError};
+
+use crate::action::ActionId;
+
+/// An active message (HPX Fig. 3: destination, action, arguments,
+/// optional continuation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parcel {
+    /// Process-unique parcel id (diagnostics, dedup checks in tests).
+    pub id: u64,
+    /// Locality that created the parcel.
+    pub src_locality: u32,
+    /// Locality the action executes on.
+    pub dest_locality: u32,
+    /// Target object, or [`Gid::INVALID`] for plain (locality-targeted)
+    /// actions.
+    pub dest_object: Gid,
+    /// The action to execute.
+    pub action: ActionId,
+    /// Encoded action arguments.
+    pub args: Bytes,
+    /// LCO to receive the action's result, or [`Gid::INVALID`] for
+    /// fire-and-forget parcels.
+    pub continuation: Gid,
+}
+
+impl Parcel {
+    /// Encode into an archive (used for both single-parcel and coalesced
+    /// messages).
+    pub fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_varint(self.id);
+        w.put_varint(u64::from(self.src_locality));
+        w.put_varint(u64::from(self.dest_locality));
+        w.put_u64_le(self.dest_object.sequence());
+        w.put_u32_le(self.dest_object.birth_locality());
+        w.put_varint(u64::from(self.action.0));
+        w.put_bytes(&self.args);
+        w.put_u64_le(self.continuation.sequence());
+        w.put_u32_le(self.continuation.birth_locality());
+    }
+
+    /// Decode from an archive.
+    pub fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        let id = r.get_varint()?;
+        let src_locality = u32::try_from(r.get_varint()?).map_err(|_| WireError::VarintOverflow)?;
+        let dest_locality =
+            u32::try_from(r.get_varint()?).map_err(|_| WireError::VarintOverflow)?;
+        let obj_seq = r.get_u64_le()?;
+        let obj_loc = r.get_u32_le()?;
+        let action = ActionId(u32::try_from(r.get_varint()?).map_err(|_| WireError::VarintOverflow)?);
+        let args = r.get_bytes()?;
+        let cont_seq = r.get_u64_le()?;
+        let cont_loc = r.get_u32_le()?;
+        Ok(Parcel {
+            id,
+            src_locality,
+            dest_locality,
+            dest_object: Gid::from_parts(obj_loc, obj_seq),
+            action,
+            args,
+            continuation: Gid::from_parts(cont_loc, cont_seq),
+        })
+    }
+
+    /// Encode a batch of parcels as a coalesced-message payload
+    /// (count-prefixed).
+    pub fn encode_batch(parcels: &[Parcel]) -> Bytes {
+        let mut w = ArchiveWriter::with_capacity(
+            parcels.iter().map(|p| p.args.len() + 48).sum::<usize>() + 4,
+        );
+        w.put_varint(parcels.len() as u64);
+        for p in parcels {
+            p.encode(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Decode a coalesced-message payload.
+    pub fn decode_batch(payload: Bytes) -> Result<Vec<Parcel>, WireError> {
+        let mut r = ArchiveReader::new(payload);
+        let count = r.get_varint()?;
+        // Defensive bound: each parcel needs at least ~27 bytes.
+        if count > (r.remaining() as u64) {
+            return Err(WireError::LengthTooLarge {
+                len: count,
+                limit: r.remaining() as u64,
+            });
+        }
+        let mut out = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            out.push(Parcel::decode(&mut r)?);
+        }
+        r.expect_exhausted()?;
+        Ok(out)
+    }
+
+    /// Approximate wire size of this parcel in bytes.
+    pub fn wire_size(&self) -> usize {
+        // Fixed fields ≤ 40 bytes + args and its ≤5-byte length varint.
+        40 + self.args.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u64) -> Parcel {
+        Parcel {
+            id,
+            src_locality: 0,
+            dest_locality: 1,
+            dest_object: Gid::from_parts(1, 77),
+            action: ActionId(3),
+            args: Bytes::from_static(b"arguments"),
+            continuation: Gid::from_parts(0, 42),
+        }
+    }
+
+    #[test]
+    fn single_roundtrip() {
+        let p = sample(9);
+        let mut w = ArchiveWriter::new();
+        p.encode(&mut w);
+        let mut r = ArchiveReader::new(w.finish());
+        let back = Parcel::decode(&mut r).unwrap();
+        assert_eq!(back, p);
+        r.expect_exhausted().unwrap();
+    }
+
+    #[test]
+    fn fire_and_forget_has_invalid_continuation() {
+        let mut p = sample(1);
+        p.continuation = Gid::INVALID;
+        let mut w = ArchiveWriter::new();
+        p.encode(&mut w);
+        let mut r = ArchiveReader::new(w.finish());
+        let back = Parcel::decode(&mut r).unwrap();
+        assert!(!back.continuation.is_valid());
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_order() {
+        let parcels: Vec<Parcel> = (0..17).map(sample).collect();
+        let payload = Parcel::encode_batch(&parcels);
+        let back = Parcel::decode_batch(payload).unwrap();
+        assert_eq!(back, parcels);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let payload = Parcel::encode_batch(&[]);
+        assert_eq!(Parcel::decode_batch(payload).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn corrupt_batch_fails_cleanly() {
+        let parcels: Vec<Parcel> = (0..3).map(sample).collect();
+        let payload = Parcel::encode_batch(&parcels);
+        // Truncate mid-parcel.
+        let truncated = payload.slice(0..payload.len() - 5);
+        assert!(Parcel::decode_batch(truncated).is_err());
+        // Hostile count.
+        let mut w = ArchiveWriter::new();
+        w.put_varint(1 << 40);
+        assert!(Parcel::decode_batch(w.finish()).is_err());
+    }
+
+    #[test]
+    fn batch_amortises_framing() {
+        // One coalesced payload of k parcels is much smaller than k
+        // single-parcel messages' worth of payloads plus per-message
+        // overhead would imply — and exactly concatenative in content.
+        let parcels: Vec<Parcel> = (0..10).map(sample).collect();
+        let batch = Parcel::encode_batch(&parcels);
+        let mut w = ArchiveWriter::new();
+        parcels[0].encode(&mut w);
+        let single = w.finish();
+        assert!(batch.len() <= single.len() * 10 + 2);
+        assert!(batch.len() >= single.len() * 10 - 10);
+    }
+
+    #[test]
+    fn wire_size_is_a_sane_upper_bound_indicator() {
+        let p = sample(1);
+        let mut w = ArchiveWriter::new();
+        p.encode(&mut w);
+        assert!(w.len() <= p.wire_size());
+    }
+}

@@ -1,0 +1,638 @@
+//! The parcel port: per-locality send/receive engine.
+//!
+//! ## Send path
+//!
+//! `send_parcel` routes through the per-action *interceptor* table — the
+//! plug-in point where `rpx-coalesce` installs its coalescer for actions
+//! flagged for message coalescing (the analogue of
+//! `HPX_ACTION_USES_MESSAGE_COALESCING`). Unintercepted parcels, and
+//! batches emitted by interceptors, land in the egress queue. The
+//! [`ParcelPort::pump`] — run as scheduler background work — encodes
+//! egress entries into framed messages (real serialization, charged as
+//! background time) and drives the fabric's send/receive pumps.
+//!
+//! ## Receive path
+//!
+//! Delivered messages are decoded (single parcel or coalesced batch) and
+//! each parcel becomes a scheduler task via the installed [`TaskSpawner`]
+//! ("the parcel is converted into an HPX thread and placed in the
+//! scheduler queue", §II-A). If a parcel carries a continuation, the
+//! result is shipped back as a continuation parcel addressed to the
+//! origin's LCO.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use rpx_agas::Gid;
+use rpx_net::{Message, MessageKind, NetPort};
+use rpx_serialize::{ArchiveReader, ArchiveWriter, WireError};
+use rpx_util::IdAllocator;
+
+use crate::action::{ActionId, ActionRegistry};
+use crate::parcel::Parcel;
+
+/// Sink for parcels that are ready to leave the locality as one message.
+///
+/// Implemented by [`ParcelPort`]; consumed by interceptors (the coalescer
+/// flushes its queue through this).
+pub trait SendPath: Send + Sync {
+    /// Emit `parcels` (all bound for `dst`) as a single message.
+    fn emit(&self, dst: u32, parcels: Vec<Parcel>);
+}
+
+/// A per-action send-side hook (the coalescing plug-in interface).
+pub trait ParcelInterceptor: Send + Sync {
+    /// Take ownership of an outgoing parcel (queue it, or emit it
+    /// immediately through the [`SendPath`]).
+    fn submit(&self, parcel: Parcel);
+    /// Flush any internally queued parcels immediately.
+    fn flush(&self);
+}
+
+/// Schedules a closure as a lightweight task on the locality's scheduler.
+pub type TaskSpawner = Arc<dyn Fn(Box<dyn FnOnce() + Send + 'static>) + Send + Sync>;
+
+/// Parcel-level traffic statistics.
+#[derive(Debug, Default)]
+pub struct ParcelPortStats {
+    /// Parcels submitted for sending.
+    pub parcels_sent: AtomicU64,
+    /// Parcels decoded from received messages.
+    pub parcels_received: AtomicU64,
+    /// Messages encoded and handed to the fabric.
+    pub messages_sent: AtomicU64,
+    /// Messages received and decoded.
+    pub messages_received: AtomicU64,
+    /// Parcels dropped (unknown action, decode failure).
+    pub dropped: AtomicU64,
+}
+
+struct Inner {
+    locality: u32,
+    actions: Arc<ActionRegistry>,
+    net: NetPort,
+    interceptors: RwLock<HashMap<ActionId, Arc<dyn ParcelInterceptor>>>,
+    /// Actions executed inline on the receive path instead of being
+    /// spawned as tasks (HPX "direct actions"); used for cheap runtime
+    /// internals like continuation delivery.
+    direct_actions: RwLock<std::collections::HashSet<ActionId>>,
+    egress_tx: Sender<(u32, Vec<Parcel>)>,
+    egress_rx: Receiver<(u32, Vec<Parcel>)>,
+    spawner: RwLock<Option<TaskSpawner>>,
+    /// The action used to deliver continuation results (registered by the
+    /// runtime core as its `set-lco` builtin).
+    continuation_action: RwLock<Option<ActionId>>,
+    notify: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
+    ids: IdAllocator,
+    stats: ParcelPortStats,
+    /// Egress entries popped but not yet handed to the fabric (mid-pump);
+    /// keeps quiescence checks honest.
+    processing: std::sync::atomic::AtomicUsize,
+}
+
+/// The per-locality parcel engine.
+pub struct ParcelPort {
+    inner: Arc<Inner>,
+}
+
+/// Egress entries encoded per pump call (bounds per-poll latency).
+const PUMP_BATCH: usize = 8;
+
+impl ParcelPort {
+    /// Create a port for `locality` on `net`, dispatching into `actions`.
+    ///
+    /// The returned port is installed as the fabric receive handler.
+    pub fn new(locality: u32, net: NetPort, actions: Arc<ActionRegistry>) -> Arc<Self> {
+        let (egress_tx, egress_rx) = unbounded();
+        let inner = Arc::new(Inner {
+            locality,
+            actions,
+            net,
+            interceptors: RwLock::new(HashMap::new()),
+            direct_actions: RwLock::new(std::collections::HashSet::new()),
+            egress_tx,
+            egress_rx,
+            spawner: RwLock::new(None),
+            continuation_action: RwLock::new(None),
+            notify: RwLock::new(None),
+            ids: IdAllocator::new(),
+            stats: ParcelPortStats::default(),
+            processing: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let weak = Arc::downgrade(&inner);
+        inner.net.set_receiver(move |message| {
+            if let Some(inner) = weak.upgrade() {
+                receive_message(&inner, message);
+            }
+        });
+        Arc::new(ParcelPort { inner })
+    }
+
+    /// This port's locality.
+    pub fn locality(&self) -> u32 {
+        self.inner.locality
+    }
+
+    /// Parcel statistics.
+    pub fn stats(&self) -> &ParcelPortStats {
+        &self.inner.stats
+    }
+
+    /// The underlying network port.
+    pub fn net(&self) -> &NetPort {
+        &self.inner.net
+    }
+
+    /// The shared action registry.
+    pub fn actions(&self) -> &Arc<ActionRegistry> {
+        &self.inner.actions
+    }
+
+    /// Install the task spawner (the locality's scheduler).
+    pub fn set_spawner(&self, spawner: TaskSpawner) {
+        *self.inner.spawner.write() = Some(spawner);
+    }
+
+    /// Install the wake-up hook (typically `Scheduler::notify`).
+    pub fn set_notify(&self, notify: impl Fn() + Send + Sync + 'static) {
+        *self.inner.notify.write() = Some(Arc::new(notify));
+    }
+
+    /// Declare which action delivers continuation results.
+    pub fn set_continuation_action(&self, action: ActionId) {
+        *self.inner.continuation_action.write() = Some(action);
+    }
+
+    /// Mark an action as *direct*: received parcels for it run inline on
+    /// the pumping (background) thread instead of becoming tasks. Only
+    /// suitable for short, non-blocking handlers.
+    pub fn set_direct(&self, action: ActionId) {
+        self.inner.direct_actions.write().insert(action);
+    }
+
+    /// Install (or replace) a send-side interceptor for `action`.
+    pub fn set_interceptor(&self, action: ActionId, interceptor: Arc<dyn ParcelInterceptor>) {
+        self.inner.interceptors.write().insert(action, interceptor);
+    }
+
+    /// Remove the interceptor for `action`, if any.
+    pub fn clear_interceptor(&self, action: ActionId) -> bool {
+        self.inner.interceptors.write().remove(&action).is_some()
+    }
+
+    /// Flush every interceptor's queued parcels.
+    pub fn flush_interceptors(&self) {
+        let interceptors: Vec<_> = self.inner.interceptors.read().values().cloned().collect();
+        for i in interceptors {
+            i.flush();
+        }
+    }
+
+    /// Submit a parcel for transmission.
+    ///
+    /// Assigns a fresh parcel id if the id is zero. Flagged actions pass
+    /// through their interceptor (the coalescer); others go straight to
+    /// the egress queue.
+    pub fn send_parcel(&self, mut parcel: Parcel) {
+        if parcel.id == 0 {
+            parcel.id = self.inner.ids.next();
+        }
+        self.inner.stats.parcels_sent.fetch_add(1, Ordering::Relaxed);
+        let interceptor = self.inner.interceptors.read().get(&parcel.action).cloned();
+        match interceptor {
+            Some(i) => i.submit(parcel),
+            None => self.emit(parcel.dest_locality, vec![parcel]),
+        }
+    }
+
+    /// Pump the send engine once:
+    /// 1. encode queued egress entries into framed messages (serialization
+    ///    work, charged to the calling — background — thread),
+    /// 2. drive the fabric's send and receive pumps.
+    ///
+    /// Returns `true` if any work was done.
+    pub fn pump(&self) -> bool {
+        let mut did_work = false;
+        for _ in 0..PUMP_BATCH {
+            let Ok((dst, parcels)) = self.inner.egress_rx.try_recv() else {
+                break;
+            };
+            self.inner
+                .processing
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            did_work = true;
+            let (kind, payload) = encode_message(&parcels);
+            self.inner
+                .stats
+                .messages_sent
+                .fetch_add(1, Ordering::Relaxed);
+            self.inner
+                .net
+                .send(Message::new(self.inner.locality, dst, kind, payload));
+            self.inner
+                .processing
+                .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        }
+        let sent = self.inner.net.pump_send();
+        let received = self.inner.net.pump_recv();
+        did_work || sent || received
+    }
+
+    /// Parcels queued for encoding but not yet framed.
+    pub fn egress_backlog(&self) -> usize {
+        self.inner.egress_rx.len()
+    }
+
+    /// Egress entries currently being encoded (mid-pump).
+    pub fn processing(&self) -> usize {
+        self.inner.processing.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+impl SendPath for ParcelPort {
+    fn emit(&self, dst: u32, parcels: Vec<Parcel>) {
+        debug_assert!(!parcels.is_empty(), "emit of empty batch");
+        debug_assert!(parcels.iter().all(|p| p.dest_locality == dst));
+        self.inner
+            .egress_tx
+            .send((dst, parcels))
+            .expect("egress channel lives as long as the port");
+        if let Some(n) = self.inner.notify.read().as_ref() {
+            n();
+        }
+    }
+}
+
+fn encode_message(parcels: &[Parcel]) -> (MessageKind, Bytes) {
+    if parcels.len() == 1 {
+        let mut w = ArchiveWriter::with_capacity(parcels[0].wire_size());
+        parcels[0].encode(&mut w);
+        (MessageKind::Parcel, w.finish())
+    } else {
+        (MessageKind::Coalesced, Parcel::encode_batch(parcels))
+    }
+}
+
+fn receive_message(inner: &Arc<Inner>, message: Message) {
+    inner
+        .stats
+        .messages_received
+        .fetch_add(1, Ordering::Relaxed);
+    let parcels = match message.kind {
+        MessageKind::Parcel => {
+            let mut r = ArchiveReader::new(message.payload);
+            match Parcel::decode(&mut r) {
+                Ok(p) => vec![p],
+                Err(_) => {
+                    inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        MessageKind::Coalesced => match Parcel::decode_batch(message.payload) {
+            Ok(ps) => ps,
+            Err(_) => {
+                inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        },
+        MessageKind::Control => return,
+    };
+    inner
+        .stats
+        .parcels_received
+        .fetch_add(parcels.len() as u64, Ordering::Relaxed);
+    let spawner = inner.spawner.read().clone();
+    let Some(spawner) = spawner else {
+        inner
+            .stats
+            .dropped
+            .fetch_add(parcels.len() as u64, Ordering::Relaxed);
+        return;
+    };
+    for parcel in parcels {
+        let weak = Arc::downgrade(inner);
+        if inner.direct_actions.read().contains(&parcel.action) {
+            // Direct action: run inline on the pumping thread. This keeps
+            // continuation delivery alive even when every scheduler worker
+            // is blocked in a cooperative wait.
+            execute_parcel(&weak, parcel);
+        } else {
+            spawner(Box::new(move || execute_parcel(&weak, parcel)));
+        }
+    }
+}
+
+/// Run a received parcel's action and deliver its continuation, if any.
+fn execute_parcel(inner: &Weak<Inner>, parcel: Parcel) {
+    let Some(inner) = inner.upgrade() else {
+        return;
+    };
+    let Some(handler) = inner.actions.handler(parcel.action) else {
+        inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    match handler(parcel.args.clone()) {
+        Ok(result) => {
+            if parcel.continuation.is_valid() {
+                deliver_result(&inner, parcel.continuation, parcel.src_locality, result);
+            }
+        }
+        Err(_) => {
+            inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn deliver_result(inner: &Arc<Inner>, continuation: Gid, dest: u32, result: Bytes) {
+    let Some(action) = *inner.continuation_action.read() else {
+        inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let response = Parcel {
+        id: inner.ids.next(),
+        src_locality: inner.locality,
+        dest_locality: dest,
+        dest_object: Gid::INVALID,
+        action,
+        args: encode_continuation_args(continuation, &result),
+        continuation: Gid::INVALID,
+    };
+    inner.stats.parcels_sent.fetch_add(1, Ordering::Relaxed);
+    // Continuation parcels can themselves be intercepted (coalesced) if
+    // the runtime flags the continuation action.
+    let interceptor = inner.interceptors.read().get(&action).cloned();
+    match interceptor {
+        Some(i) => i.submit(response),
+        None => {
+            inner
+                .egress_tx
+                .send((dest, vec![response]))
+                .expect("egress channel lives as long as the port");
+            if let Some(n) = inner.notify.read().as_ref() {
+                n();
+            }
+        }
+    }
+}
+
+/// Encode the payload of a continuation-delivery parcel.
+pub fn encode_continuation_args(target: Gid, result: &Bytes) -> Bytes {
+    let mut w = ArchiveWriter::with_capacity(result.len() + 16);
+    w.put_u32_le(target.birth_locality());
+    w.put_u64_le(target.sequence());
+    w.put_bytes(result);
+    w.finish()
+}
+
+/// Decode the payload of a continuation-delivery parcel.
+pub fn decode_continuation_args(args: Bytes) -> Result<(Gid, Bytes), WireError> {
+    let mut r = ArchiveReader::new(args);
+    let birth = r.get_u32_le()?;
+    let seq = r.get_u64_le()?;
+    let result = r.get_bytes()?;
+    r.expect_exhausted()?;
+    Ok((Gid::from_parts(birth, seq), result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpx_net::{Fabric, LinkModel};
+    use rpx_serialize::{from_bytes, to_bytes};
+    use std::time::{Duration, Instant};
+
+    /// A spawner that runs tasks inline on the pumping thread —
+    /// deterministic for unit tests.
+    fn inline_spawner() -> TaskSpawner {
+        Arc::new(|f| f())
+    }
+
+    fn two_ports() -> (Arc<ParcelPort>, Arc<ParcelPort>, Arc<ActionRegistry>) {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let actions = ActionRegistry::new();
+        let p0 = ParcelPort::new(0, fabric.port(0), Arc::clone(&actions));
+        let p1 = ParcelPort::new(1, fabric.port(1), Arc::clone(&actions));
+        p0.set_spawner(inline_spawner());
+        p1.set_spawner(inline_spawner());
+        (p0, p1, actions)
+    }
+
+    fn pump_until(ports: &[&Arc<ParcelPort>], done: impl Fn() -> bool, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !done() {
+            for p in ports {
+                p.pump();
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn plain_parcel(dst: u32, action: ActionId, args: Bytes) -> Parcel {
+        Parcel {
+            id: 0,
+            src_locality: if dst == 0 { 1 } else { 0 },
+            dest_locality: dst,
+            dest_object: Gid::INVALID,
+            action,
+            args,
+            continuation: Gid::INVALID,
+        }
+    }
+
+    #[test]
+    fn fire_and_forget_parcel_executes_remotely() {
+        let (p0, p1, actions) = two_ports();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let act = actions.register("bump", Arc::new(move |args| {
+            let v: u64 = from_bytes(args)?;
+            h.fetch_add(v, Ordering::SeqCst);
+            Ok(Bytes::new())
+        }));
+        p0.send_parcel(plain_parcel(1, act, to_bytes(&5u64)));
+        assert!(pump_until(
+            &[&p0, &p1],
+            || hits.load(Ordering::SeqCst) == 5,
+            Duration::from_secs(2)
+        ));
+        assert_eq!(p0.stats().parcels_sent.load(Ordering::SeqCst), 1);
+        assert_eq!(p1.stats().parcels_received.load(Ordering::SeqCst), 1);
+        assert_eq!(p1.stats().messages_received.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn continuation_result_comes_back() {
+        let (p0, p1, actions) = two_ports();
+        let double = actions.register("double", Arc::new(|args| {
+            let v: u64 = from_bytes(args)?;
+            Ok(to_bytes(&(v * 2)))
+        }));
+        // Register a set-lco action capturing results on locality 0.
+        let results: Arc<parking_lot::Mutex<Vec<(Gid, u64)>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let r = Arc::clone(&results);
+        let set_lco = actions.register("set-lco", Arc::new(move |args| {
+            let (gid, payload) = decode_continuation_args(args)?;
+            r.lock().push((gid, from_bytes(payload)?));
+            Ok(Bytes::new())
+        }));
+        p0.set_continuation_action(set_lco);
+        p1.set_continuation_action(set_lco);
+
+        let cont = Gid::from_parts(0, 99);
+        let mut parcel = plain_parcel(1, double, to_bytes(&21u64));
+        parcel.continuation = cont;
+        p0.send_parcel(parcel);
+        assert!(pump_until(
+            &[&p0, &p1],
+            || !results.lock().is_empty(),
+            Duration::from_secs(2)
+        ));
+        assert_eq!(results.lock()[0], (cont, 42));
+    }
+
+    #[test]
+    fn interceptor_captures_flagged_action_only() {
+        struct Capture {
+            held: parking_lot::Mutex<Vec<Parcel>>,
+        }
+        impl ParcelInterceptor for Capture {
+            fn submit(&self, parcel: Parcel) {
+                self.held.lock().push(parcel);
+            }
+            fn flush(&self) {}
+        }
+        let (p0, _p1, actions) = two_ports();
+        let flagged = actions.register("flagged", Arc::new(|_| Ok(Bytes::new())));
+        let normal = actions.register("normal", Arc::new(|_| Ok(Bytes::new())));
+        let cap = Arc::new(Capture {
+            held: parking_lot::Mutex::new(Vec::new()),
+        });
+        p0.set_interceptor(flagged, cap.clone());
+
+        p0.send_parcel(plain_parcel(1, flagged, Bytes::new()));
+        p0.send_parcel(plain_parcel(1, normal, Bytes::new()));
+        // The flagged parcel sits in the interceptor, the normal one in
+        // the egress queue.
+        assert_eq!(cap.held.lock().len(), 1);
+        assert_eq!(p0.egress_backlog(), 1);
+        assert!(p0.clear_interceptor(flagged));
+        assert!(!p0.clear_interceptor(flagged));
+    }
+
+    #[test]
+    fn batch_emission_travels_as_one_coalesced_message() {
+        let (p0, p1, actions) = two_ports();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let act = actions.register("inc", Arc::new(move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+            Ok(Bytes::new())
+        }));
+        let parcels: Vec<Parcel> = (0..10)
+            .map(|i| {
+                let mut p = plain_parcel(1, act, Bytes::new());
+                p.id = i + 1;
+                p
+            })
+            .collect();
+        p0.emit(1, parcels);
+        assert!(pump_until(
+            &[&p0, &p1],
+            || count.load(Ordering::SeqCst) == 10,
+            Duration::from_secs(2)
+        ));
+        // One message on the wire, ten parcels decoded.
+        assert_eq!(p1.stats().messages_received.load(Ordering::SeqCst), 1);
+        assert_eq!(p1.stats().parcels_received.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn unknown_action_is_dropped_not_fatal() {
+        let (p0, p1, _actions) = two_ports();
+        p0.send_parcel(plain_parcel(1, ActionId(999), Bytes::new()));
+        assert!(pump_until(
+            &[&p0, &p1],
+            || p1.stats().dropped.load(Ordering::SeqCst) == 1,
+            Duration::from_secs(2)
+        ));
+    }
+
+    #[test]
+    fn handler_decode_failure_is_dropped() {
+        let (p0, p1, actions) = two_ports();
+        let act = actions.register("needs-u64", Arc::new(|args| {
+            let v: u64 = from_bytes(args)?;
+            Ok(to_bytes(&v))
+        }));
+        p0.send_parcel(plain_parcel(1, act, Bytes::new()));
+        assert!(pump_until(
+            &[&p0, &p1],
+            || p1.stats().dropped.load(Ordering::SeqCst) == 1,
+            Duration::from_secs(2)
+        ));
+    }
+
+    #[test]
+    fn parcel_ids_are_assigned_uniquely() {
+        let (p0, _p1, actions) = two_ports();
+        struct Keep(parking_lot::Mutex<Vec<u64>>);
+        impl ParcelInterceptor for Keep {
+            fn submit(&self, p: Parcel) {
+                self.0.lock().push(p.id);
+            }
+            fn flush(&self) {}
+        }
+        let act = actions.register("ids", Arc::new(|_| Ok(Bytes::new())));
+        let keep = Arc::new(Keep(parking_lot::Mutex::new(Vec::new())));
+        p0.set_interceptor(act, keep.clone());
+        for _ in 0..100 {
+            p0.send_parcel(plain_parcel(1, act, Bytes::new()));
+        }
+        let ids = keep.0.lock();
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), 100);
+        assert!(ids.iter().all(|&id| id != 0));
+    }
+
+    #[test]
+    fn continuation_args_roundtrip() {
+        let gid = Gid::from_parts(3, 0xabcdef);
+        let payload = Bytes::from_static(b"result");
+        let encoded = encode_continuation_args(gid, &payload);
+        let (g, p) = decode_continuation_args(encoded).unwrap();
+        assert_eq!(g, gid);
+        assert_eq!(p.as_ref(), b"result");
+        assert!(decode_continuation_args(Bytes::from_static(b"xx")).is_err());
+    }
+
+    #[test]
+    fn flush_interceptors_reaches_every_interceptor() {
+        struct Flushy(AtomicU64);
+        impl ParcelInterceptor for Flushy {
+            fn submit(&self, _p: Parcel) {}
+            fn flush(&self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (p0, _p1, actions) = two_ports();
+        let a = actions.register("a1", Arc::new(|_| Ok(Bytes::new())));
+        let b = actions.register("b1", Arc::new(|_| Ok(Bytes::new())));
+        let fa = Arc::new(Flushy(AtomicU64::new(0)));
+        let fb = Arc::new(Flushy(AtomicU64::new(0)));
+        p0.set_interceptor(a, fa.clone());
+        p0.set_interceptor(b, fb.clone());
+        p0.flush_interceptors();
+        assert_eq!(fa.0.load(Ordering::SeqCst), 1);
+        assert_eq!(fb.0.load(Ordering::SeqCst), 1);
+    }
+}

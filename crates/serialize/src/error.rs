@@ -1,0 +1,50 @@
+//! Serialization errors.
+
+use std::fmt;
+
+/// Errors produced while decoding an archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The reader ran out of bytes.
+    UnexpectedEof {
+        /// Bytes requested.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A varint used more than 10 bytes (would overflow `u64`).
+    VarintOverflow,
+    /// A length prefix exceeded the configured sanity limit.
+    LengthTooLarge {
+        /// The decoded length.
+        len: u64,
+        /// The limit in force.
+        limit: u64,
+    },
+    /// An enum/option discriminant byte had an invalid value.
+    BadDiscriminant(u8),
+    /// A `String` payload was not valid UTF-8.
+    InvalidUtf8,
+    /// The archive had trailing bytes after a complete decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of archive: needed {needed} bytes, {remaining} remaining"
+            ),
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::LengthTooLarge { len, limit } => {
+                write!(f, "length prefix {len} exceeds limit {limit}")
+            }
+            WireError::BadDiscriminant(d) => write!(f, "invalid discriminant byte {d}"),
+            WireError::InvalidUtf8 => write!(f, "string payload is not valid UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,37 @@
+//! # rpx-serialize
+//!
+//! Compact binary serialization for RPX parcels.
+//!
+//! To transmit a parcel over the network HPX serialises it into a stream of
+//! bytes and reconstructs it on the receiving side (§II-A of the paper).
+//! That (de)serialization work is a real part of the per-message overhead
+//! the coalescing optimisation amortises, so RPX performs it for real
+//! rather than passing pointers around, even though all localities live in
+//! one process.
+//!
+//! The format is a simple, non-self-describing little-endian binary
+//! archive:
+//!
+//! * unsigned integers: LEB128 varints,
+//! * signed integers: zigzag + varint,
+//! * `f32`/`f64`: raw little-endian bits,
+//! * sequences (`Vec`, `String`, byte slices): varint length prefix,
+//! * `Option`: 1-byte discriminant,
+//! * tuples/structs: field concatenation.
+//!
+//! [`ArchiveWriter`] and [`ArchiveReader`] implement the encoding;
+//! the [`Wire`] trait makes types serializable. Readers bound-check every
+//! access and fail with typed [`WireError`]s — a malformed message must
+//! never panic the runtime.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod reader;
+pub mod wire;
+pub mod writer;
+
+pub use error::WireError;
+pub use reader::ArchiveReader;
+pub use wire::{from_bytes, to_bytes, Wire};
+pub use writer::ArchiveWriter;

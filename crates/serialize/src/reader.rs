@@ -1,0 +1,308 @@
+//! The archive decoder.
+
+use bytes::Bytes;
+
+use crate::error::WireError;
+
+/// Sanity limit on decoded length prefixes (256 MiB).
+///
+/// A corrupted length prefix must not cause a multi-gigabyte allocation;
+/// real parcels are at most a few megabytes even at Parquet scale.
+pub const MAX_LENGTH: u64 = 256 * 1024 * 1024;
+
+/// Decodes values from a byte buffer with bounds checking.
+#[derive(Debug, Clone)]
+pub struct ArchiveReader {
+    buf: Bytes,
+    pos: usize,
+}
+
+impl ArchiveReader {
+    /// Read from an owned buffer.
+    pub fn new(buf: Bytes) -> Self {
+        ArchiveReader { buf, pos: 0 }
+    }
+
+    /// Read from a byte slice (copies).
+    pub fn from_slice(buf: &[u8]) -> Self {
+        ArchiveReader {
+            buf: Bytes::copy_from_slice(buf),
+            pos: 0,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fail unless the archive was fully consumed.
+    pub fn expect_exhausted(&self) -> Result<(), WireError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a LEB128 varint.
+    pub fn get_varint(&mut self) -> Result<u64, WireError> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            result |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Read a zigzag-encoded signed varint.
+    pub fn get_varint_signed(&mut self) -> Result<i64, WireError> {
+        let v = self.get_varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// Read a fixed-width little-endian `u32`.
+    pub fn get_u32_le(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a fixed-width little-endian `u64`.
+    pub fn get_u64_le(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read an `f64` from its little-endian bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64_le()?))
+    }
+
+    /// Read an `f32` from its little-endian bit pattern.
+    pub fn get_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.get_u32_le()?))
+    }
+
+    /// Read a length prefix, enforcing [`MAX_LENGTH`] and the remaining
+    /// buffer size.
+    pub fn get_len(&mut self) -> Result<usize, WireError> {
+        let len = self.get_varint()?;
+        if len > MAX_LENGTH {
+            return Err(WireError::LengthTooLarge {
+                len,
+                limit: MAX_LENGTH,
+            });
+        }
+        // A length can never legitimately exceed what is left in the buffer;
+        // catching it here turns huge bogus allocations into clean errors.
+        if len as usize > self.remaining() {
+            return Err(WireError::UnexpectedEof {
+                needed: len as usize,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len as usize)
+    }
+
+    /// Read length-prefixed bytes as a zero-copy slice of the archive.
+    pub fn get_bytes(&mut self) -> Result<Bytes, WireError> {
+        let len = self.get_len()?;
+        let start = self.pos;
+        self.pos += len;
+        Ok(self.buf.slice(start..start + len))
+    }
+
+    /// Read `n` raw bytes (no length prefix) as a zero-copy slice.
+    pub fn get_raw(&mut self, n: usize) -> Result<Bytes, WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let start = self.pos;
+        self.pos += n;
+        Ok(self.buf.slice(start..start + n))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::ArchiveWriter;
+
+    #[test]
+    fn varint_roundtrip() {
+        let values = [0u64, 1, 127, 128, 300, 16384, u32::MAX as u64, u64::MAX];
+        let mut w = ArchiveWriter::new();
+        for &v in &values {
+            w.put_varint(v);
+        }
+        let mut r = ArchiveReader::new(w.finish());
+        for &v in &values {
+            assert_eq!(r.get_varint().unwrap(), v);
+        }
+        assert!(r.is_exhausted());
+        r.expect_exhausted().unwrap();
+    }
+
+    #[test]
+    fn signed_varint_roundtrip() {
+        let values = [0i64, -1, 1, i64::MIN, i64::MAX, -123456, 123456];
+        let mut w = ArchiveWriter::new();
+        for &v in &values {
+            w.put_varint_signed(v);
+        }
+        let mut r = ArchiveReader::new(w.finish());
+        for &v in &values {
+            assert_eq!(r.get_varint_signed().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn eof_is_detected() {
+        let mut r = ArchiveReader::from_slice(&[1, 2]);
+        assert!(r.get_u32_le().is_err());
+        let mut r = ArchiveReader::from_slice(&[]);
+        assert_eq!(
+            r.get_u8(),
+            Err(WireError::UnexpectedEof {
+                needed: 1,
+                remaining: 0
+            })
+        );
+    }
+
+    #[test]
+    fn varint_overflow_is_detected() {
+        // 11 continuation bytes.
+        let bytes = [0xffu8; 11];
+        let mut r = ArchiveReader::from_slice(&bytes);
+        assert_eq!(r.get_varint(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn truncated_varint_is_eof() {
+        let mut r = ArchiveReader::from_slice(&[0x80]);
+        assert!(matches!(
+            r.get_varint(),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn bogus_length_prefix_fails_cleanly() {
+        // Length claims 1000 bytes but only 2 follow.
+        let mut w = ArchiveWriter::new();
+        w.put_varint(1000);
+        w.put_raw(&[1, 2]);
+        let mut r = ArchiveReader::new(w.finish());
+        assert!(matches!(
+            r.get_bytes(),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn enormous_length_prefix_is_rejected() {
+        let mut w = ArchiveWriter::new();
+        w.put_varint(u64::MAX / 2);
+        let mut r = ArchiveReader::new(w.finish());
+        assert!(matches!(
+            r.get_len(),
+            Err(WireError::LengthTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn string_roundtrip_and_invalid_utf8() {
+        let mut w = ArchiveWriter::new();
+        w.put_str("héllo");
+        let mut r = ArchiveReader::new(w.finish());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+
+        let mut w = ArchiveWriter::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let mut r = ArchiveReader::new(w.finish());
+        assert_eq!(r.get_str(), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn zero_copy_bytes_slice() {
+        let mut w = ArchiveWriter::new();
+        w.put_bytes(b"payload");
+        w.put_u8(9);
+        let buf = w.finish();
+        let mut r = ArchiveReader::new(buf);
+        let payload = r.get_bytes().unwrap();
+        assert_eq!(payload.as_ref(), b"payload");
+        assert_eq!(r.get_u8().unwrap(), 9);
+    }
+
+    #[test]
+    fn trailing_bytes_reported() {
+        let mut r = ArchiveReader::from_slice(&[1, 2, 3]);
+        r.get_u8().unwrap();
+        assert_eq!(r.expect_exhausted(), Err(WireError::TrailingBytes(2)));
+    }
+
+    #[test]
+    fn floats_roundtrip_bitwise() {
+        let values = [0.0f64, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, f64::NAN];
+        let mut w = ArchiveWriter::new();
+        for &v in &values {
+            w.put_f64(v);
+        }
+        w.put_f32(2.5);
+        let mut r = ArchiveReader::new(w.finish());
+        for &v in &values {
+            let got = r.get_f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+        assert_eq!(r.get_f32().unwrap(), 2.5);
+    }
+
+    #[test]
+    fn get_raw_without_prefix() {
+        let mut r = ArchiveReader::from_slice(b"abcdef");
+        assert_eq!(r.get_raw(3).unwrap().as_ref(), b"abc");
+        assert_eq!(r.remaining(), 3);
+        assert!(r.get_raw(4).is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! The [`Wire`] trait: types that can cross the fabric.
+//!
+//! Action arguments and results implement `Wire`; the parcel subsystem
+//! serialises them on send and reconstructs them on receive, exactly like
+//! HPX's serialization layer (§II-A). Implementations are provided for the
+//! primitives, tuples, `Vec`, `String`, `Option` and
+//! [`rpx_util::Complex64`] — everything the paper's two applications need.
+
+use bytes::Bytes;
+use rpx_util::Complex64;
+
+use crate::error::WireError;
+use crate::reader::ArchiveReader;
+use crate::writer::ArchiveWriter;
+
+/// A type with a binary wire representation.
+pub trait Wire: Sized {
+    /// Append `self` to the archive.
+    fn encode(&self, w: &mut ArchiveWriter);
+    /// Decode an instance from the archive.
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError>;
+}
+
+/// Serialize a value into a fresh buffer.
+pub fn to_bytes<T: Wire>(value: &T) -> Bytes {
+    let mut w = ArchiveWriter::new();
+    value.encode(&mut w);
+    w.finish()
+}
+
+/// Deserialize a value, requiring the buffer to be fully consumed.
+pub fn from_bytes<T: Wire>(bytes: Bytes) -> Result<T, WireError> {
+    let mut r = ArchiveReader::new(bytes);
+    let v = T::decode(&mut r)?;
+    r.expect_exhausted()?;
+    Ok(v)
+}
+
+impl Wire for () {
+    fn encode(&self, _w: &mut ArchiveWriter) {}
+    fn decode(_r: &mut ArchiveReader) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_u8(u8::from(*self));
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_u8(*self);
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        r.get_u8()
+    }
+}
+
+macro_rules! impl_wire_unsigned {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, w: &mut ArchiveWriter) {
+                w.put_varint(u64::from(*self));
+            }
+            fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+                let v = r.get_varint()?;
+                <$t>::try_from(v).map_err(|_| WireError::VarintOverflow)
+            }
+        }
+    )*};
+}
+impl_wire_unsigned!(u16, u32);
+
+impl Wire for u64 {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_varint(*self);
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        r.get_varint()
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_varint(*self as u64);
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        let v = r.get_varint()?;
+        usize::try_from(v).map_err(|_| WireError::VarintOverflow)
+    }
+}
+
+macro_rules! impl_wire_signed {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, w: &mut ArchiveWriter) {
+                w.put_varint_signed(i64::from(*self));
+            }
+            fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+                let v = r.get_varint_signed()?;
+                <$t>::try_from(v).map_err(|_| WireError::VarintOverflow)
+            }
+        }
+    )*};
+}
+impl_wire_signed!(i8, i16, i32);
+
+impl Wire for i64 {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_varint_signed(*self);
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        r.get_varint_signed()
+    }
+}
+
+impl Wire for f32 {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_f32(*self);
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        r.get_f32()
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_f64(*self);
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        r.get_f64()
+    }
+}
+
+impl Wire for Complex64 {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_f64(self.re);
+        w.put_f64(self.im);
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        Ok(Complex64::new(r.get_f64()?, r.get_f64()?))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        r.get_str()
+    }
+}
+
+impl Wire for Bytes {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_bytes(self);
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        r.get_bytes()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        w.put_varint(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        let len = r.get_varint()?;
+        // Conservative pre-allocation guard: never reserve more slots than
+        // remaining bytes (every element takes at least one byte).
+        if len as usize > r.remaining().max(1) * 8 {
+            return Err(WireError::LengthTooLarge {
+                len,
+                limit: (r.remaining() * 8) as u64,
+            });
+        }
+        let mut out = Vec::with_capacity((len as usize).min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, w: &mut ArchiveWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            d => Err(WireError::BadDiscriminant(d)),
+        }
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, w: &mut ArchiveWriter) {
+                $(self.$idx.encode(w);)+
+            }
+            fn decode(r: &mut ArchiveReader) -> Result<Self, WireError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+impl_wire_tuple!(A: 0);
+impl_wire_tuple!(A: 0, B: 1);
+impl_wire_tuple!(A: 0, B: 1, C: 2);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        let back: T = from_bytes(bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(());
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(12345u16);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(-1i8);
+        roundtrip(i16::MIN);
+        roundtrip(i32::MIN);
+        roundtrip(i64::MIN);
+        roundtrip(1.5f32);
+        roundtrip(-2.75f64);
+    }
+
+    #[test]
+    fn complex_roundtrip() {
+        roundtrip(Complex64::new(13.3, -23.8));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(String::from("hello world"));
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(42i64));
+        roundtrip(Option::<i64>::None);
+        roundtrip(vec![Complex64::new(1.0, 2.0); 100]);
+        roundtrip(Bytes::from_static(b"raw"));
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        roundtrip((1u32,));
+        roundtrip((1u32, String::from("x")));
+        roundtrip((1u32, 2.5f64, vec![1u8, 2]));
+        roundtrip((1u8, 2u16, 3u32, 4u64));
+        roundtrip((1u8, 2u16, 3u32, 4u64, Complex64::I));
+    }
+
+    #[test]
+    fn bool_bad_discriminant() {
+        let r: Result<bool, _> = from_bytes(Bytes::from_static(&[2]));
+        assert_eq!(r, Err(WireError::BadDiscriminant(2)));
+        let r: Result<Option<u8>, _> = from_bytes(Bytes::from_static(&[9]));
+        assert_eq!(r, Err(WireError::BadDiscriminant(9)));
+    }
+
+    #[test]
+    fn narrowing_overflow_detected() {
+        let bytes = to_bytes(&u64::MAX);
+        let r: Result<u32, _> = from_bytes(bytes);
+        assert_eq!(r, Err(WireError::VarintOverflow));
+        let bytes = to_bytes(&i64::MIN);
+        let r: Result<i32, _> = from_bytes(bytes);
+        assert_eq!(r, Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_from_bytes() {
+        let mut w = ArchiveWriter::new();
+        w.put_varint(5);
+        w.put_u8(0xaa);
+        let r: Result<u64, _> = from_bytes(w.finish());
+        assert_eq!(r, Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hostile_vec_length_rejected() {
+        // Vec<u64> claiming 2^40 elements in a 3-byte buffer.
+        let mut w = ArchiveWriter::new();
+        w.put_varint(1 << 40);
+        let r: Result<Vec<u64>, _> = from_bytes(w.finish());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn toy_payload_size() {
+        // The toy application sends a single complex double per parcel:
+        // 16 bytes on the wire, no framing overhead at this layer.
+        assert_eq!(to_bytes(&Complex64::new(13.3, -23.8)).len(), 16);
+    }
+
+    #[test]
+    fn parquet_payload_size() {
+        // A Parquet rotation parcel carries Nc complex doubles.
+        let nc = 32;
+        let payload = vec![Complex64::ZERO; nc];
+        let bytes = to_bytes(&payload);
+        assert_eq!(bytes.len(), 1 + nc * 16); // 1-byte varint length for 32
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn u64_roundtrips(v in any::<u64>()) {
+            let b = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<u64>(b).unwrap(), v);
+        }
+
+        #[test]
+        fn i64_roundtrips(v in any::<i64>()) {
+            let b = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<i64>(b).unwrap(), v);
+        }
+
+        #[test]
+        fn f64_roundtrips_bitwise(v in any::<f64>()) {
+            let b = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<f64>(b).unwrap().to_bits(), v.to_bits());
+        }
+
+        #[test]
+        fn strings_roundtrip(s in ".*") {
+            let b = to_bytes(&s);
+            prop_assert_eq!(from_bytes::<String>(b).unwrap(), s);
+        }
+
+        #[test]
+        fn vec_of_complex_roundtrips(v in proptest::collection::vec((any::<f64>(), any::<f64>()), 0..64)) {
+            let v: Vec<Complex64> = v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect();
+            let b = to_bytes(&v);
+            let back = from_bytes::<Vec<Complex64>>(b).unwrap();
+            prop_assert_eq!(back.len(), v.len());
+            for (a, b) in back.iter().zip(&v) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic_decoding(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // Decoding must fail cleanly, never panic, on arbitrary input.
+            let _ = from_bytes::<Vec<u64>>(Bytes::from(data.clone()));
+            let _ = from_bytes::<String>(Bytes::from(data.clone()));
+            let _ = from_bytes::<(u32, Option<Complex64>)>(Bytes::from(data));
+        }
+
+        #[test]
+        fn nested_tuple_roundtrips(a in any::<u32>(), b in any::<i32>(), s in ".{0,16}", o in proptest::option::of(any::<u64>())) {
+            let v = (a, b, s.clone(), o);
+            let bytes = to_bytes(&v);
+            let back: (u32, i32, String, Option<u64>) = from_bytes(bytes).unwrap();
+            prop_assert_eq!(back, v);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The archive encoder.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Encodes values into a growable byte buffer.
+///
+/// The writer is infallible: all methods append to an in-memory buffer.
+#[derive(Debug, Default)]
+pub struct ArchiveWriter {
+    buf: BytesMut,
+}
+
+impl ArchiveWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        ArchiveWriter {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// New writer with `cap` bytes of pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ArchiveWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Append a LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                return;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Append a zigzag-encoded signed varint.
+    pub fn put_varint_signed(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Append a raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Append a little-endian `u32` (fixed width, used in message headers).
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Append a little-endian `u64` (fixed width).
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Append an `f64` as its little-endian bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_u64_le(v.to_bits());
+    }
+
+    /// Append an `f32` as its little-endian bit pattern.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_u32_le(v.to_bits());
+    }
+
+    /// Append raw bytes *without* a length prefix.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.put_slice(bytes);
+    }
+
+    /// Append length-prefixed bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_varint(bytes.len() as u64);
+        self.buf.put_slice(bytes);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish, yielding the immutable encoded buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_small_values_are_one_byte() {
+        for v in [0u64, 1, 127] {
+            let mut w = ArchiveWriter::new();
+            w.put_varint(v);
+            assert_eq!(w.len(), 1, "value {v}");
+        }
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        let mut w = ArchiveWriter::new();
+        w.put_varint(128);
+        assert_eq!(w.finish().as_ref(), &[0x80, 0x01]);
+        let mut w = ArchiveWriter::new();
+        w.put_varint(u64::MAX);
+        assert_eq!(w.len(), 10);
+    }
+
+    #[test]
+    fn zigzag_signed() {
+        let cases: &[(i64, u64)] = &[(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4)];
+        for &(signed, unsigned) in cases {
+            let mut ws = ArchiveWriter::new();
+            ws.put_varint_signed(signed);
+            let mut wu = ArchiveWriter::new();
+            wu.put_varint(unsigned);
+            assert_eq!(ws.finish(), wu.finish(), "zigzag({signed})");
+        }
+    }
+
+    #[test]
+    fn length_prefixed_bytes() {
+        let mut w = ArchiveWriter::new();
+        w.put_bytes(b"abc");
+        assert_eq!(w.finish().as_ref(), &[3, b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn fixed_width_encodings() {
+        let mut w = ArchiveWriter::new();
+        w.put_u32_le(0x0102_0304);
+        w.put_u64_le(0x1122_3344_5566_7788);
+        w.put_f64(1.5);
+        let b = w.finish();
+        assert_eq!(&b[..4], &[0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(b.len(), 4 + 8 + 8);
+        assert_eq!(
+            f64::from_bits(u64::from_le_bytes(b[12..20].try_into().unwrap())),
+            1.5
+        );
+    }
+
+    #[test]
+    fn capacity_and_len() {
+        let mut w = ArchiveWriter::with_capacity(64);
+        assert!(w.is_empty());
+        w.put_u8(1);
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+    }
+}

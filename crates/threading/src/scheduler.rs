@@ -1,0 +1,541 @@
+//! The work-stealing scheduler.
+//!
+//! N OS worker threads share an injector queue and per-worker deques
+//! (crossbeam). Between tasks — and while idle — every worker polls the
+//! registered [`BackgroundWork`] items; this is where the parcel subsystem
+//! hangs its message pump, mirroring HPX's design of running network
+//! progress as *background work* on scheduler threads. All time is
+//! accounted per [`crate::stats::ThreadStats`].
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as WorkerQueue};
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::stats::ThreadStats;
+use crate::task::Task;
+
+/// Work polled by schedulers between tasks and while idle.
+///
+/// Implementations must be cheap when there is nothing to do and must
+/// tolerate being polled concurrently from several workers.
+pub trait BackgroundWork: Send + Sync {
+    /// Poll once. Return `true` if any work was performed (the scheduler
+    /// then polls again immediately instead of parking).
+    fn run(&self) -> bool;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "background"
+    }
+}
+
+/// Scheduler construction parameters.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Number of OS worker threads.
+    pub workers: usize,
+    /// Name prefix for worker threads (shows up in debuggers/profilers).
+    pub name: String,
+    /// How long an idle worker parks before re-polling background work.
+    ///
+    /// This bounds the latency with which a completely idle scheduler
+    /// notices new network traffic; busy schedulers poll continuously.
+    pub idle_park: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 2,
+            name: "rpx".to_string(),
+            idle_park: Duration::from_micros(200),
+        }
+    }
+}
+
+struct Inner {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    background: RwLock<Arc<Vec<Arc<dyn BackgroundWork>>>>,
+    stats: Arc<ThreadStats>,
+    shutdown: AtomicBool,
+    /// Tasks spawned but not yet completed (includes currently running).
+    pending: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    idle_park: Duration,
+}
+
+/// A work-stealing scheduler of lightweight tasks.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl Scheduler {
+    /// Spawn a scheduler with the given configuration.
+    pub fn new(config: SchedulerConfig) -> Arc<Self> {
+        assert!(config.workers > 0, "scheduler needs at least one worker");
+        let queues: Vec<WorkerQueue<Task>> =
+            (0..config.workers).map(|_| WorkerQueue::new_fifo()).collect();
+        let stealers = queues.iter().map(|q| q.stealer()).collect();
+        let inner = Arc::new(Inner {
+            injector: Injector::new(),
+            stealers,
+            background: RwLock::new(Arc::new(Vec::new())),
+            stats: Arc::new(ThreadStats::new()),
+            shutdown: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            idle_park: config.idle_park,
+        });
+        let mut threads = Vec::with_capacity(config.workers);
+        for (idx, queue) in queues.into_iter().enumerate() {
+            let inner = Arc::clone(&inner);
+            let name = format!("{}-worker-{idx}", config.name);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker_loop(inner, queue, idx))
+                    .expect("failed to spawn scheduler worker"),
+            );
+        }
+        Arc::new(Scheduler {
+            inner,
+            threads: Mutex::new(threads),
+            workers: config.workers,
+        })
+    }
+
+    /// Spawn a scheduler with default configuration and `workers` threads.
+    pub fn with_workers(workers: usize) -> Arc<Self> {
+        Scheduler::new(SchedulerConfig {
+            workers,
+            ..Default::default()
+        })
+    }
+
+    /// Schedule a task.
+    ///
+    /// # Panics
+    /// Panics if the scheduler has been shut down.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        assert!(
+            !self.inner.shutdown.load(Ordering::SeqCst),
+            "spawn on a shut-down scheduler"
+        );
+        self.inner.pending.fetch_add(1, Ordering::SeqCst);
+        self.inner.stats.count_spawn();
+        self.inner.injector.push(Task::new(f));
+        self.inner.sleep_cv.notify_one();
+    }
+
+    /// Register a background work item polled by all workers.
+    pub fn add_background(&self, work: Arc<dyn BackgroundWork>) {
+        let mut guard = self.inner.background.write();
+        let mut list: Vec<Arc<dyn BackgroundWork>> = guard.as_ref().clone();
+        list.push(work);
+        *guard = Arc::new(list);
+        self.inner.sleep_cv.notify_all();
+    }
+
+    /// Wake all parked workers (e.g. after enqueuing network traffic from
+    /// a non-worker thread).
+    pub fn notify(&self) {
+        self.inner.sleep_cv.notify_all();
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Tasks spawned but not yet completed.
+    pub fn pending_tasks(&self) -> usize {
+        self.inner.pending.load(Ordering::SeqCst)
+    }
+
+    /// The shared time-accounting stats.
+    pub fn stats(&self) -> &Arc<ThreadStats> {
+        &self.inner.stats
+    }
+
+    /// Steal one pending task and run it inline on the calling thread.
+    ///
+    /// This is the "help while blocked" primitive: a task waiting on a
+    /// future calls this so progress continues even when every worker is
+    /// occupied by a blocked waiter (single-worker configurations would
+    /// otherwise deadlock). Time is attributed to the caller's existing
+    /// account (the outer task's execution time already covers it); only
+    /// the task count is recorded. Returns `true` if a task was run.
+    ///
+    /// Note: the helped task runs on the caller's stack; deeply nested
+    /// chains of blocking tasks deepen the stack accordingly.
+    pub fn help_one(&self) -> bool {
+        let task = 'found: loop {
+            match self.inner.injector.steal() {
+                Steal::Success(t) => break 'found Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => {}
+            }
+            let mut retry = false;
+            for stealer in &self.inner.stealers {
+                match stealer.steal() {
+                    Steal::Success(t) => {
+                        self.inner.stats.count_steal();
+                        break 'found Some(t);
+                    }
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !retry {
+                break 'found None;
+            }
+        };
+        match task {
+            Some(task) => {
+                task.run();
+                self.inner.stats.count_task();
+                if self.inner.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    self.inner.sleep_cv.notify_all();
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Block until no tasks are pending, or `timeout` elapses.
+    ///
+    /// Returns `true` on quiescence. Note background work keeps being
+    /// polled by the workers throughout.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.pending_tasks() > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        true
+    }
+
+    /// Shut the scheduler down: drain queued tasks, stop workers, join.
+    ///
+    /// Idempotent. Called automatically on drop.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.sleep_cv.notify_all();
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn find_task(inner: &Inner, local: &WorkerQueue<Task>, idx: usize) -> Option<Task> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        // Prefer the injector (fresh work), then steal from peers.
+        match inner.injector.steal_batch_and_pop(local) {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => continue,
+            Steal::Empty => {}
+        }
+        let mut retry = false;
+        for (i, stealer) in inner.stealers.iter().enumerate() {
+            if i == idx {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(t) => {
+                    inner.stats.count_steal();
+                    return Some(t);
+                }
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+fn run_background(inner: &Inner) -> bool {
+    let list = Arc::clone(&inner.background.read());
+    let mut did_work = false;
+    for work in list.iter() {
+        if work.run() {
+            did_work = true;
+        }
+    }
+    did_work
+}
+
+fn worker_loop(inner: Arc<Inner>, local: WorkerQueue<Task>, idx: usize) {
+    let mut mgmt_start = Instant::now();
+    loop {
+        match find_task(&inner, &local, idx) {
+            Some(task) => {
+                inner.stats.add_mgmt(mgmt_start.elapsed());
+                let exec_start = Instant::now();
+                task.run();
+                inner.stats.add_exec(exec_start.elapsed());
+                inner.stats.count_task();
+                if inner.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    // Last task completed; wake waiters parked in wait_idle
+                    // (they poll, but waking keeps idle latency low).
+                    inner.sleep_cv.notify_all();
+                }
+                mgmt_start = Instant::now();
+            }
+            None => {
+                inner.stats.add_mgmt(mgmt_start.elapsed());
+                let bg_start = Instant::now();
+                let did_work = run_background(&inner);
+                inner.stats.count_background_poll();
+                inner.stats.add_background(bg_start.elapsed());
+                // Exit check must not depend on background work running
+                // dry — a pump that always reports progress would
+                // otherwise pin the worker forever.
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    // Task queues drained and asked to stop.
+                    return;
+                }
+                if !did_work {
+                    let idle_start = Instant::now();
+                    let mut guard = inner.sleep_lock.lock();
+                    // Re-check under the lock to not miss a notify between
+                    // the queue probe and the park.
+                    if inner.injector.is_empty() && !inner.shutdown.load(Ordering::SeqCst) {
+                        let _ = inner
+                            .sleep_cv
+                            .wait_for(&mut guard, inner.idle_park);
+                    }
+                    drop(guard);
+                    inner.stats.add_idle(idle_start.elapsed());
+                }
+
+                mgmt_start = Instant::now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn scheduler(workers: usize) -> Arc<Scheduler> {
+        Scheduler::new(SchedulerConfig {
+            workers,
+            name: "test".into(),
+            idle_park: Duration::from_micros(200),
+        })
+    }
+
+    #[test]
+    fn executes_spawned_tasks() {
+        let s = scheduler(2);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 1..=100u64 {
+            let sum = Arc::clone(&sum);
+            s.spawn(move || {
+                sum.fetch_add(i, Ordering::SeqCst);
+            });
+        }
+        assert!(s.wait_idle(Duration::from_secs(5)));
+        assert_eq!(sum.load(Ordering::SeqCst), 5050);
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.tasks_executed, 100);
+        assert_eq!(snap.tasks_spawned, 100);
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let s = scheduler(2);
+        let count = Arc::new(AtomicU64::new(0));
+        let s2 = Arc::clone(&s);
+        let c2 = Arc::clone(&count);
+        s.spawn(move || {
+            for _ in 0..10 {
+                let c = Arc::clone(&c2);
+                s2.spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(s.wait_idle(Duration::from_secs(5)));
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn single_worker_also_works() {
+        let s = scheduler(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..50 {
+            let h = Arc::clone(&hits);
+            s.spawn(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert!(s.wait_idle(Duration::from_secs(5)));
+        assert_eq!(hits.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn background_work_is_polled() {
+        struct Poller(AtomicU64);
+        impl BackgroundWork for Poller {
+            fn run(&self) -> bool {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+        let s = scheduler(2);
+        let p = Arc::new(Poller(AtomicU64::new(0)));
+        s.add_background(p.clone());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(p.0.load(Ordering::Relaxed) > 10, "background not polled");
+        let snap = s.stats().snapshot();
+        assert!(snap.background_polls > 0);
+    }
+
+    #[test]
+    fn background_time_is_charged() {
+        struct Burner;
+        impl BackgroundWork for Burner {
+            fn run(&self) -> bool {
+                rpx_util::busy_charge(Duration::from_micros(50));
+                // Report work so workers keep polling without parking.
+                true
+            }
+        }
+        let s = scheduler(1);
+        s.add_background(Arc::new(Burner));
+        std::thread::sleep(Duration::from_millis(30));
+        let snap = s.stats().snapshot();
+        assert!(
+            snap.background_ns > 1_000_000,
+            "expected >1 ms of background time, got {} ns",
+            snap.background_ns
+        );
+        // With no tasks executed, network overhead tends to 1.0.
+        assert!(snap.network_overhead() > 0.5);
+    }
+
+    #[test]
+    fn exec_time_dominates_for_busy_tasks() {
+        let s = scheduler(2);
+        for _ in 0..20 {
+            s.spawn(|| {
+                rpx_util::busy_charge(Duration::from_micros(200));
+            });
+        }
+        assert!(s.wait_idle(Duration::from_secs(5)));
+        let snap = s.stats().snapshot();
+        assert!(snap.exec_ns >= 20 * 200_000 / 2, "exec {} ns", snap.exec_ns);
+        assert!(snap.network_overhead() < 0.9);
+        assert!(snap.task_overhead_ns() >= 0.0);
+    }
+
+    #[test]
+    fn work_is_distributed_across_workers() {
+        // With many parallel blocking tasks, a single worker cannot finish
+        // in time; success implies real parallelism.
+        let s = scheduler(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        for _ in 0..4 {
+            let b = Arc::clone(&barrier);
+            s.spawn(move || {
+                b.wait();
+            });
+        }
+        assert!(
+            s.wait_idle(Duration::from_secs(5)),
+            "barrier tasks deadlocked: tasks not running in parallel"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_and_is_idempotent() {
+        let s = scheduler(2);
+        let count = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&count);
+            s.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        s.wait_idle(Duration::from_secs(5));
+        s.shutdown();
+        s.shutdown(); // idempotent
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "shut-down")]
+    fn spawn_after_shutdown_panics() {
+        let s = scheduler(1);
+        s.shutdown();
+        s.spawn(|| {});
+    }
+
+    #[test]
+    fn wait_idle_times_out() {
+        let s = scheduler(1);
+        s.spawn(|| std::thread::sleep(Duration::from_millis(200)));
+        assert!(!s.wait_idle(Duration::from_millis(10)));
+        assert!(s.wait_idle(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn pending_tasks_tracks_in_flight() {
+        let s = scheduler(1);
+        assert_eq!(s.pending_tasks(), 0);
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        s.spawn(move || {
+            while !g.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(s.pending_tasks(), 1);
+        gate.store(true, Ordering::SeqCst);
+        assert!(s.wait_idle(Duration::from_secs(5)));
+        assert_eq!(s.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn many_tasks_stress() {
+        let s = scheduler(4);
+        let sum = Arc::new(AtomicU64::new(0));
+        let n = 20_000u64;
+        for _ in 0..n {
+            let sum = Arc::clone(&sum);
+            s.spawn(move || {
+                sum.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(s.wait_idle(Duration::from_secs(30)));
+        assert_eq!(sum.load(Ordering::Relaxed), n);
+        assert_eq!(s.stats().snapshot().tasks_executed, n);
+    }
+}

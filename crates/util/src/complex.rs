@@ -1,0 +1,161 @@
+//! A minimal double-precision complex number.
+//!
+//! Both of the paper's workloads move complex doubles across the wire: the
+//! toy application sends a single `complex<double>` per active message
+//! (Listing 1) and the Parquet application's rank-3 tensors are composed of
+//! complex doubles (§IV-C). We implement the type from scratch rather than
+//! pull in an external crate — only arithmetic needed by the workloads is
+//! provided.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Construct from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Self) -> Self {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Self) -> Self {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Self) -> Self {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Self {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl std::fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Complex64 = Complex64::new(13.3, -23.8); // Listing 1's payload
+    const B: Complex64 = Complex64::new(-2.0, 0.5);
+
+    #[test]
+    fn arithmetic_identities() {
+        assert_eq!(A + Complex64::ZERO, A);
+        assert_eq!(A * Complex64::ONE, A);
+        assert_eq!(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0));
+        assert_eq!(A - A, Complex64::ZERO);
+        assert_eq!(-A + A, Complex64::ZERO);
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let p = A * B;
+        assert!((p.re - (13.3 * -2.0 - (-23.8) * 0.5)).abs() < 1e-12);
+        assert!((p.im - (13.3 * 0.5 + (-23.8) * -2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        assert_eq!(A.conj().im, 23.8);
+        let n = (A * A.conj()).re;
+        assert!((n - A.norm_sqr()).abs() < 1e-9);
+        assert!((A.abs() * A.abs() - A.norm_sqr()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = A;
+        x += B;
+        assert_eq!(x, A + B);
+        x -= B;
+        assert_eq!(x, A);
+        x *= B;
+        assert_eq!(x, A * B);
+    }
+
+    #[test]
+    fn display_signs() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

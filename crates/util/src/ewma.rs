@@ -1,0 +1,169 @@
+//! Exponentially weighted moving averages and arrival-rate estimation.
+//!
+//! The adaptive coalescing controller (the paper's stated future work,
+//! realized in `rpx-adaptive`) smooths noisy counter samples — network
+//! overhead, parcel arrival gaps — with EWMAs before acting on them, and
+//! detects *communication phase changes* as large relative shifts in the
+//! smoothed arrival rate.
+
+use std::time::Duration;
+
+/// An exponentially weighted moving average.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// Larger `alpha` weights recent samples more heavily.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// EWMA whose weight halves every `n` samples.
+    pub fn with_half_life(n: f64) -> Self {
+        assert!(n > 0.0, "half life must be positive");
+        Ewma::new(1.0 - 0.5f64.powf(1.0 / n))
+    }
+
+    /// Feed one sample, returning the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, or `None` before the first sample.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Estimates an event rate (events/second) from inter-arrival gaps.
+///
+/// Used to drive the sparse-traffic detection that mirrors the paper's
+/// "disable coalescing when parcel generation is sparse" rule and the
+/// adaptive controller's phase detector.
+#[derive(Debug, Clone, Copy)]
+pub struct RateEstimator {
+    gap_us: Ewma,
+}
+
+impl RateEstimator {
+    /// Create a rate estimator smoothing over roughly `half_life` samples.
+    pub fn new(half_life: f64) -> Self {
+        RateEstimator {
+            gap_us: Ewma::with_half_life(half_life),
+        }
+    }
+
+    /// Record an inter-arrival gap.
+    pub fn record_gap(&mut self, gap: Duration) {
+        self.gap_us.update(gap.as_secs_f64() * 1e6);
+    }
+
+    /// Smoothed mean inter-arrival gap in microseconds.
+    pub fn mean_gap_us(&self) -> Option<f64> {
+        self.gap_us.value()
+    }
+
+    /// Smoothed event rate in events/second (`None` before any sample or if
+    /// the mean gap is zero).
+    pub fn rate_per_sec(&self) -> Option<f64> {
+        match self.gap_us.value() {
+            Some(g) if g > 0.0 => Some(1e6 / g),
+            _ => None,
+        }
+    }
+
+    /// Forget all history (e.g. after a detected phase change).
+    pub fn reset(&mut self) {
+        self.gap_us.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initialises() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.3);
+        e.update(0.0);
+        for _ in 0..200 {
+            e.update(42.0);
+        }
+        assert!((e.value().unwrap() - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.update(1.0);
+        e.update(7.0);
+        assert_eq!(e.value(), Some(7.0));
+    }
+
+    #[test]
+    fn half_life_semantics() {
+        // After `n` samples of 0 following a 1, the value should be ~0.5.
+        let mut e = Ewma::with_half_life(10.0);
+        e.update(1.0);
+        for _ in 0..10 {
+            e.update(0.0);
+        }
+        assert!((e.value().unwrap() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut e = Ewma::new(0.5);
+        e.update(5.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(3.0), 3.0);
+    }
+
+    #[test]
+    fn rate_estimator_inverts_gap() {
+        let mut r = RateEstimator::new(4.0);
+        assert_eq!(r.rate_per_sec(), None);
+        for _ in 0..50 {
+            r.record_gap(Duration::from_micros(100));
+        }
+        let rate = r.rate_per_sec().unwrap();
+        assert!((rate - 10_000.0).abs() < 1.0, "rate {rate}");
+        assert!((r.mean_gap_us().unwrap() - 100.0).abs() < 0.01);
+        r.reset();
+        assert_eq!(r.rate_per_sec(), None);
+    }
+}

@@ -1,0 +1,267 @@
+//! Lock-free fixed-bucket histograms.
+//!
+//! HPX exposes `/coalescing/time/parcel-arrival-histogram`, a histogram of
+//! the gaps between parcel arrivals for a coalesced action, parameterised as
+//! `min,max,buckets`. [`Histogram`] reproduces that counter's data model:
+//! fixed-width buckets over `[min, max)` plus underflow/overflow buckets,
+//! with relaxed-atomic recording so the parcel hot path never takes a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-width-bucket histogram with atomic counters.
+#[derive(Debug)]
+pub struct Histogram {
+    min: u64,
+    max: u64,
+    bucket_width: u64,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[min, max)` with `buckets` equal-width
+    /// buckets.
+    ///
+    /// # Panics
+    /// Panics if `max <= min` or `buckets == 0`.
+    pub fn new(min: u64, max: u64, buckets: usize) -> Self {
+        assert!(max > min, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        let span = max - min;
+        // Round the width up so `buckets` buckets always cover the span.
+        let bucket_width = span.div_ceil(buckets as u64).max(1);
+        Histogram {
+            min,
+            max,
+            bucket_width,
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        if value < self.min {
+            self.underflow.fetch_add(1, Ordering::Relaxed);
+        } else if value >= self.max {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let idx = ((value - self.min) / self.bucket_width) as usize;
+            // `idx` can equal `buckets.len()` only if bucket_width rounding
+            // left the last partial bucket short; clamp defensively.
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Lower bound of the histogram range.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Upper bound (exclusive) of the histogram range.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Number of buckets (excluding underflow/overflow).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Width of each bucket.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Total number of recorded samples (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all recorded samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        let count = self.count();
+        (count > 0).then(|| self.sum() as f64 / count as f64)
+    }
+
+    /// Samples below `min`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow.load(Ordering::Relaxed)
+    }
+
+    /// Samples at or above `max`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-bucket counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Snapshot in the HPX counter wire format: the values
+    /// `[min, max, buckets, underflow, b0, b1, …, overflow]`.
+    ///
+    /// This matches how HPX serialises histogram counters as an
+    /// `array of values` result.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 4);
+        out.push(self.min);
+        out.push(self.max);
+        out.push(self.buckets.len() as u64);
+        out.push(self.underflow());
+        out.extend(self.bucket_counts());
+        out.push(self.overflow());
+        out
+    }
+
+    /// Reset all counts to zero (range/shape unchanged).
+    pub fn reset(&self) {
+        self.underflow.store(0, Ordering::Relaxed);
+        self.overflow.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Approximate quantile (0.0–1.0) using bucket midpoints.
+    ///
+    /// Underflow samples are treated as `min`, overflow samples as `max`.
+    /// Returns `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow();
+        if seen >= target {
+            return Some(self.min as f64);
+        }
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                let lo = self.min + i as u64 * self.bucket_width;
+                return Some(lo as f64 + self.bucket_width as f64 / 2.0);
+            }
+        }
+        Some(self.max as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let h = Histogram::new(0, 100, 10);
+        h.record(5); // bucket 0
+        h.record(15); // bucket 1
+        h.record(99); // bucket 9
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[9], 1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 119);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let h = Histogram::new(10, 20, 2);
+        h.record(9);
+        h.record(20);
+        h.record(1000);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn snapshot_format_matches_hpx_layout() {
+        let h = Histogram::new(0, 40, 4);
+        h.record(0);
+        h.record(39);
+        h.record(100);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 0); // min
+        assert_eq!(snap[1], 40); // max
+        assert_eq!(snap[2], 4); // buckets
+        assert_eq!(snap[3], 0); // underflow
+        assert_eq!(&snap[4..8], &[1, 0, 0, 1]);
+        assert_eq!(snap[8], 1); // overflow
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let h = Histogram::new(0, 10, 2);
+        h.record(3);
+        h.record(100);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert!(h.bucket_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn mean_matches_samples() {
+        let h = Histogram::new(0, 1000, 10);
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), Some(20.0));
+        let empty = Histogram::new(0, 10, 2);
+        assert_eq!(empty.mean(), None);
+    }
+
+    #[test]
+    fn quantile_midpoints() {
+        let h = Histogram::new(0, 100, 10);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((35.0..=65.0).contains(&median), "median {median}");
+        assert_eq!(Histogram::new(0, 10, 1).quantile(0.5), None);
+    }
+
+    #[test]
+    fn uneven_range_is_fully_covered() {
+        // 100 / 7 does not divide evenly; ensure no sample in range panics
+        // or lands outside.
+        let h = Histogram::new(0, 100, 7);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.underflow() + h.overflow(), 0);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        let _ = Histogram::new(10, 10, 2);
+    }
+}

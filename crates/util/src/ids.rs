@@ -1,0 +1,98 @@
+//! Monotone id allocation.
+//!
+//! GIDs, parcel ids and timer ids all need cheap process-wide unique
+//! identifiers; [`IdAllocator`] is a relaxed atomic counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free allocator of unique, monotonically increasing `u64` ids.
+///
+/// Ids start at 1 so that 0 can serve as a sentinel "invalid id" value.
+#[derive(Debug)]
+pub struct IdAllocator {
+    next: AtomicU64,
+}
+
+impl IdAllocator {
+    /// Sentinel value never returned by [`IdAllocator::next`].
+    pub const INVALID: u64 = 0;
+
+    /// Create an allocator whose first id is 1.
+    pub const fn new() -> Self {
+        IdAllocator {
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Create an allocator whose first id is `start` (must be non-zero).
+    pub fn starting_at(start: u64) -> Self {
+        assert_ne!(start, Self::INVALID, "0 is the invalid-id sentinel");
+        IdAllocator {
+            next: AtomicU64::new(start),
+        }
+    }
+
+    /// Allocate the next id.
+    pub fn next(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The id that the next call to [`IdAllocator::next`] would return.
+    pub fn peek(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for IdAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_allocation() {
+        let a = IdAllocator::new();
+        assert_eq!(a.next(), 1);
+        assert_eq!(a.next(), 2);
+        assert_eq!(a.peek(), 3);
+    }
+
+    #[test]
+    fn starting_at_respects_start() {
+        let a = IdAllocator::starting_at(100);
+        assert_eq!(a.next(), 100);
+        assert_eq!(a.next(), 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn starting_at_zero_panics() {
+        let _ = IdAllocator::starting_at(0);
+    }
+
+    #[test]
+    fn concurrent_allocation_is_unique() {
+        let a = Arc::new(IdAllocator::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| a.next()).collect::<Vec<u64>>()
+            }));
+        }
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert_ne!(id, IdAllocator::INVALID);
+                assert!(seen.insert(id), "duplicate id {id}");
+            }
+        }
+        assert_eq!(seen.len(), 8000);
+    }
+}

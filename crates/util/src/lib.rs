@@ -1,0 +1,42 @@
+//! # rpx-util
+//!
+//! Timing, timers, histograms and statistics substrate for the RPX runtime.
+//!
+//! This crate hosts the low-level building blocks that every other RPX crate
+//! leans on:
+//!
+//! * [`time`] — monotonic stopwatches, hybrid sleep (`spin_sleep`) and busy
+//!   cost charging (`busy_charge`) used by the software network fabric to
+//!   model per-message overheads in real time.
+//! * [`timer`] — the deadline **timer service**: a dedicated hardware thread
+//!   draining a min-heap of deadlines with a park/spin hybrid wait. This is
+//!   the analogue of the Boost deadline timer the paper uses for the parcel
+//!   coalescing flush timer (§II-B), where the authors report firing within
+//!   ~33 µs of the requested deadline on average.
+//! * [`hist`] — lock-free fixed-bucket histograms backing the
+//!   `/coalescing/time/parcel-arrival-histogram` performance counter.
+//! * [`stats`] — online statistics (Welford mean/variance, RSD), Pearson
+//!   correlation, and simple series helpers used by the evaluation harness.
+//! * [`complex`] — a minimal `Complex64`, the payload type of both the toy
+//!   application and the Parquet proxy.
+//! * [`ids`] — monotone id allocation.
+//! * [`ewma`] — exponentially weighted moving averages and rate estimators
+//!   used by the adaptive controller.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod ewma;
+pub mod hist;
+pub mod ids;
+pub mod stats;
+pub mod time;
+pub mod timer;
+
+pub use complex::Complex64;
+pub use ewma::Ewma;
+pub use hist::Histogram;
+pub use ids::IdAllocator;
+pub use stats::{pearson, OnlineStats};
+pub use time::{busy_charge, spin_sleep, Stopwatch};
+pub use timer::{TimerHandle, TimerService};

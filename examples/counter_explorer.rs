@@ -1,0 +1,64 @@
+//! Walk the performance counter framework: generate traffic, then
+//! discover and print every registered counter on every locality —
+//! including the five `/coalescing/*` counters the paper adds to HPX and
+//! the `/threads/*` counters behind Eqs. 1–4.
+//!
+//! ```text
+//! cargo run --release --example counter_explorer
+//! ```
+
+use std::time::Duration;
+
+use rpx::{CoalescingParams, CounterValue, Runtime, RuntimeConfig};
+
+fn main() {
+    let rt = Runtime::new(RuntimeConfig::default());
+    let act = rt.register_action("explore::ping", |x: u64| x + 1);
+    let _control = rt
+        .enable_coalescing(
+            "explore::ping",
+            CoalescingParams::new(16, Duration::from_micros(2000)),
+        )
+        .expect("registered");
+
+    rt.run_on(0, move |ctx| {
+        let futures: Vec<_> = (0..5_000).map(|i| ctx.async_action(&act, 1, i)).collect();
+        ctx.wait_all(futures).expect("pings");
+    });
+    rt.wait_quiescent(Duration::from_secs(10));
+
+    for locality in 0..rt.num_localities() {
+        println!("\n=== locality#{locality}/total ===");
+        let registry = rt.locality(locality).counters();
+        let mut names = registry.discover("*");
+        names.sort();
+        for name in names {
+            match registry.query(&name) {
+                Ok(CounterValue::Int(v)) => println!("{name:<60} {v}"),
+                Ok(CounterValue::Float(v)) => println!("{name:<60} {v:.4}"),
+                Ok(CounterValue::Array(a)) => {
+                    // Histogram layout: [min, max, buckets, underflow, …, overflow]
+                    let samples: u64 = a[3..].iter().sum();
+                    println!(
+                        "{name:<60} histogram[{}..{}] {} samples",
+                        a[0], a[1], samples
+                    )
+                }
+                Err(e) => println!("{name:<60} <error: {e}>"),
+            }
+        }
+    }
+
+    // The instanced HPX syntax also works:
+    let v = rt
+        .locality(0)
+        .counters()
+        .query("/threads{locality#0/total}/background-overhead")
+        .expect("instanced query");
+    println!(
+        "\n/threads{{locality#0/total}}/background-overhead = {:.4}  (Eq. 4)",
+        v.as_f64()
+    );
+
+    rt.shutdown();
+}

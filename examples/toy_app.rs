@@ -1,0 +1,68 @@
+//! The toy application of Listing 1, runnable with configurable
+//! coalescing parameters.
+//!
+//! ```text
+//! cargo run --release --example toy_app -- [numparcels] [nparcels] [wait_us]
+//! cargo run --release --example toy_app -- 20000 128 4000
+//! ```
+//!
+//! Prints per-phase wall time and the instantaneous network overhead
+//! (Eq. 4) — run it with `nparcels = 1` and `nparcels = 128` to see the
+//! paper's effect.
+
+use std::time::Duration;
+
+use rpx::{CoalescingParams, Runtime, RuntimeConfig};
+use rpx_apps::toy::{run_toy, ToyConfig};
+
+fn arg(n: usize, default: u64) -> u64 {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let numparcels = arg(1, 20_000) as usize;
+    let nparcels = arg(2, 128) as usize;
+    let wait_us = arg(3, 4_000);
+
+    let rt = Runtime::new(RuntimeConfig::default());
+    let config = ToyConfig {
+        numparcels,
+        phases: 4,
+        bidirectional: true,
+        coalescing: Some(CoalescingParams::new(
+            nparcels,
+            Duration::from_micros(wait_us),
+        )),
+        nparcels_schedule: None,
+    };
+
+    println!(
+        "toy app: {numparcels} parcels/phase/direction, 4 phases, \
+         coalescing {nparcels} parcels @ {wait_us} µs wait"
+    );
+    let report = run_toy(&rt, &config).expect("toy run");
+
+    println!("\nphase  nparcels  wall_s   overhead  task_oh_ns");
+    for p in &report.phases {
+        println!(
+            "{:>5}  {:>8}  {:>7.4}  {:>8.4}  {:>10.0}",
+            p.phase,
+            p.nparcels,
+            p.wall.as_secs_f64(),
+            p.network_overhead,
+            p.task_overhead_ns
+        );
+    }
+    println!(
+        "\ntotal {:.3}s | parcels {} messages {} avg/message {:.1}",
+        report.total.as_secs_f64(),
+        report.parcels_counted,
+        report.messages_counted,
+        report.avg_parcels_per_message
+    );
+
+    rt.shutdown();
+}

@@ -1,0 +1,7 @@
+//! RPX reproduction root package.
+//!
+//! This crate only hosts the workspace-level runnable artifacts:
+//! `examples/` (quickstart and the paper's workloads) and `tests/`
+//! (integration tests spanning the runtime, coalescing, counters, metrics
+//! and adaptive layers). The library surface lives in the `rpx*` crates
+//! under `crates/`.

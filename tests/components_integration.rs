@@ -1,0 +1,98 @@
+//! Integration of AGAS components with the parcel subsystem and
+//! coalescing: GID-addressed objects, remote method invocation, and
+//! stability of GIDs across re-homing.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rpx::{CoalescingParams, Runtime, RuntimeConfig};
+
+struct Counter {
+    value: Mutex<i64>,
+}
+
+#[test]
+fn component_methods_compose_with_coalescing() {
+    let rt = Runtime::new(RuntimeConfig::small_test());
+    let add = rt.register_component_method("cc::add", |c: &Counter, v: i64| {
+        let mut value = c.value.lock();
+        *value += v;
+        *value
+    });
+    let _control = rt
+        .enable_coalescing("cc::add", CoalescingParams::new(8, Duration::from_micros(500)))
+        .unwrap();
+
+    let gid = rt.new_component(1, Counter { value: Mutex::new(0) });
+    let last = rt.run_on(0, move |ctx| {
+        let futures: Vec<_> = (0..64)
+            .map(|_| ctx.async_method(&add, gid, 1).unwrap())
+            .collect();
+        ctx.wait_all(futures).unwrap().into_iter().max().unwrap()
+    });
+    // All 64 increments landed (order may vary, the max must be 64).
+    assert_eq!(last, 64);
+    rt.shutdown();
+}
+
+#[test]
+fn components_spread_across_cluster() {
+    let rt = Runtime::new(RuntimeConfig {
+        localities: 4,
+        ..RuntimeConfig::small_test()
+    });
+    let read = rt.register_component_method("cc::read", |c: &Counter, (): ()| *c.value.lock());
+    let gids: Vec<_> = (0..4)
+        .map(|l| rt.new_component(l, Counter { value: Mutex::new(i64::from(l) * 100) }))
+        .collect();
+    let values = rt.run_on(2, move |ctx| {
+        let futures: Vec<_> = gids
+            .iter()
+            .map(|&g| ctx.async_method(&read, g, ()).unwrap())
+            .collect();
+        ctx.wait_all(futures).unwrap()
+    });
+    assert_eq!(values, vec![0, 100, 200, 300]);
+    rt.shutdown();
+}
+
+#[test]
+fn gid_survives_migration_between_localities() {
+    let rt = Runtime::new(RuntimeConfig::small_test());
+    let read = rt.register_component_method("cc::read2", |c: &Counter, (): ()| *c.value.lock());
+    let gid = rt.new_component(0, Counter { value: Mutex::new(7) });
+
+    let v0 = rt.run_on(1, {
+        let read = read.clone();
+        move |ctx| ctx.async_method(&read, gid, ()).unwrap().get().unwrap()
+    });
+    assert_eq!(v0, 7);
+
+    // Re-home: move the object and rebind in AGAS; the GID is unchanged —
+    // "maintained throughout the lifetime of the object even if it is
+    // moved between nodes" (§II-A).
+    let obj = rt.locality(0).objects().remove(gid).unwrap();
+    rt.locality(1)
+        .objects()
+        .insert(gid, obj.downcast::<Counter>().unwrap());
+    rt.agas().rebind(gid, 1).unwrap();
+
+    let v1 = rt.run_on(0, move |ctx| {
+        ctx.async_method(&read, gid, ()).unwrap().get().unwrap()
+    });
+    assert_eq!(v1, 7);
+    rt.shutdown();
+}
+
+#[test]
+fn deleted_component_rejects_invocation() {
+    let rt = Runtime::new(RuntimeConfig::small_test());
+    let read = rt.register_component_method("cc::read3", |c: &Counter, (): ()| *c.value.lock());
+    let gid = rt.new_component(1, Counter { value: Mutex::new(0) });
+    rt.delete_component(gid).unwrap();
+    // Resolution fails at the caller — no parcel is even sent.
+    let err = rt.run_on(0, move |ctx| ctx.async_method(&read, gid, ()).err());
+    assert!(err.is_some());
+    rt.shutdown();
+}

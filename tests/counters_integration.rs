@@ -1,0 +1,153 @@
+//! Integration of the performance counter framework with a live runtime:
+//! every counter the paper names must exist, be queryable in HPX syntax,
+//! and be mutually consistent.
+
+use std::time::Duration;
+
+use rpx::{CoalescingParams, CounterValue, Runtime, RuntimeConfig};
+
+fn traffic_runtime() -> (std::sync::Arc<Runtime>, rpx::CoalescingControl) {
+    let rt = Runtime::new(RuntimeConfig::small_test());
+    let act = rt.register_action("ctr::ping", |x: u64| x);
+    let control = rt
+        .enable_coalescing("ctr::ping", CoalescingParams::new(8, Duration::from_micros(1000)))
+        .unwrap();
+    rt.run_on(0, move |ctx| {
+        let futures: Vec<_> = (0..400).map(|i| ctx.async_action(&act, 1, i)).collect();
+        ctx.wait_all(futures).unwrap();
+    });
+    rt.wait_quiescent(Duration::from_secs(10));
+    (rt, control)
+}
+
+#[test]
+fn all_paper_counters_are_queryable() {
+    let (rt, _control) = traffic_runtime();
+    let coalescing_counters = [
+        "/coalescing/count/parcels@ctr::ping",
+        "/coalescing/count/messages@ctr::ping",
+        "/coalescing/count/average-parcels-per-message@ctr::ping",
+        "/coalescing/time/average-parcel-arrival@ctr::ping",
+        "/coalescing/time/parcel-arrival-histogram@ctr::ping",
+    ];
+    let thread_counters = [
+        "/threads/count/cumulative",
+        "/threads/time/cumulative",
+        "/threads/time/cumulative-work",
+        "/threads/time/average-overhead",
+        "/threads/background-work",
+        "/threads/background-overhead",
+    ];
+    for path in coalescing_counters.iter().chain(&thread_counters) {
+        for locality in 0..2 {
+            assert!(
+                rt.query_counter(locality, path).is_some(),
+                "{path} missing on locality {locality}"
+            );
+        }
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn instanced_hpx_syntax_resolves() {
+    let (rt, _control) = traffic_runtime();
+    let v = rt
+        .locality(0)
+        .counters()
+        .query("/coalescing{locality#0/total}/count/parcels@ctr::ping")
+        .unwrap();
+    assert_eq!(v, CounterValue::Int(400));
+    // The wrong instance is rejected.
+    assert!(rt
+        .locality(0)
+        .counters()
+        .query("/coalescing{locality#1/total}/count/parcels@ctr::ping")
+        .is_err());
+    rt.shutdown();
+}
+
+#[test]
+fn counters_are_mutually_consistent() {
+    let (rt, control) = traffic_runtime();
+    let reg = rt.locality(0).counters();
+    let parcels = reg.query_f64("/coalescing/count/parcels@ctr::ping").unwrap();
+    let messages = reg.query_f64("/coalescing/count/messages@ctr::ping").unwrap();
+    let ppm = reg
+        .query_f64("/coalescing/count/average-parcels-per-message@ctr::ping")
+        .unwrap();
+    assert_eq!(parcels, 400.0);
+    assert!(messages >= 400.0 / 8.0);
+    assert!((ppm - parcels / messages).abs() < 1e-9);
+
+    // Eq. 4 consistency: background-overhead = background-work / cumulative.
+    let bg = reg.query_f64("/threads/background-work").unwrap();
+    let func = reg.query_f64("/threads/time/cumulative").unwrap();
+    let overhead = reg.query_f64("/threads/background-overhead").unwrap();
+    assert!(func > 0.0);
+    assert!((overhead - bg / func).abs() < 0.05, "{overhead} vs {}", bg / func);
+
+    // The arrival histogram saw (parcels − 1) gaps per destination queue
+    // at most; at least some gaps for 400 parcels.
+    let hist = reg
+        .query("/coalescing/time/parcel-arrival-histogram@ctr::ping")
+        .unwrap();
+    let samples = hist.as_array().unwrap()[3..].iter().sum::<u64>();
+    assert!(samples > 0 && samples < 400);
+    drop(control);
+    rt.shutdown();
+}
+
+#[test]
+fn counter_discovery_lists_everything() {
+    let (rt, _control) = traffic_runtime();
+    let reg = rt.locality(0).counters();
+    let coalescing = reg.discover("/coalescing/*");
+    // 5 for the app action + 5 for the continuation action.
+    assert_eq!(coalescing.len(), 10, "{coalescing:?}");
+    let threads = reg.discover("/threads/*");
+    assert!(threads.len() >= 6);
+    assert!(reg.discover("*").len() >= coalescing.len() + threads.len());
+    rt.shutdown();
+}
+
+#[test]
+fn counter_reset_zeroes_traffic_counts() {
+    let (rt, _control) = traffic_runtime();
+    let reg = rt.locality(0).counters();
+    reg.reset("/coalescing/count/parcels@ctr::ping").unwrap();
+    assert_eq!(
+        reg.query_f64("/coalescing/count/parcels@ctr::ping").unwrap(),
+        0.0
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn sampler_observes_live_traffic() {
+    use rpx_counters::Sampler;
+    let rt = Runtime::new(RuntimeConfig::small_test());
+    let act = rt.register_action("ctr::sampled", |x: u64| x);
+    let _control = rt
+        .enable_coalescing(
+            "ctr::sampled",
+            CoalescingParams::new(8, Duration::from_micros(1000)),
+        )
+        .unwrap();
+    let sampler = Sampler::start(
+        std::sync::Arc::clone(rt.locality(0).counters()),
+        &["/coalescing/count/parcels@ctr::sampled"],
+        Duration::from_millis(1),
+    );
+    rt.run_on(0, move |ctx| {
+        let futures: Vec<_> = (0..300).map(|i| ctx.async_action(&act, 1, i)).collect();
+        ctx.wait_all(futures).unwrap();
+    });
+    let series = sampler.stop();
+    let values = series[0].values_f64();
+    assert!(!values.is_empty());
+    // Monotone counter observed while growing.
+    assert!(values.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(*values.last().unwrap(), 300.0);
+    rt.shutdown();
+}
