@@ -114,7 +114,12 @@ impl ControllerCore {
     /// Feed one window's observations; returns the next `nparcels` to
     /// apply (and whether this window was treated as a phase change), or
     /// `None` if no decision was made (warm-up or quiet window).
-    pub fn tick(&mut self, overhead: f64, parcels_in_window: u64, rate: f64) -> Option<(usize, bool)> {
+    pub fn tick(
+        &mut self,
+        overhead: f64,
+        parcels_in_window: u64,
+        rate: f64,
+    ) -> Option<(usize, bool)> {
         self.windows_seen += 1;
         if self.windows_seen <= self.config.warmup_windows {
             self.rate_ewma.update(rate);

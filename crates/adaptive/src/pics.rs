@@ -176,7 +176,7 @@ mod tests {
         // Even a 11-rung ladder must converge within a few dozen
         // iterations regardless of the landscape.
         for seed in 0..5u64 {
-            let score = move |v: usize| ((v as f64 * (seed + 1) as f64).sin() + 2.0);
+            let score = move |v: usize| (v as f64 * (seed + 1) as f64).sin() + 2.0;
             let tuner = PicsTuner::new(Ladder::powers_of_two(1024));
             let mut t = tuner;
             let mut iters = 0;

@@ -94,7 +94,10 @@ impl ParquetReport {
         if self.iterations.is_empty() {
             return 0.0;
         }
-        self.iterations.iter().map(|i| i.wall.as_secs_f64()).sum::<f64>()
+        self.iterations
+            .iter()
+            .map(|i| i.wall.as_secs_f64())
+            .sum::<f64>()
             / self.iterations.len() as f64
     }
 
@@ -103,7 +106,10 @@ impl ParquetReport {
         if self.iterations.is_empty() {
             return 0.0;
         }
-        self.iterations.iter().map(|i| i.network_overhead).sum::<f64>()
+        self.iterations
+            .iter()
+            .map(|i| i.network_overhead)
+            .sum::<f64>()
             / self.iterations.len() as f64
     }
 }
@@ -131,9 +137,15 @@ fn contraction_kernel(nc: usize, duration: Duration) -> Complex64 {
 /// Run the Parquet proxy on `rt`.
 ///
 /// Registers `parquet::rotate`; use a fresh runtime per configuration.
-pub fn run_parquet(rt: &Arc<Runtime>, config: &ParquetConfig) -> Result<ParquetReport, RuntimeError> {
+pub fn run_parquet(
+    rt: &Arc<Runtime>,
+    config: &ParquetConfig,
+) -> Result<ParquetReport, RuntimeError> {
     let localities = rt.num_localities();
-    assert!(localities >= 2, "parquet proxy needs at least two localities");
+    assert!(
+        localities >= 2,
+        "parquet proxy needs at least two localities"
+    );
     let nc = config.nc;
 
     // The rotation action: receive a row of Nc complex doubles and fold
@@ -261,10 +273,7 @@ mod tests {
 
     #[test]
     fn parcel_budget_matches_paper_formula() {
-        let cfg = ParquetConfig {
-            nc: 16,
-            ..tiny()
-        };
+        let cfg = ParquetConfig { nc: 16, ..tiny() };
         assert_eq!(cfg.total_parcels_per_iteration(), 8 * 16 * 16);
         assert_eq!(cfg.parcels_per_locality(4), 8 * 16 * 16 / 4);
     }

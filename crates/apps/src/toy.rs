@@ -15,9 +15,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use rpx::{
-    CoalescingParams, Complex64, CoalescingControl, PhaseRecorder, Runtime, RuntimeError,
-};
+use rpx::{CoalescingControl, CoalescingParams, Complex64, PhaseRecorder, Runtime, RuntimeError};
 
 /// Configuration of a toy-application run.
 #[derive(Debug, Clone)]
@@ -87,7 +85,11 @@ impl ToyReport {
         if self.phases.is_empty() {
             return 0.0;
         }
-        self.phases.iter().map(|p| p.wall.as_secs_f64()).sum::<f64>() / self.phases.len() as f64
+        self.phases
+            .iter()
+            .map(|p| p.wall.as_secs_f64())
+            .sum::<f64>()
+            / self.phases.len() as f64
     }
 
     /// Mean per-phase network overhead.
@@ -127,11 +129,7 @@ fn run_phases(
     let mut recorder = PhaseRecorder::new(rt.metrics(0));
     let mut phases = Vec::with_capacity(config.phases);
     let total_start = std::time::Instant::now();
-    let mut current_nparcels = config
-        .coalescing
-        .as_ref()
-        .map(|p| p.nparcels)
-        .unwrap_or(1);
+    let mut current_nparcels = config.coalescing.as_ref().map(|p| p.nparcels).unwrap_or(1);
 
     for phase in 0..config.phases {
         if let (Some(schedule), Some(control)) = (&config.nparcels_schedule, control) {

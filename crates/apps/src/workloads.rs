@@ -129,14 +129,15 @@ mod tests {
 
     #[test]
     fn poisson_is_seed_deterministic_with_correct_mean() {
-        let p = ArrivalPattern::Poisson { rate_per_sec: 10_000.0 };
+        let p = ArrivalPattern::Poisson {
+            rate_per_sec: 10_000.0,
+        };
         let a = p.gaps(5000, 42);
         let b = p.gaps(5000, 42);
         assert_eq!(a, b);
         let c = p.gaps(5000, 43);
         assert_ne!(a, c);
-        let mean_gap =
-            a[1..].iter().map(|g| g.as_secs_f64()).sum::<f64>() / (a.len() - 1) as f64;
+        let mean_gap = a[1..].iter().map(|g| g.as_secs_f64()).sum::<f64>() / (a.len() - 1) as f64;
         let rate = 1.0 / mean_gap;
         assert!((rate - 10_000.0).abs() < 1_000.0, "rate {rate}");
         assert_eq!(p.mean_rate(), 10_000.0);
@@ -154,7 +155,10 @@ mod tests {
     #[test]
     fn degenerate_rates() {
         assert_eq!(
-            ArrivalPattern::Uniform { gap: Duration::ZERO }.mean_rate(),
+            ArrivalPattern::Uniform {
+                gap: Duration::ZERO
+            }
+            .mean_rate(),
             f64::INFINITY
         );
     }

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use parking_lot::Mutex;
 use rpx_agas::Gid;
 use rpx_coalesce::{CoalescingCounters, CoalescingParams, CoalescingQueue, ParamsHandle};
-use rpx_parcel::{ActionId, Parcel, SendPath};
+use rpx_parcel::{ActionId, Parcel, ParcelBatch, SendPath};
 use rpx_util::TimerService;
 
 struct NullPath {
@@ -17,8 +17,8 @@ struct NullPath {
 }
 
 impl SendPath for NullPath {
-    fn emit(&self, _dst: u32, parcels: Vec<Parcel>) {
-        *self.emitted.lock() += parcels.len();
+    fn emit(&self, _dst: u32, batch: ParcelBatch) {
+        *self.emitted.lock() += batch.len();
     }
 }
 
@@ -38,25 +38,21 @@ fn bench_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("coalesce_queue");
     for nparcels in [1usize, 4, 64, 1024] {
         group.throughput(Throughput::Elements(1));
-        group.bench_with_input(
-            BenchmarkId::new("submit", nparcels),
-            &nparcels,
-            |b, &n| {
-                let timer = Arc::new(TimerService::new("bench"));
-                let path = Arc::new(NullPath {
-                    emitted: Mutex::new(0),
-                });
-                let queue = CoalescingQueue::new(
-                    1,
-                    ParamsHandle::new(CoalescingParams::new(n, Duration::from_secs(10))),
-                    timer,
-                    path as Arc<dyn SendPath>,
-                    CoalescingCounters::new(),
-                );
-                let p = parcel();
-                b.iter(|| queue.submit(std::hint::black_box(p.clone())));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("submit", nparcels), &nparcels, |b, &n| {
+            let timer = Arc::new(TimerService::new("bench"));
+            let path = Arc::new(NullPath {
+                emitted: Mutex::new(0),
+            });
+            let queue = CoalescingQueue::new(
+                1,
+                ParamsHandle::new(CoalescingParams::new(n, Duration::from_secs(10))),
+                timer,
+                path as Arc<dyn SendPath>,
+                CoalescingCounters::new(),
+            );
+            let p = parcel();
+            b.iter(|| queue.submit(std::hint::black_box(p.clone())));
+        });
     }
     group.finish();
 }

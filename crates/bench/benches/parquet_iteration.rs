@@ -13,7 +13,10 @@ fn iteration_config(nparcels: usize) -> ParquetConfig {
     ParquetConfig {
         nc: 8,
         iterations: 1,
-        coalescing: Some(CoalescingParams::new(nparcels, Duration::from_micros(4_000))),
+        coalescing: Some(CoalescingParams::new(
+            nparcels,
+            Duration::from_micros(4_000),
+        )),
         compute_per_iteration: Duration::from_micros(500),
     }
 }

@@ -14,7 +14,10 @@ fn phase_config(nparcels: usize) -> ToyConfig {
         numparcels: 800,
         phases: 1,
         bidirectional: true,
-        coalescing: Some(CoalescingParams::new(nparcels, Duration::from_micros(4_000))),
+        coalescing: Some(CoalescingParams::new(
+            nparcels,
+            Duration::from_micros(4_000),
+        )),
         nparcels_schedule: None,
     }
 }

@@ -16,8 +16,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_env();
     let all = [
-        "timer", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "rsd", "adaptive",
-        "phase-change", "ablate-trigger", "ablate-bypass", "ablate-timer",
+        "timer",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "rsd",
+        "adaptive",
+        "phase-change",
+        "ablate-trigger",
+        "ablate-bypass",
+        "ablate-timer",
     ];
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all.to_vec()
@@ -91,11 +102,7 @@ fn scatter_table(title: &str, r: &exp::ScatterReport, paper_r: f64) {
 
 fn run_fig4(scale: Scale) {
     let r = exp::exp_fig4(scale);
-    scatter_table(
-        "Fig 4 — toy app: network overhead vs phase time",
-        &r,
-        0.97,
-    );
+    scatter_table("Fig 4 — toy app: network overhead vs phase time", &r, 0.97);
 }
 
 fn run_fig7(scale: Scale) {
@@ -178,14 +185,7 @@ fn run_fig9(scale: Scale) {
             .phases
             .iter()
             .enumerate()
-            .map(|(i, (n, oh, t))| {
-                vec![
-                    i.to_string(),
-                    n.to_string(),
-                    ratio(*oh),
-                    secs(*t),
-                ]
-            })
+            .map(|(i, (n, oh, t))| vec![i.to_string(), n.to_string(), ratio(*oh), secs(*t)])
             .collect();
         print_table(
             &format!("Fig 9 — instantaneous overhead per phase ({})", run.label),
@@ -204,7 +204,11 @@ fn run_rsd(scale: Scale) {
         .enumerate()
         .map(|(i, t)| vec![i.to_string(), secs(*t)])
         .collect();
-    print_table("T-rsd — repeated Parquet runs (4 parcels, 5000 µs)", &["run", "mean_iter_s"], &rows);
+    print_table(
+        "T-rsd — repeated Parquet runs (4 parcels, 5000 µs)",
+        &["run", "mean_iter_s"],
+        &rows,
+    );
     println!(
         "RSD = {} % (paper: < 5 %)",
         r.rsd_percent

@@ -147,8 +147,7 @@ pub fn exp_fig7(scale: Scale) -> ScatterReport {
     let intervals = [1_000u64, 4_000];
     let base = parquet_base(scale);
     let link = parquet_link(base.nc);
-    let outcomes =
-        driver::parquet_sweep(&base, PARQUET_LOCALITIES, link, &nparcels, &intervals);
+    let outcomes = driver::parquet_sweep(&base, PARQUET_LOCALITIES, link, &nparcels, &intervals);
     let points = driver::to_points(&outcomes);
     let pearson = overhead_time_correlation(&points);
     ScatterReport { points, pearson }
@@ -413,13 +412,9 @@ pub fn exp_rsd(scale: Scale) -> RsdReport {
     // One discarded warm-up run: the first run in a fresh process pays
     // cold-allocator/page-fault costs no repeated-measurement design
     // would include (the paper's 100 trials share a warmed job).
-    let times = driver::parquet_repeats(
-        &cfg,
-        PARQUET_LOCALITIES,
-        parquet_link(cfg.nc),
-        repeats + 1,
-    )[1..]
-        .to_vec();
+    let times =
+        driver::parquet_repeats(&cfg, PARQUET_LOCALITIES, parquet_link(cfg.nc), repeats + 1)[1..]
+            .to_vec();
     let rsd = rsd_percent(&times);
     RsdReport {
         times,
@@ -512,15 +507,17 @@ pub fn exp_adaptive(scale: Scale) -> AdaptiveReport {
             let rt2 = Arc::clone(&rt);
             let reverse = std::thread::spawn(move || {
                 rt2.run_on(1, move |ctx| {
-                    let futures: Vec<_> =
-                        (0..numparcels).map(|_| ctx.async_action(&a2, 0, ())).collect();
+                    let futures: Vec<_> = (0..numparcels)
+                        .map(|_| ctx.async_action(&a2, 0, ()))
+                        .collect();
                     ctx.wait_all(futures).map(|v| v.len())
                 })
             });
             let a3 = action.clone();
             rt.run_on(0, move |ctx| {
-                let futures: Vec<_> =
-                    (0..numparcels).map(|_| ctx.async_action(&a3, 1, ())).collect();
+                let futures: Vec<_> = (0..numparcels)
+                    .map(|_| ctx.async_action(&a3, 1, ()))
+                    .collect();
                 ctx.wait_all(futures).map(|v| v.len())
             })
             .expect("adaptive toy phase");
@@ -639,8 +636,9 @@ pub fn exp_phase_change(scale: Scale) -> PhaseChangeReport {
         for _ in 0..dense_rounds {
             let action = action.clone();
             rt.run_on(0, move |ctx| {
-                let futures: Vec<_> =
-                    (0..dense_parcels).map(|_| ctx.async_action(&action, 1, ())).collect();
+                let futures: Vec<_> = (0..dense_parcels)
+                    .map(|_| ctx.async_action(&action, 1, ()))
+                    .collect();
                 ctx.wait_all(futures).expect("dense stage");
             });
         }
@@ -661,8 +659,9 @@ pub fn exp_phase_change(scale: Scale) -> PhaseChangeReport {
         for _ in 0..dense_rounds {
             let action = action.clone();
             rt.run_on(0, move |ctx| {
-                let futures: Vec<_> =
-                    (0..dense_parcels).map(|_| ctx.async_action(&action, 1, ())).collect();
+                let futures: Vec<_> = (0..dense_parcels)
+                    .map(|_| ctx.async_action(&action, 1, ()))
+                    .collect();
                 ctx.wait_all(futures).expect("dense stage 2");
             });
         }
@@ -705,9 +704,8 @@ pub fn exp_ablate_trigger(scale: Scale) -> Vec<TriggerRow> {
         let parcel_bytes = 40 + 16 * payload_elems;
         let run = |params: CoalescingParams| -> f64 {
             let rt = driver::boot(2, paper_link());
-            let action = rt.register_action("ablate::echo", move |v: Vec<rpx::Complex64>| {
-                v.len() as u64
-            });
+            let action =
+                rt.register_action("ablate::echo", move |v: Vec<rpx::Complex64>| v.len() as u64);
             let _control = rt.enable_coalescing("ablate::echo", params).unwrap();
             let n = scale.pick(800, 20_000);
             let t0 = Instant::now();
@@ -722,8 +720,7 @@ pub fn exp_ablate_trigger(scale: Scale) -> Vec<TriggerRow> {
             rt.shutdown();
             dt
         };
-        let count_trigger =
-            CoalescingParams::new(nparcels, Duration::from_micros(4_000));
+        let count_trigger = CoalescingParams::new(nparcels, Duration::from_micros(4_000));
         // Size trigger: effectively no count limit; flush when the byte
         // budget for `nparcels` average parcels is reached.
         let size_trigger = CoalescingParams::new(usize::MAX / 2, Duration::from_micros(4_000))

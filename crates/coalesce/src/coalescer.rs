@@ -122,15 +122,15 @@ mod tests {
     use bytes::Bytes;
     use parking_lot::Mutex;
     use rpx_agas::Gid;
-    use rpx_parcel::ActionId;
+    use rpx_parcel::{ActionId, ParcelBatch};
     use std::time::Duration;
 
     struct MockPath {
         batches: Mutex<Vec<(u32, Vec<Parcel>)>>,
     }
     impl SendPath for MockPath {
-        fn emit(&self, dst: u32, parcels: Vec<Parcel>) {
-            self.batches.lock().push((dst, parcels));
+        fn emit(&self, dst: u32, batch: ParcelBatch) {
+            self.batches.lock().push((dst, batch.into_vec()));
         }
     }
 
@@ -146,9 +146,7 @@ mod tests {
         }
     }
 
-    fn coalescer(
-        params: CoalescingParams,
-    ) -> (Arc<Coalescer>, Arc<MockPath>, Arc<TimerService>) {
+    fn coalescer(params: CoalescingParams) -> (Arc<Coalescer>, Arc<MockPath>, Arc<TimerService>) {
         let path = Arc::new(MockPath {
             batches: Mutex::new(Vec::new()),
         });

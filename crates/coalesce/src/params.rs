@@ -105,7 +105,9 @@ impl ParamsHandle {
 
     /// Update only the queue length.
     pub fn set_nparcels(&self, nparcels: usize) {
-        self.inner.nparcels.store(nparcels.max(1), Ordering::Relaxed);
+        self.inner
+            .nparcels
+            .store(nparcels.max(1), Ordering::Relaxed);
     }
 
     /// Update only the wait time.

@@ -21,13 +21,19 @@
 //!
 //! A queue exists per (action, destination) pair; parameters and counters
 //! are shared across the destinations of one action.
+//!
+//! The submit path is allocation-free in steady state: buffers are drawn
+//! from a per-queue [`BufferPool`] pre-sized to `nparcels`, flushed batches
+//! travel as [`ParcelBatch`] and return their backing `Vec` to the pool
+//! when the transport drops them, and counter updates and timestamping
+//! happen outside the state lock.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use rpx_parcel::{Parcel, SendPath};
+use rpx_parcel::{BufferPool, Parcel, ParcelBatch, SendPath};
 use rpx_util::time::dur_to_ns;
 use rpx_util::{TimerHandle, TimerService};
 
@@ -51,6 +57,9 @@ pub struct CoalescingQueue {
     timer_service: Arc<TimerService>,
     path: Arc<dyn SendPath>,
     counters: Arc<CoalescingCounters>,
+    /// Recycles flushed buffers: a batch emitted downstream returns its
+    /// `Vec<Parcel>` here on drop, and the next fill re-uses it.
+    pool: Arc<BufferPool>,
     state: Mutex<State>,
 }
 
@@ -69,6 +78,7 @@ impl CoalescingQueue {
             timer_service,
             path,
             counters,
+            pool: BufferPool::new(),
             state: Mutex::new(State {
                 buffer: Vec::new(),
                 bytes: 0,
@@ -89,30 +99,43 @@ impl CoalescingQueue {
         self.state.lock().buffer.len()
     }
 
+    /// Spare recycled buffers currently pooled (observability/tests).
+    pub fn spare_buffers(&self) -> usize {
+        self.pool.spares()
+    }
+
     /// Submit one parcel (Algorithm 1).
     pub fn submit(self: &Arc<Self>, parcel: Parcel) {
         debug_assert_eq!(parcel.dest_locality, self.dst);
         let params = self.params.load();
-        let mut batches: Vec<Vec<Parcel>> = Vec::new();
+        // Timestamp before taking the lock; the gap error this introduces
+        // under contention is bounded by the lock hold time.
+        let now = Instant::now();
+        // At most two batches leave one submit: what was already buffered
+        // (first slot) and the arriving parcel when it bypasses (second).
+        let mut flushed: Option<Vec<Parcel>> = None;
+        let mut bypass: Option<ParcelBatch> = None;
+        let gap: Option<Duration>;
         {
             let mut st = self.state.lock();
-            let now = Instant::now();
-            let gap = st.last_arrival.map(|t| now.saturating_duration_since(t));
-            self.counters.record_arrival(gap.map(dur_to_ns));
+            gap = st.last_arrival.map(|t| now.saturating_duration_since(t));
             st.last_arrival = Some(now);
 
             let sparse = gap.is_some_and(|g| g > params.interval);
             if params.is_disabled() || sparse {
                 // Coalescing off (nparcels = 1) or sparse bypass: anything
                 // still buffered goes first (parameters may have just been
-                // lowered), then the arriving parcel ships immediately.
-                if let Some(b) = self.flush_locked(&mut st) {
-                    batches.push(b);
-                }
-                self.counters.record_message(1);
-                batches.push(vec![parcel]);
+                // lowered), then the arriving parcel ships immediately as
+                // an inline batch — no buffer, no pool traffic.
+                flushed = self.flush_locked(&mut st);
+                bypass = Some(ParcelBatch::single(parcel));
             } else {
                 st.bytes += parcel.wire_size();
+                if st.buffer.capacity() == 0 {
+                    // case First after a flush: draw a recycled buffer
+                    // pre-sized to nparcels so pushes never reallocate.
+                    st.buffer = self.pool.take(params.nparcels);
+                }
                 st.buffer.push(parcel);
                 if st.buffer.len() == 1 {
                     // case First: start the flush timer.
@@ -126,30 +149,39 @@ impl CoalescingQueue {
                 }
                 if st.buffer.len() >= params.nparcels || st.bytes >= params.max_bytes {
                     // case Last: stop the timer and flush.
-                    if let Some(b) = self.flush_locked(&mut st) {
-                        batches.push(b);
-                    }
+                    flushed = self.flush_locked(&mut st);
                 }
             }
         }
-        for batch in batches {
+        // Counter recording happens outside the critical section.
+        self.counters.record_arrival(gap.map(dur_to_ns));
+        if let Some(buf) = flushed {
+            self.counters.record_message(buf.len());
+            self.path
+                .emit(self.dst, ParcelBatch::from_pool(buf, &self.pool));
+        }
+        if let Some(batch) = bypass {
+            self.counters.record_message(1);
             self.path.emit(self.dst, batch);
         }
     }
 
     /// Force-flush the queue (phase boundaries, shutdown).
     pub fn flush(&self) {
-        let batch = {
+        let buf = {
             let mut st = self.state.lock();
             self.flush_locked(&mut st)
         };
-        if let Some(batch) = batch {
-            self.path.emit(self.dst, batch);
+        if let Some(buf) = buf {
+            self.counters.record_message(buf.len());
+            self.path
+                .emit(self.dst, ParcelBatch::from_pool(buf, &self.pool));
         }
     }
 
     /// Take the buffered parcels, cancel the timer, bump the epoch.
-    /// Caller emits the returned batch after releasing the state lock.
+    /// Caller records counters and emits after releasing the state lock;
+    /// the replacement buffer is drawn lazily from the pool on next push.
     fn flush_locked(&self, st: &mut State) -> Option<Vec<Parcel>> {
         if let Some(t) = st.timer.take() {
             t.cancel();
@@ -159,22 +191,22 @@ impl CoalescingQueue {
             return None;
         }
         st.bytes = 0;
-        let batch = std::mem::take(&mut st.buffer);
-        self.counters.record_message(batch.len());
-        Some(batch)
+        Some(std::mem::take(&mut st.buffer))
     }
 
     /// Timer-driven flush; ignored if `epoch` is stale.
     fn timer_flush(self: &Arc<Self>, epoch: u64) {
-        let batch = {
+        let buf = {
             let mut st = self.state.lock();
             if st.epoch != epoch {
                 return;
             }
             self.flush_locked(&mut st)
         };
-        if let Some(batch) = batch {
-            self.path.emit(self.dst, batch);
+        if let Some(buf) = buf {
+            self.counters.record_message(buf.len());
+            self.path
+                .emit(self.dst, ParcelBatch::from_pool(buf, &self.pool));
         }
     }
 }
@@ -207,8 +239,19 @@ mod tests {
     }
 
     impl SendPath for MockPath {
-        fn emit(&self, dst: u32, parcels: Vec<Parcel>) {
-            self.batches.lock().push((dst, parcels));
+        fn emit(&self, dst: u32, batch: ParcelBatch) {
+            // into_vec detaches the buffer from the recycling pool — test
+            // capture deliberately trades recycling for ownership.
+            self.batches.lock().push((dst, batch.into_vec()));
+        }
+    }
+
+    /// A path that consumes and drops batches like a real transport,
+    /// returning their buffers to the queue's pool.
+    struct DropPath;
+    impl SendPath for DropPath {
+        fn emit(&self, _dst: u32, batch: ParcelBatch) {
+            drop(batch);
         }
     }
 
@@ -226,7 +269,12 @@ mod tests {
 
     fn queue(
         params: CoalescingParams,
-    ) -> (Arc<CoalescingQueue>, Arc<MockPath>, Arc<CoalescingCounters>, Arc<TimerService>) {
+    ) -> (
+        Arc<CoalescingQueue>,
+        Arc<MockPath>,
+        Arc<CoalescingCounters>,
+        Arc<TimerService>,
+    ) {
         let path = MockPath::new();
         let counters = CoalescingCounters::new();
         let timer = Arc::new(TimerService::new("coalesce-test"));
@@ -242,8 +290,7 @@ mod tests {
 
     #[test]
     fn queue_full_triggers_flush() {
-        let (q, path, counters, _t) =
-            queue(CoalescingParams::new(4, Duration::from_secs(10)));
+        let (q, path, counters, _t) = queue(CoalescingParams::new(4, Duration::from_secs(10)));
         for i in 0..8 {
             q.submit(parcel(i));
         }
@@ -256,8 +303,7 @@ mod tests {
 
     #[test]
     fn partial_queue_is_flushed_by_timer() {
-        let (q, path, _c, _t) =
-            queue(CoalescingParams::new(100, Duration::from_millis(5)));
+        let (q, path, _c, _t) = queue(CoalescingParams::new(100, Duration::from_millis(5)));
         q.submit(parcel(1));
         q.submit(parcel(2));
         q.submit(parcel(3));
@@ -271,8 +317,7 @@ mod tests {
 
     #[test]
     fn nparcels_one_disables_coalescing() {
-        let (q, path, counters, _t) =
-            queue(CoalescingParams::new(1, Duration::from_secs(10)));
+        let (q, path, counters, _t) = queue(CoalescingParams::new(1, Duration::from_secs(10)));
         for i in 0..5 {
             q.submit(parcel(i));
         }
@@ -297,9 +342,8 @@ mod tests {
     #[test]
     fn max_bytes_forces_flush() {
         // Each test parcel is ~56 wire bytes; cap at 120 → flush on the 3rd.
-        let (q, path, _c, _t) = queue(
-            CoalescingParams::new(1000, Duration::from_secs(10)).with_max_bytes(120),
-        );
+        let (q, path, _c, _t) =
+            queue(CoalescingParams::new(1000, Duration::from_secs(10)).with_max_bytes(120));
         q.submit(parcel(1));
         q.submit(parcel(2));
         assert_eq!(q.pending(), 2);
@@ -340,8 +384,7 @@ mod tests {
 
     #[test]
     fn arrival_gaps_feed_counters() {
-        let (q, _path, counters, _t) =
-            queue(CoalescingParams::new(100, Duration::from_secs(10)));
+        let (q, _path, counters, _t) = queue(CoalescingParams::new(100, Duration::from_secs(10)));
         q.submit(parcel(1));
         std::thread::sleep(Duration::from_millis(2));
         q.submit(parcel(2));
@@ -351,9 +394,31 @@ mod tests {
     }
 
     #[test]
+    fn flushed_buffers_are_recycled() {
+        // With a transport that drops batches (as the parcel port does once
+        // encoded), the queue cycles pooled buffers instead of allocating.
+        let counters = CoalescingCounters::new();
+        let timer = Arc::new(TimerService::new("recycle-test"));
+        let q = CoalescingQueue::new(
+            1,
+            ParamsHandle::new(CoalescingParams::new(4, Duration::from_secs(10))),
+            timer,
+            Arc::new(DropPath) as Arc<dyn SendPath>,
+            counters,
+        );
+        for round in 0..10u64 {
+            for i in 0..4 {
+                q.submit(parcel(round * 4 + i));
+            }
+            // Each full flush hands its buffer back: exactly one spare,
+            // reused by the next round's first push.
+            assert_eq!(q.spare_buffers(), 1, "round {round}");
+        }
+    }
+
+    #[test]
     fn conservation_under_concurrency() {
-        let (q, path, counters, _t) =
-            queue(CoalescingParams::new(8, Duration::from_millis(2)));
+        let (q, path, counters, _t) = queue(CoalescingParams::new(8, Duration::from_millis(2)));
         let n_threads = 4;
         let per_thread = 500;
         std::thread::scope(|s| {

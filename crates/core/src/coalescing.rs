@@ -78,7 +78,9 @@ impl CoalescingControl {
                     Arc::clone(&locality.port) as Arc<dyn SendPath>,
                 );
                 cont.register_counters(&locality.registry);
-                locality.port.set_interceptor(cont_id, Arc::clone(&cont) as _);
+                locality
+                    .port
+                    .set_interceptor(cont_id, Arc::clone(&cont) as _);
                 continuation_coalescers.push(cont);
             }
         }
@@ -126,7 +128,11 @@ impl CoalescingControl {
     /// including queued continuation results.
     pub fn flush(&self) {
         use rpx_parcel::ParcelInterceptor;
-        for c in self.per_locality.iter().chain(&self.continuation_coalescers) {
+        for c in self
+            .per_locality
+            .iter()
+            .chain(&self.continuation_coalescers)
+        {
             c.flush();
         }
     }
@@ -143,7 +149,9 @@ impl CoalescingControl {
 
     /// The `/coalescing/*` counters of one locality's coalescer.
     pub fn counters(&self, locality: u32) -> Option<&Arc<CoalescingCounters>> {
-        self.per_locality.get(locality as usize).map(|c| c.counters())
+        self.per_locality
+            .get(locality as usize)
+            .map(|c| c.counters())
     }
 
     /// Remove this control's interceptors from every locality (queued
@@ -206,10 +214,7 @@ mod tests {
             h.fetch_add(1, Ordering::SeqCst);
         });
         let control = rt
-            .enable_coalescing(
-                "bump",
-                CoalescingParams::new(8, Duration::from_micros(500)),
-            )
+            .enable_coalescing("bump", CoalescingParams::new(8, Duration::from_micros(500)))
             .unwrap();
         rt.run_on(0, move |ctx| {
             let futures: Vec<_> = (0..100).map(|_| ctx.async_action(&act, 1, ())).collect();

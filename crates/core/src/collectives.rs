@@ -15,11 +15,7 @@ use crate::runtime::ActionHandle;
 impl Ctx {
     /// Invoke `action` with the same arguments on every *other* locality;
     /// returns the futures in locality order.
-    pub fn broadcast<A, R>(
-        &self,
-        action: &ActionHandle<A, R>,
-        args: A,
-    ) -> Vec<RemoteFuture<R>>
+    pub fn broadcast<A, R>(&self, action: &ActionHandle<A, R>, args: A) -> Vec<RemoteFuture<R>>
     where
         A: Wire + Clone,
         R: Wire,
@@ -32,11 +28,7 @@ impl Ctx {
 
     /// Invoke `action` on every locality (including this one); returns the
     /// futures in locality order.
-    pub fn broadcast_all<A, R>(
-        &self,
-        action: &ActionHandle<A, R>,
-        args: A,
-    ) -> Vec<RemoteFuture<R>>
+    pub fn broadcast_all<A, R>(&self, action: &ActionHandle<A, R>, args: A) -> Vec<RemoteFuture<R>>
     where
         A: Wire + Clone,
         R: Wire,
@@ -53,14 +45,14 @@ impl Ctx {
         action: &ActionHandle<A, R>,
         args: A,
         init: O,
-        mut fold: impl FnMut(O, R) -> O,
+        fold: impl FnMut(O, R) -> O,
     ) -> Result<O, RuntimeError>
     where
         A: Wire + Clone,
         R: Wire,
     {
         let results = self.wait_all(self.broadcast_all(action, args))?;
-        Ok(results.into_iter().fold(init, |acc, r| fold(acc, r)))
+        Ok(results.into_iter().fold(init, fold))
     }
 
     /// Scatter: invoke `action` on every locality with per-destination
@@ -68,11 +60,7 @@ impl Ctx {
     ///
     /// # Panics
     /// Panics unless `args.len()` equals the number of localities.
-    pub fn scatter<A, R>(
-        &self,
-        action: &ActionHandle<A, R>,
-        args: Vec<A>,
-    ) -> Vec<RemoteFuture<R>>
+    pub fn scatter<A, R>(&self, action: &ActionHandle<A, R>, args: Vec<A>) -> Vec<RemoteFuture<R>>
     where
         A: Wire,
         R: Wire,
@@ -91,7 +79,6 @@ impl Ctx {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::runtime::{Runtime, RuntimeConfig};
     use std::sync::Arc;
 
@@ -135,16 +122,15 @@ mod tests {
         let sum = rt.run_on(0, move |ctx| {
             ctx.reduce(&sq, (), 0u64, |acc, v| acc + v).unwrap()
         });
-        assert_eq!(sum, 0 + 1 + 4 + 9);
+        assert_eq!(sum, 1 + 4 + 9);
         rt.shutdown();
     }
 
     #[test]
     fn scatter_delivers_per_destination_args() {
         let rt = runtime(3);
-        let echo = rt.register_action_with_locality("coll::echo", |here, v: u64| {
-            (u64::from(here), v)
-        });
+        let echo =
+            rt.register_action_with_locality("coll::echo", |here, v: u64| (u64::from(here), v));
         let out = rt.run_on(0, move |ctx| {
             let futures = ctx.scatter(&echo, vec![10, 20, 30]);
             ctx.wait_all(futures).unwrap()

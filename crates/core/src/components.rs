@@ -110,7 +110,9 @@ impl Runtime {
         instance: T,
     ) -> Gid {
         let gid = self.agas().allocate(locality);
-        self.locality(locality).objects().insert(gid, Arc::new(instance));
+        self.locality(locality)
+            .objects()
+            .insert(gid, Arc::new(instance));
         gid
     }
 
@@ -162,26 +164,25 @@ mod tests {
         total: Mutex<i64>,
     }
 
-    fn setup() -> (
-        Arc<Runtime>,
-        MethodHandle<Accumulator, i64, i64>,
-    ) {
+    fn setup() -> (Arc<Runtime>, MethodHandle<Accumulator, i64, i64>) {
         let rt = Runtime::new(RuntimeConfig::small_test());
-        let add = rt.register_component_method(
-            "acc::add",
-            |acc: &Accumulator, v: i64| {
-                let mut total = acc.total.lock();
-                *total += v;
-                *total
-            },
-        );
+        let add = rt.register_component_method("acc::add", |acc: &Accumulator, v: i64| {
+            let mut total = acc.total.lock();
+            *total += v;
+            *total
+        });
         (rt, add)
     }
 
     #[test]
     fn component_methods_run_where_the_object_lives() {
         let (rt, add) = setup();
-        let gid = rt.new_component(1, Accumulator { total: Mutex::new(0) });
+        let gid = rt.new_component(
+            1,
+            Accumulator {
+                total: Mutex::new(0),
+            },
+        );
         let totals = rt.run_on(0, move |ctx| {
             (1..=5)
                 .map(|v| ctx.async_method(&add, gid, v).unwrap().get().unwrap())
@@ -195,7 +196,12 @@ mod tests {
     #[test]
     fn component_keeps_gid_after_rehoming() {
         let (rt, add) = setup();
-        let gid = rt.new_component(0, Accumulator { total: Mutex::new(100) });
+        let gid = rt.new_component(
+            0,
+            Accumulator {
+                total: Mutex::new(100),
+            },
+        );
         let t1 = rt.run_on(1, {
             let add = add.clone();
             move |ctx| ctx.async_method(&add, gid, 1).unwrap().get().unwrap()
@@ -223,7 +229,12 @@ mod tests {
     #[test]
     fn missing_instance_is_dropped_not_fatal() {
         let (rt, add) = setup();
-        let gid = rt.new_component(1, Accumulator { total: Mutex::new(0) });
+        let gid = rt.new_component(
+            1,
+            Accumulator {
+                total: Mutex::new(0),
+            },
+        );
         rt.locality(1).objects().remove(gid);
         let err = rt.run_on(0, move |ctx| {
             ctx.async_method(&add, gid, 1)
@@ -248,7 +259,12 @@ mod tests {
     #[test]
     fn delete_component_unbinds() {
         let (rt, _add) = setup();
-        let gid = rt.new_component(0, Accumulator { total: Mutex::new(0) });
+        let gid = rt.new_component(
+            0,
+            Accumulator {
+                total: Mutex::new(0),
+            },
+        );
         assert!(rt.agas().resolve(gid).is_ok());
         rt.delete_component(gid).unwrap();
         assert!(rt.agas().resolve(gid).is_err());
@@ -260,7 +276,14 @@ mod tests {
     fn many_components_across_localities() {
         let (rt, add) = setup();
         let gids: Vec<Gid> = (0..10)
-            .map(|i| rt.new_component(i % 2, Accumulator { total: Mutex::new(0) }))
+            .map(|i| {
+                rt.new_component(
+                    i % 2,
+                    Accumulator {
+                        total: Mutex::new(0),
+                    },
+                )
+            })
             .collect();
         let results = rt.run_on(0, move |ctx| {
             let futures: Vec<_> = gids

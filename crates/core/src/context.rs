@@ -172,10 +172,7 @@ impl Ctx {
 
     /// Wait for all futures, collecting results in order
     /// (`hpx::wait_all`).
-    pub fn wait_all<R: Wire>(
-        &self,
-        futures: Vec<RemoteFuture<R>>,
-    ) -> Result<Vec<R>, RuntimeError> {
+    pub fn wait_all<R: Wire>(&self, futures: Vec<RemoteFuture<R>>) -> Result<Vec<R>, RuntimeError> {
         futures.into_iter().map(RemoteFuture::get).collect()
     }
 
@@ -216,9 +213,7 @@ mod tests {
     fn roundtrip_action_returns_value() {
         let rt = test_runtime(2);
         let act = rt.register_action("get_cplx", |(): ()| Complex64::new(13.3, -23.8));
-        let v = rt.run_on(0, move |ctx| {
-            ctx.async_action(&act, 1, ()).get().unwrap()
-        });
+        let v = rt.run_on(0, move |ctx| ctx.async_action(&act, 1, ()).get().unwrap());
         assert_eq!(v, Complex64::new(13.3, -23.8));
         rt.shutdown();
     }
@@ -227,7 +222,9 @@ mod tests {
     fn action_receives_arguments() {
         let rt = test_runtime(2);
         let add = rt.register_action("add", |(a, b): (u64, u64)| a + b);
-        let v = rt.run_on(0, move |ctx| ctx.async_action(&add, 1, (20, 22)).get().unwrap());
+        let v = rt.run_on(0, move |ctx| {
+            ctx.async_action(&add, 1, (20, 22)).get().unwrap()
+        });
         assert_eq!(v, 42);
         rt.shutdown();
     }

@@ -101,9 +101,7 @@ impl CounterPath {
         };
 
         // The object is everything up to the first '/' or '{'.
-        let obj_end = rest
-            .find(|c| c == '/' || c == '{')
-            .unwrap_or(rest.len());
+        let obj_end = rest.find(['/', '{']).unwrap_or(rest.len());
         let object = &rest[..obj_end];
         if object.is_empty() {
             return Err(PathError::EmptyObject);
@@ -188,8 +186,7 @@ mod tests {
 
     #[test]
     fn parses_instance_and_parameters() {
-        let p =
-            CounterPath::parse("/coalescing{locality#1/total}/count/messages@rotate").unwrap();
+        let p = CounterPath::parse("/coalescing{locality#1/total}/count/messages@rotate").unwrap();
         assert_eq!(p.object, "coalescing");
         assert_eq!(p.instance.as_deref(), Some("locality#1/total"));
         assert_eq!(p.name, "count/messages");
@@ -258,8 +255,7 @@ mod tests {
     #[test]
     fn parameters_may_contain_commas() {
         let p =
-            CounterPath::parse("/coalescing/time/parcel-arrival-histogram@act,0,10000,20")
-                .unwrap();
+            CounterPath::parse("/coalescing/time/parcel-arrival-histogram@act,0,10000,20").unwrap();
         assert_eq!(p.parameters.as_deref(), Some("act,0,10000,20"));
     }
 }

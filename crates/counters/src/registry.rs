@@ -87,11 +87,7 @@ impl CounterRegistry {
     /// Register a counter under `path` (instance-less canonical form).
     ///
     /// Returns an error if the path is invalid or already taken.
-    pub fn register(
-        &self,
-        path: &str,
-        source: Arc<dyn CounterSource>,
-    ) -> Result<(), CounterError> {
+    pub fn register(&self, path: &str, source: Arc<dyn CounterSource>) -> Result<(), CounterError> {
         let parsed = CounterPath::parse(path)?;
         let key = parsed.without_instance();
         let mut map = self.counters.write();
@@ -228,8 +224,11 @@ mod tests {
         let parcels = MonotoneCounter::new();
         reg.register("/coalescing/count/parcels@get_cplx", parcels.clone())
             .unwrap();
-        reg.register("/coalescing/count/messages@get_cplx", MonotoneCounter::new())
-            .unwrap();
+        reg.register(
+            "/coalescing/count/messages@get_cplx",
+            MonotoneCounter::new(),
+        )
+        .unwrap();
         reg.register("/threads/background-overhead", RatioCounter::new())
             .unwrap();
         reg.register("/threads/time/average-overhead", AverageCounter::new())
@@ -343,7 +342,10 @@ mod tests {
         assert!(!glob_match("/a/*d", "/a/bc"));
         assert!(!glob_match("/a", "/a/b"));
         assert!(glob_match("**", "x"));
-        assert!(glob_match("/co*/count/*@act", "/coalescing/count/parcels@act"));
+        assert!(glob_match(
+            "/co*/count/*@act",
+            "/coalescing/count/parcels@act"
+        ));
     }
 
     #[test]

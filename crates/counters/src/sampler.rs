@@ -65,11 +65,7 @@ impl Sampler {
     /// Start sampling `paths` from `registry` every `interval`.
     ///
     /// The first sample is taken immediately.
-    pub fn start(
-        registry: Arc<CounterRegistry>,
-        paths: &[&str],
-        interval: Duration,
-    ) -> Sampler {
+    pub fn start(registry: Arc<CounterRegistry>, paths: &[&str], interval: Duration) -> Sampler {
         let shared = Arc::new(Shared {
             series: Mutex::new(
                 paths
@@ -105,7 +101,7 @@ impl Sampler {
                             return;
                         }
                         std::thread::sleep(Duration::from_micros(
-                            interval.as_micros().min(500) as u64,
+                            interval.as_micros().min(500) as u64
                         ));
                     }
                 }
@@ -164,7 +160,11 @@ mod tests {
     #[test]
     fn unknown_counter_yields_none_points() {
         let reg = CounterRegistry::new(0);
-        let sampler = Sampler::start(Arc::clone(&reg), &["/absent/counter"], Duration::from_millis(1));
+        let sampler = Sampler::start(
+            Arc::clone(&reg),
+            &["/absent/counter"],
+            Duration::from_millis(1),
+        );
         std::thread::sleep(Duration::from_millis(5));
         let series = sampler.stop();
         assert!(!series[0].points.is_empty());
@@ -176,7 +176,11 @@ mod tests {
     #[test]
     fn counter_registered_mid_flight_is_picked_up() {
         let reg = CounterRegistry::new(0);
-        let sampler = Sampler::start(Arc::clone(&reg), &["/late/counter"], Duration::from_millis(2));
+        let sampler = Sampler::start(
+            Arc::clone(&reg),
+            &["/late/counter"],
+            Duration::from_millis(2),
+        );
         std::thread::sleep(Duration::from_millis(6));
         let c = MonotoneCounter::new();
         c.add(7);

@@ -270,7 +270,10 @@ mod tests {
     #[test]
     fn get_timeout_expires_and_succeeds() {
         let (_p, f) = channel::<u32>();
-        assert_eq!(f.get_timeout(Duration::from_millis(5)), Err(LcoError::Timeout));
+        assert_eq!(
+            f.get_timeout(Duration::from_millis(5)),
+            Err(LcoError::Timeout)
+        );
 
         let (p, f) = channel();
         let t = std::thread::spawn(move || f.get_timeout(Duration::from_secs(5)));

@@ -69,8 +69,7 @@ impl PhaseRecorder {
     /// # Panics
     /// Panics if no phase is open.
     pub fn end_phase(&mut self) -> &PhaseRecord {
-        let (name, start_sample, start_wall) =
-            self.current.take().expect("no phase open");
+        let (name, start_sample, start_wall) = self.current.take().expect("no phase open");
         let end_sample = self.reader.sample();
         let record = PhaseRecord {
             name,
@@ -82,7 +81,11 @@ impl PhaseRecorder {
     }
 
     /// Run `f` as a named phase and return its record.
-    pub fn phase<R>(&mut self, name: impl Into<String>, f: impl FnOnce() -> R) -> (R, &PhaseRecord) {
+    pub fn phase<R>(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce() -> R,
+    ) -> (R, &PhaseRecord) {
         self.start_phase(name);
         let out = f();
         (out, self.end_phase())

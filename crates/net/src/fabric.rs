@@ -68,11 +68,20 @@ impl Ord for InFlight {
     }
 }
 
+/// Sentinel for [`PortShared::next_due`]: no message in flight.
+const NO_DEADLINE: u64 = u64::MAX;
+
 struct PortShared {
     locality: u32,
     outbound_tx: Sender<Message>,
     outbound_rx: Receiver<Message>,
     inflight: Mutex<BinaryHeap<Reverse<InFlight>>>,
+    /// Earliest `deliver_at` in `inflight`, as nanoseconds since the
+    /// fabric epoch ([`NO_DEADLINE`] when empty). Written only while the
+    /// heap lock is held (Release) and read without it (Acquire), so
+    /// `pump_recv` can skip the lock entirely when nothing is due — the
+    /// common case for background polls on an idle or high-latency port.
+    next_due: AtomicU64,
     receiver: RwLock<Option<ReceiveHandler>>,
     notify: RwLock<Option<NotifyFn>>,
     stats: PortStats,
@@ -80,6 +89,14 @@ struct PortShared {
     /// Messages popped from a queue but not yet handed to the next stage
     /// (mid-pump). Needed so quiescence checks do not declare the fabric
     /// idle while a pump thread holds a message.
+    ///
+    /// Ordering invariant: the gauge is incremented (Acquire) before the
+    /// pump releases the queue it popped from and decremented (Release)
+    /// only after the message has been handed to the next stage, so a
+    /// quiescence check that observes empty queues and a zero gauge
+    /// cannot have missed an in-transit message. Acquire/Release suffices
+    /// because the gauge never synchronises data of its own — it only
+    /// orders against the queue operations around it.
     processing: std::sync::atomic::AtomicUsize,
     /// Optional failure injection applied to outbound messages.
     faults: RwLock<Option<Arc<FaultPlan>>>,
@@ -90,14 +107,14 @@ struct ProcessingGuard<'a>(&'a std::sync::atomic::AtomicUsize);
 
 impl<'a> ProcessingGuard<'a> {
     fn enter(gauge: &'a std::sync::atomic::AtomicUsize) -> Self {
-        gauge.fetch_add(1, Ordering::SeqCst);
+        gauge.fetch_add(1, Ordering::Acquire);
         ProcessingGuard(gauge)
     }
 }
 
 impl Drop for ProcessingGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -112,6 +129,9 @@ impl PortShared {
 /// The software network connecting all localities of a cluster.
 pub struct Fabric {
     model: LinkModel,
+    /// Reference instant for `next_due` timestamps; all deadlines are
+    /// encoded as nanoseconds since this epoch.
+    epoch: Instant,
     ports: Vec<Arc<PortShared>>,
 }
 
@@ -127,6 +147,7 @@ impl Fabric {
                     outbound_tx,
                     outbound_rx,
                     inflight: Mutex::new(BinaryHeap::new()),
+                    next_due: AtomicU64::new(NO_DEADLINE),
                     receiver: RwLock::new(None),
                     notify: RwLock::new(None),
                     stats: PortStats::default(),
@@ -136,7 +157,17 @@ impl Fabric {
                 })
             })
             .collect();
-        Arc::new(Fabric { model, ports })
+        Arc::new(Fabric {
+            model,
+            epoch: Instant::now(),
+            ports,
+        })
+    }
+
+    /// Nanoseconds from the fabric epoch to `at` (saturating at zero).
+    fn epoch_ns(&self, at: Instant) -> u64 {
+        at.checked_duration_since(self.epoch)
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
     }
 
     /// The link model in force.
@@ -277,11 +308,20 @@ impl NetPort {
             // the batch cannot execute until the whole batch has arrived.
             let deliver_at = Instant::now() + self.fabric.model.delivery_delay(message.len());
             let seq = dst.seq.fetch_add(1, Ordering::Relaxed);
-            dst.inflight.lock().push(Reverse(InFlight {
-                deliver_at,
-                seq,
-                message,
-            }));
+            {
+                let mut heap = dst.inflight.lock();
+                heap.push(Reverse(InFlight {
+                    deliver_at,
+                    seq,
+                    message,
+                }));
+                // Refresh the lock-free deadline hint from the heap head
+                // while still holding the lock, so the hint always equals
+                // the true earliest deadline.
+                let head = heap.peek().expect("just pushed").0.deliver_at;
+                dst.next_due
+                    .store(self.fabric.epoch_ns(head), Ordering::Release);
+            }
             dst.notify();
         }
         did_work
@@ -297,6 +337,16 @@ impl NetPort {
         };
         let mut did_work = false;
         for _ in 0..PUMP_BATCH {
+            // Lock-free fast path: if the earliest deadline (maintained
+            // under the heap lock) has not arrived, skip the lock. The
+            // hint is exact, not approximate — every heap mutation
+            // refreshes it before releasing the lock — so a stale read
+            // can only race with a concurrent pump that will (or already
+            // did) deliver the message itself.
+            let hint = self.shared.next_due.load(Ordering::Acquire);
+            if hint == NO_DEADLINE || hint > self.fabric.epoch_ns(Instant::now()) {
+                break;
+            }
             let (message, _guard) = {
                 let mut heap = self.shared.inflight.lock();
                 match heap.peek() {
@@ -304,7 +354,12 @@ impl NetPort {
                         // Take the processing guard while still holding the
                         // heap lock so the message is never unaccounted for.
                         let guard = ProcessingGuard::enter(&self.shared.processing);
-                        (heap.pop().expect("peeked").0.message, guard)
+                        let message = heap.pop().expect("peeked").0.message;
+                        let next = heap.peek().map_or(NO_DEADLINE, |Reverse(head)| {
+                            self.fabric.epoch_ns(head.deliver_at)
+                        });
+                        self.shared.next_due.store(next, Ordering::Release);
+                        (message, guard)
                     }
                     _ => break,
                 }
@@ -345,7 +400,9 @@ impl NetPort {
     /// Messages currently mid-pump on this port (popped from a queue but
     /// not yet delivered to the next stage).
     pub fn processing(&self) -> usize {
-        self.shared.processing.load(Ordering::SeqCst)
+        // Acquire pairs with the guard's Release decrement: a zero read
+        // here happens-after the completed handoffs it reflects.
+        self.shared.processing.load(Ordering::Acquire)
     }
 }
 
@@ -404,7 +461,7 @@ mod tests {
         });
         a.send(msg(0, 0, b"self"));
         assert!(pump_until(
-            &[a.clone()],
+            std::slice::from_ref(&a),
             || hits.load(Ordering::SeqCst) == 1,
             Duration::from_secs(2)
         ));
@@ -431,7 +488,7 @@ mod tests {
         assert!(!b.pump_recv());
         assert_eq!(b.inflight_backlog(), 1);
         assert!(pump_until(
-            &[b.clone()],
+            std::slice::from_ref(&b),
             || got.load(Ordering::SeqCst) == 1,
             Duration::from_secs(2)
         ));
@@ -462,7 +519,12 @@ mod tests {
         let g = Arc::clone(&got);
         b.set_receiver(move |m| g.lock().push(m.payload[0]));
         for i in 0..50u8 {
-            a.send(Message::new(0, 1, MessageKind::Parcel, Bytes::copy_from_slice(&[i])));
+            a.send(Message::new(
+                0,
+                1,
+                MessageKind::Parcel,
+                Bytes::copy_from_slice(&[i]),
+            ));
         }
         assert!(pump_until(
             &[a.clone(), b.clone()],

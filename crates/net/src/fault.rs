@@ -59,13 +59,13 @@ impl FaultPlan {
     pub fn decide(&self) -> FaultAction {
         let n = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(period) = self.drop_every {
-            if n % period == 0 {
+            if n.is_multiple_of(period) {
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 return FaultAction::Drop;
             }
         }
         if let Some(period) = self.corrupt_every {
-            if n % period == 0 {
+            if n.is_multiple_of(period) {
                 self.corrupted.fetch_add(1, Ordering::Relaxed);
                 return FaultAction::Corrupt;
             }
@@ -108,12 +108,15 @@ mod tests {
     fn corrupt_period_is_respected() {
         let plan = FaultPlan::corrupt_every(2);
         let decisions: Vec<FaultAction> = (0..4).map(|_| plan.decide()).collect();
-        assert_eq!(decisions, vec![
-            FaultAction::Deliver,
-            FaultAction::Corrupt,
-            FaultAction::Deliver,
-            FaultAction::Corrupt
-        ]);
+        assert_eq!(
+            decisions,
+            vec![
+                FaultAction::Deliver,
+                FaultAction::Corrupt,
+                FaultAction::Deliver,
+                FaultAction::Corrupt
+            ]
+        );
         assert_eq!(plan.corrupted(), 2);
     }
 

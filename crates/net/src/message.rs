@@ -67,7 +67,11 @@ mod tests {
 
     #[test]
     fn kind_roundtrips_through_u8() {
-        for k in [MessageKind::Parcel, MessageKind::Coalesced, MessageKind::Control] {
+        for k in [
+            MessageKind::Parcel,
+            MessageKind::Coalesced,
+            MessageKind::Control,
+        ] {
             assert_eq!(MessageKind::try_from(k as u8), Ok(k));
         }
         assert_eq!(MessageKind::try_from(99), Err(99));

@@ -121,10 +121,7 @@ mod tests {
         let small = m.send_cost(16);
         let large = m.send_cost(16 * 1024); // still eager at exactly 16 KiB
         assert!(large > small);
-        assert_eq!(
-            large - small,
-            m.per_byte * ((16 * 1024 - 16) as u32)
-        );
+        assert_eq!(large - small, m.per_byte * ((16 * 1024 - 16) as u32));
     }
 
     #[test]
@@ -137,8 +134,7 @@ mod tests {
         let eager = m.send_cost(16 * 1024);
         let rendezvous = m.send_cost(16 * 1024 + 1);
         assert!(
-            rendezvous >= eager + m.send_overhead + m.rendezvous_extra
-                - Duration::from_nanos(10)
+            rendezvous >= eager + m.send_overhead + m.rendezvous_extra - Duration::from_nanos(10)
         );
         // Delivery delay is store-and-forward regardless of protocol.
         assert!(m.delivery_delay(32 * 1024) >= m.latency);

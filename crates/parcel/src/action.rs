@@ -8,11 +8,13 @@
 //! wrappers in the `rpx` core crate.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 use rpx_serialize::WireError;
+use rpx_util::SlotTable;
 
 /// Dense identifier of a registered action.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,16 +24,23 @@ pub struct ActionId(pub u32);
 /// runs, and returns the encoded result.
 pub type RawHandler = Arc<dyn Fn(Bytes) -> Result<Bytes, WireError> + Send + Sync>;
 
-struct Entry {
-    name: String,
-    handler: RawHandler,
+/// Registration-time metadata (cold; mutex-protected).
+#[derive(Default)]
+struct Meta {
+    names: Vec<String>,
+    by_name: HashMap<String, ActionId>,
 }
 
 /// The table of registered actions, shared by all localities.
+///
+/// `handler` sits on the receive path of every parcel, so dispatch reads
+/// come from a lock-free [`SlotTable`]; names and the by-name index are
+/// registration-time-only and stay behind a mutex.
 #[derive(Default)]
 pub struct ActionRegistry {
-    entries: RwLock<Vec<Entry>>,
-    by_name: RwLock<HashMap<String, ActionId>>,
+    handlers: SlotTable<dyn Fn(Bytes) -> Result<Bytes, WireError> + Send + Sync>,
+    meta: Mutex<Meta>,
+    count: AtomicUsize,
 }
 
 impl ActionRegistry {
@@ -46,47 +55,43 @@ impl ActionRegistry {
     /// Panics if the name is already registered — duplicate action names
     /// are a programming error, as in HPX.
     pub fn register(&self, name: &str, handler: RawHandler) -> ActionId {
-        let mut by_name = self.by_name.write();
+        let mut meta = self.meta.lock();
         assert!(
-            !by_name.contains_key(name),
+            !meta.by_name.contains_key(name),
             "action '{name}' registered twice"
         );
-        let mut entries = self.entries.write();
-        let id = ActionId(entries.len() as u32);
-        entries.push(Entry {
-            name: name.to_string(),
-            handler,
-        });
-        by_name.insert(name.to_string(), id);
+        let id = ActionId(meta.names.len() as u32);
+        meta.names.push(name.to_string());
+        meta.by_name.insert(name.to_string(), id);
+        self.handlers.set(id.0 as usize, handler);
+        self.count.fetch_add(1, Ordering::Release);
         id
     }
 
     /// Look up an action id by name.
     pub fn lookup(&self, name: &str) -> Option<ActionId> {
-        self.by_name.read().get(name).copied()
+        self.meta.lock().by_name.get(name).copied()
     }
 
     /// The name of an action.
     pub fn name(&self, id: ActionId) -> Option<String> {
-        self.entries.read().get(id.0 as usize).map(|e| e.name.clone())
+        self.meta.lock().names.get(id.0 as usize).cloned()
     }
 
-    /// The handler of an action.
+    /// The handler of an action (lock-free; hot on the receive path).
+    #[inline]
     pub fn handler(&self, id: ActionId) -> Option<RawHandler> {
-        self.entries
-            .read()
-            .get(id.0 as usize)
-            .map(|e| Arc::clone(&e.handler))
+        self.handlers.get(id.0 as usize)
     }
 
     /// Number of registered actions.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.count.load(Ordering::Acquire)
     }
 
     /// Whether no actions are registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.len() == 0
     }
 }
 
@@ -96,16 +101,19 @@ mod tests {
     use rpx_serialize::{from_bytes, to_bytes};
 
     fn echo_handler() -> RawHandler {
-        Arc::new(|args| Ok(args))
+        Arc::new(Ok)
     }
 
     #[test]
     fn register_and_dispatch() {
         let reg = ActionRegistry::new();
-        let id = reg.register("double", Arc::new(|args| {
-            let v: u64 = from_bytes(args)?;
-            Ok(to_bytes(&(v * 2)))
-        }));
+        let id = reg.register(
+            "double",
+            Arc::new(|args| {
+                let v: u64 = from_bytes(args)?;
+                Ok(to_bytes(&(v * 2)))
+            }),
+        );
         assert_eq!(reg.lookup("double"), Some(id));
         assert_eq!(reg.name(id).as_deref(), Some("double"));
         let out = reg.handler(id).unwrap()(to_bytes(&21u64)).unwrap();
@@ -143,10 +151,13 @@ mod tests {
     #[test]
     fn handler_errors_propagate() {
         let reg = ActionRegistry::new();
-        let id = reg.register("needs_u64", Arc::new(|args| {
-            let v: u64 = from_bytes(args)?;
-            Ok(to_bytes(&v))
-        }));
+        let id = reg.register(
+            "needs_u64",
+            Arc::new(|args| {
+                let v: u64 = from_bytes(args)?;
+                Ok(to_bytes(&v))
+            }),
+        );
         let err = reg.handler(id).unwrap()(Bytes::new());
         assert!(err.is_err());
     }

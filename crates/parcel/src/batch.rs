@@ -1,0 +1,355 @@
+//! Recycled parcel batches: the allocation-free currency of the send path.
+//!
+//! Every hop of the egress pipeline used to move parcels in a fresh
+//! `Vec<Parcel>` — one allocation per *send* for unintercepted parcels and
+//! one per *flush* for coalesced batches. [`ParcelBatch`] carries the same
+//! payload but returns its backing `Vec` to a [`BufferPool`] on drop, so
+//! in steady state the pipeline cycles a handful of buffers and the
+//! allocator is never called.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::parcel::Parcel;
+
+/// Buffer slots per pool; beyond this, drops free instead of recycling.
+const POOL_CAP: usize = 4;
+
+/// One pooled buffer behind a try-lock: a single uncontended CAS to take
+/// or deposit, and contention never blocks (callers fall through to the
+/// next slot or to the allocator).
+#[derive(Default)]
+struct Slot {
+    busy: AtomicBool,
+    /// Invariant: accessed only between a successful `busy` CAS
+    /// (false → true, Acquire) and the releasing store back to false.
+    /// `capacity() == 0` means the slot is vacant.
+    buf: UnsafeCell<Vec<Parcel>>,
+}
+
+/// A bounded pool of `Vec<Parcel>` buffers recycled by [`ParcelBatch`].
+///
+/// Lock-free in the uncontended case: the single-parcel send fast path
+/// pays one CAS to draw a buffer and one to return it, instead of a
+/// malloc/free pair.
+#[derive(Default)]
+pub struct BufferPool {
+    slots: [Slot; POOL_CAP],
+}
+
+// SAFETY: each slot's Vec is touched only inside its busy window (see
+// Slot::buf invariant), which the Acquire/Release pair orders.
+unsafe impl Send for BufferPool {}
+unsafe impl Sync for BufferPool {}
+
+impl BufferPool {
+    /// New empty pool.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// A cleared buffer with at least `capacity` reserved, reusing a spare
+    /// when one is available.
+    pub fn take(&self, capacity: usize) -> Vec<Parcel> {
+        for slot in &self.slots {
+            if slot
+                .busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: we hold the busy flag.
+                let buf = unsafe { std::mem::take(&mut *slot.buf.get()) };
+                slot.busy.store(false, Ordering::Release);
+                if buf.capacity() > 0 {
+                    debug_assert!(buf.is_empty());
+                    let mut buf = buf;
+                    if buf.capacity() < capacity {
+                        buf.reserve(capacity - buf.len());
+                    }
+                    return buf;
+                }
+            }
+        }
+        Vec::with_capacity(capacity)
+    }
+
+    /// Return a buffer for reuse (cleared here). Full pools drop it.
+    pub fn put(&self, mut buf: Vec<Parcel>) {
+        buf.clear();
+        if buf.capacity() == 0 {
+            return;
+        }
+        for slot in &self.slots {
+            if slot
+                .busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: we hold the busy flag.
+                let vacant = unsafe { (*slot.buf.get()).capacity() == 0 };
+                if vacant {
+                    unsafe { *slot.buf.get() = buf };
+                    slot.busy.store(false, Ordering::Release);
+                    return;
+                }
+                slot.busy.store(false, Ordering::Release);
+            }
+        }
+        // Every slot occupied (or momentarily busy): let the buffer drop.
+    }
+
+    /// Number of spare buffers currently pooled.
+    pub fn spares(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|slot| {
+                while slot
+                    .busy
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_err()
+                {
+                    std::hint::spin_loop();
+                }
+                // SAFETY: we hold the busy flag.
+                let occupied = unsafe { (*slot.buf.get()).capacity() > 0 };
+                slot.busy.store(false, Ordering::Release);
+                occupied
+            })
+            .count()
+    }
+}
+
+/// An owned batch of parcels whose backing buffer (if any) returns to
+/// its [`BufferPool`] when dropped.
+///
+/// Dereferences to `[Parcel]` for reading; construction goes through
+/// [`ParcelBatch::single`] (parcel stored inline — no buffer at all, the
+/// unintercepted-send fast path), [`ParcelBatch::from_pool`] (recycled
+/// buffer), or `From<Vec<Parcel>>` (plain buffer, for tests and one-off
+/// callers).
+pub struct ParcelBatch {
+    repr: Repr,
+}
+
+enum Repr {
+    /// One parcel stored inline. Nothing to allocate, pool, or free.
+    Inline(Parcel),
+    /// Vec-backed batch; the buffer goes back to `home` (when set) on
+    /// drop.
+    Buffer {
+        parcels: Vec<Parcel>,
+        home: Option<Arc<BufferPool>>,
+    },
+    /// Contents already moved out (`into_vec` / `drain_each` / drop).
+    Spent,
+}
+
+impl ParcelBatch {
+    /// A one-parcel batch with the parcel stored inline.
+    #[inline]
+    pub fn single(parcel: Parcel) -> Self {
+        ParcelBatch {
+            repr: Repr::Inline(parcel),
+        }
+    }
+
+    /// Wrap a buffer that should be returned to `pool` on drop.
+    pub fn from_pool(parcels: Vec<Parcel>, pool: &Arc<BufferPool>) -> Self {
+        ParcelBatch {
+            repr: Repr::Buffer {
+                parcels,
+                home: Some(Arc::clone(pool)),
+            },
+        }
+    }
+
+    /// The parcels in the batch.
+    #[inline]
+    pub fn parcels(&self) -> &[Parcel] {
+        match &self.repr {
+            Repr::Inline(p) => std::slice::from_ref(p),
+            Repr::Buffer { parcels, .. } => parcels,
+            Repr::Spent => &[],
+        }
+    }
+
+    /// Number of parcels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parcels().len()
+    }
+
+    /// Whether the batch is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parcels().is_empty()
+    }
+
+    /// Detach the parcels as an owned `Vec`, bypassing recycling (for
+    /// consumers that need `Vec<Parcel>`, e.g. test capture).
+    pub fn into_vec(mut self) -> Vec<Parcel> {
+        match std::mem::replace(&mut self.repr, Repr::Spent) {
+            Repr::Inline(p) => vec![p],
+            Repr::Buffer { parcels, .. } => parcels,
+            Repr::Spent => Vec::new(),
+        }
+    }
+
+    /// Iterate owned parcels, returning the spent buffer (if any) to its
+    /// pool.
+    pub fn drain_each(mut self, mut f: impl FnMut(Parcel)) {
+        match std::mem::replace(&mut self.repr, Repr::Spent) {
+            Repr::Inline(p) => f(p),
+            Repr::Buffer { mut parcels, home } => {
+                for p in parcels.drain(..) {
+                    f(p);
+                }
+                if let Some(home) = home {
+                    home.put(parcels);
+                }
+            }
+            Repr::Spent => {}
+        }
+    }
+}
+
+impl From<Vec<Parcel>> for ParcelBatch {
+    fn from(parcels: Vec<Parcel>) -> Self {
+        ParcelBatch {
+            repr: Repr::Buffer {
+                parcels,
+                home: None,
+            },
+        }
+    }
+}
+
+impl std::ops::Deref for ParcelBatch {
+    type Target = [Parcel];
+    fn deref(&self) -> &[Parcel] {
+        self.parcels()
+    }
+}
+
+impl std::fmt::Debug for ParcelBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pooled = matches!(&self.repr, Repr::Buffer { home: Some(_), .. });
+        f.debug_struct("ParcelBatch")
+            .field("len", &self.len())
+            .field("pooled", &pooled)
+            .finish()
+    }
+}
+
+impl Drop for ParcelBatch {
+    fn drop(&mut self) {
+        if let Repr::Buffer {
+            parcels,
+            home: Some(home),
+        } = std::mem::replace(&mut self.repr, Repr::Spent)
+        {
+            home.put(parcels);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rpx_agas::Gid;
+
+    fn parcel(id: u64) -> Parcel {
+        Parcel {
+            id,
+            src_locality: 0,
+            dest_locality: 1,
+            dest_object: Gid::INVALID,
+            action: crate::action::ActionId(0),
+            args: Bytes::new(),
+            continuation: Gid::INVALID,
+        }
+    }
+
+    #[test]
+    fn batch_drop_returns_buffer_to_pool() {
+        let pool = BufferPool::new();
+        {
+            let mut buf = pool.take(1);
+            buf.push(parcel(1));
+            let b = ParcelBatch::from_pool(buf, &pool);
+            assert_eq!(b.len(), 1);
+            assert_eq!(pool.spares(), 0);
+        }
+        assert_eq!(pool.spares(), 1);
+        // The recycled buffer is reused, not re-allocated.
+        let mut buf = pool.take(1);
+        buf.push(parcel(2));
+        let b = ParcelBatch::from_pool(buf, &pool);
+        assert_eq!(pool.spares(), 0);
+        drop(b);
+        assert_eq!(pool.spares(), 1);
+    }
+
+    #[test]
+    fn single_is_inline_and_touches_no_pool() {
+        let b = ParcelBatch::single(parcel(7));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].id, 7);
+        let mut seen = Vec::new();
+        b.drain_each(|p| seen.push(p.id));
+        assert_eq!(seen, vec![7]);
+    }
+
+    #[test]
+    fn take_presizes_and_reuses_capacity() {
+        let pool = BufferPool::new();
+        let mut buf = pool.take(16);
+        assert!(buf.capacity() >= 16);
+        buf.push(parcel(1));
+        pool.put(buf);
+        let again = pool.take(8);
+        assert!(again.is_empty());
+        assert!(again.capacity() >= 16);
+    }
+
+    #[test]
+    fn into_vec_bypasses_recycling() {
+        let pool = BufferPool::new();
+        let mut buf = pool.take(1);
+        buf.push(parcel(3));
+        let b = ParcelBatch::from_pool(buf, &pool);
+        let v = b.into_vec();
+        assert_eq!(v.len(), 1);
+        assert_eq!(pool.spares(), 0);
+    }
+
+    #[test]
+    fn drain_each_yields_all_and_recycles() {
+        let pool = BufferPool::new();
+        let mut buf = pool.take(3);
+        buf.extend([parcel(1), parcel(2), parcel(3)]);
+        let b = ParcelBatch::from_pool(buf, &pool);
+        let mut ids = Vec::new();
+        b.drain_each(|p| ids.push(p.id));
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(pool.spares(), 1);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool = BufferPool::new();
+        for _ in 0..(POOL_CAP + 10) {
+            pool.put(Vec::with_capacity(4));
+        }
+        assert_eq!(pool.spares(), POOL_CAP);
+        // Zero-capacity buffers are not worth pooling.
+        pool.take(0);
+        for _ in 0..POOL_CAP {
+            pool.take(0);
+        }
+        pool.put(Vec::new());
+        assert_eq!(pool.spares(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The port's egress queue: batches waiting to be encoded into messages.
+//!
+//! Replaces the crossbeam channel the port used to stage egress entries
+//! on. A channel pays a lock round-trip per `try_recv`, so a pump
+//! draining `PUMP_BATCH` entries paid `PUMP_BATCH + 1` lock acquisitions
+//! per call. [`EgressQueue::drain_into`] moves up to `n` entries out under
+//! a single lock hold, and `push` is one short lock hold on the producer
+//! side.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::batch::ParcelBatch;
+
+/// One egress entry: a destination locality and the batch bound for it.
+pub type EgressEntry = (u32, ParcelBatch);
+
+/// Multi-producer queue of batches awaiting encoding.
+#[derive(Default)]
+pub struct EgressQueue {
+    entries: Mutex<VecDeque<EgressEntry>>,
+}
+
+impl EgressQueue {
+    /// New empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a batch for `dst`.
+    pub fn push(&self, dst: u32, batch: ParcelBatch) {
+        self.entries.lock().push_back((dst, batch));
+    }
+
+    /// Move up to `n` entries into `out` under one lock hold, returning
+    /// how many were taken.
+    pub fn drain_into(&self, out: &mut Vec<EgressEntry>, n: usize) -> usize {
+        let mut entries = self.entries.lock();
+        let take = entries.len().min(n);
+        out.extend(entries.drain(..take));
+        take
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionId;
+    use crate::parcel::Parcel;
+    use bytes::Bytes;
+    use rpx_agas::Gid;
+
+    fn parcel(id: u64) -> Parcel {
+        Parcel {
+            id,
+            src_locality: 0,
+            dest_locality: 1,
+            dest_object: Gid::INVALID,
+            action: ActionId(0),
+            args: Bytes::new(),
+            continuation: Gid::INVALID,
+        }
+    }
+
+    #[test]
+    fn drain_preserves_fifo_order_and_bound() {
+        let q = EgressQueue::new();
+        for i in 0..5 {
+            q.push(1, ParcelBatch::single(parcel(i)));
+        }
+        assert_eq!(q.len(), 5);
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(&mut out, 3), 3);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].1[0].id, 0);
+        assert_eq!(out[2].1[0].id, 2);
+        assert_eq!(q.len(), 2);
+        out.clear();
+        assert_eq!(q.drain_into(&mut out, 10), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let q = std::sync::Arc::new(EgressQueue::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let q = std::sync::Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        q.push(1, ParcelBatch::single(parcel(t * 1000 + i)));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut out = Vec::new();
+        let mut total = 0;
+        loop {
+            out.clear();
+            let n = q.drain_into(&mut out, 64);
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        assert_eq!(total, 1000);
+    }
+}

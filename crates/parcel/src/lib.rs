@@ -26,9 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod batch;
+pub mod egress;
 pub mod parcel;
 pub mod port;
 
 pub use action::{ActionId, ActionRegistry, RawHandler};
+pub use batch::{BufferPool, ParcelBatch};
+pub use egress::EgressQueue;
 pub use parcel::Parcel;
 pub use port::{ParcelInterceptor, ParcelPort, ParcelPortStats, SendPath, TaskSpawner};

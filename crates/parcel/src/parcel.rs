@@ -51,7 +51,8 @@ impl Parcel {
             u32::try_from(r.get_varint()?).map_err(|_| WireError::VarintOverflow)?;
         let obj_seq = r.get_u64_le()?;
         let obj_loc = r.get_u32_le()?;
-        let action = ActionId(u32::try_from(r.get_varint()?).map_err(|_| WireError::VarintOverflow)?);
+        let action =
+            ActionId(u32::try_from(r.get_varint()?).map_err(|_| WireError::VarintOverflow)?);
         let args = r.get_bytes()?;
         let cont_seq = r.get_u64_le()?;
         let cont_loc = r.get_u32_le()?;
@@ -69,9 +70,8 @@ impl Parcel {
     /// Encode a batch of parcels as a coalesced-message payload
     /// (count-prefixed).
     pub fn encode_batch(parcels: &[Parcel]) -> Bytes {
-        let mut w = ArchiveWriter::with_capacity(
-            parcels.iter().map(|p| p.args.len() + 48).sum::<usize>() + 4,
-        );
+        let mut w =
+            ArchiveWriter::pooled(parcels.iter().map(|p| p.args.len() + 48).sum::<usize>() + 4);
         w.put_varint(parcels.len() as u64);
         for p in parcels {
             p.encode(&mut w);

@@ -11,6 +11,12 @@
 //! egress entries into framed messages (real serialization, charged as
 //! background time) and drives the fabric's send/receive pumps.
 //!
+//! The send fast path is lock-free and allocation-free in steady state:
+//! the interceptor table and direct-action set are read with plain
+//! `Acquire` loads ([`SlotTable`]/[`BitTable`]), hooks live in
+//! [`ArcCell`]s, single-parcel batches store their parcel inline (no
+//! buffer at all), and the egress queue is drained in one sweep per pump.
+//!
 //! ## Receive path
 //!
 //! Delivered messages are decoded (single parcel or coalesced batch) and
@@ -20,20 +26,21 @@
 //! result is shipped back as a continuation parcel addressed to the
 //! origin's LCO.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
 use bytes::Bytes;
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
 
 use rpx_agas::Gid;
 use rpx_net::{Message, MessageKind, NetPort};
 use rpx_serialize::{ArchiveReader, ArchiveWriter, WireError};
+use rpx_util::sync::{ArcCell, BitTable, SlotTable};
 use rpx_util::IdAllocator;
 
 use crate::action::{ActionId, ActionRegistry};
+use crate::batch::ParcelBatch;
+use crate::egress::{EgressEntry, EgressQueue};
 use crate::parcel::Parcel;
 
 /// Sink for parcels that are ready to leave the locality as one message.
@@ -41,8 +48,8 @@ use crate::parcel::Parcel;
 /// Implemented by [`ParcelPort`]; consumed by interceptors (the coalescer
 /// flushes its queue through this).
 pub trait SendPath: Send + Sync {
-    /// Emit `parcels` (all bound for `dst`) as a single message.
-    fn emit(&self, dst: u32, parcels: Vec<Parcel>);
+    /// Emit a batch (all bound for `dst`) as a single message.
+    fn emit(&self, dst: u32, batch: ParcelBatch);
 }
 
 /// A per-action send-side hook (the coalescing plug-in interface).
@@ -55,7 +62,10 @@ pub trait ParcelInterceptor: Send + Sync {
 }
 
 /// Schedules a closure as a lightweight task on the locality's scheduler.
-pub type TaskSpawner = Arc<dyn Fn(Box<dyn FnOnce() + Send + 'static>) + Send + Sync>;
+pub type TaskSpawner = Arc<SpawnFn>;
+
+/// The unsized function type behind [`TaskSpawner`].
+pub type SpawnFn = dyn Fn(Box<dyn FnOnce() + Send + 'static>) + Send + Sync;
 
 /// Parcel-level traffic statistics.
 #[derive(Debug, Default)]
@@ -72,27 +82,38 @@ pub struct ParcelPortStats {
     pub dropped: AtomicU64,
 }
 
+/// Sentinel for "no continuation action installed".
+const NO_ACTION: u32 = u32::MAX;
+
 struct Inner {
     locality: u32,
     actions: Arc<ActionRegistry>,
     net: NetPort,
-    interceptors: RwLock<HashMap<ActionId, Arc<dyn ParcelInterceptor>>>,
+    /// Per-action send hooks, indexed by `ActionId` — lock-free reads on
+    /// every `send_parcel`.
+    interceptors: SlotTable<dyn ParcelInterceptor>,
     /// Actions executed inline on the receive path instead of being
     /// spawned as tasks (HPX "direct actions"); used for cheap runtime
     /// internals like continuation delivery.
-    direct_actions: RwLock<std::collections::HashSet<ActionId>>,
-    egress_tx: Sender<(u32, Vec<Parcel>)>,
-    egress_rx: Receiver<(u32, Vec<Parcel>)>,
-    spawner: RwLock<Option<TaskSpawner>>,
+    direct_actions: BitTable,
+    egress: EgressQueue,
+    spawner: ArcCell<SpawnFn>,
     /// The action used to deliver continuation results (registered by the
-    /// runtime core as its `set-lco` builtin).
-    continuation_action: RwLock<Option<ActionId>>,
-    notify: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
+    /// runtime core as its `set-lco` builtin); `NO_ACTION` when unset.
+    continuation_action: AtomicU32,
+    notify: ArcCell<dyn Fn() + Send + Sync>,
     ids: IdAllocator,
     stats: ParcelPortStats,
     /// Egress entries popped but not yet handed to the fabric (mid-pump);
     /// keeps quiescence checks honest.
-    processing: std::sync::atomic::AtomicUsize,
+    ///
+    /// Ordering: the gauge rises (`Acquire` RMW) *before* entries leave
+    /// the egress queue and falls (`Release`) only *after* the message is
+    /// handed to the fabric, so a quiescence check that loads 0 with
+    /// `Acquire` and then observes the queues empty cannot miss in-flight
+    /// work. SeqCst is unnecessary: there is no multi-variable total-order
+    /// requirement, only this happens-before pairing.
+    processing: AtomicUsize,
 }
 
 /// The per-locality parcel engine.
@@ -108,21 +129,19 @@ impl ParcelPort {
     ///
     /// The returned port is installed as the fabric receive handler.
     pub fn new(locality: u32, net: NetPort, actions: Arc<ActionRegistry>) -> Arc<Self> {
-        let (egress_tx, egress_rx) = unbounded();
         let inner = Arc::new(Inner {
             locality,
             actions,
             net,
-            interceptors: RwLock::new(HashMap::new()),
-            direct_actions: RwLock::new(std::collections::HashSet::new()),
-            egress_tx,
-            egress_rx,
-            spawner: RwLock::new(None),
-            continuation_action: RwLock::new(None),
-            notify: RwLock::new(None),
+            interceptors: SlotTable::new(),
+            direct_actions: BitTable::new(),
+            egress: EgressQueue::new(),
+            spawner: ArcCell::new(),
+            continuation_action: AtomicU32::new(NO_ACTION),
+            notify: ArcCell::new(),
             ids: IdAllocator::new(),
             stats: ParcelPortStats::default(),
-            processing: std::sync::atomic::AtomicUsize::new(0),
+            processing: AtomicUsize::new(0),
         });
         let weak = Arc::downgrade(&inner);
         inner.net.set_receiver(move |message| {
@@ -155,40 +174,45 @@ impl ParcelPort {
 
     /// Install the task spawner (the locality's scheduler).
     pub fn set_spawner(&self, spawner: TaskSpawner) {
-        *self.inner.spawner.write() = Some(spawner);
+        self.inner.spawner.set(spawner);
     }
 
     /// Install the wake-up hook (typically `Scheduler::notify`).
     pub fn set_notify(&self, notify: impl Fn() + Send + Sync + 'static) {
-        *self.inner.notify.write() = Some(Arc::new(notify));
+        self.inner.notify.set(Arc::new(notify));
     }
 
     /// Declare which action delivers continuation results.
     pub fn set_continuation_action(&self, action: ActionId) {
-        *self.inner.continuation_action.write() = Some(action);
+        self.inner
+            .continuation_action
+            .store(action.0, Ordering::Release);
     }
 
     /// Mark an action as *direct*: received parcels for it run inline on
     /// the pumping (background) thread instead of becoming tasks. Only
     /// suitable for short, non-blocking handlers.
     pub fn set_direct(&self, action: ActionId) {
-        self.inner.direct_actions.write().insert(action);
+        self.inner.direct_actions.set(action.0 as usize);
     }
 
     /// Install (or replace) a send-side interceptor for `action`.
     pub fn set_interceptor(&self, action: ActionId, interceptor: Arc<dyn ParcelInterceptor>) {
-        self.inner.interceptors.write().insert(action, interceptor);
+        self.inner.interceptors.set(action.0 as usize, interceptor);
     }
 
     /// Remove the interceptor for `action`, if any.
     pub fn clear_interceptor(&self, action: ActionId) -> bool {
-        self.inner.interceptors.write().remove(&action).is_some()
+        self.inner.interceptors.clear(action.0 as usize)
     }
 
     /// Flush every interceptor's queued parcels.
     pub fn flush_interceptors(&self) {
-        let interceptors: Vec<_> = self.inner.interceptors.read().values().cloned().collect();
-        for i in interceptors {
+        let mut pending = Vec::new();
+        self.inner
+            .interceptors
+            .for_each(|_, i| pending.push(Arc::clone(i)));
+        for i in pending {
             i.flush();
         }
     }
@@ -197,17 +221,18 @@ impl ParcelPort {
     ///
     /// Assigns a fresh parcel id if the id is zero. Flagged actions pass
     /// through their interceptor (the coalescer); others go straight to
-    /// the egress queue.
+    /// the egress queue. Steady state does no locking and no allocation:
+    /// interceptor lookup is an atomic load and the single-parcel buffer
+    /// comes from the recycled pool.
     pub fn send_parcel(&self, mut parcel: Parcel) {
         if parcel.id == 0 {
             parcel.id = self.inner.ids.next();
         }
-        self.inner.stats.parcels_sent.fetch_add(1, Ordering::Relaxed);
-        let interceptor = self.inner.interceptors.read().get(&parcel.action).cloned();
-        match interceptor {
-            Some(i) => i.submit(parcel),
-            None => self.emit(parcel.dest_locality, vec![parcel]),
-        }
+        self.inner
+            .stats
+            .parcels_sent
+            .fetch_add(1, Ordering::Relaxed);
+        route_parcel(&self.inner, parcel);
     }
 
     /// Pump the send engine once:
@@ -217,27 +242,38 @@ impl ParcelPort {
     ///
     /// Returns `true` if any work was done.
     pub fn pump(&self) -> bool {
-        let mut did_work = false;
-        for _ in 0..PUMP_BATCH {
-            let Ok((dst, parcels)) = self.inner.egress_rx.try_recv() else {
-                break;
-            };
-            self.inner
-                .processing
-                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            did_work = true;
-            let (kind, payload) = encode_message(&parcels);
-            self.inner
-                .stats
-                .messages_sent
-                .fetch_add(1, Ordering::Relaxed);
-            self.inner
-                .net
-                .send(Message::new(self.inner.locality, dst, kind, payload));
-            self.inner
-                .processing
-                .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        thread_local! {
+            /// Per-thread drain scratch: one egress sweep per pump, reused
+            /// across calls so pumping allocates nothing in steady state.
+            static DRAIN: RefCell<Vec<EgressEntry>> = const { RefCell::new(Vec::new()) };
         }
+        let mut did_work = false;
+        DRAIN.with(|drain| {
+            let mut drain = drain.borrow_mut();
+            // Raise the in-flight gauge before taking entries out of the
+            // queue (see `Inner::processing` ordering notes).
+            self.inner.processing.fetch_add(1, Ordering::Acquire);
+            let taken = self.inner.egress.drain_into(&mut drain, PUMP_BATCH);
+            if taken == 0 {
+                self.inner.processing.fetch_sub(1, Ordering::Release);
+                return;
+            }
+            did_work = true;
+            for (dst, batch) in drain.drain(..) {
+                let (kind, payload) = encode_message(&batch);
+                // Returns the batch buffer to the pool before the fabric
+                // send, keeping pool occupancy high under load.
+                drop(batch);
+                self.inner
+                    .stats
+                    .messages_sent
+                    .fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .net
+                    .send(Message::new(self.inner.locality, dst, kind, payload));
+            }
+            self.inner.processing.fetch_sub(1, Ordering::Release);
+        });
         let sent = self.inner.net.pump_send();
         let received = self.inner.net.pump_recv();
         did_work || sent || received
@@ -245,32 +281,44 @@ impl ParcelPort {
 
     /// Parcels queued for encoding but not yet framed.
     pub fn egress_backlog(&self) -> usize {
-        self.inner.egress_rx.len()
+        self.inner.egress.len()
     }
 
-    /// Egress entries currently being encoded (mid-pump).
+    /// Egress sweeps currently encoding (mid-pump).
     pub fn processing(&self) -> usize {
-        self.inner.processing.load(std::sync::atomic::Ordering::SeqCst)
+        self.inner.processing.load(Ordering::Acquire)
     }
 }
 
 impl SendPath for ParcelPort {
-    fn emit(&self, dst: u32, parcels: Vec<Parcel>) {
-        debug_assert!(!parcels.is_empty(), "emit of empty batch");
-        debug_assert!(parcels.iter().all(|p| p.dest_locality == dst));
-        self.inner
-            .egress_tx
-            .send((dst, parcels))
-            .expect("egress channel lives as long as the port");
-        if let Some(n) = self.inner.notify.read().as_ref() {
+    fn emit(&self, dst: u32, batch: ParcelBatch) {
+        debug_assert!(!batch.is_empty(), "emit of empty batch");
+        debug_assert!(batch.iter().all(|p| p.dest_locality == dst));
+        self.inner.egress.push(dst, batch);
+        if let Some(n) = self.inner.notify.get() {
             n();
+        }
+    }
+}
+
+/// Hand `parcel` to its action's interceptor, or straight to egress.
+fn route_parcel(inner: &Inner, parcel: Parcel) {
+    match inner.interceptors.get(parcel.action.0 as usize) {
+        Some(i) => i.submit(parcel),
+        None => {
+            let dst = parcel.dest_locality;
+            let batch = ParcelBatch::single(parcel);
+            inner.egress.push(dst, batch);
+            if let Some(n) = inner.notify.get() {
+                n();
+            }
         }
     }
 }
 
 fn encode_message(parcels: &[Parcel]) -> (MessageKind, Bytes) {
     if parcels.len() == 1 {
-        let mut w = ArchiveWriter::with_capacity(parcels[0].wire_size());
+        let mut w = ArchiveWriter::pooled(parcels[0].wire_size());
         parcels[0].encode(&mut w);
         (MessageKind::Parcel, w.finish())
     } else {
@@ -307,8 +355,7 @@ fn receive_message(inner: &Arc<Inner>, message: Message) {
         .stats
         .parcels_received
         .fetch_add(parcels.len() as u64, Ordering::Relaxed);
-    let spawner = inner.spawner.read().clone();
-    let Some(spawner) = spawner else {
+    let Some(spawner) = inner.spawner.get() else {
         inner
             .stats
             .dropped
@@ -317,7 +364,7 @@ fn receive_message(inner: &Arc<Inner>, message: Message) {
     };
     for parcel in parcels {
         let weak = Arc::downgrade(inner);
-        if inner.direct_actions.read().contains(&parcel.action) {
+        if inner.direct_actions.test(parcel.action.0 as usize) {
             // Direct action: run inline on the pumping thread. This keeps
             // continuation delivery alive even when every scheduler worker
             // is blocked in a cooperative wait.
@@ -350,40 +397,29 @@ fn execute_parcel(inner: &Weak<Inner>, parcel: Parcel) {
 }
 
 fn deliver_result(inner: &Arc<Inner>, continuation: Gid, dest: u32, result: Bytes) {
-    let Some(action) = *inner.continuation_action.read() else {
+    let action = inner.continuation_action.load(Ordering::Acquire);
+    if action == NO_ACTION {
         inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
         return;
-    };
+    }
     let response = Parcel {
         id: inner.ids.next(),
         src_locality: inner.locality,
         dest_locality: dest,
         dest_object: Gid::INVALID,
-        action,
+        action: ActionId(action),
         args: encode_continuation_args(continuation, &result),
         continuation: Gid::INVALID,
     };
     inner.stats.parcels_sent.fetch_add(1, Ordering::Relaxed);
     // Continuation parcels can themselves be intercepted (coalesced) if
     // the runtime flags the continuation action.
-    let interceptor = inner.interceptors.read().get(&action).cloned();
-    match interceptor {
-        Some(i) => i.submit(response),
-        None => {
-            inner
-                .egress_tx
-                .send((dest, vec![response]))
-                .expect("egress channel lives as long as the port");
-            if let Some(n) = inner.notify.read().as_ref() {
-                n();
-            }
-        }
-    }
+    route_parcel(inner, response);
 }
 
 /// Encode the payload of a continuation-delivery parcel.
 pub fn encode_continuation_args(target: Gid, result: &Bytes) -> Bytes {
-    let mut w = ArchiveWriter::with_capacity(result.len() + 16);
+    let mut w = ArchiveWriter::pooled(result.len() + 16);
     w.put_u32_le(target.birth_locality());
     w.put_u64_le(target.sequence());
     w.put_bytes(result);
@@ -453,11 +489,14 @@ mod tests {
         let (p0, p1, actions) = two_ports();
         let hits = Arc::new(AtomicU64::new(0));
         let h = Arc::clone(&hits);
-        let act = actions.register("bump", Arc::new(move |args| {
-            let v: u64 = from_bytes(args)?;
-            h.fetch_add(v, Ordering::SeqCst);
-            Ok(Bytes::new())
-        }));
+        let act = actions.register(
+            "bump",
+            Arc::new(move |args| {
+                let v: u64 = from_bytes(args)?;
+                h.fetch_add(v, Ordering::SeqCst);
+                Ok(Bytes::new())
+            }),
+        );
         p0.send_parcel(plain_parcel(1, act, to_bytes(&5u64)));
         assert!(pump_until(
             &[&p0, &p1],
@@ -472,19 +511,25 @@ mod tests {
     #[test]
     fn continuation_result_comes_back() {
         let (p0, p1, actions) = two_ports();
-        let double = actions.register("double", Arc::new(|args| {
-            let v: u64 = from_bytes(args)?;
-            Ok(to_bytes(&(v * 2)))
-        }));
+        let double = actions.register(
+            "double",
+            Arc::new(|args| {
+                let v: u64 = from_bytes(args)?;
+                Ok(to_bytes(&(v * 2)))
+            }),
+        );
         // Register a set-lco action capturing results on locality 0.
         let results: Arc<parking_lot::Mutex<Vec<(Gid, u64)>>> =
             Arc::new(parking_lot::Mutex::new(Vec::new()));
         let r = Arc::clone(&results);
-        let set_lco = actions.register("set-lco", Arc::new(move |args| {
-            let (gid, payload) = decode_continuation_args(args)?;
-            r.lock().push((gid, from_bytes(payload)?));
-            Ok(Bytes::new())
-        }));
+        let set_lco = actions.register(
+            "set-lco",
+            Arc::new(move |args| {
+                let (gid, payload) = decode_continuation_args(args)?;
+                r.lock().push((gid, from_bytes(payload)?));
+                Ok(Bytes::new())
+            }),
+        );
         p0.set_continuation_action(set_lco);
         p1.set_continuation_action(set_lco);
 
@@ -534,10 +579,13 @@ mod tests {
         let (p0, p1, actions) = two_ports();
         let count = Arc::new(AtomicU64::new(0));
         let c = Arc::clone(&count);
-        let act = actions.register("inc", Arc::new(move |_| {
-            c.fetch_add(1, Ordering::SeqCst);
-            Ok(Bytes::new())
-        }));
+        let act = actions.register(
+            "inc",
+            Arc::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(Bytes::new())
+            }),
+        );
         let parcels: Vec<Parcel> = (0..10)
             .map(|i| {
                 let mut p = plain_parcel(1, act, Bytes::new());
@@ -545,7 +593,7 @@ mod tests {
                 p
             })
             .collect();
-        p0.emit(1, parcels);
+        p0.emit(1, parcels.into());
         assert!(pump_until(
             &[&p0, &p1],
             || count.load(Ordering::SeqCst) == 10,
@@ -570,10 +618,13 @@ mod tests {
     #[test]
     fn handler_decode_failure_is_dropped() {
         let (p0, p1, actions) = two_ports();
-        let act = actions.register("needs-u64", Arc::new(|args| {
-            let v: u64 = from_bytes(args)?;
-            Ok(to_bytes(&v))
-        }));
+        let act = actions.register(
+            "needs-u64",
+            Arc::new(|args| {
+                let v: u64 = from_bytes(args)?;
+                Ok(to_bytes(&v))
+            }),
+        );
         p0.send_parcel(plain_parcel(1, act, Bytes::new()));
         assert!(pump_until(
             &[&p0, &p1],
@@ -634,5 +685,21 @@ mod tests {
         p0.flush_interceptors();
         assert_eq!(fa.0.load(Ordering::SeqCst), 1);
         assert_eq!(fb.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unintercepted_sends_deliver_in_steady_state() {
+        // Unintercepted parcels travel as inline single-parcel batches —
+        // no backing buffer exists, so there is nothing to leak or pool.
+        let (p0, p1, actions) = two_ports();
+        let act = actions.register("plain", Arc::new(|_| Ok(Bytes::new())));
+        for _ in 0..50 {
+            p0.send_parcel(plain_parcel(1, act, Bytes::new()));
+        }
+        assert!(pump_until(
+            &[&p0, &p1],
+            || p1.stats().parcels_received.load(Ordering::Relaxed) == 50,
+            Duration::from_secs(2)
+        ));
     }
 }

@@ -95,12 +95,16 @@ impl ArchiveReader {
 
     /// Read a fixed-width little-endian `u32`.
     pub fn get_u32_le(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Read a fixed-width little-endian `u64`.
     pub fn get_u64_le(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read an `f64` from its little-endian bit pattern.
@@ -244,10 +248,7 @@ mod tests {
         let mut w = ArchiveWriter::new();
         w.put_varint(u64::MAX / 2);
         let mut r = ArchiveReader::new(w.finish());
-        assert!(matches!(
-            r.get_len(),
-            Err(WireError::LengthTooLarge { .. })
-        ));
+        assert!(matches!(r.get_len(), Err(WireError::LengthTooLarge { .. })));
     }
 
     #[test]

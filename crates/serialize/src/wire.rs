@@ -21,9 +21,10 @@ pub trait Wire: Sized {
     fn decode(r: &mut ArchiveReader) -> Result<Self, WireError>;
 }
 
-/// Serialize a value into a fresh buffer.
+/// Serialize a value into a fresh buffer (drawn from the thread-local
+/// encoder scratch pool — no allocation in steady state).
 pub fn to_bytes<T: Wire>(value: &T) -> Bytes {
-    let mut w = ArchiveWriter::new();
+    let mut w = ArchiveWriter::pooled(0);
     value.encode(&mut w);
     w.finish()
 }

@@ -1,6 +1,27 @@
 //! The archive encoder.
 
+use std::cell::RefCell;
+
 use bytes::{BufMut, Bytes, BytesMut};
+
+/// Block size of the per-thread scratch buffer backing pooled writers.
+/// Each [`ArchiveWriter::pooled`] encode carves its output from the
+/// current block zero-copy (`split().freeze()`); a fresh block is
+/// allocated only when the current one is exhausted, so steady-state
+/// encoding costs one allocation per ~64 KiB of encoded traffic instead
+/// of one per message.
+const SCRATCH_BLOCK: usize = 64 * 1024;
+
+/// Minimum writable window a pooled writer starts with even when the
+/// caller passes no capacity hint, so typical small messages encode
+/// without any mid-encode growth.
+const MIN_WINDOW: usize = 1024;
+
+thread_local! {
+    /// The thread's scratch buffer; taken by a pooled writer for the
+    /// duration of an encode and put back by `finish`.
+    static SCRATCH: RefCell<BytesMut> = const { RefCell::new(BytesMut::new()) };
+}
 
 /// Encodes values into a growable byte buffer.
 ///
@@ -8,6 +29,9 @@ use bytes::{BufMut, Bytes, BytesMut};
 #[derive(Debug, Default)]
 pub struct ArchiveWriter {
     buf: BytesMut,
+    /// Whether `buf` was borrowed from the thread-local scratch pool and
+    /// should return there on `finish`.
+    pooled: bool,
 }
 
 impl ArchiveWriter {
@@ -15,6 +39,7 @@ impl ArchiveWriter {
     pub fn new() -> Self {
         ArchiveWriter {
             buf: BytesMut::new(),
+            pooled: false,
         }
     }
 
@@ -22,7 +47,26 @@ impl ArchiveWriter {
     pub fn with_capacity(cap: usize) -> Self {
         ArchiveWriter {
             buf: BytesMut::with_capacity(cap),
+            pooled: false,
         }
+    }
+
+    /// New writer carving at least `cap` bytes out of the thread-local
+    /// scratch block — the allocation-free fast path for hot encoders.
+    ///
+    /// Nested pooled writers on one thread are correct (the inner one
+    /// falls back to a fresh buffer); the scratch returns to the pool on
+    /// `finish`.
+    pub fn pooled(cap: usize) -> Self {
+        let mut buf = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        if buf.capacity() < cap.max(MIN_WINDOW) {
+            // Exhausted (or too-small) block: start a fresh one rather
+            // than growing the old, which would copy and would keep the
+            // block alive. The spent block is freed once its outstanding
+            // frozen views drop; block size stays bounded.
+            buf = BytesMut::with_capacity(cap.max(SCRATCH_BLOCK));
+        }
+        ArchiveWriter { buf, pooled: true }
     }
 
     /// Append a LEB128 varint.
@@ -95,8 +139,22 @@ impl ArchiveWriter {
     }
 
     /// Finish, yielding the immutable encoded buffer.
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    ///
+    /// Pooled writers split the written prefix off zero-copy and hand the
+    /// remaining scratch capacity back to the thread-local pool.
+    pub fn finish(mut self) -> Bytes {
+        if self.pooled {
+            let out = self.buf.split().freeze();
+            SCRATCH.with(|s| {
+                let mut scratch = s.borrow_mut();
+                // Last-writer-wins if encodes nested; losing a spare
+                // buffer is harmless.
+                *scratch = std::mem::take(&mut self.buf);
+            });
+            out
+        } else {
+            self.buf.freeze()
+        }
     }
 }
 
@@ -164,5 +222,54 @@ mod tests {
         w.put_u8(1);
         assert_eq!(w.len(), 1);
         assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn pooled_writer_matches_plain_output() {
+        let mut plain = ArchiveWriter::new();
+        let mut pooled = ArchiveWriter::pooled(32);
+        for w in [&mut plain, &mut pooled] {
+            w.put_varint(300);
+            w.put_bytes(b"payload");
+            w.put_f64(2.5);
+        }
+        assert_eq!(plain.finish(), pooled.finish());
+    }
+
+    #[test]
+    fn sequential_pooled_encodes_share_the_scratch_block() {
+        // Two back-to-back pooled encodes must not corrupt each other
+        // even though they reuse one underlying block.
+        let mut w1 = ArchiveWriter::pooled(8);
+        w1.put_u32_le(0xAAAA_AAAA);
+        let a = w1.finish();
+        let mut w2 = ArchiveWriter::pooled(8);
+        w2.put_u32_le(0xBBBB_BBBB);
+        let b = w2.finish();
+        assert_eq!(a.as_ref(), &[0xAA; 4]);
+        assert_eq!(b.as_ref(), &[0xBB; 4]);
+    }
+
+    #[test]
+    fn nested_pooled_writers_are_correct() {
+        let mut outer = ArchiveWriter::pooled(16);
+        outer.put_u8(1);
+        let mut inner = ArchiveWriter::pooled(16);
+        inner.put_u8(2);
+        assert_eq!(inner.finish().as_ref(), &[2]);
+        outer.put_u8(3);
+        assert_eq!(outer.finish().as_ref(), &[1, 3]);
+    }
+
+    #[test]
+    fn pooled_survives_many_block_rollovers() {
+        let payload = [7u8; 1024];
+        for _ in 0..(4 * super::SCRATCH_BLOCK / payload.len()) {
+            let mut w = ArchiveWriter::pooled(payload.len());
+            w.put_raw(&payload);
+            let out = w.finish();
+            assert_eq!(out.len(), payload.len());
+            assert!(out.iter().all(|&b| b == 7));
+        }
     }
 }

@@ -33,10 +33,7 @@ pub fn register_thread_counters(registry: &CounterRegistry, stats: Arc<ThreadSta
     let mk = |read: Box<dyn Fn(&ThreadStats) -> CounterValue + Send + Sync>| {
         let stats = Arc::clone(&stats);
         let stats_reset = Arc::clone(&stats);
-        CallbackCounter::with_reset(
-            move || read(&stats),
-            move || stats_reset.reset(),
-        )
+        CallbackCounter::with_reset(move || read(&stats), move || stats_reset.reset())
     };
 
     registry.register_or_replace(
@@ -53,7 +50,9 @@ pub fn register_thread_counters(registry: &CounterRegistry, stats: Arc<ThreadSta
     );
     registry.register_or_replace(
         "/threads/time/cumulative",
-        mk(Box::new(|s| CounterValue::Int(s.snapshot().func_ns() as i64))),
+        mk(Box::new(|s| {
+            CounterValue::Int(s.snapshot().func_ns() as i64)
+        })),
     );
     registry.register_or_replace(
         "/threads/time/cumulative-work",
@@ -142,10 +141,7 @@ mod tests {
         stats.count_task();
         stats.count_task();
 
-        assert_eq!(
-            reg.query_f64("/threads/count/cumulative").unwrap(),
-            2.0
-        );
+        assert_eq!(reg.query_f64("/threads/count/cumulative").unwrap(), 2.0);
         assert_eq!(reg.query_f64("/threads/time/cumulative").unwrap(), 1000.0);
         assert_eq!(
             reg.query_f64("/threads/time/cumulative-work").unwrap(),
@@ -159,10 +155,7 @@ mod tests {
         );
         assert_eq!(reg.query_f64("/threads/background-work").unwrap(), 200.0);
         // Eq. 4: 200 / 1000.
-        assert_eq!(
-            reg.query_f64("/threads/background-overhead").unwrap(),
-            0.2
-        );
+        assert_eq!(reg.query_f64("/threads/background-overhead").unwrap(), 0.2);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //!    * Eq. 2 task overhead `t_o = (Σ t_func − Σ t_exec) / n_t`,
 //!    * Eq. 3 background-work duration `t_bd = Σ t_background`,
 //!    * Eq. 4 network overhead `n_oh = Σ t_background / Σ t_func`,
-//!    exposed as `/threads/*` performance counters ([`counters`]).
+//!
+//!    all exposed as `/threads/*` performance counters ([`counters`]).
 //!
 //! 2. **Background work hooks.** HPX runs its parcel-port progress
 //!    functions ("background work": packaging parcels into messages,

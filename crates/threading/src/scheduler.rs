@@ -80,8 +80,9 @@ impl Scheduler {
     /// Spawn a scheduler with the given configuration.
     pub fn new(config: SchedulerConfig) -> Arc<Self> {
         assert!(config.workers > 0, "scheduler needs at least one worker");
-        let queues: Vec<WorkerQueue<Task>> =
-            (0..config.workers).map(|_| WorkerQueue::new_fifo()).collect();
+        let queues: Vec<WorkerQueue<Task>> = (0..config.workers)
+            .map(|_| WorkerQueue::new_fifo())
+            .collect();
         let stealers = queues.iter().map(|q| q.stealer()).collect();
         let inner = Arc::new(Inner {
             injector: Injector::new(),
@@ -323,9 +324,7 @@ fn worker_loop(inner: Arc<Inner>, local: WorkerQueue<Task>, idx: usize) {
                     // Re-check under the lock to not miss a notify between
                     // the queue probe and the park.
                     if inner.injector.is_empty() && !inner.shutdown.load(Ordering::SeqCst) {
-                        let _ = inner
-                            .sleep_cv
-                            .wait_for(&mut guard, inner.idle_park);
+                        let _ = inner.sleep_cv.wait_for(&mut guard, inner.idle_park);
                     }
                     drop(guard);
                     inner.stats.add_idle(idle_start.elapsed());

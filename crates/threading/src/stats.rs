@@ -55,7 +55,8 @@ impl ThreadStats {
 
     /// Charge background-work time.
     pub fn add_background(&self, d: Duration) {
-        self.background_ns.fetch_add(dur_to_ns(d), Ordering::Relaxed);
+        self.background_ns
+            .fetch_add(dur_to_ns(d), Ordering::Relaxed);
     }
 
     /// Charge background work performed *within* a running task (a waiter

@@ -22,6 +22,8 @@
 //! * [`ids`] — monotone id allocation.
 //! * [`ewma`] — exponentially weighted moving averages and rate estimators
 //!   used by the adaptive controller.
+//! * [`sync`] — lock-free read-mostly registries ([`SlotTable`],
+//!   [`BitTable`], [`ArcCell`]) backing the parcel send fast path.
 
 #![warn(missing_docs)]
 
@@ -30,6 +32,7 @@ pub mod ewma;
 pub mod hist;
 pub mod ids;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod timer;
 
@@ -38,5 +41,6 @@ pub use ewma::Ewma;
 pub use hist::Histogram;
 pub use ids::IdAllocator;
 pub use stats::{pearson, OnlineStats};
+pub use sync::{ArcCell, BitTable, SlotTable};
 pub use time::{busy_charge, spin_sleep, Stopwatch};
 pub use timer::{TimerHandle, TimerService};

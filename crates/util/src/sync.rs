@@ -1,0 +1,526 @@
+//! Lock-free read-mostly registries for the parcel send fast path.
+//!
+//! The parcel port consults three tiny registries on *every* send and
+//! receive: the per-action interceptor table, the direct-action set, and a
+//! couple of rarely-replaced hooks (spawner, notify). All of them are
+//! written a handful of times at startup and read millions of times, so
+//! reader-writer locks put two atomic RMWs and a potential writer stall on
+//! the hot path for no benefit. The structures here make reads plain
+//! `Acquire` loads:
+//!
+//! * [`SlotTable`] — a dense, append-mostly `index -> Arc<T>` table for
+//!   small sequential ids (action ids). Chunked bucket allocation keeps
+//!   existing slots at stable addresses forever, so readers never need a
+//!   lock or an epoch; replaced entries are *retired*, not freed, and
+//!   reclaimed when the table drops (readers hold `&self`, so none exist
+//!   by then).
+//! * [`BitTable`] — a grow-only atomic bitset over small sequential ids.
+//! * [`ArcCell`] — a single lock-free `Arc` slot with the same
+//!   retire-on-replace discipline.
+//!
+//! The deferred-reclamation trade: each `set`/`clear` leaks one
+//! `Box<Arc<T>>` (two words + the refcount it pins) until the owning table
+//! drops. Interceptor and hook tables see O(#actions) writes over a
+//! process lifetime, so the retired list stays trivially small — this is
+//! the textbook case where "leak until drop" beats hazard pointers.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// First bucket holds `BASE` slots; bucket `b` holds `BASE << b`.
+const BASE: usize = 64;
+/// Enough buckets to cover every index a `u32` id can take.
+const NBUCKETS: usize = 27;
+
+/// Locate `(bucket, offset)` for a global index.
+#[inline]
+fn locate(index: usize) -> (usize, usize) {
+    let n = index / BASE + 1;
+    let bucket = (usize::BITS - 1 - n.leading_zeros()) as usize;
+    let offset = index - BASE * ((1 << bucket) - 1);
+    (bucket, offset)
+}
+
+/// Capacity of bucket `b`.
+#[inline]
+fn bucket_len(bucket: usize) -> usize {
+    BASE << bucket
+}
+
+/// Raw pointers retired by a writer; freed only when the owner drops.
+struct Retired<T: ?Sized>(Vec<*mut Arc<T>>);
+
+// SAFETY: the pointers are uniquely owned heap boxes; the list is only
+// touched under a mutex and freed on drop.
+unsafe impl<T: ?Sized + Send + Sync> Send for Retired<T> {}
+
+/// A dense `index -> Arc<T>` table with lock-free readers.
+///
+/// Writers (`set`/`clear`) serialize on a small mutex for bucket
+/// allocation and retirement; readers (`get`, `for_each`) are wait-free
+/// apart from the `Arc` refcount increment.
+pub struct SlotTable<T: ?Sized> {
+    /// Each bucket is a lazily-allocated boxed slice of slots; a slot is
+    /// null (empty) or a `Box<Arc<T>>` raw pointer (thin, even for
+    /// `T: !Sized`).
+    buckets: [AtomicPtr<AtomicPtr<Arc<T>>>; NBUCKETS],
+    /// Serializes writers; never touched by readers.
+    writer: Mutex<Retired<T>>,
+}
+
+// SAFETY: all shared mutation is via atomics or the writer mutex, and the
+// stored values are `Arc<T>` with `T: Send + Sync`.
+unsafe impl<T: ?Sized + Send + Sync> Send for SlotTable<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for SlotTable<T> {}
+
+impl<T: ?Sized> Default for SlotTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: ?Sized> SlotTable<T> {
+    /// New empty table. Allocates nothing until the first `set`.
+    pub fn new() -> Self {
+        SlotTable {
+            buckets: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            writer: Mutex::new(Retired(Vec::new())),
+        }
+    }
+
+    /// The slot for `index`, if its bucket exists yet.
+    #[inline]
+    fn slot(&self, index: usize) -> Option<&AtomicPtr<Arc<T>>> {
+        let (bucket, offset) = locate(index);
+        let base = self.buckets[bucket].load(Ordering::Acquire);
+        if base.is_null() {
+            return None;
+        }
+        // SAFETY: a non-null bucket pointer is a live boxed slice of
+        // `bucket_len(bucket)` slots that is never freed before `self`.
+        Some(unsafe { &*base.add(offset) })
+    }
+
+    /// Current value at `index` (an owned `Arc` clone).
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<Arc<T>> {
+        let ptr = self.slot(index)?.load(Ordering::Acquire);
+        if ptr.is_null() {
+            return None;
+        }
+        // SAFETY: non-null slot values are live `Box<Arc<T>>` allocations.
+        // A concurrent `set`/`clear` only moves the box to the retired
+        // list, which keeps it (and the Arc it pins) alive until the table
+        // drops — and drop requires `&mut self`, excluding readers.
+        Some(unsafe { (*ptr).clone() })
+    }
+
+    /// Whether `index` currently holds a value.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        self.slot(index)
+            .map(|s| !s.load(Ordering::Acquire).is_null())
+            .is_some_and(|b| b)
+    }
+
+    /// Install `value` at `index`, returning `true` if a previous value
+    /// was replaced.
+    pub fn set(&self, index: usize, value: Arc<T>) -> bool {
+        let mut retired = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let (bucket, offset) = locate(index);
+        let mut base = self.buckets[bucket].load(Ordering::Acquire);
+        if base.is_null() {
+            // Allocate the bucket; writers are serialized by the mutex so
+            // a plain store is enough.
+            let slice: Box<[AtomicPtr<Arc<T>>]> = (0..bucket_len(bucket))
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect();
+            base = Box::into_raw(slice) as *mut AtomicPtr<Arc<T>>;
+            self.buckets[bucket].store(base, Ordering::Release);
+        }
+        let boxed = Box::into_raw(Box::new(value));
+        // SAFETY: bucket is live and `offset < bucket_len(bucket)`.
+        let old = unsafe { &*base.add(offset) }.swap(boxed, Ordering::AcqRel);
+        if old.is_null() {
+            false
+        } else {
+            retired.0.push(old);
+            true
+        }
+    }
+
+    /// Remove the value at `index`, returning `true` if one was present.
+    pub fn clear(&self, index: usize) -> bool {
+        let mut retired = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(slot) = self.slot(index) else {
+            return false;
+        };
+        let old = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if old.is_null() {
+            false
+        } else {
+            retired.0.push(old);
+            true
+        }
+    }
+
+    /// Visit every occupied slot. Entries inserted or removed concurrently
+    /// may or may not be visited — the snapshot is per-slot, not global.
+    pub fn for_each(&self, mut f: impl FnMut(usize, &Arc<T>)) {
+        for bucket in 0..NBUCKETS {
+            let base = self.buckets[bucket].load(Ordering::Acquire);
+            if base.is_null() {
+                // Buckets are allocated in order of first touch, but an
+                // index can land in any bucket, so keep scanning.
+                continue;
+            }
+            let start = BASE * ((1 << bucket) - 1);
+            for offset in 0..bucket_len(bucket) {
+                // SAFETY: live bucket, in-bounds offset; value liveness as
+                // in `get`.
+                let ptr = unsafe { &*base.add(offset) }.load(Ordering::Acquire);
+                if !ptr.is_null() {
+                    f(start + offset, unsafe { &*ptr });
+                }
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for SlotTable<T> {
+    fn drop(&mut self) {
+        // No readers can exist here (`&mut self`); free live entries,
+        // retired entries, and bucket arrays.
+        for bucket in 0..NBUCKETS {
+            let base = *self.buckets[bucket].get_mut();
+            if base.is_null() {
+                continue;
+            }
+            let len = bucket_len(bucket);
+            // SAFETY: reconstruct the boxed slice exactly as allocated.
+            let slice = unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(base, len)) };
+            for slot in slice.iter() {
+                let ptr = slot.load(Ordering::Relaxed);
+                if !ptr.is_null() {
+                    // SAFETY: live `Box<Arc<T>>`.
+                    drop(unsafe { Box::from_raw(ptr) });
+                }
+            }
+        }
+        let retired = self.writer.get_mut().unwrap_or_else(|e| e.into_inner());
+        for &ptr in &retired.0 {
+            // SAFETY: retired pointers are uniquely owned boxes.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+        retired.0.clear();
+    }
+}
+
+/// A grow-only atomic bitset over small sequential ids.
+///
+/// `test` is a single `Acquire` load; `set` serializes on a mutex only for
+/// bucket allocation.
+pub struct BitTable {
+    /// Bucket `b` holds `WORDS_BASE << b` words of 64 bits each.
+    buckets: [AtomicPtr<AtomicU64>; NBUCKETS],
+    writer: Mutex<()>,
+}
+
+/// First bit-bucket holds `WORDS_BASE * 64` bits.
+const WORDS_BASE: usize = 16;
+
+impl Default for BitTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitTable {
+    /// New empty set.
+    pub fn new() -> Self {
+        BitTable {
+            buckets: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            writer: Mutex::new(()),
+        }
+    }
+
+    #[inline]
+    fn locate_word(index: usize) -> (usize, usize, u64) {
+        let word = index / 64;
+        let n = word / WORDS_BASE + 1;
+        let bucket = (usize::BITS - 1 - n.leading_zeros()) as usize;
+        let offset = word - WORDS_BASE * ((1 << bucket) - 1);
+        (bucket, offset, 1u64 << (index % 64))
+    }
+
+    #[inline]
+    fn words_in(bucket: usize) -> usize {
+        WORDS_BASE << bucket
+    }
+
+    /// Whether bit `index` is set.
+    #[inline]
+    pub fn test(&self, index: usize) -> bool {
+        let (bucket, offset, mask) = Self::locate_word(index);
+        let base = self.buckets[bucket].load(Ordering::Acquire);
+        if base.is_null() {
+            return false;
+        }
+        // SAFETY: non-null buckets are live boxed slices, never freed
+        // before `self`.
+        unsafe { &*base.add(offset) }.load(Ordering::Acquire) & mask != 0
+    }
+
+    /// Set bit `index`.
+    pub fn set(&self, index: usize) {
+        let _guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let (bucket, offset, mask) = Self::locate_word(index);
+        let mut base = self.buckets[bucket].load(Ordering::Acquire);
+        if base.is_null() {
+            let slice: Box<[AtomicU64]> = (0..Self::words_in(bucket))
+                .map(|_| AtomicU64::new(0))
+                .collect();
+            base = Box::into_raw(slice) as *mut AtomicU64;
+            self.buckets[bucket].store(base, Ordering::Release);
+        }
+        // SAFETY: live bucket, in-bounds offset.
+        unsafe { &*base.add(offset) }.fetch_or(mask, Ordering::AcqRel);
+    }
+}
+
+impl Drop for BitTable {
+    fn drop(&mut self) {
+        for bucket in 0..NBUCKETS {
+            let base = *self.buckets[bucket].get_mut();
+            if !base.is_null() {
+                let len = Self::words_in(bucket);
+                // SAFETY: reconstruct the boxed slice exactly as allocated.
+                drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(base, len)) });
+            }
+        }
+    }
+}
+
+// SAFETY: all mutation is via atomics or the writer mutex.
+unsafe impl Send for BitTable {}
+unsafe impl Sync for BitTable {}
+
+/// A single lock-free `Arc<T>` slot (for rarely-replaced hooks).
+///
+/// Reads are one `Acquire` load plus a refcount bump; replaced values are
+/// retired until the cell drops, like [`SlotTable`].
+pub struct ArcCell<T: ?Sized> {
+    slot: AtomicPtr<Arc<T>>,
+    writer: Mutex<Retired<T>>,
+}
+
+// SAFETY: same reasoning as `SlotTable`.
+unsafe impl<T: ?Sized + Send + Sync> Send for ArcCell<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for ArcCell<T> {}
+
+impl<T: ?Sized> Default for ArcCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: ?Sized> ArcCell<T> {
+    /// New empty cell.
+    pub fn new() -> Self {
+        ArcCell {
+            slot: AtomicPtr::new(std::ptr::null_mut()),
+            writer: Mutex::new(Retired(Vec::new())),
+        }
+    }
+
+    /// Current value, if any.
+    #[inline]
+    pub fn get(&self) -> Option<Arc<T>> {
+        let ptr = self.slot.load(Ordering::Acquire);
+        if ptr.is_null() {
+            return None;
+        }
+        // SAFETY: see `SlotTable::get` — replaced boxes are retired, not
+        // freed, while the cell is alive.
+        Some(unsafe { (*ptr).clone() })
+    }
+
+    /// Whether a value is installed.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        !self.slot.load(Ordering::Acquire).is_null()
+    }
+
+    /// Install `value`, replacing any previous one.
+    pub fn set(&self, value: Arc<T>) {
+        let mut retired = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let boxed = Box::into_raw(Box::new(value));
+        let old = self.slot.swap(boxed, Ordering::AcqRel);
+        if !old.is_null() {
+            retired.0.push(old);
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for ArcCell<T> {
+    fn drop(&mut self) {
+        let ptr = *self.slot.get_mut();
+        if !ptr.is_null() {
+            // SAFETY: live box, no readers during drop.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+        let retired = self.writer.get_mut().unwrap_or_else(|e| e.into_inner());
+        for &ptr in &retired.0 {
+            // SAFETY: retired pointers are uniquely owned boxes.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+        retired.0.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn locate_covers_bucket_boundaries() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(63), (0, 63));
+        assert_eq!(locate(64), (1, 0));
+        assert_eq!(locate(191), (1, 127));
+        assert_eq!(locate(192), (2, 0));
+        assert_eq!(locate(u32::MAX as usize), locate(u32::MAX as usize));
+    }
+
+    #[test]
+    fn slot_table_set_get_clear() {
+        let t: SlotTable<str> = SlotTable::new();
+        assert!(t.get(0).is_none());
+        assert!(!t.set(5, Arc::from("five")));
+        assert_eq!(t.get(5).as_deref(), Some("five"));
+        assert!(t.set(5, Arc::from("cinq")));
+        assert_eq!(t.get(5).as_deref(), Some("cinq"));
+        assert!(t.clear(5));
+        assert!(!t.clear(5));
+        assert!(t.get(5).is_none());
+        // Sparse high index exercises a later bucket.
+        t.set(10_000, Arc::from("far"));
+        assert_eq!(t.get(10_000).as_deref(), Some("far"));
+        assert!(t.get(9_999).is_none());
+    }
+
+    #[test]
+    fn slot_table_for_each_sees_live_entries() {
+        let t: SlotTable<String> = SlotTable::new();
+        for i in [0usize, 1, 63, 64, 200, 4096] {
+            t.set(i, Arc::new(format!("v{i}")));
+        }
+        t.clear(63);
+        let mut seen = Vec::new();
+        t.for_each(|i, v| seen.push((i, v.as_str().to_string())));
+        seen.sort();
+        assert_eq!(
+            seen.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 1, 64, 200, 4096]
+        );
+        assert_eq!(seen[0].1, "v0");
+    }
+
+    #[test]
+    fn slot_table_drops_all_values_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tally;
+        impl Drop for Tally {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let t: SlotTable<Tally> = SlotTable::new();
+            t.set(1, Arc::new(Tally));
+            t.set(1, Arc::new(Tally)); // retires the first
+            t.set(70, Arc::new(Tally));
+            t.clear(70); // retires the third
+            t.set(70, Arc::new(Tally));
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn slot_table_concurrent_readers_and_writers() {
+        let t: Arc<SlotTable<AtomicUsize>> = Arc::new(SlotTable::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut hits = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        for i in 0..64 {
+                            if let Some(v) = t.get(i) {
+                                v.fetch_add(1, Ordering::Relaxed);
+                                hits += 1;
+                            }
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        for round in 0..200 {
+            for i in 0..64 {
+                t.set(i, Arc::new(AtomicUsize::new(round)));
+            }
+            for i in 0..64 {
+                if (i + round) % 3 == 0 {
+                    t.clear(i);
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn bit_table_set_and_test() {
+        let b = BitTable::new();
+        assert!(!b.test(0));
+        assert!(!b.test(100_000));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(100_000);
+        assert!(b.test(0));
+        assert!(b.test(63));
+        assert!(b.test(64));
+        assert!(b.test(100_000));
+        assert!(!b.test(1));
+        assert!(!b.test(99_999));
+    }
+
+    #[test]
+    fn arc_cell_replace_and_drop() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tally;
+        impl Drop for Tally {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let c: ArcCell<Tally> = ArcCell::new();
+            assert!(!c.is_set());
+            assert!(c.get().is_none());
+            c.set(Arc::new(Tally));
+            assert!(c.is_set());
+            let held = c.get().unwrap();
+            c.set(Arc::new(Tally));
+            drop(held);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+}

@@ -180,7 +180,11 @@ impl TimerService {
     }
 
     /// Arm a timer that fires at `deadline`.
-    pub fn arm_at(&self, deadline: Instant, callback: impl FnOnce() + Send + 'static) -> TimerHandle {
+    pub fn arm_at(
+        &self,
+        deadline: Instant,
+        callback: impl FnOnce() + Send + 'static,
+    ) -> TimerHandle {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         {
             let mut q = self.inner.queue.lock();
@@ -200,7 +204,11 @@ impl TimerService {
     }
 
     /// Arm a timer that fires after `delay`.
-    pub fn arm_after(&self, delay: Duration, callback: impl FnOnce() + Send + 'static) -> TimerHandle {
+    pub fn arm_after(
+        &self,
+        delay: Duration,
+        callback: impl FnOnce() + Send + 'static,
+    ) -> TimerHandle {
         self.arm_at(Instant::now() + delay, callback)
     }
 
@@ -255,9 +263,7 @@ fn timer_loop(inner: Arc<Inner>) {
                         if remaining > SPIN_THRESHOLD {
                             // Park until just before the deadline; a newly
                             // armed earlier timer wakes us via the condvar.
-                            let _ = inner
-                                .cond
-                                .wait_for(&mut q, remaining - SPIN_THRESHOLD);
+                            let _ = inner.cond.wait_for(&mut q, remaining - SPIN_THRESHOLD);
                             continue;
                         }
                         // Spin the final stretch outside the lock so arming

@@ -2,7 +2,6 @@
 //! coalescing: GID-addressed objects, remote method invocation, and
 //! stability of GIDs across re-homing.
 
-use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;

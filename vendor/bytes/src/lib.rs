@@ -1,0 +1,497 @@
+//! Offline vendored shim of the `bytes` crate API surface RPX uses.
+//!
+//! Like the real crate, [`BytesMut`] and the [`Bytes`] views split off it
+//! share one reference-counted allocation: `split().freeze()` is zero-copy
+//! and allocation-free, which is what makes pooled encoders cheap. The
+//! aliasing contract is the same as upstream: a frozen region is immutable
+//! for its whole life, and the writer only ever appends beyond the last
+//! frozen byte.
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// A reference-counted heap allocation. Created from a `Vec`'s buffer and
+/// returned to the allocator with the same layout on drop.
+struct Alloc {
+    ptr: *mut u8,
+    cap: usize,
+}
+
+// SAFETY: the raw buffer is plain bytes; all mutation is confined to the
+// exclusive write window of the single `BytesMut` handle (see module doc).
+unsafe impl Send for Alloc {}
+unsafe impl Sync for Alloc {}
+
+impl Alloc {
+    fn from_vec(mut v: Vec<u8>) -> Alloc {
+        let ptr = v.as_mut_ptr();
+        let cap = v.capacity();
+        std::mem::forget(v);
+        Alloc { ptr, cap }
+    }
+}
+
+impl Drop for Alloc {
+    fn drop(&mut self) {
+        // SAFETY: ptr/cap came from a forgotten Vec with this capacity.
+        unsafe { drop(Vec::from_raw_parts(self.ptr, 0, self.cap)) }
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Owned(Arc<Alloc>),
+}
+
+/// A cheaply cloneable, sliceable immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Bytes {
+        Bytes {
+            repr: Repr::Static(&[]),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Wrap a static slice (no allocation).
+    pub const fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes {
+            repr: Repr::Static(s),
+            off: 0,
+            len: s.len(),
+        }
+    }
+
+    /// Copy a slice into a fresh buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view sharing this buffer's allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice out of bounds");
+        Bytes {
+            repr: self.repr.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Copy out into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => &s[self.off..self.off + self.len],
+            // SAFETY: [off, off+len) was fully written before this view was
+            // created and is never mutated afterwards (writer appends only
+            // past the frozen boundary).
+            Repr::Owned(a) => unsafe {
+                std::slice::from_raw_parts(a.ptr.add(self.off), self.len)
+            },
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes {
+            repr: Repr::Owned(Arc::new(Alloc::from_vec(v))),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::iter::FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// Append-only byte sink; see [`BufMut`].
+///
+/// A `BytesMut` owns an exclusive write window `[len, cap)` of a shared
+/// allocation; `[start, len)` is written-but-unfrozen, `[0, start)` may be
+/// aliased by frozen [`Bytes`] views and is never touched again.
+pub struct BytesMut {
+    alloc: Option<Arc<Alloc>>,
+    /// Frozen boundary: bytes below this may be aliased by `Bytes` views.
+    start: usize,
+    /// Write cursor.
+    len: usize,
+    /// End of this handle's exclusive write window (≤ alloc.cap).
+    cap: usize,
+}
+
+// SAFETY: same argument as Alloc — all mutation stays in the exclusive
+// write window; the handle itself is used like a Vec.
+unsafe impl Send for BytesMut {}
+unsafe impl Sync for BytesMut {}
+
+impl BytesMut {
+    /// New empty buffer (no allocation).
+    pub const fn new() -> BytesMut {
+        BytesMut {
+            alloc: None,
+            start: 0,
+            len: 0,
+            cap: 0,
+        }
+    }
+
+    /// New buffer with `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        if cap == 0 {
+            return BytesMut::new();
+        }
+        let alloc = Alloc::from_vec(Vec::with_capacity(cap));
+        let cap = alloc.cap;
+        BytesMut {
+            alloc: Some(Arc::new(alloc)),
+            start: 0,
+            len: 0,
+            cap,
+        }
+    }
+
+    /// Bytes written and not yet split off.
+    pub fn len(&self) -> usize {
+        self.len - self.start
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == self.start
+    }
+
+    /// Writable capacity remaining before a grow (upstream reports the
+    /// whole window; callers only use this as a reuse heuristic).
+    pub fn capacity(&self) -> usize {
+        self.cap - self.start
+    }
+
+    /// Discard pending (unfrozen) bytes.
+    pub fn clear(&mut self) {
+        self.len = self.start;
+    }
+
+    /// Ensure at least `additional` writable bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        if self.cap - self.len >= additional {
+            return;
+        }
+        let pending = self.len - self.start;
+        // Grow from the live window (start..cap), not the whole historical
+        // allocation: a handle owning the tail of a large shared block must
+        // not double that block's size on every exhaustion.
+        let window = self.cap - self.start;
+        let new_cap = (pending + additional).max(window.saturating_mul(2)).max(64);
+        let mut v = Vec::with_capacity(new_cap);
+        if pending > 0 {
+            // SAFETY: [start, len) is this handle's own written region.
+            unsafe {
+                let a = self.alloc.as_ref().expect("pending bytes imply an allocation");
+                v.extend_from_slice(std::slice::from_raw_parts(a.ptr.add(self.start), pending));
+            }
+        }
+        let alloc = Alloc::from_vec(v);
+        self.cap = alloc.cap;
+        // The old allocation stays alive through any frozen Bytes views.
+        self.alloc = Some(Arc::new(alloc));
+        self.start = 0;
+        self.len = pending;
+    }
+
+    #[inline]
+    fn write(&mut self, src: &[u8]) {
+        self.reserve(src.len());
+        // SAFETY: reserve guaranteed cap - len >= src.len(); [len, cap) is
+        // exclusively ours.
+        unsafe {
+            let a = self.alloc.as_ref().expect("reserve allocated");
+            std::ptr::copy_nonoverlapping(src.as_ptr(), a.ptr.add(self.len), src.len());
+        }
+        self.len += src.len();
+    }
+
+    /// Take the pending bytes as a new `BytesMut` sharing this allocation
+    /// (zero-copy); `self` keeps the remaining capacity and keeps writing.
+    pub fn split(&mut self) -> BytesMut {
+        let out = BytesMut {
+            alloc: self.alloc.clone(),
+            start: self.start,
+            len: self.len,
+            // The split-off part is full: any further write must realloc.
+            cap: self.len,
+        };
+        self.start = self.len;
+        out
+    }
+
+    /// Freeze the pending bytes into an immutable [`Bytes`] (zero-copy).
+    pub fn freeze(self) -> Bytes {
+        match self.alloc {
+            None => Bytes::new(),
+            Some(a) => Bytes {
+                off: self.start,
+                len: self.len - self.start,
+                repr: Repr::Owned(a),
+            },
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.alloc {
+            None => &[],
+            // SAFETY: [start, len) is this handle's own written region.
+            Some(a) => unsafe {
+                std::slice::from_raw_parts(a.ptr.add(self.start), self.len - self.start)
+            },
+        }
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> BytesMut {
+        BytesMut::new()
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Bytes::copy_from_slice(self.as_slice()).fmt(f)
+    }
+}
+
+/// The append API used by the archive writer.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian u16.
+    fn put_u16_le(&mut self, v: u16);
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.write(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.write(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_slice_and_eq() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        assert_eq!(s.slice(..2).as_ref(), &[2, 3]);
+        assert_eq!(Bytes::from_static(b"abc"), Bytes::copy_from_slice(b"abc"));
+    }
+
+    #[test]
+    fn bytesmut_write_and_freeze() {
+        let mut m = BytesMut::with_capacity(4);
+        m.put_u8(1);
+        m.put_u32_le(0x0403_0201);
+        m.put_slice(b"xyz");
+        assert_eq!(m.len(), 8);
+        let b = m.freeze();
+        assert_eq!(b.as_ref(), &[1, 1, 2, 3, 4, b'x', b'y', b'z']);
+    }
+
+    #[test]
+    fn split_shares_allocation_and_keeps_writing() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_slice(b"first");
+        let a = m.split().freeze();
+        m.put_slice(b"second");
+        let b = m.split().freeze();
+        assert_eq!(a.as_ref(), b"first");
+        assert_eq!(b.as_ref(), b"second");
+        // Views survive writer growth.
+        m.reserve(1 << 12);
+        m.put_slice(b"third");
+        let c = m.split().freeze();
+        assert_eq!(a.as_ref(), b"first");
+        assert_eq!(b.as_ref(), b"second");
+        assert_eq!(c.as_ref(), b"third");
+    }
+
+    #[test]
+    fn split_does_not_allocate() {
+        let mut m = BytesMut::with_capacity(256);
+        let cap = m.capacity();
+        let mut frozen = Vec::new();
+        for i in 0..8u8 {
+            m.put_slice(&[i; 16]);
+            frozen.push(m.split().freeze());
+        }
+        assert!(m.capacity() <= cap);
+        for (i, b) in frozen.iter().enumerate() {
+            assert_eq!(b.as_ref(), &[i as u8; 16]);
+        }
+    }
+
+    #[test]
+    fn empty_freeze_and_clear() {
+        assert!(BytesMut::new().freeze().is_empty());
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u8(1);
+        m.clear();
+        assert!(m.is_empty());
+        assert!(m.freeze().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_views() {
+        let mut m = BytesMut::with_capacity(32);
+        m.put_slice(b"payload");
+        let b = m.split().freeze();
+        let t = std::thread::spawn(move || b.to_vec());
+        assert_eq!(t.join().unwrap(), b"payload");
+    }
+}

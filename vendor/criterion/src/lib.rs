@@ -1,0 +1,378 @@
+//! Offline vendored shim of the `criterion` API surface RPX uses.
+//!
+//! It keeps criterion's measurement discipline — warmup, then `sample_size`
+//! timed samples of an auto-scaled iteration batch — and prints a
+//! `group/id  time: [min median max]` line (plus throughput when set), but
+//! skips statistics, plotting, and state files. A positional CLI argument
+//! acts as a substring filter, so `cargo bench --bench serialize -- row`
+//! works as expected.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First positional (non-flag) argument is a name filter, matching
+        // criterion's CLI. Flags like `--bench` that cargo injects are
+        // ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.id.clone());
+        group.run_named(id.id.clone(), f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Units a benchmark processes per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of benchmarks sharing config and a report-name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples of each benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warmup budget before sampling starts.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Set per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_named(id.id, f);
+        self
+    }
+
+    /// Run one benchmark that borrows a setup value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_named(id.id, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (reports are printed eagerly; this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn run_named<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&full_id, &bencher.samples_ns, self.throughput);
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, called in auto-scaled batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup doubles the batch until the budget is spent, which also
+        // yields a per-iteration estimate for batch sizing.
+        let mut batch: u64 = 1;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        let mut warm_elapsed = Duration::ZERO;
+        while warm_elapsed < self.warm_up_time {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            warm_iters += batch;
+            batch = batch.saturating_mul(2);
+            warm_elapsed = warm_start.elapsed();
+        }
+        let est_ns = (warm_elapsed.as_nanos() as f64 / warm_iters as f64).max(0.1);
+
+        let per_sample_ns =
+            self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((per_sample_ns / est_ns) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` that runs `iters` iterations itself and reports the
+    /// measured duration (for benchmarks that must exclude setup).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let probe = routine(1);
+        let est_ns = (probe.as_nanos() as f64).max(0.1);
+        let per_sample_ns =
+            self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((per_sample_ns / est_ns) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let elapsed = routine(iters);
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn report(full_id: &str, samples_ns: &[f64], throughput: Option<Throughput>) {
+    if samples_ns.is_empty() {
+        println!("{full_id:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let max = sorted[sorted.len() - 1];
+    let mut line = format!(
+        "{full_id:<40} time:   [{} {} {}]",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max)
+    );
+    if let Some(t) = throughput {
+        let per_sec = |units: u64| units as f64 / (median * 1e-9);
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {}", fmt_rate(per_sec(n), "elem/s")));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  thrpt: {}", fmt_bytes_rate(per_sec(n))));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec < 1e3 {
+        format!("{per_sec:.1} {unit}")
+    } else if per_sec < 1e6 {
+        format!("{:.2} K{unit}", per_sec / 1e3)
+    } else if per_sec < 1e9 {
+        format!("{:.2} M{unit}", per_sec / 1e6)
+    } else {
+        format!("{:.2} G{unit}", per_sec / 1e9)
+    }
+}
+
+fn fmt_bytes_rate(per_sec: f64) -> String {
+    const KIB: f64 = 1024.0;
+    if per_sec < KIB {
+        format!("{per_sec:.1} B/s")
+    } else if per_sec < KIB * KIB {
+        format!("{:.2} KiB/s", per_sec / KIB)
+    } else if per_sec < KIB * KIB * KIB {
+        format!("{:.2} MiB/s", per_sec / (KIB * KIB))
+    } else {
+        format!("{:.2} GiB/s", per_sec / (KIB * KIB * KIB))
+    }
+}
+
+/// Declare a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(20));
+        group.warm_up_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("fast", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_custom_collects_samples() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(20));
+        group.warm_up_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::new("custom", 4), &4u64, |b, &n| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(n * 2);
+                }
+                start.elapsed()
+            })
+        });
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut group = c.benchmark_group("g");
+        // Would hang forever if actually run.
+        group.bench_function("skipped", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_secs(3600)))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert_eq!(fmt_time(12.5), "12.50 ns");
+        assert_eq!(fmt_time(12_500.0), "12.50 µs");
+        assert_eq!(fmt_time(12_500_000.0), "12.50 ms");
+        assert!(fmt_rate(2.5e6, "elem/s").contains("Melem/s"));
+        assert!(fmt_bytes_rate(3.0 * 1024.0 * 1024.0).contains("MiB/s"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline vendored shim of the `crossbeam-channel` API surface RPX uses:
+//! unbounded MPMC channels with `send`/`recv`/`try_recv`/`len`. Backed by a
+//! mutex-protected deque plus a condvar; both endpoints are cloneable and
+//! usable from any thread (unlike `std::sync::mpsc`'s receiver).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+struct Chan<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+///
+/// This shim never reports disconnection (endpoints share one queue and
+/// RPX keeps both alive for the structure's lifetime), so sends always
+/// succeed; the type exists for API compatibility.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::try_recv`] on an empty channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// All senders dropped and the channel drained (not reported by this
+    /// shim; see [`SendError`]).
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with the channel still empty.
+    Timeout,
+    /// All senders dropped (not reported by this shim).
+    Disconnected,
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a value. Never blocks; never fails in this shim.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.chan
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(value);
+        self.chan.ready.notify_one();
+        Ok(())
+    }
+
+    /// Queued messages.
+    pub fn len(&self) -> usize {
+        self.chan
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.chan
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+            .ok_or(TryRecvError::Empty)
+    }
+
+    /// Dequeue, blocking until a value arrives.
+    pub fn recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self
+            .chan
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            q = self
+                .chan
+                .ready
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeue, blocking up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let mut q = self
+            .chan
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(v) = q.pop_front() {
+            return Ok(v);
+        }
+        let (mut q, _) = self
+            .chan
+            .ready
+            .wait_timeout(q, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        q.pop_front().ok_or(RecvTimeoutError::Timeout)
+    }
+
+    /// Queued messages.
+    pub fn len(&self) -> usize {
+        self.chan
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain currently queued messages without blocking.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+}
+
+/// Iterator over currently available messages; see [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_try_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn multi_thread_producers_consumers() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                });
+            }
+        });
+        let mut got: Vec<i32> = rx.try_iter().collect();
+        got.sort();
+        assert_eq!(got, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(Duration::from_millis(5));
+        tx.send(42u32).unwrap();
+        assert_eq!(t.join().unwrap(), 42);
+    }
+}

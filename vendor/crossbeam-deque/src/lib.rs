@@ -1,0 +1,235 @@
+//! Offline vendored shim of the `crossbeam-deque` API surface RPX uses:
+//! `Injector`, `Worker`, `Stealer` and the `Steal` result. Correctness
+//! over cleverness: queues are mutex-protected deques, which preserves the
+//! work-stealing scheduler's semantics (FIFO injector, per-worker locals,
+//! arbitrary-thread stealing) without lock-free machinery.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// Queue empty.
+    Empty,
+    /// One task stolen.
+    Success(T),
+    /// Lost a race; try again. (This shim's locking never loses races, so
+    /// it is never returned; callers' retry loops still compile and work.)
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A global FIFO queue any thread can push to and steal from.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Push a task.
+    pub fn push(&self, task: T) {
+        self.lock().push_back(task);
+    }
+
+    /// Steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.lock().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch into `dest`'s local queue and pop one task.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = self.lock();
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        // Move up to half of what remains (capped) into the local queue,
+        // mirroring crossbeam's batching heuristic.
+        let take = (q.len() / 2).min(16);
+        if take > 0 {
+            let mut local = dest.lock();
+            for _ in 0..take {
+                if let Some(t) = q.pop_front() {
+                    local.push_back(t);
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+/// A per-thread queue with an associated [`Stealer`].
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    fifo: bool,
+}
+
+impl<T> Worker<T> {
+    /// New FIFO worker queue.
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            fifo: true,
+        }
+    }
+
+    /// New LIFO worker queue.
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            fifo: false,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Push a task onto the local queue.
+    pub fn push(&self, task: T) {
+        self.lock().push_back(task);
+    }
+
+    /// Pop the next local task.
+    pub fn pop(&self) -> Option<T> {
+        if self.fifo {
+            self.lock().pop_front()
+        } else {
+            self.lock().pop_back()
+        }
+    }
+
+    /// Whether the local queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A stealer handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// Steals from one worker's queue; cloneable and shareable.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the owning worker's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+        {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the owning queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn batch_steal_moves_work_local() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        let mut local = Vec::new();
+        while let Some(t) = w.pop() {
+            local.push(t);
+        }
+        assert!(!local.is_empty());
+        let mut rest = Vec::new();
+        while let Steal::Success(t) = inj.steal() {
+            rest.push(t);
+        }
+        let mut all = local;
+        all.extend(rest);
+        all.sort();
+        assert_eq!(all, (1..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealer_takes_from_worker() {
+        let w = Worker::new_fifo();
+        w.push("a");
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success("a"));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline vendored shim of the `crossbeam-utils` pieces RPX uses.
+
+/// Pads and aligns a value to 128 bytes to avoid false sharing between
+/// adjacent hot atomics.
+#[derive(Debug, Default, Clone, Copy)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in cache-line padding.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwrap the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+/// Exponential backoff for contended retry loops.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+
+    /// New backoff state.
+    pub fn new() -> Backoff {
+        Backoff::default()
+    }
+
+    /// Spin proportionally to the number of failures so far.
+    pub fn spin(&self) {
+        for _ in 0..1u32 << self.step.get().min(Self::SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= Self::SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Spin or yield the thread once contention persists.
+    pub fn snooze(&self) {
+        if self.step.get() <= Self::SPIN_LIMIT {
+            self.spin();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Whether it is time to park instead of spinning.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > Self::SPIN_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_aligned() {
+        let v = CachePadded::new(0u64);
+        assert_eq!((&v as *const _ as usize) % 128, 0);
+        assert_eq!(*v, 0);
+        assert_eq!(CachePadded::new(7u32).into_inner(), 7);
+    }
+
+    #[test]
+    fn backoff_advances() {
+        let b = Backoff::new();
+        for _ in 0..10 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline vendored shim of the `rand` API surface RPX uses: a seedable
+//! deterministic generator (`rngs::StdRng`, splitmix64-based) and the
+//! `Rng`/`SeedableRng` trait methods the workloads call. Not
+//! cryptographic; statistical quality is fine for workload shaping.
+
+/// Core 64-bit generator state (splitmix64).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types into which a uniform sample can be drawn from a range.
+pub trait SampleUniform: Sized {
+    /// Draw uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Raw entropy source.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_range(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// The user-facing sampling interface.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// A random `bool` with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_range(self, 0.0, 1.0) < p
+    }
+
+    /// A random value of a primitive type (full bit range).
+    fn gen<T: FromBits>(&mut self) -> T {
+        T::from_bits_u64(self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Primitive construction from raw bits, for [`Rng::gen`].
+pub trait FromBits {
+    /// Build a value from 64 random bits.
+    fn from_bits_u64(bits: u64) -> Self;
+}
+
+impl FromBits for u64 {
+    fn from_bits_u64(bits: u64) -> Self {
+        bits
+    }
+}
+impl FromBits for u32 {
+    fn from_bits_u64(bits: u64) -> Self {
+        bits as u32
+    }
+}
+impl FromBits for bool {
+    fn from_bits_u64(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+impl FromBits for f64 {
+    fn from_bits_u64(bits: u64) -> Self {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::*;
+
+    /// The standard deterministic generator (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        core: SplitMix64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.core.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                core: SplitMix64 { state: seed },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(1e-12..1.0f64);
+            assert!((1e-12..1.0).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((300..700).contains(&hits));
+    }
+}
