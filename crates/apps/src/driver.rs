@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use rpx::{CoalescingParams, LinkModel, Runtime, RuntimeConfig};
+use rpx::{CoalescingParams, LinkModel, Runtime, RuntimeConfig, TransportKind};
 use rpx_metrics::SweepPoint;
 
 use crate::parquet::{run_parquet, ParquetConfig, ParquetReport};
@@ -58,12 +58,17 @@ impl SweepOutcome {
     }
 }
 
-/// The runtime configuration used by sweep runs.
+/// The runtime configuration used by sweep runs (simulated fabric).
 pub fn sweep_runtime_config(localities: u32, link: LinkModel) -> RuntimeConfig {
+    sweep_runtime_config_on(localities, TransportKind::Sim(link))
+}
+
+/// The sweep runtime configuration on an explicit transport backend.
+pub fn sweep_runtime_config_on(localities: u32, transport: TransportKind) -> RuntimeConfig {
     RuntimeConfig {
         localities,
         workers_per_locality: 2,
-        link,
+        transport,
         ..RuntimeConfig::default()
     }
 }
@@ -154,6 +159,12 @@ pub fn to_points(outcomes: &[SweepOutcome]) -> Vec<SweepPoint> {
 /// Convenience: the shared `Arc<Runtime>` boot used by examples.
 pub fn boot(localities: u32, link: LinkModel) -> Arc<Runtime> {
     Runtime::new(sweep_runtime_config(localities, link))
+}
+
+/// Boot on an explicit transport backend — `boot` with the builder knob
+/// exposed (e.g. [`TransportKind::TcpLoopback`]).
+pub fn boot_on(localities: u32, transport: TransportKind) -> Arc<Runtime> {
+    Runtime::new(sweep_runtime_config_on(localities, transport))
 }
 
 #[cfg(test)]

@@ -15,9 +15,9 @@ fn pump_n_messages(model: LinkModel, n: usize, payload: usize) {
     let b = fabric.port(1);
     let received = Arc::new(AtomicU64::new(0));
     let r = Arc::clone(&received);
-    b.set_receiver(move |_| {
+    b.set_receiver(Arc::new(move |_| {
         r.fetch_add(1, Ordering::Relaxed);
-    });
+    }));
     let payload = Bytes::from(vec![0u8; payload]);
     for _ in 0..n {
         a.send(Message::new(0, 1, MessageKind::Parcel, payload.clone()));

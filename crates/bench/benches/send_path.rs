@@ -45,8 +45,8 @@ fn bench_send_path(c: &mut Criterion) {
                 let fabric = Fabric::new(2, LinkModel::zero());
                 let actions = ActionRegistry::new();
                 let act = actions.register("bench", Arc::new(|_| Ok(Bytes::new())));
-                let p0 = ParcelPort::new(0, fabric.port(0), Arc::clone(&actions));
-                let p1 = ParcelPort::new(1, fabric.port(1), Arc::clone(&actions));
+                let p0 = ParcelPort::new(0, Arc::new(fabric.port(0)), Arc::clone(&actions));
+                let p1 = ParcelPort::new(1, Arc::new(fabric.port(1)), Arc::clone(&actions));
                 p0.set_spawner(Arc::new(|f| f()));
                 p1.set_spawner(Arc::new(|f| f()));
                 let timer = Arc::new(TimerService::new("bench-send"));

@@ -8,6 +8,10 @@
 //! Experiments: `timer fig4 fig5 fig6 fig7 fig8 fig9 rsd adaptive
 //! ablate-trigger ablate-bypass ablate-timer`. Scale with
 //! `RPX_REPRO_SCALE=quick|full` (default quick).
+//!
+//! `check-fig5` (not part of `all`) is the CI smoke check: it exits
+//! non-zero unless completion time decreases monotonically (within
+//! tolerance) with nparcels — figure-shape regressions fail the build.
 
 use rpx_bench::table::{print_csv, print_table, ratio, secs};
 use rpx_bench::{experiments as exp, Scale};
@@ -42,6 +46,7 @@ fn main() {
             "timer" => run_timer(scale),
             "fig4" => run_fig4(scale),
             "fig5" => run_fig5(scale),
+            "check-fig5" => run_check_fig5(scale),
             "fig6" => run_fig6(scale),
             "fig7" => run_fig7(scale),
             "fig8" => run_fig8(scale),
@@ -139,6 +144,20 @@ fn run_fig5(scale: Scale) {
         "Fig 5 — toy app: cumulative phase completion times (wait 4000 µs)",
         &r,
     );
+}
+
+/// CI smoke: fail (exit 1) unless the Fig. 5 curve keeps its shape —
+/// completion time decreasing with nparcels on the simulated backend.
+fn run_check_fig5(scale: Scale) {
+    let r = exp::exp_fig5(scale);
+    completion_table("Fig 5 shape check — toy app completion times", &r);
+    match exp::check_fig5_shape(&r, 0.15) {
+        Ok(()) => println!("fig5 shape OK: completion time decreases with nparcels"),
+        Err(why) => {
+            eprintln!("fig5 shape REGRESSED: {why}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_fig6(scale: Scale) {

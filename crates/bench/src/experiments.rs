@@ -218,6 +218,38 @@ pub fn exp_fig5(scale: Scale) -> CompletionReport {
     }
 }
 
+/// CI shape check for Fig. 5: completion time must *broadly* decrease as
+/// `nparcels` rises on the simulated backend — coalescing amortises
+/// per-message overhead, so more parcels per message is faster.
+///
+/// "Broadly": each step may regress at most `tolerance` (noise on shared
+/// CI hardware), and the largest grid point must land well below the
+/// uncoalesced baseline. Returns a human-readable violation, if any.
+pub fn check_fig5_shape(report: &CompletionReport, tolerance: f64) -> Result<(), String> {
+    let totals = report.totals();
+    if totals.len() < 3 {
+        return Err(format!("too few grid points: {totals:?}"));
+    }
+    for pair in totals.windows(2) {
+        let ((n_prev, t_prev), (n_next, t_next)) = (pair[0], pair[1]);
+        if t_next > t_prev * (1.0 + tolerance) {
+            return Err(format!(
+                "completion time rose {t_prev:.3}s → {t_next:.3}s \
+                 (nparcels {n_prev} → {n_next}, tolerance {tolerance}): {totals:?}"
+            ));
+        }
+    }
+    let (_, t_first) = totals[0];
+    let (n_last, t_last) = totals[totals.len() - 1];
+    if t_last > t_first * 0.8 {
+        return Err(format!(
+            "no clear decrease: nparcels=1 took {t_first:.3}s, \
+             nparcels={n_last} took {t_last:.3}s: {totals:?}"
+        ));
+    }
+    Ok(())
+}
+
 /// Fig. 6: Parquet iteration completion vs nparcels at 4000 µs wait.
 ///
 /// The grid includes non-powers of two: with four localities the per-peer

@@ -71,6 +71,6 @@ pub use rpx_coalesce::{CoalescingParams, ParamsHandle};
 pub use rpx_counters::{CounterRegistry, CounterValue};
 pub use rpx_lco::{Barrier, Latch};
 pub use rpx_metrics::{MetricsReader, PhaseRecorder};
-pub use rpx_net::LinkModel;
+pub use rpx_net::{LinkModel, Transport, TransportKind, TransportPort};
 pub use rpx_serialize::Wire;
 pub use rpx_util::Complex64;

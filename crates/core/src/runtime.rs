@@ -12,8 +12,10 @@ use rpx_agas::{AgasService, Gid, ObjectRegistry};
 use rpx_counters::{CounterRegistry, CounterValue};
 use rpx_lco::Promise;
 use rpx_metrics::MetricsReader;
-use rpx_net::{Fabric, LinkModel};
-use rpx_parcel::{port::decode_continuation_args, ActionId, ActionRegistry, ParcelPort};
+use rpx_net::{LinkModel, Transport, TransportKind};
+use rpx_parcel::{
+    port::decode_continuation_args, ActionId, ActionRegistry, ParcelPort, ParcelPortConfig,
+};
 use rpx_serialize::{from_bytes, to_bytes, Wire};
 use rpx_threading::{register_thread_counters, BackgroundWork, Scheduler, SchedulerConfig};
 use rpx_util::TimerService;
@@ -29,8 +31,11 @@ pub struct RuntimeConfig {
     pub localities: u32,
     /// Scheduler worker threads per locality.
     pub workers_per_locality: usize,
-    /// The fabric cost model.
-    pub link: LinkModel,
+    /// Which transport backend connects the localities: the simulated
+    /// fabric with a [`LinkModel`] (default) or real loopback TCP.
+    pub transport: TransportKind,
+    /// Egress entries the parcel pump encodes per background sweep.
+    pub egress_drain_budget: usize,
     /// Idle park interval of scheduler workers.
     pub idle_park: Duration,
     /// Fixed CPU cost charged on the caller for every remote invocation
@@ -46,7 +51,8 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             localities: 2,
             workers_per_locality: 2,
-            link: LinkModel::cluster(),
+            transport: TransportKind::default(),
+            egress_drain_budget: ParcelPortConfig::default().egress_drain_budget,
             idle_park: Duration::from_micros(200),
             invocation_overhead: Duration::from_nanos(1_500),
         }
@@ -60,14 +66,15 @@ impl RuntimeConfig {
         RuntimeConfig {
             localities: 2,
             workers_per_locality: 2,
-            link: LinkModel {
+            transport: TransportKind::Sim(LinkModel {
                 send_overhead: Duration::from_micros(2),
                 recv_overhead: Duration::from_micros(1),
                 per_byte: Duration::ZERO,
                 latency: Duration::from_micros(1),
                 eager_threshold: usize::MAX,
                 rendezvous_extra: Duration::ZERO,
-            },
+            }),
+            egress_drain_budget: ParcelPortConfig::default().egress_drain_budget,
             idle_park: Duration::from_micros(200),
             invocation_overhead: Duration::ZERO,
         }
@@ -178,6 +185,41 @@ impl Locality {
     }
 }
 
+/// Expose a transport port's wire statistics as `/network/*` counters.
+///
+/// Byte counters measure frame bytes on the wire (header + payload), so
+/// the simulated and TCP backends report comparable values.
+fn register_network_counters(
+    registry: &Arc<CounterRegistry>,
+    port: Arc<dyn rpx_net::TransportPort>,
+) {
+    use std::sync::atomic::Ordering;
+    let mk = |port: &Arc<dyn rpx_net::TransportPort>, read: fn(&rpx_net::PortStats) -> u64| {
+        let port = Arc::clone(port);
+        rpx_counters::CallbackCounter::new(move || CounterValue::Int(read(port.stats()) as i64))
+    };
+    registry.register_or_replace(
+        "/network/messages-sent",
+        mk(&port, |s| s.sent_messages.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/messages-received",
+        mk(&port, |s| s.received_messages.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/bytes-sent",
+        mk(&port, |s| s.sent_bytes.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/bytes-received",
+        mk(&port, |s| s.received_bytes.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/decode-failures",
+        mk(&port, |s| s.decode_failures.load(Ordering::Relaxed)),
+    );
+}
+
 struct PortPump {
     port: Arc<ParcelPort>,
 }
@@ -197,8 +239,9 @@ pub struct Runtime {
     agas: Arc<AgasService>,
     timer: Arc<TimerService>,
     localities: Vec<Arc<Locality>>,
-    #[allow(dead_code)]
-    fabric: Arc<Fabric>,
+    /// Declared after `localities` so ports drop first; the TCP backend
+    /// joins its acceptor/reader threads when this Arc drops.
+    transport: Arc<dyn Transport>,
     /// Guards action registration so ids stay aligned across localities.
     registration: Mutex<()>,
     shut_down: std::sync::atomic::AtomicBool,
@@ -210,7 +253,10 @@ impl Runtime {
         assert!(config.localities > 0, "need at least one locality");
         assert!(config.workers_per_locality > 0, "need at least one worker");
         let agas = AgasService::new(config.localities);
-        let fabric = Fabric::new(config.localities, config.link);
+        let transport = config
+            .transport
+            .build(config.localities)
+            .expect("transport construction failed (socket bind?)");
         let timer = Arc::new(TimerService::new("flush"));
 
         let mut localities = Vec::with_capacity(config.localities as usize);
@@ -227,8 +273,16 @@ impl Runtime {
             let registry = CounterRegistry::new(id);
             register_thread_counters(&registry, Arc::clone(scheduler.stats()));
 
-            let net_port = fabric.port(id);
-            let port = ParcelPort::new(id, net_port, Arc::clone(&actions));
+            let net_port = transport.port(id);
+            register_network_counters(&registry, Arc::clone(&net_port));
+            let port = ParcelPort::with_config(
+                id,
+                net_port,
+                Arc::clone(&actions),
+                ParcelPortConfig {
+                    egress_drain_budget: config.egress_drain_budget,
+                },
+            );
 
             // Wire wake-ups: network/egress activity unparks the workers.
             {
@@ -237,7 +291,7 @@ impl Runtime {
             }
             {
                 let sched = Arc::clone(&scheduler);
-                port.net().set_notify(move || sched.notify());
+                port.net().set_notify(Arc::new(move || sched.notify()));
             }
             // Received parcels become scheduler tasks.
             {
@@ -266,7 +320,7 @@ impl Runtime {
             agas,
             timer,
             localities,
-            fabric,
+            transport,
             registration: Mutex::new(()),
             shut_down: std::sync::atomic::AtomicBool::new(false),
         });
@@ -306,6 +360,11 @@ impl Runtime {
     /// Number of localities.
     pub fn num_localities(&self) -> u32 {
         self.config.localities
+    }
+
+    /// The transport connecting the localities.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// Lock action registration (keeps ids aligned across localities when

@@ -1,14 +1,20 @@
-//! The fabric: per-locality ports, cost charging and delayed delivery.
+//! The simulated transport: per-locality ports, cost charging and
+//! delayed delivery — the first [`Transport`] implementation.
 //!
-//! Each locality owns a [`NetPort`]. Sending enqueues onto the sender's
-//! outbound queue; scheduler background work drives [`NetPort::pump_send`]
+//! Each locality owns a [`SimPort`]. Sending enqueues onto the sender's
+//! outbound queue; scheduler background work drives [`SimPort::pump_send`]
 //! (charge sender CPU cost, stamp a delivery deadline `now + latency`,
 //! move the message to the destination's in-flight heap) and
-//! [`NetPort::pump_recv`] (pop due messages, charge receiver CPU cost,
+//! [`SimPort::pump_recv`] (pop due messages, charge receiver CPU cost,
 //! invoke the receive handler). Both pumps are safe to call concurrently
 //! from many workers; costs are paid by whichever worker handles the
 //! message, exactly as HPX parcelport progress work lands on arbitrary
 //! scheduler threads.
+//!
+//! Messages travel as in-memory structs (no copy on the hot path), but
+//! byte counters charge **frame** lengths ([`frame_len`]) and fault
+//! injection routes through the shared frame codec, so statistics and
+//! corruption behaviour match the TCP backend byte for byte.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -22,26 +28,32 @@ use parking_lot::{Mutex, RwLock};
 use rpx_util::busy_charge;
 
 use crate::fault::{FaultAction, FaultPlan};
+use crate::frame::{corrupt_frame, decode_frame, encode_frame, frame_len};
 use crate::message::Message;
 use crate::model::LinkModel;
+use crate::transport::{NotifyFn, ReceiveHandler, Transport, TransportPort};
 
 /// Per-port traffic statistics (relaxed atomics, safe for hot paths).
+///
+/// Byte counters measure bytes **on the wire** — frame lengths, header
+/// included — so the simulated and TCP backends report comparable
+/// `/network/*` values.
 #[derive(Debug, Default)]
 pub struct PortStats {
     /// Messages handed to `send`.
     pub enqueued: AtomicU64,
     /// Messages pushed onto the wire (send cost paid).
     pub sent_messages: AtomicU64,
-    /// Payload bytes pushed onto the wire.
+    /// Frame bytes pushed onto the wire.
     pub sent_bytes: AtomicU64,
     /// Messages delivered to the receive handler (recv cost paid).
     pub received_messages: AtomicU64,
-    /// Payload bytes delivered.
+    /// Frame bytes delivered.
     pub received_bytes: AtomicU64,
+    /// Frames that arrived corrupted (checksum/framing failure) and were
+    /// dropped on the receive side.
+    pub decode_failures: AtomicU64,
 }
-
-type ReceiveHandler = Arc<dyn Fn(Message) + Send + Sync>;
-type NotifyFn = Arc<dyn Fn() + Send + Sync>;
 
 struct InFlight {
     deliver_at: Instant,
@@ -126,8 +138,10 @@ impl PortShared {
     }
 }
 
-/// The software network connecting all localities of a cluster.
-pub struct Fabric {
+/// Shared fabric state: the cost model, the timestamp epoch and every
+/// port. Both [`SimTransport`] and each [`SimPort`] hold an `Arc` to it,
+/// so ports stay valid however the transport handle is passed around.
+struct FabricState {
     model: LinkModel,
     /// Reference instant for `next_due` timestamps; all deadlines are
     /// encoded as nanoseconds since this epoch.
@@ -135,7 +149,26 @@ pub struct Fabric {
     ports: Vec<Arc<PortShared>>,
 }
 
-impl Fabric {
+impl FabricState {
+    /// Nanoseconds from the fabric epoch to `at` (saturating at zero).
+    fn epoch_ns(&self, at: Instant) -> u64 {
+        at.checked_duration_since(self.epoch)
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+/// The simulated software network connecting all localities of a cluster.
+pub struct SimTransport {
+    state: Arc<FabricState>,
+}
+
+/// Historical name of [`SimTransport`], kept for call-site compatibility.
+pub type Fabric = SimTransport;
+
+/// Historical name of [`SimPort`], kept for call-site compatibility.
+pub type NetPort = SimPort;
+
+impl SimTransport {
     /// Build a fabric for `localities` localities under `model`.
     pub fn new(localities: u32, model: LinkModel) -> Arc<Self> {
         assert!(localities > 0, "fabric needs at least one locality");
@@ -157,49 +190,55 @@ impl Fabric {
                 })
             })
             .collect();
-        Arc::new(Fabric {
-            model,
-            epoch: Instant::now(),
-            ports,
+        Arc::new(SimTransport {
+            state: Arc::new(FabricState {
+                model,
+                epoch: Instant::now(),
+                ports,
+            }),
         })
-    }
-
-    /// Nanoseconds from the fabric epoch to `at` (saturating at zero).
-    fn epoch_ns(&self, at: Instant) -> u64 {
-        at.checked_duration_since(self.epoch)
-            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
     }
 
     /// The link model in force.
     pub fn model(&self) -> LinkModel {
-        self.model
+        self.state.model
     }
 
     /// Number of localities.
     pub fn localities(&self) -> u32 {
-        self.ports.len() as u32
+        self.state.ports.len() as u32
     }
 
     /// The port of `locality`.
     ///
     /// # Panics
     /// Panics if `locality` is out of range.
-    pub fn port(self: &Arc<Self>, locality: u32) -> NetPort {
+    pub fn port(&self, locality: u32) -> SimPort {
         assert!(
-            (locality as usize) < self.ports.len(),
+            (locality as usize) < self.state.ports.len(),
             "locality {locality} out of range"
         );
-        NetPort {
-            fabric: Arc::clone(self),
-            shared: Arc::clone(&self.ports[locality as usize]),
+        SimPort {
+            state: Arc::clone(&self.state),
+            shared: Arc::clone(&self.state.ports[locality as usize]),
         }
     }
 }
 
-/// A locality's endpoint on the fabric.
+impl Transport for SimTransport {
+    fn localities(&self) -> u32 {
+        SimTransport::localities(self)
+    }
+
+    fn port(&self, locality: u32) -> Arc<dyn TransportPort> {
+        Arc::new(SimTransport::port(self, locality))
+    }
+}
+
+/// A locality's endpoint on the simulated fabric.
 #[derive(Clone)]
-pub struct NetPort {
-    fabric: Arc<Fabric>,
+pub struct SimPort {
+    state: Arc<FabricState>,
     shared: Arc<PortShared>,
 }
 
@@ -207,7 +246,7 @@ pub struct NetPort {
 /// the latency a single background poll can add to its worker.
 const PUMP_BATCH: usize = 8;
 
-impl NetPort {
+impl SimPort {
     /// This port's locality id.
     pub fn locality(&self) -> u32 {
         self.shared.locality
@@ -220,14 +259,14 @@ impl NetPort {
 
     /// Install the handler invoked (from pump threads) for every delivered
     /// message.
-    pub fn set_receiver(&self, handler: impl Fn(Message) + Send + Sync + 'static) {
-        *self.shared.receiver.write() = Some(Arc::new(handler));
+    pub fn set_receiver(&self, handler: ReceiveHandler) {
+        *self.shared.receiver.write() = Some(handler);
     }
 
     /// Install a wake-up hook called whenever traffic lands on this port's
     /// queues (the runtime points this at `Scheduler::notify`).
-    pub fn set_notify(&self, notify: impl Fn() + Send + Sync + 'static) {
-        *self.shared.notify.write() = Some(Arc::new(notify));
+    pub fn set_notify(&self, notify: NotifyFn) {
+        *self.shared.notify.write() = Some(notify);
     }
 
     /// Install (or clear) a failure-injection plan for this port's
@@ -247,7 +286,7 @@ impl NetPort {
     pub fn send(&self, message: Message) {
         assert_eq!(message.src, self.shared.locality, "src must be this port");
         assert!(
-            (message.dst as usize) < self.fabric.ports.len(),
+            (message.dst as usize) < self.state.ports.len(),
             "destination {} out of range",
             message.dst
         );
@@ -272,7 +311,7 @@ impl NetPort {
             did_work = true;
             // The modelled per-message + per-byte cost, paid in real CPU
             // time on this (background-work) thread.
-            busy_charge(self.fabric.model.send_cost(message.len()));
+            busy_charge(self.state.model.send_cost(message.len()));
             self.shared
                 .stats
                 .sent_messages
@@ -280,33 +319,38 @@ impl NetPort {
             self.shared
                 .stats
                 .sent_bytes
-                .fetch_add(message.len() as u64, Ordering::Relaxed);
+                .fetch_add(frame_len(message.len()) as u64, Ordering::Relaxed);
+            let dst = Arc::clone(&self.state.ports[message.dst as usize]);
             // Failure injection (tests): the cost is already paid, the
             // wire then loses or mangles the message.
             let fault = self.shared.faults.read().clone();
             let message = match fault.map(|plan| plan.decide()) {
                 Some(FaultAction::Drop) => continue,
-                Some(FaultAction::Corrupt) if !message.is_empty() => {
-                    let mut bytes = message.payload.to_vec();
-                    let mid = bytes.len() / 2;
-                    bytes[mid] ^= 0xA5;
-                    Message::new(
-                        message.src,
-                        message.dst,
-                        message.kind,
-                        bytes::Bytes::from(bytes),
-                    )
+                Some(FaultAction::Corrupt) => {
+                    // Route the corruption through the shared frame codec:
+                    // the flipped byte fails the destination's checksum,
+                    // exactly as it would on the TCP backend, so the frame
+                    // is counted as a receive-side decode failure and
+                    // dropped.
+                    let mut frame = encode_frame(&message);
+                    corrupt_frame(&mut frame);
+                    match decode_frame(&frame) {
+                        Ok((survivor, _)) => survivor,
+                        Err(_) => {
+                            dst.stats.decode_failures.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
                 }
                 _ => message,
             };
-            let dst = Arc::clone(&self.fabric.ports[message.dst as usize]);
             // Store-and-forward: a message is deliverable only after its
             // last byte has crossed the wire, so delivery lags by the
             // transfer time (and any rendezvous handshake) in addition to
             // propagation latency. This is the physical cost of lumping
             // many parcels into one large message — the first parcel in
             // the batch cannot execute until the whole batch has arrived.
-            let deliver_at = Instant::now() + self.fabric.model.delivery_delay(message.len());
+            let deliver_at = Instant::now() + self.state.model.delivery_delay(message.len());
             let seq = dst.seq.fetch_add(1, Ordering::Relaxed);
             {
                 let mut heap = dst.inflight.lock();
@@ -320,7 +364,7 @@ impl NetPort {
                 // the true earliest deadline.
                 let head = heap.peek().expect("just pushed").0.deliver_at;
                 dst.next_due
-                    .store(self.fabric.epoch_ns(head), Ordering::Release);
+                    .store(self.state.epoch_ns(head), Ordering::Release);
             }
             dst.notify();
         }
@@ -344,7 +388,7 @@ impl NetPort {
             // can only race with a concurrent pump that will (or already
             // did) deliver the message itself.
             let hint = self.shared.next_due.load(Ordering::Acquire);
-            if hint == NO_DEADLINE || hint > self.fabric.epoch_ns(Instant::now()) {
+            if hint == NO_DEADLINE || hint > self.state.epoch_ns(Instant::now()) {
                 break;
             }
             let (message, _guard) = {
@@ -356,7 +400,7 @@ impl NetPort {
                         let guard = ProcessingGuard::enter(&self.shared.processing);
                         let message = heap.pop().expect("peeked").0.message;
                         let next = heap.peek().map_or(NO_DEADLINE, |Reverse(head)| {
-                            self.fabric.epoch_ns(head.deliver_at)
+                            self.state.epoch_ns(head.deliver_at)
                         });
                         self.shared.next_due.store(next, Ordering::Release);
                         (message, guard)
@@ -365,7 +409,7 @@ impl NetPort {
                 }
             };
             did_work = true;
-            busy_charge(self.fabric.model.recv_cost());
+            busy_charge(self.state.model.recv_cost());
             self.shared
                 .stats
                 .received_messages
@@ -373,7 +417,7 @@ impl NetPort {
             self.shared
                 .stats
                 .received_bytes
-                .fetch_add(message.len() as u64, Ordering::Relaxed);
+                .fetch_add(frame_len(message.len()) as u64, Ordering::Relaxed);
             handler(message);
         }
         did_work
@@ -406,6 +450,42 @@ impl NetPort {
     }
 }
 
+impl TransportPort for SimPort {
+    fn locality(&self) -> u32 {
+        SimPort::locality(self)
+    }
+    fn stats(&self) -> &PortStats {
+        SimPort::stats(self)
+    }
+    fn send(&self, message: Message) {
+        SimPort::send(self, message)
+    }
+    fn pump_send(&self) -> bool {
+        SimPort::pump_send(self)
+    }
+    fn pump_recv(&self) -> bool {
+        SimPort::pump_recv(self)
+    }
+    fn set_receiver(&self, handler: ReceiveHandler) {
+        SimPort::set_receiver(self, handler)
+    }
+    fn set_notify(&self, notify: NotifyFn) {
+        SimPort::set_notify(self, notify)
+    }
+    fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        SimPort::set_fault_plan(self, plan)
+    }
+    fn outbound_backlog(&self) -> usize {
+        SimPort::outbound_backlog(self)
+    }
+    fn inflight_backlog(&self) -> usize {
+        SimPort::inflight_backlog(self)
+    }
+    fn processing(&self) -> usize {
+        SimPort::processing(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,7 +497,7 @@ mod tests {
         Message::new(src, dst, MessageKind::Parcel, Bytes::from_static(payload))
     }
 
-    fn pump_until<F: Fn() -> bool>(ports: &[NetPort], done: F, timeout: Duration) -> bool {
+    fn pump_until<F: Fn() -> bool>(ports: &[SimPort], done: F, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         while !done() {
             for p in ports {
@@ -437,7 +517,7 @@ mod tests {
         let b = fabric.port(1);
         let got = Arc::new(Mutex::new(Vec::new()));
         let g = Arc::clone(&got);
-        b.set_receiver(move |m| g.lock().push(m.payload.clone()));
+        b.set_receiver(Arc::new(move |m: Message| g.lock().push(m.payload.clone())));
         a.send(msg(0, 1, b"hello"));
         assert!(pump_until(
             &[a.clone(), b.clone()],
@@ -447,7 +527,15 @@ mod tests {
         assert_eq!(got.lock()[0].as_ref(), b"hello");
         assert_eq!(a.stats().sent_messages.load(Ordering::Relaxed), 1);
         assert_eq!(b.stats().received_messages.load(Ordering::Relaxed), 1);
-        assert_eq!(b.stats().received_bytes.load(Ordering::Relaxed), 5);
+        // Byte counters measure bytes on the wire: frame header + payload.
+        assert_eq!(
+            b.stats().received_bytes.load(Ordering::Relaxed),
+            frame_len(5) as u64
+        );
+        assert_eq!(
+            a.stats().sent_bytes.load(Ordering::Relaxed),
+            frame_len(5) as u64
+        );
     }
 
     #[test]
@@ -456,9 +544,9 @@ mod tests {
         let a = fabric.port(0);
         let hits = Arc::new(AtomicU64::new(0));
         let h = Arc::clone(&hits);
-        a.set_receiver(move |_| {
+        a.set_receiver(Arc::new(move |_| {
             h.fetch_add(1, Ordering::SeqCst);
-        });
+        }));
         a.send(msg(0, 0, b"self"));
         assert!(pump_until(
             std::slice::from_ref(&a),
@@ -478,9 +566,9 @@ mod tests {
         let b = fabric.port(1);
         let got = Arc::new(AtomicU64::new(0));
         let g = Arc::clone(&got);
-        b.set_receiver(move |_| {
+        b.set_receiver(Arc::new(move |_| {
             g.fetch_add(1, Ordering::SeqCst);
-        });
+        }));
         let t0 = Instant::now();
         a.send(msg(0, 1, b"x"));
         a.pump_send();
@@ -503,7 +591,7 @@ mod tests {
         };
         let fabric = Fabric::new(2, model);
         let a = fabric.port(0);
-        fabric.port(1).set_receiver(|_| {});
+        fabric.port(1).set_receiver(Arc::new(|_| {}));
         a.send(msg(0, 1, b"x"));
         let t0 = Instant::now();
         a.pump_send();
@@ -517,7 +605,7 @@ mod tests {
         let b = fabric.port(1);
         let got = Arc::new(Mutex::new(Vec::new()));
         let g = Arc::clone(&got);
-        b.set_receiver(move |m| g.lock().push(m.payload[0]));
+        b.set_receiver(Arc::new(move |m: Message| g.lock().push(m.payload[0])));
         for i in 0..50u8 {
             a.send(Message::new(
                 0,
@@ -542,14 +630,14 @@ mod tests {
         let b = fabric.port(1);
         let notified = Arc::new(AtomicU64::new(0));
         let n = Arc::clone(&notified);
-        a.set_notify(move || {
+        a.set_notify(Arc::new(move || {
             n.fetch_add(1, Ordering::SeqCst);
-        });
+        }));
         let n = Arc::clone(&notified);
-        b.set_notify(move || {
+        b.set_notify(Arc::new(move || {
             n.fetch_add(1, Ordering::SeqCst);
-        });
-        b.set_receiver(|_| {});
+        }));
+        b.set_receiver(Arc::new(|_| {}));
         a.send(msg(0, 1, b"x")); // notifies a (outbound)
         a.pump_send(); // notifies b (inflight)
         assert!(notified.load(Ordering::SeqCst) >= 2);
@@ -560,7 +648,7 @@ mod tests {
         let fabric = Fabric::new(2, LinkModel::zero());
         let a = fabric.port(0);
         let b = fabric.port(1);
-        b.set_receiver(|_| {});
+        b.set_receiver(Arc::new(|_| {}));
         a.send(msg(0, 1, b"1"));
         a.send(msg(0, 1, b"2"));
         assert_eq!(a.outbound_backlog(), 2);
@@ -582,11 +670,37 @@ mod tests {
         assert_eq!(b.inflight_backlog(), 1);
         let hits = Arc::new(AtomicU64::new(0));
         let h = Arc::clone(&hits);
-        b.set_receiver(move |_| {
+        b.set_receiver(Arc::new(move |_| {
             h.fetch_add(1, Ordering::SeqCst);
-        });
+        }));
         assert!(b.pump_recv());
         assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn corrupted_messages_fail_decode_and_are_dropped() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_receiver(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.set_fault_plan(Some(Arc::new(FaultPlan::corrupt_every(2))));
+        for _ in 0..10 {
+            a.send(msg(0, 1, b"payload"));
+        }
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || hits.load(Ordering::SeqCst) == 5,
+            Duration::from_secs(2)
+        ));
+        // Every corrupted frame failed the receive-side checksum.
+        assert_eq!(b.stats().decode_failures.load(Ordering::SeqCst), 5);
+        assert_eq!(b.stats().received_messages.load(Ordering::SeqCst), 5);
+        // Send-side costs were still paid for all ten.
+        assert_eq!(a.stats().sent_messages.load(Ordering::SeqCst), 10);
     }
 
     #[test]
@@ -596,9 +710,9 @@ mod tests {
         let b = fabric.port(1);
         let count = Arc::new(AtomicU64::new(0));
         let c = Arc::clone(&count);
-        b.set_receiver(move |_| {
+        b.set_receiver(Arc::new(move |_| {
             c.fetch_add(1, Ordering::SeqCst);
-        });
+        }));
         let n = 2000u64;
         for _ in 0..n {
             a.send(msg(0, 1, b"x"));

@@ -1,0 +1,251 @@
+//! The wire frame format shared by every transport backend.
+//!
+//! A [`Message`] travels as one length-prefixed frame:
+//!
+//! ```text
+//! [len: u32 LE][src: u32 LE][dst: u32 LE][kind: u8][crc: u32 LE][payload…]
+//! ```
+//!
+//! `len` counts every byte after the length field itself (so
+//! `len = 13 + payload.len()`), which is what a streaming reader needs to
+//! know how much to pull off a socket. `crc` is an FNV-1a checksum over
+//! `src`, `dst`, `kind` and the payload: a flipped bit anywhere in a frame
+//! is detected at decode time, counted as a decode failure and dropped —
+//! the uniform receive-side fault contract both [`crate::SimTransport`]
+//! and [`crate::TcpTransport`] honour.
+//!
+//! The simulated fabric moves `Message` structs directly (no copy on the
+//! hot path) but charges **frame** bytes to its byte counters and routes
+//! corruption through this codec, so `/network/*` statistics and fault
+//! behaviour are identical across backends.
+
+use bytes::Bytes;
+
+use crate::message::{Message, MessageKind};
+
+/// Bytes of frame overhead ahead of the payload:
+/// `len(4) + src(4) + dst(4) + kind(1) + crc(4)`.
+pub const FRAME_HEADER_LEN: usize = 17;
+
+/// Frame-body bytes ahead of the payload (everything the length prefix
+/// counts except the payload itself).
+const BODY_HEADER_LEN: usize = 13;
+
+/// Upper bound on a frame body; larger length prefixes are rejected as
+/// garbage before any allocation happens.
+pub const MAX_FRAME_BODY: usize = 256 * 1024 * 1024;
+
+/// Total bytes a message of `payload` payload bytes occupies on the wire.
+pub fn frame_len(payload: usize) -> usize {
+    FRAME_HEADER_LEN + payload
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the header (or the advertised body) requires.
+    Truncated,
+    /// The length prefix is below the minimum body size or above
+    /// [`MAX_FRAME_BODY`].
+    BadLength(u32),
+    /// The kind byte is not a known [`MessageKind`].
+    BadKind(u8),
+    /// The checksum did not match (bit rot / injected corruption).
+    Checksum,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadLength(l) => write!(f, "implausible frame length {l}"),
+            FrameError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            FrameError::Checksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// FNV-1a over the checksummed region (src, dst, kind, payload).
+fn checksum(src: u32, dst: u32, kind: u8, payload: &[u8]) -> u32 {
+    const OFFSET: u32 = 0x811c_9dc5;
+    const PRIME: u32 = 0x0100_0193;
+    let mut h = OFFSET;
+    let mut eat = |b: u8| {
+        h ^= b as u32;
+        h = h.wrapping_mul(PRIME);
+    };
+    for b in src.to_le_bytes() {
+        eat(b);
+    }
+    for b in dst.to_le_bytes() {
+        eat(b);
+    }
+    eat(kind);
+    for &b in payload {
+        eat(b);
+    }
+    h
+}
+
+/// Encode `message` into one self-delimiting frame.
+pub fn encode_frame(message: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(frame_len(message.len()));
+    let body_len = (BODY_HEADER_LEN + message.len()) as u32;
+    out.extend_from_slice(&body_len.to_le_bytes());
+    out.extend_from_slice(&message.src.to_le_bytes());
+    out.extend_from_slice(&message.dst.to_le_bytes());
+    out.push(message.kind as u8);
+    let crc = checksum(
+        message.src,
+        message.dst,
+        message.kind as u8,
+        &message.payload,
+    );
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&message.payload);
+    out
+}
+
+/// Decode a frame *body* (everything after the 4-byte length prefix).
+///
+/// Streaming readers pull the length prefix first, then hand the body
+/// here; [`decode_frame`] wraps both steps for contiguous buffers.
+pub fn decode_frame_body(body: &[u8]) -> Result<Message, FrameError> {
+    if body.len() < BODY_HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let src = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+    let dst = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+    let kind_byte = body[8];
+    let kind = MessageKind::try_from(kind_byte).map_err(FrameError::BadKind)?;
+    let crc = u32::from_le_bytes(body[9..13].try_into().expect("4 bytes"));
+    let payload = &body[BODY_HEADER_LEN..];
+    if crc != checksum(src, dst, kind_byte, payload) {
+        return Err(FrameError::Checksum);
+    }
+    Ok(Message::new(
+        src,
+        dst,
+        kind,
+        Bytes::copy_from_slice(payload),
+    ))
+}
+
+/// Validate a length prefix before allocating a body buffer for it.
+pub fn check_body_len(len: u32) -> Result<usize, FrameError> {
+    let len = len as usize;
+    if !(BODY_HEADER_LEN..=MAX_FRAME_BODY).contains(&len) {
+        return Err(FrameError::BadLength(len as u32));
+    }
+    Ok(len)
+}
+
+/// Decode one frame from the start of `buf`, returning the message and
+/// the number of bytes consumed.
+pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), FrameError> {
+    if buf.len() < 4 {
+        return Err(FrameError::Truncated);
+    }
+    let body_len = check_body_len(u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")))?;
+    let total = 4 + body_len;
+    if buf.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    let message = decode_frame_body(&buf[4..total])?;
+    Ok((message, total))
+}
+
+/// Flip one byte of an encoded frame so that decoding fails its checksum
+/// (fault injection). Payload frames get a mid-payload flip; empty
+/// payloads get a checksum flip — either way [`decode_frame`] returns
+/// [`FrameError::Checksum`].
+pub fn corrupt_frame(frame: &mut [u8]) {
+    debug_assert!(frame.len() >= FRAME_HEADER_LEN);
+    if frame.len() > FRAME_HEADER_LEN {
+        let payload_len = frame.len() - FRAME_HEADER_LEN;
+        frame[FRAME_HEADER_LEN + payload_len / 2] ^= 0xA5;
+    } else {
+        // crc field lives at bytes 13..17.
+        frame[13] ^= 0xA5;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(payload: &[u8]) -> Message {
+        Message::new(
+            3,
+            7,
+            MessageKind::Coalesced,
+            Bytes::copy_from_slice(payload),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let m = msg(b"hello frame");
+        let frame = encode_frame(&m);
+        assert_eq!(frame.len(), frame_len(m.len()));
+        let (d, consumed) = decode_frame(&frame).unwrap();
+        assert_eq!(consumed, frame.len());
+        assert_eq!(d.src, 3);
+        assert_eq!(d.dst, 7);
+        assert_eq!(d.kind, MessageKind::Coalesced);
+        assert_eq!(d.payload.as_ref(), b"hello frame");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let m = Message::new(0, 0, MessageKind::Control, Bytes::new());
+        let (d, consumed) = decode_frame(&encode_frame(&m)).unwrap();
+        assert_eq!(consumed, FRAME_HEADER_LEN);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let frame = encode_frame(&msg(b"0123456789"));
+        for cut in 0..frame.len() {
+            assert!(
+                decode_frame(&frame[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_fails_checksum() {
+        let mut frame = encode_frame(&msg(b"payload bytes"));
+        corrupt_frame(&mut frame);
+        assert!(matches!(decode_frame(&frame), Err(FrameError::Checksum)));
+
+        let mut empty = encode_frame(&Message::new(1, 2, MessageKind::Parcel, Bytes::new()));
+        corrupt_frame(&mut empty);
+        assert!(matches!(decode_frame(&empty), Err(FrameError::Checksum)));
+    }
+
+    #[test]
+    fn bad_kind_and_bad_length_are_rejected() {
+        let mut frame = encode_frame(&msg(b"x"));
+        frame[12] = 99; // kind byte
+        assert!(matches!(decode_frame(&frame), Err(FrameError::BadKind(99))));
+
+        let mut frame = encode_frame(&msg(b"x"));
+        frame[0..4].copy_from_slice(&(MAX_FRAME_BODY as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(FrameError::BadLength(_))
+        ));
+
+        // Length prefix smaller than the body header.
+        let small = 3u32.to_le_bytes();
+        assert!(matches!(
+            decode_frame(&small),
+            Err(FrameError::BadLength(3))
+        ));
+    }
+}

@@ -1,0 +1,752 @@
+//! The loopback-TCP transport: real kernel sockets between localities.
+//!
+//! Where [`crate::SimTransport`] *models* per-message software overhead
+//! with a [`crate::LinkModel`], this backend pays the genuine price: every
+//! message is a length-prefixed frame ([`crate::frame`]) written to a
+//! `127.0.0.1` TCP stream, so per-message syscall overhead, kernel
+//! buffering and Nagle-free small-write costs are all real. This is what
+//! lets the reproduction check that conclusions drawn on the simulated
+//! LogP fabric carry over to a transport with true per-message costs.
+//!
+//! ## Threading model
+//!
+//! * **`send`** enqueues onto an in-process outbound queue — never a
+//!   syscall on the caller.
+//! * **`pump_send`** (scheduler background work) drains the queue,
+//!   encodes frames, and drives *non-blocking* writes on one lazily
+//!   connected stream per destination; partially written frames are
+//!   buffered and finished by later pumps. All socket work is therefore
+//!   charged to the `/threads/background-work` account, exactly like the
+//!   simulated backend, keeping the paper's Eq. 4 network overhead
+//!   comparable across backends.
+//! * One **acceptor thread** per port accepts incoming connections and
+//!   spawns a **reader thread** per peer stream. Readers block in
+//!   `read_exact`, decode frames (checksum-validated; corrupt frames
+//!   increment [`PortStats::decode_failures`] and are dropped) and push
+//!   messages onto the inbound queue.
+//! * **`pump_recv`** (background work again) drains the inbound queue and
+//!   invokes the receive handler on the pumping thread — receive-side
+//!   handler work lands on scheduler threads, as in HPX.
+//!
+//! Quiescence accounting: a transport-wide per-destination `in_wire`
+//! gauge rises when a frame enters a write buffer and falls only *after*
+//! the decoded message is visible in the destination's inbound queue, so
+//! `inflight_backlog` never momentarily under-counts a frame that lives
+//! in kernel buffers.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::fabric::PortStats;
+use crate::fault::{FaultAction, FaultPlan};
+use crate::frame::{check_body_len, corrupt_frame, decode_frame_body, encode_frame, frame_len};
+use crate::message::Message;
+use crate::transport::{NotifyFn, ReceiveHandler, Transport, TransportPort};
+
+/// Messages one pump call processes before yielding (matches the
+/// simulated backend's batch bound).
+const PUMP_BATCH: usize = 8;
+
+/// Transport-wide state shared by every port and thread.
+struct Mesh {
+    /// Listener address of every locality, indexed by locality id.
+    addrs: Vec<SocketAddr>,
+    /// Frames somewhere between a sender's write buffer and the
+    /// destination's inbound queue, indexed by destination locality.
+    in_wire: Vec<AtomicU64>,
+    /// Set once at teardown; acceptors exit on the next (dummy) accept.
+    shutdown: AtomicBool,
+}
+
+/// One lazily established outgoing connection with its write buffer.
+struct OutConn {
+    stream: TcpStream,
+    /// Encoded frames not yet (fully) written, FIFO.
+    pending: VecDeque<Vec<u8>>,
+    /// Bytes of the front frame already written.
+    offset: usize,
+    /// A write error occurred; frames to this destination are discarded.
+    broken: bool,
+}
+
+struct TcpShared {
+    locality: u32,
+    mesh: Arc<Mesh>,
+    outbound_tx: Sender<Message>,
+    outbound_rx: Receiver<Message>,
+    inbound_tx: Sender<Message>,
+    inbound_rx: Receiver<Message>,
+    /// Per-destination outgoing connections; also serialises `pump_send`
+    /// (a pump that loses the `try_lock` race simply yields — another
+    /// thread is already writing).
+    conns: Mutex<Vec<Option<OutConn>>>,
+    receiver: RwLock<Option<ReceiveHandler>>,
+    notify: RwLock<Option<NotifyFn>>,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
+    stats: PortStats,
+    /// Messages mid-pump (same contract as the simulated backend).
+    processing: AtomicUsize,
+}
+
+impl TcpShared {
+    fn notify(&self) {
+        if let Some(n) = self.notify.read().as_ref() {
+            n();
+        }
+    }
+}
+
+/// Decrements the processing gauge on drop (panic-safe).
+struct ProcessingGuard<'a>(&'a AtomicUsize);
+
+impl<'a> ProcessingGuard<'a> {
+    fn enter(gauge: &'a AtomicUsize) -> Self {
+        gauge.fetch_add(1, Ordering::Acquire);
+        ProcessingGuard(gauge)
+    }
+}
+
+impl Drop for ProcessingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The loopback-TCP network connecting all localities of a cluster.
+pub struct TcpTransport {
+    ports: Vec<Arc<TcpShared>>,
+    mesh: Arc<Mesh>,
+    acceptors: Mutex<Vec<JoinHandle<()>>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpTransport {
+    /// Bind one loopback listener per locality and start the acceptor
+    /// threads.
+    ///
+    /// # Errors
+    /// Fails if a listener cannot be bound on `127.0.0.1`.
+    pub fn new(localities: u32) -> std::io::Result<Arc<Self>> {
+        assert!(localities > 0, "transport needs at least one locality");
+        let listeners: Vec<TcpListener> = (0..localities)
+            .map(|_| TcpListener::bind("127.0.0.1:0"))
+            .collect::<std::io::Result<_>>()?;
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr())
+            .collect::<std::io::Result<_>>()?;
+        let mesh = Arc::new(Mesh {
+            addrs,
+            in_wire: (0..localities).map(|_| AtomicU64::new(0)).collect(),
+            shutdown: AtomicBool::new(false),
+        });
+        let ports: Vec<Arc<TcpShared>> = (0..localities)
+            .map(|locality| {
+                let (outbound_tx, outbound_rx) = unbounded();
+                let (inbound_tx, inbound_rx) = unbounded();
+                Arc::new(TcpShared {
+                    locality,
+                    mesh: Arc::clone(&mesh),
+                    outbound_tx,
+                    outbound_rx,
+                    inbound_tx,
+                    inbound_rx,
+                    conns: Mutex::new((0..localities).map(|_| None).collect()),
+                    receiver: RwLock::new(None),
+                    notify: RwLock::new(None),
+                    faults: RwLock::new(None),
+                    stats: PortStats::default(),
+                    processing: AtomicUsize::new(0),
+                })
+            })
+            .collect();
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptors = ports
+            .iter()
+            .zip(listeners)
+            .map(|(shared, listener)| {
+                let shared = Arc::clone(shared);
+                let readers = Arc::clone(&readers);
+                std::thread::Builder::new()
+                    .name(format!("rpx-tcp-acc{}", shared.locality))
+                    .spawn(move || run_acceptor(listener, shared, readers))
+                    .expect("spawn acceptor thread")
+            })
+            .collect();
+        Ok(Arc::new(TcpTransport {
+            ports,
+            mesh,
+            acceptors: Mutex::new(acceptors),
+            readers,
+        }))
+    }
+
+    /// Number of localities.
+    pub fn localities(&self) -> u32 {
+        self.ports.len() as u32
+    }
+
+    /// The port of `locality`.
+    ///
+    /// # Panics
+    /// Panics if `locality` is out of range.
+    pub fn port(&self, locality: u32) -> TcpPort {
+        assert!(
+            (locality as usize) < self.ports.len(),
+            "locality {locality} out of range"
+        );
+        TcpPort {
+            shared: Arc::clone(&self.ports[locality as usize]),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn localities(&self) -> u32 {
+        TcpTransport::localities(self)
+    }
+
+    fn port(&self, locality: u32) -> Arc<dyn TransportPort> {
+        Arc::new(TcpTransport::port(self, locality))
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.mesh.shutdown.store(true, Ordering::Release);
+        // Drop every outgoing stream (readers at the far end see EOF and
+        // exit), unaccounting any frames that never made it to the wire.
+        for port in &self.ports {
+            let mut conns = port.conns.lock();
+            for (dst, slot) in conns.iter_mut().enumerate() {
+                if let Some(conn) = slot.take() {
+                    self.mesh.in_wire[dst].fetch_sub(conn.pending.len() as u64, Ordering::AcqRel);
+                }
+            }
+        }
+        // Unblock every acceptor with a throwaway connection; it observes
+        // the shutdown flag and exits without spawning a reader.
+        for addr in &self.mesh.addrs {
+            let _ = TcpStream::connect(addr);
+        }
+        for h in self.acceptors.lock().drain(..) {
+            let _ = h.join();
+        }
+        // All acceptors are gone, so the reader set is final.
+        let readers: Vec<_> = self.readers.lock().drain(..).collect();
+        for h in readers {
+            let _ = h.join();
+        }
+    }
+}
+
+fn run_acceptor(
+    listener: TcpListener,
+    shared: Arc<TcpShared>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.mesh.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let shared = Arc::clone(&shared);
+                let name = format!("rpx-tcp-rd{}", shared.locality);
+                let handle = std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || run_reader(stream, shared))
+                    .expect("spawn reader thread");
+                readers.lock().push(handle);
+            }
+            Err(_) => {
+                if shared.mesh.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Read length-prefixed frames off one peer stream until EOF/error.
+fn run_reader(mut stream: TcpStream, shared: Arc<TcpShared>) {
+    let _ = stream.set_nodelay(true);
+    let mut len_buf = [0u8; 4];
+    loop {
+        if stream.read_exact(&mut len_buf).is_err() {
+            break;
+        }
+        let Ok(body_len) = check_body_len(u32::from_le_bytes(len_buf)) else {
+            // The stream is desynchronised beyond recovery: count one
+            // failure and abandon the connection.
+            shared.stats.decode_failures.fetch_add(1, Ordering::Relaxed);
+            shared.mesh.in_wire[shared.locality as usize].fetch_sub(1, Ordering::AcqRel);
+            break;
+        };
+        let mut body = vec![0u8; body_len];
+        if stream.read_exact(&mut body).is_err() {
+            break;
+        }
+        match decode_frame_body(&body) {
+            Ok(message) => {
+                // Publish to the inbound queue *before* dropping the
+                // in-wire gauge so quiescence checks never miss the frame.
+                let _ = shared.inbound_tx.send(message);
+                shared.notify();
+            }
+            Err(_) => {
+                shared.stats.decode_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shared.mesh.in_wire[shared.locality as usize].fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Flush as much of `conn`'s write buffer as the socket accepts without
+/// blocking. Returns `true` if any bytes were written.
+fn flush_conn(mesh: &Mesh, dst: usize, conn: &mut OutConn) -> bool {
+    if conn.broken {
+        return false;
+    }
+    let mut wrote = false;
+    while let Some(front) = conn.pending.front() {
+        match conn.stream.write(&front[conn.offset..]) {
+            Ok(0) => {
+                break_conn(mesh, dst, conn);
+                break;
+            }
+            Ok(n) => {
+                wrote = true;
+                conn.offset += n;
+                if conn.offset == front.len() {
+                    conn.pending.pop_front();
+                    conn.offset = 0;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                break_conn(mesh, dst, conn);
+                break;
+            }
+        }
+    }
+    wrote
+}
+
+/// Mark a connection broken and unaccount its never-delivered frames so
+/// quiescence checks do not wait for them forever.
+fn break_conn(mesh: &Mesh, dst: usize, conn: &mut OutConn) {
+    mesh.in_wire[dst].fetch_sub(conn.pending.len() as u64, Ordering::AcqRel);
+    conn.pending.clear();
+    conn.offset = 0;
+    conn.broken = true;
+}
+
+/// A locality's endpoint on the loopback-TCP transport.
+#[derive(Clone)]
+pub struct TcpPort {
+    shared: Arc<TcpShared>,
+}
+
+impl TcpPort {
+    /// This port's locality id.
+    pub fn locality(&self) -> u32 {
+        self.shared.locality
+    }
+
+    /// Traffic statistics (byte counters are frame bytes on the wire).
+    pub fn stats(&self) -> &PortStats {
+        &self.shared.stats
+    }
+
+    /// Install the handler invoked (from pump threads) for every
+    /// delivered message.
+    pub fn set_receiver(&self, handler: ReceiveHandler) {
+        *self.shared.receiver.write() = Some(handler);
+    }
+
+    /// Install a wake-up hook called whenever traffic lands on this
+    /// port's queues.
+    pub fn set_notify(&self, notify: NotifyFn) {
+        *self.shared.notify.write() = Some(notify);
+    }
+
+    /// Install (or clear) a failure-injection plan for this port's
+    /// outbound messages.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.shared.faults.write() = plan;
+    }
+
+    /// Enqueue a message for transmission. Cheap and syscall-free; the
+    /// socket work happens in [`TcpPort::pump_send`].
+    ///
+    /// # Panics
+    /// Panics if `message.dst` is out of range or `message.src` does not
+    /// match this port.
+    pub fn send(&self, message: Message) {
+        assert_eq!(message.src, self.shared.locality, "src must be this port");
+        assert!(
+            (message.dst as usize) < self.shared.mesh.addrs.len(),
+            "destination {} out of range",
+            message.dst
+        );
+        self.shared.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .outbound_tx
+            .send(message)
+            .expect("outbound channel lives as long as the transport");
+        self.shared.notify();
+    }
+
+    /// Pump outbound messages: encode queued messages into frames, stage
+    /// them on per-destination write buffers and drive non-blocking
+    /// writes. Returns `true` if any work was done.
+    pub fn pump_send(&self) -> bool {
+        let shared = &self.shared;
+        // Another thread already pumping this port's sockets? Yield.
+        let Some(mut conns) = shared.conns.try_lock() else {
+            return false;
+        };
+        let mut did_work = false;
+        for _ in 0..PUMP_BATCH {
+            let Ok(message) = shared.outbound_rx.try_recv() else {
+                break;
+            };
+            let _guard = ProcessingGuard::enter(&shared.processing);
+            did_work = true;
+            shared.stats.sent_messages.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .sent_bytes
+                .fetch_add(frame_len(message.len()) as u64, Ordering::Relaxed);
+            // Failure injection, mirroring the simulated backend: the
+            // send cost is paid, then the wire loses or mangles the frame.
+            let fault = shared.faults.read().clone();
+            let frame = match fault.map(|plan| plan.decide()) {
+                Some(FaultAction::Drop) => continue,
+                Some(FaultAction::Corrupt) => {
+                    let mut frame = encode_frame(&message);
+                    corrupt_frame(&mut frame);
+                    frame
+                }
+                _ => encode_frame(&message),
+            };
+            let dst = message.dst as usize;
+            let Some(conn) = ensure_conn(shared, &mut conns, dst) else {
+                continue;
+            };
+            if conn.broken {
+                continue;
+            }
+            shared.mesh.in_wire[dst].fetch_add(1, Ordering::AcqRel);
+            conn.pending.push_back(frame);
+        }
+        // Flush every connection with buffered bytes (including leftovers
+        // from earlier pumps that hit WouldBlock).
+        for (dst, slot) in conns.iter_mut().enumerate() {
+            if let Some(conn) = slot {
+                if !conn.pending.is_empty() {
+                    did_work |= flush_conn(&shared.mesh, dst, conn);
+                }
+            }
+        }
+        did_work
+    }
+
+    /// Deliver received messages to the handler on the calling thread.
+    /// Returns `true` if any message was delivered.
+    pub fn pump_recv(&self) -> bool {
+        let handler = self.shared.receiver.read().clone();
+        let Some(handler) = handler else {
+            return false;
+        };
+        let mut did_work = false;
+        for _ in 0..PUMP_BATCH {
+            let Ok(message) = self.shared.inbound_rx.try_recv() else {
+                break;
+            };
+            let _guard = ProcessingGuard::enter(&self.shared.processing);
+            did_work = true;
+            self.shared
+                .stats
+                .received_messages
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .stats
+                .received_bytes
+                .fetch_add(frame_len(message.len()) as u64, Ordering::Relaxed);
+            handler(message);
+        }
+        did_work
+    }
+
+    /// Convenience: one full pump pass (send then receive).
+    pub fn pump(&self) -> bool {
+        let s = self.pump_send();
+        let r = self.pump_recv();
+        s || r
+    }
+
+    /// Messages queued but not yet staged on a socket.
+    pub fn outbound_backlog(&self) -> usize {
+        self.shared.outbound_rx.len()
+    }
+
+    /// Frames on the wire towards this port (write buffers + kernel +
+    /// reader) plus decoded messages awaiting `pump_recv`.
+    pub fn inflight_backlog(&self) -> usize {
+        self.shared.mesh.in_wire[self.shared.locality as usize].load(Ordering::Acquire) as usize
+            + self.shared.inbound_rx.len()
+    }
+
+    /// Messages currently mid-pump on this port.
+    pub fn processing(&self) -> usize {
+        self.shared.processing.load(Ordering::Acquire)
+    }
+}
+
+/// Get (or lazily establish) the outgoing connection to `dst`.
+fn ensure_conn<'a>(
+    shared: &TcpShared,
+    conns: &'a mut [Option<OutConn>],
+    dst: usize,
+) -> Option<&'a mut OutConn> {
+    if conns[dst].is_none() {
+        let stream = TcpStream::connect(shared.mesh.addrs[dst]).ok()?;
+        let _ = stream.set_nodelay(true);
+        stream.set_nonblocking(true).ok()?;
+        conns[dst] = Some(OutConn {
+            stream,
+            pending: VecDeque::new(),
+            offset: 0,
+            broken: false,
+        });
+    }
+    conns[dst].as_mut()
+}
+
+impl TransportPort for TcpPort {
+    fn locality(&self) -> u32 {
+        TcpPort::locality(self)
+    }
+    fn stats(&self) -> &PortStats {
+        TcpPort::stats(self)
+    }
+    fn send(&self, message: Message) {
+        TcpPort::send(self, message)
+    }
+    fn pump_send(&self) -> bool {
+        TcpPort::pump_send(self)
+    }
+    fn pump_recv(&self) -> bool {
+        TcpPort::pump_recv(self)
+    }
+    fn set_receiver(&self, handler: ReceiveHandler) {
+        TcpPort::set_receiver(self, handler)
+    }
+    fn set_notify(&self, notify: NotifyFn) {
+        TcpPort::set_notify(self, notify)
+    }
+    fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        TcpPort::set_fault_plan(self, plan)
+    }
+    fn outbound_backlog(&self) -> usize {
+        TcpPort::outbound_backlog(self)
+    }
+    fn inflight_backlog(&self) -> usize {
+        TcpPort::inflight_backlog(self)
+    }
+    fn processing(&self) -> usize {
+        TcpPort::processing(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageKind;
+    use bytes::Bytes;
+    use std::time::{Duration, Instant};
+
+    fn msg(src: u32, dst: u32, payload: &[u8]) -> Message {
+        Message::new(
+            src,
+            dst,
+            MessageKind::Parcel,
+            Bytes::copy_from_slice(payload),
+        )
+    }
+
+    fn pump_until<F: Fn() -> bool>(ports: &[TcpPort], done: F, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !done() {
+            for p in ports {
+                p.pump();
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+        true
+    }
+
+    #[test]
+    fn message_travels_over_real_sockets() {
+        let transport = TcpTransport::new(2).expect("bind loopback");
+        let a = transport.port(0);
+        let b = transport.port(1);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        b.set_receiver(Arc::new(move |m: Message| g.lock().push(m.payload.clone())));
+        a.send(msg(0, 1, b"over tcp"));
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || !got.lock().is_empty(),
+            Duration::from_secs(30)
+        ));
+        assert_eq!(got.lock()[0].as_ref(), b"over tcp");
+        assert_eq!(
+            a.stats().sent_bytes.load(Ordering::Relaxed),
+            frame_len(8) as u64
+        );
+        assert_eq!(
+            b.stats().received_bytes.load(Ordering::Relaxed),
+            frame_len(8) as u64
+        );
+    }
+
+    #[test]
+    fn fifo_order_preserved_per_link() {
+        let transport = TcpTransport::new(2).expect("bind loopback");
+        let a = transport.port(0);
+        let b = transport.port(1);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        b.set_receiver(Arc::new(move |m: Message| g.lock().push(m.payload[0])));
+        for i in 0..50u8 {
+            a.send(msg(0, 1, &[i]));
+        }
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || got.lock().len() == 50,
+            Duration::from_secs(30)
+        ));
+        assert_eq!(*got.lock(), (0..50).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn large_payload_crosses_kernel_buffers() {
+        // Larger than a default loopback socket buffer: forces the
+        // WouldBlock path and multi-pump partial writes.
+        let transport = TcpTransport::new(2).expect("bind loopback");
+        let a = transport.port(0);
+        let b = transport.port(1);
+        let payload: Vec<u8> = (0..3 * 1024 * 1024u32).map(|i| i as u8).collect();
+        let expect = payload.clone();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        b.set_receiver(Arc::new(move |m: Message| g.lock().push(m.payload.clone())));
+        a.send(msg(0, 1, &payload));
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || !got.lock().is_empty(),
+            Duration::from_secs(60)
+        ));
+        assert_eq!(got.lock()[0].as_ref(), &expect[..]);
+    }
+
+    #[test]
+    fn corrupt_fault_counts_decode_failure() {
+        let transport = TcpTransport::new(2).expect("bind loopback");
+        let a = transport.port(0);
+        let b = transport.port(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_receiver(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.set_fault_plan(Some(Arc::new(FaultPlan::corrupt_every(2))));
+        for _ in 0..10 {
+            a.send(msg(0, 1, b"abcdef"));
+        }
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || hits.load(Ordering::SeqCst) == 5
+                && b.stats().decode_failures.load(Ordering::SeqCst) == 5,
+            Duration::from_secs(30)
+        ));
+    }
+
+    #[test]
+    fn drop_fault_loses_the_message() {
+        let transport = TcpTransport::new(2).expect("bind loopback");
+        let a = transport.port(0);
+        let b = transport.port(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_receiver(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.set_fault_plan(Some(Arc::new(FaultPlan::drop_every(2))));
+        for _ in 0..10 {
+            a.send(msg(0, 1, b"x"));
+        }
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || hits.load(Ordering::SeqCst) == 5,
+            Duration::from_secs(30)
+        ));
+        // Give stragglers a chance, then confirm nothing else arrives.
+        std::thread::sleep(Duration::from_millis(50));
+        for p in [&a, &b] {
+            p.pump();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn send_to_self_is_allowed() {
+        let transport = TcpTransport::new(1).expect("bind loopback");
+        let a = transport.port(0);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        a.set_receiver(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.send(msg(0, 0, b"self"));
+        assert!(pump_until(
+            std::slice::from_ref(&a),
+            || hits.load(Ordering::SeqCst) == 1,
+            Duration::from_secs(30)
+        ));
+    }
+
+    #[test]
+    fn teardown_joins_all_threads_quickly() {
+        let t0 = Instant::now();
+        {
+            let transport = TcpTransport::new(4).expect("bind loopback");
+            let a = transport.port(0);
+            transport.port(1).set_receiver(Arc::new(|_| {}));
+            a.send(msg(0, 1, b"x"));
+            a.pump_send();
+        }
+        assert!(t0.elapsed() < Duration::from_secs(10), "teardown hung");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_destination_panics() {
+        let transport = TcpTransport::new(2).expect("bind loopback");
+        transport.port(0).send(msg(0, 7, b"x"));
+    }
+}

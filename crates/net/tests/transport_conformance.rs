@@ -1,0 +1,358 @@
+//! Transport conformance suite: property tests for the wire frame codec
+//! plus a behavioural harness run against **both** backends
+//! ([`SimTransport`] and [`TcpTransport`]), including the fault-injection
+//! (drop + corrupt) paths. Anything that claims to implement
+//! [`rpx_net::TransportPort`] must pass these unchanged.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use rpx_net::{
+    decode_frame, encode_frame, frame_len, FaultPlan, FrameError, LinkModel, Message, MessageKind,
+    TransportKind, TransportPort, FRAME_HEADER_LEN,
+};
+
+/// Deterministic pseudo-random payload of `len` bytes (cheap to build
+/// even for the >64 KiB cases, unlike a per-byte strategy).
+fn payload(len: usize, seed: u8) -> Bytes {
+    Bytes::from(
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect::<Vec<u8>>(),
+    )
+}
+
+fn kinds() -> impl Strategy<Value = MessageKind> {
+    (0u8..3).prop_map(|k| match k {
+        0 => MessageKind::Parcel,
+        1 => MessageKind::Coalesced,
+        _ => MessageKind::Control,
+    })
+}
+
+/// Payload lengths spanning the interesting regimes: empty, tiny,
+/// mid-sized, and >64 KiB (the rendezvous regime).
+fn payload_len() -> impl Strategy<Value = usize> {
+    (0u8..4, any::<u64>()).prop_map(|(regime, v)| match regime {
+        0 => 0,
+        1 => 1 + (v % 255) as usize,
+        2 => 1_000 + (v % 4_000) as usize,
+        _ => 65_537 + (v % 24_463) as usize,
+    })
+}
+
+/// Small payload lengths (including empty) for the rejection properties.
+fn small_len() -> impl Strategy<Value = usize> {
+    (0u8..2, any::<u64>()).prop_map(|(regime, v)| match regime {
+        0 => 0,
+        _ => 1 + (v % 511) as usize,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity for arbitrary messages, including
+    /// zero-length and >64 KiB payloads.
+    #[test]
+    fn frame_roundtrip(
+        src in 0u32..64,
+        dst in 0u32..64,
+        kind in kinds(),
+        len in payload_len(),
+        seed in any::<u8>(),
+    ) {
+        let message = Message::new(src, dst, kind, payload(len, seed));
+        let frame = encode_frame(&message);
+        prop_assert_eq!(frame.len(), frame_len(len));
+        let (decoded, consumed) = decode_frame(&frame).expect("roundtrip");
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(decoded.src, src);
+        prop_assert_eq!(decoded.dst, dst);
+        prop_assert_eq!(decoded.kind, kind);
+        prop_assert_eq!(decoded.payload.as_ref(), message.payload.as_ref());
+    }
+
+    /// Every proper prefix of a valid frame is rejected, never panics.
+    #[test]
+    fn truncated_frames_are_rejected(
+        len in small_len(),
+        seed in any::<u8>(),
+        cut_sel in 0u32..10_000,
+    ) {
+        let message = Message::new(1, 2, MessageKind::Parcel, payload(len, seed));
+        let frame = encode_frame(&message);
+        let cut = (frame.len() * cut_sel as usize) / 10_000;
+        prop_assert!(cut < frame.len());
+        prop_assert!(decode_frame(&frame[..cut]).is_err());
+    }
+
+    /// Flipping any bit of the checksummed region (everything after the
+    /// length prefix) makes the frame undecodable — corruption cannot
+    /// smuggle a wrong message through.
+    #[test]
+    fn garbled_frames_are_rejected(
+        len in small_len(),
+        seed in any::<u8>(),
+        pos_sel in 0u32..10_000,
+        bit in 0u8..8,
+    ) {
+        let message = Message::new(3, 4, MessageKind::Coalesced, payload(len, seed));
+        let mut frame = encode_frame(&message);
+        // Skip the 4-byte length prefix: garbling the length is a framing
+        // error with stream-specific recovery, not a codec property.
+        let span = frame.len() - 4;
+        let pos = (4 + (span * pos_sel as usize) / 10_000).min(frame.len() - 1);
+        frame[pos] ^= 1 << bit;
+        prop_assert!(decode_frame(&frame).is_err());
+    }
+
+    /// Arbitrary byte soup never decodes to success with a wrong length
+    /// and never panics.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        match decode_frame(&bytes) {
+            Ok((_, consumed)) => prop_assert!(consumed >= FRAME_HEADER_LEN),
+            Err(FrameError::Truncated | FrameError::BadLength(_)
+                | FrameError::BadKind(_) | FrameError::Checksum) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Behavioural conformance harness, run against both backends.
+// ---------------------------------------------------------------------
+
+/// The two backends under test. Sim uses a zero-cost link so conformance
+/// runs are fast; cost charging is covered by the fabric's own tests.
+fn backends() -> Vec<(&'static str, TransportKind)> {
+    vec![
+        ("sim", TransportKind::Sim(LinkModel::zero())),
+        ("tcp", TransportKind::TcpLoopback),
+    ]
+}
+
+fn pump_all(ports: &[Arc<dyn TransportPort>]) {
+    for p in ports {
+        p.pump();
+    }
+}
+
+fn pump_until(ports: &[Arc<dyn TransportPort>], done: impl Fn() -> bool, secs: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while !done() {
+        pump_all(ports);
+        if Instant::now() > deadline {
+            return false;
+        }
+        std::thread::yield_now();
+    }
+    true
+}
+
+/// Faithful delivery: every sent message arrives exactly once, in FIFO
+/// order per link, with frame bytes accounted on both sides.
+fn check_delivery(name: &str, kind: TransportKind) {
+    let transport = kind.build(2).expect("build transport");
+    let src = transport.port(0);
+    let dst = transport.port(1);
+    let got: Arc<Mutex<Vec<Bytes>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&got);
+    dst.set_receiver(Arc::new(move |m: Message| sink.lock().push(m.payload)));
+
+    let payloads: Vec<Bytes> = (0..40).map(|i| payload(i * 7 % 200, i as u8)).collect();
+    let mut wire_bytes = 0u64;
+    for p in &payloads {
+        wire_bytes += frame_len(p.len()) as u64;
+        src.send(Message::new(0, 1, MessageKind::Parcel, p.clone()));
+    }
+    assert!(
+        pump_until(
+            &[Arc::clone(&src), Arc::clone(&dst)],
+            || got.lock().len() == payloads.len(),
+            30
+        ),
+        "[{name}] delivery incomplete: {}/{}",
+        got.lock().len(),
+        payloads.len()
+    );
+    assert_eq!(&*got.lock(), &payloads, "[{name}] FIFO order violated");
+    assert_eq!(
+        src.stats().sent_messages.load(Ordering::Relaxed),
+        payloads.len() as u64,
+        "[{name}]"
+    );
+    assert_eq!(
+        src.stats().sent_bytes.load(Ordering::Relaxed),
+        wire_bytes,
+        "[{name}] sent bytes must be frame bytes"
+    );
+    assert_eq!(
+        dst.stats().received_bytes.load(Ordering::Relaxed),
+        wire_bytes,
+        "[{name}] received bytes must be frame bytes"
+    );
+    assert_eq!(
+        dst.stats().decode_failures.load(Ordering::Relaxed),
+        0,
+        "[{name}]"
+    );
+}
+
+/// Drop faults: every n-th message vanishes, the rest arrive; nothing
+/// hangs and the backlog drains to zero (quiescence stays sound).
+fn check_drop_faults(name: &str, kind: TransportKind) {
+    let transport = kind.build(2).expect("build transport");
+    let src = transport.port(0);
+    let dst = transport.port(1);
+    let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sink = Arc::clone(&got);
+    dst.set_receiver(Arc::new(move |_| {
+        sink.fetch_add(1, Ordering::SeqCst);
+    }));
+    let plan = Arc::new(FaultPlan::drop_every(3));
+    src.set_fault_plan(Some(Arc::clone(&plan)));
+    for i in 0..30u32 {
+        src.send(Message::new(
+            0,
+            1,
+            MessageKind::Parcel,
+            payload(16, i as u8),
+        ));
+    }
+    let expect = 30 - 30 / 3;
+    assert!(
+        pump_until(
+            &[Arc::clone(&src), Arc::clone(&dst)],
+            || got.load(Ordering::SeqCst) == expect,
+            30
+        ),
+        "[{name}] expected {expect}, got {}",
+        got.load(Ordering::SeqCst)
+    );
+    assert_eq!(plan.dropped(), 30 / 3, "[{name}]");
+    assert!(
+        pump_until(
+            &[Arc::clone(&src), Arc::clone(&dst)],
+            || src.outbound_backlog() == 0 && dst.inflight_backlog() == 0,
+            30
+        ),
+        "[{name}] backlog failed to drain"
+    );
+}
+
+/// Corrupt faults: every n-th frame fails its checksum at the receiver,
+/// increments `decode_failures` and is dropped — on both backends.
+fn check_corrupt_faults(name: &str, kind: TransportKind) {
+    let transport = kind.build(2).expect("build transport");
+    let src = transport.port(0);
+    let dst = transport.port(1);
+    let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sink = Arc::clone(&got);
+    dst.set_receiver(Arc::new(move |_| {
+        sink.fetch_add(1, Ordering::SeqCst);
+    }));
+    let plan = Arc::new(FaultPlan::corrupt_every(4));
+    src.set_fault_plan(Some(Arc::clone(&plan)));
+    for i in 0..40u32 {
+        src.send(Message::new(
+            0,
+            1,
+            MessageKind::Parcel,
+            payload(32, i as u8),
+        ));
+    }
+    let expect = 40 - 40 / 4;
+    assert!(
+        pump_until(
+            &[Arc::clone(&src), Arc::clone(&dst)],
+            || got.load(Ordering::SeqCst) == expect
+                && dst.stats().decode_failures.load(Ordering::SeqCst) == 40 / 4,
+            30
+        ),
+        "[{name}] delivered {}, decode failures {}",
+        got.load(Ordering::SeqCst),
+        dst.stats().decode_failures.load(Ordering::SeqCst)
+    );
+    assert_eq!(plan.corrupted(), 40 / 4, "[{name}]");
+}
+
+/// All-to-all traffic on four localities: no cross-talk, no loss.
+fn check_all_to_all(name: &str, kind: TransportKind) {
+    const N: u32 = 4;
+    const PER_PAIR: u64 = 10;
+    let transport = kind.build(N).expect("build transport");
+    let ports: Vec<Arc<dyn TransportPort>> = (0..N).map(|i| transport.port(i)).collect();
+    let received: Vec<Arc<std::sync::atomic::AtomicU64>> = (0..N)
+        .map(|_| Arc::new(std::sync::atomic::AtomicU64::new(0)))
+        .collect();
+    for (i, port) in ports.iter().enumerate() {
+        let counter = Arc::clone(&received[i]);
+        let me = i as u32;
+        port.set_receiver(Arc::new(move |m: Message| {
+            assert_eq!(m.dst, me, "misrouted message");
+            counter.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    for src in 0..N {
+        for dst in 0..N {
+            if src == dst {
+                continue;
+            }
+            for k in 0..PER_PAIR {
+                ports[src as usize].send(Message::new(
+                    src,
+                    dst,
+                    MessageKind::Parcel,
+                    payload(8, k as u8),
+                ));
+            }
+        }
+    }
+    let expect = PER_PAIR * (N as u64 - 1);
+    assert!(
+        pump_until(
+            &ports,
+            || received.iter().all(|r| r.load(Ordering::SeqCst) == expect),
+            30
+        ),
+        "[{name}] all-to-all incomplete: {:?}",
+        received
+            .iter()
+            .map(|r| r.load(Ordering::SeqCst))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn conformance_delivery_both_backends() {
+    for (name, kind) in backends() {
+        check_delivery(name, kind);
+    }
+}
+
+#[test]
+fn conformance_drop_faults_both_backends() {
+    for (name, kind) in backends() {
+        check_drop_faults(name, kind);
+    }
+}
+
+#[test]
+fn conformance_corrupt_faults_both_backends() {
+    for (name, kind) in backends() {
+        check_corrupt_faults(name, kind);
+    }
+}
+
+#[test]
+fn conformance_all_to_all_both_backends() {
+    for (name, kind) in backends() {
+        check_all_to_all(name, kind);
+    }
+}

@@ -35,4 +35,6 @@ pub use action::{ActionId, ActionRegistry, RawHandler};
 pub use batch::{BufferPool, ParcelBatch};
 pub use egress::EgressQueue;
 pub use parcel::Parcel;
-pub use port::{ParcelInterceptor, ParcelPort, ParcelPortStats, SendPath, TaskSpawner};
+pub use port::{
+    ParcelInterceptor, ParcelPort, ParcelPortConfig, ParcelPortStats, SendPath, TaskSpawner,
+};

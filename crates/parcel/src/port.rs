@@ -33,7 +33,7 @@ use std::sync::{Arc, Weak};
 use bytes::Bytes;
 
 use rpx_agas::Gid;
-use rpx_net::{Message, MessageKind, NetPort};
+use rpx_net::{Message, MessageKind, TransportPort};
 use rpx_serialize::{ArchiveReader, ArchiveWriter, WireError};
 use rpx_util::sync::{ArcCell, BitTable, SlotTable};
 use rpx_util::IdAllocator;
@@ -85,10 +85,28 @@ pub struct ParcelPortStats {
 /// Sentinel for "no continuation action installed".
 const NO_ACTION: u32 = u32::MAX;
 
+/// Tunables of a [`ParcelPort`], plumbed down from the cluster builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParcelPortConfig {
+    /// Egress entries encoded per pump sweep (bounds per-poll latency of
+    /// the background thread; the paper's HPX analogue drains its parcel
+    /// queues in similarly bounded chunks).
+    pub egress_drain_budget: usize,
+}
+
+impl Default for ParcelPortConfig {
+    fn default() -> Self {
+        ParcelPortConfig {
+            egress_drain_budget: 8,
+        }
+    }
+}
+
 struct Inner {
     locality: u32,
     actions: Arc<ActionRegistry>,
-    net: NetPort,
+    net: Arc<dyn TransportPort>,
+    config: ParcelPortConfig,
     /// Per-action send hooks, indexed by `ActionId` — lock-free reads on
     /// every `send_parcel`.
     interceptors: SlotTable<dyn ParcelInterceptor>,
@@ -121,18 +139,34 @@ pub struct ParcelPort {
     inner: Arc<Inner>,
 }
 
-/// Egress entries encoded per pump call (bounds per-poll latency).
-const PUMP_BATCH: usize = 8;
-
 impl ParcelPort {
-    /// Create a port for `locality` on `net`, dispatching into `actions`.
+    /// Create a port for `locality` on `net` with default tunables.
     ///
-    /// The returned port is installed as the fabric receive handler.
-    pub fn new(locality: u32, net: NetPort, actions: Arc<ActionRegistry>) -> Arc<Self> {
+    /// The returned port is installed as the transport receive handler.
+    pub fn new(
+        locality: u32,
+        net: Arc<dyn TransportPort>,
+        actions: Arc<ActionRegistry>,
+    ) -> Arc<Self> {
+        Self::with_config(locality, net, actions, ParcelPortConfig::default())
+    }
+
+    /// Create a port with explicit [`ParcelPortConfig`] tunables.
+    pub fn with_config(
+        locality: u32,
+        net: Arc<dyn TransportPort>,
+        actions: Arc<ActionRegistry>,
+        config: ParcelPortConfig,
+    ) -> Arc<Self> {
+        assert!(
+            config.egress_drain_budget > 0,
+            "egress_drain_budget must be at least 1"
+        );
         let inner = Arc::new(Inner {
             locality,
             actions,
             net,
+            config,
             interceptors: SlotTable::new(),
             direct_actions: BitTable::new(),
             egress: EgressQueue::new(),
@@ -144,11 +178,11 @@ impl ParcelPort {
             processing: AtomicUsize::new(0),
         });
         let weak = Arc::downgrade(&inner);
-        inner.net.set_receiver(move |message| {
+        inner.net.set_receiver(Arc::new(move |message| {
             if let Some(inner) = weak.upgrade() {
                 receive_message(&inner, message);
             }
-        });
+        }));
         Arc::new(ParcelPort { inner })
     }
 
@@ -162,9 +196,14 @@ impl ParcelPort {
         &self.inner.stats
     }
 
-    /// The underlying network port.
-    pub fn net(&self) -> &NetPort {
+    /// The underlying transport port.
+    pub fn net(&self) -> &Arc<dyn TransportPort> {
         &self.inner.net
+    }
+
+    /// This port's tunables.
+    pub fn config(&self) -> &ParcelPortConfig {
+        &self.inner.config
     }
 
     /// The shared action registry.
@@ -253,7 +292,8 @@ impl ParcelPort {
             // Raise the in-flight gauge before taking entries out of the
             // queue (see `Inner::processing` ordering notes).
             self.inner.processing.fetch_add(1, Ordering::Acquire);
-            let taken = self.inner.egress.drain_into(&mut drain, PUMP_BATCH);
+            let budget = self.inner.config.egress_drain_budget;
+            let taken = self.inner.egress.drain_into(&mut drain, budget);
             if taken == 0 {
                 self.inner.processing.fetch_sub(1, Ordering::Release);
                 return;
@@ -452,8 +492,8 @@ mod tests {
     fn two_ports() -> (Arc<ParcelPort>, Arc<ParcelPort>, Arc<ActionRegistry>) {
         let fabric = Fabric::new(2, LinkModel::zero());
         let actions = ActionRegistry::new();
-        let p0 = ParcelPort::new(0, fabric.port(0), Arc::clone(&actions));
-        let p1 = ParcelPort::new(1, fabric.port(1), Arc::clone(&actions));
+        let p0 = ParcelPort::new(0, Arc::new(fabric.port(0)), Arc::clone(&actions));
+        let p1 = ParcelPort::new(1, Arc::new(fabric.port(1)), Arc::clone(&actions));
         p0.set_spawner(inline_spawner());
         p1.set_spawner(inline_spawner());
         (p0, p1, actions)
@@ -685,6 +725,30 @@ mod tests {
         p0.flush_interceptors();
         assert_eq!(fa.0.load(Ordering::SeqCst), 1);
         assert_eq!(fb.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn egress_drain_budget_bounds_one_pump_sweep() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let actions = ActionRegistry::new();
+        let act = actions.register("noop", Arc::new(|_| Ok(Bytes::new())));
+        let p0 = ParcelPort::with_config(
+            0,
+            Arc::new(fabric.port(0)),
+            Arc::clone(&actions),
+            ParcelPortConfig {
+                egress_drain_budget: 2,
+            },
+        );
+        assert_eq!(p0.config().egress_drain_budget, 2);
+        for _ in 0..5 {
+            p0.send_parcel(plain_parcel(1, act, Bytes::new()));
+        }
+        assert_eq!(p0.egress_backlog(), 5);
+        p0.pump();
+        // One sweep encodes exactly the configured budget.
+        assert_eq!(p0.stats().messages_sent.load(Ordering::SeqCst), 2);
+        assert_eq!(p0.egress_backlog(), 3);
     }
 
     #[test]

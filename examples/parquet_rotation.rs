@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use rpx::{CoalescingParams, LinkModel, Runtime, RuntimeConfig};
+use rpx::{CoalescingParams, LinkModel, Runtime, RuntimeConfig, TransportKind};
 use rpx_apps::parquet::{run_parquet, ParquetConfig};
 
 fn arg(n: usize, default: u64) -> u64 {
@@ -28,7 +28,7 @@ fn main() {
     let rt = Runtime::new(RuntimeConfig {
         localities,
         workers_per_locality: 2,
-        link: LinkModel::cluster(),
+        transport: TransportKind::Sim(LinkModel::cluster()),
         ..RuntimeConfig::default()
     });
     let config = ParquetConfig {

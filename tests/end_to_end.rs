@@ -4,20 +4,20 @@
 
 use std::time::Duration;
 
-use rpx::{CoalescingParams, LinkModel, Runtime, RuntimeConfig};
+use rpx::{CoalescingParams, LinkModel, Runtime, RuntimeConfig, TransportKind};
 use rpx_apps::toy::{run_toy, ToyConfig};
 
 fn cluster_runtime() -> std::sync::Arc<Runtime> {
     Runtime::new(RuntimeConfig {
         localities: 2,
         workers_per_locality: 2,
-        link: LinkModel {
+        transport: TransportKind::Sim(LinkModel {
             send_overhead: Duration::from_micros(20),
             recv_overhead: Duration::from_micros(15),
             per_byte: Duration::from_nanos(1),
             latency: Duration::from_micros(10),
             ..LinkModel::cluster()
-        },
+        }),
         ..RuntimeConfig::default()
     })
 }

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use rpx::{CoalescingParams, LinkModel, MetricsReader, PhaseRecorder, Runtime, RuntimeConfig};
+use rpx::{CoalescingParams, LinkModel, MetricsReader, PhaseRecorder, Runtime, RuntimeConfig, TransportKind};
 use rpx_apps::driver::{to_points, toy_sweep};
 use rpx_apps::toy::ToyConfig;
 use rpx_metrics::overhead_time_correlation;
@@ -42,7 +42,7 @@ fn metrics_reader_reports_live_equations() {
     let rt = Runtime::new(RuntimeConfig {
         localities: 2,
         workers_per_locality: 2,
-        link: link(),
+        transport: TransportKind::Sim(link()),
         ..RuntimeConfig::default()
     });
     let act = rt.register_action("met::ping", |x: u64| x);
