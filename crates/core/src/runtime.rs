@@ -293,10 +293,16 @@ impl Runtime {
                 let sched = Arc::clone(&scheduler);
                 port.net().set_notify(Arc::new(move || sched.notify()));
             }
-            // Received parcels become scheduler tasks.
+            // Received parcels become scheduler tasks: one at a time for
+            // single-parcel messages, one batched admission per coalesced
+            // message (the receive-side dual of send-side coalescing).
             {
                 let sched = Arc::clone(&scheduler);
-                port.set_spawner(Arc::new(move |f| sched.spawn(f)));
+                port.set_spawner(Arc::new(move |f| sched.spawn_boxed(f)));
+            }
+            {
+                let sched = Arc::clone(&scheduler);
+                port.set_batch_spawner(Arc::new(move |fs| sched.spawn_batch(fs.drain(..))));
             }
             // The parcel pump runs as scheduler background work — the
             // paper's "background work" whose duration Eq. 3 measures.

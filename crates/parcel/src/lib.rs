@@ -36,5 +36,6 @@ pub use batch::{BufferPool, ParcelBatch};
 pub use egress::EgressQueue;
 pub use parcel::Parcel;
 pub use port::{
-    ParcelInterceptor, ParcelPort, ParcelPortConfig, ParcelPortStats, SendPath, TaskSpawner,
+    BatchTaskSpawner, ParcelInterceptor, ParcelPort, ParcelPortConfig, ParcelPortStats, SendPath,
+    TaskFn, TaskSpawner,
 };

@@ -20,11 +20,15 @@
 //! ## Receive path
 //!
 //! Delivered messages are decoded (single parcel or coalesced batch) and
-//! each parcel becomes a scheduler task via the installed [`TaskSpawner`]
-//! ("the parcel is converted into an HPX thread and placed in the
-//! scheduler queue", §II-A). If a parcel carries a continuation, the
-//! result is shipped back as a continuation parcel addressed to the
-//! origin's LCO.
+//! each parcel becomes a scheduler task ("the parcel is converted into an
+//! HPX thread and placed in the scheduler queue", §II-A). Single-parcel
+//! messages go through the per-task [`TaskSpawner`]; all parcels of a
+//! coalesced message are handed to the scheduler as *one* batch through
+//! the [`BatchTaskSpawner`] seam (one admission per message — the
+//! receive-side dual of send-side coalescing), reusing a thread-local
+//! scratch vector across pumps. Direct actions always run inline on the
+//! pumping thread. If a parcel carries a continuation, the result is
+//! shipped back as a continuation parcel addressed to the origin's LCO.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -66,6 +70,21 @@ pub type TaskSpawner = Arc<SpawnFn>;
 
 /// The unsized function type behind [`TaskSpawner`].
 pub type SpawnFn = dyn Fn(Box<dyn FnOnce() + Send + 'static>) + Send + Sync;
+
+/// A boxed task body, the unit the spawner seam moves around.
+pub type TaskFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// Schedules a whole batch of closures in one scheduler admission.
+///
+/// The implementation must *drain* the vector (leaving its capacity
+/// behind — the port reuses it as scratch across pumps) and execute every
+/// drained closure exactly once. Installed via
+/// [`ParcelPort::set_batch_spawner`]; when absent, the port falls back to
+/// spawning through the per-task [`TaskSpawner`].
+pub type BatchTaskSpawner = Arc<BatchSpawnFn>;
+
+/// The unsized function type behind [`BatchTaskSpawner`].
+pub type BatchSpawnFn = dyn Fn(&mut Vec<TaskFn>) + Send + Sync;
 
 /// Parcel-level traffic statistics.
 #[derive(Debug, Default)]
@@ -116,6 +135,10 @@ struct Inner {
     direct_actions: BitTable,
     egress: EgressQueue,
     spawner: ArcCell<SpawnFn>,
+    /// Batched spawner: one scheduler admission per coalesced message
+    /// instead of one per parcel. Optional — absent, the port degrades to
+    /// the per-parcel `spawner`.
+    batch_spawner: ArcCell<BatchSpawnFn>,
     /// The action used to deliver continuation results (registered by the
     /// runtime core as its `set-lco` builtin); `NO_ACTION` when unset.
     continuation_action: AtomicU32,
@@ -171,6 +194,7 @@ impl ParcelPort {
             direct_actions: BitTable::new(),
             egress: EgressQueue::new(),
             spawner: ArcCell::new(),
+            batch_spawner: ArcCell::new(),
             continuation_action: AtomicU32::new(NO_ACTION),
             notify: ArcCell::new(),
             ids: IdAllocator::new(),
@@ -214,6 +238,14 @@ impl ParcelPort {
     /// Install the task spawner (the locality's scheduler).
     pub fn set_spawner(&self, spawner: TaskSpawner) {
         self.inner.spawner.set(spawner);
+    }
+
+    /// Install the batched task spawner (typically
+    /// `Scheduler::spawn_batch`): all non-direct parcels of one coalesced
+    /// message are handed to it as a single batch. Without it, each
+    /// parcel goes through the per-task spawner individually.
+    pub fn set_batch_spawner(&self, spawner: BatchTaskSpawner) {
+        self.inner.batch_spawner.set(spawner);
     }
 
     /// Install the wake-up hook (typically `Scheduler::notify`).
@@ -371,48 +403,92 @@ fn receive_message(inner: &Arc<Inner>, message: Message) {
         .stats
         .messages_received
         .fetch_add(1, Ordering::Relaxed);
-    let parcels = match message.kind {
+    match message.kind {
         MessageKind::Parcel => {
+            // Single-parcel fast path: no intermediate Vec at all.
             let mut r = ArchiveReader::new(message.payload);
             match Parcel::decode(&mut r) {
-                Ok(p) => vec![p],
+                Ok(p) => {
+                    inner.stats.parcels_received.fetch_add(1, Ordering::Relaxed);
+                    deliver_single(inner, p);
+                }
                 Err(_) => {
                     inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                    return;
                 }
             }
         }
         MessageKind::Coalesced => match Parcel::decode_batch(message.payload) {
-            Ok(ps) => ps,
+            Ok(ps) => {
+                inner
+                    .stats
+                    .parcels_received
+                    .fetch_add(ps.len() as u64, Ordering::Relaxed);
+                deliver_coalesced(inner, ps);
+            }
             Err(_) => {
                 inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                return;
             }
         },
-        MessageKind::Control => return,
-    };
-    inner
-        .stats
-        .parcels_received
-        .fetch_add(parcels.len() as u64, Ordering::Relaxed);
+        MessageKind::Control => {}
+    }
+}
+
+/// Deliver one decoded parcel: inline if direct, else one spawned task.
+fn deliver_single(inner: &Arc<Inner>, parcel: Parcel) {
+    let weak = Arc::downgrade(inner);
+    if inner.direct_actions.test(parcel.action.0 as usize) {
+        // Direct action: run inline on the pumping thread. This keeps
+        // continuation delivery alive even when every scheduler worker
+        // is blocked in a cooperative wait.
+        execute_parcel(&weak, parcel);
+        return;
+    }
     let Some(spawner) = inner.spawner.get() else {
-        inner
-            .stats
-            .dropped
-            .fetch_add(parcels.len() as u64, Ordering::Relaxed);
+        inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
         return;
     };
+    spawner(Box::new(move || execute_parcel(&weak, parcel)));
+}
+
+/// Deliver all parcels of one coalesced message: direct actions run
+/// inline (unchanged), everything else is handed to the scheduler as one
+/// batch — a single admission for the whole message. The closure scratch
+/// vector is thread-local and reused across pumps, so a steady ingress
+/// stream allocates only the closures themselves.
+fn deliver_coalesced(inner: &Arc<Inner>, parcels: Vec<Parcel>) {
+    thread_local! {
+        /// Per-thread batch scratch. Taken out (not borrowed) around the
+        /// delivery so a direct action that re-enters delivery on this
+        /// thread cannot conflict with it.
+        static SPAWN_SCRATCH: RefCell<Vec<TaskFn>> = const { RefCell::new(Vec::new()) };
+    }
+    let Some(batch_spawner) = inner.batch_spawner.get() else {
+        // No batch seam installed: the per-parcel path, as before.
+        for parcel in parcels {
+            deliver_single(inner, parcel);
+        }
+        return;
+    };
+    let mut scratch = SPAWN_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    debug_assert!(scratch.is_empty());
+    scratch.reserve(parcels.len());
     for parcel in parcels {
         let weak = Arc::downgrade(inner);
         if inner.direct_actions.test(parcel.action.0 as usize) {
-            // Direct action: run inline on the pumping thread. This keeps
-            // continuation delivery alive even when every scheduler worker
-            // is blocked in a cooperative wait.
             execute_parcel(&weak, parcel);
         } else {
-            spawner(Box::new(move || execute_parcel(&weak, parcel)));
+            scratch.push(Box::new(move || execute_parcel(&weak, parcel)));
         }
     }
+    if !scratch.is_empty() {
+        batch_spawner(&mut scratch);
+        debug_assert!(
+            scratch.is_empty(),
+            "batch spawner must drain the task vector"
+        );
+        scratch.clear();
+    }
+    SPAWN_SCRATCH.with(|s| *s.borrow_mut() = scratch);
 }
 
 /// Run a received parcel's action and deliver its continuation, if any.
@@ -642,6 +718,119 @@ mod tests {
         // One message on the wire, ten parcels decoded.
         assert_eq!(p1.stats().messages_received.load(Ordering::SeqCst), 1);
         assert_eq!(p1.stats().parcels_received.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn coalesced_message_spawns_as_one_batch() {
+        let (p0, p1, actions) = two_ports();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let act = actions.register(
+            "inc",
+            Arc::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(Bytes::new())
+            }),
+        );
+        // Record each batch handed over; run the tasks inline.
+        let batch_sizes = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sizes = Arc::clone(&batch_sizes);
+        p1.set_batch_spawner(Arc::new(move |fs| {
+            sizes.lock().push(fs.len());
+            for f in fs.drain(..) {
+                f();
+            }
+        }));
+        let parcels: Vec<Parcel> = (0..10)
+            .map(|i| {
+                let mut p = plain_parcel(1, act, Bytes::new());
+                p.id = i + 1;
+                p
+            })
+            .collect();
+        p0.emit(1, parcels.into());
+        assert!(pump_until(
+            &[&p0, &p1],
+            || count.load(Ordering::SeqCst) == 10,
+            Duration::from_secs(2)
+        ));
+        // One coalesced message → exactly one batch of all ten parcels.
+        assert_eq!(batch_sizes.lock().as_slice(), &[10]);
+    }
+
+    #[test]
+    fn direct_actions_stay_inline_under_batch_spawner() {
+        let (p0, p1, actions) = two_ports();
+        let spawned = Arc::new(AtomicU64::new(0));
+        let direct_hits = Arc::new(AtomicU64::new(0));
+        let task_hits = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&direct_hits);
+        let direct = actions.register(
+            "direct",
+            Arc::new(move |_| {
+                d.fetch_add(1, Ordering::SeqCst);
+                Ok(Bytes::new())
+            }),
+        );
+        let t = Arc::clone(&task_hits);
+        let tasky = actions.register(
+            "tasky",
+            Arc::new(move |_| {
+                t.fetch_add(1, Ordering::SeqCst);
+                Ok(Bytes::new())
+            }),
+        );
+        p1.set_direct(direct);
+        let sp = Arc::clone(&spawned);
+        p1.set_batch_spawner(Arc::new(move |fs| {
+            sp.fetch_add(fs.len() as u64, Ordering::SeqCst);
+            for f in fs.drain(..) {
+                f();
+            }
+        }));
+        let mut parcels = Vec::new();
+        for i in 0..6u64 {
+            let act = if i % 2 == 0 { direct } else { tasky };
+            let mut p = plain_parcel(1, act, Bytes::new());
+            p.id = i + 1;
+            parcels.push(p);
+        }
+        p0.emit(1, parcels.into());
+        assert!(pump_until(
+            &[&p0, &p1],
+            || direct_hits.load(Ordering::SeqCst) == 3 && task_hits.load(Ordering::SeqCst) == 3,
+            Duration::from_secs(2)
+        ));
+        // Only the non-direct half went through the batch spawner.
+        assert_eq!(spawned.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn coalesced_without_batch_spawner_falls_back_per_parcel() {
+        let (p0, p1, actions) = two_ports();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let act = actions.register(
+            "inc",
+            Arc::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(Bytes::new())
+            }),
+        );
+        // two_ports installs only the per-parcel inline spawner.
+        let parcels: Vec<Parcel> = (0..5)
+            .map(|i| {
+                let mut p = plain_parcel(1, act, Bytes::new());
+                p.id = i + 1;
+                p
+            })
+            .collect();
+        p0.emit(1, parcels.into());
+        assert!(pump_until(
+            &[&p0, &p1],
+            || count.load(Ordering::SeqCst) == 5,
+            Duration::from_secs(2)
+        ));
     }
 
     #[test]

@@ -25,6 +25,9 @@ use crate::stats::ThreadStats;
 /// | `/threads/background-work` | `Σ t_background` (ns) — Eq. 3 |
 /// | `/threads/background-overhead` | Eq. 4 (ratio) |
 /// | `/threads/idle-rate` | idle / (idle + func) |
+/// | `/threads/spawn-batches` | `spawn_batch` calls (batched ingress) |
+/// | `/threads/batched-tasks` | tasks admitted through `spawn_batch` |
+/// | `/threads/wakeups-skipped` | wakeups elided (no worker parked) |
 ///
 /// Counter resets zero the underlying accounts (all `/threads/*` counters
 /// share one [`ThreadStats`], so resetting one resets them all, matching
@@ -89,6 +92,24 @@ pub fn register_thread_counters(registry: &CounterRegistry, stats: Arc<ThreadSta
         })),
     );
     registry.register_or_replace(
+        "/threads/spawn-batches",
+        mk(Box::new(|s| {
+            CounterValue::Int(s.snapshot().spawn_batches as i64)
+        })),
+    );
+    registry.register_or_replace(
+        "/threads/batched-tasks",
+        mk(Box::new(|s| {
+            CounterValue::Int(s.snapshot().batched_tasks as i64)
+        })),
+    );
+    registry.register_or_replace(
+        "/threads/wakeups-skipped",
+        mk(Box::new(|s| {
+            CounterValue::Int(s.snapshot().wakeups_skipped as i64)
+        })),
+    );
+    registry.register_or_replace(
         "/threads/idle-rate",
         mk(Box::new(|s| {
             let snap = s.snapshot();
@@ -129,7 +150,23 @@ mod tests {
         ] {
             assert!(reg.query(path).is_ok(), "missing {path}");
         }
-        assert_eq!(reg.discover("/threads/*").len(), 9);
+        assert_eq!(reg.discover("/threads/*").len(), 12);
+    }
+
+    #[test]
+    fn ingress_counters_reflect_stats() {
+        let (reg, stats) = setup();
+        stats.count_spawn_batch(64);
+        stats.count_wakeup_skipped();
+        stats.count_wakeup_skipped();
+        assert_eq!(reg.query_f64("/threads/spawn-batches").unwrap(), 1.0);
+        assert_eq!(reg.query_f64("/threads/batched-tasks").unwrap(), 64.0);
+        assert_eq!(reg.query_f64("/threads/wakeups-skipped").unwrap(), 2.0);
+        // Batched tasks feed the cumulative spawned counter too.
+        assert_eq!(
+            reg.query_f64("/threads/count/cumulative-spawned").unwrap(),
+            64.0
+        );
     }
 
     #[test]

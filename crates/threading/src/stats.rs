@@ -35,6 +35,9 @@ pub struct ThreadStats {
     tasks_spawned: AtomicU64,
     steals: AtomicU64,
     background_polls: AtomicU64,
+    spawn_batches: AtomicU64,
+    batched_tasks: AtomicU64,
+    wakeups_skipped: AtomicU64,
 }
 
 impl ThreadStats {
@@ -82,6 +85,19 @@ impl ThreadStats {
         self.tasks_spawned.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one batched spawn of `n` tasks: one batch, `n` spawned tasks
+    /// (a single atomic add each — the whole point of the batch path).
+    pub fn count_spawn_batch(&self, n: u64) {
+        self.spawn_batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_tasks.fetch_add(n, Ordering::Relaxed);
+        self.tasks_spawned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one wakeup elided because no worker was parked.
+    pub fn count_wakeup_skipped(&self) {
+        self.wakeups_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one successful steal.
     pub fn count_steal(&self) {
         self.steals.fetch_add(1, Ordering::Relaxed);
@@ -108,6 +124,9 @@ impl ThreadStats {
             tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             background_polls: self.background_polls.load(Ordering::Relaxed),
+            spawn_batches: self.spawn_batches.load(Ordering::Relaxed),
+            batched_tasks: self.batched_tasks.load(Ordering::Relaxed),
+            wakeups_skipped: self.wakeups_skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -122,6 +141,9 @@ impl ThreadStats {
         self.tasks_spawned.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
         self.background_polls.store(0, Ordering::Relaxed);
+        self.spawn_batches.store(0, Ordering::Relaxed);
+        self.batched_tasks.store(0, Ordering::Relaxed);
+        self.wakeups_skipped.store(0, Ordering::Relaxed);
     }
 }
 
@@ -144,6 +166,13 @@ pub struct StatsSnapshot {
     pub steals: u64,
     /// Number of background polls.
     pub background_polls: u64,
+    /// Number of `spawn_batch` calls.
+    pub spawn_batches: u64,
+    /// Number of tasks spawned through `spawn_batch` (a subset of
+    /// `tasks_spawned`).
+    pub batched_tasks: u64,
+    /// Wakeups elided because no worker was parked at spawn/notify time.
+    pub wakeups_skipped: u64,
 }
 
 impl StatsSnapshot {
@@ -187,6 +216,9 @@ impl StatsSnapshot {
             background_polls: self
                 .background_polls
                 .saturating_sub(earlier.background_polls),
+            spawn_batches: self.spawn_batches.saturating_sub(earlier.spawn_batches),
+            batched_tasks: self.batched_tasks.saturating_sub(earlier.batched_tasks),
+            wakeups_skipped: self.wakeups_skipped.saturating_sub(earlier.wakeups_skipped),
         })
     }
 }
@@ -293,6 +325,23 @@ mod tests {
         assert_eq!(snap.background_ns, 400);
         assert_eq!(snap.func_ns(), 1000);
         assert!((snap.network_overhead() - 0.4).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn batch_and_wakeup_counters_accumulate() {
+        let s = ThreadStats::new();
+        s.count_spawn_batch(64);
+        s.count_spawn_batch(8);
+        s.count_spawn();
+        s.count_wakeup_skipped();
+        let snap = s.snapshot();
+        assert_eq!(snap.spawn_batches, 2);
+        assert_eq!(snap.batched_tasks, 72);
+        // Batched tasks count toward the cumulative spawn counter too.
+        assert_eq!(snap.tasks_spawned, 73);
+        assert_eq!(snap.wakeups_skipped, 1);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }

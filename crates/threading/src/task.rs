@@ -17,8 +17,14 @@ pub struct Task {
 impl Task {
     /// Wrap a closure as a task.
     pub fn new(f: impl FnOnce() + Send + 'static) -> Self {
+        Task::from_boxed(Box::new(f))
+    }
+
+    /// Wrap an already-boxed closure without re-boxing it (the parcel
+    /// ingress path hands over `Box<dyn FnOnce>` closures by the batch).
+    pub fn from_boxed(f: Box<dyn FnOnce() + Send + 'static>) -> Self {
         Task {
-            f: Box::new(f),
+            f,
             created: Instant::now(),
         }
     }

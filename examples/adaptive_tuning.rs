@@ -67,7 +67,11 @@ fn main() {
             d.nparcels,
             d.overhead,
             d.rate,
-            if d.phase_change { "  [phase change]" } else { "" }
+            if d.phase_change {
+                "  [phase change]"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -29,7 +29,12 @@ fn main() {
     });
 
     // Create the instance on locality 3.
-    let gid = rt.new_component(3, Counter { value: Mutex::new(0) });
+    let gid = rt.new_component(
+        3,
+        Counter {
+            value: Mutex::new(0),
+        },
+    );
     println!("counter component created on locality 3 with GID {gid}");
 
     // Every locality bumps the same object through its GID.

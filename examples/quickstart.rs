@@ -33,7 +33,9 @@ fn main() {
     let t0 = std::time::Instant::now();
     let first = rt.run_on(0, move |ctx| {
         let other = ctx.find_remote_localities()[0];
-        let futures: Vec<_> = (0..n).map(|_| ctx.async_action(&get_cplx, other, ())).collect();
+        let futures: Vec<_> = (0..n)
+            .map(|_| ctx.async_action(&get_cplx, other, ()))
+            .collect();
         let values = ctx.wait_all(futures).expect("remote invocations succeed");
         values[0]
     });

@@ -4,7 +4,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use rpx::{AdaptiveConfig, CoalescingParams, Complex64, LinkModel, Runtime, RuntimeConfig, TransportKind};
+use rpx::{
+    AdaptiveConfig, CoalescingParams, Complex64, LinkModel, Runtime, RuntimeConfig, TransportKind,
+};
 use rpx_adaptive::Ladder;
 
 fn cluster_runtime() -> Arc<Runtime> {
@@ -29,7 +31,10 @@ fn controller_raises_nparcels_under_dense_traffic() {
     let rt = cluster_runtime();
     let act = rt.register_action("ad::get", |(): ()| Complex64::new(13.3, -23.8));
     let control = rt
-        .enable_coalescing("ad::get", CoalescingParams::new(1, Duration::from_micros(2000)))
+        .enable_coalescing(
+            "ad::get",
+            CoalescingParams::new(1, Duration::from_micros(2000)),
+        )
         .unwrap();
     let controller = control.start_adaptive(
         &rt,
@@ -52,9 +57,7 @@ fn controller_raises_nparcels_under_dense_traffic() {
             ctx.wait_all(futures).unwrap();
         });
         let n = control.params().load().nparcels;
-        if (n > 1 && !controller.decisions().is_empty())
-            || std::time::Instant::now() > deadline
-        {
+        if (n > 1 && !controller.decisions().is_empty()) || std::time::Instant::now() > deadline {
             break;
         }
     }
@@ -76,7 +79,10 @@ fn controller_is_inert_on_quiet_runtime() {
     let rt = cluster_runtime();
     let _act = rt.register_action("ad::quiet", |(): ()| ());
     let control = rt
-        .enable_coalescing("ad::quiet", CoalescingParams::new(4, Duration::from_micros(2000)))
+        .enable_coalescing(
+            "ad::quiet",
+            CoalescingParams::new(4, Duration::from_micros(2000)),
+        )
         .unwrap();
     let controller = control.start_adaptive(
         &rt,
@@ -118,7 +124,10 @@ fn pics_baseline_tunes_a_live_iterative_app() {
         tuner.report_iteration(report.mean_iteration_secs());
         iterations += 1;
     }
-    assert!(tuner.is_converged(), "PICS did not converge in 16 iterations");
+    assert!(
+        tuner.is_converged(),
+        "PICS did not converge in 16 iterations"
+    );
     // It must not conclude that disabled coalescing is optimal for this
     // overhead-dominated workload.
     assert!(

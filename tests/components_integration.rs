@@ -20,10 +20,18 @@ fn component_methods_compose_with_coalescing() {
         *value
     });
     let _control = rt
-        .enable_coalescing("cc::add", CoalescingParams::new(8, Duration::from_micros(500)))
+        .enable_coalescing(
+            "cc::add",
+            CoalescingParams::new(8, Duration::from_micros(500)),
+        )
         .unwrap();
 
-    let gid = rt.new_component(1, Counter { value: Mutex::new(0) });
+    let gid = rt.new_component(
+        1,
+        Counter {
+            value: Mutex::new(0),
+        },
+    );
     let last = rt.run_on(0, move |ctx| {
         let futures: Vec<_> = (0..64)
             .map(|_| ctx.async_method(&add, gid, 1).unwrap())
@@ -43,7 +51,14 @@ fn components_spread_across_cluster() {
     });
     let read = rt.register_component_method("cc::read", |c: &Counter, (): ()| *c.value.lock());
     let gids: Vec<_> = (0..4)
-        .map(|l| rt.new_component(l, Counter { value: Mutex::new(i64::from(l) * 100) }))
+        .map(|l| {
+            rt.new_component(
+                l,
+                Counter {
+                    value: Mutex::new(i64::from(l) * 100),
+                },
+            )
+        })
         .collect();
     let values = rt.run_on(2, move |ctx| {
         let futures: Vec<_> = gids
@@ -60,7 +75,12 @@ fn components_spread_across_cluster() {
 fn gid_survives_migration_between_localities() {
     let rt = Runtime::new(RuntimeConfig::small_test());
     let read = rt.register_component_method("cc::read2", |c: &Counter, (): ()| *c.value.lock());
-    let gid = rt.new_component(0, Counter { value: Mutex::new(7) });
+    let gid = rt.new_component(
+        0,
+        Counter {
+            value: Mutex::new(7),
+        },
+    );
 
     let v0 = rt.run_on(1, {
         let read = read.clone();
@@ -88,7 +108,12 @@ fn gid_survives_migration_between_localities() {
 fn deleted_component_rejects_invocation() {
     let rt = Runtime::new(RuntimeConfig::small_test());
     let read = rt.register_component_method("cc::read3", |c: &Counter, (): ()| *c.value.lock());
-    let gid = rt.new_component(1, Counter { value: Mutex::new(0) });
+    let gid = rt.new_component(
+        1,
+        Counter {
+            value: Mutex::new(0),
+        },
+    );
     rt.delete_component(gid).unwrap();
     // Resolution fails at the caller — no parcel is even sent.
     let err = rt.run_on(0, move |ctx| ctx.async_method(&read, gid, ()).err());

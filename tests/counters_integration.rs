@@ -10,7 +10,10 @@ fn traffic_runtime() -> (std::sync::Arc<Runtime>, rpx::CoalescingControl) {
     let rt = Runtime::new(RuntimeConfig::small_test());
     let act = rt.register_action("ctr::ping", |x: u64| x);
     let control = rt
-        .enable_coalescing("ctr::ping", CoalescingParams::new(8, Duration::from_micros(1000)))
+        .enable_coalescing(
+            "ctr::ping",
+            CoalescingParams::new(8, Duration::from_micros(1000)),
+        )
         .unwrap();
     rt.run_on(0, move |ctx| {
         let futures: Vec<_> = (0..400).map(|i| ctx.async_action(&act, 1, i)).collect();
@@ -71,8 +74,12 @@ fn instanced_hpx_syntax_resolves() {
 fn counters_are_mutually_consistent() {
     let (rt, control) = traffic_runtime();
     let reg = rt.locality(0).counters();
-    let parcels = reg.query_f64("/coalescing/count/parcels@ctr::ping").unwrap();
-    let messages = reg.query_f64("/coalescing/count/messages@ctr::ping").unwrap();
+    let parcels = reg
+        .query_f64("/coalescing/count/parcels@ctr::ping")
+        .unwrap();
+    let messages = reg
+        .query_f64("/coalescing/count/messages@ctr::ping")
+        .unwrap();
     let ppm = reg
         .query_f64("/coalescing/count/average-parcels-per-message@ctr::ping")
         .unwrap();
@@ -85,7 +92,11 @@ fn counters_are_mutually_consistent() {
     let func = reg.query_f64("/threads/time/cumulative").unwrap();
     let overhead = reg.query_f64("/threads/background-overhead").unwrap();
     assert!(func > 0.0);
-    assert!((overhead - bg / func).abs() < 0.05, "{overhead} vs {}", bg / func);
+    assert!(
+        (overhead - bg / func).abs() < 0.05,
+        "{overhead} vs {}",
+        bg / func
+    );
 
     // The arrival histogram saw (parcels − 1) gaps per destination queue
     // at most; at least some gaps for 400 parcels.
@@ -117,7 +128,8 @@ fn counter_reset_zeroes_traffic_counts() {
     let reg = rt.locality(0).counters();
     reg.reset("/coalescing/count/parcels@ctr::ping").unwrap();
     assert_eq!(
-        reg.query_f64("/coalescing/count/parcels@ctr::ping").unwrap(),
+        reg.query_f64("/coalescing/count/parcels@ctr::ping")
+            .unwrap(),
         0.0
     );
     rt.shutdown();

@@ -115,22 +115,32 @@ fn results_identical_with_and_without_coalescing() {
     let rt = cluster_runtime();
     let act = rt.register_action("e2e::add", |(a, b): (i64, i64)| a + b);
     let control = rt
-        .enable_coalescing("e2e::add", CoalescingParams::new(16, Duration::from_micros(2000)))
+        .enable_coalescing(
+            "e2e::add",
+            CoalescingParams::new(16, Duration::from_micros(2000)),
+        )
         .unwrap();
     let coalesced_sums = rt.run_on(0, {
         let act = act.clone();
         move |ctx| {
-            let futures: Vec<_> = (0..200).map(|i| ctx.async_action(&act, 1, (i, i))).collect();
+            let futures: Vec<_> = (0..200)
+                .map(|i| ctx.async_action(&act, 1, (i, i)))
+                .collect();
             ctx.wait_all(futures).unwrap()
         }
     });
     rt.disable_coalescing(&control);
     let direct_sums = rt.run_on(0, move |ctx| {
-        let futures: Vec<_> = (0..200).map(|i| ctx.async_action(&act, 1, (i, i))).collect();
+        let futures: Vec<_> = (0..200)
+            .map(|i| ctx.async_action(&act, 1, (i, i)))
+            .collect();
         ctx.wait_all(futures).unwrap()
     });
     assert_eq!(coalesced_sums, direct_sums);
-    assert_eq!(coalesced_sums, (0..200).map(|i| 2 * i).collect::<Vec<i64>>());
+    assert_eq!(
+        coalesced_sums,
+        (0..200).map(|i| 2 * i).collect::<Vec<i64>>()
+    );
     rt.shutdown();
 }
 

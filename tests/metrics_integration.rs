@@ -3,7 +3,10 @@
 
 use std::time::Duration;
 
-use rpx::{CoalescingParams, LinkModel, MetricsReader, PhaseRecorder, Runtime, RuntimeConfig, TransportKind};
+use rpx::{
+    CoalescingParams, LinkModel, MetricsReader, PhaseRecorder, Runtime, RuntimeConfig,
+    TransportKind,
+};
 use rpx_apps::driver::{to_points, toy_sweep};
 use rpx_apps::toy::ToyConfig;
 use rpx_metrics::overhead_time_correlation;
@@ -74,7 +77,10 @@ fn phase_recorder_isolates_phases() {
     let rt = Runtime::new(RuntimeConfig::small_test());
     let act = rt.register_action("met::burst", |x: u64| x);
     let _ctl = rt
-        .enable_coalescing("met::burst", CoalescingParams::new(16, Duration::from_micros(1000)))
+        .enable_coalescing(
+            "met::burst",
+            CoalescingParams::new(16, Duration::from_micros(1000)),
+        )
         .unwrap();
     let mut recorder = PhaseRecorder::new(rt.metrics(0));
 

@@ -6,9 +6,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use rpx::{
-    CoalescingParams, CounterValue, Runtime, RuntimeConfig, TransportKind,
-};
+use rpx::{CoalescingParams, CounterValue, Runtime, RuntimeConfig, TransportKind};
 use rpx_apps::driver::boot_on;
 use rpx_apps::toy::{run_toy, ToyConfig, ToyReport};
 use rpx_net::FaultPlan;
