@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use rpx_coalesce::{CoalescingCounters, ParamsHandle};
+use rpx_counters::TelemetryService;
 use rpx_metrics::MetricsReader;
 use rpx_util::Ewma;
 
@@ -219,6 +220,68 @@ impl OverheadController {
         }
     }
 
+    /// Start controlling `params` from a running [`TelemetryService`]
+    /// instead of direct counter reads: each window's Eq. 4 overhead is
+    /// the service's windowed measurement over the sampled
+    /// `/threads/background-work` and `/threads/time/cumulative` rings
+    /// ([`TelemetryService::windowed_overhead`]), i.e. the controller and
+    /// the exported telemetry series observe the *same* instantaneous
+    /// signal. Windows where the sampler has not yet accumulated enough
+    /// history produce no decision.
+    pub fn start_sampled(
+        service: TelemetryService,
+        params: ParamsHandle,
+        counters: Arc<CoalescingCounters>,
+        config: AdaptiveConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            decisions: Mutex::new(Vec::new()),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("rpx-adaptive".to_string())
+            .spawn(move || {
+                let started = Instant::now();
+                let mut core = ControllerCore::new(config.clone(), params.load().nparcels);
+                let mut last_parcels = counters.parcels.get();
+                while !thread_shared.stop.load(Ordering::SeqCst) {
+                    let wake = Instant::now() + config.window;
+                    while Instant::now() < wake {
+                        if thread_shared.stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let parcels_now = counters.parcels.get();
+                    let parcels_in_window = parcels_now.saturating_sub(last_parcels);
+                    last_parcels = parcels_now;
+                    let rate = parcels_in_window as f64 / config.window.as_secs_f64();
+                    let Some(overhead) = service.windowed_overhead(config.window) else {
+                        // The sampler hasn't covered this window yet (just
+                        // started, or a fully idle window): no signal.
+                        continue;
+                    };
+                    if let Some((next, phase_change)) = core.tick(overhead, parcels_in_window, rate)
+                    {
+                        params.set_nparcels(next);
+                        thread_shared.decisions.lock().push(Decision {
+                            at: started.elapsed(),
+                            nparcels: next,
+                            overhead,
+                            rate,
+                            phase_change,
+                        });
+                    }
+                }
+            })
+            .expect("failed to spawn adaptive controller");
+        OverheadController {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
     /// Decisions made so far.
     pub fn decisions(&self) -> Vec<Decision> {
         self.shared.decisions.lock().clone()
@@ -376,6 +439,84 @@ mod tests {
         let decisions = controller.stop();
 
         assert!(!decisions.is_empty(), "controller made no decisions");
+        let final_n = params.load().nparcels;
+        assert!(
+            (8..=128).contains(&final_n),
+            "converged to {final_n}, decisions: {decisions:?}"
+        );
+    }
+
+    #[test]
+    fn sampled_controller_steers_from_telemetry_series() {
+        use rpx_coalesce::CoalescingParams;
+        use rpx_counters::{
+            CallbackCounter, CounterRegistry, CounterValue, TelemetryConfig, TelemetryService,
+        };
+        use std::sync::atomic::AtomicU64;
+
+        let registry = CounterRegistry::new(0);
+        let params = ParamsHandle::new(CoalescingParams::new(1, Duration::from_micros(2000)));
+        let func = Arc::new(AtomicU64::new(0));
+        let bg = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&func);
+        registry.register_or_replace(
+            "/threads/time/cumulative",
+            CallbackCounter::new(move || CounterValue::Int(f2.load(Ordering::Relaxed) as i64)),
+        );
+        let b2 = Arc::clone(&bg);
+        registry.register_or_replace(
+            "/threads/background-work",
+            CallbackCounter::new(move || CounterValue::Int(b2.load(Ordering::Relaxed) as i64)),
+        );
+        let counters = CoalescingCounters::new();
+        let service = TelemetryService::start(
+            registry,
+            TelemetryConfig {
+                interval: Duration::from_millis(1),
+                patterns: vec!["/threads/*".to_string()],
+                ..TelemetryConfig::default()
+            },
+        );
+
+        // Same synthetic convex landscape as the direct-read test: the
+        // optimum sits at nparcels = 32.
+        let stop = Arc::new(AtomicBool::new(false));
+        let app = {
+            let params = params.clone();
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            let func = Arc::clone(&func);
+            let bg = Arc::clone(&bg);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let n = params.load().nparcels;
+                    let oh = 0.1 + 0.08 * ((n as f64).log2() - 5.0).abs();
+                    func.fetch_add(1_000_000, Ordering::Relaxed);
+                    bg.fetch_add((1_000_000.0 * oh) as u64, Ordering::Relaxed);
+                    for _ in 0..200 {
+                        counters.record_arrival(Some(10_000));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+
+        let controller = OverheadController::start_sampled(
+            service.clone(),
+            params.clone(),
+            Arc::clone(&counters),
+            config(),
+        );
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::SeqCst);
+        app.join().unwrap();
+        let decisions = controller.stop();
+        service.stop();
+
+        assert!(!decisions.is_empty(), "controller made no decisions");
+        // Every decision's overhead came from the sampled series: Eq. 4
+        // values are ratios in [0, 1].
+        assert!(decisions.iter().all(|d| (0.0..=1.0).contains(&d.overhead)));
         let final_n = params.load().nparcels;
         assert!(
             (8..=128).contains(&final_n),

@@ -15,7 +15,7 @@
 //!   power-of-two ladder, and re-starts its search when it detects a
 //!   communication *phase change* (a large shift in arrival rate). It
 //!   needs no iteration structure in the application.
-//! * [`PicsTuner`] — the Charm++/PICS-style baseline ([6],[7] in the
+//! * [`PicsTuner`] — the Charm++/PICS-style baseline (\[6\],\[7\] in the
 //!   paper): per application iteration it times a candidate configuration
 //!   and converges by comparing iteration times. This is the approach the
 //!   paper criticises as "only suited for iterative applications"; we

@@ -1,7 +1,7 @@
 //! The PICS-style per-iteration tuning baseline.
 //!
 //! Charm++'s TRAM used PICS (a Performance-Analysis-Based Introspective
-//! Control System, [6][7] in the paper) to pick a coalescing buffer size:
+//! Control System, \[6\]\[7\] in the paper) to pick a coalescing buffer size:
 //! each application *iteration* runs with a candidate configuration, its
 //! time is measured, and the search converges after a handful of
 //! decisions (the paper cites 5 decisions for the all-to-all benchmark).

@@ -1,7 +1,7 @@
 //! The all-to-all benchmark.
 //!
 //! The adaptive-tuning prior art the paper compares against — Charm++'s
-//! TRAM steered by PICS ([6], [7]) — was evaluated on an **all-to-all**
+//! TRAM steered by PICS (\[6\], \[7\]) — was evaluated on an **all-to-all**
 //! benchmark: every locality sends a stream of small messages to every
 //! other locality each iteration. This workload complements the paper's
 //! two applications in our adaptive-controller evaluation: unlike the toy

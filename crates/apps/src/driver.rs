@@ -5,11 +5,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use rpx::{CoalescingParams, LinkModel, Runtime, RuntimeConfig, TransportKind};
+use rpx::{
+    CoalescingParams, LinkModel, Runtime, RuntimeConfig, TelemetryConfig, TimeSeries, TransportKind,
+};
 use rpx_metrics::SweepPoint;
 
 use crate::parquet::{run_parquet, ParquetConfig, ParquetReport};
-use crate::toy::{run_toy, ToyConfig, ToyReport};
+use crate::toy::{run_toy, run_toy_sampled, ToyConfig, ToyReport};
 
 /// A sweep measurement: the configuration plus the full application
 /// report.
@@ -93,6 +95,64 @@ pub fn toy_sweep(
             let report = run_toy(&rt, &config).expect("toy sweep run failed");
             rt.shutdown();
             out.push(SweepOutcome::Toy { params, report });
+        }
+    }
+    out
+}
+
+/// One grid point of a telemetry-sampled toy sweep.
+#[derive(Debug, Clone)]
+pub struct SampledOutcome {
+    /// The sweep measurement (params + report), as in [`toy_sweep`].
+    pub outcome: SweepOutcome,
+    /// The derived instantaneous network-overhead series (Eq. 4 per
+    /// sampling window) recorded during the run.
+    pub overhead_series: TimeSeries,
+    /// Every sampled series of the run, for export.
+    pub all_series: Vec<TimeSeries>,
+}
+
+impl SampledOutcome {
+    /// The scatter point with the overhead replaced by the *sampled*
+    /// series mean — the recomputed Fig. 7 correlation input.
+    pub fn to_sampled_point(&self) -> SweepPoint {
+        let mut p = self.outcome.to_point();
+        if let Some(mean) = self.overhead_series.mean() {
+            p.network_overhead = mean;
+        }
+        p
+    }
+}
+
+/// [`toy_sweep`] with a 1 ms-class counter sampler running during every
+/// grid point: each fresh runtime starts telemetry on locality 0, and the
+/// per-point outcome carries the sampled series, so figure-level
+/// correlations (Figs. 7–9) can be recomputed from the *instantaneous*
+/// measurements instead of end-of-phase counter deltas.
+pub fn toy_sweep_sampled(
+    base: &ToyConfig,
+    link: LinkModel,
+    nparcels_grid: &[usize],
+    interval_us_grid: &[u64],
+    telemetry: &TelemetryConfig,
+) -> Vec<SampledOutcome> {
+    let mut out = Vec::with_capacity(nparcels_grid.len() * interval_us_grid.len());
+    for &interval_us in interval_us_grid {
+        for &nparcels in nparcels_grid {
+            let params = CoalescingParams::new(nparcels, Duration::from_micros(interval_us));
+            let mut config = base.clone();
+            config.coalescing = Some(params);
+            let rt = Runtime::new(sweep_runtime_config(2, link));
+            let (report, service) =
+                run_toy_sampled(&rt, &config, telemetry.clone()).expect("sampled toy run failed");
+            let overhead_series = service.overhead_series();
+            let all_series = service.all_series();
+            rt.shutdown();
+            out.push(SampledOutcome {
+                outcome: SweepOutcome::Toy { params, report },
+                overhead_series,
+                all_series,
+            });
         }
     }
     out
@@ -211,6 +271,31 @@ mod tests {
             msgs[0],
             msgs[1]
         );
+    }
+
+    #[test]
+    fn sampled_sweep_carries_series() {
+        let telemetry = TelemetryConfig {
+            interval: Duration::from_millis(1),
+            ..TelemetryConfig::default()
+        };
+        let outcomes = toy_sweep_sampled(&tiny_toy(), fast_link(), &[1, 16], &[2000], &telemetry);
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(
+                !o.all_series.is_empty(),
+                "sampler recorded nothing for {:?}",
+                o.outcome.params()
+            );
+            assert!(
+                !o.overhead_series.is_empty(),
+                "no derived overhead samples for {:?}",
+                o.outcome.params()
+            );
+            let p = o.to_sampled_point();
+            assert!(p.time_secs > 0.0);
+            assert!((0.0..=1.0).contains(&p.network_overhead));
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!   It is the paper's stress test for per-message overhead and drives
 //!   Figs. 4, 5 and 9.
 //! * [`parquet`] — the **Parquet proxy**: the communication skeleton of
-//!   the self-consistent parquet solver [13] — iterations whose rotation
+//!   the self-consistent parquet solver \[13\] — iterations whose rotation
 //!   phase broadcasts `8·Nc²` parcels of `Nc` complex doubles between all
 //!   localities, followed by a tensor-contraction compute kernel and an
 //!   iteration barrier. Drives Figs. 6, 7 and 8. (The physics is replaced
@@ -30,7 +30,7 @@ pub mod toy;
 pub mod workloads;
 
 pub use alltoall::{run_alltoall, AllToAllConfig, AllToAllReport};
-pub use driver::{parquet_sweep, toy_sweep, SweepOutcome};
+pub use driver::{parquet_sweep, toy_sweep, toy_sweep_sampled, SampledOutcome, SweepOutcome};
 pub use parquet::{ParquetConfig, ParquetReport};
 pub use toy::{ToyConfig, ToyReport};
 pub use workloads::ArrivalPattern;

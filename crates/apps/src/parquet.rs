@@ -1,6 +1,6 @@
 //! The Parquet communication proxy.
 //!
-//! The real Parquet application [13] is a quantum many-body solver whose
+//! The real Parquet application \[13\] is a quantum many-body solver whose
 //! rank-3 tensors of complex doubles must be broadcast between all nodes
 //! each iteration; its *rotation phase* "sends `8·Nc²` parcels containing
 //! `Nc` elements. No message depends on another and they can be sent in

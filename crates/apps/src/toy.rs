@@ -15,7 +15,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use rpx::{CoalescingControl, CoalescingParams, Complex64, PhaseRecorder, Runtime, RuntimeError};
+use rpx::{
+    CoalescingControl, CoalescingParams, Complex64, PhaseRecorder, Runtime, RuntimeError,
+    TelemetryConfig, TelemetryService,
+};
 
 /// Configuration of a toy-application run.
 #[derive(Debug, Clone)]
@@ -118,6 +121,23 @@ pub fn run_toy(rt: &Arc<Runtime>, config: &ToyConfig) -> Result<ToyReport, Runti
         None => None,
     };
     run_phases(rt, config, &action, control.as_ref())
+}
+
+/// Run the toy application with counter sampling on locality 0: telemetry
+/// starts before the first phase and is left running (frozen at runtime
+/// shutdown), so the returned service holds the sampled series of the
+/// whole run — the per-interval data behind the paper's Fig. 9
+/// instantaneous-overhead plots.
+pub fn run_toy_sampled(
+    rt: &Arc<Runtime>,
+    config: &ToyConfig,
+    telemetry: TelemetryConfig,
+) -> Result<(ToyReport, TelemetryService), RuntimeError> {
+    let service = rt
+        .start_telemetry(0, telemetry)
+        .expect("locality 0 always exists");
+    let report = run_toy(rt, config)?;
+    Ok((report, service))
 }
 
 fn run_phases(

@@ -5,9 +5,10 @@
 //! cargo run --release -p rpx-bench --bin repro -- all
 //! ```
 //!
-//! Experiments: `timer fig4 fig5 fig6 fig7 fig8 fig9 rsd adaptive
-//! ablate-trigger ablate-bypass ablate-timer`. Scale with
-//! `RPX_REPRO_SCALE=quick|full` (default quick).
+//! Experiments: `timer fig4 fig5 fig6 fig7 fig8 fig9 rsd telemetry
+//! fig4-sampled sampling-overhead adaptive phase-change ablate-trigger
+//! ablate-bypass ablate-timer`. Scale with `RPX_REPRO_SCALE=quick|full`
+//! (default quick).
 //!
 //! `check-fig5` (not part of `all`) is the CI smoke check: it exits
 //! non-zero unless completion time decreases monotonically (within
@@ -28,6 +29,9 @@ fn main() {
         "fig8",
         "fig9",
         "rsd",
+        "telemetry",
+        "fig4-sampled",
+        "sampling-overhead",
         "adaptive",
         "phase-change",
         "ablate-trigger",
@@ -52,6 +56,9 @@ fn main() {
             "fig8" => run_fig8(scale),
             "fig9" => run_fig9(scale),
             "rsd" => run_rsd(scale),
+            "telemetry" => run_telemetry(scale),
+            "fig4-sampled" => run_fig4_sampled(scale),
+            "sampling-overhead" => run_sampling_overhead(scale),
             "adaptive" => run_adaptive(scale),
             "phase-change" => run_phase_change(scale),
             "ablate-trigger" => run_ablate_trigger(scale),
@@ -213,6 +220,58 @@ fn run_fig9(scale: Scale) {
         );
         print_csv(&["phase", "nparcels", "overhead", "time_s"], &rows);
     }
+}
+
+/// Telemetry smoke: run the toy app with the default 1 ms sampler and
+/// fail (exit 1) unless the exported series are non-empty — the CI gate
+/// for the counter-sampling path.
+fn run_telemetry(scale: Scale) {
+    let r = exp::exp_telemetry_smoke(scale);
+    print_table(
+        "Telemetry — 1 ms counter sampling during a toy run",
+        &[
+            "ticks",
+            "series",
+            "overhead_samples",
+            "json_bytes",
+            "csv_rows",
+        ],
+        &[vec![
+            r.ticks.to_string(),
+            r.series.to_string(),
+            r.overhead_samples.to_string(),
+            r.json_bytes.to_string(),
+            r.csv_rows.to_string(),
+        ]],
+    );
+    if r.is_populated() {
+        println!("telemetry OK: sampler produced non-empty series");
+    } else {
+        eprintln!("telemetry EMPTY: {r:?}");
+        std::process::exit(1);
+    }
+}
+
+fn run_fig4_sampled(scale: Scale) {
+    let r = exp::exp_fig4_sampled(scale);
+    scatter_table(
+        "Fig 4 (sampled) — overhead from 1 ms instantaneous series vs phase time",
+        &r,
+        0.97,
+    );
+}
+
+fn run_sampling_overhead(scale: Scale) {
+    let r = exp::exp_sampling_overhead(scale, scale.pick(10, 8));
+    print_table(
+        "Sampling overhead — toy wall time with vs without the 1 ms sampler",
+        &["unsampled_s", "sampled_s", "slowdown_pct"],
+        &[vec![
+            secs(r.unsampled_secs),
+            secs(r.sampled_secs),
+            format!("{:+.2}", 100.0 * r.slowdown()),
+        ]],
+    );
 }
 
 fn run_rsd(scale: Scale) {

@@ -8,11 +8,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rpx::{AdaptiveConfig, CoalescingParams, LinkModel, PicsTuner};
+use rpx::{AdaptiveConfig, CoalescingParams, LinkModel, PicsTuner, Runtime, TelemetryConfig};
 use rpx_adaptive::Ladder;
 use rpx_apps::driver;
 use rpx_apps::parquet::{run_parquet, ParquetConfig};
-use rpx_apps::toy::{run_toy, ToyConfig};
+use rpx_apps::toy::{run_toy, run_toy_sampled, ToyConfig};
 use rpx_metrics::{overhead_time_correlation, rsd_percent, SweepPoint};
 use rpx_util::{OnlineStats, TimerService};
 
@@ -883,6 +883,166 @@ pub fn exp_ablate_timer(n: usize) -> Vec<TimerDesignRow> {
             max_error_us: periodic.max().unwrap_or(0.0),
         },
     ]
+}
+
+// ---------------------------------------------------------------------
+// Telemetry — sampled instantaneous-overhead series (tentpole of the
+// counter-sampling service): smoke, sampled-sweep correlation, and the
+// sampler-perturbation measurement.
+// ---------------------------------------------------------------------
+
+/// Result of the telemetry smoke experiment.
+#[derive(Debug, Clone)]
+pub struct TelemetrySmokeReport {
+    /// Sampling ticks taken during the toy run.
+    pub ticks: u64,
+    /// Distinct counter series recorded.
+    pub series: usize,
+    /// Samples in the derived Eq. 4 instantaneous-overhead series.
+    pub overhead_samples: usize,
+    /// Size of the JSON export.
+    pub json_bytes: usize,
+    /// Data rows in the CSV export.
+    pub csv_rows: usize,
+}
+
+impl TelemetrySmokeReport {
+    /// Whether the run produced usable series (the CI gate).
+    pub fn is_populated(&self) -> bool {
+        self.ticks > 0 && self.series > 0 && self.overhead_samples > 0 && self.csv_rows > 0
+    }
+}
+
+/// Run the toy app with the default 1 ms sampler and report what the
+/// telemetry service captured — the CI smoke for the sampling path.
+pub fn exp_telemetry_smoke(scale: Scale) -> TelemetrySmokeReport {
+    let mut base = toy_base(scale);
+    base.coalescing = Some(CoalescingParams::new(32, Duration::from_micros(4_000)));
+    let rt = Runtime::new(driver::sweep_runtime_config(2, paper_link()));
+    let (_report, svc) =
+        run_toy_sampled(&rt, &base, TelemetryConfig::default()).expect("sampled toy run failed");
+    let overhead = svc.overhead_series();
+    let json = svc.export_json();
+    let csv = svc.export_csv();
+    let report = TelemetrySmokeReport {
+        ticks: svc.ticks(),
+        series: svc.paths().len(),
+        overhead_samples: overhead.len(),
+        json_bytes: json.len(),
+        csv_rows: csv.lines().count().saturating_sub(1),
+    };
+    rt.shutdown();
+    report
+}
+
+/// Fig. 4 recomputed from *sampled* series: the same coalescing sweep,
+/// but each point's overhead is the mean of the 1 ms instantaneous Eq. 4
+/// series instead of the end-of-phase counter delta. The paper's
+/// overhead ↔ runtime correlation must survive the change of measurement
+/// (r ≥ 0.9).
+pub fn exp_fig4_sampled(scale: Scale) -> ScatterReport {
+    let nparcels = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    let intervals = [4_000u64];
+    let outcomes = driver::toy_sweep_sampled(
+        &toy_base(scale),
+        paper_link(),
+        &nparcels,
+        &intervals,
+        &TelemetryConfig::default(),
+    );
+    let points: Vec<SweepPoint> = outcomes
+        .iter()
+        .map(driver::SampledOutcome::to_sampled_point)
+        .collect();
+    let pearson = overhead_time_correlation(&points);
+    ScatterReport { points, pearson }
+}
+
+/// The sampler-perturbation measurement: toy wall time with the 1 ms
+/// sampler running vs without.
+#[derive(Debug, Clone)]
+pub struct SamplingOverheadReport {
+    /// Best unsampled wall time (seconds) across the rounds.
+    pub unsampled_secs: f64,
+    /// Best sampled wall time (seconds) across the rounds.
+    pub sampled_secs: f64,
+    /// Per-round `(unsampled, sampled)` wall times, paired back-to-back.
+    pub rounds: Vec<(f64, f64)>,
+}
+
+impl SamplingOverheadReport {
+    /// Relative slowdown of the sampled run (`0.01` = 1 % slower): the
+    /// median of the per-round paired ratios. Pairing cancels machine
+    /// drift (each round's two runs are temporally adjacent) and the
+    /// median discards rounds that caught a load spike.
+    pub fn slowdown(&self) -> f64 {
+        let mut ratios: Vec<f64> = self
+            .rounds
+            .iter()
+            .filter(|(u, _)| *u > 0.0)
+            .map(|(u, s)| s / u)
+            .collect();
+        if ratios.is_empty() {
+            return 0.0;
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+        let n = ratios.len();
+        let median = if n % 2 == 1 {
+            ratios[n / 2]
+        } else {
+            (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0
+        };
+        median - 1.0
+    }
+}
+
+/// Measure the sampler's wall-clock perturbation: `repeats` paired toy
+/// runs with and without the default 1 ms sampler (fresh runtime each;
+/// see [`SamplingOverheadReport::slowdown`] for the statistic).
+pub fn exp_sampling_overhead(scale: Scale, repeats: usize) -> SamplingOverheadReport {
+    let mut base = toy_base(scale);
+    // A sub-percent effect needs runs long enough that scheduler jitter
+    // (several ms per run) stays well under the 2 % budget being
+    // checked; quadruple the quick-scale workload for this experiment.
+    base.numparcels *= scale.pick(4, 1);
+    base.coalescing = Some(CoalescingParams::new(32, Duration::from_micros(4_000)));
+    let run_once = |sampled: bool| -> f64 {
+        let rt = Runtime::new(driver::sweep_runtime_config(2, paper_link()));
+        let wall = if sampled {
+            let (report, _svc) = run_toy_sampled(&rt, &base, TelemetryConfig::default())
+                .expect("sampled toy run failed");
+            report.total
+        } else {
+            run_toy(&rt, &base).expect("toy run failed").total
+        };
+        rt.shutdown();
+        wall.as_secs_f64()
+    };
+    // One discarded warm-up per arm (first-touch page faults, lazy init).
+    run_once(false);
+    run_once(true);
+    let mut rounds = Vec::with_capacity(repeats.max(1));
+    for i in 0..repeats.max(1) {
+        // Alternate arm order between rounds so neither arm
+        // systematically benefits from the other's cache warm-up.
+        let (u, s) = if i % 2 == 0 {
+            let u = run_once(false);
+            let s = run_once(true);
+            (u, s)
+        } else {
+            let s = run_once(true);
+            let u = run_once(false);
+            (u, s)
+        };
+        rounds.push((u, s));
+    }
+    let unsampled = rounds.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
+    let sampled = rounds.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    SamplingOverheadReport {
+        unsampled_secs: unsampled,
+        sampled_secs: sampled,
+        rounds,
+    }
 }
 
 #[cfg(test)]

@@ -183,6 +183,36 @@ impl CoalescingControl {
             config,
         )
     }
+
+    /// Like [`CoalescingControl::start_adaptive`], but driven by the
+    /// locality's [`rpx_counters::TelemetryService`] (started on demand
+    /// with `sampling` as the interval): the controller's windowed Eq. 4
+    /// overhead is read from the sampled ring buffers, so its decisions
+    /// use the same instantaneous series the telemetry exports record.
+    pub fn start_adaptive_sampled(
+        &self,
+        rt: &Runtime,
+        locality: u32,
+        sampling: Duration,
+        config: AdaptiveConfig,
+    ) -> OverheadController {
+        let service = rt
+            .start_telemetry(
+                locality,
+                rpx_counters::TelemetryConfig {
+                    interval: sampling,
+                    patterns: vec!["/threads/*".to_string(), "/coalescing/*".to_string()],
+                    ..rpx_counters::TelemetryConfig::default()
+                },
+            )
+            .expect("locality in range");
+        OverheadController::start_sampled(
+            service,
+            self.params.clone(),
+            Arc::clone(self.counters(locality).expect("locality in range")),
+            config,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -238,8 +268,8 @@ mod tests {
             .enable_coalescing("a", CoalescingParams::default())
             .unwrap();
         for l in 0..2 {
-            let v = rt.query_counter(l, "/coalescing/count/parcels@a");
-            assert!(v.is_some(), "locality {l} missing coalescing counters");
+            let v = rt.query(l, "/coalescing/count/parcels@a");
+            assert!(v.is_ok(), "locality {l} missing coalescing counters");
         }
         rt.shutdown();
     }
@@ -328,5 +358,27 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         let _decisions = controller.stop();
         rt.shutdown();
+    }
+
+    #[test]
+    fn sampled_adaptive_controller_attaches_and_stops() {
+        let rt = test_runtime();
+        let _act = rt.register_action("ads", |(): ()| ());
+        let control = rt
+            .enable_coalescing("ads", CoalescingParams::default())
+            .unwrap();
+        let controller = control.start_adaptive_sampled(
+            &rt,
+            0,
+            Duration::from_millis(1),
+            AdaptiveConfig::default(),
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        let _decisions = controller.stop();
+        // The controller started the locality's telemetry service.
+        let svc = rt.telemetry(0).expect("telemetry started");
+        assert!(svc.is_running());
+        rt.shutdown();
+        assert!(!svc.is_running(), "shutdown must stop the sampler");
     }
 }

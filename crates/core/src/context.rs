@@ -182,8 +182,33 @@ impl Ctx {
     }
 
     /// Query a counter on this locality.
+    ///
+    /// Same surface and error type as
+    /// [`Runtime::query`](crate::runtime::Runtime::query) and
+    /// [`rpx_counters::CounterRegistry::query`].
+    pub fn query(
+        &self,
+        path: &str,
+    ) -> Result<rpx_counters::CounterValue, rpx_counters::CounterError> {
+        self.here().registry.query(path)
+    }
+
+    /// Like [`Ctx::query`], but takes an already-parsed
+    /// [`rpx_counters::CounterPath`].
+    pub fn query_path(
+        &self,
+        path: &rpx_counters::CounterPath,
+    ) -> Result<rpx_counters::CounterValue, rpx_counters::CounterError> {
+        self.here().registry.query_path(path)
+    }
+
+    /// Query a counter on this locality.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Ctx::query`, which reports why a lookup failed"
+    )]
     pub fn query_counter(&self, path: &str) -> Option<rpx_counters::CounterValue> {
-        self.here().registry.query(path).ok()
+        self.query(path).ok()
     }
 
     /// Cooperative progress from driver code: pump the parcel port and, if
@@ -323,11 +348,9 @@ mod tests {
             ctx.async_action(&act, 1, ()).get().unwrap();
             // The driver task itself is still running, so look at spawned
             // (continuation delivery is a direct action, not a task).
-            let v = ctx
-                .query_counter("/threads/count/cumulative-spawned")
-                .unwrap();
+            let v = ctx.query("/threads/count/cumulative-spawned").unwrap();
             assert!(v.as_f64() >= 1.0);
-            assert!(ctx.query_counter("/no/such/counter").is_none());
+            assert!(ctx.query("/no/such/counter").is_err());
         });
         rt.shutdown();
     }

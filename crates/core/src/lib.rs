@@ -68,7 +68,10 @@ pub use runtime::{ActionHandle, Locality, Runtime, RuntimeConfig};
 // Re-export the pieces applications touch directly.
 pub use rpx_adaptive::{AdaptiveConfig, OverheadController, PicsTuner};
 pub use rpx_coalesce::{CoalescingParams, ParamsHandle};
-pub use rpx_counters::{CounterRegistry, CounterValue};
+pub use rpx_counters::{
+    CounterError, CounterPath, CounterRegistry, CounterValue, Sample, TelemetryConfig,
+    TelemetryService, TimeSeries,
+};
 pub use rpx_lco::{Barrier, Latch};
 pub use rpx_metrics::{MetricsReader, PhaseRecorder};
 pub use rpx_net::{LinkModel, Transport, TransportKind, TransportPort};

@@ -9,7 +9,9 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use rpx_agas::{AgasService, Gid, ObjectRegistry};
-use rpx_counters::{CounterRegistry, CounterValue};
+use rpx_counters::{
+    CounterError, CounterPath, CounterRegistry, CounterValue, TelemetryConfig, TelemetryService,
+};
 use rpx_lco::Promise;
 use rpx_metrics::MetricsReader;
 use rpx_net::{LinkModel, Transport, TransportKind};
@@ -220,6 +222,51 @@ fn register_network_counters(
     );
 }
 
+/// Expose a parcel port's statistics as `/parcels/*` counters: the plain
+/// traffic counts plus the three hot-path log₂ histograms (coalescing
+/// buffer occupancy at flush, wire payload bytes per message, decode →
+/// spawn batch size).
+fn register_parcel_counters(registry: &Arc<CounterRegistry>, port: &Arc<ParcelPort>) {
+    use std::sync::atomic::Ordering;
+    let mk = |port: &Arc<ParcelPort>, read: fn(&rpx_parcel::port::ParcelPortStats) -> u64| {
+        let port = Arc::clone(port);
+        rpx_counters::CallbackCounter::new(move || CounterValue::Int(read(port.stats()) as i64))
+    };
+    registry.register_or_replace(
+        "/parcels/count/sent",
+        mk(port, |s| s.parcels_sent.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/parcels/count/received",
+        mk(port, |s| s.parcels_received.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/parcels/count/messages-sent",
+        mk(port, |s| s.messages_sent.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/parcels/count/messages-received",
+        mk(port, |s| s.messages_received.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/parcels/count/dropped",
+        mk(port, |s| s.dropped.load(Ordering::Relaxed)),
+    );
+    let stats = port.stats();
+    registry.register_or_replace(
+        "/parcels/flush-occupancy-histogram",
+        rpx_counters::LogHistogramCounter::new(Arc::clone(&stats.flush_occupancy)),
+    );
+    registry.register_or_replace(
+        "/parcels/wire-bytes-histogram",
+        rpx_counters::LogHistogramCounter::new(Arc::clone(&stats.wire_bytes)),
+    );
+    registry.register_or_replace(
+        "/parcels/spawn-batch-histogram",
+        rpx_counters::LogHistogramCounter::new(Arc::clone(&stats.spawn_batch)),
+    );
+}
+
 struct PortPump {
     port: Arc<ParcelPort>,
 }
@@ -230,6 +277,24 @@ impl BackgroundWork for PortPump {
     }
     fn name(&self) -> &str {
         "parcel-pump"
+    }
+}
+
+/// Drives a cooperative [`TelemetryService`] from scheduler *aux*
+/// background work: the sampling cost is charged to the scheduler's
+/// accounting-excluded telemetry account (`/threads/telemetry-time`), so
+/// the Eq. 1–4 integrals the sampler observes are not perturbed by the
+/// act of observing them.
+struct TelemetryTick {
+    service: TelemetryService,
+}
+
+impl BackgroundWork for TelemetryTick {
+    fn run(&self) -> bool {
+        self.service.tick_if_due()
+    }
+    fn name(&self) -> &str {
+        "telemetry-sampler"
     }
 }
 
@@ -244,6 +309,9 @@ pub struct Runtime {
     transport: Arc<dyn Transport>,
     /// Guards action registration so ids stay aligned across localities.
     registration: Mutex<()>,
+    /// Per-locality telemetry samplers, started on demand
+    /// ([`Runtime::start_telemetry`]) and stopped at shutdown.
+    telemetry: Mutex<HashMap<u32, TelemetryService>>,
     shut_down: std::sync::atomic::AtomicBool,
 }
 
@@ -304,6 +372,7 @@ impl Runtime {
                 let sched = Arc::clone(&scheduler);
                 port.set_batch_spawner(Arc::new(move |fs| sched.spawn_batch(fs.drain(..))));
             }
+            register_parcel_counters(&registry, &port);
             // The parcel pump runs as scheduler background work — the
             // paper's "background work" whose duration Eq. 3 measures.
             scheduler.add_background(Arc::new(PortPump {
@@ -328,6 +397,7 @@ impl Runtime {
             localities,
             transport,
             registration: Mutex::new(()),
+            telemetry: Mutex::new(HashMap::new()),
             shut_down: std::sync::atomic::AtomicBool::new(false),
         });
 
@@ -517,12 +587,81 @@ impl Runtime {
     }
 
     /// Query a performance counter on a locality.
-    pub fn query_counter(&self, locality: u32, path: &str) -> Option<CounterValue> {
+    ///
+    /// This is the uniform query surface shared with
+    /// [`Ctx::query`](crate::context::Ctx::query) and
+    /// [`CounterRegistry::query`]: every layer parses the same HPX-style
+    /// path syntax and reports failures through [`CounterError`]. A
+    /// locality id beyond the cluster yields
+    /// [`CounterError::NoSuchLocality`] instead of a silent `None`.
+    pub fn query(&self, locality: u32, path: &str) -> Result<CounterValue, CounterError> {
+        self.registry_for(locality)?.query(path)
+    }
+
+    /// Like [`Runtime::query`], but takes an already-parsed
+    /// [`CounterPath`] (saves re-parsing in sampling loops).
+    pub fn query_path(
+        &self,
+        locality: u32,
+        path: &CounterPath,
+    ) -> Result<CounterValue, CounterError> {
+        self.registry_for(locality)?.query_path(path)
+    }
+
+    fn registry_for(&self, locality: u32) -> Result<&Arc<CounterRegistry>, CounterError> {
         self.localities
-            .get(locality as usize)?
-            .registry
-            .query(path)
-            .ok()
+            .get(locality as usize)
+            .map(|l| &l.registry)
+            .ok_or(CounterError::NoSuchLocality {
+                requested: locality,
+                localities: self.config.localities,
+            })
+    }
+
+    /// Query a performance counter on a locality.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Runtime::query`, which reports why a lookup failed"
+    )]
+    pub fn query_counter(&self, locality: u32, path: &str) -> Option<CounterValue> {
+        self.query(locality, path).ok()
+    }
+
+    /// Start counter sampling on a locality (idempotent: a second call
+    /// while the sampler is running returns a handle on the same
+    /// service).
+    ///
+    /// The sampler runs cooperatively as scheduler *aux* background work;
+    /// its cost is charged to the accounting-excluded
+    /// `/threads/telemetry-time` account, never to the Eq. 1–4 terms it
+    /// samples. It is stopped automatically at [`Runtime::shutdown`];
+    /// sampled series stay readable (frozen) afterwards.
+    pub fn start_telemetry(
+        &self,
+        locality: u32,
+        config: TelemetryConfig,
+    ) -> Result<TelemetryService, CounterError> {
+        let registry = Arc::clone(self.registry_for(locality)?);
+        let mut services = self.telemetry.lock();
+        if let Some(svc) = services.get(&locality) {
+            if svc.is_running() {
+                return Ok(svc.clone());
+            }
+        }
+        let svc = TelemetryService::start_cooperative(registry, config);
+        self.localities[locality as usize]
+            .scheduler
+            .add_aux_background(Arc::new(TelemetryTick {
+                service: svc.clone(),
+            }));
+        services.insert(locality, svc.clone());
+        Ok(svc)
+    }
+
+    /// The telemetry service running (or last run) on a locality, if
+    /// [`Runtime::start_telemetry`] was called for it.
+    pub fn telemetry(&self, locality: u32) -> Option<TelemetryService> {
+        self.telemetry.lock().get(&locality).cloned()
     }
 
     /// Install (or clear with `None`) a failure-injection plan on a
@@ -571,6 +710,9 @@ impl Runtime {
             .swap(true, std::sync::atomic::Ordering::SeqCst)
         {
             return;
+        }
+        for svc in self.telemetry.lock().values() {
+            svc.stop();
         }
         for l in &self.localities {
             l.port.flush_interceptors();

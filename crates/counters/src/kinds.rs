@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rpx_util::Histogram;
+use rpx_util::{Histogram, LogHistogram};
 
 use crate::value::CounterValue;
 
@@ -234,6 +234,35 @@ impl CounterSource for HistogramCounter {
     }
 }
 
+/// A histogram counter wrapping a log2-bucket [`rpx_util::LogHistogram`].
+///
+/// Serves the wide-range parcel-path distributions (`/parcels/*-histogram`)
+/// in the same HPX array-of-values layout as [`HistogramCounter`].
+pub struct LogHistogramCounter {
+    hist: Arc<LogHistogram>,
+}
+
+impl LogHistogramCounter {
+    /// Wrap an existing log histogram.
+    pub fn new(hist: Arc<LogHistogram>) -> Arc<Self> {
+        Arc::new(LogHistogramCounter { hist })
+    }
+
+    /// Access the underlying histogram (for recording).
+    pub fn histogram(&self) -> &Arc<LogHistogram> {
+        &self.hist
+    }
+}
+
+impl CounterSource for LogHistogramCounter {
+    fn value(&self) -> CounterValue {
+        CounterValue::Array(self.hist.snapshot())
+    }
+    fn reset(&self) {
+        self.hist.reset();
+    }
+}
+
 /// A counter whose value is produced by an arbitrary closure.
 ///
 /// Used by the scheduler to expose values derived from several atomics
@@ -339,6 +368,25 @@ mod tests {
                 assert_eq!(a[0], 0);
                 assert_eq!(a[1], 100);
                 assert_eq!(a[2], 4);
+                assert_eq!(a[3..].iter().sum::<u64>(), 2);
+            }
+            v => panic!("unexpected value {v:?}"),
+        }
+        c.reset();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn log_histogram_counter_serves_snapshots() {
+        let h = Arc::new(LogHistogram::new(8));
+        let c = LogHistogramCounter::new(Arc::clone(&h));
+        h.record(3);
+        h.record(100);
+        match c.value() {
+            CounterValue::Array(a) => {
+                assert_eq!(a[0], 0);
+                assert_eq!(a[1], 128);
+                assert_eq!(a[2], 8);
                 assert_eq!(a[3..].iter().sum::<u64>(), 2);
             }
             v => panic!("unexpected value {v:?}"),

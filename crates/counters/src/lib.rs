@@ -7,7 +7,7 @@
 //! can be queried while the application runs, and those counters feed both
 //! the analysis (Figs. 4–9) and — eventually — the adaptive tuning policy.
 //! This crate reproduces the machinery HPX provides for that purpose
-//! (§II-A of the paper, and Grubel et al. [11]):
+//! (§II-A of the paper, and Grubel et al. \[11\]):
 //!
 //! * **Hierarchical counter names** in HPX syntax,
 //!   `/object{instance}/name@parameters`, e.g.
@@ -20,6 +20,10 @@
 //! * A background **sampler** that polls a set of counters at an interval
 //!   and returns time series, the building block for the instantaneous
 //!   per-phase measurements of Fig. 9 — see [`sampler`].
+//! * The **telemetry service** — ring-buffered counter sampling with
+//!   derived windowed rates and the instantaneous Eq. 4 network-overhead
+//!   series `/parcels/overhead-time`, plus JSON/CSV export — see
+//!   [`telemetry`].
 //!
 //! The counters specific to this study (the ones the paper adds to HPX) are
 //! registered by `rpx-coalesce` and `rpx-threading`:
@@ -41,13 +45,15 @@ pub mod kinds;
 pub mod path;
 pub mod registry;
 pub mod sampler;
+pub mod telemetry;
 pub mod value;
 
 pub use kinds::{
     AverageCounter, CallbackCounter, CounterSource, GaugeCounter, HistogramCounter,
-    MonotoneCounter, RatioCounter,
+    LogHistogramCounter, MonotoneCounter, RatioCounter,
 };
 pub use path::CounterPath;
 pub use registry::{CounterError, CounterRegistry};
 pub use sampler::{SampledPoint, SampledSeries, Sampler};
+pub use telemetry::{Sample, TelemetryConfig, TelemetryService, TimeSeries};
 pub use value::CounterValue;

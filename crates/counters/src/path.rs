@@ -75,6 +75,22 @@ impl CounterPath {
         self
     }
 
+    /// Attach the canonical locality instance, `locality#N/total`.
+    pub fn with_locality(self, locality: u32) -> Self {
+        self.with_instance(format!("locality#{locality}/total"))
+    }
+
+    /// The locality id named by the instance, if any.
+    ///
+    /// Both the full HPX form `locality#N/total` and the short form
+    /// `locality#N` (as in `/parcels{locality#1}/messages-sent`) resolve;
+    /// any other instance spelling returns `None`.
+    pub fn locality(&self) -> Option<u32> {
+        let rest = self.instance.as_deref()?.strip_prefix("locality#")?;
+        let digits = rest.strip_suffix("/total").unwrap_or(rest);
+        digits.parse().ok()
+    }
+
     /// Parse an HPX-style counter name.
     ///
     /// ```
@@ -250,6 +266,26 @@ mod tests {
     fn empty_parameters_are_dropped() {
         let p = CounterPath::parse("/coalescing/count/parcels@").unwrap();
         assert_eq!(p.parameters, None);
+    }
+
+    #[test]
+    fn locality_accepts_full_and_short_forms() {
+        let full = CounterPath::parse("/parcels{locality#1/total}/messages-sent").unwrap();
+        assert_eq!(full.locality(), Some(1));
+        let short = CounterPath::parse("/parcels{locality#1}/messages-sent").unwrap();
+        assert_eq!(short.locality(), Some(1));
+        let none = CounterPath::parse("/parcels/messages-sent").unwrap();
+        assert_eq!(none.locality(), None);
+        let other = CounterPath::parse("/parcels{node-3}/messages-sent").unwrap();
+        assert_eq!(other.locality(), None);
+        let garbled = CounterPath::parse("/parcels{locality#x/total}/messages-sent").unwrap();
+        assert_eq!(garbled.locality(), None);
+        assert_eq!(
+            CounterPath::new("parcels", "messages-sent")
+                .with_locality(7)
+                .locality(),
+            Some(7)
+        );
     }
 
     #[test]

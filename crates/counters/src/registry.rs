@@ -33,6 +33,17 @@ pub enum CounterError {
         /// The instance this registry serves.
         served: String,
     },
+    /// The query named a locality outside the runtime's locality range.
+    ///
+    /// Produced by runtime-level query surfaces that route to a
+    /// per-locality registry; the registry itself reports
+    /// [`CounterError::WrongInstance`] instead.
+    NoSuchLocality {
+        /// The locality that was requested.
+        requested: u32,
+        /// The number of localities the runtime hosts.
+        localities: u32,
+    },
 }
 
 impl fmt::Display for CounterError {
@@ -46,6 +57,13 @@ impl fmt::Display for CounterError {
             CounterError::WrongInstance { requested, served } => write!(
                 f,
                 "counter instance {requested} is not served here (this registry serves {served})"
+            ),
+            CounterError::NoSuchLocality {
+                requested,
+                localities,
+            } => write!(
+                f,
+                "locality {requested} does not exist (runtime hosts {localities} localities)"
             ),
         }
     }
@@ -120,13 +138,17 @@ impl CounterRegistry {
     }
 
     fn resolve(&self, path: &str) -> Result<Arc<dyn CounterSource>, CounterError> {
-        let parsed = CounterPath::parse(path)?;
+        self.resolve_parsed(&CounterPath::parse(path)?)
+    }
+
+    fn resolve_parsed(&self, parsed: &CounterPath) -> Result<Arc<dyn CounterSource>, CounterError> {
         if let Some(instance) = &parsed.instance {
-            let served = self.instance_name();
-            if instance != &served {
+            // Locality-qualified instances match on the locality id, so
+            // both `locality#N/total` and the short `locality#N` resolve.
+            if parsed.locality() != Some(self.locality) {
                 return Err(CounterError::WrongInstance {
                     requested: instance.clone(),
-                    served,
+                    served: self.instance_name(),
                 });
             }
         }
@@ -141,6 +163,11 @@ impl CounterRegistry {
     /// Query a counter by name.
     pub fn query(&self, path: &str) -> Result<CounterValue, CounterError> {
         Ok(self.resolve(path)?.value())
+    }
+
+    /// Query a counter by parsed [`CounterPath`].
+    pub fn query_path(&self, path: &CounterPath) -> Result<CounterValue, CounterError> {
+        Ok(self.resolve_parsed(path)?.value())
     }
 
     /// Query a counter and coerce the result to `f64`.
@@ -167,8 +194,14 @@ impl CounterRegistry {
     /// any (possibly empty) run of characters, mirroring HPX's counter
     /// discovery wildcards: `/coalescing/count/*`, `/*/background-*`, or
     /// `*` for everything.
+    ///
+    /// Results are guaranteed to be in deterministic lexicographic
+    /// (sorted) order, so discovery output is stable across runs and
+    /// directly diffable in tooling.
     pub fn discover(&self, pattern: &str) -> Vec<String> {
         let map = self.counters.read();
+        // `counters` is a BTreeMap, so iteration order is already the
+        // sorted order the guarantee above promises.
         map.keys()
             .filter(|k| glob_match(pattern, k))
             .cloned()
@@ -319,6 +352,58 @@ mod tests {
         let exact = reg.discover("/threads/background-overhead");
         assert_eq!(exact, vec!["/threads/background-overhead".to_string()]);
         assert!(reg.discover("/xyz/*").is_empty());
+    }
+
+    #[test]
+    fn short_locality_instance_resolves() {
+        let (reg, parcels) = registry_with_counters();
+        parcels.add(5);
+        // Short form `locality#0` is equivalent to `locality#0/total`.
+        assert_eq!(
+            reg.query("/coalescing{locality#0}/count/parcels@get_cplx")
+                .unwrap(),
+            CounterValue::Int(5)
+        );
+        assert!(matches!(
+            reg.query("/coalescing{locality#9}/count/parcels@get_cplx")
+                .unwrap_err(),
+            CounterError::WrongInstance { .. }
+        ));
+        // A non-locality instance spelling is rejected too.
+        assert!(matches!(
+            reg.query("/coalescing{node-0}/count/parcels@get_cplx")
+                .unwrap_err(),
+            CounterError::WrongInstance { .. }
+        ));
+    }
+
+    #[test]
+    fn query_path_typed_form() {
+        let (reg, parcels) = registry_with_counters();
+        parcels.add(2);
+        let path = CounterPath::new("coalescing", "count/parcels").with_parameters("get_cplx");
+        assert_eq!(reg.query_path(&path).unwrap(), CounterValue::Int(2));
+        let instanced = path.clone().with_locality(0);
+        assert_eq!(reg.query_path(&instanced).unwrap(), CounterValue::Int(2));
+        let wrong = path.with_locality(3);
+        assert!(matches!(
+            reg.query_path(&wrong).unwrap_err(),
+            CounterError::WrongInstance { .. }
+        ));
+    }
+
+    #[test]
+    fn discover_returns_sorted_order() {
+        let reg = CounterRegistry::new(0);
+        // Register deliberately out of lexicographic order.
+        for path in ["/z/last", "/a/first", "/m/mid", "/a/second"] {
+            reg.register(path, MonotoneCounter::new()).unwrap();
+        }
+        let all = reg.discover("*");
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted);
+        assert_eq!(all, vec!["/a/first", "/a/second", "/m/mid", "/z/last"]);
     }
 
     #[test]

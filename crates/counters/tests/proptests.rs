@@ -59,6 +59,36 @@ proptest! {
         prop_assert_eq!(registry.discover(&format!("/{object}/*")).len(), 1);
     }
 
+    /// Locality-qualified paths round-trip parse → display → parse, and
+    /// `locality()` recovers the id from both the full HPX spelling
+    /// (`locality#N/total`) and the short form (`locality#N`, as in
+    /// `/parcels{locality#1}/messages-sent`).
+    #[test]
+    fn locality_qualified_roundtrip(
+        object in segment(),
+        name in segment(),
+        locality in 0u32..=u16::MAX as u32,
+        short_form in any::<bool>(),
+        params in proptest::option::of("[a-z0-9_]{1,8}"),
+    ) {
+        let mut p = CounterPath::new(object, name);
+        p = if short_form {
+            p.with_instance(format!("locality#{locality}"))
+        } else {
+            p.with_locality(locality)
+        };
+        if let Some(pa) = params {
+            p = p.with_parameters(pa);
+        }
+        prop_assert_eq!(p.locality(), Some(locality));
+        let shown = p.to_string();
+        let back = CounterPath::parse(&shown).expect("display form parses");
+        prop_assert_eq!(back.locality(), Some(locality));
+        prop_assert_eq!(&back, &p);
+        // And one more lap for good measure: display is stable.
+        prop_assert_eq!(back.to_string(), shown);
+    }
+
     /// Instanced queries against the right locality behave exactly like
     /// the instance-less form.
     #[test]

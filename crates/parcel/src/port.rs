@@ -40,7 +40,7 @@ use rpx_agas::Gid;
 use rpx_net::{Message, MessageKind, TransportPort};
 use rpx_serialize::{ArchiveReader, ArchiveWriter, WireError};
 use rpx_util::sync::{ArcCell, BitTable, SlotTable};
-use rpx_util::IdAllocator;
+use rpx_util::{IdAllocator, LogHistogram};
 
 use crate::action::{ActionId, ActionRegistry};
 use crate::batch::ParcelBatch;
@@ -87,7 +87,7 @@ pub type BatchTaskSpawner = Arc<BatchSpawnFn>;
 pub type BatchSpawnFn = dyn Fn(&mut Vec<TaskFn>) + Send + Sync;
 
 /// Parcel-level traffic statistics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ParcelPortStats {
     /// Parcels submitted for sending.
     pub parcels_sent: AtomicU64,
@@ -99,6 +99,31 @@ pub struct ParcelPortStats {
     pub messages_received: AtomicU64,
     /// Parcels dropped (unknown action, decode failure).
     pub dropped: AtomicU64,
+    /// Coalescing-buffer occupancy at flush: parcels per encoded message,
+    /// recorded in the egress pump the moment a batch is framed. Bucketed
+    /// log₂ so the send hot path pays two relaxed adds.
+    pub flush_occupancy: Arc<LogHistogram>,
+    /// Wire payload bytes per encoded message (header excluded).
+    pub wire_bytes: Arc<LogHistogram>,
+    /// Tasks admitted per batched spawn on the ingress path (decode →
+    /// spawn batch size of one coalesced message).
+    pub spawn_batch: Arc<LogHistogram>,
+}
+
+impl Default for ParcelPortStats {
+    fn default() -> Self {
+        // 32 log₂ buckets cover occupancies/bytes/batches up to 2³¹.
+        ParcelPortStats {
+            parcels_sent: AtomicU64::new(0),
+            parcels_received: AtomicU64::new(0),
+            messages_sent: AtomicU64::new(0),
+            messages_received: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            flush_occupancy: Arc::new(LogHistogram::new(32)),
+            wire_bytes: Arc::new(LogHistogram::new(32)),
+            spawn_batch: Arc::new(LogHistogram::new(32)),
+        }
+    }
 }
 
 /// Sentinel for "no continuation action installed".
@@ -332,10 +357,12 @@ impl ParcelPort {
             }
             did_work = true;
             for (dst, batch) in drain.drain(..) {
+                self.inner.stats.flush_occupancy.record(batch.len() as u64);
                 let (kind, payload) = encode_message(&batch);
                 // Returns the batch buffer to the pool before the fabric
                 // send, keeping pool occupancy high under load.
                 drop(batch);
+                self.inner.stats.wire_bytes.record(payload.len() as u64);
                 self.inner
                     .stats
                     .messages_sent
@@ -481,6 +508,7 @@ fn deliver_coalesced(inner: &Arc<Inner>, parcels: Vec<Parcel>) {
         }
     }
     if !scratch.is_empty() {
+        inner.stats.spawn_batch.record(scratch.len() as u64);
         batch_spawner(&mut scratch);
         debug_assert!(
             scratch.is_empty(),

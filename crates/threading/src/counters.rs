@@ -110,6 +110,12 @@ pub fn register_thread_counters(registry: &CounterRegistry, stats: Arc<ThreadSta
         })),
     );
     registry.register_or_replace(
+        "/threads/telemetry-time",
+        mk(Box::new(|s| {
+            CounterValue::Int(s.snapshot().telemetry_ns as i64)
+        })),
+    );
+    registry.register_or_replace(
         "/threads/idle-rate",
         mk(Box::new(|s| {
             let snap = s.snapshot();
@@ -150,7 +156,7 @@ mod tests {
         ] {
             assert!(reg.query(path).is_ok(), "missing {path}");
         }
-        assert_eq!(reg.discover("/threads/*").len(), 12);
+        assert_eq!(reg.discover("/threads/*").len(), 13);
     }
 
     #[test]

@@ -98,6 +98,14 @@ struct Inner {
     injector: Injector<Task>,
     stealers: Vec<Stealer<Task>>,
     background: RwLock<Arc<Vec<Arc<dyn BackgroundWork>>>>,
+    /// Accounting-excluded aux background work (the telemetry sampler):
+    /// polled like `background`, but its time is charged to the separate
+    /// telemetry account so the Eq. 1–4 integrals stay undistorted by the
+    /// act of measuring them.
+    aux: RwLock<Arc<Vec<Arc<dyn BackgroundWork>>>>,
+    /// Fast-path flag mirroring `!aux.is_empty()`, so the idle loop pays
+    /// one relaxed load — not an RwLock read — when telemetry is off.
+    has_aux: AtomicBool,
     stats: Arc<ThreadStats>,
     shutdown: AtomicBool,
     /// Tasks spawned but not yet completed (includes currently running).
@@ -180,6 +188,8 @@ impl Scheduler {
             injector: Injector::new(),
             stealers,
             background: RwLock::new(Arc::new(Vec::new())),
+            aux: RwLock::new(Arc::new(Vec::new())),
+            has_aux: AtomicBool::new(false),
             stats: Arc::new(ThreadStats::new()),
             shutdown: AtomicBool::new(false),
             pending: AtomicUsize::new(0),
@@ -311,6 +321,20 @@ impl Scheduler {
         let mut list: Vec<Arc<dyn BackgroundWork>> = guard.as_ref().clone();
         list.push(work);
         *guard = Arc::new(list);
+        self.inner.sleep_cv.notify_all();
+    }
+
+    /// Register *aux* background work: polled exactly like
+    /// [`Scheduler::add_background`], but its time is charged to the
+    /// accounting-excluded telemetry account instead of the Eq. 3
+    /// background account. This is how the counter sampler runs as
+    /// background work while leaving the Eq. 1–4 accounting intact.
+    pub fn add_aux_background(&self, work: Arc<dyn BackgroundWork>) {
+        let mut guard = self.inner.aux.write();
+        let mut list: Vec<Arc<dyn BackgroundWork>> = guard.as_ref().clone();
+        list.push(work);
+        *guard = Arc::new(list);
+        self.inner.has_aux.store(true, Ordering::Release);
         self.inner.sleep_cv.notify_all();
     }
 
@@ -471,6 +495,32 @@ fn run_background(inner: &Inner) -> bool {
     did_work
 }
 
+/// Poll aux background work (the telemetry sampler) and charge its time to
+/// the accounting-excluded telemetry account.
+///
+/// Only polls that actually did work pay for a clock read and a telemetry
+/// charge; a dry probe's cost folds into whichever account closes at the
+/// next boundary, keeping the idle-loop overhead near zero. The return
+/// value deliberately does NOT feed the parking decision: a periodic
+/// sampler firing must not keep a worker spinning.
+fn run_aux(inner: &Inner, mark: &mut Instant) {
+    if !inner.has_aux.load(Ordering::Acquire) {
+        return;
+    }
+    let list = Arc::clone(&inner.aux.read());
+    let mut did_work = false;
+    for work in list.iter() {
+        if work.run() {
+            did_work = true;
+        }
+    }
+    if did_work {
+        let aux_end = Instant::now();
+        inner.stats.add_telemetry(aux_end.duration_since(*mark));
+        *mark = aux_end;
+    }
+}
+
 /// Is there anything queued for this worker to run?
 ///
 /// Checked after the sleeper count rises and before parking; pairs with
@@ -518,6 +568,7 @@ fn worker_loop(inner: Arc<Inner>, local: WorkerQueue<Task>, idx: usize) {
                 let bg_end = Instant::now();
                 inner.stats.add_background(bg_end.duration_since(bg_start));
                 mark = bg_end;
+                run_aux(&inner, &mut mark);
                 // Exit check must not depend on background work running
                 // dry — a pump that always reports progress would
                 // otherwise pin the worker forever.
@@ -647,6 +698,34 @@ mod tests {
         );
         // With no tasks executed, network overhead tends to 1.0.
         assert!(snap.network_overhead() > 0.5);
+    }
+
+    #[test]
+    fn aux_work_is_charged_to_telemetry_not_background() {
+        struct AuxBurner;
+        impl BackgroundWork for AuxBurner {
+            fn run(&self) -> bool {
+                rpx_util::busy_charge(Duration::from_micros(50));
+                true
+            }
+        }
+        let s = scheduler(1);
+        s.add_aux_background(Arc::new(AuxBurner));
+        std::thread::sleep(Duration::from_millis(30));
+        let snap = s.stats().snapshot();
+        assert!(
+            snap.telemetry_ns > 1_000_000,
+            "expected >1 ms of telemetry time, got {} ns",
+            snap.telemetry_ns
+        );
+        // The aux burner's time must not pollute the Eq. 3 background
+        // account: the regular background polls here are all empty.
+        assert!(
+            snap.background_ns < snap.telemetry_ns / 2,
+            "background {} ns vs telemetry {} ns",
+            snap.background_ns,
+            snap.telemetry_ns
+        );
     }
 
     #[test]

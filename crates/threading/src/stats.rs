@@ -30,6 +30,10 @@ pub struct ThreadStats {
     /// pumping the network). Counted in `exec_ns` by the raw wall-clock
     /// task timing, so snapshots move it from exec to background.
     in_task_background_ns: AtomicU64,
+    /// Accounting-excluded aux background work (the telemetry sampler).
+    /// Kept out of every Eq. 1–4 account so instrumenting a run does not
+    /// perturb the overhead figures the run is instrumenting.
+    telemetry_ns: AtomicU64,
     idle_ns: AtomicU64,
     tasks_executed: AtomicU64,
     tasks_spawned: AtomicU64,
@@ -68,6 +72,11 @@ impl ThreadStats {
     pub fn add_in_task_background(&self, d: Duration) {
         self.in_task_background_ns
             .fetch_add(dur_to_ns(d), Ordering::Relaxed);
+    }
+
+    /// Charge accounting-excluded telemetry (aux background) time.
+    pub fn add_telemetry(&self, d: Duration) {
+        self.telemetry_ns.fetch_add(dur_to_ns(d), Ordering::Relaxed);
     }
 
     /// Charge idle (parked) time.
@@ -119,6 +128,7 @@ impl ThreadStats {
                 .saturating_sub(in_task_bg),
             mgmt_ns: self.mgmt_ns.load(Ordering::Relaxed),
             background_ns: self.background_ns.load(Ordering::Relaxed) + in_task_bg,
+            telemetry_ns: self.telemetry_ns.load(Ordering::Relaxed),
             idle_ns: self.idle_ns.load(Ordering::Relaxed),
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
             tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
@@ -136,6 +146,7 @@ impl ThreadStats {
         self.mgmt_ns.store(0, Ordering::Relaxed);
         self.background_ns.store(0, Ordering::Relaxed);
         self.in_task_background_ns.store(0, Ordering::Relaxed);
+        self.telemetry_ns.store(0, Ordering::Relaxed);
         self.idle_ns.store(0, Ordering::Relaxed);
         self.tasks_executed.store(0, Ordering::Relaxed);
         self.tasks_spawned.store(0, Ordering::Relaxed);
@@ -156,6 +167,10 @@ pub struct StatsSnapshot {
     pub mgmt_ns: u64,
     /// Time spent in background work (ns) — `Σ t_background` (Eq. 3).
     pub background_ns: u64,
+    /// Time spent in accounting-excluded aux background work (ns), i.e.
+    /// the telemetry sampler. Deliberately **not** part of
+    /// [`StatsSnapshot::func_ns`] or any Eq. 1–4 term.
+    pub telemetry_ns: u64,
     /// Time spent idle (ns).
     pub idle_ns: u64,
     /// Number of tasks executed — `n_t`.
@@ -209,6 +224,7 @@ impl StatsSnapshot {
             exec_ns: self.exec_ns.saturating_sub(earlier.exec_ns),
             mgmt_ns: self.mgmt_ns.saturating_sub(earlier.mgmt_ns),
             background_ns: self.background_ns.saturating_sub(earlier.background_ns),
+            telemetry_ns: self.telemetry_ns.saturating_sub(earlier.telemetry_ns),
             idle_ns: self.idle_ns.saturating_sub(earlier.idle_ns),
             tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
             tasks_spawned: self.tasks_spawned.saturating_sub(earlier.tasks_spawned),
@@ -354,5 +370,26 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(snap.func_ns(), 10);
+    }
+
+    #[test]
+    fn telemetry_time_is_excluded_from_eq_accounts() {
+        let s = ThreadStats::new();
+        s.add_exec(Duration::from_nanos(100));
+        s.add_background(Duration::from_nanos(50));
+        s.add_telemetry(Duration::from_nanos(1_000_000));
+        s.count_task();
+        let snap = s.snapshot();
+        assert_eq!(snap.telemetry_ns, 1_000_000);
+        // Eq. 1 func time and Eq. 4 overhead ignore the sampling cost.
+        assert_eq!(snap.func_ns(), 150);
+        assert!((snap.network_overhead() - 50.0 / 150.0).abs() < 1e-12);
+        let later = {
+            s.add_telemetry(Duration::from_nanos(500));
+            s.snapshot()
+        };
+        assert_eq!(later.delta_since(&snap).telemetry_ns, 500);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 }

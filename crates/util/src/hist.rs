@@ -169,6 +169,134 @@ impl Histogram {
     }
 }
 
+/// A power-of-two-bucket histogram with atomic counters.
+///
+/// Parcel-path quantities (coalescing buffer occupancy at flush, message
+/// wire bytes, decode→spawn batch sizes) span several orders of magnitude,
+/// so fixed-width buckets either waste resolution at the bottom or truncate
+/// the top. `LogHistogram` buckets by bit length instead: bucket 0 holds
+/// the value `0`, bucket `i > 0` holds values in `[2^(i-1), 2^i)`. The
+/// bucket index is a `leading_zeros` instruction, so recording stays a few
+/// relaxed atomic adds — cheap enough for the parcel hot paths.
+#[derive(Debug)]
+pub struct LogHistogram {
+    overflow: AtomicU64,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl LogHistogram {
+    /// Create a histogram with `buckets` log2 buckets covering
+    /// `[0, 2^(buckets-1))`; larger values land in the overflow bucket.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or `buckets > 64`.
+    pub fn new(buckets: usize) -> Self {
+        assert!(
+            (1..=64).contains(&buckets),
+            "log histogram needs 1..=64 buckets"
+        );
+        LogHistogram {
+            overflow: AtomicU64::new(0),
+            buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in: its bit length (0 for 0).
+    #[inline]
+    fn index_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        let idx = Self::index_of(value);
+        match self.buckets.get(idx) {
+            Some(b) => b.fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Number of buckets (excluding overflow).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Inclusive lower bound of bucket `i` (`0`, then `2^(i-1)`).
+    pub fn bucket_lower_bound(&self, i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Exclusive upper bound of the covered range: `2^(buckets-1)`.
+    pub fn max(&self) -> u64 {
+        1u64 << (self.buckets.len() - 1)
+    }
+
+    /// Total number of recorded samples (including overflow).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all recorded samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        let count = self.count();
+        (count > 0).then(|| self.sum() as f64 / count as f64)
+    }
+
+    /// Samples at or above [`LogHistogram::max`].
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-bucket counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Snapshot in the same HPX counter wire format as
+    /// [`Histogram::snapshot`]: `[min, max, buckets, underflow, b0, …,
+    /// overflow]`. `min` and `underflow` are always 0; bucket boundaries
+    /// are implied by the log2 scheme rather than a fixed width.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 4);
+        out.push(0);
+        out.push(self.max());
+        out.push(self.buckets.len() as u64);
+        out.push(0);
+        out.extend(self.bucket_counts());
+        out.push(self.overflow());
+        out
+    }
+
+    /// Reset all counts to zero (shape unchanged).
+    pub fn reset(&self) {
+        self.overflow.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +391,77 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_range_panics() {
         let _ = Histogram::new(10, 10, 2);
+    }
+
+    #[test]
+    fn log_histogram_buckets_by_bit_length() {
+        let h = LogHistogram::new(8);
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1: [1, 2)
+        h.record(2); // bucket 2: [2, 4)
+        h.record(3); // bucket 2
+        h.record(4); // bucket 3: [4, 8)
+        h.record(127); // bucket 7: [64, 128)
+        h.record(128); // overflow (max = 2^7)
+        let counts = h.bucket_counts();
+        assert_eq!(counts, vec![1, 1, 2, 1, 0, 0, 0, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 265);
+        assert_eq!(h.max(), 128);
+    }
+
+    #[test]
+    fn log_histogram_bucket_bounds() {
+        let h = LogHistogram::new(5);
+        assert_eq!(h.bucket_lower_bound(0), 0);
+        assert_eq!(h.bucket_lower_bound(1), 1);
+        assert_eq!(h.bucket_lower_bound(2), 2);
+        assert_eq!(h.bucket_lower_bound(4), 8);
+        assert_eq!(h.max(), 16);
+        // Every in-range value lands in the bucket whose bounds contain it.
+        for v in 0..16u64 {
+            let idx = LogHistogram::index_of(v);
+            assert!(v >= h.bucket_lower_bound(idx));
+            if idx + 1 < h.num_buckets() {
+                assert!(v < h.bucket_lower_bound(idx + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn log_histogram_snapshot_matches_hpx_layout() {
+        let h = LogHistogram::new(4);
+        h.record(0);
+        h.record(5);
+        h.record(1_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 0); // min
+        assert_eq!(snap[1], 8); // max = 2^3
+        assert_eq!(snap[2], 4); // buckets
+        assert_eq!(snap[3], 0); // underflow (none possible)
+        assert_eq!(&snap[4..8], &[1, 0, 0, 1]);
+        assert_eq!(snap[8], 1); // overflow
+                                // Sample count recoverable the same way as the linear histogram.
+        assert_eq!(snap[3..].iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn log_histogram_reset_clears_counts() {
+        let h = LogHistogram::new(4);
+        h.record(3);
+        h.record(1 << 40);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert!(h.bucket_counts().iter().all(|&c| c == 0));
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn log_histogram_zero_buckets_panics() {
+        let _ = LogHistogram::new(0);
     }
 }

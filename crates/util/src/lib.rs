@@ -13,8 +13,10 @@
 //!   the analogue of the Boost deadline timer the paper uses for the parcel
 //!   coalescing flush timer (§II-B), where the authors report firing within
 //!   ~33 µs of the requested deadline on average.
-//! * [`hist`] — lock-free fixed-bucket histograms backing the
-//!   `/coalescing/time/parcel-arrival-histogram` performance counter.
+//! * [`hist`] — lock-free histograms: fixed-width buckets backing the
+//!   `/coalescing/time/parcel-arrival-histogram` performance counter, and
+//!   log2 buckets ([`LogHistogram`]) for the wide-range parcel-path
+//!   distributions (flush occupancy, wire bytes, spawn batch sizes).
 //! * [`stats`] — online statistics (Welford mean/variance, RSD), Pearson
 //!   correlation, and simple series helpers used by the evaluation harness.
 //! * [`complex`] — a minimal `Complex64`, the payload type of both the toy
@@ -38,7 +40,7 @@ pub mod timer;
 
 pub use complex::Complex64;
 pub use ewma::Ewma;
-pub use hist::Histogram;
+pub use hist::{Histogram, LogHistogram};
 pub use ids::IdAllocator;
 pub use stats::{pearson, OnlineStats};
 pub use sync::{ArcCell, BitTable, SlotTable};

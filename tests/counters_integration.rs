@@ -44,7 +44,7 @@ fn all_paper_counters_are_queryable() {
     for path in coalescing_counters.iter().chain(&thread_counters) {
         for locality in 0..2 {
             assert!(
-                rt.query_counter(locality, path).is_some(),
+                rt.query(locality, path).is_ok(),
                 "{path} missing on locality {locality}"
             );
         }
@@ -119,6 +119,49 @@ fn counter_discovery_lists_everything() {
     let threads = reg.discover("/threads/*");
     assert!(threads.len() >= 6);
     assert!(reg.discover("*").len() >= coalescing.len() + threads.len());
+    rt.shutdown();
+}
+
+#[test]
+fn discovery_covers_telemetry_and_histogram_counters() {
+    let (rt, _control) = traffic_runtime();
+    let _svc = rt
+        .start_telemetry(0, rpx::TelemetryConfig::default())
+        .unwrap();
+    let reg = rt.locality(0).counters();
+
+    // The sampler self-describes under /telemetry/*, in sorted order.
+    let telemetry = reg.discover("/telemetry/*");
+    assert_eq!(
+        telemetry,
+        vec![
+            "/telemetry/count/samples".to_string(),
+            "/telemetry/count/series".to_string(),
+            "/telemetry/time/interval".to_string(),
+        ],
+        "telemetry counters missing or unsorted"
+    );
+
+    // The parcel hot-path histograms are discoverable by a glob and
+    // return HPX histogram-array snapshots.
+    let hists = reg.discover("/parcels/*-histogram");
+    assert_eq!(
+        hists,
+        vec![
+            "/parcels/flush-occupancy-histogram".to_string(),
+            "/parcels/spawn-batch-histogram".to_string(),
+            "/parcels/wire-bytes-histogram".to_string(),
+        ],
+        "histogram counters missing or unsorted"
+    );
+    for path in &hists {
+        let v = reg.query(path).unwrap();
+        let arr = v.as_array().expect("histogram counter is an array");
+        assert!(arr.len() > 4, "{path}: snapshot too short: {arr:?}");
+    }
+
+    // Discovery output is deterministic: two scans agree exactly.
+    assert_eq!(reg.discover("*"), reg.discover("*"));
     rt.shutdown();
 }
 

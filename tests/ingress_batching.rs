@@ -44,8 +44,8 @@ fn run_batched(kind: TransportKind) -> BatchedRun {
     rt.wait_quiescent(Duration::from_secs(30));
     // The toy app sends loc 0 -> loc 1, so locality 1 is where coalesced
     // messages decode into task batches.
-    let int = |path: &str| match rt.query_counter(1, path) {
-        Some(CounterValue::Int(v)) => v,
+    let int = |path: &str| match rt.query(1, path) {
+        Ok(CounterValue::Int(v)) => v,
         other => panic!("counter {path} missing or non-int: {other:?}"),
     };
     let run = BatchedRun {

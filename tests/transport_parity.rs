@@ -33,8 +33,8 @@ fn run_on(kind: TransportKind) -> (ToyReport, CounterSnapshot) {
     let rt = boot_on(2, kind);
     let report = run_toy(&rt, &toy_config()).expect("toy run failed");
     rt.wait_quiescent(Duration::from_secs(30));
-    let int = |path: &str| match rt.query_counter(0, path) {
-        Some(CounterValue::Int(v)) => v,
+    let int = |path: &str| match rt.query(0, path) {
+        Ok(CounterValue::Int(v)) => v,
         other => panic!("counter {path} missing or non-int: {other:?}"),
     };
     let snapshot = CounterSnapshot {
@@ -138,8 +138,8 @@ fn tcp_corrupted_frames_count_and_waiters_time_out() {
     assert!(result.is_err(), "wait should time out, got {result:?}");
     // The corrupted response arrived at locality 0 and failed its
     // checksum there.
-    let failures = match rt.query_counter(0, "/network/decode-failures") {
-        Some(CounterValue::Int(v)) => v,
+    let failures = match rt.query(0, "/network/decode-failures") {
+        Ok(CounterValue::Int(v)) => v,
         other => panic!("decode-failures counter missing: {other:?}"),
     };
     assert!(failures >= 1, "no decode failure recorded");
