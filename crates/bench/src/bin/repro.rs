@@ -13,6 +13,11 @@
 //! `check-fig5` (not part of `all`) is the CI smoke check: it exits
 //! non-zero unless completion time decreases monotonically (within
 //! tolerance) with nparcels — figure-shape regressions fail the build.
+//!
+//! `chaos` (not part of `all`) is the reliability smoke: the toy app
+//! runs over both backends under `FaultPlan::chaos()` with the
+//! reliability sublayer enabled, and the run exits non-zero if any LCO
+//! was lost or duplicated.
 
 use rpx_bench::table::{print_csv, print_table, ratio, secs};
 use rpx_bench::{experiments as exp, Scale};
@@ -51,6 +56,7 @@ fn main() {
             "fig4" => run_fig4(scale),
             "fig5" => run_fig5(scale),
             "check-fig5" => run_check_fig5(scale),
+            "chaos" => run_chaos(scale),
             "fig6" => run_fig6(scale),
             "fig7" => run_fig7(scale),
             "fig8" => run_fig8(scale),
@@ -164,6 +170,62 @@ fn run_check_fig5(scale: Scale) {
             eprintln!("fig5 shape REGRESSED: {why}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Chaos smoke: toy app over both backends with the reliability sublayer
+/// enabled and `FaultPlan::chaos()` (5 % drop, 2 % corrupt, duplicates,
+/// reordering) on every wire. Exits non-zero if any LCO was lost or
+/// duplicated — see `exp_chaos` for the exact invariants.
+fn run_chaos(scale: Scale) {
+    let r = exp::exp_chaos(scale);
+    let headers = [
+        "backend",
+        "off_s",
+        "baseline_s",
+        "chaos_s",
+        "dropped",
+        "corrupted",
+        "duplicated",
+        "reordered",
+        "retransmits",
+        "acks",
+        "dups_suppressed",
+        "delivery_failures",
+    ];
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.backend.to_string(),
+                secs(row.off_secs),
+                secs(row.baseline_secs),
+                secs(row.chaos_secs),
+                row.dropped.to_string(),
+                row.corrupted.to_string(),
+                row.duplicated.to_string(),
+                row.reordered.to_string(),
+                row.retransmits.to_string(),
+                row.acks_sent.to_string(),
+                row.duplicates_suppressed.to_string(),
+                row.delivery_failures.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Chaos — toy app exactly-once delivery over a faulty wire",
+        &headers,
+        &rows,
+    );
+    print_csv(&headers, &rows);
+    if r.violations.is_empty() {
+        println!("chaos OK: exactly-once delivery held on every backend");
+    } else {
+        for v in &r.violations {
+            eprintln!("chaos VIOLATION: {v}");
+        }
+        std::process::exit(1);
     }
 }
 

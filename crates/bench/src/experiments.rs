@@ -1045,6 +1045,162 @@ pub fn exp_sampling_overhead(scale: Scale, repeats: usize) -> SamplingOverheadRe
     }
 }
 
+// ---------------------------------------------------------------------
+// Chaos smoke — reliable delivery under an adversarial wire
+// ---------------------------------------------------------------------
+
+/// One backend's chaos-smoke measurement.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Transport backend the toy app ran over.
+    pub backend: &'static str,
+    /// Toy total wall time with reliability *off* (the clean fast path).
+    pub off_secs: f64,
+    /// Toy total wall time with reliability on and a clean wire.
+    pub baseline_secs: f64,
+    /// Toy total wall time under [`rpx_net::FaultPlan::chaos`].
+    pub chaos_secs: f64,
+    /// Frames the plan dropped / corrupted / duplicated / reordered.
+    pub dropped: u64,
+    /// See [`ChaosRow::dropped`].
+    pub corrupted: u64,
+    /// See [`ChaosRow::dropped`].
+    pub duplicated: u64,
+    /// See [`ChaosRow::dropped`].
+    pub reordered: u64,
+    /// `/network/retransmits` summed over localities after the chaos run.
+    pub retransmits: i64,
+    /// `/network/acks-sent` summed over localities.
+    pub acks_sent: i64,
+    /// `/network/duplicates-suppressed` summed over localities.
+    pub duplicates_suppressed: i64,
+    /// `/network/delivery-failures` summed over localities.
+    pub delivery_failures: i64,
+}
+
+/// Result of [`exp_chaos`]: per-backend stats plus every violated
+/// invariant (empty = the reliability layer held).
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// One row per backend.
+    pub rows: Vec<ChaosRow>,
+    /// Human-readable invariant violations.
+    pub violations: Vec<String>,
+}
+
+fn chaos_toy_config(scale: Scale) -> ToyConfig {
+    ToyConfig {
+        numparcels: scale.pick(400, 4_000),
+        phases: 2,
+        bidirectional: true,
+        coalescing: Some(CoalescingParams::new(16, Duration::from_micros(1_000))),
+        nparcels_schedule: None,
+    }
+}
+
+fn chaos_runtime(kind: rpx::TransportKind) -> Arc<Runtime> {
+    let mut config = driver::sweep_runtime_config_on(2, kind);
+    // Default reliability tunables: the 5 ms initial RTO sits well above
+    // the ack round-trip (ack_interval 100 µs + wire latency), so a
+    // clean wire sees essentially no spurious retransmits.
+    config.reliability = Some(rpx::ReliabilityConfig::default());
+    Runtime::new(config)
+}
+
+fn sum_net_counter(rt: &Runtime, name: &str) -> i64 {
+    (0..2)
+        .map(|l| match rt.query(l, &format!("/network/{name}")) {
+            Ok(rpx::CounterValue::Int(v)) => v,
+            other => panic!("/network/{name} on locality {l}: {other:?}"),
+        })
+        .sum()
+}
+
+/// The chaos smoke behind `repro -- chaos`: run the toy app over each
+/// backend with the reliability sublayer enabled, first on a clean wire,
+/// then under [`FaultPlan::chaos`](rpx_net::FaultPlan::chaos) (5 % drop,
+/// 2 % corrupt, wire duplicates, reordering) on *every* locality's
+/// outbound wire. Delivery must stay exactly-once: the run completes (no
+/// lost LCO hangs it), no delivery failure fires, retransmission repairs
+/// every drop, and wire duplicates are suppressed below the parcel layer.
+pub fn exp_chaos(scale: Scale) -> ChaosReport {
+    let backends = [
+        ("sim", rpx::TransportKind::Sim(paper_link())),
+        ("tcp", rpx::TransportKind::TcpLoopback),
+    ];
+    let mut rows = Vec::new();
+    let mut violations = Vec::new();
+    for (backend, kind) in backends {
+        let cfg = chaos_toy_config(scale);
+
+        let rt = Runtime::new(driver::sweep_runtime_config_on(2, kind));
+        let off = run_toy(&rt, &cfg).expect("reliability-off toy run failed");
+        rt.shutdown();
+
+        let rt = chaos_runtime(kind);
+        let baseline = run_toy(&rt, &cfg).expect("clean-wire toy run failed");
+        rt.shutdown();
+
+        let rt = chaos_runtime(kind);
+        let plan = Arc::new(rpx_net::FaultPlan::chaos());
+        for locality in 0..2 {
+            rt.inject_faults(locality, Some(Arc::clone(&plan)));
+        }
+        let chaos = match run_toy(&rt, &cfg) {
+            Ok(report) => report,
+            Err(err) => {
+                violations.push(format!("{backend}: chaos run failed: {err}"));
+                rt.shutdown();
+                continue;
+            }
+        };
+
+        let row = ChaosRow {
+            backend,
+            off_secs: off.total.as_secs_f64(),
+            baseline_secs: baseline.total.as_secs_f64(),
+            chaos_secs: chaos.total.as_secs_f64(),
+            dropped: plan.dropped(),
+            corrupted: plan.corrupted(),
+            duplicated: plan.duplicated(),
+            reordered: plan.reordered(),
+            retransmits: sum_net_counter(&rt, "retransmits"),
+            acks_sent: sum_net_counter(&rt, "acks-sent"),
+            duplicates_suppressed: sum_net_counter(&rt, "duplicates-suppressed"),
+            delivery_failures: sum_net_counter(&rt, "delivery-failures"),
+        };
+        rt.shutdown();
+
+        if row.dropped == 0 || row.corrupted == 0 || row.duplicated == 0 {
+            violations.push(format!(
+                "{backend}: the fault plan never fired (dropped {}, corrupted {}, \
+                 duplicated {})",
+                row.dropped, row.corrupted, row.duplicated
+            ));
+        }
+        if row.retransmits == 0 {
+            violations.push(format!("{backend}: drops were never retransmitted"));
+        }
+        if row.duplicates_suppressed == 0 {
+            violations.push(format!("{backend}: wire duplicates were never suppressed"));
+        }
+        if row.delivery_failures != 0 {
+            violations.push(format!(
+                "{backend}: {} messages were abandoned (LCOs lost)",
+                row.delivery_failures
+            ));
+        }
+        if chaos.parcels_counted != baseline.parcels_counted {
+            violations.push(format!(
+                "{backend}: parcel count changed under chaos ({} != {})",
+                chaos.parcels_counted, baseline.parcels_counted
+            ));
+        }
+        rows.push(row);
+    }
+    ChaosReport { rows, violations }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

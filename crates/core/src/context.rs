@@ -202,15 +202,6 @@ impl Ctx {
         self.here().registry.query_path(path)
     }
 
-    /// Query a counter on this locality.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Ctx::query`, which reports why a lookup failed"
-    )]
-    pub fn query_counter(&self, path: &str) -> Option<rpx_counters::CounterValue> {
-        self.query(path).ok()
-    }
-
     /// Cooperative progress from driver code: pump the parcel port and, if
     /// the network is dry, help run one pending task. Used by barrier
     /// waits; futures do this automatically.

@@ -14,7 +14,7 @@ use rpx_counters::{
 };
 use rpx_lco::Promise;
 use rpx_metrics::MetricsReader;
-use rpx_net::{LinkModel, Transport, TransportKind};
+use rpx_net::{LinkModel, ReliabilityConfig, ReliableTransport, Transport, TransportKind};
 use rpx_parcel::{
     port::decode_continuation_args, ActionId, ActionRegistry, ParcelPort, ParcelPortConfig,
 };
@@ -36,6 +36,14 @@ pub struct RuntimeConfig {
     /// Which transport backend connects the localities: the simulated
     /// fabric with a [`LinkModel`] (default) or real loopback TCP.
     pub transport: TransportKind,
+    /// End-to-end reliable delivery (sequence numbers, acks,
+    /// retransmission with backoff, duplicate suppression — see
+    /// [`rpx_net::reliability`]). `None` (default) runs the raw
+    /// transport: loss surfaces as timeouts, exactly as before. `Some`
+    /// wraps every port in a [`rpx_net::ReliablePort`]; retransmission
+    /// work is driven by the same pump loops and lands in the
+    /// background-work account.
+    pub reliability: Option<ReliabilityConfig>,
     /// Egress entries the parcel pump encodes per background sweep.
     pub egress_drain_budget: usize,
     /// Idle park interval of scheduler workers.
@@ -54,6 +62,7 @@ impl Default for RuntimeConfig {
             localities: 2,
             workers_per_locality: 2,
             transport: TransportKind::default(),
+            reliability: None,
             egress_drain_budget: ParcelPortConfig::default().egress_drain_budget,
             idle_park: Duration::from_micros(200),
             invocation_overhead: Duration::from_nanos(1_500),
@@ -76,6 +85,7 @@ impl RuntimeConfig {
                 eager_threshold: usize::MAX,
                 rendezvous_extra: Duration::ZERO,
             }),
+            reliability: None,
             egress_drain_budget: ParcelPortConfig::default().egress_drain_budget,
             idle_park: Duration::from_micros(200),
             invocation_overhead: Duration::ZERO,
@@ -220,6 +230,22 @@ fn register_network_counters(
         "/network/decode-failures",
         mk(&port, |s| s.decode_failures.load(Ordering::Relaxed)),
     );
+    registry.register_or_replace(
+        "/network/retransmits",
+        mk(&port, |s| s.retransmits.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/acks-sent",
+        mk(&port, |s| s.acks_sent.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/duplicates-suppressed",
+        mk(&port, |s| s.duplicates_suppressed.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/delivery-failures",
+        mk(&port, |s| s.delivery_failures.load(Ordering::Relaxed)),
+    );
 }
 
 /// Expose a parcel port's statistics as `/parcels/*` counters: the plain
@@ -325,6 +351,12 @@ impl Runtime {
             .transport
             .build(config.localities)
             .expect("transport construction failed (socket bind?)");
+        // Reliability is a decorator over whichever backend was built:
+        // every port gets sequencing/acks/retransmission transparently.
+        let transport: Arc<dyn Transport> = match config.reliability {
+            Some(rc) => ReliableTransport::new(transport, rc),
+            None => transport,
+        };
         let timer = Arc::new(TimerService::new("flush"));
 
         let mut localities = Vec::with_capacity(config.localities as usize);
@@ -616,15 +648,6 @@ impl Runtime {
                 requested: locality,
                 localities: self.config.localities,
             })
-    }
-
-    /// Query a performance counter on a locality.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Runtime::query`, which reports why a lookup failed"
-    )]
-    pub fn query_counter(&self, locality: u32, path: &str) -> Option<CounterValue> {
-        self.query(locality, path).ok()
     }
 
     /// Start counter sampling on a locality (idempotent: a second call

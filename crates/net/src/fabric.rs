@@ -12,7 +12,7 @@
 //! scheduler threads.
 //!
 //! Messages travel as in-memory structs (no copy on the hot path), but
-//! byte counters charge **frame** lengths ([`frame_len`]) and fault
+//! byte counters charge **frame** lengths ([`wire_len`]) and fault
 //! injection routes through the shared frame codec, so statistics and
 //! corruption behaviour match the TCP backend byte for byte.
 
@@ -20,15 +20,15 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use rpx_util::busy_charge;
 
-use crate::fault::{FaultAction, FaultPlan};
-use crate::frame::{corrupt_frame, decode_frame, encode_frame, frame_len};
+use crate::fault::{FaultAction, FaultPlan, FaultStage};
+use crate::frame::{corrupt_frame, decode_frame, encode_frame, wire_len};
 use crate::message::Message;
 use crate::model::LinkModel;
 use crate::transport::{NotifyFn, ReceiveHandler, Transport, TransportPort};
@@ -53,6 +53,21 @@ pub struct PortStats {
     /// Frames that arrived corrupted (checksum/framing failure) and were
     /// dropped on the receive side.
     pub decode_failures: AtomicU64,
+    /// Sequenced frames re-sent by the reliability sublayer after their
+    /// retransmission timeout expired unacked. Incremented by
+    /// [`crate::reliability::ReliablePort`]; raw backends never touch it.
+    pub retransmits: AtomicU64,
+    /// Ack frames sent by the reliability sublayer on behalf of this
+    /// port's receive side.
+    pub acks_sent: AtomicU64,
+    /// Received sequenced frames discarded as duplicates by the
+    /// reliability sublayer's receive window (retransmit or injected
+    /// duplicate already delivered).
+    pub duplicates_suppressed: AtomicU64,
+    /// Sequenced frames abandoned after the retransmission give-up
+    /// budget was exhausted (each surfaced as a
+    /// [`crate::reliability::DeliveryError`]).
+    pub delivery_failures: AtomicU64,
 }
 
 struct InFlight {
@@ -112,6 +127,10 @@ struct PortShared {
     processing: std::sync::atomic::AtomicUsize,
     /// Optional failure injection applied to outbound messages.
     faults: RwLock<Option<Arc<FaultPlan>>>,
+    /// Outbound messages parked by [`FaultAction::Reorder`], waiting for
+    /// later traffic to overtake them. Counted in `outbound_backlog` so
+    /// quiescence checks see them.
+    reorder: Mutex<FaultStage<Message>>,
 }
 
 /// Decrements a processing gauge on drop (panic-safe).
@@ -187,6 +206,7 @@ impl SimTransport {
                     seq: AtomicU64::new(0),
                     processing: std::sync::atomic::AtomicUsize::new(0),
                     faults: RwLock::new(None),
+                    reorder: Mutex::new(FaultStage::default()),
                 })
             })
             .collect();
@@ -298,11 +318,54 @@ impl SimPort {
         self.shared.notify();
     }
 
+    /// Put `message` in flight towards its destination after the modelled
+    /// delivery delay plus `extra_delay`. Send-side statistics are the
+    /// caller's business (reorder-released messages were already
+    /// counted).
+    fn forward(&self, message: Message, extra_delay: Duration) {
+        let dst = Arc::clone(&self.state.ports[message.dst as usize]);
+        // Store-and-forward: a message is deliverable only after its
+        // last byte has crossed the wire, so delivery lags by the
+        // transfer time (and any rendezvous handshake) in addition to
+        // propagation latency. This is the physical cost of lumping
+        // many parcels into one large message — the first parcel in
+        // the batch cannot execute until the whole batch has arrived.
+        let deliver_at =
+            Instant::now() + self.state.model.delivery_delay(message.len()) + extra_delay;
+        let seq = dst.seq.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut heap = dst.inflight.lock();
+            heap.push(Reverse(InFlight {
+                deliver_at,
+                seq,
+                message,
+            }));
+            // Refresh the lock-free deadline hint from the heap head
+            // while still holding the lock, so the hint always equals
+            // the true earliest deadline.
+            let head = heap.peek().expect("just pushed").0.deliver_at;
+            dst.next_due
+                .store(self.state.epoch_ns(head), Ordering::Release);
+        }
+        dst.notify();
+    }
+
     /// Pump outbound messages: pay the sender CPU cost and move messages
     /// into the destination's in-flight heap. Returns `true` if any
     /// message was processed.
     pub fn pump_send(&self) -> bool {
         let mut did_work = false;
+        // Release reorder-parked messages that are due (enough later
+        // traffic overtook them, or their hold deadline expired so a
+        // quiet link cannot strand them). Their costs and statistics
+        // were charged when they first passed through the loop below.
+        let mut released = Vec::new();
+        self.shared.reorder.lock().drain_ready(&mut released);
+        for message in released {
+            let _guard = ProcessingGuard::enter(&self.shared.processing);
+            did_work = true;
+            self.forward(message, Duration::ZERO);
+        }
         for _ in 0..PUMP_BATCH {
             let Ok(message) = self.shared.outbound_rx.try_recv() else {
                 break;
@@ -319,14 +382,24 @@ impl SimPort {
             self.shared
                 .stats
                 .sent_bytes
-                .fetch_add(frame_len(message.len()) as u64, Ordering::Relaxed);
-            let dst = Arc::clone(&self.state.ports[message.dst as usize]);
+                .fetch_add(wire_len(&message) as u64, Ordering::Relaxed);
             // Failure injection (tests): the cost is already paid, the
-            // wire then loses or mangles the message.
-            let fault = self.shared.faults.read().clone();
-            let message = match fault.map(|plan| plan.decide()) {
-                Some(FaultAction::Drop) => continue,
-                Some(FaultAction::Corrupt) => {
+            // wire then loses, mangles, duplicates, delays or reorders
+            // the message.
+            let plan = self.shared.faults.read().clone();
+            let (action, delay, window) = match &plan {
+                Some(p) => (p.decide(), p.delay, p.reorder_window.unwrap_or(1)),
+                None => (FaultAction::Deliver, Duration::ZERO, 1),
+            };
+            if action != FaultAction::Reorder {
+                // Everything that reaches the wire overtakes whatever is
+                // parked for reordering (dropped messages count too —
+                // they consumed a wire slot).
+                self.shared.reorder.lock().on_pass();
+            }
+            match action {
+                FaultAction::Drop => continue,
+                FaultAction::Corrupt => {
                     // Route the corruption through the shared frame codec:
                     // the flipped byte fails the destination's checksum,
                     // exactly as it would on the TCP backend, so the frame
@@ -335,38 +408,24 @@ impl SimPort {
                     let mut frame = encode_frame(&message);
                     corrupt_frame(&mut frame);
                     match decode_frame(&frame) {
-                        Ok((survivor, _)) => survivor,
+                        Ok((survivor, _)) => self.forward(survivor, Duration::ZERO),
                         Err(_) => {
-                            dst.stats.decode_failures.fetch_add(1, Ordering::Relaxed);
+                            self.state.ports[message.dst as usize]
+                                .stats
+                                .decode_failures
+                                .fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
                     }
                 }
-                _ => message,
-            };
-            // Store-and-forward: a message is deliverable only after its
-            // last byte has crossed the wire, so delivery lags by the
-            // transfer time (and any rendezvous handshake) in addition to
-            // propagation latency. This is the physical cost of lumping
-            // many parcels into one large message — the first parcel in
-            // the batch cannot execute until the whole batch has arrived.
-            let deliver_at = Instant::now() + self.state.model.delivery_delay(message.len());
-            let seq = dst.seq.fetch_add(1, Ordering::Relaxed);
-            {
-                let mut heap = dst.inflight.lock();
-                heap.push(Reverse(InFlight {
-                    deliver_at,
-                    seq,
-                    message,
-                }));
-                // Refresh the lock-free deadline hint from the heap head
-                // while still holding the lock, so the hint always equals
-                // the true earliest deadline.
-                let head = heap.peek().expect("just pushed").0.deliver_at;
-                dst.next_due
-                    .store(self.state.epoch_ns(head), Ordering::Release);
+                FaultAction::Duplicate => {
+                    self.forward(message.clone(), Duration::ZERO);
+                    self.forward(message, Duration::ZERO);
+                }
+                FaultAction::Delay => self.forward(message, delay),
+                FaultAction::Reorder => self.shared.reorder.lock().hold(message, window),
+                FaultAction::Deliver => self.forward(message, Duration::ZERO),
             }
-            dst.notify();
         }
         did_work
     }
@@ -417,7 +476,7 @@ impl SimPort {
             self.shared
                 .stats
                 .received_bytes
-                .fetch_add(frame_len(message.len()) as u64, Ordering::Relaxed);
+                .fetch_add(wire_len(&message) as u64, Ordering::Relaxed);
             handler(message);
         }
         did_work
@@ -430,9 +489,10 @@ impl SimPort {
         s || r
     }
 
-    /// Messages queued but not yet put on the wire.
+    /// Messages queued but not yet put on the wire (including any parked
+    /// by reorder fault injection).
     pub fn outbound_backlog(&self) -> usize {
-        self.shared.outbound_rx.len()
+        self.shared.outbound_rx.len() + self.shared.reorder.lock().len()
     }
 
     /// Messages in flight towards this port (latency not yet elapsed or
@@ -489,9 +549,9 @@ impl TransportPort for SimPort {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::frame_len;
     use crate::message::MessageKind;
     use bytes::Bytes;
-    use std::time::Duration;
 
     fn msg(src: u32, dst: u32, payload: &'static [u8]) -> Message {
         Message::new(src, dst, MessageKind::Parcel, Bytes::from_static(payload))
@@ -733,6 +793,85 @@ mod tests {
         });
         assert_eq!(count.load(Ordering::SeqCst), n);
         assert_eq!(b.stats().received_messages.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn duplicated_messages_arrive_twice() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_receiver(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.set_fault_plan(Some(Arc::new(FaultPlan::duplicate_every(2))));
+        for _ in 0..10 {
+            a.send(msg(0, 1, b"dup"));
+        }
+        // 10 sends, every 2nd duplicated: 15 deliveries.
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || hits.load(Ordering::SeqCst) == 15,
+            Duration::from_secs(2)
+        ));
+        assert_eq!(a.stats().sent_messages.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn delayed_messages_arrive_late_but_arrive() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_receiver(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.set_fault_plan(Some(Arc::new(FaultPlan::delay_every(
+            1,
+            Duration::from_millis(20),
+        ))));
+        let t0 = Instant::now();
+        a.send(msg(0, 1, b"late"));
+        a.pump_send();
+        assert!(!b.pump_recv());
+        assert!(pump_until(
+            std::slice::from_ref(&b),
+            || hits.load(Ordering::SeqCst) == 1,
+            Duration::from_secs(2)
+        ));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn reordered_messages_all_arrive_out_of_order() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        b.set_receiver(Arc::new(move |m: Message| g.lock().push(m.payload[0])));
+        a.set_fault_plan(Some(Arc::new(FaultPlan::reorder_window(4))));
+        for i in 0..16u8 {
+            a.send(Message::new(
+                0,
+                1,
+                MessageKind::Parcel,
+                Bytes::copy_from_slice(&[i]),
+            ));
+        }
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || got.lock().len() == 16,
+            Duration::from_secs(2)
+        ));
+        assert_eq!(a.outbound_backlog(), 0, "stage fully drained");
+        let mut seen = got.lock().clone();
+        let in_order = seen.windows(2).all(|w| w[0] < w[1]);
+        assert!(!in_order, "every 4th message should have been displaced");
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<u8>>(), "nothing lost");
     }
 
     #[test]

@@ -1,18 +1,23 @@
 //! The wire frame format shared by every transport backend.
 //!
-//! A [`Message`] travels as one length-prefixed frame:
+//! A [`Message`] travels as one length-prefixed frame. Two frame versions
+//! share the kind byte: the high bit ([`SEQ_FLAG`]) marks a *sequenced*
+//! frame carrying the reliability sublayer's per-destination sequence
+//! number; without it the layout is the original seq-less frame, so
+//! unreliable traffic pays zero extra bytes.
 //!
 //! ```text
-//! [len: u32 LE][src: u32 LE][dst: u32 LE][kind: u8][crc: u32 LE][payload…]
+//! v1: [len: u32 LE][src: u32 LE][dst: u32 LE][kind: u8][crc: u32 LE][payload…]
+//! v2: [len: u32 LE][src: u32 LE][dst: u32 LE][kind|0x80][seq: u64 LE][crc: u32 LE][payload…]
 //! ```
 //!
-//! `len` counts every byte after the length field itself (so
-//! `len = 13 + payload.len()`), which is what a streaming reader needs to
-//! know how much to pull off a socket. `crc` is an FNV-1a checksum over
-//! `src`, `dst`, `kind` and the payload: a flipped bit anywhere in a frame
-//! is detected at decode time, counted as a decode failure and dropped —
-//! the uniform receive-side fault contract both [`crate::SimTransport`]
-//! and [`crate::TcpTransport`] honour.
+//! `len` counts every byte after the length field itself, which is what a
+//! streaming reader needs to know how much to pull off a socket. `crc` is
+//! an FNV-1a checksum over `src`, `dst`, the kind byte (version bit
+//! included), the seq field when present, and the payload: a flipped bit
+//! anywhere in a frame is detected at decode time, counted as a decode
+//! failure and dropped — the uniform receive-side fault contract both
+//! [`crate::SimTransport`] and [`crate::TcpTransport`] honour.
 //!
 //! The simulated fabric moves `Message` structs directly (no copy on the
 //! hot path) but charges **frame** bytes to its byte counters and routes
@@ -23,21 +28,39 @@ use bytes::Bytes;
 
 use crate::message::{Message, MessageKind};
 
-/// Bytes of frame overhead ahead of the payload:
-/// `len(4) + src(4) + dst(4) + kind(1) + crc(4)`.
+/// Bytes of frame overhead ahead of the payload for an **unsequenced**
+/// frame: `len(4) + src(4) + dst(4) + kind(1) + crc(4)`.
 pub const FRAME_HEADER_LEN: usize = 17;
 
-/// Frame-body bytes ahead of the payload (everything the length prefix
-/// counts except the payload itself).
+/// Extra header bytes a sequenced (v2) frame carries: the `seq u64`.
+pub const SEQ_OVERHEAD: usize = 8;
+
+/// Kind-byte flag marking a sequenced (v2) frame.
+pub const SEQ_FLAG: u8 = 0x80;
+
+/// Frame-body bytes ahead of the payload for an unsequenced frame
+/// (everything the length prefix counts except the payload itself).
 const BODY_HEADER_LEN: usize = 13;
 
 /// Upper bound on a frame body; larger length prefixes are rejected as
 /// garbage before any allocation happens.
 pub const MAX_FRAME_BODY: usize = 256 * 1024 * 1024;
 
-/// Total bytes a message of `payload` payload bytes occupies on the wire.
+/// Total bytes an **unsequenced** message of `payload` payload bytes
+/// occupies on the wire.
 pub fn frame_len(payload: usize) -> usize {
     FRAME_HEADER_LEN + payload
+}
+
+/// Total bytes `message` occupies on the wire (accounts for the seq
+/// field of sequenced frames). This is what byte counters charge.
+pub fn wire_len(message: &Message) -> usize {
+    frame_len(message.len())
+        + if message.seq.is_some() {
+            SEQ_OVERHEAD
+        } else {
+            0
+        }
 }
 
 /// Why a frame failed to decode.
@@ -48,7 +71,7 @@ pub enum FrameError {
     /// The length prefix is below the minimum body size or above
     /// [`MAX_FRAME_BODY`].
     BadLength(u32),
-    /// The kind byte is not a known [`MessageKind`].
+    /// The kind byte is not a known [`MessageKind`] (version bit aside).
     BadKind(u8),
     /// The checksum did not match (bit rot / injected corruption).
     Checksum,
@@ -67,8 +90,9 @@ impl std::fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// FNV-1a over the checksummed region (src, dst, kind, payload).
-fn checksum(src: u32, dst: u32, kind: u8, payload: &[u8]) -> u32 {
+/// FNV-1a over the checksummed region (src, dst, kind byte, optional seq,
+/// payload).
+fn checksum(src: u32, dst: u32, kind_byte: u8, seq: Option<u64>, payload: &[u8]) -> u32 {
     const OFFSET: u32 = 0x811c_9dc5;
     const PRIME: u32 = 0x0100_0193;
     let mut h = OFFSET;
@@ -82,25 +106,41 @@ fn checksum(src: u32, dst: u32, kind: u8, payload: &[u8]) -> u32 {
     for b in dst.to_le_bytes() {
         eat(b);
     }
-    eat(kind);
+    eat(kind_byte);
+    if let Some(seq) = seq {
+        for b in seq.to_le_bytes() {
+            eat(b);
+        }
+    }
     for &b in payload {
         eat(b);
     }
     h
 }
 
-/// Encode `message` into one self-delimiting frame.
+/// Encode `message` into one self-delimiting frame (v2 when the message
+/// carries a sequence number, v1 otherwise).
 pub fn encode_frame(message: &Message) -> Vec<u8> {
-    let mut out = Vec::with_capacity(frame_len(message.len()));
-    let body_len = (BODY_HEADER_LEN + message.len()) as u32;
+    let mut out = Vec::with_capacity(wire_len(message));
+    let seq_extra = if message.seq.is_some() {
+        SEQ_OVERHEAD
+    } else {
+        0
+    };
+    let body_len = (BODY_HEADER_LEN + seq_extra + message.len()) as u32;
+    let kind_byte = message.kind as u8 | if message.seq.is_some() { SEQ_FLAG } else { 0 };
     out.extend_from_slice(&body_len.to_le_bytes());
     out.extend_from_slice(&message.src.to_le_bytes());
     out.extend_from_slice(&message.dst.to_le_bytes());
-    out.push(message.kind as u8);
+    out.push(kind_byte);
+    if let Some(seq) = message.seq {
+        out.extend_from_slice(&seq.to_le_bytes());
+    }
     let crc = checksum(
         message.src,
         message.dst,
-        message.kind as u8,
+        kind_byte,
+        message.seq,
         &message.payload,
     );
     out.extend_from_slice(&crc.to_le_bytes());
@@ -119,18 +159,29 @@ pub fn decode_frame_body(body: &[u8]) -> Result<Message, FrameError> {
     let src = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
     let dst = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
     let kind_byte = body[8];
-    let kind = MessageKind::try_from(kind_byte).map_err(FrameError::BadKind)?;
-    let crc = u32::from_le_bytes(body[9..13].try_into().expect("4 bytes"));
-    let payload = &body[BODY_HEADER_LEN..];
-    if crc != checksum(src, dst, kind_byte, payload) {
+    let kind =
+        MessageKind::try_from(kind_byte & !SEQ_FLAG).map_err(|_| FrameError::BadKind(kind_byte))?;
+    let mut at = 9;
+    let seq = if kind_byte & SEQ_FLAG != 0 {
+        if body.len() < BODY_HEADER_LEN + SEQ_OVERHEAD {
+            return Err(FrameError::Truncated);
+        }
+        let seq = u64::from_le_bytes(body[at..at + 8].try_into().expect("8 bytes"));
+        at += 8;
+        Some(seq)
+    } else {
+        None
+    };
+    let crc = u32::from_le_bytes(body[at..at + 4].try_into().expect("4 bytes"));
+    let payload = &body[at + 4..];
+    if crc != checksum(src, dst, kind_byte, seq, payload) {
         return Err(FrameError::Checksum);
     }
-    Ok(Message::new(
-        src,
-        dst,
-        kind,
-        Bytes::copy_from_slice(payload),
-    ))
+    let message = Message::new(src, dst, kind, Bytes::copy_from_slice(payload));
+    Ok(match seq {
+        Some(s) => message.with_seq(s),
+        None => message,
+    })
 }
 
 /// Validate a length prefix before allocating a body buffer for it.
@@ -157,19 +208,15 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), FrameError> {
     Ok((message, total))
 }
 
-/// Flip one byte of an encoded frame so that decoding fails its checksum
-/// (fault injection). Payload frames get a mid-payload flip; empty
-/// payloads get a checksum flip — either way [`decode_frame`] returns
-/// [`FrameError::Checksum`].
+/// Flip the last byte of an encoded frame so that decoding fails its
+/// checksum (fault injection). The last byte is always inside the
+/// checksummed region — payload when one exists, the crc itself for
+/// empty payloads — so [`decode_frame`] returns [`FrameError::Checksum`]
+/// for both frame versions.
 pub fn corrupt_frame(frame: &mut [u8]) {
     debug_assert!(frame.len() >= FRAME_HEADER_LEN);
-    if frame.len() > FRAME_HEADER_LEN {
-        let payload_len = frame.len() - FRAME_HEADER_LEN;
-        frame[FRAME_HEADER_LEN + payload_len / 2] ^= 0xA5;
-    } else {
-        // crc field lives at bytes 13..17.
-        frame[13] ^= 0xA5;
-    }
+    let last = frame.len() - 1;
+    frame[last] ^= 0xA5;
 }
 
 #[cfg(test)]
@@ -190,12 +237,27 @@ mod tests {
         let m = msg(b"hello frame");
         let frame = encode_frame(&m);
         assert_eq!(frame.len(), frame_len(m.len()));
+        assert_eq!(frame.len(), wire_len(&m));
         let (d, consumed) = decode_frame(&frame).unwrap();
         assert_eq!(consumed, frame.len());
         assert_eq!(d.src, 3);
         assert_eq!(d.dst, 7);
         assert_eq!(d.kind, MessageKind::Coalesced);
+        assert_eq!(d.seq, None);
         assert_eq!(d.payload.as_ref(), b"hello frame");
+    }
+
+    #[test]
+    fn sequenced_roundtrip_preserves_seq() {
+        let m = msg(b"sequenced").with_seq(0xdead_beef_0042);
+        let frame = encode_frame(&m);
+        assert_eq!(frame.len(), wire_len(&m));
+        assert_eq!(frame.len(), frame_len(m.len()) + SEQ_OVERHEAD);
+        let (d, consumed) = decode_frame(&frame).unwrap();
+        assert_eq!(consumed, frame.len());
+        assert_eq!(d.seq, Some(0xdead_beef_0042));
+        assert_eq!(d.kind, MessageKind::Coalesced);
+        assert_eq!(d.payload.as_ref(), b"sequenced");
     }
 
     #[test]
@@ -204,34 +266,51 @@ mod tests {
         let (d, consumed) = decode_frame(&encode_frame(&m)).unwrap();
         assert_eq!(consumed, FRAME_HEADER_LEN);
         assert!(d.is_empty());
+
+        let m = Message::new(0, 0, MessageKind::Ack, Bytes::new()).with_seq(0);
+        let (d, consumed) = decode_frame(&encode_frame(&m)).unwrap();
+        assert_eq!(consumed, FRAME_HEADER_LEN + SEQ_OVERHEAD);
+        assert_eq!(d.seq, Some(0));
     }
 
     #[test]
     fn truncation_is_rejected_at_every_length() {
-        let frame = encode_frame(&msg(b"0123456789"));
-        for cut in 0..frame.len() {
-            assert!(
-                decode_frame(&frame[..cut]).is_err(),
-                "cut at {cut} must not decode"
-            );
+        for m in [msg(b"0123456789"), msg(b"0123456789").with_seq(77)] {
+            let frame = encode_frame(&m);
+            for cut in 0..frame.len() {
+                assert!(
+                    decode_frame(&frame[..cut]).is_err(),
+                    "cut at {cut} must not decode"
+                );
+            }
         }
     }
 
     #[test]
     fn corruption_fails_checksum() {
-        let mut frame = encode_frame(&msg(b"payload bytes"));
-        corrupt_frame(&mut frame);
-        assert!(matches!(decode_frame(&frame), Err(FrameError::Checksum)));
+        for m in [
+            msg(b"payload bytes"),
+            msg(b"payload bytes").with_seq(3),
+            Message::new(1, 2, MessageKind::Parcel, Bytes::new()),
+            Message::new(1, 2, MessageKind::Parcel, Bytes::new()).with_seq(9),
+        ] {
+            let mut frame = encode_frame(&m);
+            corrupt_frame(&mut frame);
+            assert!(matches!(decode_frame(&frame), Err(FrameError::Checksum)));
+        }
+    }
 
-        let mut empty = encode_frame(&Message::new(1, 2, MessageKind::Parcel, Bytes::new()));
-        corrupt_frame(&mut empty);
-        assert!(matches!(decode_frame(&empty), Err(FrameError::Checksum)));
+    #[test]
+    fn garbled_seq_fails_checksum() {
+        let mut frame = encode_frame(&msg(b"x").with_seq(5));
+        frame[14] ^= 0x01; // inside the seq field (bytes 13..21)
+        assert!(matches!(decode_frame(&frame), Err(FrameError::Checksum)));
     }
 
     #[test]
     fn bad_kind_and_bad_length_are_rejected() {
         let mut frame = encode_frame(&msg(b"x"));
-        frame[12] = 99; // kind byte
+        frame[12] = 99; // kind byte (no version bit)
         assert!(matches!(decode_frame(&frame), Err(FrameError::BadKind(99))));
 
         let mut frame = encode_frame(&msg(b"x"));

@@ -45,16 +45,18 @@ pub mod fault;
 pub mod frame;
 pub mod message;
 pub mod model;
+pub mod reliability;
 pub mod tcp;
 pub mod transport;
 
 pub use fabric::{Fabric, NetPort, PortStats, SimPort, SimTransport};
-pub use fault::{FaultAction, FaultPlan};
+pub use fault::{FaultAction, FaultPlan, FaultStage};
 pub use frame::{
-    corrupt_frame, decode_frame, encode_frame, frame_len, FrameError, FRAME_HEADER_LEN,
-    MAX_FRAME_BODY,
+    corrupt_frame, decode_frame, encode_frame, frame_len, wire_len, FrameError, FRAME_HEADER_LEN,
+    MAX_FRAME_BODY, SEQ_FLAG, SEQ_OVERHEAD,
 };
 pub use message::{Message, MessageKind};
 pub use model::LinkModel;
+pub use reliability::{DeliveryError, ReliabilityConfig, ReliablePort, ReliableTransport};
 pub use tcp::{TcpPort, TcpTransport};
 pub use transport::{NotifyFn, ReceiveHandler, Transport, TransportKind, TransportPort};

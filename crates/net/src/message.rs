@@ -12,6 +12,10 @@ pub enum MessageKind {
     Coalesced = 1,
     /// Runtime-internal control traffic.
     Control = 2,
+    /// A reliability acknowledgement (cumulative ack + SACK bitmap, see
+    /// [`crate::reliability`]). Acks are never sequenced, never acked and
+    /// never retransmitted themselves.
+    Ack = 3,
 }
 
 impl TryFrom<u8> for MessageKind {
@@ -21,6 +25,7 @@ impl TryFrom<u8> for MessageKind {
             0 => Ok(MessageKind::Parcel),
             1 => Ok(MessageKind::Coalesced),
             2 => Ok(MessageKind::Control),
+            3 => Ok(MessageKind::Ack),
             other => Err(other),
         }
     }
@@ -35,19 +40,32 @@ pub struct Message {
     pub dst: u32,
     /// Payload classification.
     pub kind: MessageKind,
+    /// Per-`(src, dst)` monotonic delivery sequence number, stamped by the
+    /// reliability sublayer ([`crate::reliability::ReliablePort`]).
+    /// `None` for unsequenced traffic (the raw transports never set it);
+    /// sequenced messages travel as versioned frames carrying the seq on
+    /// the wire.
+    pub seq: Option<u64>,
     /// Encoded payload.
     pub payload: Bytes,
 }
 
 impl Message {
-    /// Construct a message.
+    /// Construct an unsequenced message.
     pub fn new(src: u32, dst: u32, kind: MessageKind, payload: Bytes) -> Self {
         Message {
             src,
             dst,
             kind,
+            seq: None,
             payload,
         }
+    }
+
+    /// This message with a delivery sequence number stamped on it.
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = Some(seq);
+        self
     }
 
     /// Payload size in bytes.
@@ -71,6 +89,7 @@ mod tests {
             MessageKind::Parcel,
             MessageKind::Coalesced,
             MessageKind::Control,
+            MessageKind::Ack,
         ] {
             assert_eq!(MessageKind::try_from(k as u8), Ok(k));
         }
@@ -84,5 +103,7 @@ mod tests {
         assert!(!m.is_empty());
         assert_eq!(m.src, 0);
         assert_eq!(m.dst, 1);
+        assert_eq!(m.seq, None);
+        assert_eq!(m.with_seq(7).seq, Some(7));
     }
 }

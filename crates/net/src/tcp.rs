@@ -45,8 +45,8 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use crate::fabric::PortStats;
-use crate::fault::{FaultAction, FaultPlan};
-use crate::frame::{check_body_len, corrupt_frame, decode_frame_body, encode_frame, frame_len};
+use crate::fault::{FaultAction, FaultPlan, FaultStage};
+use crate::frame::{check_body_len, corrupt_frame, decode_frame_body, encode_frame, wire_len};
 use crate::message::Message;
 use crate::transport::{NotifyFn, ReceiveHandler, Transport, TransportPort};
 
@@ -90,6 +90,10 @@ struct TcpShared {
     receiver: RwLock<Option<ReceiveHandler>>,
     notify: RwLock<Option<NotifyFn>>,
     faults: RwLock<Option<Arc<FaultPlan>>>,
+    /// Encoded frames parked by delay/reorder fault injection, keyed by
+    /// destination. Counted in `outbound_backlog` so quiescence checks
+    /// see them.
+    reorder: Mutex<FaultStage<(usize, Vec<u8>)>>,
     stats: PortStats,
     /// Messages mid-pump (same contract as the simulated backend).
     processing: AtomicUsize,
@@ -162,6 +166,7 @@ impl TcpTransport {
                     receiver: RwLock::new(None),
                     notify: RwLock::new(None),
                     faults: RwLock::new(None),
+                    reorder: Mutex::new(FaultStage::default()),
                     stats: PortStats::default(),
                     processing: AtomicUsize::new(0),
                 })
@@ -416,6 +421,15 @@ impl TcpPort {
             return false;
         };
         let mut did_work = false;
+        // Release delay/reorder-parked frames that are due (their
+        // statistics were charged when they first passed below).
+        let mut released = Vec::new();
+        shared.reorder.lock().drain_ready(&mut released);
+        for (dst, frame) in released {
+            let _guard = ProcessingGuard::enter(&shared.processing);
+            did_work = true;
+            stage_frame(shared, &mut conns, dst, frame);
+        }
         for _ in 0..PUMP_BATCH {
             let Ok(message) = shared.outbound_rx.try_recv() else {
                 break;
@@ -426,28 +440,50 @@ impl TcpPort {
             shared
                 .stats
                 .sent_bytes
-                .fetch_add(frame_len(message.len()) as u64, Ordering::Relaxed);
+                .fetch_add(wire_len(&message) as u64, Ordering::Relaxed);
             // Failure injection, mirroring the simulated backend: the
-            // send cost is paid, then the wire loses or mangles the frame.
-            let fault = shared.faults.read().clone();
-            let frame = match fault.map(|plan| plan.decide()) {
-                Some(FaultAction::Drop) => continue,
-                Some(FaultAction::Corrupt) => {
+            // send cost is paid, then the wire loses, mangles, duplicates,
+            // delays or reorders the frame.
+            let plan = shared.faults.read().clone();
+            let (action, delay, window) = match &plan {
+                Some(p) => (p.decide(), p.delay, p.reorder_window.unwrap_or(1)),
+                None => (FaultAction::Deliver, std::time::Duration::ZERO, 1),
+            };
+            if action != FaultAction::Reorder {
+                // Everything reaching the wire overtakes parked frames
+                // (dropped messages consumed a wire slot too).
+                shared.reorder.lock().on_pass();
+            }
+            let dst = message.dst as usize;
+            match action {
+                FaultAction::Drop => continue,
+                FaultAction::Corrupt => {
                     let mut frame = encode_frame(&message);
                     corrupt_frame(&mut frame);
-                    frame
+                    stage_frame(shared, &mut conns, dst, frame);
                 }
-                _ => encode_frame(&message),
-            };
-            let dst = message.dst as usize;
-            let Some(conn) = ensure_conn(shared, &mut conns, dst) else {
-                continue;
-            };
-            if conn.broken {
-                continue;
+                FaultAction::Duplicate => {
+                    let frame = encode_frame(&message);
+                    stage_frame(shared, &mut conns, dst, frame.clone());
+                    stage_frame(shared, &mut conns, dst, frame);
+                }
+                FaultAction::Delay => {
+                    // No delivery clock on this backend: park the frame
+                    // with the delay as its (sole) release deadline.
+                    let frame = encode_frame(&message);
+                    shared
+                        .reorder
+                        .lock()
+                        .hold_for((dst, frame), u64::MAX, delay);
+                }
+                FaultAction::Reorder => {
+                    let frame = encode_frame(&message);
+                    shared.reorder.lock().hold((dst, frame), window);
+                }
+                FaultAction::Deliver => {
+                    stage_frame(shared, &mut conns, dst, encode_frame(&message))
+                }
             }
-            shared.mesh.in_wire[dst].fetch_add(1, Ordering::AcqRel);
-            conn.pending.push_back(frame);
         }
         // Flush every connection with buffered bytes (including leftovers
         // from earlier pumps that hit WouldBlock).
@@ -482,7 +518,7 @@ impl TcpPort {
             self.shared
                 .stats
                 .received_bytes
-                .fetch_add(frame_len(message.len()) as u64, Ordering::Relaxed);
+                .fetch_add(wire_len(&message) as u64, Ordering::Relaxed);
             handler(message);
         }
         did_work
@@ -495,9 +531,10 @@ impl TcpPort {
         s || r
     }
 
-    /// Messages queued but not yet staged on a socket.
+    /// Messages queued but not yet staged on a socket (including any
+    /// parked by delay/reorder fault injection).
     pub fn outbound_backlog(&self) -> usize {
-        self.shared.outbound_rx.len()
+        self.shared.outbound_rx.len() + self.shared.reorder.lock().len()
     }
 
     /// Frames on the wire towards this port (write buffers + kernel +
@@ -511,6 +548,20 @@ impl TcpPort {
     pub fn processing(&self) -> usize {
         self.shared.processing.load(Ordering::Acquire)
     }
+}
+
+/// Stage an encoded frame on the write buffer towards `dst`, accounting
+/// it in the in-wire gauge. Frames to unreachable/broken destinations
+/// are discarded (the wire "lost" them).
+fn stage_frame(shared: &TcpShared, conns: &mut [Option<OutConn>], dst: usize, frame: Vec<u8>) {
+    let Some(conn) = ensure_conn(shared, conns, dst) else {
+        return;
+    };
+    if conn.broken {
+        return;
+    }
+    shared.mesh.in_wire[dst].fetch_add(1, Ordering::AcqRel);
+    conn.pending.push_back(frame);
 }
 
 /// Get (or lazily establish) the outgoing connection to `dst`.
@@ -572,6 +623,7 @@ impl TransportPort for TcpPort {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::frame_len;
     use crate::message::MessageKind;
     use bytes::Bytes;
     use std::time::{Duration, Instant};
@@ -741,6 +793,50 @@ mod tests {
             a.pump_send();
         }
         assert!(t0.elapsed() < Duration::from_secs(10), "teardown hung");
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let transport = TcpTransport::new(2).expect("bind loopback");
+        let a = transport.port(0);
+        let b = transport.port(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_receiver(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.set_fault_plan(Some(Arc::new(FaultPlan::duplicate_every(2))));
+        for _ in 0..10 {
+            a.send(msg(0, 1, b"dup"));
+        }
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || hits.load(Ordering::SeqCst) == 15,
+            Duration::from_secs(30)
+        ));
+    }
+
+    #[test]
+    fn reorder_fault_delivers_everything() {
+        let transport = TcpTransport::new(2).expect("bind loopback");
+        let a = transport.port(0);
+        let b = transport.port(1);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        b.set_receiver(Arc::new(move |m: Message| g.lock().push(m.payload[0])));
+        a.set_fault_plan(Some(Arc::new(FaultPlan::reorder_window(4))));
+        for i in 0..16u8 {
+            a.send(msg(0, 1, &[i]));
+        }
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || got.lock().len() == 16,
+            Duration::from_secs(30)
+        ));
+        assert_eq!(a.outbound_backlog(), 0, "stage fully drained");
+        let mut seen = got.lock().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<u8>>(), "nothing lost");
     }
 
     #[test]

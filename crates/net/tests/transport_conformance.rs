@@ -14,7 +14,8 @@ use proptest::prelude::*;
 
 use rpx_net::{
     decode_frame, encode_frame, frame_len, FaultPlan, FrameError, LinkModel, Message, MessageKind,
-    TransportKind, TransportPort, FRAME_HEADER_LEN,
+    ReliabilityConfig, ReliableTransport, TransportKind, TransportPort, FRAME_HEADER_LEN,
+    SEQ_OVERHEAD,
 };
 
 /// Deterministic pseudo-random payload of `len` bytes (cheap to build
@@ -76,6 +77,45 @@ proptest! {
         prop_assert_eq!(decoded.dst, dst);
         prop_assert_eq!(decoded.kind, kind);
         prop_assert_eq!(decoded.payload.as_ref(), message.payload.as_ref());
+    }
+
+    /// Sequenced (v2) frames roundtrip with their seq intact and cost
+    /// exactly [`SEQ_OVERHEAD`] extra wire bytes.
+    #[test]
+    fn sequenced_frame_roundtrip(
+        src in 0u32..64,
+        dst in 0u32..64,
+        kind in kinds(),
+        len in payload_len(),
+        seed in any::<u8>(),
+        seq in any::<u64>(),
+    ) {
+        let message = Message::new(src, dst, kind, payload(len, seed)).with_seq(seq);
+        let frame = encode_frame(&message);
+        prop_assert_eq!(frame.len(), frame_len(len) + SEQ_OVERHEAD);
+        let (decoded, consumed) = decode_frame(&frame).expect("roundtrip");
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(decoded.seq, Some(seq));
+        prop_assert_eq!(decoded.kind, kind);
+        prop_assert_eq!(decoded.payload.as_ref(), message.payload.as_ref());
+    }
+
+    /// Garbling any checksummed byte of a sequenced frame (seq field
+    /// included) is detected.
+    #[test]
+    fn garbled_sequenced_frames_are_rejected(
+        len in small_len(),
+        seed in any::<u8>(),
+        seq in any::<u64>(),
+        pos_sel in 0u32..10_000,
+        bit in 0u8..8,
+    ) {
+        let message = Message::new(3, 4, MessageKind::Coalesced, payload(len, seed)).with_seq(seq);
+        let mut frame = encode_frame(&message);
+        let span = frame.len() - 4;
+        let pos = (4 + (span * pos_sel as usize) / 10_000).min(frame.len() - 1);
+        frame[pos] ^= 1 << bit;
+        prop_assert!(decode_frame(&frame).is_err());
     }
 
     /// Every proper prefix of a valid frame is rejected, never panics.
@@ -327,6 +367,228 @@ fn check_all_to_all(name: &str, kind: TransportKind) {
             .map(|r| r.load(Ordering::SeqCst))
             .collect::<Vec<_>>()
     );
+}
+
+/// Duplicate faults: every n-th message arrives twice; nothing is lost.
+fn check_duplicate_faults(name: &str, kind: TransportKind) {
+    let transport = kind.build(2).expect("build transport");
+    let src = transport.port(0);
+    let dst = transport.port(1);
+    let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sink = Arc::clone(&got);
+    dst.set_receiver(Arc::new(move |_| {
+        sink.fetch_add(1, Ordering::SeqCst);
+    }));
+    let plan = Arc::new(FaultPlan::duplicate_every(5));
+    src.set_fault_plan(Some(Arc::clone(&plan)));
+    for i in 0..30u32 {
+        src.send(Message::new(0, 1, MessageKind::Parcel, payload(8, i as u8)));
+    }
+    let expect = 30 + 30 / 5;
+    assert!(
+        pump_until(
+            &[Arc::clone(&src), Arc::clone(&dst)],
+            || got.load(Ordering::SeqCst) == expect,
+            30
+        ),
+        "[{name}] expected {expect} deliveries, got {}",
+        got.load(Ordering::SeqCst)
+    );
+    assert_eq!(plan.duplicated(), 30 / 5, "[{name}]");
+}
+
+/// Reorder faults: every w-th message is displaced but still delivered;
+/// the holding stage drains to zero so quiescence stays sound.
+fn check_reorder_faults(name: &str, kind: TransportKind) {
+    let transport = kind.build(2).expect("build transport");
+    let src = transport.port(0);
+    let dst = transport.port(1);
+    let got: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&got);
+    dst.set_receiver(Arc::new(move |m: Message| sink.lock().push(m.payload[0])));
+    let plan = Arc::new(FaultPlan::reorder_window(4));
+    src.set_fault_plan(Some(Arc::clone(&plan)));
+    for i in 0..24u8 {
+        src.send(Message::new(
+            0,
+            1,
+            MessageKind::Parcel,
+            Bytes::copy_from_slice(&[i]),
+        ));
+    }
+    assert!(
+        pump_until(
+            &[Arc::clone(&src), Arc::clone(&dst)],
+            || got.lock().len() == 24,
+            30
+        ),
+        "[{name}] reordered traffic incomplete: {}/24",
+        got.lock().len()
+    );
+    assert!(plan.reordered() > 0, "[{name}]");
+    assert_eq!(src.outbound_backlog(), 0, "[{name}] stage must drain");
+    let mut seen = got.lock().clone();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..24).collect::<Vec<u8>>(), "[{name}] nothing lost");
+}
+
+/// Delay faults: every n-th message arrives late but arrives; backlog
+/// drains.
+fn check_delay_faults(name: &str, kind: TransportKind) {
+    let transport = kind.build(2).expect("build transport");
+    let src = transport.port(0);
+    let dst = transport.port(1);
+    let got = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sink = Arc::clone(&got);
+    dst.set_receiver(Arc::new(move |_| {
+        sink.fetch_add(1, Ordering::SeqCst);
+    }));
+    let plan = Arc::new(FaultPlan::delay_every(3, Duration::from_millis(5)));
+    src.set_fault_plan(Some(Arc::clone(&plan)));
+    for i in 0..15u32 {
+        src.send(Message::new(0, 1, MessageKind::Parcel, payload(8, i as u8)));
+    }
+    assert!(
+        pump_until(
+            &[Arc::clone(&src), Arc::clone(&dst)],
+            || got.load(Ordering::SeqCst) == 15,
+            30
+        ),
+        "[{name}] delayed traffic incomplete: {}/15",
+        got.load(Ordering::SeqCst)
+    );
+    assert_eq!(plan.delayed(), 15 / 3, "[{name}]");
+    assert_eq!(src.outbound_backlog(), 0, "[{name}]");
+}
+
+/// Reliability over a chaotic wire (drop + corrupt + duplicate +
+/// reorder): every message is delivered exactly once, the unacked queue
+/// drains, and no delivery failure fires.
+fn check_reliable_exactly_once(name: &str, kind: TransportKind) {
+    let transport = kind.build(2).expect("build transport");
+    let reliable = ReliableTransport::new(
+        transport,
+        ReliabilityConfig {
+            rto_initial: Duration::from_millis(2),
+            ..Default::default()
+        },
+    );
+    let src = reliable.reliable_port(0);
+    let dst = reliable.reliable_port(1);
+    let got: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&got);
+    dst.set_receiver(Arc::new(move |m: Message| {
+        sink.lock()
+            .push(m.seq.expect("reliable traffic is sequenced"));
+    }));
+    src.set_fault_plan(Some(Arc::new(FaultPlan::chaos())));
+    let n = 120u64;
+    for i in 0..n {
+        src.send(Message::new(
+            0,
+            1,
+            MessageKind::Parcel,
+            payload(16, i as u8),
+        ));
+    }
+    let ports: Vec<Arc<dyn TransportPort>> = vec![src.clone(), dst.clone()];
+    assert!(
+        pump_until(
+            &ports,
+            || got.lock().len() as u64 == n && src.unacked() == 0,
+            30
+        ),
+        "[{name}] reliable delivery incomplete: {}/{} (unacked {})",
+        got.lock().len(),
+        n,
+        src.unacked()
+    );
+    // Settle: nothing extra may trickle in afterwards.
+    std::thread::sleep(Duration::from_millis(10));
+    pump_all(&ports);
+    let mut seqs = got.lock().clone();
+    assert_eq!(seqs.len() as u64, n, "[{name}] duplicate leaked through");
+    seqs.sort_unstable();
+    assert_eq!(seqs, (0..n).collect::<Vec<u64>>(), "[{name}] loss");
+    assert_eq!(
+        src.stats().delivery_failures.load(Ordering::SeqCst),
+        0,
+        "[{name}]"
+    );
+    assert!(
+        src.stats().retransmits.load(Ordering::SeqCst) > 0,
+        "[{name}] chaos must exercise retransmission"
+    );
+}
+
+/// Exhausted retries surface a DeliveryError and drain the queue — an
+/// explicit failure, never a silent hang.
+fn check_reliable_give_up(name: &str, kind: TransportKind) {
+    let transport = kind.build(2).expect("build transport");
+    let reliable = ReliableTransport::new(
+        transport,
+        ReliabilityConfig {
+            rto_initial: Duration::from_micros(300),
+            rto_max: Duration::from_micros(600),
+            max_retries: 2,
+            ..Default::default()
+        },
+    );
+    let src = reliable.reliable_port(0);
+    let dst = reliable.reliable_port(1);
+    dst.set_receiver(Arc::new(|_| {}));
+    // Total blackout: every frame (retransmits included) is dropped.
+    src.set_fault_plan(Some(Arc::new(FaultPlan::drop_every(1))));
+    src.send(Message::new(0, 1, MessageKind::Parcel, payload(8, 1)));
+    let ports: Vec<Arc<dyn TransportPort>> = vec![src.clone(), dst.clone()];
+    assert!(
+        pump_until(
+            &ports,
+            || src.stats().delivery_failures.load(Ordering::SeqCst) == 1,
+            30
+        ),
+        "[{name}] give-up budget never fired"
+    );
+    let failures = src.take_delivery_failures();
+    assert_eq!(failures.len(), 1, "[{name}]");
+    assert_eq!(failures[0].dst, 1, "[{name}]");
+    assert_eq!(src.unacked(), 0, "[{name}] abandoned entry must leave");
+    assert_eq!(src.outbound_backlog(), 0, "[{name}] no silent hang");
+}
+
+#[test]
+fn conformance_duplicate_faults_both_backends() {
+    for (name, kind) in backends() {
+        check_duplicate_faults(name, kind);
+    }
+}
+
+#[test]
+fn conformance_reorder_faults_both_backends() {
+    for (name, kind) in backends() {
+        check_reorder_faults(name, kind);
+    }
+}
+
+#[test]
+fn conformance_delay_faults_both_backends() {
+    for (name, kind) in backends() {
+        check_delay_faults(name, kind);
+    }
+}
+
+#[test]
+fn conformance_reliable_exactly_once_both_backends() {
+    for (name, kind) in backends() {
+        check_reliable_exactly_once(name, kind);
+    }
+}
+
+#[test]
+fn conformance_reliable_give_up_both_backends() {
+    for (name, kind) in backends() {
+        check_reliable_give_up(name, kind);
+    }
 }
 
 #[test]

@@ -457,6 +457,10 @@ fn receive_message(inner: &Arc<Inner>, message: Message) {
             }
         },
         MessageKind::Control => {}
+        // Reliability acks are consumed inside rpx-net's ReliablePort
+        // and normally never reach this layer; ignore any that arrive
+        // over a raw (non-reliable) port.
+        MessageKind::Ack => {}
     }
 }
 

@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use rpx::{CoalescingParams, Runtime, RuntimeConfig};
-use rpx_net::FaultPlan;
+use rpx::{CoalescingParams, CounterValue, Runtime, RuntimeConfig};
+use rpx_net::{FaultPlan, ReliabilityConfig};
 
 // The root package needs rpx-net for the fault plan; it comes through the
 // workspace dependency graph.
@@ -70,6 +70,82 @@ fn corrupted_coalesced_batches_fail_cleanly() {
     assert!(
         (50..=100).contains(&delivered),
         "implausible delivery count {delivered}"
+    );
+    rt.shutdown();
+}
+
+fn net_counter(rt: &Runtime, locality: u32, name: &str) -> i64 {
+    match rt.query(locality, &format!("/network/{name}")) {
+        Ok(CounterValue::Int(v)) => v,
+        other => panic!("/network/{name} on locality {locality}: {other:?}"),
+    }
+}
+
+#[test]
+fn chaos_with_reliability_delivers_exactly_once() {
+    let mut config = RuntimeConfig::small_test();
+    config.reliability = Some(ReliabilityConfig {
+        rto_initial: Duration::from_millis(1),
+        ..Default::default()
+    });
+    let rt = Runtime::new(config);
+    let hits = Arc::new(AtomicU64::new(0));
+    let h = Arc::clone(&hits);
+    let act = rt.register_action("fault::chaotic", move |(): ()| {
+        h.fetch_add(1, Ordering::SeqCst);
+    });
+    // 5 % drop + 2 % corrupt + duplicates + reordering on the sender's
+    // wire: with the reliability sublayer enabled every action must still
+    // run exactly once.
+    let plan = Arc::new(FaultPlan::chaos());
+    rt.inject_faults(0, Some(Arc::clone(&plan)));
+    rt.run_on(0, move |ctx| {
+        for _ in 0..300 {
+            ctx.apply(&act, 1, ());
+        }
+    });
+    assert!(rt.wait_quiescent(Duration::from_secs(30)), "never settled");
+    assert_eq!(hits.load(Ordering::SeqCst), 300, "lost or duplicated work");
+    assert!(plan.dropped() > 0, "the plan never dropped a frame");
+    assert!(
+        net_counter(&rt, 0, "retransmits") > 0,
+        "drops were never repaired"
+    );
+    assert!(
+        net_counter(&rt, 1, "duplicates-suppressed") > 0,
+        "wire duplicates were never suppressed"
+    );
+    assert_eq!(net_counter(&rt, 0, "delivery-failures"), 0);
+    rt.shutdown();
+}
+
+#[test]
+fn exhausted_retries_surface_as_delivery_failures_not_hangs() {
+    let mut config = RuntimeConfig::small_test();
+    // A deliberately tiny budget so a fully-dropped wire gives up fast.
+    config.reliability = Some(ReliabilityConfig {
+        rto_initial: Duration::from_micros(300),
+        rto_max: Duration::from_micros(600),
+        max_retries: 2,
+        ..Default::default()
+    });
+    let rt = Runtime::new(config);
+    let act = rt.register_action("fault::void", |(): ()| {});
+    rt.inject_faults(0, Some(Arc::new(FaultPlan::drop_every(1))));
+    rt.run_on(0, move |ctx| {
+        for _ in 0..5 {
+            ctx.apply(&act, 1, ());
+        }
+    });
+    // The retransmit queue must drain by giving up — quiescence, not a
+    // hang — and every abandoned message must be counted.
+    assert!(
+        rt.wait_quiescent(Duration::from_secs(30)),
+        "give-up never drained the retransmit queue"
+    );
+    assert!(
+        net_counter(&rt, 0, "delivery-failures") > 0,
+        "no delivery failure surfaced"
     );
     rt.shutdown();
 }
