@@ -246,6 +246,21 @@ fn register_network_counters(
         "/network/delivery-failures",
         mk(&port, |s| s.delivery_failures.load(Ordering::Relaxed)),
     );
+    // Event-loop backend internals (always zero on the simulated
+    // fabric): poller dispatches, vectored read batches, frames flushed
+    // by vectored writes.
+    registry.register_or_replace(
+        "/network/event-loop-wakeups",
+        mk(&port, |s| s.event_wakeups.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/event-loop-readv-batches",
+        mk(&port, |s| s.readv_batches.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/event-loop-writev-frames",
+        mk(&port, |s| s.writev_frames.load(Ordering::Relaxed)),
+    );
 }
 
 /// Expose a parcel port's statistics as `/parcels/*` counters: the plain
@@ -331,7 +346,7 @@ pub struct Runtime {
     timer: Arc<TimerService>,
     localities: Vec<Arc<Locality>>,
     /// Declared after `localities` so ports drop first; the TCP backend
-    /// joins its acceptor/reader threads when this Arc drops.
+    /// wakes and joins its event-loop pump pool when this Arc drops.
     transport: Arc<dyn Transport>,
     /// Guards action registration so ids stay aligned across localities.
     registration: Mutex<()>,

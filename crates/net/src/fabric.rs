@@ -68,6 +68,17 @@ pub struct PortStats {
     /// budget was exhausted (each surfaced as a
     /// [`crate::reliability::DeliveryError`]).
     pub delivery_failures: AtomicU64,
+    /// Readiness events dispatched for this port's sockets by the
+    /// event-loop transport's pump threads ([`crate::TcpTransport`]).
+    /// Always zero on the simulated backend.
+    pub event_wakeups: AtomicU64,
+    /// Vectored reads (`readv`) that moved at least one byte into this
+    /// port's receive buffer. `received_messages / readv_batches` is the
+    /// frame batching factor of the receive path.
+    pub readv_batches: AtomicU64,
+    /// Frames fully flushed to the kernel by vectored writes (`writev`)
+    /// on this port's outgoing connections.
+    pub writev_frames: AtomicU64,
 }
 
 struct InFlight {

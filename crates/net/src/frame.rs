@@ -148,11 +148,60 @@ pub fn encode_frame(message: &Message) -> Vec<u8> {
     out
 }
 
-/// Decode a frame *body* (everything after the 4-byte length prefix).
+/// A decoded frame borrowing its payload from the receive buffer.
 ///
-/// Streaming readers pull the length prefix first, then hand the body
-/// here; [`decode_frame`] wraps both steps for contiguous buffers.
-pub fn decode_frame_body(body: &[u8]) -> Result<Message, FrameError> {
+/// Produced by [`decode_frame_in_place`]: all header fields are parsed
+/// and the checksum is verified, but the payload is a slice into the
+/// caller's buffer — no allocation, no copy. The event-loop transport
+/// promotes the slice to an owned [`Bytes`] view of its (refcounted)
+/// receive chunk in O(1); [`FrameView::to_message`] is the copying
+/// fallback for callers without a shareable buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    /// Source locality.
+    pub src: u32,
+    /// Destination locality.
+    pub dst: u32,
+    /// Message kind (version bit stripped).
+    pub kind: MessageKind,
+    /// Reliability sequence number (v2 frames only).
+    pub seq: Option<u64>,
+    /// Payload bytes, borrowed from the frame body.
+    pub payload: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// Byte offset of the payload within the frame *body* this view was
+    /// decoded from (header fields plus the seq for v2 frames).
+    pub fn payload_offset(&self) -> usize {
+        BODY_HEADER_LEN + if self.seq.is_some() { SEQ_OVERHEAD } else { 0 }
+    }
+
+    /// Promote to an owned [`Message`], copying the payload.
+    pub fn to_message(&self) -> Message {
+        self.with_payload(Bytes::copy_from_slice(self.payload))
+    }
+
+    /// Build the [`Message`] around an owned payload the caller already
+    /// holds (typically a zero-copy [`Bytes::slice`] of the receive
+    /// buffer covering exactly the bytes of [`FrameView::payload`]).
+    pub fn with_payload(&self, payload: Bytes) -> Message {
+        debug_assert_eq!(payload.as_ref(), self.payload, "payload mismatch");
+        let message = Message::new(self.src, self.dst, self.kind, payload);
+        match self.seq {
+            Some(s) => message.with_seq(s),
+            None => message,
+        }
+    }
+}
+
+/// Decode a frame *body* in place: parse and checksum-verify without
+/// allocating, returning a [`FrameView`] that borrows the payload.
+///
+/// Accept/reject behaviour is identical to [`decode_frame_body`] (which
+/// is implemented on top of this): same errors for truncation, unknown
+/// kinds and checksum mismatches, byte for byte.
+pub fn decode_frame_in_place(body: &[u8]) -> Result<FrameView<'_>, FrameError> {
     if body.len() < BODY_HEADER_LEN {
         return Err(FrameError::Truncated);
     }
@@ -177,11 +226,22 @@ pub fn decode_frame_body(body: &[u8]) -> Result<Message, FrameError> {
     if crc != checksum(src, dst, kind_byte, seq, payload) {
         return Err(FrameError::Checksum);
     }
-    let message = Message::new(src, dst, kind, Bytes::copy_from_slice(payload));
-    Ok(match seq {
-        Some(s) => message.with_seq(s),
-        None => message,
+    Ok(FrameView {
+        src,
+        dst,
+        kind,
+        seq,
+        payload,
     })
+}
+
+/// Decode a frame *body* (everything after the 4-byte length prefix)
+/// into an owned [`Message`] (the payload is copied).
+///
+/// Streaming readers pull the length prefix first, then hand the body
+/// here; [`decode_frame`] wraps both steps for contiguous buffers.
+pub fn decode_frame_body(body: &[u8]) -> Result<Message, FrameError> {
+    decode_frame_in_place(body).map(|view| view.to_message())
 }
 
 /// Validate a length prefix before allocating a body buffer for it.
@@ -305,6 +365,32 @@ mod tests {
         let mut frame = encode_frame(&msg(b"x").with_seq(5));
         frame[14] ^= 0x01; // inside the seq field (bytes 13..21)
         assert!(matches!(decode_frame(&frame), Err(FrameError::Checksum)));
+    }
+
+    #[test]
+    fn in_place_view_matches_owned_decode() {
+        for m in [
+            msg(b"zero copy"),
+            msg(b"zero copy").with_seq(17),
+            Message::new(1, 2, MessageKind::Parcel, Bytes::new()),
+        ] {
+            let frame = encode_frame(&m);
+            let body = &frame[4..];
+            let view = decode_frame_in_place(body).unwrap();
+            assert_eq!(view.src, m.src);
+            assert_eq!(view.dst, m.dst);
+            assert_eq!(view.kind, m.kind);
+            assert_eq!(view.seq, m.seq);
+            assert_eq!(view.payload, m.payload.as_ref());
+            // The reported payload offset locates the payload in the body.
+            let off = view.payload_offset();
+            assert_eq!(&body[off..], view.payload);
+            // Owned promotion paths agree with the copying decoder.
+            let owned = decode_frame_body(body).unwrap();
+            assert_eq!(view.to_message(), owned);
+            let shared = Bytes::copy_from_slice(view.payload);
+            assert_eq!(view.with_payload(shared), owned);
+        }
     }
 
     #[test]

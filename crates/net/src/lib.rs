@@ -52,11 +52,11 @@ pub mod transport;
 pub use fabric::{Fabric, NetPort, PortStats, SimPort, SimTransport};
 pub use fault::{FaultAction, FaultPlan, FaultStage};
 pub use frame::{
-    corrupt_frame, decode_frame, encode_frame, frame_len, wire_len, FrameError, FRAME_HEADER_LEN,
-    MAX_FRAME_BODY, SEQ_FLAG, SEQ_OVERHEAD,
+    corrupt_frame, decode_frame, decode_frame_in_place, encode_frame, frame_len, wire_len,
+    FrameError, FrameView, FRAME_HEADER_LEN, MAX_FRAME_BODY, SEQ_FLAG, SEQ_OVERHEAD,
 };
 pub use message::{Message, MessageKind};
 pub use model::LinkModel;
 pub use reliability::{DeliveryError, ReliabilityConfig, ReliablePort, ReliableTransport};
-pub use tcp::{TcpPort, TcpTransport};
+pub use tcp::{TcpPort, TcpTransport, TcpTuning};
 pub use transport::{NotifyFn, ReceiveHandler, Transport, TransportKind, TransportPort};

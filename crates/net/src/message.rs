@@ -32,7 +32,7 @@ impl TryFrom<u8> for MessageKind {
 }
 
 /// A framed message travelling between localities.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     /// Sending locality.
     pub src: u32,

@@ -7,8 +7,8 @@
 //! * [`crate::SimTransport`] — the in-process simulated fabric charging
 //!   [`LinkModel`] costs in real CPU time (the reproduction's default),
 //! * [`crate::TcpTransport`] — real loopback TCP sockets with
-//!   length-prefixed frames, genuine per-message syscall overhead and a
-//!   per-port reader thread.
+//!   length-prefixed frames and genuine per-message syscall overhead,
+//!   multiplexed by a small event-loop pump pool ([`TcpTuning`]).
 //!
 //! Both are pumped by scheduler background work ([`TransportPort::pump_send`]
 //! / [`TransportPort::pump_recv`]), so their progress cost lands in the
@@ -22,7 +22,7 @@ use crate::fabric::{PortStats, SimTransport};
 use crate::fault::FaultPlan;
 use crate::message::Message;
 use crate::model::LinkModel;
-use crate::tcp::TcpTransport;
+use crate::tcp::{TcpTransport, TcpTuning};
 
 /// Handler invoked (from pump threads) for every delivered message.
 pub type ReceiveHandler = Arc<dyn Fn(Message) + Send + Sync>;
@@ -122,9 +122,13 @@ pub enum TransportKind {
     /// The in-process simulated fabric, charging the given [`LinkModel`]
     /// costs in real CPU time on pump threads.
     Sim(LinkModel),
-    /// Real loopback TCP sockets (`127.0.0.1`): length-prefixed frames,
-    /// per-port reader threads, non-blocking writes drained by the pump.
+    /// Real loopback TCP sockets (`127.0.0.1`): length-prefixed frames
+    /// multiplexed by an event-loop pump pool (default tuning: one pump
+    /// thread), vectored I/O, zero-copy frame decode.
     TcpLoopback,
+    /// [`TransportKind::TcpLoopback`] with explicit [`TcpTuning`]
+    /// (e.g. more pump threads for very large connection fan-in).
+    TcpTuned(TcpTuning),
 }
 
 impl Default for TransportKind {
@@ -142,6 +146,7 @@ impl TransportKind {
         match self {
             TransportKind::Sim(model) => Ok(SimTransport::new(localities, *model)),
             TransportKind::TcpLoopback => Ok(TcpTransport::new(localities)?),
+            TransportKind::TcpTuned(tuning) => Ok(TcpTransport::with_tuning(localities, *tuning)?),
         }
     }
 
@@ -149,7 +154,7 @@ impl TransportKind {
     pub fn link_model(&self) -> Option<LinkModel> {
         match self {
             TransportKind::Sim(model) => Some(*model),
-            TransportKind::TcpLoopback => None,
+            TransportKind::TcpLoopback | TransportKind::TcpTuned(_) => None,
         }
     }
 }
@@ -167,6 +172,12 @@ mod tests {
         let tcp = TransportKind::TcpLoopback.build(2).unwrap();
         assert_eq!(tcp.localities(), 2);
         assert_eq!(tcp.port(0).locality(), 0);
+
+        let tuned = TransportKind::TcpTuned(TcpTuning { pump_threads: 2 })
+            .build(2)
+            .unwrap();
+        assert_eq!(tuned.localities(), 2);
+        assert_eq!(tuned.port(1).locality(), 1);
     }
 
     #[test]
@@ -176,6 +187,10 @@ mod tests {
             Some(LinkModel::zero())
         );
         assert_eq!(TransportKind::TcpLoopback.link_model(), None);
+        assert_eq!(
+            TransportKind::TcpTuned(TcpTuning::default()).link_model(),
+            None
+        );
         assert_eq!(
             TransportKind::default().link_model(),
             Some(LinkModel::cluster())

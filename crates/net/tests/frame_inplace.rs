@@ -1,0 +1,171 @@
+//! Equivalence suite for the borrowing frame decoder.
+//!
+//! [`decode_frame_in_place`] must accept and reject *exactly* the same
+//! inputs as the owned decoder ([`decode_frame_body`]) — same `Ok`
+//! contents, same `FrameError` — across truncation at every cut point,
+//! random garbling, >64 KiB payloads, and checksum failures. The event
+//! loop trusts this equivalence when it deserialises coalesced batches
+//! straight out of the receive buffer.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use rpx_net::frame::decode_frame_body;
+use rpx_net::{decode_frame_in_place, encode_frame, Message, MessageKind, FRAME_HEADER_LEN};
+
+/// Deterministic pseudo-random payload (cheap for the >64 KiB cases).
+fn payload(len: usize, seed: u8) -> Bytes {
+    Bytes::from(
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect::<Vec<u8>>(),
+    )
+}
+
+fn kinds() -> impl Strategy<Value = MessageKind> {
+    (0u8..4).prop_map(|k| match k {
+        0 => MessageKind::Parcel,
+        1 => MessageKind::Coalesced,
+        2 => MessageKind::Control,
+        _ => MessageKind::Ack,
+    })
+}
+
+/// Payload lengths spanning empty, tiny, mid-sized, and >64 KiB.
+fn payload_len() -> impl Strategy<Value = usize> {
+    (0u8..4, any::<u64>()).prop_map(|(regime, v)| match regime {
+        0 => 0,
+        1 => 1 + (v % 255) as usize,
+        2 => 1_000 + (v % 4_000) as usize,
+        _ => 65_537 + (v % 8_191) as usize,
+    })
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    (
+        0u32..64,
+        0u32..64,
+        kinds(),
+        payload_len(),
+        any::<u8>(),
+        proptest::option::of(any::<u64>()),
+    )
+        .prop_map(|(src, dst, kind, len, seed, seq)| {
+            let m = Message::new(src, dst, kind, payload(len, seed));
+            match seq {
+                Some(s) => m.with_seq(s),
+                None => m,
+            }
+        })
+}
+
+/// Both decoders applied to the same body must agree exactly.
+fn assert_equivalent(body: &[u8]) {
+    let owned = decode_frame_body(body);
+    let borrowed = decode_frame_in_place(body);
+    match (owned, borrowed) {
+        (Ok(o), Ok(v)) => {
+            assert_eq!(o, v.to_message(), "owned and in-place decode diverge");
+            assert_eq!(v.payload, o.payload.as_ref());
+        }
+        (Err(oe), Err(ve)) => assert_eq!(oe, ve, "owned and in-place errors diverge"),
+        (o, v) => panic!("accept/reject divergence: owned={o:?} in-place={v:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Valid frames (sequenced and not, payloads up to >64 KiB) decode
+    /// identically, and the borrowed payload aliases the input buffer
+    /// (zero copies).
+    #[test]
+    fn valid_frames_decode_identically(m in message()) {
+        let frame = encode_frame(&m);
+        let body = &frame[4..];
+        assert_equivalent(body);
+        let view = decode_frame_in_place(body).expect("valid frame");
+        prop_assert_eq!(view.src, m.src);
+        prop_assert_eq!(view.dst, m.dst);
+        prop_assert_eq!(view.kind, m.kind);
+        prop_assert_eq!(view.seq, m.seq);
+        prop_assert_eq!(view.payload, m.payload.as_ref());
+        if !m.payload.is_empty() {
+            // Borrowing decoder must point into `frame`, not a copy.
+            let base = body.as_ptr() as usize;
+            let p = view.payload.as_ptr() as usize;
+            prop_assert!(p >= base && p + view.payload.len() <= base + body.len());
+            prop_assert_eq!(p - base, view.payload_offset());
+        }
+    }
+
+    /// Truncation at every cut point is rejected identically by both
+    /// decoders (`proptest` picks the frame, we sweep all prefixes —
+    /// cheap because rejects bail before touching the payload).
+    #[test]
+    fn truncations_agree(
+        src in 0u32..64,
+        dst in 0u32..64,
+        kind in kinds(),
+        len in 0usize..300,
+        seed in any::<u8>(),
+        seq in proptest::option::of(any::<u64>()),
+    ) {
+        let m = match seq {
+            Some(s) => Message::new(src, dst, kind, payload(len, seed)).with_seq(s),
+            None => Message::new(src, dst, kind, payload(len, seed)),
+        };
+        let frame = encode_frame(&m);
+        let body = &frame[4..];
+        for cut in 0..body.len() {
+            assert_equivalent(&body[..cut]);
+            prop_assert!(decode_frame_in_place(&body[..cut]).is_err());
+        }
+    }
+
+    /// Flipping any bit anywhere in the body leaves the two decoders in
+    /// agreement (typically both reject with `Checksum`, `BadKind`, or —
+    /// for seq-flag flips — `Truncated`).
+    #[test]
+    fn garbled_frames_agree(
+        m in message(),
+        pos_sel in 0u32..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut frame = encode_frame(&m);
+        let body_len = frame.len() - 4;
+        let pos = 4 + (body_len * pos_sel as usize) / 10_000;
+        let pos = pos.min(frame.len() - 1);
+        frame[pos] ^= 1 << bit;
+        assert_equivalent(&frame[4..]);
+    }
+
+    /// Corrupting a payload byte specifically trips the checksum in both
+    /// decoders with the same error.
+    #[test]
+    fn checksum_failures_agree(
+        src in 0u32..64,
+        dst in 0u32..64,
+        kind in kinds(),
+        len in 1usize..70_000,
+        seed in any::<u8>(),
+        seq in proptest::option::of(any::<u64>()),
+        pos_sel in 0u32..10_000,
+    ) {
+        let m = match seq {
+            Some(s) => Message::new(src, dst, kind, payload(len, seed)).with_seq(s),
+            None => Message::new(src, dst, kind, payload(len, seed)),
+        };
+        let mut frame = encode_frame(&m);
+        let payload_start = FRAME_HEADER_LEN + if m.seq.is_some() { 8 } else { 0 };
+        let pos = payload_start + (m.payload.len() * pos_sel as usize) / 10_000;
+        let pos = pos.min(frame.len() - 1);
+        frame[pos] ^= 0xff;
+        let body = &frame[4..];
+        assert_eq!(
+            decode_frame_in_place(body).unwrap_err(),
+            rpx_net::FrameError::Checksum
+        );
+        assert_equivalent(body);
+    }
+}

@@ -26,6 +26,9 @@
 //!   used by the adaptive controller.
 //! * [`sync`] — lock-free read-mostly registries ([`SlotTable`],
 //!   [`BitTable`], [`ArcCell`]) backing the parcel send fast path.
+//! * [`poll`] — the readiness [`Poller`] (epoll shim on Linux, portable
+//!   fallback elsewhere) and vectored-read helpers behind the
+//!   event-driven TCP transport's pump threads.
 
 #![warn(missing_docs)]
 
@@ -33,6 +36,7 @@ pub mod complex;
 pub mod ewma;
 pub mod hist;
 pub mod ids;
+pub mod poll;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -42,6 +46,7 @@ pub use complex::Complex64;
 pub use ewma::Ewma;
 pub use hist::{Histogram, LogHistogram};
 pub use ids::IdAllocator;
+pub use poll::{Event, Interest, Poller};
 pub use stats::{pearson, OnlineStats};
 pub use sync::{ArcCell, BitTable, SlotTable};
 pub use time::{busy_charge, spin_sleep, Stopwatch};

@@ -324,6 +324,55 @@ impl BytesMut {
         self.len += src.len();
     }
 
+    /// Take the first `at` pending bytes as a new `BytesMut` sharing
+    /// this allocation (zero-copy); `self` keeps the rest of the pending
+    /// bytes and the remaining capacity.
+    ///
+    /// # Panics
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let out = BytesMut {
+            alloc: self.alloc.clone(),
+            start: self.start,
+            len: self.start + at,
+            // The split-off part is full: any further write must realloc.
+            cap: self.start + at,
+        };
+        self.start += at;
+        out
+    }
+
+    /// Raw pointer and length of the *uninitialized* spare capacity
+    /// `[len, cap)`, for direct I/O (e.g. `readv` straight off a
+    /// socket). Call [`BytesMut::reserve`] first to size it; returns a
+    /// null pointer and zero length when no allocation exists.
+    ///
+    /// After writing `n ≤ len` bytes through the pointer, commit them
+    /// with [`BytesMut::advance_len`].
+    pub fn spare_capacity_raw(&mut self) -> (*mut u8, usize) {
+        match &self.alloc {
+            None => (std::ptr::null_mut(), 0),
+            // SAFETY: [len, cap) is this handle's exclusive write
+            // window; handing out a raw pointer into it is sound, the
+            // caller upholds the write bounds.
+            Some(a) => (unsafe { a.ptr.add(self.len) }, self.cap - self.len),
+        }
+    }
+
+    /// Commit `n` bytes written through [`BytesMut::spare_capacity_raw`].
+    ///
+    /// # Safety
+    /// The first `n` bytes of the spare capacity must have been
+    /// initialized since the last `spare_capacity_raw` call.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the spare capacity.
+    pub unsafe fn advance_len(&mut self, n: usize) {
+        assert!(n <= self.cap - self.len, "advance_len past capacity");
+        self.len += n;
+    }
+
     /// Take the pending bytes as a new `BytesMut` sharing this allocation
     /// (zero-copy); `self` keeps the remaining capacity and keeps writing.
     pub fn split(&mut self) -> BytesMut {
@@ -484,6 +533,48 @@ mod tests {
         m.clear();
         assert!(m.is_empty());
         assert!(m.freeze().is_empty());
+    }
+
+    #[test]
+    fn split_to_keeps_the_tail() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_slice(b"frame-one|tail");
+        let head = m.split_to(9).freeze();
+        assert_eq!(head.as_ref(), b"frame-one");
+        assert_eq!(m.as_ref(), b"|tail");
+        // The tail keeps writing in place; the frozen head is unmoved.
+        m.put_slice(b"+more");
+        assert_eq!(m.as_ref(), b"|tail+more");
+        assert_eq!(head.as_ref(), b"frame-one");
+        // Zero-length split is a no-op view.
+        assert!(m.split_to(0).freeze().is_empty());
+        assert_eq!(m.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_to_past_len_panics() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u8(1);
+        let _ = m.split_to(2);
+    }
+
+    #[test]
+    fn raw_spare_capacity_roundtrip() {
+        let mut m = BytesMut::new();
+        assert_eq!(m.spare_capacity_raw().1, 0, "no allocation, no spare");
+        m.reserve(32);
+        let (ptr, cap) = m.spare_capacity_raw();
+        assert!(cap >= 32);
+        // SAFETY: writing within the spare window just handed out.
+        unsafe {
+            std::ptr::copy_nonoverlapping(b"direct".as_ptr(), ptr, 6);
+            m.advance_len(6);
+        }
+        assert_eq!(m.as_ref(), b"direct");
+        // Spare shrinks by what was committed; frozen views see the data.
+        assert_eq!(m.spare_capacity_raw().1, cap - 6);
+        assert_eq!(m.split_to(6).freeze().as_ref(), b"direct");
     }
 
     #[test]

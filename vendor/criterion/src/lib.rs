@@ -6,7 +6,15 @@
 //! skips statistics, plotting, and state files. A positional CLI argument
 //! acts as a substring filter, so `cargo bench --bench serialize -- row`
 //! works as expected.
+//!
+//! When the `CRITERION_JSON` environment variable names a file path, every
+//! finished benchmark is also appended to a machine-readable JSON artifact
+//! at that path (`{"results": [{"id", "min_ns", "median_ns", "max_ns",
+//! ...}]}`), rewritten after each benchmark so a timed-out run still
+//! leaves the completed medians behind. CI uses this to publish
+//! `BENCH_*.json` artifacts from the bench-smoke step.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -260,6 +268,55 @@ fn report(full_id: &str, samples_ns: &[f64], throughput: Option<Throughput>) {
         }
     }
     println!("{line}");
+    record_json(full_id, min, median, max, throughput);
+}
+
+/// Completed-benchmark records for this process, serialized to the
+/// `CRITERION_JSON` file after every finish so partial runs still leave
+/// an artifact behind.
+static JSON_RECORDS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn record_json(full_id: &str, min: f64, median: f64, max: f64, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut entry = format!(
+        "{{\"id\":\"{}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"max_ns\":{max:.1}",
+        json_escape(full_id)
+    );
+    if let Some(t) = throughput {
+        let (unit, per_iter) = match t {
+            Throughput::Elements(n) => ("elements", n),
+            Throughput::Bytes(n) => ("bytes", n),
+        };
+        entry.push_str(&format!(
+            ",\"throughput_unit\":\"{unit}\",\"per_iter\":{per_iter},\"per_sec_median\":{:.1}",
+            per_iter as f64 / (median * 1e-9)
+        ));
+    }
+    entry.push('}');
+    let mut records = JSON_RECORDS.lock().unwrap_or_else(|e| e.into_inner());
+    records.push(entry);
+    let body = format!("{{\"results\":[\n{}\n]}}\n", records.join(",\n"));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("criterion: failed to write CRITERION_JSON={path}: {e}");
+    }
 }
 
 fn fmt_time(ns: f64) -> String {
@@ -365,6 +422,45 @@ mod tests {
             b.iter(|| std::thread::sleep(Duration::from_secs(3600)))
         });
         group.finish();
+    }
+
+    /// Serializes the JSON tests: `CRITERION_JSON` and `JSON_RECORDS` are
+    /// process-global, so these tests must not interleave.
+    static JSON_TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+        assert_eq!(json_escape("plain/id_64"), "plain/id_64");
+    }
+
+    #[test]
+    fn json_noop_without_env() {
+        let _guard = JSON_TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::remove_var("CRITERION_JSON");
+        let before = JSON_RECORDS.lock().unwrap().len();
+        record_json("g/x", 1.0, 2.0, 3.0, Some(Throughput::Elements(4)));
+        assert_eq!(JSON_RECORDS.lock().unwrap().len(), before);
+    }
+
+    #[test]
+    fn json_file_is_rewritten_per_report() {
+        let _guard = JSON_TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!("criterion-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        std::env::set_var("CRITERION_JSON", &path);
+        record_json("g/alpha", 10.0, 20.0, 30.0, Some(Throughput::Elements(64)));
+        record_json("g/beta", 1.5, 2.5, 3.5, Some(Throughput::Bytes(1024)));
+        std::env::remove_var("CRITERION_JSON");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"id\":\"g/alpha\""), "{body}");
+        assert!(body.contains("\"median_ns\":20.0"), "{body}");
+        assert!(body.contains("\"throughput_unit\":\"elements\""), "{body}");
+        assert!(body.contains("\"id\":\"g/beta\""), "{body}");
+        assert!(body.contains("\"throughput_unit\":\"bytes\""), "{body}");
+        assert!(body.trim_end().ends_with("]}"), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
