@@ -25,12 +25,17 @@
 
 pub mod alltoall;
 pub mod driver;
+pub mod multiproc;
 pub mod parquet;
 pub mod toy;
 pub mod workloads;
 
 pub use alltoall::{run_alltoall, AllToAllConfig, AllToAllReport};
 pub use driver::{parquet_sweep, toy_sweep, toy_sweep_sampled, SampledOutcome, SweepOutcome};
+pub use multiproc::{
+    run_parquet_rank, run_toy_rank, MultiprocParquetConfig, MultiprocReport, MultiprocToyConfig,
+    RankStats,
+};
 pub use parquet::{ParquetConfig, ParquetReport};
 pub use toy::{ToyConfig, ToyReport};
 pub use workloads::ArrivalPattern;

@@ -1,0 +1,364 @@
+//! Rank-aware drivers for the paper's workloads.
+//!
+//! [`run_toy_rank`] and [`run_parquet_rank`] drive the same traffic as
+//! [`crate::toy`] / [`crate::parquet`], but structured so one invocation
+//! works identically in all three deployment modes:
+//!
+//! * **all-in-one** (default runtime): this process hosts every locality
+//!   and drives them all, like the classic drivers;
+//! * **in-process TCP**: same, over real sockets;
+//! * **multi-process** (`RuntimeConfig::topology` set): this process
+//!   hosts exactly one rank and drives only it; phase/iteration
+//!   synchronisation rides the runtime's control-plane
+//!   [`Runtime::barrier`] instead of an in-process [`rpx::Barrier`].
+//!
+//! Every driving locality registers `/app/*` parity counters when done —
+//! deterministic values (parcel counts, result checksums accumulated in
+//! send order) that must come out bit-for-bit identical across the three
+//! modes. The multiprocess parity suite compares them straight out of
+//! [`Runtime::dump_counters_json`] files.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rpx::{CoalescingParams, Complex64, CounterValue, Runtime, RuntimeError};
+
+use crate::parquet::{rotation_phase, ROTATE_ACTION};
+use crate::toy::TOY_ACTION;
+
+/// Configuration of a rank-aware toy run.
+#[derive(Debug, Clone)]
+pub struct MultiprocToyConfig {
+    /// Parcels each rank sends per phase (to its ring successor).
+    pub numparcels: usize,
+    /// Number of phases, with a cluster barrier between them.
+    pub phases: usize,
+    /// Coalescing parameters, or `None` for the bare runtime.
+    pub coalescing: Option<CoalescingParams>,
+    /// Budget for each control-plane exchange (registration verify,
+    /// per-phase barrier).
+    pub control_timeout: Duration,
+}
+
+impl Default for MultiprocToyConfig {
+    fn default() -> Self {
+        MultiprocToyConfig {
+            numparcels: 2_000,
+            phases: 3,
+            coalescing: Some(CoalescingParams::new(64, Duration::from_micros(2000))),
+            control_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Deterministic per-rank outcome of a rank-aware run: identical across
+/// deployment modes by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankStats {
+    /// The driving locality.
+    pub rank: u32,
+    /// Parcels this rank sent.
+    pub parcels_sent: u64,
+    /// Checksum of the results this rank received, accumulated in send
+    /// order (bit-for-bit reproducible).
+    pub checksum: Complex64,
+}
+
+/// The outcome of a rank-aware toy or parquet run.
+#[derive(Debug, Clone)]
+pub struct MultiprocReport {
+    /// Stats for every locality *hosted by this process* (all of them in
+    /// the all-in-one modes, one in multi-process mode), in id order.
+    pub per_rank: Vec<RankStats>,
+    /// Total wall time observed by this process.
+    pub total: Duration,
+    /// Messages counted by the hosted coalescers (0 without coalescing;
+    /// timing-dependent, *not* a parity quantity).
+    pub messages_counted: u64,
+}
+
+/// Run the toy workload rank-aware: each rank sends `numparcels` single
+/// `complex<double>` requests per phase to its ring successor
+/// (`(rank + 1) % n` — the paper's bidirectional two-node exchange when
+/// `n == 2`, and its natural N-rank generalisation).
+pub fn run_toy_rank(
+    rt: &Arc<Runtime>,
+    config: &MultiprocToyConfig,
+) -> Result<MultiprocReport, RuntimeError> {
+    let n = rt.num_localities();
+    assert!(n >= 2, "toy app needs at least two localities");
+    let action = rt.register_action(TOY_ACTION, |(): ()| Complex64::new(13.3, -23.8));
+    // All ranks must agree on the action table before any parcel flows;
+    // doubles as the boot barrier (every peer is up and reachable).
+    rt.verify_registration(config.control_timeout)?;
+    let control = match &config.coalescing {
+        Some(params) => Some(rt.enable_coalescing(TOY_ACTION, *params)?),
+        None => None,
+    };
+
+    let hosted = rt.hosted_localities();
+    let mut stats: Vec<RankStats> = hosted
+        .iter()
+        .map(|&rank| RankStats {
+            rank,
+            parcels_sent: 0,
+            checksum: Complex64::ZERO,
+        })
+        .collect();
+    let start = std::time::Instant::now();
+
+    for _phase in 0..config.phases {
+        // One driver thread per hosted locality (a single one per process
+        // in multi-process mode).
+        let handles: Vec<_> = hosted
+            .iter()
+            .map(|&rank| {
+                let rt2 = Arc::clone(rt);
+                let action = action.clone();
+                let numparcels = config.numparcels;
+                std::thread::spawn(move || {
+                    rt2.run_on(rank, move |ctx| {
+                        let dest = (rank + 1) % n;
+                        let mut futures = Vec::with_capacity(numparcels);
+                        for _ in 0..numparcels {
+                            futures.push(ctx.async_action(&action, dest, ()));
+                        }
+                        let values = ctx.wait_all(futures)?;
+                        let mut sum = Complex64::ZERO;
+                        for v in &values {
+                            sum += *v;
+                        }
+                        Ok::<(Complex64, u64), RuntimeError>((sum, values.len() as u64))
+                    })
+                })
+            })
+            .collect();
+        for (s, h) in stats.iter_mut().zip(handles) {
+            let (sum, count) = h.join().expect("toy driver panicked")?;
+            s.checksum += sum;
+            s.parcels_sent += count;
+        }
+        if let Some(control) = &control {
+            control.flush();
+        }
+        rt.wait_quiescent(Duration::from_secs(30));
+        rt.barrier(config.control_timeout)?;
+    }
+
+    let messages = control
+        .as_ref()
+        .map(|c| {
+            hosted
+                .iter()
+                .filter_map(|&r| c.counters(r))
+                .map(|c| c.messages.get())
+                .sum()
+        })
+        .unwrap_or(0);
+    register_parity_counters(rt, &stats);
+    Ok(MultiprocReport {
+        per_rank: stats,
+        total: start.elapsed(),
+        messages_counted: messages,
+    })
+}
+
+/// Configuration of a rank-aware parquet run.
+#[derive(Debug, Clone)]
+pub struct MultiprocParquetConfig {
+    /// Linear tensor dimension `Nc` (`8·Nc²` parcels per iteration in
+    /// total, split evenly across ranks).
+    pub nc: usize,
+    /// Number of self-consistency iterations, with a cluster barrier
+    /// between them.
+    pub iterations: usize,
+    /// Coalescing parameters, or `None` for the bare runtime.
+    pub coalescing: Option<CoalescingParams>,
+    /// Budget for each control-plane exchange.
+    pub control_timeout: Duration,
+}
+
+impl Default for MultiprocParquetConfig {
+    fn default() -> Self {
+        MultiprocParquetConfig {
+            nc: 8,
+            iterations: 3,
+            coalescing: Some(CoalescingParams::new(4, Duration::from_micros(2000))),
+            control_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Run the parquet proxy rank-aware: per iteration every rank sends its
+/// share of the `8·Nc²` rotation parcels round-robin to its peers, then
+/// all ranks synchronise on the iteration barrier. The compute kernel is
+/// omitted — parity cares about the communication structure, and wall
+/// time stays bounded for the smoke suites.
+pub fn run_parquet_rank(
+    rt: &Arc<Runtime>,
+    config: &MultiprocParquetConfig,
+) -> Result<MultiprocReport, RuntimeError> {
+    let n = rt.num_localities();
+    assert!(n >= 2, "parquet proxy needs at least two localities");
+    let nc = config.nc;
+    let action = rt.register_action(ROTATE_ACTION, move |row: Vec<Complex64>| {
+        let mut sum = Complex64::ZERO;
+        for v in &row {
+            sum += *v;
+        }
+        sum.re
+    });
+    rt.verify_registration(config.control_timeout)?;
+    let control = match &config.coalescing {
+        Some(params) => Some(rt.enable_coalescing(ROTATE_ACTION, *params)?),
+        None => None,
+    };
+
+    let per_rank_parcels = 8 * nc * nc / n as usize;
+    let hosted = rt.hosted_localities();
+    let mut stats: Vec<RankStats> = hosted
+        .iter()
+        .map(|&rank| RankStats {
+            rank,
+            parcels_sent: 0,
+            checksum: Complex64::ZERO,
+        })
+        .collect();
+    let start = std::time::Instant::now();
+
+    for iter in 0..config.iterations {
+        let handles: Vec<_> = hosted
+            .iter()
+            .map(|&rank| {
+                let rt2 = Arc::clone(rt);
+                let action = action.clone();
+                std::thread::spawn(move || {
+                    rt2.run_on(rank, move |ctx| {
+                        rotation_phase(ctx, &action, nc, per_rank_parcels, iter)
+                    })
+                })
+            })
+            .collect();
+        for (s, h) in stats.iter_mut().zip(handles) {
+            let partial = h.join().expect("parquet driver panicked")?;
+            s.checksum += Complex64::new(partial, 0.0);
+            s.parcels_sent += per_rank_parcels as u64;
+        }
+        if let Some(control) = &control {
+            control.flush();
+        }
+        rt.wait_quiescent(Duration::from_secs(30));
+        rt.barrier(config.control_timeout)?;
+    }
+
+    let messages = control
+        .as_ref()
+        .map(|c| {
+            hosted
+                .iter()
+                .filter_map(|&r| c.counters(r))
+                .map(|c| c.messages.get())
+                .sum()
+        })
+        .unwrap_or(0);
+    register_parity_counters(rt, &stats);
+    Ok(MultiprocReport {
+        per_rank: stats,
+        total: start.elapsed(),
+        messages_counted: messages,
+    })
+}
+
+/// Publish each hosted rank's deterministic outcome as `/app/*` counters
+/// so they travel inside [`Runtime::dump_counters_json`] files and the
+/// parity suite can compare dumps across deployment modes.
+fn register_parity_counters(rt: &Arc<Runtime>, stats: &[RankStats]) {
+    for s in stats {
+        let registry = rt.locality(s.rank).counters();
+        let parcels = s.parcels_sent;
+        registry.register_or_replace(
+            "/app/parcels-sent",
+            rpx_counters::CallbackCounter::new(move || CounterValue::Int(parcels as i64)),
+        );
+        let re = s.checksum.re;
+        registry.register_or_replace(
+            "/app/checksum-re",
+            rpx_counters::CallbackCounter::new(move || CounterValue::Float(re)),
+        );
+        let im = s.checksum.im;
+        registry.register_or_replace(
+            "/app/checksum-im",
+            rpx_counters::CallbackCounter::new(move || CounterValue::Float(im)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpx::{RuntimeConfig, TransportKind};
+
+    fn toy_cfg(numparcels: usize) -> MultiprocToyConfig {
+        MultiprocToyConfig {
+            numparcels,
+            phases: 2,
+            ..MultiprocToyConfig::default()
+        }
+    }
+
+    #[test]
+    fn toy_rank_driver_matches_expectations_all_in_one() {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let report = run_toy_rank(&rt, &toy_cfg(200)).unwrap();
+        assert_eq!(report.per_rank.len(), 2);
+        for s in &report.per_rank {
+            assert_eq!(s.parcels_sent, 400);
+            // 400 × (13.3, -23.8), accumulated in order.
+            assert!((s.checksum.re - 400.0 * 13.3).abs() < 1e-9);
+            assert!((s.checksum.im + 400.0 * 23.8).abs() < 1e-9);
+        }
+        // Parity counters landed in each locality's registry.
+        assert_eq!(
+            rt.query(0, "/app/parcels-sent").unwrap(),
+            CounterValue::Int(400)
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn toy_rank_driver_is_deterministic_across_transports() {
+        let run = |transport: TransportKind| {
+            let rt = Runtime::new(RuntimeConfig {
+                transport,
+                ..RuntimeConfig::small_test()
+            });
+            let r = run_toy_rank(&rt, &toy_cfg(150)).unwrap();
+            rt.shutdown();
+            r.per_rank
+        };
+        let sim = run(RuntimeConfig::small_test().transport);
+        let tcp = run(TransportKind::TcpLoopback);
+        assert_eq!(sim, tcp, "per-rank outcomes must be mode-independent");
+    }
+
+    #[test]
+    fn parquet_rank_driver_runs_four_localities() {
+        let rt = Runtime::new(RuntimeConfig {
+            localities: 4,
+            ..RuntimeConfig::small_test()
+        });
+        let cfg = MultiprocParquetConfig {
+            nc: 4,
+            iterations: 2,
+            ..MultiprocParquetConfig::default()
+        };
+        let report = run_parquet_rank(&rt, &cfg).unwrap();
+        assert_eq!(report.per_rank.len(), 4);
+        let expected = (8 * 4 * 4 / 4 * 2) as u64;
+        for s in &report.per_rank {
+            assert_eq!(s.parcels_sent, expected);
+            assert!(s.checksum.re.is_finite());
+        }
+        rt.shutdown();
+    }
+}

@@ -235,7 +235,8 @@ pub fn run_parquet(
 
 /// One locality's rotation phase: send `count` parcels of `nc` complex
 /// doubles round-robin to the peers; wait for all acknowledgements.
-fn rotation_phase(
+/// Shared with the rank-aware driver in [`crate::multiproc`].
+pub(crate) fn rotation_phase(
     ctx: &rpx::Ctx,
     action: &rpx::ActionHandle<Vec<Complex64>, f64>,
     nc: usize,

@@ -18,6 +18,18 @@
 //! runs over both backends under `FaultPlan::chaos()` with the
 //! reliability sublayer enabled, and the run exits non-zero if any LCO
 //! was lost or duplicated.
+//!
+//! `launch -n N [--book] [--timeout-s T] -- <scenario…>` (not part of
+//! `all`) runs a scenario as N cooperating OS processes — one per
+//! locality — streaming rank-prefixed output, aggregating per-rank
+//! counter dumps, and propagating the first non-zero exit. `worker` is
+//! the internal mode those processes run in (driven entirely by the
+//! `RPX_RANK`/`RPX_BOOTSTRAP` environment the launcher sets). Scenarios:
+//! `toy`, `parquet`, `chaos` (toy under `FaultPlan::chaos()` with
+//! reliability across the real process boundary).
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use rpx_bench::table::{print_csv, print_table, ratio, secs};
 use rpx_bench::{experiments as exp, Scale};
@@ -25,6 +37,11 @@ use rpx_bench::{experiments as exp, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_env();
+    match args.first().map(String::as_str) {
+        Some("launch") => run_launch(&args[1..]),
+        Some("worker") => run_worker(&args[1..], scale),
+        _ => {}
+    }
     let all = [
         "timer",
         "fig4",
@@ -443,6 +460,211 @@ fn run_ablate_bypass(scale: Scale) {
         &["scenario", "mean_latency_us"],
         &rows,
     );
+}
+
+/// `repro launch -n N [--book] [--timeout-s T] -- <scenario…>`: run a
+/// scenario as N cooperating worker processes (see `rpx_bench::launch`).
+fn run_launch(args: &[String]) -> ! {
+    let mut n = 2u32;
+    let mut timeout_s = 120u64;
+    let mut book = false;
+    let mut scenario: Vec<String> = Vec::new();
+    let mut i = 0;
+    let usage = "usage: repro launch -n N [--book] [--timeout-s T] -- <scenario…>";
+    while i < args.len() {
+        match args[i].as_str() {
+            "-n" => {
+                n = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("{usage}");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--timeout-s" => {
+                timeout_s = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("{usage}");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--book" => {
+                book = true;
+                i += 1;
+            }
+            "--" => {
+                scenario = args[i + 1..].to_vec();
+                break;
+            }
+            other => {
+                eprintln!("unknown launch flag '{other}'; {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if scenario.is_empty() {
+        scenario = vec!["toy".to_string()];
+    }
+    let mut config = rpx_bench::LaunchConfig::new(n, scenario);
+    config.timeout = Duration::from_secs(timeout_s);
+    config.address_book = book;
+    let exe = std::env::current_exe().expect("cannot locate the repro binary");
+    match rpx_bench::launch(&exe, &config) {
+        Ok(report) => {
+            println!("launch: per-rank exit codes {:?}", report.exit_codes);
+            if let Some(path) = &report.aggregate_path {
+                println!("launch: aggregated counters at {}", path.display());
+            }
+            if let Some((rank, code)) = report.first_failure {
+                eprintln!("launch: rank {rank} failed with exit code {code}; survivors killed");
+            }
+            if report.timed_out {
+                eprintln!("launch: wall-clock ceiling hit after {timeout_s}s; workers killed");
+            }
+            std::process::exit(report.exit_code());
+        }
+        Err(e) => {
+            eprintln!("launch failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro worker <scenario>`: one rank of a multi-process run. Boots the
+/// runtime from the `RPX_*` environment the launcher set, runs the
+/// scenario, dumps per-process counters, exits 0 on success.
+fn run_worker(args: &[String], scale: Scale) -> ! {
+    let scenario = args.first().map(String::as_str).unwrap_or("toy");
+    let topology = match rpx::Topology::from_env() {
+        Ok(Some(t)) => t,
+        Ok(None) => {
+            eprintln!("worker mode requires RPX_RANK/RPX_NUM_LOCALITIES (set by `repro launch`)");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("bad bootstrap environment: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rank = topology.rank;
+
+    // Crash-injection hook for the kill-one-rank suite: the nominated
+    // rank exits hard mid-run; the survivors must fail fast (reliability
+    // give-up → broken promises), never hang.
+    if let Ok(die) = std::env::var("RPX_TEST_DIE_RANK") {
+        if die.parse::<u32>().ok() == Some(rank) {
+            let after_ms: u64 = std::env::var("RPX_TEST_DIE_AFTER_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(200);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(after_ms));
+                eprintln!("rank {rank}: dying now (RPX_TEST_DIE_RANK)");
+                std::process::exit(3);
+            });
+        }
+    }
+
+    let config = rpx::RuntimeConfig {
+        transport: rpx::TransportKind::TcpLoopback,
+        reliability: Some(rpx::ReliabilityConfig::default()),
+        topology: Some(topology),
+        ..rpx::RuntimeConfig::default()
+    };
+    let rt = match rpx::Runtime::try_new(config) {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("rank {rank}: boot failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let outcome = match scenario {
+        "toy" => worker_toy(&rt, scale, false),
+        "chaos" => worker_toy(&rt, scale, true),
+        "parquet" => worker_parquet(&rt, scale),
+        other => {
+            eprintln!("unknown worker scenario '{other}' (toy|parquet|chaos)");
+            std::process::exit(2);
+        }
+    };
+    match outcome {
+        Ok(()) => {
+            if let Ok(path) = std::env::var("RPX_COUNTERS_OUT") {
+                if let Err(e) = rt.dump_counters_json(&path) {
+                    eprintln!("rank {rank}: counter dump failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            rt.shutdown();
+            std::process::exit(0);
+        }
+        Err(why) => {
+            eprintln!("rank {rank}: {why}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The toy scenario for one rank; with `chaos` the outbound wire runs
+/// under `FaultPlan::chaos()` — reliability must still deliver every
+/// parcel exactly once across the real process boundary.
+fn worker_toy(rt: &Arc<rpx::Runtime>, scale: Scale, chaos: bool) -> Result<(), String> {
+    let plan = chaos.then(|| Arc::new(rpx_net::FaultPlan::chaos()));
+    if let Some(plan) = &plan {
+        for r in rt.hosted_localities() {
+            rt.inject_faults(r, Some(Arc::clone(plan)));
+        }
+    }
+    let cfg = rpx_apps::MultiprocToyConfig {
+        numparcels: scale.pick(2_000, 50_000),
+        ..Default::default()
+    };
+    let report = rpx_apps::run_toy_rank(rt, &cfg).map_err(|e| e.to_string())?;
+    let expected = (cfg.numparcels * cfg.phases) as u64;
+    for s in &report.per_rank {
+        if s.parcels_sent != expected {
+            return Err(format!(
+                "rank {} sent {} parcels, expected {expected}",
+                s.rank, s.parcels_sent
+            ));
+        }
+        println!(
+            "toy rank {}: parcels {} checksum ({}, {}) messages {}",
+            s.rank, s.parcels_sent, s.checksum.re, s.checksum.im, report.messages_counted
+        );
+    }
+    if let Some(plan) = &plan {
+        println!(
+            "chaos rank summary: dropped {} corrupted {} duplicated {} reordered {}",
+            plan.dropped(),
+            plan.corrupted(),
+            plan.duplicated(),
+            plan.reordered()
+        );
+    }
+    Ok(())
+}
+
+/// The parquet scenario for one rank.
+fn worker_parquet(rt: &Arc<rpx::Runtime>, scale: Scale) -> Result<(), String> {
+    let cfg = rpx_apps::MultiprocParquetConfig {
+        nc: scale.pick(8, 24),
+        ..Default::default()
+    };
+    let report = rpx_apps::run_parquet_rank(rt, &cfg).map_err(|e| e.to_string())?;
+    for s in &report.per_rank {
+        println!(
+            "parquet rank {}: parcels {} checksum ({}, {})",
+            s.rank, s.parcels_sent, s.checksum.re, s.checksum.im
+        );
+    }
+    Ok(())
 }
 
 fn run_ablate_timer() {

@@ -1,0 +1,372 @@
+//! The multi-process launcher behind `repro launch`.
+//!
+//! `repro launch -n N -- <scenario>` spawns N copies of the `repro`
+//! binary in worker mode (`repro worker <scenario>`), one OS process per
+//! locality, wired together through environment variables:
+//!
+//! * `RPX_RANK` / `RPX_NUM_LOCALITIES` — the worker's place in the
+//!   cluster;
+//! * `RPX_BOOTSTRAP` — rendezvous address (rank 0 serves the address
+//!   book during boot), or `RPX_ADDRESS_BOOK` — the launcher-provided
+//!   complete `rank → address` table (`--book`);
+//! * `RPX_COUNTERS_OUT` — where the worker dumps its per-process counter
+//!   JSON on success.
+//!
+//! The launcher streams every worker's stdout/stderr to its own,
+//! prefixed with `[rank N]`, enforces a wall-clock deadline, propagates
+//! the first non-zero exit code (killing and reaping the survivors), and
+//! aggregates the per-rank counter dumps into one report file. Ctrl-C in
+//! a terminal reaches the whole foreground process group, so workers die
+//! with the launcher; every other failure path kills survivors
+//! explicitly before returning.
+
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Exit code the launcher reports when the wall-clock deadline passes
+/// (mirrors coreutils `timeout`).
+pub const EXIT_TIMEOUT: i32 = 124;
+
+/// Per-rank exit code recorded for survivors the launcher killed after
+/// another rank failed (mirrors the shell's `128 + SIGKILL`).
+pub const EXIT_KILLED: i32 = 137;
+
+/// Configuration of one `repro launch` invocation.
+#[derive(Debug, Clone)]
+pub struct LaunchConfig {
+    /// Number of worker processes (= localities).
+    pub num_localities: u32,
+    /// Scenario arguments passed to every worker after `worker`
+    /// (e.g. `["toy"]`).
+    pub scenario: Vec<String>,
+    /// Wall-clock ceiling for the whole run.
+    pub timeout: Duration,
+    /// Use the launcher-provided address book (`RPX_ADDRESS_BOOK`)
+    /// instead of the rendezvous handshake (`RPX_BOOTSTRAP`).
+    pub address_book: bool,
+    /// Directory for per-rank counter dumps and the aggregate report.
+    pub counters_dir: PathBuf,
+    /// Extra environment for every worker (test hooks such as
+    /// `RPX_TEST_DIE_RANK`).
+    pub env: Vec<(String, String)>,
+}
+
+impl LaunchConfig {
+    /// Defaults for `-n N -- scenario…`: rendezvous bootstrap, 120 s
+    /// ceiling, dumps under `target/launch-counters` (override with
+    /// `RPX_COUNTERS_DIR`).
+    pub fn new(num_localities: u32, scenario: Vec<String>) -> Self {
+        let counters_dir = std::env::var("RPX_COUNTERS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/launch-counters"));
+        LaunchConfig {
+            num_localities,
+            scenario,
+            timeout: Duration::from_secs(120),
+            address_book: false,
+            counters_dir,
+            env: Vec::new(),
+        }
+    }
+}
+
+/// The outcome of a launch.
+#[derive(Debug)]
+pub struct LaunchReport {
+    /// Exit code per rank: the raw code for ranks that exited on their
+    /// own (`-1` for signal deaths), [`EXIT_TIMEOUT`] for ranks killed
+    /// at the deadline, [`EXIT_KILLED`] for survivors killed after
+    /// another rank failed.
+    pub exit_codes: Vec<i32>,
+    /// First failing `(rank, code)`, if any.
+    pub first_failure: Option<(u32, i32)>,
+    /// Whether the wall-clock ceiling fired.
+    pub timed_out: bool,
+    /// Path of the merged counter report (when at least one rank dumped).
+    pub aggregate_path: Option<PathBuf>,
+}
+
+impl LaunchReport {
+    /// The exit code the launcher process should report.
+    pub fn exit_code(&self) -> i32 {
+        if self.timed_out {
+            EXIT_TIMEOUT
+        } else {
+            self.first_failure
+                .map(|(_, c)| c)
+                .map_or(0, |c| if c == 0 { 1 } else { c })
+        }
+    }
+}
+
+/// Reserve `n` distinct loopback addresses by binding ephemeral
+/// listeners, then releasing them. The tiny window in which another
+/// process could claim a port is acceptable for a test launcher.
+fn reserve_loopback_addrs(n: u32) -> std::io::Result<Vec<SocketAddr>> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()?;
+    listeners.iter().map(|l| l.local_addr()).collect()
+}
+
+/// Stream `reader` to the launcher's own stdout/stderr line by line,
+/// prefixed with the worker's rank.
+fn stream_prefixed(rank: u32, to_stderr: bool, reader: impl std::io::Read + Send + 'static) {
+    std::thread::spawn(move || {
+        for line in BufReader::new(reader).lines() {
+            let Ok(line) = line else { break };
+            if to_stderr {
+                eprintln!("[rank {rank}] {line}");
+            } else {
+                println!("[rank {rank}] {line}");
+            }
+        }
+    });
+}
+
+fn kill_and_reap(children: &mut [(u32, Option<Child>)]) {
+    for (_, slot) in children.iter_mut() {
+        if let Some(child) = slot {
+            let _ = child.kill();
+        }
+    }
+    for (_, slot) in children.iter_mut() {
+        if let Some(mut child) = slot.take() {
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Spawn the workers, stream their output, enforce the deadline, and
+/// aggregate counter dumps. `worker_exe` is the binary to run in worker
+/// mode — normally `std::env::current_exe()` of the `repro` binary.
+pub fn launch(worker_exe: &Path, config: &LaunchConfig) -> std::io::Result<LaunchReport> {
+    assert!(config.num_localities > 0, "launch needs at least one rank");
+    std::fs::create_dir_all(&config.counters_dir)?;
+
+    // Bootstrap contract: either one rendezvous address every worker
+    // connects to, or the full address table.
+    let (bootstrap_env, book_env) = if config.address_book {
+        let addrs = reserve_loopback_addrs(config.num_localities)?;
+        let book = addrs
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        (None, Some(book))
+    } else {
+        let rendezvous = reserve_loopback_addrs(1)?[0];
+        (Some(rendezvous.to_string()), None)
+    };
+
+    let mut counter_files = Vec::new();
+    let mut children: Vec<(u32, Option<Child>)> =
+        Vec::with_capacity(config.num_localities as usize);
+    for rank in 0..config.num_localities {
+        let counters_out = config.counters_dir.join(format!("rank-{rank}.json"));
+        let mut cmd = Command::new(worker_exe);
+        cmd.arg("worker")
+            .args(&config.scenario)
+            .env("RPX_RANK", rank.to_string())
+            .env("RPX_NUM_LOCALITIES", config.num_localities.to_string())
+            .env("RPX_COUNTERS_OUT", &counters_out)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        match (&bootstrap_env, &book_env) {
+            (Some(addr), _) => {
+                cmd.env("RPX_BOOTSTRAP", addr);
+                cmd.env_remove("RPX_ADDRESS_BOOK");
+            }
+            (None, Some(book)) => {
+                cmd.env("RPX_ADDRESS_BOOK", book);
+                cmd.env_remove("RPX_BOOTSTRAP");
+            }
+            (None, None) => unreachable!(),
+        }
+        for (k, v) in &config.env {
+            cmd.env(k, v);
+        }
+        let mut child = match cmd.spawn() {
+            Ok(c) => c,
+            Err(e) => {
+                kill_and_reap(&mut children);
+                return Err(e);
+            }
+        };
+        if let Some(out) = child.stdout.take() {
+            stream_prefixed(rank, false, out);
+        }
+        if let Some(err) = child.stderr.take() {
+            stream_prefixed(rank, true, err);
+        }
+        counter_files.push(counters_out);
+        children.push((rank, Some(child)));
+    }
+
+    // Reap loop: poll until every worker exits, the first failure, or
+    // the deadline — whichever comes first. On failure/deadline the
+    // survivors are killed and reaped so no orphan keeps the sockets.
+    let deadline = Instant::now() + config.timeout;
+    let mut exit_codes = vec![0i32; config.num_localities as usize];
+    let mut first_failure: Option<(u32, i32)> = None;
+    let mut timed_out = false;
+    let mut remaining = config.num_localities;
+    while remaining > 0 {
+        let mut progressed = false;
+        for (rank, slot) in children.iter_mut() {
+            let Some(child) = slot else { continue };
+            if let Some(status) = child.try_wait()? {
+                let code = status.code().unwrap_or(-1);
+                exit_codes[*rank as usize] = code;
+                if code != 0 && first_failure.is_none() {
+                    first_failure = Some((*rank, code));
+                }
+                *slot = None;
+                remaining -= 1;
+                progressed = true;
+            }
+        }
+        if first_failure.is_some() {
+            break;
+        }
+        if Instant::now() >= deadline {
+            timed_out = true;
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    if remaining > 0 {
+        // Survivors die by our hand: label them by *why* they were
+        // killed, so a deadline kill (124) reads differently from
+        // collateral of another rank's failure (137).
+        let survivor_code = if timed_out { EXIT_TIMEOUT } else { EXIT_KILLED };
+        for (rank, slot) in children.iter() {
+            if slot.is_some() {
+                exit_codes[*rank as usize] = survivor_code;
+            }
+        }
+        kill_and_reap(&mut children);
+    }
+
+    let aggregate_path = aggregate_counter_dumps(
+        &config.counters_dir.join("aggregate.json"),
+        config.num_localities,
+        &counter_files,
+    );
+
+    Ok(LaunchReport {
+        exit_codes,
+        first_failure,
+        timed_out,
+        aggregate_path,
+    })
+}
+
+/// Merge per-rank counter dumps (`{"version":1,"ranks":[…]}` each, see
+/// `Runtime::counters_json`) into one
+/// `{"version":1,"num_localities":N,"ranks":[…]}` report. Ranks whose
+/// dump is missing (crashed workers) are skipped. Returns the report
+/// path when at least one dump was merged.
+pub fn aggregate_counter_dumps(
+    out: &Path,
+    num_localities: u32,
+    files: &[PathBuf],
+) -> Option<PathBuf> {
+    let mut merged = Vec::new();
+    for file in files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        if let Some(inner) = extract_ranks_array(&text) {
+            if !inner.trim().is_empty() {
+                merged.push(inner.to_string());
+            }
+        }
+    }
+    if merged.is_empty() {
+        return None;
+    }
+    let doc = format!(
+        "{{\"version\":1,\"num_localities\":{},\"ranks\":[{}]}}",
+        num_localities,
+        merged.join(",")
+    );
+    std::fs::write(out, doc).ok()?;
+    Some(out.to_path_buf())
+}
+
+/// The contents of the top-level `"ranks":[…]` array of a per-process
+/// counter dump (our own writer's format: the document ends `]}`).
+fn extract_ranks_array(json: &str) -> Option<&str> {
+    let start = json.find("\"ranks\":[")? + "\"ranks\":[".len();
+    let end = json.rfind("]}")?;
+    (start <= end).then(|| &json[start..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_array_extraction() {
+        let doc = "{\"version\":1,\"ranks\":[{\"rank\":0,\"counters\":{\"series\":[]}}]}";
+        assert_eq!(
+            extract_ranks_array(doc),
+            Some("{\"rank\":0,\"counters\":{\"series\":[]}}")
+        );
+        assert_eq!(
+            extract_ranks_array("{\"version\":1,\"ranks\":[]}"),
+            Some("")
+        );
+        assert_eq!(extract_ranks_array("not json"), None);
+    }
+
+    #[test]
+    fn aggregation_merges_existing_dumps_and_skips_missing() {
+        let dir = std::env::temp_dir().join(format!("rpx-launch-agg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("rank-0.json");
+        let b = dir.join("rank-1.json");
+        std::fs::write(
+            &a,
+            "{\"version\":1,\"ranks\":[{\"rank\":0,\"counters\":{}}]}",
+        )
+        .unwrap();
+        // rank-1 crashed: no dump.
+        let out = dir.join("aggregate.json");
+        let path = aggregate_counter_dumps(&out, 2, &[a, b.clone()]).unwrap();
+        let merged = std::fs::read_to_string(path).unwrap();
+        assert!(merged.contains("\"num_localities\":2"));
+        assert!(merged.contains("\"rank\":0"));
+        assert!(!merged.contains("\"rank\":1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reserved_addrs_are_distinct() {
+        let addrs = reserve_loopback_addrs(4).unwrap();
+        let ports: std::collections::HashSet<u16> = addrs.iter().map(|a| a.port()).collect();
+        assert_eq!(ports.len(), 4);
+    }
+
+    #[test]
+    fn report_exit_code_precedence() {
+        let mut r = LaunchReport {
+            exit_codes: vec![0, 0],
+            first_failure: None,
+            timed_out: false,
+            aggregate_path: None,
+        };
+        assert_eq!(r.exit_code(), 0);
+        r.first_failure = Some((1, 3));
+        assert_eq!(r.exit_code(), 3);
+        r.timed_out = true;
+        assert_eq!(r.exit_code(), EXIT_TIMEOUT);
+    }
+}

@@ -11,9 +11,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod launch;
 pub mod table;
 
 pub use experiments::*;
+pub use launch::{launch, LaunchConfig, LaunchReport, EXIT_KILLED, EXIT_TIMEOUT};
 pub use table::{print_csv, print_table};
 
 /// Experiment scale selection.

@@ -16,12 +16,16 @@ use rpx_parcel::{ActionId, SendPath};
 use crate::error::RuntimeError;
 use crate::runtime::Runtime;
 
-/// Live control over one action's coalescing across all localities.
+/// Live control over one action's coalescing across all localities
+/// hosted by this process (every locality in the default mode, the
+/// single rank in multi-process mode — each rank installs its own).
 pub struct CoalescingControl {
     action_name: String,
     action_id: ActionId,
     continuation_id: Option<ActionId>,
     params: ParamsHandle,
+    /// Hosted locality ids, aligned with `per_locality`.
+    hosted_ids: Vec<u32>,
     per_locality: Vec<Arc<Coalescer>>,
     continuation_coalescers: Vec<Arc<Coalescer>>,
 }
@@ -42,18 +46,19 @@ impl CoalescingControl {
         action_name: &str,
         params: CoalescingParams,
     ) -> Result<CoalescingControl, RuntimeError> {
-        let action_id = rt
-            .locality(0)
+        let hosted = rt.hosted();
+        let action_id = hosted[0]
             .port
             .actions()
             .lookup(action_name)
             .ok_or_else(|| RuntimeError::UnknownAction(action_name.to_string()))?;
-        let continuation_id = rt.locality(0).port.actions().lookup("rpx::set-lco");
+        let continuation_id = hosted[0].port.actions().lookup("rpx::set-lco");
         let handle = ParamsHandle::new(params);
-        let mut per_locality = Vec::with_capacity(rt.num_localities() as usize);
+        let mut hosted_ids = Vec::with_capacity(hosted.len());
+        let mut per_locality = Vec::with_capacity(hosted.len());
         let mut continuation_coalescers = Vec::new();
-        for id in 0..rt.num_localities() {
-            let locality = rt.locality(id);
+        for locality in hosted {
+            hosted_ids.push(locality.id());
             let coalescer = Coalescer::with_handle(
                 action_name,
                 handle.clone(),
@@ -89,6 +94,7 @@ impl CoalescingControl {
             action_id,
             continuation_id,
             params: handle,
+            hosted_ids,
             per_locality,
             continuation_coalescers,
         })
@@ -147,19 +153,19 @@ impl CoalescingControl {
             .sum()
     }
 
-    /// The `/coalescing/*` counters of one locality's coalescer.
+    /// The `/coalescing/*` counters of one hosted locality's coalescer
+    /// (`None` for remote ranks in multi-process mode).
     pub fn counters(&self, locality: u32) -> Option<&Arc<CoalescingCounters>> {
-        self.per_locality
-            .get(locality as usize)
-            .map(|c| c.counters())
+        let pos = self.hosted_ids.iter().position(|&id| id == locality)?;
+        self.per_locality.get(pos).map(|c| c.counters())
     }
 
-    /// Remove this control's interceptors from every locality (queued
-    /// parcels are flushed first).
+    /// Remove this control's interceptors from every hosted locality
+    /// (queued parcels are flushed first).
     pub(crate) fn uninstall(&self, rt: &Runtime) {
         self.flush();
-        for id in 0..rt.num_localities() {
-            let port = &rt.locality(id).port;
+        for locality in rt.hosted() {
+            let port = &locality.port;
             port.clear_interceptor(self.action_id);
             if let Some(cont_id) = self.continuation_id {
                 port.clear_interceptor(cont_id);

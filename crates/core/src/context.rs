@@ -131,7 +131,7 @@ impl Ctx {
         // this locality, with the promise parked in the local LCO table.
         let gid = self.runtime.agas().allocate(self.locality);
         let (promise, future) = channel::<Bytes>();
-        here.lco_table.insert(gid, promise);
+        here.lco_table.insert(gid, dest, promise);
         here.port.send_parcel(Parcel {
             id: 0,
             src_locality: self.locality,

@@ -16,6 +16,23 @@ pub enum RuntimeError {
     UnknownAction(String),
     /// The named locality does not exist.
     UnknownLocality(u32),
+    /// Multi-process boot failed (bootstrap handshake, bad topology,
+    /// incompatible transport). The string is the underlying typed
+    /// error's rendering (e.g. [`rpx_net::BootstrapError`]).
+    Boot(String),
+    /// A peer rank registered a different action set (or a different
+    /// order): parcels would dispatch against the wrong handlers.
+    RegistrationMismatch {
+        /// The peer whose hash disagrees.
+        peer: u32,
+        /// Our registration-order hash.
+        ours: u64,
+        /// The peer's registration-order hash.
+        theirs: u64,
+    },
+    /// The control-plane exchange (registration verify, barrier) did not
+    /// complete within its time budget.
+    ControlTimeout(&'static str),
 }
 
 impl fmt::Display for RuntimeError {
@@ -25,6 +42,14 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Wire(e) => write!(f, "wire failure: {e}"),
             RuntimeError::UnknownAction(name) => write!(f, "unknown action '{name}'"),
             RuntimeError::UnknownLocality(l) => write!(f, "unknown locality {l}"),
+            RuntimeError::Boot(why) => write!(f, "boot failed: {why}"),
+            RuntimeError::RegistrationMismatch { peer, ours, theirs } => write!(
+                f,
+                "action registration skew: rank {peer} hashed {theirs:#018x}, we hashed {ours:#018x}"
+            ),
+            RuntimeError::ControlTimeout(what) => {
+                write!(f, "control-plane timeout waiting for {what}")
+            }
         }
     }
 }

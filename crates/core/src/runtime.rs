@@ -1,7 +1,15 @@
-//! The runtime: an in-process cluster of localities.
+//! The runtime: a cluster of localities — all in one process (the
+//! default), or one process per locality when booted with a
+//! [`Topology`] (rank mode).
+//!
+//! In rank mode `Runtime` hosts a *single* [`Locality`] whose transport
+//! addresses remote ranks through the boot handshake's address book; the
+//! control plane (registration-hash verification, barriers) rides
+//! [`rpx_net::MessageKind::Control`] messages over the same wire.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -11,10 +19,14 @@ use parking_lot::Mutex;
 use rpx_agas::{AgasService, Gid, ObjectRegistry};
 use rpx_counters::{
     CounterError, CounterPath, CounterRegistry, CounterValue, TelemetryConfig, TelemetryService,
+    TimeSeries,
 };
 use rpx_lco::Promise;
 use rpx_metrics::MetricsReader;
-use rpx_net::{LinkModel, ReliabilityConfig, ReliableTransport, Transport, TransportKind};
+use rpx_net::{
+    BootstrapMode, LinkModel, ReliabilityConfig, ReliablePort, ReliableTransport, TcpBootstrap,
+    TcpTransport, TcpTuning, Topology, Transport, TransportKind,
+};
 use rpx_parcel::{
     port::decode_continuation_args, ActionId, ActionRegistry, ParcelPort, ParcelPortConfig,
 };
@@ -54,6 +66,13 @@ pub struct RuntimeConfig {
     /// what makes inter-parcel gaps comparable to the paper's, so the
     /// `wait = 1 µs` sparse-bypass band of Fig. 8 reproduces.
     pub invocation_overhead: Duration,
+    /// `None` (default): this process hosts *all* `localities` in one
+    /// address space, exactly as before. `Some(topology)`: this process
+    /// is one rank of a multi-process cluster — it hosts the single
+    /// locality `topology.rank`, discovers its peers through the
+    /// topology's [`BootstrapMode`], and `localities` is ignored in
+    /// favour of `topology.num_localities`. Requires a TCP transport.
+    pub topology: Option<Topology>,
 }
 
 impl Default for RuntimeConfig {
@@ -66,6 +85,7 @@ impl Default for RuntimeConfig {
             egress_drain_budget: ParcelPortConfig::default().egress_drain_budget,
             idle_park: Duration::from_micros(200),
             invocation_overhead: Duration::from_nanos(1_500),
+            topology: None,
         }
     }
 }
@@ -89,6 +109,7 @@ impl RuntimeConfig {
             egress_drain_budget: ParcelPortConfig::default().egress_drain_budget,
             idle_park: Duration::from_micros(200),
             invocation_overhead: Duration::ZERO,
+            topology: None,
         }
     }
 }
@@ -126,8 +147,13 @@ impl<A, R> ActionHandle<A, R> {
 }
 
 /// The table of pending local LCOs awaiting remote results.
+///
+/// Each entry remembers the destination locality its parcel went to so a
+/// reported delivery failure (remote rank died, retransmission gave up)
+/// can break exactly the promises that will never be set — waiters see
+/// [`rpx_lco::LcoError::BrokenPromise`] instead of hanging forever.
 pub(crate) struct LcoTable {
-    pending: Mutex<HashMap<Gid, Promise<Bytes>>>,
+    pending: Mutex<HashMap<Gid, (u32, Promise<Bytes>)>>,
 }
 
 impl LcoTable {
@@ -137,15 +163,24 @@ impl LcoTable {
         }
     }
 
-    pub(crate) fn insert(&self, gid: Gid, promise: Promise<Bytes>) {
-        self.pending.lock().insert(gid, promise);
+    pub(crate) fn insert(&self, gid: Gid, dest: u32, promise: Promise<Bytes>) {
+        self.pending.lock().insert(gid, (dest, promise));
     }
 
     fn complete(&self, gid: Gid, value: Bytes) -> bool {
         match self.pending.lock().remove(&gid) {
-            Some(mut promise) => promise.set_ref(value).is_ok(),
+            Some((_, mut promise)) => promise.set_ref(value).is_ok(),
             None => false,
         }
+    }
+
+    /// Drop every pending promise whose parcel targeted `dest`. Dropping
+    /// a promise without setting it breaks it for all waiters.
+    fn fail_dest(&self, dest: u32) -> usize {
+        let mut pending = self.pending.lock();
+        let before = pending.len();
+        pending.retain(|_, (d, _)| *d != dest);
+        before - pending.len()
     }
 
     #[cfg(test)]
@@ -339,15 +374,140 @@ impl BackgroundWork for TelemetryTick {
     }
 }
 
-/// The in-process cluster runtime.
+// Control-plane payload tags (first byte of a `MessageKind::Control`
+// payload; all integers little-endian).
+/// `[tag][rank u32][hash u64]` — the sender's registration-order hash.
+const CTRL_REGHASH: u8 = 1;
+/// `[tag][rank u32][gen u64]` — the sender arrived at barrier `gen`.
+const CTRL_BARRIER_ARRIVE: u8 = 2;
+/// `[tag][gen u64]` — rank 0 releases barrier `gen`.
+const CTRL_BARRIER_RELEASE: u8 = 3;
+
+/// Cross-rank control state: registration hashes received from peers,
+/// barrier arrivals (rank 0) and releases (other ranks). Written by the
+/// parcel port's control handler on the receive path; polled by
+/// [`Runtime::verify_registration`] and [`Runtime::barrier`].
+struct ControlPlane {
+    peer_hashes: Mutex<HashMap<u32, u64>>,
+    arrivals: Mutex<HashMap<u64, HashSet<u32>>>,
+    released: Mutex<HashSet<u64>>,
+    next_gen: AtomicU64,
+    peers_connected: AtomicU64,
+}
+
+impl ControlPlane {
+    fn new() -> Self {
+        ControlPlane {
+            peer_hashes: Mutex::new(HashMap::new()),
+            arrivals: Mutex::new(HashMap::new()),
+            released: Mutex::new(HashSet::new()),
+            next_gen: AtomicU64::new(0),
+            peers_connected: AtomicU64::new(0),
+        }
+    }
+
+    /// Parse one control payload. Unknown tags and short payloads are
+    /// ignored (forward compatibility; never panic on wire input).
+    fn on_message(&self, payload: &[u8]) {
+        let le_u32 = |b: &[u8]| u32::from_le_bytes(b.try_into().unwrap());
+        let le_u64 = |b: &[u8]| u64::from_le_bytes(b.try_into().unwrap());
+        match payload.first() {
+            Some(&CTRL_REGHASH) if payload.len() >= 13 => {
+                let rank = le_u32(&payload[1..5]);
+                let hash = le_u64(&payload[5..13]);
+                let mut hashes = self.peer_hashes.lock();
+                hashes.insert(rank, hash);
+                self.peers_connected
+                    .store(hashes.len() as u64, Ordering::Release);
+            }
+            Some(&CTRL_BARRIER_ARRIVE) if payload.len() >= 13 => {
+                let rank = le_u32(&payload[1..5]);
+                let gen = le_u64(&payload[5..13]);
+                self.arrivals.lock().entry(gen).or_default().insert(rank);
+            }
+            Some(&CTRL_BARRIER_RELEASE) if payload.len() >= 9 => {
+                let gen = le_u64(&payload[1..9]);
+                self.released.lock().insert(gen);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn reghash_payload(rank: u32, hash: u64) -> Bytes {
+    let mut b = Vec::with_capacity(13);
+    b.push(CTRL_REGHASH);
+    b.extend_from_slice(&rank.to_le_bytes());
+    b.extend_from_slice(&hash.to_le_bytes());
+    Bytes::from(b)
+}
+
+fn barrier_arrive_payload(rank: u32, gen: u64) -> Bytes {
+    let mut b = Vec::with_capacity(13);
+    b.push(CTRL_BARRIER_ARRIVE);
+    b.extend_from_slice(&rank.to_le_bytes());
+    b.extend_from_slice(&gen.to_le_bytes());
+    Bytes::from(b)
+}
+
+fn barrier_release_payload(gen: u64) -> Bytes {
+    let mut b = Vec::with_capacity(9);
+    b.push(CTRL_BARRIER_RELEASE);
+    b.extend_from_slice(&gen.to_le_bytes());
+    Bytes::from(b)
+}
+
+/// Scheduler background work that reaps reliability give-ups: when the
+/// reliable port abandons delivery to a rank (it died or became
+/// unreachable), every pending LCO whose parcel targeted that rank is
+/// broken so waiters fail with `BrokenPromise` instead of hanging. The
+/// failures themselves are parked for [`Runtime::delivery_failures`].
+struct DeliveryFailureReaper {
+    port: Arc<ReliablePort>,
+    table: Arc<LcoTable>,
+    sink: Arc<Mutex<Vec<rpx_net::DeliveryError>>>,
+}
+
+impl BackgroundWork for DeliveryFailureReaper {
+    fn run(&self) -> bool {
+        let failures = self.port.take_delivery_failures();
+        if failures.is_empty() {
+            return false;
+        }
+        let mut dsts: Vec<u32> = failures.iter().map(|f| f.dst).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        for dst in dsts {
+            self.table.fail_dest(dst);
+        }
+        self.sink.lock().extend(failures);
+        true
+    }
+    fn name(&self) -> &str {
+        "delivery-failure-reaper"
+    }
+}
+
+/// The cluster runtime: all localities in this process (default), or one
+/// rank of a multi-process cluster (`topology` set).
 pub struct Runtime {
     config: RuntimeConfig,
     agas: Arc<AgasService>,
     timer: Arc<TimerService>,
+    /// The localities *hosted by this process*: all of them in the
+    /// default mode, exactly one (rank) in multi-process mode.
     localities: Vec<Arc<Locality>>,
+    /// Cluster-wide locality count (`== localities.len()` unless booted
+    /// with a topology).
+    num_localities: u32,
     /// Declared after `localities` so ports drop first; the TCP backend
     /// wakes and joins its event-loop pump pool when this Arc drops.
     transport: Arc<dyn Transport>,
+    /// Typed handle kept alongside `transport` when reliability is on
+    /// (drives the delivery-failure reaper and `delivery_failures`).
+    reliable: Option<Arc<ReliableTransport>>,
+    control: Arc<ControlPlane>,
+    delivery_failures: Arc<Mutex<Vec<rpx_net::DeliveryError>>>,
     /// Guards action registration so ids stay aligned across localities.
     registration: Mutex<()>,
     /// Per-locality telemetry samplers, started on demand
@@ -358,24 +518,94 @@ pub struct Runtime {
 
 impl Runtime {
     /// Boot a runtime.
+    ///
+    /// # Panics
+    /// Panics if boot fails (bad config, socket bind, bootstrap
+    /// handshake). Use [`Runtime::try_new`] for a typed error.
     pub fn new(config: RuntimeConfig) -> Arc<Self> {
-        assert!(config.localities > 0, "need at least one locality");
+        match Self::try_new(config) {
+            Ok(rt) => rt,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Boot a runtime, returning boot problems as [`RuntimeError`].
+    pub fn try_new(config: RuntimeConfig) -> Result<Arc<Self>, RuntimeError> {
         assert!(config.workers_per_locality > 0, "need at least one worker");
-        let agas = AgasService::new(config.localities);
-        let transport = config
-            .transport
-            .build(config.localities)
-            .expect("transport construction failed (socket bind?)");
+        // Resolve the cluster shape: which localities this process hosts
+        // and the transport that connects them to the rest.
+        let (num_localities, hosted, raw): (u32, Vec<u32>, Arc<dyn Transport>) = match &config
+            .topology
+        {
+            None => {
+                assert!(config.localities > 0, "need at least one locality");
+                let t = config.transport.build(config.localities).map_err(|e| {
+                    RuntimeError::Boot(format!("transport construction failed: {e}"))
+                })?;
+                (config.localities, (0..config.localities).collect(), t)
+            }
+            Some(topo) => {
+                if topo.num_localities == 0 {
+                    return Err(RuntimeError::Boot(
+                        "topology needs at least one locality".into(),
+                    ));
+                }
+                if topo.rank >= topo.num_localities {
+                    return Err(RuntimeError::Boot(format!(
+                        "rank {} out of range for {} localities",
+                        topo.rank, topo.num_localities
+                    )));
+                }
+                let tuning = match config.transport {
+                    TransportKind::TcpLoopback => TcpTuning::default(),
+                    TransportKind::TcpTuned(t) => t,
+                    TransportKind::Sim(_) => {
+                        return Err(RuntimeError::Boot(
+                            "a multi-process topology requires a TCP transport \
+                                 (TransportKind::TcpLoopback or TcpTuned)"
+                                .into(),
+                        ))
+                    }
+                };
+                let bootstrap = match &topo.bootstrap {
+                    BootstrapMode::Rendezvous { addr, timeout } => {
+                        TcpBootstrap::rendezvous(topo.rank, topo.num_localities, *addr, *timeout)
+                    }
+                    BootstrapMode::AddressBook(addrs) => {
+                        if addrs.len() != topo.num_localities as usize {
+                            return Err(RuntimeError::Boot(format!(
+                                "address book has {} entries for {} localities",
+                                addrs.len(),
+                                topo.num_localities
+                            )));
+                        }
+                        TcpBootstrap::address_book(topo.rank, addrs.clone())
+                    }
+                }
+                .map_err(|e| RuntimeError::Boot(e.to_string()))?;
+                let t = TcpTransport::from_bootstrap(bootstrap, tuning).map_err(|e| {
+                    RuntimeError::Boot(format!("transport construction failed: {e}"))
+                })?;
+                (topo.num_localities, vec![topo.rank], t)
+            }
+        };
+        let agas = AgasService::new(num_localities);
         // Reliability is a decorator over whichever backend was built:
         // every port gets sequencing/acks/retransmission transparently.
-        let transport: Arc<dyn Transport> = match config.reliability {
-            Some(rc) => ReliableTransport::new(transport, rc),
-            None => transport,
+        let reliable = config
+            .reliability
+            .map(|rc| ReliableTransport::new(Arc::clone(&raw), rc));
+        let transport: Arc<dyn Transport> = match &reliable {
+            Some(r) => Arc::clone(r) as Arc<dyn Transport>,
+            None => raw,
         };
         let timer = Arc::new(TimerService::new("flush"));
+        let control = Arc::new(ControlPlane::new());
+        let delivery_failures: Arc<Mutex<Vec<rpx_net::DeliveryError>>> =
+            Arc::new(Mutex::new(Vec::new()));
 
-        let mut localities = Vec::with_capacity(config.localities as usize);
-        for id in 0..config.localities {
+        let mut localities = Vec::with_capacity(hosted.len());
+        for id in hosted {
             // Per-locality action registry, mirroring HPX where every
             // process registers the same actions; ids stay aligned because
             // registration is mirrored in order (see register_action).
@@ -426,12 +656,49 @@ impl Runtime {
                 port: Arc::clone(&port),
             }));
 
+            let lco_table = Arc::new(LcoTable::new());
+
+            // Control-plane traffic (registration hashes, barriers) is
+            // parsed on the receive path and parked in shared state that
+            // verify_registration/barrier poll.
+            {
+                let cp = Arc::clone(&control);
+                port.set_control_handler(move |msg| cp.on_message(&msg.payload));
+            }
+
+            // Per-process identity counters: which rank this registry
+            // belongs to and how many peers have checked in at boot.
+            registry.register_or_replace(
+                "/process/rank",
+                rpx_counters::CallbackCounter::new(move || CounterValue::Int(id as i64)),
+            );
+            {
+                let cp = Arc::clone(&control);
+                registry.register_or_replace(
+                    "/process/peers-connected",
+                    rpx_counters::CallbackCounter::new(move || {
+                        CounterValue::Int(cp.peers_connected.load(Ordering::Acquire) as i64)
+                    }),
+                );
+            }
+
+            // When reliability is on, reap delivery give-ups in the
+            // background so waiters on a dead rank fail fast instead of
+            // hanging (see DeliveryFailureReaper).
+            if let Some(rel) = &reliable {
+                scheduler.add_background(Arc::new(DeliveryFailureReaper {
+                    port: rel.reliable_port(id),
+                    table: Arc::clone(&lco_table),
+                    sink: Arc::clone(&delivery_failures),
+                }));
+            }
+
             localities.push(Arc::new(Locality {
                 id,
                 scheduler,
                 port,
                 registry,
-                lco_table: Arc::new(LcoTable::new()),
+                lco_table,
                 objects: Arc::new(ObjectRegistry::new()),
                 actions,
             }));
@@ -442,7 +709,11 @@ impl Runtime {
             agas,
             timer,
             localities,
+            num_localities,
             transport,
+            reliable,
+            control,
+            delivery_failures,
             registration: Mutex::new(()),
             telemetry: Mutex::new(HashMap::new()),
             shut_down: std::sync::atomic::AtomicBool::new(false),
@@ -450,7 +721,7 @@ impl Runtime {
 
         // Builtin: the continuation-delivery action completing local LCOs.
         rt.register_set_lco();
-        rt
+        Ok(rt)
     }
 
     fn register_set_lco(self: &Arc<Self>) {
@@ -480,9 +751,27 @@ impl Runtime {
         &self.config
     }
 
-    /// Number of localities.
+    /// Number of localities in the whole cluster (across all processes
+    /// when booted with a topology).
     pub fn num_localities(&self) -> u32 {
-        self.config.localities
+        self.num_localities
+    }
+
+    /// The locality ids hosted by this process: every id in the default
+    /// mode, exactly `[rank]` in multi-process mode.
+    pub fn hosted_localities(&self) -> Vec<u32> {
+        self.localities.iter().map(|l| l.id).collect()
+    }
+
+    /// Whether this process hosts locality `id`.
+    pub fn is_hosted(&self, id: u32) -> bool {
+        self.local_opt(id).is_some()
+    }
+
+    /// This process's rank when booted with a topology (`None` in the
+    /// default all-in-one mode).
+    pub fn rank(&self) -> Option<u32> {
+        self.config.topology.as_ref().map(|t| t.rank)
     }
 
     /// The transport connecting the localities.
@@ -506,12 +795,35 @@ impl Runtime {
         &self.timer
     }
 
+    /// The hosted locality `id`, if this process hosts it.
+    fn local_opt(&self, id: u32) -> Option<&Arc<Locality>> {
+        // Default mode: ids are dense positions. Rank mode: linear scan
+        // of the (single-element) hosted list.
+        if self.localities.len() == self.num_localities as usize {
+            self.localities.get(id as usize)
+        } else {
+            self.localities.iter().find(|l| l.id == id)
+        }
+    }
+
+    /// All localities hosted by this process, in id order.
+    pub(crate) fn hosted(&self) -> &[Arc<Locality>] {
+        &self.localities
+    }
+
+    /// The hosted locality `id`, panicking when not hosted here.
+    fn local(&self, id: u32) -> &Arc<Locality> {
+        self.local_opt(id)
+            .unwrap_or_else(|| panic!("locality {id} is not hosted by this process"))
+    }
+
     /// A locality handle.
     ///
     /// # Panics
-    /// Panics if out of range.
+    /// Panics if out of range, or (multi-process mode) if `id` is a
+    /// remote rank — remote localities have no in-process handle.
     pub fn locality(&self, id: u32) -> &Arc<Locality> {
-        &self.localities[id as usize]
+        self.local(id)
     }
 
     /// Register a typed action on every locality; returns its handle.
@@ -617,7 +929,7 @@ impl Runtime {
     ) -> R {
         let (tx, rx) = std::sync::mpsc::channel();
         let rt = Arc::clone(self);
-        self.localities[locality as usize].scheduler.spawn(move || {
+        self.local(locality).scheduler.spawn(move || {
             let ctx = Ctx::new(rt, locality);
             let _ = tx.send(f(&ctx));
         });
@@ -627,7 +939,7 @@ impl Runtime {
     /// Spawn `f` on `locality` without waiting (fire-and-forget driver).
     pub fn spawn_on(self: &Arc<Self>, locality: u32, f: impl FnOnce(&Ctx) + Send + 'static) {
         let rt = Arc::clone(self);
-        self.localities[locality as usize].scheduler.spawn(move || {
+        self.local(locality).scheduler.spawn(move || {
             let ctx = Ctx::new(rt, locality);
             f(&ctx);
         });
@@ -656,12 +968,11 @@ impl Runtime {
     }
 
     fn registry_for(&self, locality: u32) -> Result<&Arc<CounterRegistry>, CounterError> {
-        self.localities
-            .get(locality as usize)
+        self.local_opt(locality)
             .map(|l| &l.registry)
             .ok_or(CounterError::NoSuchLocality {
                 requested: locality,
-                localities: self.config.localities,
+                localities: self.num_localities,
             })
     }
 
@@ -687,7 +998,7 @@ impl Runtime {
             }
         }
         let svc = TelemetryService::start_cooperative(registry, config);
-        self.localities[locality as usize]
+        self.local(locality)
             .scheduler
             .add_aux_background(Arc::new(TelemetryTick {
                 service: svc.clone(),
@@ -706,15 +1017,199 @@ impl Runtime {
     /// locality's outbound wire (testing hook; see
     /// [`rpx_net::FaultPlan`]).
     pub fn inject_faults(&self, locality: u32, plan: Option<Arc<rpx_net::FaultPlan>>) {
-        self.localities[locality as usize]
-            .port
-            .net()
-            .set_fault_plan(plan);
+        self.local(locality).port.net().set_fault_plan(plan);
     }
 
     /// A metrics reader over a locality's counters.
     pub fn metrics(&self, locality: u32) -> MetricsReader {
-        MetricsReader::new(Arc::clone(&self.localities[locality as usize].registry))
+        MetricsReader::new(Arc::clone(&self.local(locality).registry))
+    }
+
+    /// Verify that every process in the cluster registered the same
+    /// actions in the same order, so wire action ids dispatch to the
+    /// same handlers everywhere.
+    ///
+    /// Call once after all [`Runtime::register_action`] calls and before
+    /// remote traffic. In the default all-in-one mode this compares the
+    /// mirrored per-locality registries directly. In multi-process mode
+    /// each rank broadcasts its [`ActionRegistry::order_hash`] over the
+    /// control plane and waits (up to `timeout`) for all peers; any
+    /// disagreement is [`RuntimeError::RegistrationMismatch`]. Since the
+    /// exchange is all-to-all, a successful return doubles as a boot
+    /// barrier: every peer is up and reachable.
+    pub fn verify_registration(&self, timeout: Duration) -> Result<(), RuntimeError> {
+        let ours = self.localities[0].actions.order_hash();
+        let Some(topo) = &self.config.topology else {
+            for l in &self.localities {
+                let theirs = l.actions.order_hash();
+                if theirs != ours {
+                    return Err(RuntimeError::RegistrationMismatch {
+                        peer: l.id,
+                        ours,
+                        theirs,
+                    });
+                }
+            }
+            self.control.peers_connected.store(
+                self.num_localities.saturating_sub(1) as u64,
+                Ordering::Release,
+            );
+            return Ok(());
+        };
+        let port = &self.local(topo.rank).port;
+        let n = self.num_localities;
+        let deadline = std::time::Instant::now() + timeout;
+        // Re-broadcast while polling: with no rendezvous round-trip
+        // (address-book boot) a peer may not have bound its listener yet,
+        // and the reliable layer gives up on undeliverable frames long
+        // before `timeout`. The exchange is idempotent, so resending
+        // until every peer has answered costs nothing and rides out any
+        // boot skew up to the full control budget.
+        let mut next_broadcast = std::time::Instant::now();
+        loop {
+            if std::time::Instant::now() >= next_broadcast {
+                for peer in 0..n {
+                    if peer != topo.rank {
+                        port.send_control(peer, reghash_payload(topo.rank, ours));
+                    }
+                }
+                next_broadcast = std::time::Instant::now() + Duration::from_millis(100);
+            }
+            {
+                let hashes = self.control.peer_hashes.lock();
+                if hashes.len() as u32 == n - 1 {
+                    for (&peer, &theirs) in hashes.iter() {
+                        if theirs != ours {
+                            return Err(RuntimeError::RegistrationMismatch { peer, ours, theirs });
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(RuntimeError::ControlTimeout("peer registration hashes"));
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    /// A cluster-wide barrier over the control plane: returns once every
+    /// rank has entered the same (implicitly numbered) barrier.
+    ///
+    /// Ranks must call `barrier` the same number of times in the same
+    /// order — generations are counted locally, exactly like MPI
+    /// communicator collectives. Rank 0 collects arrivals and releases
+    /// the others. In the default all-in-one mode (and for single-rank
+    /// clusters) this is a no-op. Call from a driver thread, not from
+    /// inside a single-worker scheduler task.
+    pub fn barrier(&self, timeout: Duration) -> Result<(), RuntimeError> {
+        let Some(topo) = &self.config.topology else {
+            return Ok(());
+        };
+        let n = self.num_localities;
+        if n == 1 {
+            return Ok(());
+        }
+        let gen = self.control.next_gen.fetch_add(1, Ordering::SeqCst);
+        let port = &self.local(topo.rank).port;
+        let deadline = std::time::Instant::now() + timeout;
+        if topo.rank == 0 {
+            loop {
+                let arrived = self
+                    .control
+                    .arrivals
+                    .lock()
+                    .get(&gen)
+                    .map_or(0, |s| s.len() as u32);
+                if arrived == n - 1 {
+                    break;
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(RuntimeError::ControlTimeout("barrier arrivals"));
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            self.control.arrivals.lock().remove(&gen);
+            for peer in 1..n {
+                port.send_control(peer, barrier_release_payload(gen));
+            }
+        } else {
+            port.send_control(0, barrier_arrive_payload(topo.rank, gen));
+            loop {
+                if self.control.released.lock().remove(&gen) {
+                    break;
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(RuntimeError::ControlTimeout("barrier release"));
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+        Ok(())
+    }
+
+    /// Delivery give-ups reaped so far (reliability enabled only): each
+    /// entry is a message the reliable layer abandoned after exhausting
+    /// retransmissions. Draining is destructive, like
+    /// [`rpx_net::ReliablePort::take_delivery_failures`].
+    pub fn delivery_failures(&self) -> Vec<rpx_net::DeliveryError> {
+        // Reap synchronously too, so callers see failures even when the
+        // background reaper hasn't run since the give-up.
+        if let Some(rel) = &self.reliable {
+            for l in &self.localities {
+                let failures = rel.reliable_port(l.id).take_delivery_failures();
+                if !failures.is_empty() {
+                    let mut dsts: Vec<u32> = failures.iter().map(|f| f.dst).collect();
+                    dsts.sort_unstable();
+                    dsts.dedup();
+                    for dst in dsts {
+                        l.lco_table.fail_dest(dst);
+                    }
+                    self.delivery_failures.lock().extend(failures);
+                }
+            }
+        }
+        std::mem::take(&mut self.delivery_failures.lock())
+    }
+
+    /// Snapshot every counter of every hosted locality as one JSON
+    /// document: `{"version":1,"ranks":[{"rank":R,"counters":{...}},…]}`,
+    /// where each rank's `counters` object is the telemetry exporter's
+    /// single-sample series format ([`rpx_counters::telemetry::export_json`]).
+    /// The launcher aggregates one such file per process into its report.
+    pub fn counters_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"ranks\":[");
+        for (i, l) in self.localities.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let series: Vec<TimeSeries> = l
+                .registry
+                .discover("*")
+                .into_iter()
+                .map(|path| {
+                    let value = l.registry.query(&path).map_or(0.0, |v| v.as_f64());
+                    TimeSeries {
+                        path,
+                        samples: vec![rpx_counters::Sample { t_ns: 0, value }],
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "{{\"rank\":{},\"counters\":{}}}",
+                l.id,
+                rpx_counters::telemetry::export_json(Duration::ZERO, &series)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write [`Runtime::counters_json`] to `path` (per-process counter
+    /// dump; the `repro launch` subcommand points every rank at its own
+    /// file via `RPX_COUNTERS_OUT` and merges them).
+    pub fn dump_counters_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.counters_json())
     }
 
     /// Block until all localities are quiescent (no pending tasks and no

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bootstrap;
 pub mod fabric;
 pub mod fault;
 pub mod frame;
@@ -49,6 +50,9 @@ pub mod reliability;
 pub mod tcp;
 pub mod transport;
 
+pub use bootstrap::{
+    BootstrapError, BootstrapMode, TcpBootstrap, Topology, BOOTSTRAP_MAGIC, BOOTSTRAP_VERSION,
+};
 pub use fabric::{Fabric, NetPort, PortStats, SimPort, SimTransport};
 pub use fault::{FaultAction, FaultPlan, FaultStage};
 pub use frame::{

@@ -72,6 +72,7 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use rpx_util::poll::{read_vectored_spare, Fd, Interest, Poller};
 
+use crate::bootstrap::TcpBootstrap;
 use crate::fabric::PortStats;
 use crate::fault::{FaultAction, FaultPlan, FaultStage};
 use crate::frame::{check_body_len, corrupt_frame, decode_frame_in_place, encode_frame, wire_len};
@@ -143,6 +144,10 @@ impl Default for TcpTuning {
 }
 
 /// Transport-wide state shared by every port and thread.
+///
+/// In multi-process mode the mesh describes the *whole cluster* — the
+/// address book covers every rank — while `TcpTransport::ports` holds
+/// endpoints only for the ranks this process hosts.
 struct Mesh {
     /// Listener address of every locality, indexed by locality id.
     addrs: Vec<SocketAddr>,
@@ -226,6 +231,12 @@ struct TcpShared {
     stats: PortStats,
     /// Messages mid-pump (same contract as the simulated backend).
     processing: AtomicUsize,
+    /// Frames staged on this port's write buffers but not yet written to
+    /// a socket. The receiver-side `in_wire` gauge lives in the
+    /// *destination's* process, so a sender needs its own count of
+    /// not-yet-on-the-wire frames for quiescence across process
+    /// boundaries.
+    staged: AtomicUsize,
 }
 
 impl TcpShared {
@@ -253,8 +264,15 @@ impl Drop for ProcessingGuard<'_> {
 }
 
 /// The loopback-TCP network connecting all localities of a cluster.
+///
+/// In all-in-one mode every locality's endpoint lives here; in
+/// multi-process mode ([`TcpTransport::from_bootstrap`] with a
+/// [`TcpBootstrap`] hosting a single rank) only the hosted ranks have
+/// ports, and the address book routes everything else over real
+/// process-crossing sockets.
 pub struct TcpTransport {
-    ports: Vec<Arc<TcpShared>>,
+    /// Endpoint per locality id; `None` for ranks hosted elsewhere.
+    ports: Vec<Option<Arc<TcpShared>>>,
     mesh: Arc<Mesh>,
     tuning: TcpTuning,
     pumps: Mutex<Vec<JoinHandle<()>>>,
@@ -273,23 +291,37 @@ impl TcpTransport {
 
     /// [`TcpTransport::new`] with explicit [`TcpTuning`].
     ///
+    /// All-in-one mode is the degenerate bootstrap where every rank is
+    /// hosted in this process ([`TcpBootstrap::in_process`]).
+    ///
     /// # Errors
     /// Fails if a listener cannot be bound on `127.0.0.1` or a poller
     /// cannot be created.
     pub fn with_tuning(localities: u32, tuning: TcpTuning) -> std::io::Result<Arc<Self>> {
+        assert!(localities > 0, "transport needs at least one locality");
+        TcpTransport::from_bootstrap(TcpBootstrap::in_process(localities)?, tuning)
+    }
+
+    /// Build the transport over a completed boot handshake: the
+    /// bootstrap's address book names every rank, its listeners are the
+    /// ranks this process hosts. One code path serves in-process,
+    /// address-book and rendezvous boots.
+    ///
+    /// # Errors
+    /// Fails if a poller cannot be created or a listener rejects
+    /// non-blocking mode.
+    pub fn from_bootstrap(
+        bootstrap: TcpBootstrap,
+        tuning: TcpTuning,
+    ) -> std::io::Result<Arc<Self>> {
+        let TcpBootstrap { local, addrs } = bootstrap;
+        let localities = addrs.len() as u32;
         assert!(localities > 0, "transport needs at least one locality");
         assert!(
             localities < (1 << 24),
             "locality id must fit the token scheme"
         );
         let pump_threads = tuning.pump_threads.max(1);
-        let listeners: Vec<TcpListener> = (0..localities)
-            .map(|_| TcpListener::bind("127.0.0.1:0"))
-            .collect::<std::io::Result<_>>()?;
-        let addrs: Vec<SocketAddr> = listeners
-            .iter()
-            .map(|l| l.local_addr())
-            .collect::<std::io::Result<_>>()?;
         let shards: Vec<Arc<Poller>> = (0..pump_threads)
             .map(|_| Poller::new().map(Arc::new))
             .collect::<std::io::Result<_>>()?;
@@ -299,34 +331,36 @@ impl TcpTransport {
             shutdown: AtomicBool::new(false),
             shards,
         });
-        let ports: Vec<Arc<TcpShared>> = (0..localities)
-            .map(|locality| {
-                let (outbound_tx, outbound_rx) = unbounded();
-                let (inbound_tx, inbound_rx) = unbounded();
-                Arc::new(TcpShared {
-                    locality,
-                    mesh: Arc::clone(&mesh),
-                    outbound_tx,
-                    outbound_rx,
-                    inbound_tx,
-                    inbound_rx,
-                    conns: Mutex::new((0..localities).map(|_| None).collect()),
-                    receiver: RwLock::new(None),
-                    notify: RwLock::new(None),
-                    faults: RwLock::new(None),
-                    reorder: Mutex::new(FaultStage::default()),
-                    stats: PortStats::default(),
-                    processing: AtomicUsize::new(0),
-                })
-            })
-            .collect();
-        // Shard the listeners over the pump pool; each thread owns the
-        // listeners (and the inbound streams they accept) of its shard.
+        let mut ports: Vec<Option<Arc<TcpShared>>> = (0..localities).map(|_| None).collect();
+        for (rank, _) in &local {
+            let (outbound_tx, outbound_rx) = unbounded();
+            let (inbound_tx, inbound_rx) = unbounded();
+            ports[*rank as usize] = Some(Arc::new(TcpShared {
+                locality: *rank,
+                mesh: Arc::clone(&mesh),
+                outbound_tx,
+                outbound_rx,
+                inbound_tx,
+                inbound_rx,
+                conns: Mutex::new((0..localities).map(|_| None).collect()),
+                receiver: RwLock::new(None),
+                notify: RwLock::new(None),
+                faults: RwLock::new(None),
+                reorder: Mutex::new(FaultStage::default()),
+                stats: PortStats::default(),
+                processing: AtomicUsize::new(0),
+                staged: AtomicUsize::new(0),
+            }));
+        }
+        // Shard the hosted listeners over the pump pool; each thread owns
+        // the listeners (and the inbound streams they accept) of its
+        // shard. Hosted ranks are enumerated in order, so the all-in-one
+        // mode keeps its historical `locality % pump_threads` layout.
         let mut shard_listeners: Vec<Vec<(u32, TcpListener)>> =
             (0..pump_threads).map(|_| Vec::new()).collect();
-        for (locality, listener) in listeners.into_iter().enumerate() {
+        for (idx, (rank, listener)) in local.into_iter().enumerate() {
             listener.set_nonblocking(true)?;
-            shard_listeners[locality % pump_threads].push((locality as u32, listener));
+            shard_listeners[idx % pump_threads].push((rank, listener));
         }
         let pumps = shard_listeners
             .into_iter()
@@ -349,9 +383,9 @@ impl TcpTransport {
         }))
     }
 
-    /// Number of localities.
+    /// Number of localities in the cluster (hosted here or not).
     pub fn localities(&self) -> u32 {
-        self.ports.len() as u32
+        self.mesh.addrs.len() as u32
     }
 
     /// The effective tuning (after clamping).
@@ -372,15 +406,27 @@ impl TcpTransport {
     /// The port of `locality`.
     ///
     /// # Panics
-    /// Panics if `locality` is out of range.
+    /// Panics if `locality` is out of range or hosted by another
+    /// process.
     pub fn port(&self, locality: u32) -> TcpPort {
         assert!(
             (locality as usize) < self.ports.len(),
             "locality {locality} out of range"
         );
+        let shared = self.ports[locality as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("locality {locality} is not hosted by this process"));
         TcpPort {
-            shared: Arc::clone(&self.ports[locality as usize]),
+            shared: Arc::clone(shared),
         }
+    }
+
+    /// The localities whose endpoints live in this process.
+    pub fn hosted(&self) -> Vec<u32> {
+        self.ports
+            .iter()
+            .filter_map(|p| p.as_ref().map(|s| s.locality))
+            .collect()
     }
 }
 
@@ -399,7 +445,7 @@ impl Drop for TcpTransport {
         self.mesh.shutdown.store(true, Ordering::Release);
         // Drop every outgoing stream (closing removes it from its
         // shard's poller), unaccounting frames that never hit the wire.
-        for port in &self.ports {
+        for port in self.ports.iter().flatten() {
             let mut conns = port.conns.lock();
             for (dst, slot) in conns.iter_mut().enumerate() {
                 if let Some(conn) = slot.take() {
@@ -426,7 +472,7 @@ impl Drop for TcpTransport {
 fn run_pump(
     poller: Arc<Poller>,
     mesh: Arc<Mesh>,
-    ports: Vec<Arc<TcpShared>>,
+    ports: Vec<Option<Arc<TcpShared>>>,
     listeners: Vec<(u32, TcpListener)>,
 ) {
     let mut inconns: HashMap<u64, InConn> = HashMap::new();
@@ -445,23 +491,28 @@ fn run_pump(
             match ev.token >> TOKEN_CLASS_SHIFT {
                 CLASS_LISTENER => {
                     let locality = (ev.token & 0xFF_FFFF) as usize;
-                    if let Some((_, listener)) =
-                        listeners.iter().find(|(l, _)| *l as usize == locality)
-                    {
-                        accept_ready(
-                            &poller,
-                            &ports[locality],
-                            listener,
-                            &mut inconns,
-                            &mut next_in_id,
-                            shutting_down,
-                        );
-                    }
+                    let (Some((_, listener)), Some(port)) = (
+                        listeners.iter().find(|(l, _)| *l as usize == locality),
+                        ports.get(locality).and_then(|p| p.as_ref()),
+                    ) else {
+                        continue;
+                    };
+                    accept_ready(
+                        &poller,
+                        port,
+                        listener,
+                        &mut inconns,
+                        &mut next_in_id,
+                        shutting_down,
+                    );
                 }
                 CLASS_OUT => {
                     let src = ((ev.token >> 24) & 0xFF_FFFF) as usize;
                     let dst = (ev.token & 0xFF_FFFF) as usize;
-                    let port = &ports[src];
+                    // Outgoing streams exist only for hosted sources.
+                    let Some(port) = ports.get(src).and_then(|p| p.as_ref()) else {
+                        continue;
+                    };
                     port.stats.event_wakeups.fetch_add(1, Ordering::Relaxed);
                     let mut conns = port.conns.lock();
                     if let Some(conn) = conns[dst].as_mut() {
@@ -719,6 +770,7 @@ fn flush_conn(shared: &TcpShared, dst: usize, conn: &mut OutConn) -> bool {
                         conn.offset = 0;
                         n -= front_remaining;
                         shared.stats.writev_frames.fetch_add(1, Ordering::Relaxed);
+                        shared.staged.fetch_sub(1, Ordering::AcqRel);
                     } else {
                         conn.offset += n;
                         n = 0;
@@ -740,6 +792,9 @@ fn flush_conn(shared: &TcpShared, dst: usize, conn: &mut OutConn) -> bool {
 /// quiescence checks do not wait for them forever.
 fn break_conn(shared: &TcpShared, dst: usize, conn: &mut OutConn) {
     shared.mesh.in_wire[dst].fetch_sub(conn.pending.len() as u64, Ordering::AcqRel);
+    shared
+        .staged
+        .fetch_sub(conn.pending.len(), Ordering::AcqRel);
     conn.pending.clear();
     conn.offset = 0;
     conn.broken = true;
@@ -959,10 +1014,16 @@ impl TcpPort {
         s || r
     }
 
-    /// Messages queued but not yet staged on a socket (including any
-    /// parked by delay/reorder fault injection).
+    /// Messages queued but not yet written to a socket: the outbound
+    /// queue, frames parked by delay/reorder fault injection, and frames
+    /// staged on write buffers. The staged term is what lets a
+    /// quiescence check in *this* process see frames still owed to a
+    /// rank hosted elsewhere (whose `inflight_backlog` it cannot
+    /// observe).
     pub fn outbound_backlog(&self) -> usize {
-        self.shared.outbound_rx.len() + self.shared.reorder.lock().len()
+        self.shared.outbound_rx.len()
+            + self.shared.reorder.lock().len()
+            + self.shared.staged.load(Ordering::Acquire)
     }
 
     /// Frames on the wire towards this port (write buffers + kernel +
@@ -989,6 +1050,7 @@ fn stage_frame(shared: &TcpShared, conns: &mut [Option<OutConn>], dst: usize, fr
         return;
     }
     shared.mesh.in_wire[dst].fetch_add(1, Ordering::AcqRel);
+    shared.staged.fetch_add(1, Ordering::AcqRel);
     conn.pending.push_back(frame);
 }
 
@@ -1407,6 +1469,67 @@ mod tests {
             || hits.load(Ordering::SeqCst) == 16,
             Duration::from_secs(30)
         ));
+    }
+
+    #[test]
+    fn split_transports_exchange_over_rank_handshake() {
+        // Two transports in one test process stand in for two worker
+        // processes: each hosts a single rank, discovered through the
+        // rendezvous handshake, and traffic crosses real sockets between
+        // "processes".
+        let rdv = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let h0 = std::thread::spawn(move || {
+            TcpBootstrap::rendezvous(0, 2, rdv, Duration::from_secs(5)).unwrap()
+        });
+        let h1 = std::thread::spawn(move || {
+            TcpBootstrap::rendezvous(1, 2, rdv, Duration::from_secs(5)).unwrap()
+        });
+        let t0 = TcpTransport::from_bootstrap(h0.join().unwrap(), TcpTuning::default()).unwrap();
+        let t1 = TcpTransport::from_bootstrap(h1.join().unwrap(), TcpTuning::default()).unwrap();
+        assert_eq!(t0.hosted(), vec![0]);
+        assert_eq!(t1.hosted(), vec![1]);
+        assert_eq!(t0.localities(), 2);
+        let a = t0.port(0);
+        let b = t1.port(1);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        b.set_receiver(Arc::new(move |m: Message| g.lock().push(m.payload.clone())));
+        let echoed = Arc::new(Mutex::new(Vec::new()));
+        let e = Arc::clone(&echoed);
+        a.set_receiver(Arc::new(move |m: Message| e.lock().push(m.payload.clone())));
+        a.send(msg(0, 1, b"cross-process"));
+        b.send(msg(1, 0, b"and back"));
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || !got.lock().is_empty() && !echoed.lock().is_empty(),
+            Duration::from_secs(30)
+        ));
+        assert_eq!(got.lock()[0].as_ref(), b"cross-process");
+        assert_eq!(echoed.lock()[0].as_ref(), b"and back");
+        // Sender-side staged accounting settled on both sides.
+        assert_eq!(a.outbound_backlog(), 0);
+        assert_eq!(b.outbound_backlog(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not hosted by this process")]
+    fn remote_rank_port_panics() {
+        let rdv = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let h0 = std::thread::spawn(move || {
+            TcpBootstrap::rendezvous(0, 2, rdv, Duration::from_secs(5)).unwrap()
+        });
+        let h1 = std::thread::spawn(move || {
+            TcpBootstrap::rendezvous(1, 2, rdv, Duration::from_secs(5)).unwrap()
+        });
+        let t0 = TcpTransport::from_bootstrap(h0.join().unwrap(), TcpTuning::default()).unwrap();
+        let _t1 = TcpTransport::from_bootstrap(h1.join().unwrap(), TcpTuning::default()).unwrap();
+        let _ = t0.port(1);
     }
 
     #[test]

@@ -89,6 +89,27 @@ impl ActionRegistry {
         self.count.load(Ordering::Acquire)
     }
 
+    /// FNV-1a hash over the registered names *in registration order*.
+    ///
+    /// Action ids are dense registration indices, so two processes agree
+    /// on every id if and only if their order hashes agree — this is the
+    /// value ranks exchange at boot to detect registration skew before
+    /// any parcel is dispatched against a wrong handler.
+    pub fn order_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let meta = self.meta.lock();
+        let mut h = FNV_OFFSET;
+        for name in &meta.names {
+            for b in name.as_bytes() {
+                h = (h ^ *b as u64).wrapping_mul(FNV_PRIME);
+            }
+            // Separator so ["ab","c"] and ["a","bc"] differ.
+            h = (h ^ 0xff).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
     /// Whether no actions are registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -129,6 +150,35 @@ mod tests {
         assert_eq!(b, ActionId(1));
         assert_eq!(reg.len(), 2);
         assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn order_hash_detects_registration_skew() {
+        let a = ActionRegistry::new();
+        a.register("toy::get", echo_handler());
+        a.register("toy::put", echo_handler());
+        let b = ActionRegistry::new();
+        b.register("toy::get", echo_handler());
+        b.register("toy::put", echo_handler());
+        assert_eq!(a.order_hash(), b.order_hash(), "same order, same hash");
+
+        let c = ActionRegistry::new();
+        c.register("toy::put", echo_handler());
+        c.register("toy::get", echo_handler());
+        assert_ne!(a.order_hash(), c.order_hash(), "order matters");
+
+        let d = ActionRegistry::new();
+        d.register("toy::get", echo_handler());
+        assert_ne!(a.order_hash(), d.order_hash(), "count matters");
+
+        // Name-boundary ambiguity is broken by the separator byte.
+        let e = ActionRegistry::new();
+        e.register("ab", echo_handler());
+        e.register("c", echo_handler());
+        let f = ActionRegistry::new();
+        f.register("a", echo_handler());
+        f.register("bc", echo_handler());
+        assert_ne!(e.order_hash(), f.order_hash());
     }
 
     #[test]

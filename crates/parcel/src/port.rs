@@ -167,6 +167,9 @@ struct Inner {
     /// The action used to deliver continuation results (registered by the
     /// runtime core as its `set-lco` builtin); `NO_ACTION` when unset.
     continuation_action: AtomicU32,
+    /// Handler for [`MessageKind::Control`] messages (the runtime's
+    /// boot/barrier plane); without one, control traffic is dropped.
+    control: ArcCell<dyn Fn(Message) + Send + Sync>,
     notify: ArcCell<dyn Fn() + Send + Sync>,
     ids: IdAllocator,
     stats: ParcelPortStats,
@@ -221,6 +224,7 @@ impl ParcelPort {
             spawner: ArcCell::new(),
             batch_spawner: ArcCell::new(),
             continuation_action: AtomicU32::new(NO_ACTION),
+            control: ArcCell::new(),
             notify: ArcCell::new(),
             ids: IdAllocator::new(),
             stats: ParcelPortStats::default(),
@@ -276,6 +280,26 @@ impl ParcelPort {
     /// Install the wake-up hook (typically `Scheduler::notify`).
     pub fn set_notify(&self, notify: impl Fn() + Send + Sync + 'static) {
         self.inner.notify.set(Arc::new(notify));
+    }
+
+    /// Install the handler for [`MessageKind::Control`] messages — the
+    /// runtime's boot/barrier control plane. Runs inline on the pumping
+    /// thread, so handlers must be short and non-blocking.
+    pub fn set_control_handler(&self, handler: impl Fn(Message) + Send + Sync + 'static) {
+        self.inner.control.set(Arc::new(handler));
+    }
+
+    /// Send a raw control-plane message to `dst`'s port. Control
+    /// messages bypass the parcel layer entirely (no action dispatch);
+    /// they ride the transport — including any reliability decorator —
+    /// like any other message.
+    pub fn send_control(&self, dst: u32, payload: Bytes) {
+        self.inner.net.send(Message::new(
+            self.inner.locality,
+            dst,
+            MessageKind::Control,
+            payload,
+        ));
     }
 
     /// Declare which action delivers continuation results.
@@ -456,7 +480,11 @@ fn receive_message(inner: &Arc<Inner>, message: Message) {
                 inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
             }
         },
-        MessageKind::Control => {}
+        MessageKind::Control => {
+            if let Some(handler) = inner.control.get() {
+                handler(message);
+            }
+        }
         // Reliability acks are consumed inside rpx-net's ReliablePort
         // and normally never reach this layer; ignore any that arrive
         // over a raw (non-reliable) port.
