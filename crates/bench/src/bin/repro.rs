@@ -19,14 +19,28 @@
 //! reliability sublayer enabled, and the run exits non-zero if any LCO
 //! was lost or duplicated.
 //!
-//! `launch -n N [--book] [--timeout-s T] -- <scenario…>` (not part of
-//! `all`) runs a scenario as N cooperating OS processes — one per
-//! locality — streaming rank-prefixed output, aggregating per-rank
-//! counter dumps, and propagating the first non-zero exit. `worker` is
-//! the internal mode those processes run in (driven entirely by the
-//! `RPX_RANK`/`RPX_BOOTSTRAP` environment the launcher sets). Scenarios:
-//! `toy`, `parquet`, `chaos` (toy under `FaultPlan::chaos()` with
-//! reliability across the real process boundary).
+//! `launch -n N [--book] [--timeout-s T] [--expect-shm] -- <scenario…>`
+//! (not part of `all`) runs a scenario as N cooperating OS processes —
+//! one per locality — streaming rank-prefixed output, aggregating
+//! per-rank counter dumps, and propagating the first non-zero exit.
+//! `worker` is the internal mode those processes run in (driven entirely
+//! by the `RPX_RANK`/`RPX_BOOTSTRAP` environment the launcher sets).
+//! Scenarios: `toy`, `parquet`, `chaos` (toy under `FaultPlan::chaos()`
+//! with reliability across the real process boundary).
+//!
+//! `bench-compare [--baseline <path>] <current.json>…` (not part of
+//! `all`) diffs `CRITERION_JSON` dumps against the committed
+//! `BENCH_baseline.json`: per-id median slowdowns beyond 10% are
+//! reported as regressions, and `RPX_BENCH_STRICT=1` makes them fail
+//! the process (CI keeps the check advisory because shared-runner
+//! timing is noisy).
+//!
+//! Workers route same-host traffic over shared-memory rings by default
+//! (co-located ranks negotiate `/dev/shm` segments at bootstrap; remote
+//! or unsupported peers fall back to TCP). `RPX_TRANSPORT=tcp` forces
+//! pure TCP, `RPX_TRANSPORT=shm` is the default; `--expect-shm` makes
+//! the launcher fail unless the aggregated counters prove shm carried
+//! the traffic (`/network/shm-messages > 0`, zero TCP writev frames).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -40,6 +54,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("launch") => run_launch(&args[1..]),
         Some("worker") => run_worker(&args[1..], scale),
+        Some("bench-compare") => run_bench_compare(&args[1..]),
         _ => {}
     }
     let all = [
@@ -462,15 +477,99 @@ fn run_ablate_bypass(scale: Scale) {
     );
 }
 
+/// `repro bench-compare [--baseline <path>] <current.json>…`: diff
+/// harness bench dumps against the committed baseline; >10% median
+/// slowdowns warn, and `RPX_BENCH_STRICT=1` turns warnings into a
+/// non-zero exit.
+fn run_bench_compare(args: &[String]) -> ! {
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut currents: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline_path = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--baseline needs a path");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            other => currents.push(other.to_string()),
+        }
+    }
+    if currents.is_empty() {
+        eprintln!("usage: repro bench-compare [--baseline <path>] <current.json>…");
+        std::process::exit(2);
+    }
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench-compare: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&baseline_path);
+    let strict = std::env::var("RPX_BENCH_STRICT").as_deref() == Ok("1");
+    let mut regressions = 0usize;
+    use rpx_bench::bench_compare::{compare, fmt_ns, REGRESSION_TOLERANCE};
+    for path in &currents {
+        let report = compare(&baseline, &read(path));
+        println!("# {path} vs {baseline_path}");
+        for d in &report.deltas {
+            let verdict = if d.regressed() {
+                regressions += 1;
+                "REGRESSION"
+            } else if d.change() < -REGRESSION_TOLERANCE {
+                "improved"
+            } else {
+                "ok"
+            };
+            println!(
+                "  {:<28} {:>12} -> {:>12}  {:+6.1}%  {verdict}",
+                d.id,
+                fmt_ns(d.baseline_ns),
+                fmt_ns(d.current_ns),
+                d.change() * 100.0,
+            );
+        }
+        for id in &report.only_current {
+            println!("  {id:<28} (no baseline entry — new benchmark)");
+        }
+        for id in &report.only_baseline {
+            println!("  {id:<28} (baseline only — not in this run)");
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench-compare: {regressions} benchmark(s) regressed more than {:.0}% \
+             vs {baseline_path}{}",
+            REGRESSION_TOLERANCE * 100.0,
+            if strict {
+                ""
+            } else {
+                " (advisory; set RPX_BENCH_STRICT=1 to gate)"
+            }
+        );
+        std::process::exit(if strict { 1 } else { 0 });
+    }
+    println!(
+        "bench-compare: no regressions beyond {:.0}%",
+        REGRESSION_TOLERANCE * 100.0
+    );
+    std::process::exit(0)
+}
+
 /// `repro launch -n N [--book] [--timeout-s T] -- <scenario…>`: run a
 /// scenario as N cooperating worker processes (see `rpx_bench::launch`).
 fn run_launch(args: &[String]) -> ! {
     let mut n = 2u32;
     let mut timeout_s = 120u64;
     let mut book = false;
+    let mut expect_shm = false;
     let mut scenario: Vec<String> = Vec::new();
     let mut i = 0;
-    let usage = "usage: repro launch -n N [--book] [--timeout-s T] -- <scenario…>";
+    let usage = "usage: repro launch -n N [--book] [--timeout-s T] [--expect-shm] -- <scenario…>";
     while i < args.len() {
         match args[i].as_str() {
             "-n" => {
@@ -497,6 +596,10 @@ fn run_launch(args: &[String]) -> ! {
                 book = true;
                 i += 1;
             }
+            "--expect-shm" => {
+                expect_shm = true;
+                i += 1;
+            }
             "--" => {
                 scenario = args[i + 1..].to_vec();
                 break;
@@ -513,6 +616,7 @@ fn run_launch(args: &[String]) -> ! {
     let mut config = rpx_bench::LaunchConfig::new(n, scenario);
     config.timeout = Duration::from_secs(timeout_s);
     config.address_book = book;
+    config.expect_shm = expect_shm;
     let exe = std::env::current_exe().expect("cannot locate the repro binary");
     match rpx_bench::launch(&exe, &config) {
         Ok(report) => {
@@ -525,6 +629,17 @@ fn run_launch(args: &[String]) -> ! {
             }
             if report.timed_out {
                 eprintln!("launch: wall-clock ceiling hit after {timeout_s}s; workers killed");
+            }
+            if report.swept_segments > 0 {
+                eprintln!(
+                    "launch: swept {} leaked shm segment(s) after the run",
+                    report.swept_segments
+                );
+            }
+            if let Some(why) = &report.shm_violation {
+                eprintln!("launch: --expect-shm FAILED: {why}");
+            } else if expect_shm {
+                println!("launch: --expect-shm OK (co-located traffic rode shared memory)");
             }
             std::process::exit(report.exit_code());
         }
@@ -570,8 +685,19 @@ fn run_worker(args: &[String], scale: Scale) -> ! {
         }
     }
 
+    // Wire backend: shm-capable by default (same-host peers negotiate
+    // shared-memory rings at bootstrap, everything else rides TCP);
+    // `RPX_TRANSPORT=tcp` forces the pure TCP path for A/B runs.
+    let transport = match std::env::var("RPX_TRANSPORT").as_deref() {
+        Err(_) | Ok("shm") => rpx::TransportKind::Shm(rpx::ShmTuning::default()),
+        Ok("tcp") => rpx::TransportKind::TcpLoopback,
+        Ok(other) => {
+            eprintln!("rank {rank}: unknown RPX_TRANSPORT '{other}' (shm|tcp)");
+            std::process::exit(2);
+        }
+    };
     let config = rpx::RuntimeConfig {
-        transport: rpx::TransportKind::TcpLoopback,
+        transport,
         reliability: Some(rpx::ReliabilityConfig::default()),
         topology: Some(topology),
         ..rpx::RuntimeConfig::default()

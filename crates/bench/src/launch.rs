@@ -52,6 +52,11 @@ pub struct LaunchConfig {
     /// Extra environment for every worker (test hooks such as
     /// `RPX_TEST_DIE_RANK`).
     pub env: Vec<(String, String)>,
+    /// Fail the launch unless the aggregated counters prove same-host
+    /// traffic rode shared memory: `/network/shm-messages` summed over
+    /// ranks must be positive and `/network/event-loop-writev-frames`
+    /// zero (all ranks are co-located, so no frame may cross a socket).
+    pub expect_shm: bool,
 }
 
 impl LaunchConfig {
@@ -69,6 +74,7 @@ impl LaunchConfig {
             address_book: false,
             counters_dir,
             env: Vec::new(),
+            expect_shm: false,
         }
     }
 }
@@ -87,6 +93,13 @@ pub struct LaunchReport {
     pub timed_out: bool,
     /// Path of the merged counter report (when at least one rank dumped).
     pub aggregate_path: Option<PathBuf>,
+    /// Leaked shared-memory segment files the launcher had to sweep
+    /// after the run. Zero on every clean path (the unlink handshake
+    /// removes segments while workers run); non-zero means a worker died
+    /// before attaching.
+    pub swept_segments: usize,
+    /// Why the [`LaunchConfig::expect_shm`] check failed, if it did.
+    pub shm_violation: Option<String>,
 }
 
 impl LaunchReport {
@@ -94,10 +107,16 @@ impl LaunchReport {
     pub fn exit_code(&self) -> i32 {
         if self.timed_out {
             EXIT_TIMEOUT
+        } else if let Some(c) = self.first_failure.map(|(_, c)| c) {
+            if c == 0 {
+                1
+            } else {
+                c
+            }
+        } else if self.shm_violation.is_some() {
+            1
         } else {
-            self.first_failure
-                .map(|(_, c)| c)
-                .map_or(0, |c| if c == 0 { 1 } else { c })
+            0
         }
     }
 }
@@ -148,12 +167,16 @@ pub fn launch(worker_exe: &Path, config: &LaunchConfig) -> std::io::Result<Launc
     std::fs::create_dir_all(&config.counters_dir)?;
 
     // Bootstrap contract: either one rendezvous address every worker
-    // connects to, or the full address table.
+    // connects to, or the full address table. Book entries carry this
+    // host's identity (`addr@hostid`) so workers negotiate shared memory
+    // without the rendezvous handshake; rendezvous HELLO frames carry it
+    // natively.
     let (bootstrap_env, book_env) = if config.address_book {
         let addrs = reserve_loopback_addrs(config.num_localities)?;
+        let host = rpx_net::HostId::local().to_hex();
         let book = addrs
             .iter()
-            .map(|a| a.to_string())
+            .map(|a| format!("{a}@{host}"))
             .collect::<Vec<_>>()
             .join(",");
         (None, Some(book))
@@ -161,6 +184,11 @@ pub fn launch(worker_exe: &Path, config: &LaunchConfig) -> std::io::Result<Launc
         let rendezvous = reserve_loopback_addrs(1)?[0];
         (Some(rendezvous.to_string()), None)
     };
+
+    // One shm namespace per launch: every worker names its segments and
+    // doorbells under this prefix, and whatever a crashed worker leaves
+    // behind is swept by prefix after the run.
+    let shm_prefix = format!("rpx-launch-{}", std::process::id());
 
     let mut counter_files = Vec::new();
     let mut children: Vec<(u32, Option<Child>)> =
@@ -173,6 +201,7 @@ pub fn launch(worker_exe: &Path, config: &LaunchConfig) -> std::io::Result<Launc
             .env("RPX_RANK", rank.to_string())
             .env("RPX_NUM_LOCALITIES", config.num_localities.to_string())
             .env("RPX_COUNTERS_OUT", &counters_out)
+            .env("RPX_SHM_PREFIX", &shm_prefix)
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped());
@@ -260,12 +289,72 @@ pub fn launch(worker_exe: &Path, config: &LaunchConfig) -> std::io::Result<Launc
         &counter_files,
     );
 
+    // Clean paths leave nothing: the unlink-when-both-attached handshake
+    // removes segment files while workers run. The sweep only catches
+    // what a worker that died before attaching left behind.
+    let swept_segments = rpx_net::ShmNamespace::sweep(&shm_prefix);
+
+    let shm_violation = if config.expect_shm && first_failure.is_none() && !timed_out {
+        match &aggregate_path {
+            Some(path) => check_shm_counters(path).err(),
+            None => Some("no aggregate counter report to check".into()),
+        }
+    } else {
+        None
+    };
+
     Ok(LaunchReport {
         exit_codes,
         first_failure,
         timed_out,
         aggregate_path,
+        swept_segments,
+        shm_violation,
     })
+}
+
+/// Sum every sampled value of counter `path` across an aggregated
+/// counter report (single-sample series: `"path":"…","samples":[[0,V]]`).
+/// Returns `None` when the counter appears nowhere in the document.
+fn sum_counter(json: &str, path: &str) -> Option<f64> {
+    let needle = format!("\"path\":\"{path}\",\"samples\":[[");
+    let mut total = 0.0;
+    let mut found = false;
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        // Each sample is `[t_ns,value]`; take the value of the first one.
+        let Some(comma) = rest.find(',') else { break };
+        let tail = &rest[comma + 1..];
+        let end = tail.find([']', ',']).unwrap_or(tail.len());
+        if let Ok(v) = tail[..end].trim().parse::<f64>() {
+            total += v;
+            found = true;
+        }
+    }
+    found.then_some(total)
+}
+
+/// The `--expect-shm` invariant over an aggregated counter report: all
+/// ranks of a launch are co-located, so same-host routing must have
+/// carried traffic (`/network/shm-messages > 0`) and no frame may have
+/// crossed a socket (`/network/event-loop-writev-frames == 0`).
+fn check_shm_counters(path: &Path) -> Result<(), String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let shm = sum_counter(&json, "/network/shm-messages")
+        .ok_or("aggregate has no /network/shm-messages counter")?;
+    let writev = sum_counter(&json, "/network/event-loop-writev-frames")
+        .ok_or("aggregate has no /network/event-loop-writev-frames counter")?;
+    if shm <= 0.0 {
+        return Err("no messages crossed shared memory (shm-messages == 0)".into());
+    }
+    if writev > 0.0 {
+        return Err(format!(
+            "{writev} frames crossed TCP between co-located ranks (expected 0)"
+        ));
+    }
+    Ok(())
 }
 
 /// Merge per-rank counter dumps (`{"version":1,"ranks":[…]}` each, see
@@ -362,11 +451,62 @@ mod tests {
             first_failure: None,
             timed_out: false,
             aggregate_path: None,
+            swept_segments: 0,
+            shm_violation: None,
         };
         assert_eq!(r.exit_code(), 0);
+        r.shm_violation = Some("no shm traffic".into());
+        assert_eq!(r.exit_code(), 1);
         r.first_failure = Some((1, 3));
         assert_eq!(r.exit_code(), 3);
         r.timed_out = true;
         assert_eq!(r.exit_code(), EXIT_TIMEOUT);
+    }
+
+    #[test]
+    fn counter_sums_span_ranks() {
+        let doc = concat!(
+            "{\"version\":1,\"num_localities\":2,\"ranks\":[",
+            "{\"rank\":0,\"counters\":{\"interval_ns\":0,\"series\":[",
+            "{\"path\":\"/network/shm-messages\",\"samples\":[[0,12]]},",
+            "{\"path\":\"/network/event-loop-writev-frames\",\"samples\":[[0,0]]}]}},",
+            "{\"rank\":1,\"counters\":{\"interval_ns\":0,\"series\":[",
+            "{\"path\":\"/network/shm-messages\",\"samples\":[[0,30.5]]},",
+            "{\"path\":\"/network/event-loop-writev-frames\",\"samples\":[[0,0]]}]}}]}"
+        );
+        assert_eq!(sum_counter(doc, "/network/shm-messages"), Some(42.5));
+        assert_eq!(
+            sum_counter(doc, "/network/event-loop-writev-frames"),
+            Some(0.0)
+        );
+        assert_eq!(sum_counter(doc, "/network/not-there"), None);
+    }
+
+    #[test]
+    fn shm_expectation_checks_both_counters() {
+        let dir = std::env::temp_dir().join(format!("rpx-launch-shm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, shm: f64, writev: f64| {
+            let p = dir.join(name);
+            std::fs::write(
+                &p,
+                format!(
+                    "{{\"ranks\":[{{\"rank\":0,\"counters\":{{\"series\":[\
+                     {{\"path\":\"/network/shm-messages\",\"samples\":[[0,{shm}]]}},\
+                     {{\"path\":\"/network/event-loop-writev-frames\",\"samples\":[[0,{writev}]]}}\
+                     ]}}}}]}}"
+                ),
+            )
+            .unwrap();
+            p
+        };
+        assert!(check_shm_counters(&write("ok.json", 9.0, 0.0)).is_ok());
+        assert!(check_shm_counters(&write("none.json", 0.0, 0.0))
+            .unwrap_err()
+            .contains("shm-messages == 0"));
+        assert!(check_shm_counters(&write("tcp.json", 9.0, 3.0))
+            .unwrap_err()
+            .contains("crossed TCP"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -10,10 +10,12 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_compare;
 pub mod experiments;
 pub mod launch;
 pub mod table;
 
+pub use bench_compare::{compare, CompareReport, REGRESSION_TOLERANCE};
 pub use experiments::*;
 pub use launch::{launch, LaunchConfig, LaunchReport, EXIT_KILLED, EXIT_TIMEOUT};
 pub use table::{print_csv, print_table};

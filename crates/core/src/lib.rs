@@ -75,8 +75,8 @@ pub use rpx_counters::{
 pub use rpx_lco::{Barrier, Latch};
 pub use rpx_metrics::{MetricsReader, PhaseRecorder};
 pub use rpx_net::{
-    BootstrapError, BootstrapMode, DeliveryError, LinkModel, ReliabilityConfig, TcpTuning,
-    Topology, Transport, TransportKind, TransportPort,
+    BootstrapError, BootstrapMode, DeliveryError, HostId, LinkModel, ReliabilityConfig, ShmTuning,
+    TcpTuning, Topology, Transport, TransportKind, TransportPort,
 };
 pub use rpx_serialize::Wire;
 pub use rpx_util::Complex64;

@@ -24,8 +24,8 @@ use rpx_counters::{
 use rpx_lco::Promise;
 use rpx_metrics::MetricsReader;
 use rpx_net::{
-    BootstrapMode, LinkModel, ReliabilityConfig, ReliablePort, ReliableTransport, TcpBootstrap,
-    TcpTransport, TcpTuning, Topology, Transport, TransportKind,
+    BootstrapMode, LinkModel, ReliabilityConfig, ReliablePort, ReliableTransport, ShmTuning,
+    TcpBootstrap, TcpTransport, TcpTuning, Topology, Transport, TransportKind,
 };
 use rpx_parcel::{
     port::decode_continuation_args, ActionId, ActionRegistry, ParcelPort, ParcelPortConfig,
@@ -296,6 +296,22 @@ fn register_network_counters(
         "/network/event-loop-writev-frames",
         mk(&port, |s| s.writev_frames.load(Ordering::Relaxed)),
     );
+    // Shared-memory backend internals (zero unless the transport routed
+    // same-host traffic over SPSC rings): frames delivered through a
+    // ring, their wire-equivalent bytes, and doorbell wakeups handled by
+    // pump threads.
+    registry.register_or_replace(
+        "/network/shm-messages",
+        mk(&port, |s| s.shm_messages.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/shm-bytes",
+        mk(&port, |s| s.shm_bytes.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/shm-doorbell-wakeups",
+        mk(&port, |s| s.doorbell_wakeups.load(Ordering::Relaxed)),
+    );
 }
 
 /// Expose a parcel port's statistics as `/parcels/*` counters: the plain
@@ -393,6 +409,12 @@ struct ControlPlane {
     released: Mutex<HashSet<u64>>,
     next_gen: AtomicU64,
     peers_connected: AtomicU64,
+    /// Our own `(rank, hash)` once this rank has entered
+    /// `verify_registration`. Receiving a reply-requested announcement
+    /// after this point answers with the recorded hash, so a peer whose
+    /// early announcements were all given up on by the reliable layer
+    /// (boot skew) still completes even though we stopped broadcasting.
+    announced: Mutex<Option<(u32, u64)>>,
 }
 
 impl ControlPlane {
@@ -403,42 +425,60 @@ impl ControlPlane {
             released: Mutex::new(HashSet::new()),
             next_gen: AtomicU64::new(0),
             peers_connected: AtomicU64::new(0),
+            announced: Mutex::new(None),
         }
     }
 
     /// Parse one control payload. Unknown tags and short payloads are
     /// ignored (forward compatibility; never panic on wire input).
-    fn on_message(&self, payload: &[u8]) {
+    ///
+    /// Returns `Some((dst, payload))` when the message calls for a
+    /// direct control reply (a registration announcement with the
+    /// want-reply flag set, once we have announced ourselves). Replies
+    /// never set want-reply, so reply traffic cannot echo.
+    fn on_message(&self, payload: &[u8]) -> Option<(u32, Bytes)> {
         let le_u32 = |b: &[u8]| u32::from_le_bytes(b.try_into().unwrap());
         let le_u64 = |b: &[u8]| u64::from_le_bytes(b.try_into().unwrap());
         match payload.first() {
             Some(&CTRL_REGHASH) if payload.len() >= 13 => {
                 let rank = le_u32(&payload[1..5]);
                 let hash = le_u64(&payload[5..13]);
-                let mut hashes = self.peer_hashes.lock();
-                hashes.insert(rank, hash);
-                self.peers_connected
-                    .store(hashes.len() as u64, Ordering::Release);
+                let want_reply = payload.get(13).is_some_and(|&b| b != 0);
+                {
+                    let mut hashes = self.peer_hashes.lock();
+                    hashes.insert(rank, hash);
+                    self.peers_connected
+                        .store(hashes.len() as u64, Ordering::Release);
+                }
+                if want_reply {
+                    if let Some((my_rank, my_hash)) = *self.announced.lock() {
+                        return Some((rank, reghash_payload(my_rank, my_hash, false)));
+                    }
+                }
+                None
             }
             Some(&CTRL_BARRIER_ARRIVE) if payload.len() >= 13 => {
                 let rank = le_u32(&payload[1..5]);
                 let gen = le_u64(&payload[5..13]);
                 self.arrivals.lock().entry(gen).or_default().insert(rank);
+                None
             }
             Some(&CTRL_BARRIER_RELEASE) if payload.len() >= 9 => {
                 let gen = le_u64(&payload[1..9]);
                 self.released.lock().insert(gen);
+                None
             }
-            _ => {}
+            _ => None,
         }
     }
 }
 
-fn reghash_payload(rank: u32, hash: u64) -> Bytes {
-    let mut b = Vec::with_capacity(13);
+fn reghash_payload(rank: u32, hash: u64, want_reply: bool) -> Bytes {
+    let mut b = Vec::with_capacity(14);
     b.push(CTRL_REGHASH);
     b.extend_from_slice(&rank.to_le_bytes());
     b.extend_from_slice(&hash.to_le_bytes());
+    b.push(u8::from(want_reply));
     Bytes::from(b)
 }
 
@@ -556,13 +596,20 @@ impl Runtime {
                         topo.rank, topo.num_localities
                     )));
                 }
+                // Resolved before bootstrapping so an unusable backend
+                // fails fast instead of after the network handshake.
+                enum WireTuning {
+                    Tcp(TcpTuning),
+                    Shm(ShmTuning),
+                }
                 let tuning = match config.transport {
-                    TransportKind::TcpLoopback => TcpTuning::default(),
-                    TransportKind::TcpTuned(t) => t,
+                    TransportKind::TcpLoopback => WireTuning::Tcp(TcpTuning::default()),
+                    TransportKind::TcpTuned(t) => WireTuning::Tcp(t),
+                    TransportKind::Shm(t) => WireTuning::Shm(t),
                     TransportKind::Sim(_) => {
                         return Err(RuntimeError::Boot(
-                            "a multi-process topology requires a TCP transport \
-                                 (TransportKind::TcpLoopback or TcpTuned)"
+                            "a multi-process topology requires a wire transport \
+                                 (TransportKind::TcpLoopback, TcpTuned or Shm)"
                                 .into(),
                         ))
                     }
@@ -571,7 +618,7 @@ impl Runtime {
                     BootstrapMode::Rendezvous { addr, timeout } => {
                         TcpBootstrap::rendezvous(topo.rank, topo.num_localities, *addr, *timeout)
                     }
-                    BootstrapMode::AddressBook(addrs) => {
+                    BootstrapMode::AddressBook { addrs, hosts } => {
                         if addrs.len() != topo.num_localities as usize {
                             return Err(RuntimeError::Boot(format!(
                                 "address book has {} entries for {} localities",
@@ -579,13 +626,19 @@ impl Runtime {
                                 topo.num_localities
                             )));
                         }
-                        TcpBootstrap::address_book(topo.rank, addrs.clone())
+                        TcpBootstrap::address_book_with_hosts(
+                            topo.rank,
+                            addrs.clone(),
+                            hosts.clone(),
+                        )
                     }
                 }
                 .map_err(|e| RuntimeError::Boot(e.to_string()))?;
-                let t = TcpTransport::from_bootstrap(bootstrap, tuning).map_err(|e| {
-                    RuntimeError::Boot(format!("transport construction failed: {e}"))
-                })?;
+                let t = match tuning {
+                    WireTuning::Tcp(t) => TcpTransport::from_bootstrap(bootstrap, t),
+                    WireTuning::Shm(t) => TcpTransport::from_bootstrap_shm(bootstrap, t),
+                }
+                .map_err(|e| RuntimeError::Boot(format!("transport construction failed: {e}")))?;
                 (topo.num_localities, vec![topo.rank], t)
             }
         };
@@ -650,6 +703,28 @@ impl Runtime {
                 port.set_batch_spawner(Arc::new(move |fs| sched.spawn_batch(fs.drain(..))));
             }
             register_parcel_counters(&registry, &port);
+
+            // Control-plane traffic (registration hashes, barriers) is
+            // parsed on the receive path and parked in shared state that
+            // verify_registration/barrier poll. This handler MUST be
+            // installed before the pump starts: a control frame pumped
+            // while the handler is absent is dropped after the
+            // reliability layer has already acked it, so it is never
+            // retransmitted and the peer's registration hash is lost.
+            {
+                let cp = Arc::clone(&control);
+                // Weak: the port owns this handler, so a strong capture
+                // would cycle port → handler → port.
+                let weak_port = Arc::downgrade(&port);
+                port.set_control_handler(move |msg| {
+                    if let Some((dst, reply)) = cp.on_message(&msg.payload) {
+                        if let Some(p) = weak_port.upgrade() {
+                            p.send_control(dst, reply);
+                        }
+                    }
+                });
+            }
+
             // The parcel pump runs as scheduler background work — the
             // paper's "background work" whose duration Eq. 3 measures.
             scheduler.add_background(Arc::new(PortPump {
@@ -657,14 +732,6 @@ impl Runtime {
             }));
 
             let lco_table = Arc::new(LcoTable::new());
-
-            // Control-plane traffic (registration hashes, barriers) is
-            // parsed on the receive path and parked in shared state that
-            // verify_registration/barrier poll.
-            {
-                let cp = Arc::clone(&control);
-                port.set_control_handler(move |msg| cp.on_message(&msg.payload));
-            }
 
             // Per-process identity counters: which rank this registry
             // belongs to and how many peers have checked in at boot.
@@ -1059,6 +1126,12 @@ impl Runtime {
         let port = &self.local(topo.rank).port;
         let n = self.num_localities;
         let deadline = std::time::Instant::now() + timeout;
+        // Record our hash so the control handler can answer peers that
+        // are still waiting after we complete: without this, a peer all
+        // of whose early announcements were dropped by the reliable
+        // layer's give-up would hang once we stop broadcasting below
+        // (asymmetric completion).
+        *self.control.announced.lock() = Some((topo.rank, ours));
         // Re-broadcast while polling: with no rendezvous round-trip
         // (address-book boot) a peer may not have bound its listener yet,
         // and the reliable layer gives up on undeliverable frames long
@@ -1070,7 +1143,7 @@ impl Runtime {
             if std::time::Instant::now() >= next_broadcast {
                 for peer in 0..n {
                     if peer != topo.rank {
-                        port.send_control(peer, reghash_payload(topo.rank, ours));
+                        port.send_control(peer, reghash_payload(topo.rank, ours, true));
                     }
                 }
                 next_broadcast = std::time::Instant::now() + Duration::from_millis(100);

@@ -27,24 +27,31 @@
 //! [len u16 LE] [magic u32 = 0x52505842] [version u16] [kind u8] [body …]
 //! ```
 //!
-//! * kind 1 `HELLO`: `[rank u32][num_localities u32][addr]`
-//! * kind 2 `BOOK`:  `[num_localities u32][addr × num]` (index = rank)
+//! * kind 1 `HELLO`: `[rank u32][num_localities u32][addr][host 16B]`
+//! * kind 2 `BOOK`:  `[num_localities u32][(addr + host 16B) × num]`
+//!   (index = rank)
 //! * kind 3 `ERROR`: `[code u8][msg_len u16][msg utf-8]`
 //!
-//! where `addr` is `[family u8 (4|6)][ip 4|16 bytes][port u16 LE]`.
-//! Validation failures are answered with an `ERROR` frame (so the losing
-//! worker gets a typed [`BootstrapError`], not a bare timeout) and every
-//! error path drops its listeners before returning — no leaked sockets.
+//! where `addr` is `[family u8 (4|6)][ip 4|16 bytes][port u16 LE]` and
+//! `host` is the sender's boot-time [`HostId`] — version 2 of the
+//! protocol added it so every rank learns which peers share its host
+//! (the shared-memory transport keys on this; a v1 peer gets a typed
+//! [`BootstrapError::BadVersion`]). Validation failures are answered
+//! with an `ERROR` frame (so the losing worker gets a typed
+//! [`BootstrapError`], not a bare timeout) and every error path drops
+//! its listeners before returning — no leaked sockets.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Magic tag leading every bootstrap frame (`"RPXB"` big-endian).
 pub const BOOTSTRAP_MAGIC: u32 = 0x5250_5842;
-/// Version of the bootstrap handshake protocol.
-pub const BOOTSTRAP_VERSION: u16 = 1;
+/// Version of the bootstrap handshake protocol (v2 added per-rank
+/// [`HostId`]s to `HELLO` and `BOOK` frames).
+pub const BOOTSTRAP_VERSION: u16 = 2;
 
 const KIND_HELLO: u8 = 1;
 const KIND_BOOK: u8 = 2;
@@ -56,10 +63,103 @@ const CODE_DUPLICATE_RANK: u8 = 2;
 const CODE_SIZE_MISMATCH: u8 = 3;
 const CODE_RANK_RANGE: u8 = 4;
 const CODE_VERSION: u8 = 5;
+const CODE_HOST_SKEW: u8 = 6;
 
-/// Largest bootstrap frame body we accept (a book for 4096 ranks fits
+/// Largest bootstrap frame body we accept (a book for 2048 ranks fits
 /// with room to spare).
 const MAX_BOOTSTRAP_FRAME: usize = 64 * 1024;
+
+/// A 128-bit boot-time host identity, exchanged in `HELLO`/`BOOK`
+/// frames so ranks can tell which peers share their machine (and may
+/// therefore talk over shared memory instead of TCP).
+///
+/// On Linux this is the kernel's `boot_id` UUID — identical for every
+/// process on the host, regenerated on reboot (so a stale segment from
+/// before a reboot can never be mistaken for a live peer's). Elsewhere,
+/// or when `/proc` is unavailable, it falls back to a hash of the
+/// hostname, which still distinguishes hosts but not boots.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostId([u8; 16]);
+
+impl HostId {
+    /// Wire size of a host id in v2 bootstrap frames.
+    pub const LEN: usize = 16;
+
+    /// This host's identity (computed once, cached for the process).
+    pub fn local() -> HostId {
+        static CACHED: OnceLock<HostId> = OnceLock::new();
+        *CACHED.get_or_init(HostId::detect)
+    }
+
+    fn detect() -> HostId {
+        if let Ok(s) = std::fs::read_to_string("/proc/sys/kernel/random/boot_id") {
+            let uuid: String = s.trim().chars().filter(|c| *c != '-').collect();
+            if let Some(id) = HostId::parse_hex(&uuid) {
+                return id;
+            }
+        }
+        // Fallback: FNV-1a of the hostname, tagged so it can never
+        // collide with a (random) boot id's distribution by accident.
+        let name = std::env::var("HOSTNAME")
+            .or_else(|_| std::env::var("COMPUTERNAME"))
+            .unwrap_or_default();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(b"rpxhost\0");
+        bytes[8..].copy_from_slice(&h.to_le_bytes());
+        HostId(bytes)
+    }
+
+    /// Build from raw bytes (wire decode).
+    pub fn from_bytes(bytes: [u8; 16]) -> HostId {
+        HostId(bytes)
+    }
+
+    /// The raw bytes (wire encode).
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+
+    /// Render as 32 lowercase hex digits (the launcher's address-book
+    /// suffix format, `host:port@<hex>`).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            use fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// Parse 32 hex digits (case-insensitive); `None` on any other
+    /// shape.
+    pub fn parse_hex(s: &str) -> Option<HostId> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let mut bytes = [0u8; 16];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            bytes[i] = u8::from_str_radix(std::str::from_utf8(chunk).ok()?, 16).ok()?;
+        }
+        Some(HostId(bytes))
+    }
+}
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HostId({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
 
 /// How a multi-process cluster discovers its peers at boot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,7 +174,14 @@ pub enum BootstrapMode {
     },
     /// The launcher provides the complete `rank → data address` table;
     /// each rank binds its own entry. No rendezvous round-trip.
-    AddressBook(Vec<SocketAddr>),
+    AddressBook {
+        /// Data address of every rank, indexed by rank.
+        addrs: Vec<SocketAddr>,
+        /// Per-rank host identity where the launcher knows it (`None`
+        /// entries fall back to the loopback-address heuristic when
+        /// deciding whether two ranks share a host).
+        hosts: Vec<Option<HostId>>,
+    },
 }
 
 /// This process's place in a multi-process cluster.
@@ -104,12 +211,14 @@ impl Topology {
         }
     }
 
-    /// An address-book topology (the launcher supplied every address).
+    /// An address-book topology (the launcher supplied every address,
+    /// but no host identities).
     pub fn address_book(rank: u32, addrs: Vec<SocketAddr>) -> Self {
+        let hosts = vec![None; addrs.len()];
         Topology {
             rank,
             num_localities: addrs.len() as u32,
-            bootstrap: BootstrapMode::AddressBook(addrs),
+            bootstrap: BootstrapMode::AddressBook { addrs, hosts },
         }
     }
 
@@ -117,8 +226,10 @@ impl Topology {
     ///
     /// * `RPX_RANK`, `RPX_NUM_LOCALITIES` — this process's place;
     /// * `RPX_BOOTSTRAP` — a `host:port` rendezvous address, **or**
-    /// * `RPX_ADDRESS_BOOK` — comma-separated `host:port` list
-    ///   (index = rank; takes precedence over `RPX_BOOTSTRAP`);
+    /// * `RPX_ADDRESS_BOOK` — comma-separated `host:port[@hostid]` list
+    ///   (index = rank; takes precedence over `RPX_BOOTSTRAP`; the
+    ///   optional `@<32 hex>` suffix is the rank's [`HostId`], letting
+    ///   the launcher mark which ranks share a machine);
     /// * `RPX_BOOT_TIMEOUT_MS` — optional handshake budget override.
     ///
     /// Returns `Ok(None)` when `RPX_RANK` is unset (all-in-one mode).
@@ -155,10 +266,24 @@ impl Topology {
             Err(_) => Topology::DEFAULT_BOOT_TIMEOUT,
         };
         if let Ok(book) = std::env::var("RPX_ADDRESS_BOOK") {
-            let addrs: Result<Vec<SocketAddr>, _> =
-                book.split(',').map(|a| a.trim().parse()).collect();
-            let addrs = addrs
-                .map_err(|_| BootstrapError::Malformed("RPX_ADDRESS_BOOK has a bad address"))?;
+            let mut addrs = Vec::new();
+            let mut hosts = Vec::new();
+            for entry in book.split(',') {
+                let entry = entry.trim();
+                let (addr, host) = match entry.rsplit_once('@') {
+                    Some((addr, hex)) => {
+                        let host = HostId::parse_hex(hex).ok_or(BootstrapError::Malformed(
+                            "RPX_ADDRESS_BOOK has a bad host-id suffix",
+                        ))?;
+                        (addr, Some(host))
+                    }
+                    None => (entry, None),
+                };
+                addrs.push(addr.parse::<SocketAddr>().map_err(|_| {
+                    BootstrapError::Malformed("RPX_ADDRESS_BOOK has a bad address")
+                })?);
+                hosts.push(host);
+            }
             if addrs.len() as u32 != num {
                 return Err(BootstrapError::ClusterSizeMismatch {
                     ours: num,
@@ -168,7 +293,7 @@ impl Topology {
             return Ok(Some(Topology {
                 rank,
                 num_localities: num,
-                bootstrap: BootstrapMode::AddressBook(addrs),
+                bootstrap: BootstrapMode::AddressBook { addrs, hosts },
             }));
         }
         let addr: SocketAddr = std::env::var("RPX_BOOTSTRAP")
@@ -212,6 +337,19 @@ pub enum BootstrapError {
         /// The cluster size it must be below.
         num_localities: u32,
     },
+    /// The book's host identity for our own rank disagrees with what
+    /// this process measured at boot — the launcher's placement view
+    /// has drifted from reality (e.g. a stale book reused after a
+    /// reboot or a migration), so same-host negotiation cannot be
+    /// trusted.
+    HostIdentitySkew {
+        /// Our rank, whose book entry is wrong.
+        rank: u32,
+        /// The identity this process measured.
+        ours: HostId,
+        /// The identity the book claims for us.
+        theirs: HostId,
+    },
     /// The handshake did not complete within its time budget.
     Timeout {
         /// How long we waited.
@@ -252,6 +390,10 @@ impl fmt::Display for BootstrapError {
                 f,
                 "rank {rank} out of range for {num_localities} localities"
             ),
+            BootstrapError::HostIdentitySkew { rank, ours, theirs } => write!(
+                f,
+                "host identity skew for rank {rank}: measured {ours}, book says {theirs}"
+            ),
             BootstrapError::Timeout { waited, missing } => write!(
                 f,
                 "bootstrap timed out after {waited:?} with {missing} peer(s) missing"
@@ -280,6 +422,7 @@ impl BootstrapError {
             BootstrapError::DuplicateRank(_) => CODE_DUPLICATE_RANK,
             BootstrapError::ClusterSizeMismatch { .. } => CODE_SIZE_MISMATCH,
             BootstrapError::RankOutOfRange { .. } => CODE_RANK_RANGE,
+            BootstrapError::HostIdentitySkew { .. } => CODE_HOST_SKEW,
             _ => CODE_MALFORMED,
         }
     }
@@ -303,6 +446,8 @@ pub struct TcpBootstrap {
     pub(crate) local: Vec<(u32, TcpListener)>,
     /// Data address of every rank, indexed by rank.
     pub(crate) addrs: Vec<SocketAddr>,
+    /// Host identity of every rank where known, indexed by rank.
+    pub(crate) host_ids: Vec<Option<HostId>>,
 }
 
 impl TcpBootstrap {
@@ -319,7 +464,12 @@ impl TcpBootstrap {
             addrs.push(listener.local_addr()?);
             local.push((rank, listener));
         }
-        Ok(TcpBootstrap { local, addrs })
+        let host_ids = vec![Some(HostId::local()); localities as usize];
+        Ok(TcpBootstrap {
+            local,
+            addrs,
+            host_ids,
+        })
     }
 
     /// Launcher-provided address book: bind this rank's assigned entry.
@@ -328,11 +478,40 @@ impl TcpBootstrap {
     /// [`BootstrapError::RankOutOfRange`] if `rank` has no book entry;
     /// [`BootstrapError::Io`] if the assigned address cannot be bound.
     pub fn address_book(rank: u32, addrs: Vec<SocketAddr>) -> Result<Self, BootstrapError> {
+        let hosts = vec![None; addrs.len()];
+        TcpBootstrap::address_book_with_hosts(rank, addrs, hosts)
+    }
+
+    /// [`TcpBootstrap::address_book`] with the launcher's per-rank host
+    /// identities (entries may be `None` when unknown).
+    ///
+    /// # Errors
+    /// As `address_book`, plus [`BootstrapError::HostIdentitySkew`] if
+    /// the book claims a host identity for *our* rank that differs from
+    /// what this process measures — a launcher whose placement view has
+    /// drifted must not let us negotiate shared memory.
+    pub fn address_book_with_hosts(
+        rank: u32,
+        addrs: Vec<SocketAddr>,
+        hosts: Vec<Option<HostId>>,
+    ) -> Result<Self, BootstrapError> {
         if rank as usize >= addrs.len() {
             return Err(BootstrapError::RankOutOfRange {
                 rank,
                 num_localities: addrs.len() as u32,
             });
+        }
+        assert_eq!(addrs.len(), hosts.len(), "book and host table disagree");
+        let mut host_ids = hosts;
+        match host_ids[rank as usize] {
+            Some(claimed) if claimed != HostId::local() => {
+                return Err(BootstrapError::HostIdentitySkew {
+                    rank,
+                    ours: HostId::local(),
+                    theirs: claimed,
+                });
+            }
+            _ => host_ids[rank as usize] = Some(HostId::local()),
         }
         let listener = TcpListener::bind(addrs[rank as usize])?;
         listener.set_nonblocking(true)?;
@@ -342,6 +521,7 @@ impl TcpBootstrap {
         Ok(TcpBootstrap {
             local: vec![(rank, listener)],
             addrs,
+            host_ids,
         })
     }
 
@@ -370,14 +550,16 @@ impl TcpBootstrap {
         data.set_nonblocking(true)?;
         let my_addr = data.local_addr()?;
         let deadline = Instant::now() + timeout;
-        let addrs = if rank == 0 {
+        let book = if rank == 0 {
             serve_rendezvous(my_addr, num_localities, rendezvous, deadline)?
         } else {
             join_rendezvous(rank, num_localities, my_addr, rendezvous, deadline)?
         };
+        let (addrs, hosts): (Vec<SocketAddr>, Vec<HostId>) = book.into_iter().unzip();
         Ok(TcpBootstrap {
             local: vec![(rank, data)],
             addrs,
+            host_ids: hosts.into_iter().map(Some).collect(),
         })
     }
 
@@ -389,6 +571,27 @@ impl TcpBootstrap {
     /// The data address of every rank, indexed by rank.
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
+    }
+
+    /// The host identity of every rank where known, indexed by rank.
+    pub fn host_ids(&self) -> &[Option<HostId>] {
+        &self.host_ids
+    }
+
+    /// Whether ranks `a` and `b` are known to share a machine: their
+    /// exchanged host identities match, or — when either identity is
+    /// unknown — both data addresses are loopback (a remote peer cannot
+    /// be reached at a loopback address, so the heuristic never claims
+    /// same-host across machines).
+    pub fn same_host(&self, a: u32, b: u32) -> bool {
+        let (a, b) = (a as usize, b as usize);
+        match (self.host_ids.get(a), self.host_ids.get(b)) {
+            (Some(Some(ha)), Some(Some(hb))) => ha == hb,
+            _ => {
+                self.addrs.get(a).is_some_and(|x| x.ip().is_loopback())
+                    && self.addrs.get(b).is_some_and(|x| x.ip().is_loopback())
+            }
+        }
     }
 
     /// The ranks hosted by this process.
@@ -404,11 +607,11 @@ fn serve_rendezvous(
     num: u32,
     rendezvous: SocketAddr,
     deadline: Instant,
-) -> Result<Vec<SocketAddr>, BootstrapError> {
+) -> Result<Vec<(SocketAddr, HostId)>, BootstrapError> {
     let start = Instant::now();
     let listener = TcpListener::bind(rendezvous)?;
     listener.set_nonblocking(true)?;
-    let mut peers: Vec<Option<(SocketAddr, TcpStream)>> = (0..num).map(|_| None).collect();
+    let mut peers: Vec<Option<(SocketAddr, HostId, TcpStream)>> = (0..num).map(|_| None).collect();
     let mut connected = 0u32;
     while connected + 1 < num {
         let now = Instant::now();
@@ -421,7 +624,7 @@ fn serve_rendezvous(
         match listener.accept() {
             Ok((mut stream, _)) => {
                 match read_hello(&mut stream, deadline) {
-                    Ok((peer_rank, peer_num, peer_addr)) => {
+                    Ok((peer_rank, peer_num, peer_addr, peer_host)) => {
                         let err = if peer_num != num {
                             Some(BootstrapError::ClusterSizeMismatch {
                                 ours: num,
@@ -441,7 +644,7 @@ fn serve_rendezvous(
                             reject_all(&mut peers, &mut stream, &err);
                             return Err(err);
                         }
-                        peers[peer_rank as usize] = Some((peer_addr, stream));
+                        peers[peer_rank as usize] = Some((peer_addr, peer_host, stream));
                         connected += 1;
                     }
                     Err(err) => {
@@ -458,20 +661,20 @@ fn serve_rendezvous(
             Err(e) => return Err(e.into()),
         }
     }
-    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(num as usize);
-    addrs.push(my_addr);
+    let mut entries: Vec<(SocketAddr, HostId)> = Vec::with_capacity(num as usize);
+    entries.push((my_addr, HostId::local()));
     for slot in peers.iter().skip(1) {
-        let (addr, _) = slot.as_ref().expect("all peers connected");
-        addrs.push(*addr);
+        let (addr, host, _) = slot.as_ref().expect("all peers connected");
+        entries.push((*addr, *host));
     }
-    let book = encode_book(&addrs);
+    let book = encode_book(&entries);
     for slot in peers.iter_mut().skip(1) {
-        let (_, stream) = slot.as_mut().expect("all peers connected");
+        let (_, _, stream) = slot.as_mut().expect("all peers connected");
         stream.set_nonblocking(false).map_err(BootstrapError::Io)?;
         stream.write_all(&book)?;
         stream.flush()?;
     }
-    Ok(addrs)
+    Ok(entries)
 }
 
 /// A worker's side: connect to the rendezvous (retrying while rank 0
@@ -482,7 +685,7 @@ fn join_rendezvous(
     my_addr: SocketAddr,
     rendezvous: SocketAddr,
     deadline: Instant,
-) -> Result<Vec<SocketAddr>, BootstrapError> {
+) -> Result<Vec<(SocketAddr, HostId)>, BootstrapError> {
     let start = Instant::now();
     let mut stream = loop {
         let now = Instant::now();
@@ -499,7 +702,7 @@ fn join_rendezvous(
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     };
-    stream.write_all(&encode_hello(rank, num, my_addr))?;
+    stream.write_all(&encode_hello(rank, num, my_addr, HostId::local()))?;
     stream.flush()?;
     let frame = read_frame(&mut stream, deadline).map_err(|e| match e {
         // Rank 0 closing without a book (its own boot failed) surfaces
@@ -510,19 +713,27 @@ fn join_rendezvous(
         other => other,
     })?;
     match frame {
-        Frame::Book(addrs) => {
-            if addrs.len() as u32 != num {
+        Frame::Book(entries) => {
+            if entries.len() as u32 != num {
                 return Err(BootstrapError::ClusterSizeMismatch {
                     ours: num,
-                    theirs: addrs.len() as u32,
+                    theirs: entries.len() as u32,
                 });
             }
-            if addrs[rank as usize] != my_addr {
+            let (addr, host) = entries[rank as usize];
+            if addr != my_addr {
                 return Err(BootstrapError::Malformed(
                     "address book disagrees about our own address",
                 ));
             }
-            Ok(addrs)
+            if host != HostId::local() {
+                return Err(BootstrapError::HostIdentitySkew {
+                    rank,
+                    ours: HostId::local(),
+                    theirs: host,
+                });
+            }
+            Ok(entries)
         }
         Frame::Error { code, message } => Err(BootstrapError::from_wire(code, message)),
         Frame::Hello { .. } => Err(BootstrapError::Malformed(
@@ -535,7 +746,7 @@ fn join_rendezvous(
 /// already-connected peer, so no worker is left waiting for a book that
 /// will never come. Best-effort: a dead peer cannot make this worse.
 fn reject_all(
-    peers: &mut [Option<(SocketAddr, TcpStream)>],
+    peers: &mut [Option<(SocketAddr, HostId, TcpStream)>],
     offender: &mut TcpStream,
     err: &BootstrapError,
 ) {
@@ -544,7 +755,7 @@ fn reject_all(
     let _ = offender.write_all(&frame);
     let _ = offender.flush();
     for slot in peers.iter_mut() {
-        if let Some((_, stream)) = slot.as_mut() {
+        if let Some((_, _, stream)) = slot.as_mut() {
             let _ = stream.set_nonblocking(false);
             let _ = stream.write_all(&frame);
             let _ = stream.flush();
@@ -558,8 +769,9 @@ enum Frame {
         rank: u32,
         num: u32,
         addr: SocketAddr,
+        host: HostId,
     },
-    Book(Vec<SocketAddr>),
+    Book(Vec<(SocketAddr, HostId)>),
     Error {
         code: u8,
         message: String,
@@ -626,25 +838,39 @@ fn frame_header(kind: u8, body_len: usize) -> Vec<u8> {
     out
 }
 
-fn encode_hello(rank: u32, num: u32, addr: SocketAddr) -> Vec<u8> {
-    let mut body = Vec::with_capacity(8 + 19);
+fn encode_hello(rank: u32, num: u32, addr: SocketAddr, host: HostId) -> Vec<u8> {
+    let mut body = Vec::with_capacity(8 + 19 + HostId::LEN);
     body.extend_from_slice(&rank.to_le_bytes());
     body.extend_from_slice(&num.to_le_bytes());
     push_addr(&mut body, addr);
+    body.extend_from_slice(host.as_bytes());
     let mut out = frame_header(KIND_HELLO, body.len());
     out.extend_from_slice(&body);
     out
 }
 
-fn encode_book(addrs: &[SocketAddr]) -> Vec<u8> {
-    let mut body = Vec::with_capacity(4 + addrs.len() * 19);
-    body.extend_from_slice(&(addrs.len() as u32).to_le_bytes());
-    for addr in addrs {
+fn encode_book(entries: &[(SocketAddr, HostId)]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(4 + entries.len() * (19 + HostId::LEN));
+    body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (addr, host) in entries {
         push_addr(&mut body, *addr);
+        body.extend_from_slice(host.as_bytes());
     }
     let mut out = frame_header(KIND_BOOK, body.len());
     out.extend_from_slice(&body);
     out
+}
+
+fn parse_host(body: &[u8], at: &mut usize) -> Result<HostId, BootstrapError> {
+    let bytes: [u8; 16] = body
+        .get(*at..*at + HostId::LEN)
+        .ok_or(BootstrapError::Malformed(
+            "truncated host id in bootstrap frame",
+        ))?
+        .try_into()
+        .unwrap();
+    *at += HostId::LEN;
+    Ok(HostId::from_bytes(bytes))
 }
 
 fn encode_error(code: u8, message: &str) -> Vec<u8> {
@@ -725,22 +951,31 @@ fn read_frame(stream: &mut TcpStream, deadline: Instant) -> Result<Frame, Bootst
             let num = u32::from_le_bytes(body[4..8].try_into().unwrap());
             let mut at = 8;
             let addr = parse_addr(body, &mut at)?;
-            Ok(Frame::Hello { rank, num, addr })
+            let host = parse_host(body, &mut at)?;
+            Ok(Frame::Hello {
+                rank,
+                num,
+                addr,
+                host,
+            })
         }
         KIND_BOOK => {
             if body.len() < 4 {
                 return Err(BootstrapError::Malformed("short book frame"));
             }
             let num = u32::from_le_bytes(body[0..4].try_into().unwrap()) as usize;
-            if num > MAX_BOOTSTRAP_FRAME / 7 {
+            // Minimum entry: 1 family + 4 ip + 2 port + 16 host id.
+            if num > MAX_BOOTSTRAP_FRAME / (7 + HostId::LEN) {
                 return Err(BootstrapError::Malformed("book frame count"));
             }
             let mut at = 4;
-            let mut addrs = Vec::with_capacity(num);
+            let mut entries = Vec::with_capacity(num);
             for _ in 0..num {
-                addrs.push(parse_addr(body, &mut at)?);
+                let addr = parse_addr(body, &mut at)?;
+                let host = parse_host(body, &mut at)?;
+                entries.push((addr, host));
             }
-            Ok(Frame::Book(addrs))
+            Ok(Frame::Book(entries))
         }
         KIND_ERROR => {
             if body.len() < 3 {
@@ -762,9 +997,14 @@ fn read_frame(stream: &mut TcpStream, deadline: Instant) -> Result<Frame, Bootst
 fn read_hello(
     stream: &mut TcpStream,
     deadline: Instant,
-) -> Result<(u32, u32, SocketAddr), BootstrapError> {
+) -> Result<(u32, u32, SocketAddr, HostId), BootstrapError> {
     match read_frame(stream, deadline)? {
-        Frame::Hello { rank, num, addr } => Ok((rank, num, addr)),
+        Frame::Hello {
+            rank,
+            num,
+            addr,
+            host,
+        } => Ok((rank, num, addr, host)),
         _ => Err(BootstrapError::Malformed("expected a hello frame")),
     }
 }
@@ -834,6 +1074,13 @@ mod tests {
             assert_eq!(boot.local.len(), 1);
             let (rank, listener) = &boot.local[0];
             assert_eq!(listener.local_addr().unwrap(), book[*rank as usize]);
+            // v2: every rank learned every peer's host identity, and
+            // (being one machine here) they all match ours.
+            assert_eq!(boot.host_ids().len(), n as usize);
+            for host in boot.host_ids() {
+                assert_eq!(*host, Some(HostId::local()));
+            }
+            assert!(boot.same_host(0, n - 1));
         }
     }
 
@@ -932,11 +1179,12 @@ mod tests {
         };
         // A hello from the future: right magic, version 99. The buffer
         // starts with the 2-byte length prefix, so version sits at 6..8.
-        let mut frame = frame_header(KIND_HELLO, 8 + 7);
+        let mut frame = frame_header(KIND_HELLO, 8 + 7 + HostId::LEN);
         frame[6..8].copy_from_slice(&99u16.to_le_bytes());
         frame.extend_from_slice(&1u32.to_le_bytes());
         frame.extend_from_slice(&2u32.to_le_bytes());
         push_addr(&mut frame, free_addr());
+        frame.extend_from_slice(HostId::local().as_bytes());
         s.write_all(&frame).unwrap();
         let r0 = rank0.join().unwrap();
         assert!(matches!(r0.unwrap_err(), BootstrapError::BadVersion(99)));
@@ -953,7 +1201,8 @@ mod tests {
     #[test]
     fn frame_roundtrip_hello_book_error() {
         let addr: SocketAddr = "127.0.0.1:9099".parse().unwrap();
-        let hello = encode_hello(3, 8, addr);
+        let other = HostId::parse_hex("00112233445566778899aabbccddeeff").unwrap();
+        let hello = encode_hello(3, 8, addr, HostId::local());
         let (mut a, mut b) = socket_pair();
         a.write_all(&hello).unwrap();
         let deadline = Instant::now() + Duration::from_secs(2);
@@ -962,15 +1211,20 @@ mod tests {
                 rank,
                 num,
                 addr: got,
+                host,
             } => {
                 assert_eq!((rank, num, got), (3, 8, addr));
+                assert_eq!(host, HostId::local());
             }
             _ => panic!("expected hello"),
         }
-        let addrs = vec![addr, "[::1]:8080".parse().unwrap()];
-        a.write_all(&encode_book(&addrs)).unwrap();
+        let entries = vec![
+            (addr, HostId::local()),
+            ("[::1]:8080".parse().unwrap(), other),
+        ];
+        a.write_all(&encode_book(&entries)).unwrap();
         match read_frame(&mut b, deadline).unwrap() {
-            Frame::Book(got) => assert_eq!(got, addrs),
+            Frame::Book(got) => assert_eq!(got, entries),
             _ => panic!("expected book"),
         }
         a.write_all(&encode_error(CODE_DUPLICATE_RANK, "rank 3 twice"))
@@ -982,6 +1236,66 @@ mod tests {
             }
             _ => panic!("expected error"),
         }
+    }
+
+    #[test]
+    fn host_id_hex_roundtrip_and_stability() {
+        let local = HostId::local();
+        assert_eq!(HostId::local(), local, "host id is stable in-process");
+        let hex = local.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(HostId::parse_hex(&hex), Some(local));
+        assert_eq!(HostId::parse_hex("xyz"), None);
+        assert_eq!(HostId::parse_hex(&hex[..31]), None);
+    }
+
+    #[test]
+    fn address_book_host_skew_is_a_typed_error() {
+        let wrong = HostId::parse_hex("deadbeefdeadbeefdeadbeefdeadbeef").unwrap();
+        assert_ne!(wrong, HostId::local());
+        let err = TcpBootstrap::address_book_with_hosts(
+            0,
+            vec![free_addr(), free_addr()],
+            vec![Some(wrong), None],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            BootstrapError::HostIdentitySkew { rank: 0, .. }
+        ));
+        // A correct (or absent) own entry is fine, and our slot is
+        // filled in with the measured identity.
+        let boot = TcpBootstrap::address_book_with_hosts(
+            0,
+            vec![free_addr(), free_addr()],
+            vec![None, Some(wrong)],
+        )
+        .unwrap();
+        assert_eq!(boot.host_ids()[0], Some(HostId::local()));
+        assert_eq!(boot.host_ids()[1], Some(wrong));
+        // Differing known identities ⇒ not same host, even on loopback.
+        assert!(!boot.same_host(0, 1));
+        assert!(boot.same_host(0, 0));
+    }
+
+    #[test]
+    fn same_host_falls_back_to_loopback_heuristic() {
+        let boot = TcpBootstrap::address_book(0, vec![free_addr(), free_addr()]).unwrap();
+        // Rank 1's identity is unknown, but both addresses are
+        // loopback, so the pair still negotiates same-host.
+        assert_eq!(boot.host_ids()[1], None);
+        assert!(boot.same_host(0, 1));
+    }
+
+    #[test]
+    fn topology_from_env_book_suffix_parses() {
+        // Exercise the suffix parser directly rather than through the
+        // (process-global) environment.
+        let local = HostId::local();
+        let entry = format!("127.0.0.1:9099@{local}");
+        let (addr, hex) = entry.rsplit_once('@').unwrap();
+        assert_eq!(addr.parse::<SocketAddr>().unwrap().port(), 9099);
+        assert_eq!(HostId::parse_hex(hex), Some(local));
     }
 
     fn socket_pair() -> (TcpStream, TcpStream) {

@@ -79,6 +79,17 @@ pub struct PortStats {
     /// Frames fully flushed to the kernel by vectored writes (`writev`)
     /// on this port's outgoing connections.
     pub writev_frames: AtomicU64,
+    /// Messages delivered to this port through a same-host shared-memory
+    /// ring instead of a socket ([`crate::TcpTransport`] with the shm
+    /// backend enabled). Always zero on pure-TCP and simulated runs.
+    pub shm_messages: AtomicU64,
+    /// Frame bytes delivered through shared-memory rings.
+    pub shm_bytes: AtomicU64,
+    /// Doorbell readiness events dispatched for this port (a producer
+    /// rang because the consumer looked idle, or a consumer rang a
+    /// blocked producer back). A low ratio of wakeups to shm messages
+    /// means the bounded-spin drain is batching well.
+    pub doorbell_wakeups: AtomicU64,
 }
 
 struct InFlight {

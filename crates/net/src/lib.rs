@@ -47,11 +47,13 @@ pub mod frame;
 pub mod message;
 pub mod model;
 pub mod reliability;
+pub mod shm;
 pub mod tcp;
 pub mod transport;
 
 pub use bootstrap::{
-    BootstrapError, BootstrapMode, TcpBootstrap, Topology, BOOTSTRAP_MAGIC, BOOTSTRAP_VERSION,
+    BootstrapError, BootstrapMode, HostId, TcpBootstrap, Topology, BOOTSTRAP_MAGIC,
+    BOOTSTRAP_VERSION,
 };
 pub use fabric::{Fabric, NetPort, PortStats, SimPort, SimTransport};
 pub use fault::{FaultAction, FaultPlan, FaultStage};
@@ -62,5 +64,6 @@ pub use frame::{
 pub use message::{Message, MessageKind};
 pub use model::LinkModel;
 pub use reliability::{DeliveryError, ReliabilityConfig, ReliablePort, ReliableTransport};
+pub use shm::{ShmNamespace, ShmSegment, ShmTuning};
 pub use tcp::{TcpPort, TcpTransport, TcpTuning};
 pub use transport::{NotifyFn, ReceiveHandler, Transport, TransportKind, TransportPort};

@@ -22,6 +22,7 @@ use crate::fabric::{PortStats, SimTransport};
 use crate::fault::FaultPlan;
 use crate::message::Message;
 use crate::model::LinkModel;
+use crate::shm::ShmTuning;
 use crate::tcp::{TcpTransport, TcpTuning};
 
 /// Handler invoked (from pump threads) for every delivered message.
@@ -129,6 +130,12 @@ pub enum TransportKind {
     /// [`TransportKind::TcpLoopback`] with explicit [`TcpTuning`]
     /// (e.g. more pump threads for very large connection fan-in).
     TcpTuned(TcpTuning),
+    /// The TCP transport with the shared-memory backend enabled:
+    /// same-host destinations are reached through SPSC byte rings in
+    /// shared segments (heap in all-in-one mode, mmap'd `/dev/shm`
+    /// files across processes) with doorbell wakeups; remote hosts and
+    /// oversize frames ride TCP ([`ShmTuning`] carries both knobs).
+    Shm(ShmTuning),
 }
 
 impl Default for TransportKind {
@@ -147,6 +154,7 @@ impl TransportKind {
             TransportKind::Sim(model) => Ok(SimTransport::new(localities, *model)),
             TransportKind::TcpLoopback => Ok(TcpTransport::new(localities)?),
             TransportKind::TcpTuned(tuning) => Ok(TcpTransport::with_tuning(localities, *tuning)?),
+            TransportKind::Shm(tuning) => Ok(TcpTransport::with_tuning_shm(localities, *tuning)?),
         }
     }
 
@@ -154,7 +162,7 @@ impl TransportKind {
     pub fn link_model(&self) -> Option<LinkModel> {
         match self {
             TransportKind::Sim(model) => Some(*model),
-            TransportKind::TcpLoopback | TransportKind::TcpTuned(_) => None,
+            TransportKind::TcpLoopback | TransportKind::TcpTuned(_) | TransportKind::Shm(_) => None,
         }
     }
 }
@@ -178,6 +186,10 @@ mod tests {
             .unwrap();
         assert_eq!(tuned.localities(), 2);
         assert_eq!(tuned.port(1).locality(), 1);
+
+        let shm = TransportKind::Shm(ShmTuning::default()).build(2).unwrap();
+        assert_eq!(shm.localities(), 2);
+        assert_eq!(shm.port(0).locality(), 0);
     }
 
     #[test]
@@ -191,6 +203,7 @@ mod tests {
             TransportKind::TcpTuned(TcpTuning::default()).link_model(),
             None
         );
+        assert_eq!(TransportKind::Shm(ShmTuning::default()).link_model(), None);
         assert_eq!(
             TransportKind::default().link_model(),
             Some(LinkModel::cluster())

@@ -14,8 +14,8 @@ use proptest::prelude::*;
 
 use rpx_net::{
     decode_frame, encode_frame, frame_len, FaultPlan, FrameError, LinkModel, Message, MessageKind,
-    ReliabilityConfig, ReliableTransport, TransportKind, TransportPort, FRAME_HEADER_LEN,
-    SEQ_OVERHEAD,
+    ReliabilityConfig, ReliableTransport, ShmTuning, TcpTuning, TransportKind, TransportPort,
+    FRAME_HEADER_LEN, SEQ_OVERHEAD,
 };
 
 /// Deterministic pseudo-random payload of `len` bytes (cheap to build
@@ -168,12 +168,22 @@ proptest! {
 // Behavioural conformance harness, run against both backends.
 // ---------------------------------------------------------------------
 
-/// The two backends under test. Sim uses a zero-cost link so conformance
+/// The backends under test. Sim uses a zero-cost link so conformance
 /// runs are fast; cost charging is covered by the fabric's own tests.
+/// The shm leg routes every same-host frame through SPSC rings (small
+/// rings force the full/backpressure/doorbell paths under load); faults
+/// and byte accounting must behave identically to the socket path.
 fn backends() -> Vec<(&'static str, TransportKind)> {
     vec![
         ("sim", TransportKind::Sim(LinkModel::zero())),
         ("tcp", TransportKind::TcpLoopback),
+        (
+            "shm",
+            TransportKind::Shm(ShmTuning {
+                tcp: TcpTuning::default(),
+                ring_bytes: 64 * 1024,
+            }),
+        ),
     ]
 }
 

@@ -25,7 +25,9 @@
 //! * [`ewma`] — exponentially weighted moving averages and rate estimators
 //!   used by the adaptive controller.
 //! * [`sync`] — lock-free read-mostly registries ([`SlotTable`],
-//!   [`BitTable`], [`ArcCell`]) backing the parcel send fast path.
+//!   [`BitTable`], [`ArcCell`]) backing the parcel send fast path, and
+//!   the SPSC byte ring ([`SpscProducer`]/[`SpscConsumer`]) underpinning
+//!   the shared-memory transport.
 //! * [`poll`] — the readiness [`Poller`] (epoll shim on Linux, portable
 //!   fallback elsewhere) and vectored-read helpers behind the
 //!   event-driven TCP transport's pump threads.
@@ -46,8 +48,11 @@ pub use complex::Complex64;
 pub use ewma::Ewma;
 pub use hist::{Histogram, LogHistogram};
 pub use ids::IdAllocator;
-pub use poll::{Event, Interest, Poller};
+pub use poll::{BellRinger, Doorbell, Event, Interest, Poller};
 pub use stats::{pearson, OnlineStats};
-pub use sync::{ArcCell, BitTable, SlotTable};
+pub use sync::{
+    heap_ring, ArcCell, BitTable, RingMemory, RingPop, RingPush, SlotTable, SpscConsumer,
+    SpscProducer, RING_HDR_BYTES,
+};
 pub use time::{busy_charge, spin_sleep, Stopwatch};
 pub use timer::{TimerHandle, TimerService};

@@ -158,6 +158,87 @@ pub unsafe fn read_vectored_spare(
     imp::read_vectored_spare(fd, main, overflow)
 }
 
+/// A wakeable "doorbell" for shared-memory transports: two readable
+/// descriptors that multiplex into the same [`Poller`] as TCP sockets.
+///
+/// * an **eventfd** (Linux) rung by [`Doorbell::ring_local`] — the
+///   cheap path for a producer *in the same process*;
+/// * an **abstract-namespace unix datagram socket** bound to the
+///   doorbell's name, rung by any process on the host via
+///   [`BellRinger::ring`] — no fd passing, no filesystem entry, and the
+///   kernel reclaims it automatically when the owner dies.
+///
+/// Register both [`Doorbell::event_fd`] and [`Doorbell::socket_fd`]
+/// readable under the same token; on wake, call [`Doorbell::drain`]
+/// (the fds are level-triggered until drained). On non-Linux targets
+/// both descriptors are pseudo-fds: the portable poller reports every
+/// registration ready on its 1 ms cadence, so ring delivery degrades to
+/// the tick without losing correctness.
+pub struct Doorbell {
+    imp: imp::Doorbell,
+}
+
+impl Doorbell {
+    /// Bind a doorbell under `name` (an abstract-namespace socket name;
+    /// keep it under ~100 bytes).
+    ///
+    /// # Errors
+    /// Fails if the socket cannot be bound (e.g. the name is taken).
+    pub fn bind(name: &str) -> io::Result<Doorbell> {
+        Ok(Doorbell {
+            imp: imp::Doorbell::bind(name)?,
+        })
+    }
+
+    /// The eventfd leg (register readable).
+    pub fn event_fd(&self) -> Fd {
+        self.imp.event_fd()
+    }
+
+    /// The datagram-socket leg (register readable).
+    pub fn socket_fd(&self) -> Fd {
+        self.imp.socket_fd()
+    }
+
+    /// Ring from within the owning process (writes the eventfd).
+    pub fn ring_local(&self) {
+        self.imp.ring_local();
+    }
+
+    /// Consume all pending rings on both legs, returning how many were
+    /// pending (0 on a spurious wake).
+    pub fn drain(&self) -> u64 {
+        self.imp.drain()
+    }
+}
+
+/// The sending side of cross-process doorbells: one unbound datagram
+/// socket that can ring any [`Doorbell`] on the host by name.
+pub struct BellRinger {
+    imp: imp::BellRinger,
+}
+
+impl BellRinger {
+    /// Create a ringer (one per process is plenty; sends are atomic).
+    ///
+    /// # Errors
+    /// Fails if the datagram socket cannot be created.
+    pub fn new() -> io::Result<BellRinger> {
+        Ok(BellRinger {
+            imp: imp::BellRinger::new()?,
+        })
+    }
+
+    /// Ring the doorbell bound under `name`. Best-effort: returns
+    /// `false` when nothing is bound there or the receiver's queue is
+    /// full (a full queue means wakes are already pending, so the
+    /// receiver will drain regardless — a ring is never *lost*, only
+    /// coalesced).
+    pub fn ring(&self, name: &str) -> bool {
+        self.imp.ring(name)
+    }
+}
+
 #[cfg(target_os = "linux")]
 mod imp {
     //! The Linux implementation: `epoll` + `eventfd`, declared straight
@@ -374,6 +455,168 @@ mod imp {
             return Ok(n as usize);
         }
     }
+
+    // ---- doorbell: eventfd + abstract unix datagram socket ----------
+
+    const AF_UNIX: u16 = 1;
+    const SOCK_DGRAM: i32 = 2;
+    const SOCK_NONBLOCK: i32 = 0x800;
+    const SOCK_CLOEXEC: i32 = 0x8_0000;
+
+    /// `struct sockaddr_un`.
+    #[repr(C)]
+    struct SockaddrUn {
+        family: u16,
+        path: [u8; 108],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrUn, len: u32) -> i32;
+        fn sendto(
+            fd: i32,
+            buf: *const u8,
+            len: usize,
+            flags: i32,
+            addr: *const SockaddrUn,
+            addrlen: u32,
+        ) -> isize;
+        fn recv(fd: i32, buf: *mut u8, len: usize, flags: i32) -> isize;
+    }
+
+    /// An abstract-namespace address (`sun_path[0] == 0`); returns the
+    /// sockaddr and its length, or `None` when the name is too long.
+    fn abstract_addr(name: &str) -> Option<(SockaddrUn, u32)> {
+        let bytes = name.as_bytes();
+        if bytes.is_empty() || bytes.len() > 106 {
+            return None;
+        }
+        let mut addr = SockaddrUn {
+            family: AF_UNIX,
+            path: [0; 108],
+        };
+        addr.path[1..1 + bytes.len()].copy_from_slice(bytes);
+        Some((addr, (2 + 1 + bytes.len()) as u32))
+    }
+
+    pub(super) struct Doorbell {
+        efd: Fd,
+        sfd: Fd,
+    }
+
+    // SAFETY: plain kernel handles; reads/writes on them are
+    // thread-safe.
+    unsafe impl Send for Doorbell {}
+    unsafe impl Sync for Doorbell {}
+
+    impl Doorbell {
+        pub(super) fn bind(name: &str) -> io::Result<Doorbell> {
+            let (addr, addrlen) = abstract_addr(name)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "doorbell name"))?;
+            // SAFETY: plain syscalls; `addr` outlives the bind call.
+            let sfd = cvt(unsafe {
+                socket(AF_UNIX as i32, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0)
+            })?;
+            // SAFETY: as above.
+            if let Err(e) = cvt(unsafe { bind(sfd, &addr, addrlen) }) {
+                // SAFETY: sfd is ours to close.
+                unsafe { close(sfd) };
+                return Err(e);
+            }
+            // SAFETY: plain syscall creating a fresh descriptor.
+            let efd = match cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) }) {
+                Ok(fd) => fd,
+                Err(e) => {
+                    // SAFETY: sfd is ours to close.
+                    unsafe { close(sfd) };
+                    return Err(e);
+                }
+            };
+            Ok(Doorbell { efd, sfd })
+        }
+
+        pub(super) fn event_fd(&self) -> Fd {
+            self.efd
+        }
+
+        pub(super) fn socket_fd(&self) -> Fd {
+            self.sfd
+        }
+
+        pub(super) fn ring_local(&self) {
+            let one = 1u64.to_ne_bytes();
+            // SAFETY: valid 8-byte buffer, the eventfd write contract.
+            let _ = unsafe { write(self.efd, one.as_ptr(), one.len()) };
+        }
+
+        pub(super) fn drain(&self) -> u64 {
+            let mut rings = 0u64;
+            let mut buf = [0u8; 8];
+            // SAFETY: valid 8-byte buffer; a non-blocking eventfd read
+            // returns the accumulated count and resets it.
+            let n = unsafe { read(self.efd, buf.as_mut_ptr(), buf.len()) };
+            if n == 8 {
+                rings += u64::from_ne_bytes(buf);
+            }
+            loop {
+                let mut b = [0u8; 8];
+                // SAFETY: valid buffer; non-blocking datagram recv.
+                let n = unsafe { recv(self.sfd, b.as_mut_ptr(), b.len(), 0) };
+                if n < 0 {
+                    break; // EAGAIN: drained
+                }
+                rings += 1;
+            }
+            rings
+        }
+    }
+
+    impl Drop for Doorbell {
+        fn drop(&mut self) {
+            // SAFETY: both fds belong to this doorbell exclusively.
+            unsafe {
+                close(self.efd);
+                close(self.sfd);
+            }
+        }
+    }
+
+    pub(super) struct BellRinger {
+        fd: Fd,
+    }
+
+    // SAFETY: a kernel handle; `sendto` on it is thread-safe.
+    unsafe impl Send for BellRinger {}
+    unsafe impl Sync for BellRinger {}
+
+    impl BellRinger {
+        pub(super) fn new() -> io::Result<BellRinger> {
+            // SAFETY: plain syscall creating a fresh descriptor.
+            let fd = cvt(unsafe {
+                socket(AF_UNIX as i32, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0)
+            })?;
+            Ok(BellRinger { fd })
+        }
+
+        pub(super) fn ring(&self, name: &str) -> bool {
+            let Some((addr, addrlen)) = abstract_addr(name) else {
+                return false;
+            };
+            let byte = [1u8];
+            // SAFETY: valid 1-byte buffer and sockaddr for the call.
+            let n = unsafe { sendto(self.fd, byte.as_ptr(), 1, 0, &addr, addrlen) };
+            n == 1
+        }
+    }
+
+    impl Drop for BellRinger {
+        fn drop(&mut self) {
+            // SAFETY: the fd belongs to this ringer exclusively.
+            unsafe {
+                close(self.fd);
+            }
+        }
+    }
 }
 
 #[cfg(not(target_os = "linux"))]
@@ -476,6 +719,64 @@ mod imp {
                 return Err(e);
             }
             return Ok(n as usize);
+        }
+    }
+
+    // ---- doorbell fallback ------------------------------------------
+    //
+    // Pseudo-fds high above any real descriptor range keep the portable
+    // poller's registry happy; ring delivery degrades to the poller's
+    // 1 ms spurious-readiness tick, which the level-triggered contract
+    // already allows. Cross-process ringing is a Linux-only feature.
+
+    use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+
+    fn pseudo_fd() -> Fd {
+        static NEXT: AtomicI32 = AtomicI32::new(1 << 24);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(super) struct Doorbell {
+        efd: Fd,
+        sfd: Fd,
+        rings: AtomicU64,
+    }
+
+    impl Doorbell {
+        pub(super) fn bind(_name: &str) -> io::Result<Doorbell> {
+            Ok(Doorbell {
+                efd: pseudo_fd(),
+                sfd: pseudo_fd(),
+                rings: AtomicU64::new(0),
+            })
+        }
+
+        pub(super) fn event_fd(&self) -> Fd {
+            self.efd
+        }
+
+        pub(super) fn socket_fd(&self) -> Fd {
+            self.sfd
+        }
+
+        pub(super) fn ring_local(&self) {
+            self.rings.fetch_add(1, Ordering::Relaxed);
+        }
+
+        pub(super) fn drain(&self) -> u64 {
+            self.rings.swap(0, Ordering::Relaxed)
+        }
+    }
+
+    pub(super) struct BellRinger;
+
+    impl BellRinger {
+        pub(super) fn new() -> io::Result<BellRinger> {
+            Ok(BellRinger)
+        }
+
+        pub(super) fn ring(&self, _name: &str) -> bool {
+            false
         }
     }
 }
@@ -623,6 +924,65 @@ mod tests {
             }
             assert!(Instant::now() < deadline);
         }
+    }
+
+    #[test]
+    fn doorbell_local_ring_wakes_poller_and_drains() {
+        let bell = Doorbell::bind("rpx-test-bell-local").unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .register(bell.event_fd(), 42, Interest::READ)
+            .unwrap();
+        poller
+            .register(bell.socket_fd(), 42, Interest::READ)
+            .unwrap();
+        let mut events = Vec::new();
+        bell.ring_local();
+        bell.ring_local();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 42 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "bell event never fired");
+        }
+        assert_eq!(bell.drain(), 2, "both rings coalesce into one drain");
+        assert_eq!(bell.drain(), 0, "drained bell is quiet");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn doorbell_remote_ring_by_name() {
+        let bell = Doorbell::bind("rpx-test-bell-remote").unwrap();
+        let ringer = BellRinger::new().unwrap();
+        assert!(ringer.ring("rpx-test-bell-remote"));
+        assert!(
+            !ringer.ring("rpx-test-bell-nobody-home"),
+            "ringing an unbound name reports false"
+        );
+        let poller = Poller::new().unwrap();
+        poller
+            .register(bell.socket_fd(), 5, Interest::READ)
+            .unwrap();
+        let mut events = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 5 && e.readable) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "datagram ring never fired");
+        }
+        assert_eq!(bell.drain(), 1);
+        // The name frees up the moment the doorbell drops.
+        drop(bell);
+        let again = Doorbell::bind("rpx-test-bell-remote").unwrap();
+        drop(again);
     }
 
     #[test]

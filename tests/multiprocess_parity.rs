@@ -16,8 +16,10 @@ use std::path::PathBuf;
 use std::process::Command;
 use std::time::{Duration, Instant};
 
-use rpx::{BootstrapMode, Runtime, RuntimeConfig, Topology, TransportKind};
-use rpx_apps::{run_parquet_rank, run_toy_rank, MultiprocParquetConfig, MultiprocToyConfig, RankStats};
+use rpx::{BootstrapMode, Runtime, RuntimeConfig, ShmTuning, Topology, TransportKind};
+use rpx_apps::{
+    run_parquet_rank, run_toy_rank, MultiprocParquetConfig, MultiprocToyConfig, RankStats,
+};
 
 /// Reserve `n` distinct loopback addresses the same way the launcher
 /// does: bind ephemeral listeners, record their addresses, drop them.
@@ -111,7 +113,10 @@ fn toy_rank_thread(
             topology: Some(Topology {
                 rank,
                 num_localities: book.len() as u32,
-                bootstrap: BootstrapMode::AddressBook(book),
+                bootstrap: BootstrapMode::AddressBook {
+                    hosts: vec![None; book.len()],
+                    addrs: book,
+                },
             }),
             ..RuntimeConfig::default()
         })
@@ -145,11 +150,11 @@ fn address_book_cluster_boots_and_runs_in_process() {
 }
 
 /// Fig. 5's premise, mode-independent: same parcels and checksums on the
-/// Sim fabric and on in-process TCP, with coalescing visibly reducing
-/// message counts in both (the counts themselves are timing-dependent
-/// and not compared across modes).
+/// Sim fabric, on in-process TCP, and on the shared-memory backend, with
+/// coalescing visibly reducing message counts in all three (the counts
+/// themselves are timing-dependent and not compared across modes).
 #[test]
-fn toy_outcomes_identical_across_sim_and_tcp_in_process() {
+fn toy_outcomes_identical_across_sim_tcp_and_shm_in_process() {
     let run = |transport: TransportKind| {
         let rt = Runtime::new(RuntimeConfig {
             transport,
@@ -161,9 +166,17 @@ fn toy_outcomes_identical_across_sim_and_tcp_in_process() {
     };
     let sim = run(TransportKind::default());
     let tcp = run(TransportKind::TcpLoopback);
-    assert_eq!(sim.per_rank, tcp.per_rank, "deterministic outcomes match bit-for-bit");
+    let shm = run(TransportKind::Shm(ShmTuning::default()));
+    assert_eq!(
+        sim.per_rank, tcp.per_rank,
+        "sim/tcp outcomes match bit-for-bit"
+    );
+    assert_eq!(
+        sim.per_rank, shm.per_rank,
+        "sim/shm outcomes match bit-for-bit"
+    );
     let total_parcels: u64 = sim.per_rank.iter().map(|s| s.parcels_sent).sum();
-    for (mode, report) in [("sim", &sim), ("tcp", &tcp)] {
+    for (mode, report) in [("sim", &sim), ("tcp", &tcp), ("shm", &shm)] {
         assert!(
             report.messages_counted > 0 && report.messages_counted < total_parcels,
             "{mode}: coalescing reduced {total_parcels} parcels to fewer messages \
@@ -183,7 +196,8 @@ fn toy_parity_across_process_boundary() {
     let reference = run_toy_rank(&rt, &worker_toy_cfg()).expect("reference run");
     rt.shutdown();
 
-    let (code, _, aggregate) = run_launch("toy", &["-n", "2", "--timeout-s", "90", "--", "toy"], &[]);
+    let (code, _, aggregate) =
+        run_launch("toy", &["-n", "2", "--timeout-s", "90", "--", "toy"], &[]);
     assert_eq!(code, 0, "launch -n 2 -- toy exits cleanly");
     let aggregate = aggregate.expect("aggregate report written");
     for s in &reference.per_rank {
@@ -191,7 +205,11 @@ fn toy_parity_across_process_boundary() {
             .unwrap_or_else(|| panic!("rank {} parcels counter in aggregate", s.rank));
         let re = counter_value(&aggregate, s.rank, "/app/checksum-re").expect("checksum-re");
         let im = counter_value(&aggregate, s.rank, "/app/checksum-im").expect("checksum-im");
-        assert_eq!(parcels as u64, s.parcels_sent, "rank {} parcel count", s.rank);
+        assert_eq!(
+            parcels as u64, s.parcels_sent,
+            "rank {} parcel count",
+            s.rank
+        );
         assert_eq!(re, s.checksum.re, "rank {} checksum.re bit-for-bit", s.rank);
         assert_eq!(im, s.checksum.im, "rank {} checksum.im bit-for-bit", s.rank);
         // Multi-process dumps also carry the process-level counters.
@@ -215,8 +233,11 @@ fn parquet_parity_across_process_boundary() {
     let reference = run_parquet_rank(&rt, &cfg).expect("reference run");
     rt.shutdown();
 
-    let (code, _, aggregate) =
-        run_launch("parquet", &["-n", "2", "--timeout-s", "90", "--", "parquet"], &[]);
+    let (code, _, aggregate) = run_launch(
+        "parquet",
+        &["-n", "2", "--timeout-s", "90", "--", "parquet"],
+        &[],
+    );
     assert_eq!(code, 0, "launch -n 2 -- parquet exits cleanly");
     let aggregate = aggregate.expect("aggregate report written");
     let expected = (8 * cfg.nc * cfg.nc / 2 * cfg.iterations) as u64;
@@ -224,19 +245,89 @@ fn parquet_parity_across_process_boundary() {
         assert_eq!(s.parcels_sent, expected, "reference parcel count");
         let parcels = counter_value(&aggregate, s.rank, "/app/parcels-sent").expect("parcels");
         let re = counter_value(&aggregate, s.rank, "/app/checksum-re").expect("checksum-re");
-        assert_eq!(parcels as u64, s.parcels_sent, "rank {} parcel count", s.rank);
+        assert_eq!(
+            parcels as u64, s.parcels_sent,
+            "rank {} parcel count",
+            s.rank
+        );
         assert_eq!(re, s.checksum.re, "rank {} checksum.re bit-for-bit", s.rank);
     }
+}
+
+/// The shm tentpole parity claim: the same 2-process toy run, once over
+/// shared-memory rings (`--expect-shm` proves no frame crossed a socket)
+/// and once over forced TCP, reports bit-for-bit identical checksums —
+/// which also match the all-in-one Sim reference. Backends are
+/// observationally indistinguishable above the transport seam.
+#[test]
+fn toy_parity_across_shm_and_tcp_process_runs() {
+    let rt = Runtime::new(RuntimeConfig::default());
+    let reference = run_toy_rank(&rt, &worker_toy_cfg()).expect("reference run");
+    rt.shutdown();
+
+    let (shm_code, _, shm_agg) = run_launch(
+        "shm",
+        &["-n", "2", "--timeout-s", "90", "--expect-shm", "--", "toy"],
+        &[("RPX_TRANSPORT", "shm")],
+    );
+    assert_eq!(shm_code, 0, "shm launch exits cleanly with --expect-shm");
+    let (tcp_code, _, tcp_agg) = run_launch(
+        "tcpforce",
+        &["-n", "2", "--timeout-s", "90", "--", "toy"],
+        &[("RPX_TRANSPORT", "tcp")],
+    );
+    assert_eq!(tcp_code, 0, "forced-tcp launch exits cleanly");
+    let shm_agg = shm_agg.expect("shm aggregate written");
+    let tcp_agg = tcp_agg.expect("tcp aggregate written");
+    for s in &reference.per_rank {
+        for (mode, agg) in [("shm", &shm_agg), ("tcp", &tcp_agg)] {
+            let re = counter_value(agg, s.rank, "/app/checksum-re")
+                .unwrap_or_else(|| panic!("{mode} rank {} checksum-re", s.rank));
+            let im = counter_value(agg, s.rank, "/app/checksum-im")
+                .unwrap_or_else(|| panic!("{mode} rank {} checksum-im", s.rank));
+            assert_eq!(re, s.checksum.re, "{mode} rank {} checksum.re", s.rank);
+            assert_eq!(im, s.checksum.im, "{mode} rank {} checksum.im", s.rank);
+        }
+    }
+    // The routing really differed: shm run moved frames over rings, the
+    // forced-tcp run over sockets.
+    assert!(
+        counter_value(&shm_agg, 0, "/network/shm-messages").unwrap_or(0.0) > 0.0,
+        "shm run recorded ring deliveries"
+    );
+    assert_eq!(
+        counter_value(&tcp_agg, 0, "/network/shm-messages").unwrap_or(-1.0),
+        0.0,
+        "forced-tcp run never touched a ring"
+    );
 }
 
 /// The chaos suite holds across real process boundaries: with the
 /// outbound wire dropping/corrupting/duplicating/reordering frames, the
 /// reliability layer still delivers every parcel exactly once (the
 /// workers verify counts internally and exit non-zero on any loss).
+/// Workers default to shm routing, so the faulty wire here IS the
+/// shared-memory path.
 #[test]
 fn chaos_toy_survives_process_boundaries() {
-    let (code, _, _) = run_launch("chaos", &["-n", "2", "--timeout-s", "90", "--", "chaos"], &[]);
+    let (code, _, _) = run_launch(
+        "chaos",
+        &["-n", "2", "--timeout-s", "90", "--", "chaos"],
+        &[],
+    );
     assert_eq!(code, 0, "chaos workers verified exact delivery");
+}
+
+/// Same chaos invariant with shm routing explicitly disabled: the
+/// reliability layer must not depend on which wire carries the faults.
+#[test]
+fn chaos_toy_survives_process_boundaries_over_tcp() {
+    let (code, _, _) = run_launch(
+        "chaos-tcp",
+        &["-n", "2", "--timeout-s", "90", "--", "chaos"],
+        &[("RPX_TRANSPORT", "tcp")],
+    );
+    assert_eq!(code, 0, "chaos workers verified exact delivery over tcp");
 }
 
 /// Killing one rank mid-run must surface as a non-zero launcher exit
@@ -305,5 +396,8 @@ fn survivor_exits_nonzero_without_launcher_intervention() {
         std::thread::sleep(Duration::from_millis(20));
     };
     let _ = victim.wait();
-    assert_ne!(code, 0, "survivor reported the broken deliveries, exit {code}");
+    assert_ne!(
+        code, 0,
+        "survivor reported the broken deliveries, exit {code}"
+    );
 }

@@ -120,9 +120,7 @@ impl Bytes {
             // SAFETY: [off, off+len) was fully written before this view was
             // created and is never mutated afterwards (writer appends only
             // past the frozen boundary).
-            Repr::Owned(a) => unsafe {
-                std::slice::from_raw_parts(a.ptr.add(self.off), self.len)
-            },
+            Repr::Owned(a) => unsafe { std::slice::from_raw_parts(a.ptr.add(self.off), self.len) },
         }
     }
 }
@@ -300,7 +298,10 @@ impl BytesMut {
         if pending > 0 {
             // SAFETY: [start, len) is this handle's own written region.
             unsafe {
-                let a = self.alloc.as_ref().expect("pending bytes imply an allocation");
+                let a = self
+                    .alloc
+                    .as_ref()
+                    .expect("pending bytes imply an allocation");
                 v.extend_from_slice(std::slice::from_raw_parts(a.ptr.add(self.start), pending));
             }
         }

@@ -29,9 +29,7 @@ impl Default for Criterion {
         // First positional (non-flag) argument is a name filter, matching
         // criterion's CLI. Flags like `--bench` that cargo injects are
         // ignored.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 }
@@ -210,8 +208,7 @@ impl Bencher {
         }
         let est_ns = (warm_elapsed.as_nanos() as f64 / warm_iters as f64).max(0.1);
 
-        let per_sample_ns =
-            self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let per_sample_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
         let iters = ((per_sample_ns / est_ns) as u64).max(1);
         for _ in 0..self.sample_size {
             let start = Instant::now();
@@ -229,8 +226,7 @@ impl Bencher {
     pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
         let probe = routine(1);
         let est_ns = (probe.as_nanos() as f64).max(0.1);
-        let per_sample_ns =
-            self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let per_sample_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
         let iters = ((per_sample_ns / est_ns) as u64).max(1);
         for _ in 0..self.sample_size {
             let elapsed = routine(iters);
