@@ -83,9 +83,9 @@ pub fn run_alltoall(
     let localities = rt.num_localities();
     assert!(localities >= 2, "all-to-all needs at least two localities");
 
-    let action = rt.register_action(ALLTOALL_ACTION, |payload: Vec<u64>| {
-        payload.iter().sum::<u64>()
-    });
+    let action = rt
+        .action(ALLTOALL_ACTION)
+        .register(|payload: Vec<u64>| payload.iter().sum::<u64>());
     let control = match &config.coalescing {
         Some(p) => Some(rt.enable_coalescing(ALLTOALL_ACTION, *p)?),
         None => None,

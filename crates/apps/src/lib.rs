@@ -14,6 +14,9 @@
 //!   iteration barrier. Drives Figs. 6, 7 and 8. (The physics is replaced
 //!   by a stand-in kernel; only the communication pattern matters to the
 //!   paper's measurements.)
+//! * [`statesync`] — the newest-wins **state-sync** fan-in: many monotone
+//!   update streams converge on one consumer, the showcase (and ≥ 2×
+//!   wire-byte record) for the `Coalesce` delivery class.
 //! * [`workloads`] — parameterised arrival-pattern generators (uniform,
 //!   bursty, sparse) used by the adaptive-controller evaluation and the
 //!   sparse-bypass ablation.
@@ -27,6 +30,7 @@ pub mod alltoall;
 pub mod driver;
 pub mod multiproc;
 pub mod parquet;
+pub mod statesync;
 pub mod toy;
 pub mod workloads;
 
@@ -37,5 +41,8 @@ pub use multiproc::{
     RankStats,
 };
 pub use parquet::{ParquetConfig, ParquetReport};
+pub use statesync::{
+    run_statesync, run_statesync_pair, StateSyncConfig, StateSyncPair, StateSyncReport,
+};
 pub use toy::{ToyConfig, ToyReport};
 pub use workloads::ArrivalPattern;

@@ -87,7 +87,9 @@ pub fn run_toy_rank(
 ) -> Result<MultiprocReport, RuntimeError> {
     let n = rt.num_localities();
     assert!(n >= 2, "toy app needs at least two localities");
-    let action = rt.register_action(TOY_ACTION, |(): ()| Complex64::new(13.3, -23.8));
+    let action = rt
+        .action(TOY_ACTION)
+        .register(|(): ()| Complex64::new(13.3, -23.8));
     // All ranks must agree on the action table before any parcel flows;
     // doubles as the boot barrier (every peer is up and reachable).
     rt.verify_registration(config.control_timeout)?;
@@ -201,13 +203,15 @@ pub fn run_parquet_rank(
     let n = rt.num_localities();
     assert!(n >= 2, "parquet proxy needs at least two localities");
     let nc = config.nc;
-    let action = rt.register_action(ROTATE_ACTION, move |row: Vec<Complex64>| {
-        let mut sum = Complex64::ZERO;
-        for v in &row {
-            sum += *v;
-        }
-        sum.re
-    });
+    let action = rt
+        .action(ROTATE_ACTION)
+        .register(move |row: Vec<Complex64>| {
+            let mut sum = Complex64::ZERO;
+            for v in &row {
+                sum += *v;
+            }
+            sum.re
+        });
     rt.verify_registration(config.control_timeout)?;
     let control = match &config.coalescing {
         Some(params) => Some(rt.enable_coalescing(ROTATE_ACTION, *params)?),

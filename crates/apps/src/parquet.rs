@@ -151,14 +151,16 @@ pub fn run_parquet(
     // The rotation action: receive a row of Nc complex doubles and fold
     // it into the local tensor (represented by its running checksum —
     // the physics is out of scope, the data movement is not).
-    let action = rt.register_action(ROTATE_ACTION, move |row: Vec<Complex64>| {
-        debug_assert_eq!(row.len(), nc);
-        let mut sum = Complex64::ZERO;
-        for v in &row {
-            sum += *v;
-        }
-        sum.re
-    });
+    let action = rt
+        .action(ROTATE_ACTION)
+        .register(move |row: Vec<Complex64>| {
+            debug_assert_eq!(row.len(), nc);
+            let mut sum = Complex64::ZERO;
+            for v in &row {
+                sum += *v;
+            }
+            sum.re
+        });
     let control = match &config.coalescing {
         Some(params) => Some(rt.enable_coalescing(ROTATE_ACTION, *params)?),
         None => None,

@@ -1,0 +1,237 @@
+//! The state-synchronisation workload: the showcase for the
+//! [`DeliveryClass::Coalesce`] mailbox.
+//!
+//! Many producer streams publish monotone state updates (think particle
+//! positions, progress watermarks, load gauges) to one consumer at a
+//! rate far above the consumer's refresh rate. Only the **newest** value
+//! per stream matters, so a Lossless channel wastes wire on values that
+//! are superseded before they are read. Registering the action under
+//! [`DeliveryClass::Coalesce`] replaces the per-(destination, action)
+//! queue with a newest-wins mailbox: updates inside one flush interval
+//! collapse to a single wire message, while the final value is still
+//! guaranteed to arrive.
+//!
+//! [`run_statesync`] drives one class; [`run_statesync_pair`] runs the
+//! same traffic under Lossless and Coalesce on fresh runtimes and
+//! reports the wire-byte reduction (the EXPERIMENTS.md "≥ 2×" record).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rpx::{CounterValue, DeliveryClass, Runtime, RuntimeConfig, RuntimeError};
+
+/// Configuration of one state-sync run.
+#[derive(Debug, Clone)]
+pub struct StateSyncConfig {
+    /// Independent update streams fanning in on the consumer. Each
+    /// stream registers its own action, so each gets its own mailbox.
+    pub producers: usize,
+    /// Monotone updates published per stream (values `1..=updates`).
+    pub updates_per_stream: u64,
+    /// Gap between successive update rounds. The workload's premise is
+    /// that this is much shorter than `coalesce_interval` — the default
+    /// pair keeps producers at 10× the flush rate.
+    pub update_interval: Duration,
+    /// Mailbox flush interval for the Coalesce class (ignored by
+    /// Lossless registration).
+    pub coalesce_interval: Duration,
+    /// Delivery class the streams are registered under.
+    pub class: DeliveryClass,
+}
+
+impl Default for StateSyncConfig {
+    fn default() -> Self {
+        StateSyncConfig {
+            producers: 8,
+            updates_per_stream: 200,
+            update_interval: Duration::from_micros(200),
+            coalesce_interval: Duration::from_millis(2),
+            class: DeliveryClass::Coalesce,
+        }
+    }
+}
+
+/// The outcome of one state-sync run.
+#[derive(Debug, Clone)]
+pub struct StateSyncReport {
+    /// Updates published across all streams.
+    pub updates_sent: u64,
+    /// Handler executions on the consumer (≤ `updates_sent` under
+    /// Coalesce, == under Lossless on a clean wire).
+    pub deliveries: u64,
+    /// Wire bytes the producer locality spent on this run.
+    pub wire_bytes: i64,
+    /// Wire messages the producer locality sent.
+    pub messages_sent: i64,
+    /// Wall time from first publish to every stream reading its final
+    /// value.
+    pub wall: Duration,
+}
+
+/// Prefix of the per-stream action names (`statesync::k<i>`).
+pub const STATESYNC_ACTION_PREFIX: &str = "statesync::k";
+
+fn net_counter(rt: &Runtime, path: &str) -> i64 {
+    match rt.query(0, path) {
+        Ok(CounterValue::Int(v)) => v,
+        _ => 0,
+    }
+}
+
+/// Run the state-sync workload on `rt` (needs ≥ 2 localities): locality
+/// 0 publishes every stream, locality 1 consumes.
+pub fn run_statesync(
+    rt: &Arc<Runtime>,
+    config: &StateSyncConfig,
+) -> Result<StateSyncReport, RuntimeError> {
+    assert!(rt.num_localities() >= 2, "state-sync needs a consumer");
+    let streams = config.producers;
+    let updates = config.updates_per_stream;
+
+    let latest: Arc<Vec<AtomicU64>> = Arc::new((0..streams).map(|_| AtomicU64::new(0)).collect());
+    let deliveries = Arc::new(AtomicU64::new(0));
+    let mut actions = Vec::with_capacity(streams);
+    for k in 0..streams {
+        let (latest, deliveries) = (Arc::clone(&latest), Arc::clone(&deliveries));
+        actions.push(
+            rt.action(&format!("{STATESYNC_ACTION_PREFIX}{k}"))
+                .delivery(config.class)
+                .coalesce_interval(config.coalesce_interval)
+                .register(move |v: u64| {
+                    latest[k].fetch_max(v, Ordering::SeqCst);
+                    deliveries.fetch_add(1, Ordering::SeqCst);
+                }),
+        );
+    }
+
+    let bytes_before = net_counter(rt, "/network/bytes-sent");
+    let messages_before = net_counter(rt, "/network/messages-sent");
+    let started = Instant::now();
+
+    let interval = config.update_interval;
+    rt.run_on(0, move |ctx| {
+        for v in 1..=updates {
+            for act in &actions {
+                ctx.apply(act, 1, v);
+            }
+            if !interval.is_zero() {
+                std::thread::sleep(interval);
+            }
+        }
+    });
+
+    // The Coalesce mailbox holds the newest value until its flush timer
+    // fires, invisible to the quiescence gauges — so completion is "every
+    // stream has read its final value", polled with a deadline.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while latest.iter().any(|l| l.load(Ordering::SeqCst) != updates) {
+        if Instant::now() >= deadline {
+            return Err(RuntimeError::ControlTimeout("state-sync final values"));
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let wall = started.elapsed();
+    rt.wait_quiescent(Duration::from_secs(30));
+
+    Ok(StateSyncReport {
+        updates_sent: streams as u64 * updates,
+        deliveries: deliveries.load(Ordering::SeqCst),
+        wire_bytes: net_counter(rt, "/network/bytes-sent") - bytes_before,
+        messages_sent: net_counter(rt, "/network/messages-sent") - messages_before,
+        wall,
+    })
+}
+
+/// The Lossless and Coalesce halves of one comparison run.
+#[derive(Debug, Clone)]
+pub struct StateSyncPair {
+    /// The run with every update delivered.
+    pub lossless: StateSyncReport,
+    /// The run with newest-wins mailboxes.
+    pub coalesce: StateSyncReport,
+}
+
+impl StateSyncPair {
+    /// Wire-byte reduction factor of Coalesce over Lossless.
+    pub fn wire_byte_reduction(&self) -> f64 {
+        self.lossless.wire_bytes as f64 / self.coalesce.wire_bytes.max(1) as f64
+    }
+}
+
+/// Run the same traffic under both classes on fresh two-locality
+/// runtimes and report the pair.
+pub fn run_statesync_pair(config: &StateSyncConfig) -> Result<StateSyncPair, RuntimeError> {
+    let run = |class: DeliveryClass| -> Result<StateSyncReport, RuntimeError> {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let report = run_statesync(
+            &rt,
+            &StateSyncConfig {
+                class,
+                ..config.clone()
+            },
+        );
+        rt.shutdown();
+        report
+    };
+    Ok(StateSyncPair {
+        lossless: run(DeliveryClass::Lossless)?,
+        coalesce: run(DeliveryClass::Coalesce)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StateSyncConfig {
+        StateSyncConfig {
+            producers: 6,
+            updates_per_stream: 120,
+            update_interval: Duration::from_micros(100),
+            coalesce_interval: Duration::from_millis(1),
+            class: DeliveryClass::Coalesce,
+        }
+    }
+
+    #[test]
+    fn lossless_delivers_every_update() {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let report = run_statesync(
+            &rt,
+            &StateSyncConfig {
+                class: DeliveryClass::Lossless,
+                ..tiny()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.deliveries, report.updates_sent);
+        assert!(report.wire_bytes > 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn coalesce_collapses_updates_but_lands_the_final_value() {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let report = run_statesync(&rt, &tiny()).unwrap();
+        // run_statesync only returns once every stream read its final
+        // value; the mailbox must still have merged the torrent.
+        assert!(
+            report.deliveries < report.updates_sent,
+            "nothing coalesced: {report:?}"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn coalesce_cuts_wire_bytes_at_least_2x() {
+        let pair = run_statesync_pair(&tiny()).unwrap();
+        assert!(
+            pair.wire_byte_reduction() >= 2.0,
+            "reduction {:.2}× — lossless {} B vs coalesce {} B",
+            pair.wire_byte_reduction(),
+            pair.lossless.wire_bytes,
+            pair.coalesce.wire_bytes
+        );
+    }
+}

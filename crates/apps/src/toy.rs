@@ -115,7 +115,9 @@ pub const TOY_ACTION: &str = "toy::get_cplx";
 pub fn run_toy(rt: &Arc<Runtime>, config: &ToyConfig) -> Result<ToyReport, RuntimeError> {
     assert!(rt.num_localities() >= 2, "toy app needs two localities");
     // Listing 1: the action returns complex<double>(13.3, -23.8).
-    let action = rt.register_action(TOY_ACTION, |(): ()| Complex64::new(13.3, -23.8));
+    let action = rt
+        .action(TOY_ACTION)
+        .register(|(): ()| Complex64::new(13.3, -23.8));
     let control = match &config.coalescing {
         Some(params) => Some(rt.enable_coalescing(TOY_ACTION, *params)?),
         None => None,

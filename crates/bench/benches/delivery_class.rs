@@ -1,0 +1,138 @@
+//! Delivery-class comparison on the state-sync fan-in shape.
+//!
+//! 64 update streams (`DELIVERY_STREAMS` env overrides) fan in on one
+//! consumer locality; each timed round publishes a burst of monotone
+//! updates per stream and waits for the round to land. The same traffic
+//! runs under each delivery class:
+//!
+//! * `lossless` — every update sequenced and delivered; the round ends
+//!   when every handler ran.
+//! * `best_effort` — unsequenced, no acks; on the clean in-process wire
+//!   nothing sheds, so the round also ends on full delivery and the
+//!   delta against `lossless` is the sequencing overhead itself.
+//! * `coalesce` — per-stream newest-wins mailboxes; the round ends when
+//!   every stream has read its **final** value, so the reported time is
+//!   the freshness latency the mailbox trades the dropped wire volume
+//!   for.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpx::{DeliveryClass, Runtime, RuntimeConfig};
+
+const UPDATES_PER_STREAM: u64 = 8;
+
+fn delivery_streams() -> usize {
+    std::env::var("DELIVERY_STREAMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+struct Harness {
+    rt: Arc<Runtime>,
+    actions: Vec<rpx::ActionHandle<u64, ()>>,
+    hits: Arc<AtomicU64>,
+    latest: Arc<Vec<AtomicU64>>,
+    /// Highest value published so far (values stay monotone across
+    /// rounds so the Coalesce receive filter never discards a round's
+    /// final value as stale).
+    watermark: u64,
+}
+
+impl Harness {
+    fn new(class: DeliveryClass, streams: usize) -> Self {
+        let rt = Runtime::new(RuntimeConfig {
+            localities: 2,
+            workers_per_locality: 2,
+            ..RuntimeConfig::default()
+        });
+        let hits = Arc::new(AtomicU64::new(0));
+        let latest: Arc<Vec<AtomicU64>> =
+            Arc::new((0..streams).map(|_| AtomicU64::new(0)).collect());
+        let actions = (0..streams)
+            .map(|k| {
+                let (hits, latest) = (Arc::clone(&hits), Arc::clone(&latest));
+                rt.action(&format!("bench::sync{k}"))
+                    .delivery(class)
+                    .coalesce_interval(Duration::from_micros(100))
+                    .register(move |v: u64| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        latest[k].fetch_max(v, Ordering::Relaxed);
+                    })
+            })
+            .collect();
+        Harness {
+            rt,
+            actions,
+            hits,
+            latest,
+            watermark: 0,
+        }
+    }
+
+    /// Publish one burst per stream and wait for the round to complete
+    /// under the class's own contract.
+    fn round(&mut self, class: DeliveryClass) {
+        let base = self.watermark;
+        self.watermark += UPDATES_PER_STREAM;
+        let target_hits =
+            self.hits.load(Ordering::Relaxed) + self.actions.len() as u64 * UPDATES_PER_STREAM;
+        let actions = self.actions.clone();
+        self.rt.run_on(0, move |ctx| {
+            for v in base + 1..=base + UPDATES_PER_STREAM {
+                for act in &actions {
+                    ctx.apply(act, 1, v);
+                }
+            }
+        });
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let done = |h: &Harness| match class {
+            // Final value per stream: the mailbox may (should) have
+            // swallowed the rest.
+            DeliveryClass::Coalesce => h
+                .latest
+                .iter()
+                .all(|l| l.load(Ordering::Relaxed) >= h.watermark),
+            // Full delivery: the in-process wire is clean, so nothing
+            // sheds and every update must run.
+            _ => h.hits.load(Ordering::Relaxed) >= target_hits,
+        };
+        while !done(self) {
+            assert!(Instant::now() < deadline, "round stalled");
+            std::hint::spin_loop();
+        }
+    }
+}
+
+fn bench_delivery_class(c: &mut Criterion) {
+    let streams = delivery_streams();
+    let mut group = c.benchmark_group("delivery_class");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(streams as u64 * UPDATES_PER_STREAM));
+    for (name, class) in [
+        ("lossless", DeliveryClass::Lossless),
+        ("best_effort", DeliveryClass::BestEffort),
+        ("coalesce", DeliveryClass::Coalesce),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, streams), &streams, |b, _| {
+            let mut harness = Harness::new(class, streams);
+            harness.round(class); // warmup: force lazy paths before timing
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    harness.round(class);
+                }
+                start.elapsed()
+            });
+            harness.rt.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery_class);
+criterion_main!(benches);

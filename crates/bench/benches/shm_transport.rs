@@ -145,7 +145,7 @@ fn bench_fan_in(c: &mut Criterion) {
                         idle = 0;
                     } else {
                         idle += 1;
-                        if idle % 1024 == 0 {
+                        if idle.is_multiple_of(1024) {
                             for s in &sources {
                                 s.pump_send();
                             }

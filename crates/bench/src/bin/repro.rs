@@ -251,8 +251,38 @@ fn run_chaos(scale: Scale) {
         &rows,
     );
     print_csv(&headers, &rows);
+
+    let class_headers = [
+        "backend",
+        "class",
+        "sent",
+        "delivered",
+        "be_dropped",
+        "dups_suppressed",
+    ];
+    let class_rows: Vec<Vec<String>> = r
+        .class_rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.backend.to_string(),
+                row.class.to_string(),
+                row.sent.to_string(),
+                row.delivered.to_string(),
+                row.dropped.to_string(),
+                row.duplicates_suppressed.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Chaos — per-delivery-class contracts on every backend",
+        &class_headers,
+        &class_rows,
+    );
+    print_csv(&class_headers, &class_rows);
+
     if r.violations.is_empty() {
-        println!("chaos OK: exactly-once delivery held on every backend");
+        println!("chaos OK: every delivery-class contract held on every backend");
     } else {
         for v in &r.violations {
             eprintln!("chaos VIOLATION: {v}");
@@ -623,6 +653,15 @@ fn run_launch(args: &[String]) -> ! {
             println!("launch: per-rank exit codes {:?}", report.exit_codes);
             if let Some(path) = &report.aggregate_path {
                 println!("launch: aggregated counters at {}", path.display());
+                // Fleet-wide delivery-class totals, summed across ranks.
+                let sum = |c| rpx_bench::sum_aggregate_counter(path, c).unwrap_or(0.0);
+                println!(
+                    "launch: delivery classes — best-effort dropped {}, \
+                     mailbox replaced {} / flushed {}",
+                    sum("/network/best-effort-dropped"),
+                    sum("/parcels/coalesce-mailbox-replaced"),
+                    sum("/parcels/coalesce-mailbox-flushed"),
+                );
             }
             if let Some((rank, code)) = report.first_failure {
                 eprintln!("launch: rank {rank} failed with exit code {code}; survivors killed");

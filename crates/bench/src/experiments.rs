@@ -517,9 +517,9 @@ pub fn exp_adaptive(scale: Scale) -> AdaptiveReport {
         let mut cfg = base.clone();
         cfg.coalescing = Some(CoalescingParams::new(1, interval));
         let rt = driver::boot(2, paper_link());
-        let action = rt.register_action(rpx_apps::toy::TOY_ACTION, |(): ()| {
-            rpx::Complex64::new(13.3, -23.8)
-        });
+        let action = rt
+            .action(rpx_apps::toy::TOY_ACTION)
+            .register(|(): ()| rpx::Complex64::new(13.3, -23.8));
         let control = rt
             .enable_coalescing(rpx_apps::toy::TOY_ACTION, cfg.coalescing.unwrap())
             .expect("enable coalescing");
@@ -632,9 +632,13 @@ pub fn exp_phase_change(scale: Scale) -> PhaseChangeReport {
 
     let interval = Duration::from_micros(2_000);
     let rt = driver::boot(2, paper_link());
-    let action = rt.register_action(TOY_ACTION, |(): ()| rpx::Complex64::new(13.3, -23.8));
+    let action = rt
+        .action(TOY_ACTION)
+        .register(|(): ()| rpx::Complex64::new(13.3, -23.8));
     // A second action with a mid-size payload for the middle stage.
-    let bulk = rt.register_action("phase::bulk", |v: Vec<rpx::Complex64>| v.len() as u64);
+    let bulk = rt
+        .action("phase::bulk")
+        .register(|v: Vec<rpx::Complex64>| v.len() as u64);
     let control = rt
         .enable_coalescing(TOY_ACTION, CoalescingParams::new(1, interval))
         .expect("enable coalescing");
@@ -736,8 +740,9 @@ pub fn exp_ablate_trigger(scale: Scale) -> Vec<TriggerRow> {
         let parcel_bytes = 40 + 16 * payload_elems;
         let run = |params: CoalescingParams| -> f64 {
             let rt = driver::boot(2, paper_link());
-            let action =
-                rt.register_action("ablate::echo", move |v: Vec<rpx::Complex64>| v.len() as u64);
+            let action = rt
+                .action("ablate::echo")
+                .register(move |v: Vec<rpx::Complex64>| v.len() as u64);
             let _control = rt.enable_coalescing("ablate::echo", params).unwrap();
             let n = scale.pick(800, 20_000);
             let t0 = Instant::now();
@@ -785,7 +790,7 @@ pub fn exp_ablate_bypass(scale: Scale) -> Vec<BypassRow> {
     let gap = Duration::from_micros(1_000);
     let run = |label: &str, params: Option<CoalescingParams>| -> BypassRow {
         let rt = driver::boot(2, paper_link());
-        let action = rt.register_action("sparse::ping", |x: u64| x);
+        let action = rt.action("sparse::ping").register(|x: u64| x);
         if let Some(p) = params {
             let _ = rt.enable_coalescing("sparse::ping", p).unwrap();
         }
@@ -1078,12 +1083,31 @@ pub struct ChaosRow {
     pub delivery_failures: i64,
 }
 
+/// One delivery-class semantics check on one backend under chaos.
+#[derive(Debug, Clone)]
+pub struct ClassChaosRow {
+    /// Transport backend the leg ran over.
+    pub backend: &'static str,
+    /// Delivery class under test.
+    pub class: &'static str,
+    /// Parcels applied from locality 0.
+    pub sent: u64,
+    /// Handler executions on the consumer.
+    pub delivered: u64,
+    /// `/network/best-effort-dropped` summed over both localities.
+    pub dropped: i64,
+    /// `/network/duplicates-suppressed` summed over both localities.
+    pub duplicates_suppressed: i64,
+}
+
 /// Result of [`exp_chaos`]: per-backend stats plus every violated
 /// invariant (empty = the reliability layer held).
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
     /// One row per backend.
     pub rows: Vec<ChaosRow>,
+    /// One row per (backend, delivery class) semantics leg.
+    pub class_rows: Vec<ClassChaosRow>,
     /// Human-readable invariant violations.
     pub violations: Vec<String>,
 }
@@ -1198,7 +1222,137 @@ pub fn exp_chaos(scale: Scale) -> ChaosReport {
         }
         rows.push(row);
     }
-    ChaosReport { rows, violations }
+    let class_rows = chaos_class_legs(scale, &mut violations);
+    ChaosReport {
+        rows,
+        class_rows,
+        violations,
+    }
+}
+
+/// Per-class chaos matrix: each delivery class, on each backend
+/// (including shared memory), must honour its own contract with
+/// locality 0's wire under fault injection:
+///
+/// * **Lossless** under the full chaos plan — exactly-once.
+/// * **BestEffort** under drop + duplicate — at-most-once, with
+///   `delivered + best_effort_dropped == sent` (exact: reorder is
+///   excluded because a duplicate displaced past the dedup window is
+///   conservatively over-counted as a stale drop).
+/// * **Coalesce** under drop + duplicate + reorder — the final value
+///   arrives and the mailbox merged updates on the way.
+fn chaos_class_legs(scale: Scale, violations: &mut Vec<String>) -> Vec<ClassChaosRow> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let backends = [
+        ("sim", rpx::TransportKind::Sim(paper_link())),
+        ("tcp", rpx::TransportKind::TcpLoopback),
+        ("shm", rpx::TransportKind::Shm(rpx::ShmTuning::default())),
+    ];
+    let sent = scale.pick(280, 1_400) as u64;
+    let mut out = Vec::new();
+
+    let drop_and_duplicate = || {
+        let mut plan = rpx_net::FaultPlan::default();
+        plan.drop_every = Some(7);
+        plan.duplicate_every = Some(5);
+        plan
+    };
+    let with_reorder = || {
+        let mut plan = drop_and_duplicate();
+        plan.reorder_window = Some(9);
+        plan
+    };
+
+    for (backend, kind) in backends {
+        for class in ["lossless", "best_effort", "coalesce"] {
+            let rt = chaos_runtime(kind);
+            let hits = Arc::new(AtomicU64::new(0));
+            let max_seen = Arc::new(AtomicU64::new(0));
+            let (h, m) = (Arc::clone(&hits), Arc::clone(&max_seen));
+            let (delivery, plan) = match class {
+                "lossless" => (rpx::DeliveryClass::Lossless, rpx_net::FaultPlan::chaos()),
+                "best_effort" => (rpx::DeliveryClass::BestEffort, drop_and_duplicate()),
+                _ => (rpx::DeliveryClass::Coalesce, with_reorder()),
+            };
+            let act = rt
+                .action(&format!("chaos::{class}"))
+                .delivery(delivery)
+                .coalesce_interval(Duration::from_millis(2))
+                .register(move |v: u64| {
+                    h.fetch_add(1, Ordering::SeqCst);
+                    m.fetch_max(v, Ordering::SeqCst);
+                });
+            rt.inject_faults(0, Some(Arc::new(plan)));
+            rt.run_on(0, move |ctx| {
+                for v in 1..=sent {
+                    ctx.apply(&act, 1, v);
+                }
+            });
+            if delivery == rpx::DeliveryClass::Coalesce {
+                // The mailbox slot is outside the quiescence gauges
+                // until its flush timer fires: poll for the final value.
+                let deadline = Instant::now() + Duration::from_secs(30);
+                while max_seen.load(Ordering::SeqCst) != sent && Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            if !rt.wait_quiescent(Duration::from_secs(30)) {
+                violations.push(format!("{backend}/{class}: traffic stalled quiescence"));
+                rt.shutdown();
+                continue;
+            }
+            let row = ClassChaosRow {
+                backend,
+                class,
+                sent,
+                delivered: hits.load(Ordering::SeqCst),
+                dropped: sum_net_counter(&rt, "best-effort-dropped"),
+                duplicates_suppressed: sum_net_counter(&rt, "duplicates-suppressed"),
+            };
+            match class {
+                "lossless" => {
+                    if row.delivered != sent {
+                        violations.push(format!(
+                            "{backend}/lossless: {} of {sent} delivered (lost or duplicated)",
+                            row.delivered
+                        ));
+                    }
+                }
+                "best_effort" => {
+                    if row.delivered as i64 + row.dropped != sent as i64 {
+                        violations.push(format!(
+                            "{backend}/best_effort: accounting gap — {} delivered + {} \
+                             dropped != {sent} sent",
+                            row.delivered, row.dropped
+                        ));
+                    }
+                    if row.dropped == 0 {
+                        violations.push(format!(
+                            "{backend}/best_effort: the wire never dropped a frame"
+                        ));
+                    }
+                }
+                _ => {
+                    if max_seen.load(Ordering::SeqCst) != sent {
+                        violations.push(format!(
+                            "{backend}/coalesce: final value never arrived (max {})",
+                            max_seen.load(Ordering::SeqCst)
+                        ));
+                    }
+                    if row.delivered >= sent {
+                        violations.push(format!(
+                            "{backend}/coalesce: nothing was merged ({} deliveries)",
+                            row.delivered
+                        ));
+                    }
+                }
+            }
+            rt.shutdown();
+            out.push(row);
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -335,6 +335,17 @@ fn sum_counter(json: &str, path: &str) -> Option<f64> {
     found.then_some(total)
 }
 
+/// Sum one counter across every rank of an aggregated counter report on
+/// disk. This is how launch-level tooling reads cluster-wide totals —
+/// e.g. `/network/best-effort-dropped` to see how much BestEffort
+/// traffic the whole job shed, or the `/parcels/coalesce-mailbox-*`
+/// pair for fleet-wide mailbox merge rates. Returns `None` when the
+/// file is unreadable or no rank reports the counter.
+pub fn sum_aggregate_counter(path: &Path, counter: &str) -> Option<f64> {
+    let json = std::fs::read_to_string(path).ok()?;
+    sum_counter(&json, counter)
+}
+
 /// The `--expect-shm` invariant over an aggregated counter report: all
 /// ranks of a launch are co-located, so same-host routing must have
 /// carried traffic (`/network/shm-messages > 0`) and no frame may have
@@ -434,6 +445,44 @@ mod tests {
         assert!(merged.contains("\"num_localities\":2"));
         assert!(merged.contains("\"rank\":0"));
         assert!(!merged.contains("\"rank\":1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aggregate_sums_delivery_class_counters_across_ranks() {
+        // Two ranks report the new per-class counters; the launch-level
+        // reader must sum them fleet-wide (and see zero-valued counters
+        // as present, not missing).
+        let dir = std::env::temp_dir().join(format!("rpx-launch-dc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |rank: u32, dropped: u64, replaced: u64| {
+            format!(
+                "{{\"version\":1,\"ranks\":[{{\"rank\":{rank},\"counters\":{{\"series\":[\
+                 {{\"path\":\"/network/best-effort-dropped\",\"samples\":[[0,{dropped}]]}},\
+                 {{\"path\":\"/parcels/coalesce-mailbox-replaced\",\"samples\":[[0,{replaced}]]}},\
+                 {{\"path\":\"/parcels/coalesce-mailbox-flushed\",\"samples\":[[0,0]]}}\
+                 ]}}}}]}}"
+            )
+        };
+        let a = dir.join("rank-0.json");
+        let b = dir.join("rank-1.json");
+        std::fs::write(&a, mk(0, 7, 40)).unwrap();
+        std::fs::write(&b, mk(1, 5, 2)).unwrap();
+        let out = dir.join("aggregate.json");
+        let path = aggregate_counter_dumps(&out, 2, &[a, b]).unwrap();
+        assert_eq!(
+            sum_aggregate_counter(&path, "/network/best-effort-dropped"),
+            Some(12.0)
+        );
+        assert_eq!(
+            sum_aggregate_counter(&path, "/parcels/coalesce-mailbox-replaced"),
+            Some(42.0)
+        );
+        assert_eq!(
+            sum_aggregate_counter(&path, "/parcels/coalesce-mailbox-flushed"),
+            Some(0.0)
+        );
+        assert_eq!(sum_aggregate_counter(&path, "/parcels/no-such"), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

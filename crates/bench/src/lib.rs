@@ -17,7 +17,9 @@ pub mod table;
 
 pub use bench_compare::{compare, CompareReport, REGRESSION_TOLERANCE};
 pub use experiments::*;
-pub use launch::{launch, LaunchConfig, LaunchReport, EXIT_KILLED, EXIT_TIMEOUT};
+pub use launch::{
+    launch, sum_aggregate_counter, LaunchConfig, LaunchReport, EXIT_KILLED, EXIT_TIMEOUT,
+};
 pub use table::{print_csv, print_table};
 
 /// Experiment scale selection.

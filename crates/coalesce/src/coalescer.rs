@@ -18,12 +18,13 @@ use rpx_util::TimerService;
 
 use crate::counters::CoalescingCounters;
 use crate::params::{CoalescingParams, ParamsHandle};
-use crate::queue::CoalescingQueue;
+use crate::queue::{CoalescingQueue, FlushPolicy};
 
 /// The coalescing plug-in for one action.
 pub struct Coalescer {
     action_name: String,
     params: ParamsHandle,
+    policy: FlushPolicy,
     timer: Arc<TimerService>,
     path: Arc<dyn SendPath>,
     counters: Arc<CoalescingCounters>,
@@ -50,9 +51,25 @@ impl Coalescer {
         timer: Arc<TimerService>,
         path: Arc<dyn SendPath>,
     ) -> Arc<Self> {
+        Self::with_handle_policy(action_name, params, FlushPolicy::Append, timer, path)
+    }
+
+    /// Create a coalescer with an explicit per-destination flush policy.
+    ///
+    /// [`FlushPolicy::Mailbox`] is what
+    /// [`DeliveryClass::Coalesce`](rpx_parcel::DeliveryClass::Coalesce)
+    /// actions install: one newest-wins slot per destination.
+    pub fn with_handle_policy(
+        action_name: &str,
+        params: ParamsHandle,
+        policy: FlushPolicy,
+        timer: Arc<TimerService>,
+        path: Arc<dyn SendPath>,
+    ) -> Arc<Self> {
         Arc::new(Coalescer {
             action_name: action_name.to_string(),
             params,
+            policy,
             timer,
             path,
             counters: CoalescingCounters::new(),
@@ -63,6 +80,11 @@ impl Coalescer {
     /// The action this coalescer serves.
     pub fn action_name(&self) -> &str {
         &self.action_name
+    }
+
+    /// The flush policy this coalescer's queues use.
+    pub fn policy(&self) -> FlushPolicy {
+        self.policy
     }
 
     /// The live-tunable parameter handle (shared with the adaptive
@@ -92,9 +114,10 @@ impl Coalescer {
         }
         let mut queues = self.queues.write();
         Arc::clone(queues.entry(dst).or_insert_with(|| {
-            CoalescingQueue::new(
+            CoalescingQueue::with_policy(
                 dst,
                 self.params.clone(),
+                self.policy,
                 Arc::clone(&self.timer),
                 Arc::clone(&self.path),
                 Arc::clone(&self.counters),
@@ -213,6 +236,36 @@ mod tests {
         c.register_counters(&reg);
         assert!(reg.query("/coalescing/count/parcels@act").is_ok());
         assert_eq!(c.action_name(), "act");
+    }
+
+    #[test]
+    fn mailbox_policy_applies_per_destination() {
+        let path = Arc::new(MockPath {
+            batches: Mutex::new(Vec::new()),
+        });
+        let timer = Arc::new(TimerService::new("coalescer-mailbox"));
+        let c = Coalescer::with_handle_policy(
+            "sync",
+            ParamsHandle::new(CoalescingParams::new(100, Duration::from_secs(10))),
+            crate::queue::FlushPolicy::Mailbox,
+            Arc::clone(&timer),
+            path.clone() as _,
+        );
+        assert_eq!(c.policy(), crate::queue::FlushPolicy::Mailbox);
+        // Ten updates to each of two destinations: one slot each.
+        for i in 0..10 {
+            c.submit(parcel(i, 1));
+            c.submit(parcel(100 + i, 2));
+        }
+        assert_eq!(c.pending(), 2);
+        c.flush();
+        let batches = path.batches.lock();
+        assert_eq!(batches.len(), 2);
+        for (dst, batch) in batches.iter() {
+            assert_eq!(batch.len(), 1);
+            let expect = if *dst == 1 { 9 } else { 109 };
+            assert_eq!(batch[0].id, expect, "newest value for dst {dst}");
+        }
     }
 
     #[test]

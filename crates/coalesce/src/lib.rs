@@ -43,4 +43,4 @@ pub mod queue;
 pub use coalescer::Coalescer;
 pub use counters::CoalescingCounters;
 pub use params::{CoalescingParams, ParamsHandle};
-pub use queue::CoalescingQueue;
+pub use queue::{CoalescingQueue, FlushPolicy};

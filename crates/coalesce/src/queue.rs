@@ -40,6 +40,25 @@ use rpx_util::{TimerHandle, TimerService};
 use crate::counters::CoalescingCounters;
 use crate::params::ParamsHandle;
 
+/// How buffered parcels accumulate between flushes.
+///
+/// [`Append`](FlushPolicy::Append) is the paper's Algorithm 1: every
+/// submitted parcel is kept and shipped. [`Mailbox`](FlushPolicy::Mailbox)
+/// is the value-replacing variant behind `DeliveryClass::Coalesce`
+/// (defined in `rpx-net`, selected by the registration builder): the
+/// queue holds at most one parcel per destination, a newer submission
+/// *replaces* the occupant, and each flush emits a single parcel — so N
+/// state updates inside one interval cost one wire record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Keep every parcel; flush on queue-full, byte cap, or timer.
+    #[default]
+    Append,
+    /// Newest-wins slot of one parcel; flush on timer (or sparse bypass).
+    /// `nparcels`/`max_bytes` never trigger — the slot cannot fill.
+    Mailbox,
+}
+
 struct State {
     buffer: Vec<Parcel>,
     bytes: usize,
@@ -54,6 +73,7 @@ struct State {
 pub struct CoalescingQueue {
     dst: u32,
     params: ParamsHandle,
+    policy: FlushPolicy,
     timer_service: Arc<TimerService>,
     path: Arc<dyn SendPath>,
     counters: Arc<CoalescingCounters>,
@@ -64,7 +84,7 @@ pub struct CoalescingQueue {
 }
 
 impl CoalescingQueue {
-    /// Create a queue for destination `dst`.
+    /// Create an [`FlushPolicy::Append`] queue for destination `dst`.
     pub fn new(
         dst: u32,
         params: ParamsHandle,
@@ -72,9 +92,29 @@ impl CoalescingQueue {
         path: Arc<dyn SendPath>,
         counters: Arc<CoalescingCounters>,
     ) -> Arc<Self> {
+        Self::with_policy(
+            dst,
+            params,
+            FlushPolicy::Append,
+            timer_service,
+            path,
+            counters,
+        )
+    }
+
+    /// Create a queue for destination `dst` with an explicit flush policy.
+    pub fn with_policy(
+        dst: u32,
+        params: ParamsHandle,
+        policy: FlushPolicy,
+        timer_service: Arc<TimerService>,
+        path: Arc<dyn SendPath>,
+        counters: Arc<CoalescingCounters>,
+    ) -> Arc<Self> {
         Arc::new(CoalescingQueue {
             dst,
             params,
+            policy,
             timer_service,
             path,
             counters,
@@ -104,7 +144,8 @@ impl CoalescingQueue {
         self.pool.spares()
     }
 
-    /// Submit one parcel (Algorithm 1).
+    /// Submit one parcel (Algorithm 1; under [`FlushPolicy::Mailbox`] the
+    /// queue-parcel step becomes replace-the-occupant).
     pub fn submit(self: &Arc<Self>, parcel: Parcel) {
         debug_assert_eq!(parcel.dest_locality, self.dst);
         let params = self.params.load();
@@ -115,6 +156,7 @@ impl CoalescingQueue {
         // (first slot) and the arriving parcel when it bypasses (second).
         let mut flushed: Option<Vec<Parcel>> = None;
         let mut bypass: Option<ParcelBatch> = None;
+        let mut replaced = false;
         let gap: Option<Duration>;
         {
             let mut st = self.state.lock();
@@ -129,12 +171,24 @@ impl CoalescingQueue {
                 // an inline batch — no buffer, no pool traffic.
                 flushed = self.flush_locked(&mut st);
                 bypass = Some(ParcelBatch::single(parcel));
+            } else if self.policy == FlushPolicy::Mailbox && !st.buffer.is_empty() {
+                // Mailbox newest-wins: the arriving value supersedes the
+                // occupant in place. The armed timer keeps running — the
+                // slot flushes on the first parcel's deadline, not the
+                // last one's, so a steady stream still drains.
+                st.bytes = parcel.wire_size();
+                st.buffer[0] = parcel;
+                replaced = true;
             } else {
                 st.bytes += parcel.wire_size();
                 if st.buffer.capacity() == 0 {
                     // case First after a flush: draw a recycled buffer
                     // pre-sized to nparcels so pushes never reallocate.
-                    st.buffer = self.pool.take(params.nparcels);
+                    let cap = match self.policy {
+                        FlushPolicy::Append => params.nparcels,
+                        FlushPolicy::Mailbox => 1,
+                    };
+                    st.buffer = self.pool.take(cap);
                 }
                 st.buffer.push(parcel);
                 if st.buffer.len() == 1 {
@@ -147,21 +201,28 @@ impl CoalescingQueue {
                         }
                     }));
                 }
-                if st.buffer.len() >= params.nparcels || st.bytes >= params.max_bytes {
-                    // case Last: stop the timer and flush.
+                if self.policy == FlushPolicy::Append
+                    && (st.buffer.len() >= params.nparcels || st.bytes >= params.max_bytes)
+                {
+                    // case Last: stop the timer and flush. A mailbox never
+                    // fills — only the timer (or sparse bypass) drains it.
                     flushed = self.flush_locked(&mut st);
                 }
             }
         }
         // Counter recording happens outside the critical section.
         self.counters.record_arrival(gap.map(dur_to_ns));
+        if replaced {
+            self.path.note_mailbox_replaced();
+        }
         if let Some(buf) = flushed {
-            self.counters.record_message(buf.len());
-            self.path
-                .emit(self.dst, ParcelBatch::from_pool(buf, &self.pool));
+            self.emit_buf(buf);
         }
         if let Some(batch) = bypass {
             self.counters.record_message(1);
+            if self.policy == FlushPolicy::Mailbox {
+                self.path.note_mailbox_flushed();
+            }
             self.path.emit(self.dst, batch);
         }
     }
@@ -173,9 +234,7 @@ impl CoalescingQueue {
             self.flush_locked(&mut st)
         };
         if let Some(buf) = buf {
-            self.counters.record_message(buf.len());
-            self.path
-                .emit(self.dst, ParcelBatch::from_pool(buf, &self.pool));
+            self.emit_buf(buf);
         }
     }
 
@@ -204,10 +263,18 @@ impl CoalescingQueue {
             self.flush_locked(&mut st)
         };
         if let Some(buf) = buf {
-            self.counters.record_message(buf.len());
-            self.path
-                .emit(self.dst, ParcelBatch::from_pool(buf, &self.pool));
+            self.emit_buf(buf);
         }
+    }
+
+    /// Record counters and hand a flushed buffer to the send path.
+    fn emit_buf(&self, buf: Vec<Parcel>) {
+        self.counters.record_message(buf.len());
+        if self.policy == FlushPolicy::Mailbox {
+            self.path.note_mailbox_flushed();
+        }
+        self.path
+            .emit(self.dst, ParcelBatch::from_pool(buf, &self.pool));
     }
 }
 
@@ -222,12 +289,16 @@ mod tests {
 
     pub(crate) struct MockPath {
         pub batches: Mutex<Vec<(u32, Vec<Parcel>)>>,
+        pub replaced: std::sync::atomic::AtomicU64,
+        pub flushed: std::sync::atomic::AtomicU64,
     }
 
     impl MockPath {
         pub fn new() -> Arc<Self> {
             Arc::new(MockPath {
                 batches: Mutex::new(Vec::new()),
+                replaced: std::sync::atomic::AtomicU64::new(0),
+                flushed: std::sync::atomic::AtomicU64::new(0),
             })
         }
         fn batch_sizes(&self) -> Vec<usize> {
@@ -243,6 +314,14 @@ mod tests {
             // into_vec detaches the buffer from the recycling pool — test
             // capture deliberately trades recycling for ownership.
             self.batches.lock().push((dst, batch.into_vec()));
+        }
+        fn note_mailbox_replaced(&self) {
+            self.replaced
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn note_mailbox_flushed(&self) {
+            self.flushed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
     }
 
@@ -414,6 +493,69 @@ mod tests {
             // reused by the next round's first push.
             assert_eq!(q.spare_buffers(), 1, "round {round}");
         }
+    }
+
+    fn mailbox_queue(
+        params: CoalescingParams,
+    ) -> (Arc<CoalescingQueue>, Arc<MockPath>, Arc<TimerService>) {
+        let path = MockPath::new();
+        let timer = Arc::new(TimerService::new("mailbox-test"));
+        let q = CoalescingQueue::with_policy(
+            1,
+            ParamsHandle::new(params),
+            FlushPolicy::Mailbox,
+            Arc::clone(&timer),
+            path.clone() as Arc<dyn SendPath>,
+            CoalescingCounters::new(),
+        );
+        (q, path, timer)
+    }
+
+    #[test]
+    fn mailbox_newest_wins_single_flush() {
+        use std::sync::atomic::Ordering;
+        let (q, path, _t) = mailbox_queue(CoalescingParams::new(100, Duration::from_millis(5)));
+        for i in 1..=10 {
+            q.submit(parcel(i));
+        }
+        assert_eq!(q.pending(), 1, "slot holds exactly the newest parcel");
+        std::thread::sleep(Duration::from_millis(30));
+        let batches = path.batches.lock();
+        assert_eq!(batches.len(), 1, "ten updates, one wire record");
+        assert_eq!(batches[0].1.len(), 1);
+        assert_eq!(batches[0].1[0].id, 10, "latest value wins");
+        assert_eq!(path.replaced.load(Ordering::Relaxed), 9);
+        assert_eq!(path.flushed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn mailbox_never_flushes_on_count_or_bytes() {
+        // nparcels = 2 and a tiny byte cap would flush an Append queue on
+        // the second submit; a mailbox only drains by timer or flush().
+        let (q, path, _t) =
+            mailbox_queue(CoalescingParams::new(2, Duration::from_secs(10)).with_max_bytes(1));
+        for i in 1..=5 {
+            q.submit(parcel(i));
+        }
+        assert!(path.batches.lock().is_empty());
+        q.flush();
+        let batches = path.batches.lock();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].1[0].id, 5);
+    }
+
+    #[test]
+    fn mailbox_sparse_gap_bypasses() {
+        use std::sync::atomic::Ordering;
+        let (q, path, _t) = mailbox_queue(CoalescingParams::new(100, Duration::from_millis(1)));
+        q.submit(parcel(1)); // first: occupies slot, timer armed
+        std::thread::sleep(Duration::from_millis(10));
+        q.submit(parcel(2)); // gap 10 ms > 1 ms → ships immediately
+        assert_eq!(path.batch_sizes(), vec![1, 1]);
+        assert_eq!(q.pending(), 0);
+        // Both deliveries count as mailbox flushes; nothing was replaced.
+        assert_eq!(path.replaced.load(Ordering::Relaxed), 0);
+        assert_eq!(path.flushed.load(Ordering::Relaxed), 2);
     }
 
     #[test]

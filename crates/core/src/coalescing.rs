@@ -246,7 +246,7 @@ mod tests {
         let rt = test_runtime();
         let hits = Arc::new(AtomicU64::new(0));
         let h = Arc::clone(&hits);
-        let act = rt.register_action("bump", move |(): ()| {
+        let act = rt.action("bump").register(move |(): ()| {
             h.fetch_add(1, Ordering::SeqCst);
         });
         let control = rt
@@ -269,7 +269,7 @@ mod tests {
     #[test]
     fn counters_registered_in_locality_registries() {
         let rt = test_runtime();
-        let _act = rt.register_action("a", |(): ()| ());
+        let _act = rt.action("a").register(|(): ()| ());
         let _control = rt
             .enable_coalescing("a", CoalescingParams::default())
             .unwrap();
@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn live_parameter_updates_change_batching() {
         let rt = test_runtime();
-        let act = rt.register_action("x", |(): ()| ());
+        let act = rt.action("x").register(|(): ()| ());
         let control = rt
             .enable_coalescing("x", CoalescingParams::new(4, Duration::from_secs(10)))
             .unwrap();
@@ -311,7 +311,7 @@ mod tests {
     #[test]
     fn disable_coalescing_restores_direct_path() {
         let rt = test_runtime();
-        let act = rt.register_action("d", |(): ()| ());
+        let act = rt.action("d").register(|(): ()| ());
         let control = rt
             .enable_coalescing("d", CoalescingParams::new(64, Duration::from_secs(10)))
             .unwrap();
@@ -331,7 +331,7 @@ mod tests {
         let rt = test_runtime();
         let hits = Arc::new(AtomicU64::new(0));
         let h = Arc::clone(&hits);
-        let act = rt.register_action("strag", move |(): ()| {
+        let act = rt.action("strag").register(move |(): ()| {
             h.fetch_add(1, Ordering::SeqCst);
         });
         let control = rt
@@ -356,7 +356,7 @@ mod tests {
     #[test]
     fn adaptive_controller_attaches_and_stops() {
         let rt = test_runtime();
-        let _act = rt.register_action("ad", |(): ()| ());
+        let _act = rt.action("ad").register(|(): ()| ());
         let control = rt
             .enable_coalescing("ad", CoalescingParams::default())
             .unwrap();
@@ -369,7 +369,7 @@ mod tests {
     #[test]
     fn sampled_adaptive_controller_attaches_and_stops() {
         let rt = test_runtime();
-        let _act = rt.register_action("ads", |(): ()| ());
+        let _act = rt.action("ads").register(|(): ()| ());
         let control = rt
             .enable_coalescing("ads", CoalescingParams::default())
             .unwrap();

@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn broadcast_reaches_every_peer() {
         let rt = runtime(4);
-        let who = rt.register_action_with_locality("coll::who", |here, (): ()| here);
+        let who = rt
+            .action("coll::who")
+            .with_locality()
+            .register(|here, (): ()| here);
         let ids = rt.run_on(1, move |ctx| {
             let futures = ctx.broadcast(&who, ());
             ctx.wait_all(futures).unwrap()
@@ -104,7 +107,10 @@ mod tests {
     #[test]
     fn broadcast_all_includes_self() {
         let rt = runtime(3);
-        let who = rt.register_action_with_locality("coll::who", |here, (): ()| here);
+        let who = rt
+            .action("coll::who")
+            .with_locality()
+            .register(|here, (): ()| here);
         let ids = rt.run_on(2, move |ctx| {
             let futures = ctx.broadcast_all(&who, ());
             ctx.wait_all(futures).unwrap()
@@ -116,9 +122,10 @@ mod tests {
     #[test]
     fn reduce_folds_across_cluster() {
         let rt = runtime(4);
-        let sq = rt.register_action_with_locality("coll::sq", |here, (): ()| {
-            u64::from(here) * u64::from(here)
-        });
+        let sq = rt
+            .action("coll::sq")
+            .with_locality()
+            .register(|here, (): ()| u64::from(here) * u64::from(here));
         let sum = rt.run_on(0, move |ctx| {
             ctx.reduce(&sq, (), 0u64, |acc, v| acc + v).unwrap()
         });
@@ -129,8 +136,10 @@ mod tests {
     #[test]
     fn scatter_delivers_per_destination_args() {
         let rt = runtime(3);
-        let echo =
-            rt.register_action_with_locality("coll::echo", |here, v: u64| (u64::from(here), v));
+        let echo = rt
+            .action("coll::echo")
+            .with_locality()
+            .register(|here, v: u64| (u64::from(here), v));
         let out = rt.run_on(0, move |ctx| {
             let futures = ctx.scatter(&echo, vec![10, 20, 30]);
             ctx.wait_all(futures).unwrap()
@@ -145,7 +154,7 @@ mod tests {
     #[should_panic(expected = "driver task panicked")]
     fn scatter_arity_mismatch_panics() {
         let rt = runtime(2);
-        let echo = rt.register_action("coll::e2", |v: u64| v);
+        let echo = rt.action("coll::e2").register(|v: u64| v);
         rt.run_on(0, move |ctx| {
             let _ = ctx.scatter(&echo, vec![1]);
         });
@@ -157,7 +166,7 @@ mod tests {
         use rpx_coalesce::CoalescingParams;
         use std::time::Duration;
         let rt = runtime(4);
-        let ping = rt.register_action("coll::ping", |v: u64| v + 1);
+        let ping = rt.action("coll::ping").register(|v: u64| v + 1);
         let control = rt
             .enable_coalescing(
                 "coll::ping",

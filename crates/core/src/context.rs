@@ -228,7 +228,9 @@ mod tests {
     #[test]
     fn roundtrip_action_returns_value() {
         let rt = test_runtime(2);
-        let act = rt.register_action("get_cplx", |(): ()| Complex64::new(13.3, -23.8));
+        let act = rt
+            .action("get_cplx")
+            .register(|(): ()| Complex64::new(13.3, -23.8));
         let v = rt.run_on(0, move |ctx| ctx.async_action(&act, 1, ()).get().unwrap());
         assert_eq!(v, Complex64::new(13.3, -23.8));
         rt.shutdown();
@@ -237,7 +239,7 @@ mod tests {
     #[test]
     fn action_receives_arguments() {
         let rt = test_runtime(2);
-        let add = rt.register_action("add", |(a, b): (u64, u64)| a + b);
+        let add = rt.action("add").register(|(a, b): (u64, u64)| a + b);
         let v = rt.run_on(0, move |ctx| {
             ctx.async_action(&add, 1, (20, 22)).get().unwrap()
         });
@@ -248,7 +250,7 @@ mod tests {
     #[test]
     fn wait_all_collects_many_results() {
         let rt = test_runtime(2);
-        let sq = rt.register_action("square", |x: u64| x * x);
+        let sq = rt.action("square").register(|x: u64| x * x);
         let out = rt.run_on(0, move |ctx| {
             let futures: Vec<_> = (0..50).map(|i| ctx.async_action(&sq, 1, i)).collect();
             ctx.wait_all(futures).unwrap()
@@ -260,7 +262,7 @@ mod tests {
     #[test]
     fn self_invocation_works() {
         let rt = test_runtime(2);
-        let act = rt.register_action("echo", |x: u64| x);
+        let act = rt.action("echo").register(|x: u64| x);
         let v = rt.run_on(0, move |ctx| ctx.async_action(&act, 0, 7).get().unwrap());
         assert_eq!(v, 7);
         rt.shutdown();
@@ -271,7 +273,7 @@ mod tests {
         let rt = test_runtime(2);
         let hits = Arc::new(AtomicU64::new(0));
         let h = Arc::clone(&hits);
-        let act = rt.register_action("bump", move |(): ()| {
+        let act = rt.action("bump").register(move |(): ()| {
             h.fetch_add(1, Ordering::SeqCst);
         });
         rt.run_on(0, move |ctx| {
@@ -287,7 +289,10 @@ mod tests {
     #[test]
     fn locality_aware_action_sees_its_host() {
         let rt = test_runtime(3);
-        let who = rt.register_action_with_locality("whoami", |here, (): ()| here);
+        let who = rt
+            .action("whoami")
+            .with_locality()
+            .register(|here, (): ()| here);
         let ids = rt.run_on(0, move |ctx| {
             let futures: Vec<_> = (0..3).map(|l| ctx.async_action(&who, l, ())).collect();
             ctx.wait_all(futures).unwrap()
@@ -313,7 +318,9 @@ mod tests {
         // Both localities send to each other simultaneously, like the toy
         // application's two nodes.
         let rt = test_runtime(2);
-        let act = rt.register_action("get", |(): ()| Complex64::new(13.3, -23.8));
+        let act = rt
+            .action("get")
+            .register(|(): ()| Complex64::new(13.3, -23.8));
         let a1 = act.clone();
         let rt1 = Arc::clone(&rt);
         let t = std::thread::spawn(move || {
@@ -334,7 +341,7 @@ mod tests {
     #[test]
     fn counters_visible_from_ctx() {
         let rt = test_runtime(2);
-        let act = rt.register_action("noop", |(): ()| ());
+        let act = rt.action("noop").register(|(): ()| ());
         rt.run_on(0, move |ctx| {
             ctx.async_action(&act, 1, ()).get().unwrap();
             // The driver task itself is still running, so look at spawned
@@ -349,7 +356,7 @@ mod tests {
     #[test]
     fn lco_table_is_drained_after_waits() {
         let rt = test_runtime(2);
-        let act = rt.register_action("one", |(): ()| 1u64);
+        let act = rt.action("one").register(|(): ()| 1u64);
         rt.run_on(0, move |ctx| {
             let futures: Vec<_> = (0..20).map(|_| ctx.async_action(&act, 1, ())).collect();
             ctx.wait_all(futures).unwrap();
@@ -368,7 +375,7 @@ mod tests {
             workers_per_locality: 1,
             ..RuntimeConfig::small_test()
         });
-        let act = rt.register_action("v", |(): ()| 11u32);
+        let act = rt.action("v").register(|(): ()| 11u32);
         let v = rt.run_on(0, move |ctx| ctx.async_action(&act, 1, ()).get().unwrap());
         assert_eq!(v, 11);
         rt.shutdown();

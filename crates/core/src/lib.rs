@@ -30,7 +30,9 @@
 //! let rt = Runtime::new(RuntimeConfig::small_test());
 //!
 //! // Register an action on every locality (HPX_PLAIN_ACTION analogue).
-//! let get_cplx = rt.register_action("get_cplx", |(): ()| Complex64::new(13.3, -23.8));
+//! // The builder also selects the delivery class:
+//! // `.delivery(rpx::DeliveryClass::Coalesce)` etc.
+//! let get_cplx = rt.action("get_cplx").register(|(): ()| Complex64::new(13.3, -23.8));
 //!
 //! // Enable message coalescing for it
 //! // (HPX_ACTION_USES_MESSAGE_COALESCING analogue).
@@ -63,7 +65,9 @@ pub use coalescing::CoalescingControl;
 pub use components::MethodHandle;
 pub use context::{Ctx, RemoteFuture};
 pub use error::RuntimeError;
-pub use runtime::{ActionHandle, Locality, Runtime, RuntimeConfig};
+pub use runtime::{
+    ActionBuilder, ActionHandle, Locality, LocalityActionBuilder, Runtime, RuntimeConfig,
+};
 
 // Re-export the pieces applications touch directly.
 pub use rpx_adaptive::{AdaptiveConfig, OverheadController, PicsTuner};
@@ -75,8 +79,8 @@ pub use rpx_counters::{
 pub use rpx_lco::{Barrier, Latch};
 pub use rpx_metrics::{MetricsReader, PhaseRecorder};
 pub use rpx_net::{
-    BootstrapError, BootstrapMode, DeliveryError, HostId, LinkModel, ReliabilityConfig, ShmTuning,
-    TcpTuning, Topology, Transport, TransportKind, TransportPort,
+    BootstrapError, BootstrapMode, DeliveryClass, DeliveryError, HostId, LinkModel,
+    ReliabilityConfig, ShmTuning, TcpTuning, Topology, Transport, TransportKind, TransportPort,
 };
 pub use rpx_serialize::Wire;
 pub use rpx_util::Complex64;

@@ -24,8 +24,8 @@ use rpx_counters::{
 use rpx_lco::Promise;
 use rpx_metrics::MetricsReader;
 use rpx_net::{
-    BootstrapMode, LinkModel, ReliabilityConfig, ReliablePort, ReliableTransport, ShmTuning,
-    TcpBootstrap, TcpTransport, TcpTuning, Topology, Transport, TransportKind,
+    BootstrapMode, DeliveryClass, LinkModel, ReliabilityConfig, ReliablePort, ReliableTransport,
+    ShmTuning, TcpBootstrap, TcpTransport, TcpTuning, Topology, Transport, TransportKind,
 };
 use rpx_parcel::{
     port::decode_continuation_args, ActionId, ActionRegistry, ParcelPort, ParcelPortConfig,
@@ -58,6 +58,13 @@ pub struct RuntimeConfig {
     pub reliability: Option<ReliabilityConfig>,
     /// Egress entries the parcel pump encodes per background sweep.
     pub egress_drain_budget: usize,
+    /// Backlog bound for [`DeliveryClass::BestEffort`](rpx_net::DeliveryClass)
+    /// traffic: when a best-effort parcel arrives while this many entries
+    /// are already queued for egress (or unsent at the transport), it is
+    /// dropped on the floor and accounted in
+    /// `/network/best-effort-dropped` — best-effort traffic may shed
+    /// under pressure, never stall quiescence.
+    pub best_effort_backlog: usize,
     /// Idle park interval of scheduler workers.
     pub idle_park: Duration,
     /// Fixed CPU cost charged on the caller for every remote invocation
@@ -83,6 +90,7 @@ impl Default for RuntimeConfig {
             transport: TransportKind::default(),
             reliability: None,
             egress_drain_budget: ParcelPortConfig::default().egress_drain_budget,
+            best_effort_backlog: ParcelPortConfig::default().best_effort_backlog,
             idle_park: Duration::from_micros(200),
             invocation_overhead: Duration::from_nanos(1_500),
             topology: None,
@@ -107,6 +115,7 @@ impl RuntimeConfig {
             }),
             reliability: None,
             egress_drain_budget: ParcelPortConfig::default().egress_drain_budget,
+            best_effort_backlog: ParcelPortConfig::default().best_effort_backlog,
             idle_park: Duration::from_micros(200),
             invocation_overhead: Duration::ZERO,
             topology: None,
@@ -143,6 +152,143 @@ impl<A, R> ActionHandle<A, R> {
     /// The action's wire id.
     pub fn id(&self) -> ActionId {
         self.id
+    }
+}
+
+/// Default flush interval of the newest-wins mailbox behind
+/// [`DeliveryClass::Coalesce`] actions.
+const DEFAULT_COALESCE_INTERVAL: Duration = Duration::from_micros(100);
+
+/// The unified action-registration builder ([`Runtime::action`]).
+///
+/// Collapses the old `register_action`/`register_action_with_locality`
+/// pair and carries the action's delivery contract from registration to
+/// the wire:
+///
+/// ```ignore
+/// // A lossless request/response action (the default):
+/// let get = rt.action("get").register(|(): ()| 42u64);
+///
+/// // A coalesced state-update whose intermediate values may be
+/// // superseded — N updates per interval cost one wire record:
+/// let sync = rt.action("sync")
+///     .delivery(DeliveryClass::Coalesce)
+///     .coalesce_interval(Duration::from_micros(250))
+///     .with_locality()
+///     .register(|here, v: u64| { /* apply v at `here` */ });
+/// ```
+#[must_use = "the builder registers nothing until .register(f) is called"]
+pub struct ActionBuilder<'rt> {
+    rt: &'rt Arc<Runtime>,
+    name: String,
+    class: DeliveryClass,
+    coalesce_interval: Duration,
+}
+
+impl<'rt> ActionBuilder<'rt> {
+    /// Set the action's delivery class (default
+    /// [`DeliveryClass::Lossless`]).
+    pub fn delivery(mut self, class: DeliveryClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Set the mailbox flush interval used when the class is
+    /// [`DeliveryClass::Coalesce`] (default 100 µs). Ignored for other
+    /// classes.
+    pub fn coalesce_interval(mut self, interval: Duration) -> Self {
+        self.coalesce_interval = interval;
+        self
+    }
+
+    /// Switch to a handler that also receives the executing locality id
+    /// (needed by workloads that index distributed state).
+    pub fn with_locality(self) -> LocalityActionBuilder<'rt> {
+        LocalityActionBuilder { inner: self }
+    }
+
+    /// Register the handler on every hosted locality; returns the typed
+    /// handle. The handler runs on the destination locality inside a
+    /// scheduler task, with its arguments deserialized from the parcel
+    /// and its result serialized back (HPX_PLAIN_ACTION).
+    ///
+    /// # Panics
+    /// Panics if the name is already registered.
+    pub fn register<A, R>(self, f: impl Fn(A) -> R + Send + Sync + 'static) -> ActionHandle<A, R>
+    where
+        A: Wire + Send + 'static,
+        R: Wire + Send + 'static,
+    {
+        let f = Arc::new(f);
+        let id = self.rt.register_classed(
+            &self.name,
+            self.class,
+            self.coalesce_interval,
+            move |_here| {
+                let f = Arc::clone(&f);
+                Arc::new(move |args: Bytes| {
+                    let args: A = from_bytes(args)?;
+                    Ok(to_bytes(&f(args)))
+                })
+            },
+        );
+        ActionHandle {
+            id,
+            name: Arc::from(self.name.as_str()),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// [`ActionBuilder`] continuation for handlers that receive the executing
+/// locality id ([`ActionBuilder::with_locality`]).
+#[must_use = "the builder registers nothing until .register(f) is called"]
+pub struct LocalityActionBuilder<'rt> {
+    inner: ActionBuilder<'rt>,
+}
+
+impl LocalityActionBuilder<'_> {
+    /// Set the action's delivery class (default
+    /// [`DeliveryClass::Lossless`]).
+    pub fn delivery(mut self, class: DeliveryClass) -> Self {
+        self.inner.class = class;
+        self
+    }
+
+    /// Set the mailbox flush interval used when the class is
+    /// [`DeliveryClass::Coalesce`] (default 100 µs).
+    pub fn coalesce_interval(mut self, interval: Duration) -> Self {
+        self.inner.coalesce_interval = interval;
+        self
+    }
+
+    /// Register the locality-aware handler on every hosted locality.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered.
+    pub fn register<A, R>(
+        self,
+        f: impl Fn(u32, A) -> R + Send + Sync + 'static,
+    ) -> ActionHandle<A, R>
+    where
+        A: Wire + Send + 'static,
+        R: Wire + Send + 'static,
+    {
+        let b = self.inner;
+        let f = Arc::new(f);
+        let id =
+            b.rt.register_classed(&b.name, b.class, b.coalesce_interval, move |here| {
+                let f = Arc::clone(&f);
+                Arc::new(move |args: Bytes| {
+                    let args: A = from_bytes(args)?;
+                    Ok(to_bytes(&f(here, args)))
+                })
+            });
+        ActionHandle {
+            id,
+            name: Arc::from(b.name.as_str()),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -281,6 +427,12 @@ fn register_network_counters(
         "/network/delivery-failures",
         mk(&port, |s| s.delivery_failures.load(Ordering::Relaxed)),
     );
+    // Best-effort parcels shed under egress pressure or dropped by wire
+    // faults; never retransmitted, never counted against quiescence.
+    registry.register_or_replace(
+        "/network/best-effort-dropped",
+        mk(&port, |s| s.best_effort_dropped.load(Ordering::Relaxed)),
+    );
     // Event-loop backend internals (always zero on the simulated
     // fabric): poller dispatches, vectored read batches, frames flushed
     // by vectored writes.
@@ -343,6 +495,18 @@ fn register_parcel_counters(registry: &Arc<CounterRegistry>, port: &Arc<ParcelPo
     registry.register_or_replace(
         "/parcels/count/dropped",
         mk(port, |s| s.dropped.load(Ordering::Relaxed)),
+    );
+    // Coalesce-class mailbox traffic: values superseded before flushing
+    // and slot flushes that actually hit the wire.
+    registry.register_or_replace(
+        "/parcels/coalesce-mailbox-replaced",
+        mk(port, |s| {
+            s.coalesce_mailbox_replaced.load(Ordering::Relaxed)
+        }),
+    );
+    registry.register_or_replace(
+        "/parcels/coalesce-mailbox-flushed",
+        mk(port, |s| s.coalesce_mailbox_flushed.load(Ordering::Relaxed)),
     );
     let stats = port.stats();
     registry.register_or_replace(
@@ -679,6 +843,7 @@ impl Runtime {
                 Arc::clone(&actions),
                 ParcelPortConfig {
                     egress_drain_budget: config.egress_drain_budget,
+                    best_effort_backlog: config.best_effort_backlog,
                 },
             );
 
@@ -893,11 +1058,32 @@ impl Runtime {
         self.local(id)
     }
 
+    /// Begin registering a typed action: the unified registration
+    /// builder.
+    ///
+    /// ```ignore
+    /// let h = rt.action("state::update")
+    ///     .delivery(DeliveryClass::Coalesce)
+    ///     .register(|v: u64| v);
+    /// ```
+    ///
+    /// Defaults: [`DeliveryClass::Lossless`], handler without a locality
+    /// argument. See [`ActionBuilder`] for the knobs.
+    pub fn action<'rt>(self: &'rt Arc<Self>, name: &str) -> ActionBuilder<'rt> {
+        ActionBuilder {
+            rt: self,
+            name: name.to_string(),
+            class: DeliveryClass::Lossless,
+            coalesce_interval: DEFAULT_COALESCE_INTERVAL,
+        }
+    }
+
     /// Register a typed action on every locality; returns its handle.
     ///
     /// The handler runs on the destination locality inside a scheduler
     /// task, with its arguments deserialized from the parcel and its
     /// result serialized back (HPX_PLAIN_ACTION).
+    #[deprecated(note = "use the registration builder: rt.action(name).register(f)")]
     pub fn register_action<A, R>(
         self: &Arc<Self>,
         name: &str,
@@ -907,35 +1093,14 @@ impl Runtime {
         A: Wire + Send + 'static,
         R: Wire + Send + 'static,
     {
-        let _guard = self.registration.lock();
-        let f = Arc::new(f);
-        let mut id = None;
-        for locality in &self.localities {
-            let f = Arc::clone(&f);
-            let this_id = locality.actions.register(
-                name,
-                Arc::new(move |args: Bytes| {
-                    let args: A = from_bytes(args)?;
-                    Ok(to_bytes(&f(args)))
-                }),
-            );
-            match id {
-                None => id = Some(this_id),
-                Some(prev) => assert_eq!(
-                    prev, this_id,
-                    "action id skew across localities — registration must be mirrored"
-                ),
-            }
-        }
-        ActionHandle {
-            id: id.expect("at least one locality"),
-            name: Arc::from(name),
-            _marker: PhantomData,
-        }
+        self.action(name).register(f)
     }
 
     /// Register a typed action whose handler also receives the executing
     /// locality id (needed by workloads that index distributed state).
+    #[deprecated(
+        note = "use the registration builder: rt.action(name).with_locality().register(f)"
+    )]
     pub fn register_action_with_locality<A, R>(
         self: &Arc<Self>,
         name: &str,
@@ -945,29 +1110,60 @@ impl Runtime {
         A: Wire + Send + 'static,
         R: Wire + Send + 'static,
     {
+        self.action(name).with_locality().register(f)
+    }
+
+    /// The shared registration core behind [`Runtime::action`]: mirror
+    /// the handler into every hosted locality's registry under `class`,
+    /// stamp the class into each parcel port's dispatch tables, and —
+    /// for [`DeliveryClass::Coalesce`] — install the newest-wins mailbox
+    /// interceptor that turns N queued updates into one wire record.
+    fn register_classed(
+        self: &Arc<Self>,
+        name: &str,
+        class: DeliveryClass,
+        coalesce_interval: Duration,
+        mk: impl Fn(u32) -> rpx_parcel::RawHandler,
+    ) -> ActionId {
         let _guard = self.registration.lock();
-        let f = Arc::new(f);
         let mut id = None;
         for locality in &self.localities {
-            let f = Arc::clone(&f);
-            let here = locality.id;
-            let this_id = locality.actions.register(
-                name,
-                Arc::new(move |args: Bytes| {
-                    let args: A = from_bytes(args)?;
-                    Ok(to_bytes(&f(here, args)))
-                }),
-            );
+            let this_id = locality
+                .actions
+                .register_with_class(name, class, mk(locality.id));
+            locality.port.set_action_class(this_id, class);
             match id {
                 None => id = Some(this_id),
-                Some(prev) => assert_eq!(prev, this_id, "action id skew across localities"),
+                Some(prev) => assert_eq!(
+                    prev, this_id,
+                    "action id skew across localities — registration must be mirrored"
+                ),
             }
         }
-        ActionHandle {
-            id: id.expect("at least one locality"),
-            name: Arc::from(name),
-            _marker: PhantomData,
+        let id = id.expect("at least one locality");
+        if class == DeliveryClass::Coalesce {
+            // One mailbox coalescer per hosted locality: a single
+            // value-replacing slot per destination, drained by the flush
+            // timer every `coalesce_interval`. nparcels/max_bytes never
+            // trigger for a mailbox; 2 simply keeps the sparse-bypass
+            // logic enabled (1 would disable coalescing outright).
+            let params = rpx_coalesce::ParamsHandle::new(rpx_coalesce::CoalescingParams::new(
+                2,
+                coalesce_interval,
+            ));
+            for locality in &self.localities {
+                let mailbox = rpx_coalesce::Coalescer::with_handle_policy(
+                    name,
+                    params.clone(),
+                    rpx_coalesce::FlushPolicy::Mailbox,
+                    Arc::clone(&self.timer),
+                    Arc::clone(&locality.port) as Arc<dyn rpx_parcel::SendPath>,
+                );
+                mailbox.register_counters(&locality.registry);
+                locality.port.set_interceptor(id, mailbox as _);
+            }
         }
+        id
     }
 
     /// Enable message coalescing for a registered action
@@ -1333,5 +1529,92 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The deprecated `register_action*` shims and the builder are the
+    /// same registration surface: identical ids, identical order hashes
+    /// (the multi-rank mirroring invariant must hold across old and new
+    /// code paths).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder_registration() {
+        let old = Runtime::new(RuntimeConfig::small_test());
+        let a1 = old.register_action("shim::a", |x: u64| x);
+        let b1 = old.register_action_with_locality("shim::b", |here, (): ()| here);
+
+        let new = Runtime::new(RuntimeConfig::small_test());
+        let a2 = new.action("shim::a").register(|x: u64| x);
+        let b2 = new
+            .action("shim::b")
+            .with_locality()
+            .register(|here, (): ()| here);
+
+        assert_eq!(a1.id(), a2.id());
+        assert_eq!(b1.id(), b2.id());
+        assert_eq!(
+            old.localities[0].actions.order_hash(),
+            new.localities[0].actions.order_hash(),
+            "shims and builder must produce identical registration hashes"
+        );
+        old.shutdown();
+        new.shutdown();
+    }
+
+    #[test]
+    fn builder_stamps_class_on_every_locality() {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let lossless = rt.action("cls::plain").register(|x: u64| x);
+        let be = rt
+            .action("cls::be")
+            .delivery(DeliveryClass::BestEffort)
+            .register(|x: u64| x);
+        let co = rt
+            .action("cls::co")
+            .delivery(DeliveryClass::Coalesce)
+            .with_locality()
+            .register(|_here, x: u64| x);
+        for l in &rt.localities {
+            assert_eq!(
+                l.actions.class(lossless.id()),
+                Some(DeliveryClass::Lossless)
+            );
+            assert_eq!(l.actions.class(be.id()), Some(DeliveryClass::BestEffort));
+            assert_eq!(l.actions.class(co.id()), Some(DeliveryClass::Coalesce));
+            assert_eq!(l.port.action_class(be.id()), DeliveryClass::BestEffort);
+            assert_eq!(l.port.action_class(co.id()), DeliveryClass::Coalesce);
+        }
+        // Localities agree on the order hash with classes folded in.
+        assert_eq!(
+            rt.localities[0].actions.order_hash(),
+            rt.localities[1].actions.order_hash()
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn coalesce_registration_installs_mailbox_counters() {
+        let rt = Runtime::new(RuntimeConfig::small_test());
+        let _h = rt
+            .action("mb::sync")
+            .delivery(DeliveryClass::Coalesce)
+            .register(|_v: u64| ());
+        // The mailbox coalescer registered its per-action counters on
+        // every hosted locality at registration time.
+        for l in 0..2 {
+            assert!(
+                rt.query(l, "/coalescing/count/parcels@mb::sync").is_ok(),
+                "locality {l} missing mailbox coalescing counters"
+            );
+        }
+        // And the delivery-class counters exist in discovery.
+        assert!(rt.query(0, "/network/best-effort-dropped").is_ok());
+        assert!(rt.query(0, "/parcels/coalesce-mailbox-replaced").is_ok());
+        assert!(rt.query(0, "/parcels/coalesce-mailbox-flushed").is_ok());
+        rt.shutdown();
     }
 }

@@ -29,7 +29,7 @@ use rpx_util::busy_charge;
 
 use crate::fault::{FaultAction, FaultPlan, FaultStage};
 use crate::frame::{corrupt_frame, decode_frame, encode_frame, wire_len};
-use crate::message::Message;
+use crate::message::{DeliveryClass, Message};
 use crate::model::LinkModel;
 use crate::transport::{NotifyFn, ReceiveHandler, Transport, TransportPort};
 
@@ -90,6 +90,19 @@ pub struct PortStats {
     /// blocked producer back). A low ratio of wakeups to shm messages
     /// means the bounded-spin drain is batching well.
     pub doorbell_wakeups: AtomicU64,
+    /// BestEffort-class messages intentionally discarded at this port —
+    /// on the send side by a fault plan's wire drop or the parcel layer
+    /// shedding load past its BestEffort backlog bound, and on the
+    /// receive side when a frame arrives reordered so far behind its
+    /// peers that the dedup window can no longer prove it unseen.
+    /// At-most-once accounting: summed across both endpoints,
+    /// `delivered + best_effort_dropped == sent` holds for BestEffort
+    /// traffic under drop/duplicate faults. The counter is conservative:
+    /// it never under-reports loss, but under extreme reordering it may
+    /// over-report (a wire-duplicate displaced past the dedup window is
+    /// discarded as stale even though its twin was delivered). Corrupted
+    /// frames are counted as the receiver's `decode_failures` instead.
+    pub best_effort_dropped: AtomicU64,
 }
 
 struct InFlight {
@@ -420,7 +433,15 @@ impl SimPort {
                 self.shared.reorder.lock().on_pass();
             }
             match action {
-                FaultAction::Drop => continue,
+                FaultAction::Drop => {
+                    if message.class == DeliveryClass::BestEffort {
+                        self.shared
+                            .stats
+                            .best_effort_dropped
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
                 FaultAction::Corrupt => {
                     // Route the corruption through the shared frame codec:
                     // the flipped byte fails the destination's checksum,
@@ -894,6 +915,37 @@ mod tests {
         assert!(!in_order, "every 4th message should have been displaced");
         seen.sort_unstable();
         assert_eq!(seen, (0..16).collect::<Vec<u8>>(), "nothing lost");
+    }
+
+    #[test]
+    fn best_effort_wire_drops_are_accounted() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let a = fabric.port(0);
+        let b = fabric.port(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_receiver(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.set_fault_plan(Some(Arc::new(FaultPlan::drop_every(2))));
+        for _ in 0..10 {
+            a.send(msg(0, 1, b"be").with_class(DeliveryClass::BestEffort));
+        }
+        assert!(pump_until(
+            &[a.clone(), b.clone()],
+            || hits.load(Ordering::SeqCst) == 5,
+            Duration::from_secs(2)
+        ));
+        // received + best_effort_dropped == sent.
+        assert_eq!(a.stats().best_effort_dropped.load(Ordering::SeqCst), 5);
+        assert_eq!(a.stats().sent_messages.load(Ordering::SeqCst), 10);
+
+        // Lossless drops are NOT counted against the BestEffort gauge.
+        for _ in 0..4 {
+            a.send(msg(0, 1, b"ll"));
+        }
+        while a.pump_send() {}
+        assert_eq!(a.stats().best_effort_dropped.load(Ordering::SeqCst), 5);
     }
 
     #[test]

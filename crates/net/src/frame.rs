@@ -4,7 +4,9 @@
 //! share the kind byte: the high bit ([`SEQ_FLAG`]) marks a *sequenced*
 //! frame carrying the reliability sublayer's per-destination sequence
 //! number; without it the layout is the original seq-less frame, so
-//! unreliable traffic pays zero extra bytes.
+//! unreliable traffic pays zero extra bytes. Bits 5–6 ([`CLASS_MASK`])
+//! carry the message's [`DeliveryClass`]; the zero pattern is Lossless,
+//! so frames from before delivery classes decode unchanged.
 //!
 //! ```text
 //! v1: [len: u32 LE][src: u32 LE][dst: u32 LE][kind: u8][crc: u32 LE][payload…]
@@ -26,7 +28,7 @@
 
 use bytes::Bytes;
 
-use crate::message::{Message, MessageKind};
+use crate::message::{DeliveryClass, Message, MessageKind};
 
 /// Bytes of frame overhead ahead of the payload for an **unsequenced**
 /// frame: `len(4) + src(4) + dst(4) + kind(1) + crc(4)`.
@@ -37,6 +39,12 @@ pub const SEQ_OVERHEAD: usize = 8;
 
 /// Kind-byte flag marking a sequenced (v2) frame.
 pub const SEQ_FLAG: u8 = 0x80;
+
+/// Kind-byte bits carrying the [`DeliveryClass`]: `0x00` Lossless,
+/// `0x20` BestEffort, `0x40` Coalesce (`0x60` is invalid and rejected
+/// as [`FrameError::BadKind`]). Zero means Lossless, so pre-class
+/// frames decode under their historical contract.
+pub const CLASS_MASK: u8 = 0x60;
 
 /// Frame-body bytes ahead of the payload for an unsequenced frame
 /// (everything the length prefix counts except the payload itself).
@@ -71,7 +79,8 @@ pub enum FrameError {
     /// The length prefix is below the minimum body size or above
     /// [`MAX_FRAME_BODY`].
     BadLength(u32),
-    /// The kind byte is not a known [`MessageKind`] (version bit aside).
+    /// The kind byte is not a known [`MessageKind`] (version and class
+    /// bits aside), or carries the invalid `0x60` class pattern.
     BadKind(u8),
     /// The checksum did not match (bit rot / injected corruption).
     Checksum,
@@ -128,7 +137,9 @@ pub fn encode_frame(message: &Message) -> Vec<u8> {
         0
     };
     let body_len = (BODY_HEADER_LEN + seq_extra + message.len()) as u32;
-    let kind_byte = message.kind as u8 | if message.seq.is_some() { SEQ_FLAG } else { 0 };
+    let kind_byte = message.kind as u8
+        | message.class.bits()
+        | if message.seq.is_some() { SEQ_FLAG } else { 0 };
     out.extend_from_slice(&body_len.to_le_bytes());
     out.extend_from_slice(&message.src.to_le_bytes());
     out.extend_from_slice(&message.dst.to_le_bytes());
@@ -162,8 +173,10 @@ pub struct FrameView<'a> {
     pub src: u32,
     /// Destination locality.
     pub dst: u32,
-    /// Message kind (version bit stripped).
+    /// Message kind (version and class bits stripped).
     pub kind: MessageKind,
+    /// Delivery class carried in the kind byte's [`CLASS_MASK`] bits.
+    pub class: DeliveryClass,
     /// Reliability sequence number (v2 frames only).
     pub seq: Option<u64>,
     /// Payload bytes, borrowed from the frame body.
@@ -187,7 +200,7 @@ impl<'a> FrameView<'a> {
     /// buffer covering exactly the bytes of [`FrameView::payload`]).
     pub fn with_payload(&self, payload: Bytes) -> Message {
         debug_assert_eq!(payload.as_ref(), self.payload, "payload mismatch");
-        let message = Message::new(self.src, self.dst, self.kind, payload);
+        let message = Message::new(self.src, self.dst, self.kind, payload).with_class(self.class);
         match self.seq {
             Some(s) => message.with_seq(s),
             None => message,
@@ -208,8 +221,10 @@ pub fn decode_frame_in_place(body: &[u8]) -> Result<FrameView<'_>, FrameError> {
     let src = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
     let dst = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
     let kind_byte = body[8];
-    let kind =
-        MessageKind::try_from(kind_byte & !SEQ_FLAG).map_err(|_| FrameError::BadKind(kind_byte))?;
+    let kind = MessageKind::try_from(kind_byte & !(SEQ_FLAG | CLASS_MASK))
+        .map_err(|_| FrameError::BadKind(kind_byte))?;
+    let class =
+        DeliveryClass::from_bits(kind_byte & CLASS_MASK).ok_or(FrameError::BadKind(kind_byte))?;
     let mut at = 9;
     let seq = if kind_byte & SEQ_FLAG != 0 {
         if body.len() < BODY_HEADER_LEN + SEQ_OVERHEAD {
@@ -230,6 +245,7 @@ pub fn decode_frame_in_place(body: &[u8]) -> Result<FrameView<'_>, FrameError> {
         src,
         dst,
         kind,
+        class,
         seq,
         payload,
     })
@@ -394,10 +410,41 @@ mod tests {
     }
 
     #[test]
+    fn class_bits_roundtrip_on_the_wire() {
+        for class in [
+            DeliveryClass::Lossless,
+            DeliveryClass::BestEffort,
+            DeliveryClass::Coalesce,
+        ] {
+            for m in [
+                msg(b"classed").with_class(class),
+                msg(b"classed").with_class(class).with_seq(41),
+            ] {
+                let frame = encode_frame(&m);
+                // The class costs zero extra wire bytes.
+                assert_eq!(frame.len(), wire_len(&m));
+                let (d, _) = decode_frame(&frame).unwrap();
+                assert_eq!(d.class, class);
+                assert_eq!(d, m);
+                let view = decode_frame_in_place(&frame[4..]).unwrap();
+                assert_eq!(view.class, class);
+                assert_eq!(view.to_message(), m);
+            }
+        }
+    }
+
+    #[test]
     fn bad_kind_and_bad_length_are_rejected() {
         let mut frame = encode_frame(&msg(b"x"));
-        frame[12] = 99; // kind byte (no version bit)
+        frame[12] = 99; // kind byte: 0x63 = the invalid 0x60 class pattern
         assert!(matches!(decode_frame(&frame), Err(FrameError::BadKind(99))));
+
+        let mut frame = encode_frame(&msg(b"x"));
+        frame[12] = 0x1f; // valid class bits, unknown kind
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(FrameError::BadKind(0x1f))
+        ));
 
         let mut frame = encode_frame(&msg(b"x"));
         frame[0..4].copy_from_slice(&(MAX_FRAME_BODY as u32 + 1).to_le_bytes());

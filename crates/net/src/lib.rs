@@ -59,9 +59,9 @@ pub use fabric::{Fabric, NetPort, PortStats, SimPort, SimTransport};
 pub use fault::{FaultAction, FaultPlan, FaultStage};
 pub use frame::{
     corrupt_frame, decode_frame, decode_frame_in_place, encode_frame, frame_len, wire_len,
-    FrameError, FrameView, FRAME_HEADER_LEN, MAX_FRAME_BODY, SEQ_FLAG, SEQ_OVERHEAD,
+    FrameError, FrameView, CLASS_MASK, FRAME_HEADER_LEN, MAX_FRAME_BODY, SEQ_FLAG, SEQ_OVERHEAD,
 };
-pub use message::{Message, MessageKind};
+pub use message::{DeliveryClass, Message, MessageKind};
 pub use model::LinkModel;
 pub use reliability::{DeliveryError, ReliabilityConfig, ReliablePort, ReliableTransport};
 pub use shm::{ShmNamespace, ShmSegment, ShmTuning};

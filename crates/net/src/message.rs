@@ -31,6 +31,57 @@ impl TryFrom<u8> for MessageKind {
     }
 }
 
+/// Per-action delivery contract carried from registration to the wire.
+///
+/// The class travels in two spare bits of the frame kind byte
+/// ([`crate::frame::CLASS_MASK`]), so every backend — simulated fabric,
+/// TCP, shared-memory rings — sees the same contract:
+///
+/// * [`Lossless`](DeliveryClass::Lossless) rides the reliability
+///   sublayer when it is enabled: sequenced, acked, retransmitted,
+///   exactly-once. The default, and the only class that existed before
+///   delivery classes.
+/// * [`BestEffort`](DeliveryClass::BestEffort) skips sequencing and
+///   acks entirely ([`crate::ReliablePort`] passes it straight through)
+///   and may be dropped under egress pressure; drops are counted in
+///   [`crate::PortStats::best_effort_dropped`], never retransmitted,
+///   and never owed to quiescence the way unacked Lossless frames are.
+/// * [`Coalesce`](DeliveryClass::Coalesce) marks newest-wins state
+///   traffic: the parcel layer keeps a per-(destination, action)
+///   mailbox that replaces, rather than appends, queued values. On the
+///   wire it is delivered like Lossless (the final value must arrive),
+///   but receivers may discard stale values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum DeliveryClass {
+    /// Exactly-once delivery over the reliability sublayer (default).
+    #[default]
+    Lossless = 0,
+    /// At-most-once: unsequenced, unacked, droppable under pressure.
+    BestEffort = 1,
+    /// Newest-wins state sync: mailbox-queued, stale values discardable.
+    Coalesce = 2,
+}
+
+impl DeliveryClass {
+    /// The class encoded into its kind-byte bit pattern (see
+    /// [`crate::frame::CLASS_MASK`]).
+    pub fn bits(self) -> u8 {
+        (self as u8) << 5
+    }
+
+    /// Decode kind-byte class bits (the [`crate::frame::CLASS_MASK`]
+    /// region, already masked). `None` for the one invalid pattern.
+    pub fn from_bits(bits: u8) -> Option<Self> {
+        match bits >> 5 {
+            0 => Some(DeliveryClass::Lossless),
+            1 => Some(DeliveryClass::BestEffort),
+            2 => Some(DeliveryClass::Coalesce),
+            _ => None,
+        }
+    }
+}
+
 /// A framed message travelling between localities.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
@@ -40,6 +91,10 @@ pub struct Message {
     pub dst: u32,
     /// Payload classification.
     pub kind: MessageKind,
+    /// The delivery contract this message travels under (class bits in
+    /// the frame kind byte; old frames decode as
+    /// [`DeliveryClass::Lossless`]).
+    pub class: DeliveryClass,
     /// Per-`(src, dst)` monotonic delivery sequence number, stamped by the
     /// reliability sublayer ([`crate::reliability::ReliablePort`]).
     /// `None` for unsequenced traffic (the raw transports never set it);
@@ -51,12 +106,13 @@ pub struct Message {
 }
 
 impl Message {
-    /// Construct an unsequenced message.
+    /// Construct an unsequenced [`DeliveryClass::Lossless`] message.
     pub fn new(src: u32, dst: u32, kind: MessageKind, payload: Bytes) -> Self {
         Message {
             src,
             dst,
             kind,
+            class: DeliveryClass::Lossless,
             seq: None,
             payload,
         }
@@ -65,6 +121,12 @@ impl Message {
     /// This message with a delivery sequence number stamped on it.
     pub fn with_seq(mut self, seq: u64) -> Self {
         self.seq = Some(seq);
+        self
+    }
+
+    /// This message travelling under the given delivery class.
+    pub fn with_class(mut self, class: DeliveryClass) -> Self {
+        self.class = class;
         self
     }
 
@@ -104,6 +166,23 @@ mod tests {
         assert_eq!(m.src, 0);
         assert_eq!(m.dst, 1);
         assert_eq!(m.seq, None);
+        assert_eq!(m.class, DeliveryClass::Lossless);
         assert_eq!(m.with_seq(7).seq, Some(7));
+    }
+
+    #[test]
+    fn class_bits_roundtrip() {
+        for c in [
+            DeliveryClass::Lossless,
+            DeliveryClass::BestEffort,
+            DeliveryClass::Coalesce,
+        ] {
+            assert_eq!(DeliveryClass::from_bits(c.bits()), Some(c));
+        }
+        assert_eq!(DeliveryClass::from_bits(0x60), None);
+        assert_eq!(DeliveryClass::default(), DeliveryClass::Lossless);
+        let m = Message::new(0, 1, MessageKind::Parcel, Bytes::new())
+            .with_class(DeliveryClass::BestEffort);
+        assert_eq!(m.class, DeliveryClass::BestEffort);
     }
 }

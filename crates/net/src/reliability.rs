@@ -58,7 +58,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::fabric::PortStats;
 use crate::fault::FaultPlan;
-use crate::message::{Message, MessageKind};
+use crate::message::{DeliveryClass, Message, MessageKind};
 use crate::transport::{NotifyFn, ReceiveHandler, Transport, TransportPort};
 
 /// Tuning knobs for the reliability sublayer.
@@ -468,8 +468,13 @@ impl TransportPort for ReliablePort {
 
     fn send(&self, message: Message) {
         // Acks (and anything already sequenced by a caller) bypass the
-        // sequencer: acking acks would never converge.
-        if message.kind == MessageKind::Ack || message.seq.is_some() {
+        // sequencer: acking acks would never converge. BestEffort-class
+        // traffic bypasses by contract — unsequenced, unacked, never
+        // retransmitted, never owed to quiescence.
+        if message.kind == MessageKind::Ack
+            || message.seq.is_some()
+            || message.class == DeliveryClass::BestEffort
+        {
             self.shared.inner.send(message);
             return;
         }
@@ -814,6 +819,86 @@ mod tests {
         assert!(pump_until(
             &[&a, &b],
             || hits.load(Ordering::SeqCst) == 1 && a.unacked() == 0,
+            Duration::from_secs(5)
+        ));
+    }
+
+    #[test]
+    fn best_effort_skips_sequencing_and_acks() {
+        let (_t, a, b) = reliable_pair(ReliabilityConfig::default());
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_receiver(Arc::new(move |m: Message| {
+            assert_eq!(m.seq, None, "BestEffort must travel unsequenced");
+            assert_eq!(m.class, DeliveryClass::BestEffort);
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        for _ in 0..10 {
+            a.send(msg(0, 1, b"be").with_class(DeliveryClass::BestEffort));
+        }
+        assert!(pump_until(
+            &[&a, &b],
+            || hits.load(Ordering::SeqCst) == 10,
+            Duration::from_secs(5)
+        ));
+        // Nothing entered the retransmit queue and no acks flowed.
+        assert_eq!(a.unacked(), 0);
+        assert_eq!(a.outbound_backlog(), 0);
+        std::thread::sleep(Duration::from_millis(1));
+        for p in [&a, &b] {
+            p.pump();
+        }
+        assert_eq!(b.stats().acks_sent.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn best_effort_drops_are_not_repaired() {
+        let (_t, a, b) = reliable_pair(ReliabilityConfig {
+            rto_initial: Duration::from_micros(200),
+            ..Default::default()
+        });
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_receiver(Arc::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        a.set_fault_plan(Some(Arc::new(FaultPlan::drop_every(2))));
+        for _ in 0..20 {
+            a.send(msg(0, 1, b"be").with_class(DeliveryClass::BestEffort));
+        }
+        assert!(pump_until(
+            &[&a, &b],
+            || hits.load(Ordering::SeqCst) == 10,
+            Duration::from_secs(5)
+        ));
+        std::thread::sleep(Duration::from_millis(2));
+        for p in [&a, &b] {
+            p.pump();
+        }
+        // At-most-once: exactly the survivors, no retransmits, and the
+        // drops are accounted for by the wire counter.
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+        assert_eq!(a.stats().retransmits.load(Ordering::SeqCst), 0);
+        assert_eq!(a.stats().best_effort_dropped.load(Ordering::SeqCst), 10);
+        assert_eq!(a.unacked(), 0);
+    }
+
+    #[test]
+    fn coalesce_class_is_sequenced_like_lossless() {
+        let (_t, a, b) = reliable_pair(ReliabilityConfig::default());
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.set_receiver(Arc::new(move |m: Message| {
+            assert!(m.seq.is_some(), "Coalesce rides the reliable wire");
+            assert_eq!(m.class, DeliveryClass::Coalesce);
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        for _ in 0..5 {
+            a.send(msg(0, 1, b"co").with_class(DeliveryClass::Coalesce));
+        }
+        assert!(pump_until(
+            &[&a, &b],
+            || hits.load(Ordering::SeqCst) == 5 && a.unacked() == 0,
             Duration::from_secs(5)
         ));
     }

@@ -77,7 +77,7 @@ use crate::bootstrap::TcpBootstrap;
 use crate::fabric::PortStats;
 use crate::fault::{FaultAction, FaultPlan, FaultStage};
 use crate::frame::{check_body_len, corrupt_frame, decode_frame_in_place, encode_frame, wire_len};
-use crate::message::Message;
+use crate::message::{DeliveryClass, Message};
 use crate::shm::{ShmNamespace, ShmSegment, ShmTuning};
 use crate::transport::{NotifyFn, ReceiveHandler, Transport, TransportPort};
 
@@ -1581,7 +1581,15 @@ impl TcpPort {
             }
             let dst = message.dst as usize;
             match action {
-                FaultAction::Drop => continue,
+                FaultAction::Drop => {
+                    if message.class == DeliveryClass::BestEffort {
+                        shared
+                            .stats
+                            .best_effort_dropped
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
                 FaultAction::Corrupt => {
                     let mut frame = encode_frame(&message);
                     corrupt_frame(&mut frame);

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use rpx_net::DeliveryClass;
 use rpx_serialize::WireError;
 use rpx_util::SlotTable;
 
@@ -28,6 +29,7 @@ pub type RawHandler = Arc<dyn Fn(Bytes) -> Result<Bytes, WireError> + Send + Syn
 #[derive(Default)]
 struct Meta {
     names: Vec<String>,
+    classes: Vec<DeliveryClass>,
     by_name: HashMap<String, ActionId>,
 }
 
@@ -49,12 +51,31 @@ impl ActionRegistry {
         Arc::new(Self::default())
     }
 
-    /// Register `handler` under `name`, returning its id.
+    /// Register `handler` under `name` with the default
+    /// [`DeliveryClass::Lossless`] contract, returning its id.
     ///
     /// # Panics
     /// Panics if the name is already registered — duplicate action names
     /// are a programming error, as in HPX.
     pub fn register(&self, name: &str, handler: RawHandler) -> ActionId {
+        self.register_with_class(name, DeliveryClass::Lossless, handler)
+    }
+
+    /// Register `handler` under `name` with an explicit delivery class.
+    ///
+    /// The class is part of the registration contract: it participates
+    /// in [`ActionRegistry::order_hash`], so ranks disagreeing on an
+    /// action's class are detected at boot exactly like ranks
+    /// disagreeing on registration order.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered.
+    pub fn register_with_class(
+        &self,
+        name: &str,
+        class: DeliveryClass,
+        handler: RawHandler,
+    ) -> ActionId {
         let mut meta = self.meta.lock();
         assert!(
             !meta.by_name.contains_key(name),
@@ -62,6 +83,7 @@ impl ActionRegistry {
         );
         let id = ActionId(meta.names.len() as u32);
         meta.names.push(name.to_string());
+        meta.classes.push(class);
         meta.by_name.insert(name.to_string(), id);
         self.handlers.set(id.0 as usize, handler);
         self.count.fetch_add(1, Ordering::Release);
@@ -71,6 +93,11 @@ impl ActionRegistry {
     /// Look up an action id by name.
     pub fn lookup(&self, name: &str) -> Option<ActionId> {
         self.meta.lock().by_name.get(name).copied()
+    }
+
+    /// The delivery class an action was registered under.
+    pub fn class(&self, id: ActionId) -> Option<DeliveryClass> {
+        self.meta.lock().classes.get(id.0 as usize).copied()
     }
 
     /// The name of an action.
@@ -89,23 +116,28 @@ impl ActionRegistry {
         self.count.load(Ordering::Acquire)
     }
 
-    /// FNV-1a hash over the registered names *in registration order*.
+    /// FNV-1a hash over the registered names *in registration order*,
+    /// each folded with its delivery class.
     ///
     /// Action ids are dense registration indices, so two processes agree
     /// on every id if and only if their order hashes agree — this is the
     /// value ranks exchange at boot to detect registration skew before
-    /// any parcel is dispatched against a wrong handler.
+    /// any parcel is dispatched against a wrong handler. Folding the
+    /// class in extends that contract: ranks must also agree on each
+    /// action's delivery class, or one side would drop/sequence traffic
+    /// the other considers reliable.
     pub fn order_hash(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         let meta = self.meta.lock();
         let mut h = FNV_OFFSET;
-        for name in &meta.names {
+        for (name, class) in meta.names.iter().zip(&meta.classes) {
             for b in name.as_bytes() {
                 h = (h ^ *b as u64).wrapping_mul(FNV_PRIME);
             }
             // Separator so ["ab","c"] and ["a","bc"] differ.
             h = (h ^ 0xff).wrapping_mul(FNV_PRIME);
+            h = (h ^ *class as u64).wrapping_mul(FNV_PRIME);
         }
         h
     }
@@ -179,6 +211,31 @@ mod tests {
         f.register("a", echo_handler());
         f.register("bc", echo_handler());
         assert_ne!(e.order_hash(), f.order_hash());
+    }
+
+    #[test]
+    fn class_is_recorded_and_defaults_to_lossless() {
+        let reg = ActionRegistry::new();
+        let a = reg.register("plain", echo_handler());
+        let b = reg.register_with_class("be", DeliveryClass::BestEffort, echo_handler());
+        let c = reg.register_with_class("co", DeliveryClass::Coalesce, echo_handler());
+        assert_eq!(reg.class(a), Some(DeliveryClass::Lossless));
+        assert_eq!(reg.class(b), Some(DeliveryClass::BestEffort));
+        assert_eq!(reg.class(c), Some(DeliveryClass::Coalesce));
+        assert_eq!(reg.class(ActionId(9)), None);
+    }
+
+    #[test]
+    fn order_hash_detects_class_skew() {
+        let a = ActionRegistry::new();
+        a.register_with_class("sync", DeliveryClass::Coalesce, echo_handler());
+        let b = ActionRegistry::new();
+        b.register_with_class("sync", DeliveryClass::Coalesce, echo_handler());
+        assert_eq!(a.order_hash(), b.order_hash(), "same class, same hash");
+
+        let c = ActionRegistry::new();
+        c.register("sync", echo_handler());
+        assert_ne!(a.order_hash(), c.order_hash(), "class matters");
     }
 
     #[test]

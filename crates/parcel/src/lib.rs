@@ -39,3 +39,4 @@ pub use port::{
     BatchTaskSpawner, ParcelInterceptor, ParcelPort, ParcelPortConfig, ParcelPortStats, SendPath,
     TaskFn, TaskSpawner,
 };
+pub use rpx_net::DeliveryClass;

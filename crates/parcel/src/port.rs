@@ -31,13 +31,15 @@
 //! shipped back as a continuation parcel addressed to the origin's LCO.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
 use bytes::Bytes;
+use parking_lot::Mutex;
 
 use rpx_agas::Gid;
-use rpx_net::{Message, MessageKind, TransportPort};
+use rpx_net::{DeliveryClass, Message, MessageKind, TransportPort};
 use rpx_serialize::{ArchiveReader, ArchiveWriter, WireError};
 use rpx_util::sync::{ArcCell, BitTable, SlotTable};
 use rpx_util::{IdAllocator, LogHistogram};
@@ -54,6 +56,14 @@ use crate::parcel::Parcel;
 pub trait SendPath: Send + Sync {
     /// Emit a batch (all bound for `dst`) as a single message.
     fn emit(&self, dst: u32, batch: ParcelBatch);
+
+    /// A Coalesce-class mailbox replaced a queued value with a newer one
+    /// (statistics hook; the default implementation ignores it).
+    fn note_mailbox_replaced(&self) {}
+
+    /// A Coalesce-class mailbox flushed its occupant to the wire
+    /// (statistics hook; the default implementation ignores it).
+    fn note_mailbox_flushed(&self) {}
 }
 
 /// A per-action send-side hook (the coalescing plug-in interface).
@@ -108,6 +118,14 @@ pub struct ParcelPortStats {
     /// Tasks admitted per batched spawn on the ingress path (decode →
     /// spawn batch size of one coalesced message).
     pub spawn_batch: Arc<LogHistogram>,
+    /// Coalesce-class mailbox slots that replaced a queued value with a
+    /// newer one — each replacement is one wire record saved.
+    pub coalesce_mailbox_replaced: AtomicU64,
+    /// Coalesce-class mailbox flushes (occupant shipped to the wire).
+    pub coalesce_mailbox_flushed: AtomicU64,
+    /// Received Coalesce-class parcels discarded because a newer value
+    /// from the same (source, action) was already delivered.
+    pub coalesce_stale_dropped: AtomicU64,
 }
 
 impl Default for ParcelPortStats {
@@ -122,6 +140,9 @@ impl Default for ParcelPortStats {
             flush_occupancy: Arc::new(LogHistogram::new(32)),
             wire_bytes: Arc::new(LogHistogram::new(32)),
             spawn_batch: Arc::new(LogHistogram::new(32)),
+            coalesce_mailbox_replaced: AtomicU64::new(0),
+            coalesce_mailbox_flushed: AtomicU64::new(0),
+            coalesce_stale_dropped: AtomicU64::new(0),
         }
     }
 }
@@ -136,12 +157,20 @@ pub struct ParcelPortConfig {
     /// the background thread; the paper's HPX analogue drains its parcel
     /// queues in similarly bounded chunks).
     pub egress_drain_budget: usize,
+    /// Load-shedding bound for BestEffort-class actions: when the egress
+    /// queue (at submit time) or the transport's outbound backlog (at
+    /// pump time) holds at least this many entries, further BestEffort
+    /// parcels are dropped and counted in the transport's
+    /// `best_effort_dropped` statistic instead of queued — bounded
+    /// memory under overload, by contract.
+    pub best_effort_backlog: usize,
 }
 
 impl Default for ParcelPortConfig {
     fn default() -> Self {
         ParcelPortConfig {
             egress_drain_budget: 8,
+            best_effort_backlog: 1024,
         }
     }
 }
@@ -158,6 +187,21 @@ struct Inner {
     /// spawned as tasks (HPX "direct actions"); used for cheap runtime
     /// internals like continuation delivery.
     direct_actions: BitTable,
+    /// Actions registered under [`DeliveryClass::BestEffort`] — their
+    /// parcels are shed past the backlog bound and deduplicated on the
+    /// receive side. Lock-free reads on every send and delivery.
+    best_effort_actions: BitTable,
+    /// Actions registered under [`DeliveryClass::Coalesce`] — their
+    /// messages carry the Coalesce class bit and receivers keep only
+    /// monotone-latest values.
+    coalesce_actions: BitTable,
+    /// BestEffort receive dedup: per-source sliding window over parcel
+    /// ids (ids are allocated monotonically per sender), so a
+    /// wire-duplicated unsequenced frame is delivered at most once.
+    be_dedup: Mutex<HashMap<u32, DedupWindow>>,
+    /// Coalesce monotone-latest filter: highest parcel id delivered per
+    /// (source locality, action); stale values are discarded.
+    coalesce_seen: Mutex<HashMap<(u32, u32), u64>>,
     egress: EgressQueue,
     spawner: ArcCell<SpawnFn>,
     /// Batched spawner: one scheduler admission per coalesced message
@@ -183,6 +227,108 @@ struct Inner {
     /// work. SeqCst is unnecessary: there is no multi-variable total-order
     /// requirement, only this happens-before pairing.
     processing: AtomicUsize,
+}
+
+/// Words in the dedup bitmap; the window spans `DEDUP_WORDS * 64` ids.
+const DEDUP_WORDS: usize = 16;
+const DEDUP_WINDOW: u64 = DEDUP_WORDS as u64 * 64;
+
+/// Sliding at-most-once window over the monotone parcel ids of one
+/// source locality, deduplicating BestEffort traffic (which travels
+/// unsequenced, so a wire-duplicated frame reaches this layer twice).
+///
+/// Bit `i` of the bitmap records delivery of `max_id - i`; ids behind
+/// the whole window are discarded as stale — erring on the
+/// at-most-once side, which is the BestEffort contract. The window is
+/// wide enough (1024 ids) that a frame has to be displaced far past
+/// anything wire reordering or pump-thread scheduling produces before
+/// at-most-once has to discard it as stale.
+#[derive(Debug)]
+struct DedupWindow {
+    max_id: u64,
+    /// Seen-bits for offsets behind `max_id`: offset `k` lives at bit
+    /// `k % 64` of word `k / 64` (word 0 bit 0 is `max_id` itself).
+    bitmap: [u64; DEDUP_WORDS],
+    seeded: bool,
+}
+
+impl Default for DedupWindow {
+    fn default() -> Self {
+        DedupWindow {
+            max_id: 0,
+            bitmap: [0; DEDUP_WORDS],
+            seeded: false,
+        }
+    }
+}
+
+/// The dedup window's verdict for one arriving BestEffort parcel id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admit {
+    /// Not seen before: deliver.
+    Fresh,
+    /// Inside the window with its seen-bit already set: a wire duplicate,
+    /// suppressed and charged to `duplicates_suppressed`.
+    Duplicate,
+    /// Behind the window entirely — the wire reordered this frame so far
+    /// past its peers that at-most-once can no longer prove it unseen.
+    /// Discarded and charged to `best_effort_dropped` (the receive-side
+    /// half of the `delivered + dropped == sent` accounting), never to
+    /// the duplicate gauge.
+    Stale,
+}
+
+impl DedupWindow {
+    /// Record `id` and classify it (see [`Admit`]).
+    fn admit(&mut self, id: u64) -> Admit {
+        if !self.seeded {
+            self.seeded = true;
+            self.max_id = id;
+            self.bitmap[0] = 1;
+            return Admit::Fresh;
+        }
+        if id > self.max_id {
+            self.shift(id - self.max_id);
+            self.bitmap[0] |= 1;
+            self.max_id = id;
+            Admit::Fresh
+        } else {
+            let back = self.max_id - id;
+            if back >= DEDUP_WINDOW {
+                return Admit::Stale;
+            }
+            let (word, bit) = ((back / 64) as usize, 1u64 << (back % 64));
+            if self.bitmap[word] & bit != 0 {
+                Admit::Duplicate
+            } else {
+                self.bitmap[word] |= bit;
+                Admit::Fresh
+            }
+        }
+    }
+
+    /// Slide the window forward by `ahead` ids: every seen-bit moves to a
+    /// higher back-offset, bits pushed past the window fall off.
+    fn shift(&mut self, ahead: u64) {
+        if ahead >= DEDUP_WINDOW {
+            self.bitmap = [0; DEDUP_WORDS];
+            return;
+        }
+        let (words, bits) = ((ahead / 64) as usize, (ahead % 64) as u32);
+        for w in (0..DEDUP_WORDS).rev() {
+            let lo = if w >= words {
+                self.bitmap[w - words]
+            } else {
+                0
+            };
+            let hi = if bits > 0 && w > words {
+                self.bitmap[w - words - 1] >> (64 - bits)
+            } else {
+                0
+            };
+            self.bitmap[w] = (lo << bits) | hi;
+        }
+    }
 }
 
 /// The per-locality parcel engine.
@@ -220,6 +366,10 @@ impl ParcelPort {
             config,
             interceptors: SlotTable::new(),
             direct_actions: BitTable::new(),
+            best_effort_actions: BitTable::new(),
+            coalesce_actions: BitTable::new(),
+            be_dedup: Mutex::new(HashMap::new()),
+            coalesce_seen: Mutex::new(HashMap::new()),
             egress: EgressQueue::new(),
             spawner: ArcCell::new(),
             batch_spawner: ArcCell::new(),
@@ -316,6 +466,22 @@ impl ParcelPort {
         self.inner.direct_actions.set(action.0 as usize);
     }
 
+    /// Declare the delivery class of `action` on this port (called by
+    /// the runtime at registration; [`DeliveryClass::Lossless`] needs no
+    /// marking — it is the default for unmarked actions).
+    pub fn set_action_class(&self, action: ActionId, class: DeliveryClass) {
+        match class {
+            DeliveryClass::Lossless => {}
+            DeliveryClass::BestEffort => self.inner.best_effort_actions.set(action.0 as usize),
+            DeliveryClass::Coalesce => self.inner.coalesce_actions.set(action.0 as usize),
+        }
+    }
+
+    /// The delivery class `action` is marked with on this port.
+    pub fn action_class(&self, action: ActionId) -> DeliveryClass {
+        action_class(&self.inner, action)
+    }
+
     /// Install (or replace) a send-side interceptor for `action`.
     pub fn set_interceptor(&self, action: ActionId, interceptor: Arc<dyn ParcelInterceptor>) {
         self.inner.interceptors.set(action.0 as usize, interceptor);
@@ -381,6 +547,23 @@ impl ParcelPort {
             }
             did_work = true;
             for (dst, batch) in drain.drain(..) {
+                // Batches are per-action (interceptors queue one action;
+                // unintercepted parcels travel as singles), so the first
+                // parcel's class is the message's class.
+                let class = action_class(&self.inner, batch[0].action);
+                if class == DeliveryClass::BestEffort
+                    && self.inner.net.outbound_backlog() >= self.inner.config.best_effort_backlog
+                {
+                    // Transport under pressure: shed BestEffort load here
+                    // rather than grow the wire backlog. The drop is
+                    // accounted, never owed to quiescence.
+                    self.inner
+                        .net
+                        .stats()
+                        .best_effort_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 self.inner.stats.flush_occupancy.record(batch.len() as u64);
                 let (kind, payload) = encode_message(&batch);
                 // Returns the batch buffer to the pool before the fabric
@@ -393,7 +576,7 @@ impl ParcelPort {
                     .fetch_add(1, Ordering::Relaxed);
                 self.inner
                     .net
-                    .send(Message::new(self.inner.locality, dst, kind, payload));
+                    .send(Message::new(self.inner.locality, dst, kind, payload).with_class(class));
             }
             self.inner.processing.fetch_sub(1, Ordering::Release);
         });
@@ -422,10 +605,49 @@ impl SendPath for ParcelPort {
             n();
         }
     }
+
+    fn note_mailbox_replaced(&self) {
+        self.inner
+            .stats
+            .coalesce_mailbox_replaced
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_mailbox_flushed(&self) {
+        self.inner
+            .stats
+            .coalesce_mailbox_flushed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The delivery class of `action` as marked on this port (lock-free).
+fn action_class(inner: &Inner, action: ActionId) -> DeliveryClass {
+    if inner.best_effort_actions.test(action.0 as usize) {
+        DeliveryClass::BestEffort
+    } else if inner.coalesce_actions.test(action.0 as usize) {
+        DeliveryClass::Coalesce
+    } else {
+        DeliveryClass::Lossless
+    }
 }
 
 /// Hand `parcel` to its action's interceptor, or straight to egress.
 fn route_parcel(inner: &Inner, parcel: Parcel) {
+    if inner.best_effort_actions.test(parcel.action.0 as usize)
+        && inner.egress.len() >= inner.config.best_effort_backlog
+    {
+        // BestEffort load shedding at submit time: past the backlog
+        // bound the parcel is dropped (and accounted) instead of queued,
+        // so an overloaded BestEffort producer cannot grow the egress
+        // queue without bound or wedge quiescence.
+        inner
+            .net
+            .stats()
+            .best_effort_dropped
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
     match inner.interceptors.get(parcel.action.0 as usize) {
         Some(i) => i.submit(parcel),
         None => {
@@ -492,8 +714,67 @@ fn receive_message(inner: &Arc<Inner>, message: Message) {
     }
 }
 
+/// Per-class receive admission: `true` if the parcel should execute.
+///
+/// * BestEffort parcels are deduplicated against the per-source sliding
+///   window — BestEffort travels unsequenced, so a wire-duplicated frame
+///   reaches this layer twice and would otherwise double-execute.
+/// * Coalesce parcels deliver only monotone-latest values per
+///   (source, action): a stale value arriving after a newer one (wire
+///   reordering, retransmit races) is discarded, preserving the
+///   newest-wins contract end to end. Parcels carrying a continuation
+///   bypass the filter — a promise must always be resolved.
+/// * Lossless parcels are always admitted (exactly-once is the
+///   reliability sublayer's job).
+fn admit_parcel(inner: &Arc<Inner>, parcel: &Parcel) -> bool {
+    if inner.best_effort_actions.test(parcel.action.0 as usize) {
+        let verdict = inner
+            .be_dedup
+            .lock()
+            .entry(parcel.src_locality)
+            .or_default()
+            .admit(parcel.id);
+        match verdict {
+            Admit::Fresh => return true,
+            Admit::Duplicate => {
+                inner
+                    .net
+                    .stats()
+                    .duplicates_suppressed
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Admit::Stale => {
+                inner
+                    .net
+                    .stats()
+                    .best_effort_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        return false;
+    }
+    if inner.coalesce_actions.test(parcel.action.0 as usize) && !parcel.continuation.is_valid() {
+        let mut seen = inner.coalesce_seen.lock();
+        let last = seen
+            .entry((parcel.src_locality, parcel.action.0))
+            .or_insert(0);
+        if parcel.id <= *last {
+            inner
+                .stats
+                .coalesce_stale_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        *last = parcel.id;
+    }
+    true
+}
+
 /// Deliver one decoded parcel: inline if direct, else one spawned task.
 fn deliver_single(inner: &Arc<Inner>, parcel: Parcel) {
+    if !admit_parcel(inner, &parcel) {
+        return;
+    }
     let weak = Arc::downgrade(inner);
     if inner.direct_actions.test(parcel.action.0 as usize) {
         // Direct action: run inline on the pumping thread. This keeps
@@ -532,6 +813,9 @@ fn deliver_coalesced(inner: &Arc<Inner>, parcels: Vec<Parcel>) {
     debug_assert!(scratch.is_empty());
     scratch.reserve(parcels.len());
     for parcel in parcels {
+        if !admit_parcel(inner, &parcel) {
+            continue;
+        }
         let weak = Arc::downgrade(inner);
         if inner.direct_actions.test(parcel.action.0 as usize) {
             execute_parcel(&weak, parcel);
@@ -987,6 +1271,7 @@ mod tests {
             Arc::clone(&actions),
             ParcelPortConfig {
                 egress_drain_budget: 2,
+                ..ParcelPortConfig::default()
             },
         );
         assert_eq!(p0.config().egress_drain_budget, 2);
@@ -998,6 +1283,192 @@ mod tests {
         // One sweep encodes exactly the configured budget.
         assert_eq!(p0.stats().messages_sent.load(Ordering::SeqCst), 2);
         assert_eq!(p0.egress_backlog(), 3);
+    }
+
+    #[test]
+    fn dedup_window_admits_each_id_once() {
+        let mut w = DedupWindow::default();
+        assert_eq!(w.admit(5), Admit::Fresh);
+        assert_eq!(w.admit(5), Admit::Duplicate, "exact duplicate");
+        assert_eq!(w.admit(7), Admit::Fresh);
+        assert_eq!(w.admit(6), Admit::Fresh, "in-window gap fill");
+        assert_eq!(w.admit(6), Admit::Duplicate, "gap-fill duplicate");
+        assert_eq!(w.admit(7), Admit::Duplicate);
+        // A jump past the whole window clears it.
+        assert_eq!(w.admit(7 + DEDUP_WINDOW), Admit::Fresh);
+        assert_eq!(w.admit(7 + DEDUP_WINDOW), Admit::Duplicate);
+        let max = 7 + DEDUP_WINDOW;
+        // Behind the window: a reorder casualty, not a duplicate.
+        assert_eq!(w.admit(max - DEDUP_WINDOW), Admit::Stale);
+        // Still inside the window, even at its far edge.
+        assert_eq!(w.admit(max - (DEDUP_WINDOW - 1)), Admit::Fresh);
+        assert_eq!(w.admit(max - (DEDUP_WINDOW - 1)), Admit::Duplicate);
+    }
+
+    #[test]
+    fn dedup_window_shift_carries_bits_across_words() {
+        // Seen-bits must survive slides that cross word boundaries: mark
+        // every id in a stretch, slide by an unaligned amount, and verify
+        // each old id still reads as a duplicate at its new offset.
+        let mut w = DedupWindow::default();
+        for id in 100..164 {
+            assert_eq!(w.admit(id), Admit::Fresh);
+        }
+        // Unaligned slide: 70 = one word + 6 bits.
+        assert_eq!(w.admit(163 + 70), Admit::Fresh);
+        for id in 100..164 {
+            assert_eq!(w.admit(id), Admit::Duplicate, "id {id} lost in shift");
+        }
+        // An id never seen in that stretch's neighbourhood is still fresh.
+        assert_eq!(w.admit(99), Admit::Fresh);
+    }
+
+    #[test]
+    fn action_class_marks_and_stamps_messages() {
+        let (p0, _p1, actions) = two_ports();
+        let be = actions.register_with_class(
+            "be",
+            DeliveryClass::BestEffort,
+            Arc::new(|_| Ok(Bytes::new())),
+        );
+        let co = actions.register_with_class(
+            "co",
+            DeliveryClass::Coalesce,
+            Arc::new(|_| Ok(Bytes::new())),
+        );
+        let ll = actions.register("ll", Arc::new(|_| Ok(Bytes::new())));
+        p0.set_action_class(be, DeliveryClass::BestEffort);
+        p0.set_action_class(co, DeliveryClass::Coalesce);
+        p0.set_action_class(ll, DeliveryClass::Lossless);
+        assert_eq!(p0.action_class(be), DeliveryClass::BestEffort);
+        assert_eq!(p0.action_class(co), DeliveryClass::Coalesce);
+        assert_eq!(p0.action_class(ll), DeliveryClass::Lossless);
+    }
+
+    #[test]
+    fn best_effort_sheds_past_the_backlog_bound() {
+        let fabric = Fabric::new(2, LinkModel::zero());
+        let actions = ActionRegistry::new();
+        let be = actions.register_with_class(
+            "be",
+            DeliveryClass::BestEffort,
+            Arc::new(|_| Ok(Bytes::new())),
+        );
+        let p0 = ParcelPort::with_config(
+            0,
+            Arc::new(fabric.port(0)),
+            Arc::clone(&actions),
+            ParcelPortConfig {
+                egress_drain_budget: 8,
+                best_effort_backlog: 4,
+            },
+        );
+        p0.set_action_class(be, DeliveryClass::BestEffort);
+        for _ in 0..10 {
+            p0.send_parcel(plain_parcel(1, be, Bytes::new()));
+        }
+        // The queue is capped at the bound; the overflow was dropped and
+        // accounted on the transport's BestEffort counter.
+        assert_eq!(p0.egress_backlog(), 4);
+        assert_eq!(
+            p0.net().stats().best_effort_dropped.load(Ordering::SeqCst),
+            6
+        );
+    }
+
+    #[test]
+    fn best_effort_duplicates_are_deduplicated_on_receive() {
+        let (p0, p1, actions) = two_ports();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let be = actions.register_with_class(
+            "be",
+            DeliveryClass::BestEffort,
+            Arc::new(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+                Ok(Bytes::new())
+            }),
+        );
+        p0.set_action_class(be, DeliveryClass::BestEffort);
+        p1.set_action_class(be, DeliveryClass::BestEffort);
+        p0.net()
+            .set_fault_plan(Some(Arc::new(rpx_net::FaultPlan::duplicate_every(1))));
+        for _ in 0..10 {
+            p0.send_parcel(plain_parcel(1, be, Bytes::new()));
+        }
+        // Every message is wire-duplicated; dedup delivers each once.
+        assert!(pump_until(
+            &[&p0, &p1],
+            || p1.stats().parcels_received.load(Ordering::SeqCst) == 20,
+            Duration::from_secs(2)
+        ));
+        assert_eq!(hits.load(Ordering::SeqCst), 10, "duplicates leaked");
+        assert_eq!(
+            p1.net()
+                .stats()
+                .duplicates_suppressed
+                .load(Ordering::SeqCst),
+            10
+        );
+    }
+
+    #[test]
+    fn coalesce_delivers_only_monotone_latest_values() {
+        let (p0, p1, actions) = two_ports();
+        let got = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        let co = actions.register_with_class(
+            "co",
+            DeliveryClass::Coalesce,
+            Arc::new(move |args| {
+                let v: u64 = from_bytes(args)?;
+                g.lock().push(v);
+                Ok(Bytes::new())
+            }),
+        );
+        p0.set_action_class(co, DeliveryClass::Coalesce);
+        p1.set_action_class(co, DeliveryClass::Coalesce);
+        // Reorder the wire: every 3rd message is displaced.
+        p0.net()
+            .set_fault_plan(Some(Arc::new(rpx_net::FaultPlan::reorder_window(3))));
+        for v in 1..=20u64 {
+            p0.send_parcel(plain_parcel(1, co, to_bytes(&v)));
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < deadline {
+            p0.pump();
+            p1.pump();
+        }
+        let got = got.lock();
+        assert!(!got.is_empty());
+        // Strictly increasing: a displaced stale value never executes.
+        let got: Vec<u64> = got.clone();
+        assert!(
+            got.windows(2).all(|w| w[0] < w[1]),
+            "stale value ran: {got:?}"
+        );
+        assert_eq!(*got.last().unwrap(), 20, "final value must arrive");
+        assert!(
+            p1.stats().coalesce_stale_dropped.load(Ordering::SeqCst) > 0,
+            "reordering should have produced at least one stale drop"
+        );
+    }
+
+    #[test]
+    fn mailbox_note_hooks_feed_port_stats() {
+        let (p0, _p1, _actions) = two_ports();
+        let path: &dyn SendPath = p0.as_ref();
+        path.note_mailbox_replaced();
+        path.note_mailbox_replaced();
+        path.note_mailbox_flushed();
+        assert_eq!(
+            p0.stats().coalesce_mailbox_replaced.load(Ordering::SeqCst),
+            2
+        );
+        assert_eq!(
+            p0.stats().coalesce_mailbox_flushed.load(Ordering::SeqCst),
+            1
+        );
     }
 
     #[test]

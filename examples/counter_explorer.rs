@@ -13,7 +13,7 @@ use rpx::{CoalescingParams, CounterValue, Runtime, RuntimeConfig};
 
 fn main() {
     let rt = Runtime::new(RuntimeConfig::default());
-    let act = rt.register_action("explore::ping", |x: u64| x + 1);
+    let act = rt.action("explore::ping").register(|x: u64| x + 1);
     let _control = rt
         .enable_coalescing(
             "explore::ping",

@@ -29,7 +29,7 @@ fn controller_raises_nparcels_under_dense_traffic() {
     // Start pessimal (nparcels = 1) under dense fine-grained traffic; the
     // overhead-driven controller must climb away from 1.
     let rt = cluster_runtime();
-    let act = rt.register_action("ad::get", |(): ()| Complex64::new(13.3, -23.8));
+    let act = rt.action("ad::get").register(|(): ()| Complex64::new(13.3, -23.8));
     let control = rt
         .enable_coalescing(
             "ad::get",
@@ -77,7 +77,7 @@ fn controller_raises_nparcels_under_dense_traffic() {
 #[test]
 fn controller_is_inert_on_quiet_runtime() {
     let rt = cluster_runtime();
-    let _act = rt.register_action("ad::quiet", |(): ()| ());
+    let _act = rt.action("ad::quiet").register(|(): ()| ());
     let control = rt
         .enable_coalescing(
             "ad::quiet",

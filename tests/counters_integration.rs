@@ -8,7 +8,7 @@ use rpx::{CoalescingParams, CounterValue, Runtime, RuntimeConfig};
 
 fn traffic_runtime() -> (std::sync::Arc<Runtime>, rpx::CoalescingControl) {
     let rt = Runtime::new(RuntimeConfig::small_test());
-    let act = rt.register_action("ctr::ping", |x: u64| x);
+    let act = rt.action("ctr::ping").register(|x: u64| x);
     let control = rt
         .enable_coalescing(
             "ctr::ping",
@@ -166,6 +166,46 @@ fn discovery_covers_telemetry_and_histogram_counters() {
 }
 
 #[test]
+fn discovery_covers_delivery_class_counters() {
+    let (rt, _control) = traffic_runtime();
+    let reg = rt.locality(0).counters();
+
+    // The per-class accounting counters register at boot (not lazily on
+    // first shed/replace), in sorted order, and answer as integers even
+    // when the run was all-Lossless and they stayed at zero.
+    let mailbox = reg.discover("/parcels/coalesce-mailbox-*");
+    assert_eq!(
+        mailbox,
+        vec![
+            "/parcels/coalesce-mailbox-flushed".to_string(),
+            "/parcels/coalesce-mailbox-replaced".to_string(),
+        ],
+        "mailbox counters missing or unsorted"
+    );
+    let shed = reg.discover("/network/best-effort-*");
+    assert_eq!(
+        shed,
+        vec!["/network/best-effort-dropped".to_string()],
+        "best-effort shed counter missing"
+    );
+    for path in mailbox.iter().chain(shed.iter()) {
+        let v = reg.query(path).unwrap();
+        assert!(
+            v.as_int().is_some(),
+            "{path}: expected an integer counter, got {v:?}"
+        );
+    }
+
+    // Two scans agree exactly — the discover surface stays sorted and
+    // deterministic with the new counters in the namespace.
+    assert_eq!(
+        reg.discover("/parcels/coalesce-mailbox-*"),
+        reg.discover("/parcels/coalesce-mailbox-*")
+    );
+    rt.shutdown();
+}
+
+#[test]
 fn counter_reset_zeroes_traffic_counts() {
     let (rt, _control) = traffic_runtime();
     let reg = rt.locality(0).counters();
@@ -182,7 +222,7 @@ fn counter_reset_zeroes_traffic_counts() {
 fn sampler_observes_live_traffic() {
     use rpx_counters::Sampler;
     let rt = Runtime::new(RuntimeConfig::small_test());
-    let act = rt.register_action("ctr::sampled", |x: u64| x);
+    let act = rt.action("ctr::sampled").register(|x: u64| x);
     let _control = rt
         .enable_coalescing(
             "ctr::sampled",

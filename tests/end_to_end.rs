@@ -113,7 +113,7 @@ fn results_identical_with_and_without_coalescing() {
     // Coalescing is a transport optimisation: application-visible results
     // must be unchanged.
     let rt = cluster_runtime();
-    let act = rt.register_action("e2e::add", |(a, b): (i64, i64)| a + b);
+    let act = rt.action("e2e::add").register(|(a, b): (i64, i64)| a + b);
     let control = rt
         .enable_coalescing(
             "e2e::add",
@@ -158,11 +158,11 @@ fn four_locality_mixed_traffic() {
     let coalesced_hits = Arc::new(AtomicU64::new(0));
     let direct_hits = Arc::new(AtomicU64::new(0));
     let c = Arc::clone(&coalesced_hits);
-    let coalesced_act = rt.register_action("mix::coalesced", move |v: u64| {
+    let coalesced_act = rt.action("mix::coalesced").register(move |v: u64| {
         c.fetch_add(v, Ordering::SeqCst);
     });
     let d = Arc::clone(&direct_hits);
-    let direct_act = rt.register_action("mix::direct", move |v: u64| {
+    let direct_act = rt.action("mix::direct").register(move |v: u64| {
         d.fetch_add(v, Ordering::SeqCst);
     });
     let _control = rt

@@ -17,7 +17,7 @@ fn corrupted_messages_are_dropped_and_counted() {
     let rt = Runtime::new(RuntimeConfig::small_test());
     let hits = Arc::new(AtomicU64::new(0));
     let h = Arc::clone(&hits);
-    let act = rt.register_action("fault::bump", move |(): ()| {
+    let act = rt.action("fault::bump").register(move |(): ()| {
         h.fetch_add(1, Ordering::SeqCst);
     });
     // Corrupt every 5th outbound message from locality 0.
@@ -45,7 +45,7 @@ fn corrupted_coalesced_batches_fail_cleanly() {
     let rt = Runtime::new(RuntimeConfig::small_test());
     let hits = Arc::new(AtomicU64::new(0));
     let h = Arc::clone(&hits);
-    let act = rt.register_action("fault::batch", move |_v: u64| {
+    let act = rt.action("fault::batch").register(move |_v: u64| {
         h.fetch_add(1, Ordering::SeqCst);
     });
     let _control = rt
@@ -91,7 +91,7 @@ fn chaos_with_reliability_delivers_exactly_once() {
     let rt = Runtime::new(config);
     let hits = Arc::new(AtomicU64::new(0));
     let h = Arc::clone(&hits);
-    let act = rt.register_action("fault::chaotic", move |(): ()| {
+    let act = rt.action("fault::chaotic").register(move |(): ()| {
         h.fetch_add(1, Ordering::SeqCst);
     });
     // 5 % drop + 2 % corrupt + duplicates + reordering on the sender's
@@ -130,7 +130,7 @@ fn exhausted_retries_surface_as_delivery_failures_not_hangs() {
         ..Default::default()
     });
     let rt = Runtime::new(config);
-    let act = rt.register_action("fault::void", |(): ()| {});
+    let act = rt.action("fault::void").register(|(): ()| {});
     rt.inject_faults(0, Some(Arc::new(FaultPlan::drop_every(1))));
     rt.run_on(0, move |ctx| {
         for _ in 0..5 {
@@ -153,7 +153,7 @@ fn exhausted_retries_surface_as_delivery_failures_not_hangs() {
 #[test]
 fn dropped_responses_surface_as_timeouts_not_hangs() {
     let rt = Runtime::new(RuntimeConfig::small_test());
-    let act = rt.register_action("fault::echo", |x: u64| x);
+    let act = rt.action("fault::echo").register(|x: u64| x);
     // Drop every message leaving locality 1 — requests arrive, responses
     // vanish.
     rt.inject_faults(1, Some(Arc::new(FaultPlan::drop_every(1))));
@@ -168,7 +168,7 @@ fn dropped_responses_surface_as_timeouts_not_hangs() {
 #[test]
 fn clearing_the_plan_restores_delivery() {
     let rt = Runtime::new(RuntimeConfig::small_test());
-    let act = rt.register_action("fault::echo2", |x: u64| x);
+    let act = rt.action("fault::echo2").register(|x: u64| x);
     rt.inject_faults(0, Some(Arc::new(FaultPlan::drop_every(1))));
     let timed_out = rt.run_on(0, {
         let act = act.clone();

@@ -114,7 +114,7 @@ fn lco_results_identical_with_batched_ingress() {
     // path: the values (not just the counts) must match the closed form.
     fn sum_of_cubes(kind: TransportKind) -> u64 {
         let rt = boot_on(2, kind);
-        let act = rt.register_action("ingress::cube", |x: u64| x * x * x);
+        let act = rt.action("ingress::cube").register(|x: u64| x * x * x);
         let total = rt.run_on(0, move |ctx| {
             let futures: Vec<_> = (1..=24u64).map(|i| ctx.async_action(&act, 1, i)).collect();
             ctx.wait_all(futures).unwrap().into_iter().sum::<u64>()

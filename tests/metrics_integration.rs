@@ -48,7 +48,7 @@ fn metrics_reader_reports_live_equations() {
         transport: TransportKind::Sim(link()),
         ..RuntimeConfig::default()
     });
-    let act = rt.register_action("met::ping", |x: u64| x);
+    let act = rt.action("met::ping").register(|x: u64| x);
     let reader = rt.metrics(0);
     let before = reader.sample();
     rt.run_on(0, move |ctx| {
@@ -75,7 +75,7 @@ fn metrics_reader_reports_live_equations() {
 #[test]
 fn phase_recorder_isolates_phases() {
     let rt = Runtime::new(RuntimeConfig::small_test());
-    let act = rt.register_action("met::burst", |x: u64| x);
+    let act = rt.action("met::burst").register(|x: u64| x);
     let _ctl = rt
         .enable_coalescing(
             "met::burst",

@@ -84,7 +84,7 @@ fn tcp_lco_results_match_sim() {
     // transports — LCO results, not just counts.
     fn sum_of_squares(kind: TransportKind) -> u64 {
         let rt = boot_on(2, kind);
-        let act = rt.register_action("parity::sq", |x: u64| x * x);
+        let act = rt.action("parity::sq").register(|x: u64| x * x);
         let total = rt.run_on(0, move |ctx| {
             let futures: Vec<_> = (1..=32u64).map(|i| ctx.async_action(&act, 1, i)).collect();
             ctx.wait_all(futures).unwrap().into_iter().sum::<u64>()
@@ -108,7 +108,7 @@ fn tcp_dropped_response_times_out_instead_of_hanging() {
         transport: TransportKind::TcpLoopback,
         ..RuntimeConfig::default()
     });
-    let act = rt.register_action("parity::echo", |x: u64| x);
+    let act = rt.action("parity::echo").register(|x: u64| x);
     rt.inject_faults(1, Some(Arc::new(FaultPlan::drop_every(1))));
     let result = rt.run_on(0, move |ctx| {
         ctx.async_action(&act, 1, 7u64)
@@ -129,7 +129,7 @@ fn tcp_corrupted_frames_count_and_waiters_time_out() {
         transport: TransportKind::TcpLoopback,
         ..RuntimeConfig::default()
     });
-    let act = rt.register_action("parity::echo2", |x: u64| x);
+    let act = rt.action("parity::echo2").register(|x: u64| x);
     rt.inject_faults(1, Some(Arc::new(FaultPlan::corrupt_every(1))));
     let result = rt.run_on(0, move |ctx| {
         ctx.async_action(&act, 1, 9u64)
