@@ -13,15 +13,23 @@
 //!   Deterministically testable.
 //! * [`OverheadController`] — the runtime wrapper: a sampling thread that
 //!   reads the metrics and counters every window and applies the core's
-//!   decisions to a live [`ParamsHandle`].
+//!   decisions to a live [`ParamsHandle`]. One knob per action — the
+//!   degenerate single-destination case.
+//! * [`PerDestController`] — the per-destination wrapper: one
+//!   [`ControllerCore`] per destination of a per-destination
+//!   [`Coalescer`], all steered from one thread. Destinations are
+//!   discovered dynamically as traffic reaches them; each core ticks on
+//!   its own destination's parcel counters, so a hot peer and a cold
+//!   peer converge to different operating points.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use rpx_coalesce::{CoalescingCounters, ParamsHandle};
+use rpx_coalesce::{Coalescer, CoalescingCounters, ParamsHandle};
 use rpx_counters::TelemetryService;
 use rpx_metrics::MetricsReader;
 use rpx_util::Ewma;
@@ -306,6 +314,163 @@ impl Drop for OverheadController {
     }
 }
 
+/// One decision made for one destination by a [`PerDestController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DestDecision {
+    /// The destination locality this decision applies to.
+    pub dest: u32,
+    /// The decision itself (the destination's own rate and window count;
+    /// the overhead signal is the locality-wide Eq. 4 measurement).
+    pub decision: Decision,
+}
+
+struct PerDestShared {
+    stop: AtomicBool,
+    decisions: Mutex<Vec<DestDecision>>,
+}
+
+/// Where one window's overhead measurement comes from.
+enum OverheadSignal {
+    /// Direct counter reads through a [`MetricsReader`] (Eq. 4 deltas).
+    Direct(MetricsReader),
+    /// A running [`TelemetryService`]'s windowed sampled series.
+    Sampled(TelemetryService),
+}
+
+/// The per-destination adaptive controller: one hill climber per
+/// destination of a per-destination [`Coalescer`], all driven from a
+/// single "rpx-adaptive" thread.
+///
+/// Every window the controller reads the locality-wide overhead signal
+/// once, then ticks each destination's [`ControllerCore`] with that
+/// destination's own parcel count and arrival rate. Destinations whose
+/// window was quiet make no decision (the coalescer's sparse-traffic
+/// bypass already covers that regime), so a cold peer keeps its seed
+/// parameters while a hot peer climbs — the per-destination split the
+/// paper's global knob cannot express. New destinations are picked up on
+/// the next window boundary; each core seeds from the destination's
+/// current parameter value.
+pub struct PerDestController {
+    shared: Arc<PerDestShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PerDestController {
+    /// Start steering `coalescer`'s per-destination parameters using
+    /// direct metric reads from `reader`.
+    pub fn start(reader: MetricsReader, coalescer: Arc<Coalescer>, config: AdaptiveConfig) -> Self {
+        Self::spawn(OverheadSignal::Direct(reader), coalescer, config)
+    }
+
+    /// Start steering `coalescer`'s per-destination parameters from a
+    /// running [`TelemetryService`]'s sampled overhead series (see
+    /// [`OverheadController::start_sampled`] for the signal semantics).
+    pub fn start_sampled(
+        service: TelemetryService,
+        coalescer: Arc<Coalescer>,
+        config: AdaptiveConfig,
+    ) -> Self {
+        Self::spawn(OverheadSignal::Sampled(service), coalescer, config)
+    }
+
+    fn spawn(signal: OverheadSignal, coalescer: Arc<Coalescer>, config: AdaptiveConfig) -> Self {
+        let shared = Arc::new(PerDestShared {
+            stop: AtomicBool::new(false),
+            decisions: Mutex::new(Vec::new()),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("rpx-adaptive".to_string())
+            .spawn(move || {
+                let started = Instant::now();
+                // Per-destination state: the hill climber plus the parcel
+                // count at the previous window boundary.
+                let mut cores: HashMap<u32, (ControllerCore, u64)> = HashMap::new();
+                let mut last_sample = match &signal {
+                    OverheadSignal::Direct(reader) => Some(reader.sample()),
+                    OverheadSignal::Sampled(_) => None,
+                };
+                while !thread_shared.stop.load(Ordering::SeqCst) {
+                    let wake = Instant::now() + config.window;
+                    while Instant::now() < wake {
+                        if thread_shared.stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let overhead = match &signal {
+                        OverheadSignal::Direct(reader) => {
+                            let sample = reader.sample();
+                            let delta = sample.delta_since(last_sample.as_ref().unwrap());
+                            last_sample = Some(sample);
+                            Some(delta.network_overhead())
+                        }
+                        OverheadSignal::Sampled(service) => {
+                            service.windowed_overhead(config.window)
+                        }
+                    };
+                    let Some(overhead) = overhead else {
+                        continue;
+                    };
+                    for dst in coalescer.destinations() {
+                        let (core, last_parcels) = cores.entry(dst).or_insert_with(|| {
+                            let seed = coalescer.params_for(dst).load().nparcels;
+                            (ControllerCore::new(config.clone(), seed), 0)
+                        });
+                        let parcels_now = coalescer.counters_for(dst).parcels.get();
+                        let parcels_in_window = parcels_now.saturating_sub(*last_parcels);
+                        *last_parcels = parcels_now;
+                        let rate = parcels_in_window as f64 / config.window.as_secs_f64();
+                        if let Some((next, phase_change)) =
+                            core.tick(overhead, parcels_in_window, rate)
+                        {
+                            coalescer.params_for(dst).set_nparcels(next);
+                            thread_shared.decisions.lock().push(DestDecision {
+                                dest: dst,
+                                decision: Decision {
+                                    at: started.elapsed(),
+                                    nparcels: next,
+                                    overhead,
+                                    rate,
+                                    phase_change,
+                                },
+                            });
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn per-destination adaptive controller");
+        PerDestController {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Decisions made so far, in tick order (interleaved across
+    /// destinations).
+    pub fn decisions(&self) -> Vec<DestDecision> {
+        self.shared.decisions.lock().clone()
+    }
+
+    /// Stop the controller and return its decision log.
+    pub fn stop(mut self) -> Vec<DestDecision> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        std::mem::take(&mut *self.shared.decisions.lock())
+    }
+}
+
+impl Drop for PerDestController {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,6 +687,121 @@ mod tests {
             (8..=128).contains(&final_n),
             "converged to {final_n}, decisions: {decisions:?}"
         );
+    }
+
+    #[test]
+    fn per_dest_controller_steers_hot_and_cold_destinations_apart() {
+        use rpx_coalesce::{CoalescingParams, FlushPolicy};
+        use rpx_counters::{CallbackCounter, CounterRegistry, CounterValue};
+        use rpx_parcel::{ParcelBatch, SendPath};
+        use rpx_util::TimerService;
+        use std::sync::atomic::AtomicU64;
+
+        struct NullPath;
+        impl SendPath for NullPath {
+            fn emit(&self, _dst: u32, _batch: ParcelBatch) {}
+        }
+
+        let registry = CounterRegistry::new(0);
+        let func = Arc::new(AtomicU64::new(0));
+        let bg = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&func);
+        registry.register_or_replace(
+            "/threads/time/cumulative",
+            CallbackCounter::new(move || CounterValue::Int(f2.load(Ordering::Relaxed) as i64)),
+        );
+        let b2 = Arc::clone(&bg);
+        registry.register_or_replace(
+            "/threads/background-work",
+            CallbackCounter::new(move || CounterValue::Int(b2.load(Ordering::Relaxed) as i64)),
+        );
+
+        let timer = Arc::new(TimerService::new("perdest-test"));
+        let coalescer = Coalescer::per_destination(
+            "act",
+            ParamsHandle::new(CoalescingParams::new(1, Duration::from_micros(2000))),
+            FlushPolicy::Append,
+            timer,
+            Arc::new(NullPath) as _,
+        );
+
+        // Destination 1 is hot (busy every window), destination 2 is cold
+        // (always under min_parcels_per_window). Overhead follows a convex
+        // landscape in the HOT destination's nparcels, optimum at 32.
+        let stop = Arc::new(AtomicBool::new(false));
+        let app = {
+            let coalescer = Arc::clone(&coalescer);
+            let stop = Arc::clone(&stop);
+            let func = Arc::clone(&func);
+            let bg = Arc::clone(&bg);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let n = coalescer.params_for(1).load().nparcels;
+                    let oh = 0.1 + 0.08 * ((n as f64).log2() - 5.0).abs();
+                    func.fetch_add(1_000_000, Ordering::Relaxed);
+                    bg.fetch_add((1_000_000.0 * oh) as u64, Ordering::Relaxed);
+                    for _ in 0..200 {
+                        coalescer.counters_for(1).record_arrival(Some(10_000));
+                    }
+                    coalescer.counters_for(2).record_arrival(Some(2_000_000));
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+
+        let controller = PerDestController::start(
+            MetricsReader::new(registry),
+            Arc::clone(&coalescer),
+            config(),
+        );
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Ordering::SeqCst);
+        app.join().unwrap();
+        let decisions = controller.stop();
+
+        let hot: Vec<_> = decisions.iter().filter(|d| d.dest == 1).collect();
+        let cold: Vec<_> = decisions.iter().filter(|d| d.dest == 2).collect();
+        assert!(!hot.is_empty(), "no decisions for the hot destination");
+        assert!(cold.is_empty(), "quiet destination must not be steered");
+        let hot_n = coalescer.params_for(1).load().nparcels;
+        let cold_n = coalescer.params_for(2).load().nparcels;
+        assert!(
+            (8..=128).contains(&hot_n),
+            "hot converged to {hot_n}, decisions: {decisions:?}"
+        );
+        assert_eq!(cold_n, 1, "cold destination keeps its seed parameters");
+        assert_ne!(hot_n, cold_n, "destinations must diverge");
+    }
+
+    #[test]
+    fn per_dest_stop_is_prompt() {
+        use rpx_coalesce::{CoalescingParams, FlushPolicy};
+        use rpx_counters::CounterRegistry;
+        use rpx_parcel::{ParcelBatch, SendPath};
+        use rpx_util::TimerService;
+
+        struct NullPath;
+        impl SendPath for NullPath {
+            fn emit(&self, _dst: u32, _batch: ParcelBatch) {}
+        }
+        let coalescer = Coalescer::per_destination(
+            "act",
+            ParamsHandle::new(CoalescingParams::default()),
+            FlushPolicy::Append,
+            Arc::new(TimerService::new("perdest-stop")),
+            Arc::new(NullPath) as _,
+        );
+        let controller = PerDestController::start(
+            MetricsReader::new(CounterRegistry::new(0)),
+            coalescer,
+            AdaptiveConfig {
+                window: Duration::from_secs(10),
+                ..config()
+            },
+        );
+        let t0 = Instant::now();
+        let _ = controller.stop();
+        assert!(t0.elapsed() < Duration::from_secs(1), "stop was not prompt");
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod controller;
 pub mod pics;
 pub mod search;
 
-pub use controller::{AdaptiveConfig, OverheadController};
+pub use controller::{AdaptiveConfig, DestDecision, OverheadController, PerDestController};
 pub use pics::PicsTuner;
 pub use search::{HillClimber, Ladder};

@@ -17,6 +17,9 @@
 //! * [`statesync`] — the newest-wins **state-sync** fan-in: many monotone
 //!   update streams converge on one consumer, the showcase (and ≥ 2×
 //!   wire-byte record) for the `Coalesce` delivery class.
+//! * [`service`] — the skewed **open-loop service** workload: Zipf
+//!   destination choice plus 10× load swings, the evaluation driver for
+//!   per-destination adaptive coalescing and egress backpressure.
 //! * [`workloads`] — parameterised arrival-pattern generators (uniform,
 //!   bursty, sparse) used by the adaptive-controller evaluation and the
 //!   sparse-bypass ablation.
@@ -30,6 +33,7 @@ pub mod alltoall;
 pub mod driver;
 pub mod multiproc;
 pub mod parquet;
+pub mod service;
 pub mod statesync;
 pub mod toy;
 pub mod workloads;
@@ -41,6 +45,10 @@ pub use multiproc::{
     RankStats,
 };
 pub use parquet::{ParquetConfig, ParquetReport};
+pub use service::{
+    run_service, run_service_rank, DestReport, ParamSample, ServiceConfig, ServiceRankReport,
+    ServiceReport, ZipfSampler,
+};
 pub use statesync::{
     run_statesync, run_statesync_pair, StateSyncConfig, StateSyncPair, StateSyncReport,
 };

@@ -1,0 +1,124 @@
+//! Service-scenario medians: one Zipf-skewed request burst against
+//! three destinations under per-destination coalescing.
+//!
+//! Each timed round fires `BURST` requests from locality 0, destination
+//! chosen by a Zipf(1.2) sampler over three servers, then flushes the
+//! coalescing queues and waits until every request is accounted —
+//! delivered, or shed at the egress watermark. Two legs:
+//!
+//! * `lossless` — no watermark; the round ends on full delivery, so the
+//!   median is the end-to-end cost of the skewed fan-out itself.
+//! * `best_effort_shed` — a tight watermark (8) on the same traffic;
+//!   overflow sheds instead of queueing, and the round ends when
+//!   `delivered + shed == sent` per endpoint pair. The delta against
+//!   `lossless` is what admission control buys under overload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpx::{DeliveryClass, Runtime, RuntimeConfig};
+use rpx_apps::ZipfSampler;
+
+const BURST: u64 = 512;
+const DESTS: u32 = 3;
+
+struct Harness {
+    rt: Arc<Runtime>,
+    act: rpx::ActionHandle<(u32, u64), ()>,
+    control: rpx::CoalescingControl,
+    delivered: Arc<AtomicU64>,
+    sent: u64,
+    zipf: ZipfSampler,
+    rng: StdRng,
+}
+
+impl Harness {
+    fn new(class: DeliveryClass, watermark: Option<usize>) -> Self {
+        let rt = Runtime::new(RuntimeConfig {
+            localities: DESTS + 1,
+            workers_per_locality: 2,
+            backpressure_watermark: watermark,
+            ..RuntimeConfig::default()
+        });
+        let delivered = Arc::new(AtomicU64::new(0));
+        let d2 = Arc::clone(&delivered);
+        let act =
+            rt.action("bench::service")
+                .delivery(class)
+                .register(move |(_dest, _t): (u32, u64)| {
+                    d2.fetch_add(1, Ordering::Relaxed);
+                });
+        let control = rt
+            .enable_coalescing_per_destination(
+                "bench::service",
+                rpx::CoalescingParams::new(8, Duration::from_micros(200)),
+            )
+            .expect("per-destination coalescing");
+        Harness {
+            rt,
+            act,
+            control,
+            delivered,
+            sent: 0,
+            zipf: ZipfSampler::new(DESTS as usize, 1.2),
+            rng: StdRng::seed_from_u64(7),
+        }
+    }
+
+    /// Fire one skewed burst, then drain to exact accounting.
+    fn round(&mut self) {
+        let dests: Vec<u32> = (0..BURST)
+            .map(|_| self.zipf.sample(&mut self.rng) as u32 + 1)
+            .collect();
+        let act = self.act.clone();
+        self.rt.run_on(0, move |ctx| {
+            for dest in dests {
+                ctx.apply(&act, dest, (dest, 0u64));
+            }
+        });
+        self.sent += BURST;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            self.control.flush();
+            let stats = self.rt.locality(0).parcel_stats();
+            let shed: u64 = (1..=DESTS).map(|d| stats.sheds_to(d)).sum();
+            if self.delivered.load(Ordering::Relaxed) + shed >= self.sent {
+                break;
+            }
+            assert!(Instant::now() < deadline, "round stalled");
+            std::hint::spin_loop();
+        }
+    }
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(BURST));
+    for (name, class, watermark) in [
+        ("lossless", DeliveryClass::Lossless, None),
+        ("best_effort_shed", DeliveryClass::BestEffort, Some(8)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, BURST), &BURST, |b, _| {
+            let mut harness = Harness::new(class, watermark);
+            harness.round(); // warmup: force lazy per-destination state
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    harness.round();
+                }
+                start.elapsed()
+            });
+            harness.rt.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

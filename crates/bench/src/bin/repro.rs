@@ -7,8 +7,14 @@
 //!
 //! Experiments: `timer fig4 fig5 fig6 fig7 fig8 fig9 rsd telemetry
 //! fig4-sampled sampling-overhead adaptive phase-change ablate-trigger
-//! ablate-bypass ablate-timer`. Scale with `RPX_REPRO_SCALE=quick|full`
-//! (default quick).
+//! ablate-bypass ablate-timer service`. Scale with
+//! `RPX_REPRO_SCALE=quick|full` (default quick).
+//!
+//! `service` runs the skewed open-loop load generator with
+//! per-destination adaptive coalescing and egress backpressure: it
+//! sustains a 10× load swing, reports throughput/p50/p99 plus exact
+//! per-destination accounting, and emits the per-destination parameter
+//! series (also written as CSV to `RPX_SERVICE_CSV` when set).
 //!
 //! `check-fig5` (not part of `all`) is the CI smoke check: it exits
 //! non-zero unless completion time decreases monotonically (within
@@ -26,7 +32,11 @@
 //! `worker` is the internal mode those processes run in (driven entirely
 //! by the `RPX_RANK`/`RPX_BOOTSTRAP` environment the launcher sets).
 //! Scenarios: `toy`, `parquet`, `chaos` (toy under `FaultPlan::chaos()`
-//! with reliability across the real process boundary).
+//! with reliability across the real process boundary), and `service`
+//! (rank 0 drives the skewed open-loop load against the other ranks;
+//! knobs ride `RPX_SERVICE_*` environment variables — `ZIPF_S`, `RATE`,
+//! `SESSIONS`, `DURATION_MS`, `WATERMARK`, `CLASS`, `CSV`, plus the
+//! gates `P99_US` and `EXPECT_BACKPRESSURE`).
 //!
 //! `bench-compare [--baseline <path>] <current.json>…` (not part of
 //! `all`) diffs `CRITERION_JSON` dumps against the committed
@@ -74,6 +84,7 @@ fn main() {
         "ablate-trigger",
         "ablate-bypass",
         "ablate-timer",
+        "service",
     ];
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         all.to_vec()
@@ -102,6 +113,7 @@ fn main() {
             "ablate-trigger" => run_ablate_trigger(scale),
             "ablate-bypass" => run_ablate_bypass(scale),
             "ablate-timer" => run_ablate_timer(),
+            "service" => run_service_exp(scale),
             other => {
                 eprintln!("unknown experiment '{other}'; options: {all:?}");
                 std::process::exit(2);
@@ -507,6 +519,98 @@ fn run_ablate_bypass(scale: Scale) {
     );
 }
 
+/// `service`: the skewed open-loop load generator under a 10× swing,
+/// with per-destination adaptive coalescing and egress backpressure.
+/// Fails (exit 1) if the per-endpoint-pair accounting is inexact or the
+/// per-destination parameters never diverged.
+fn run_service_exp(scale: Scale) {
+    let r = exp::exp_service(scale);
+    print_table(
+        "X-service — skewed open-loop load under a 10× swing",
+        &[
+            "sent",
+            "delivered",
+            "shed",
+            "rps",
+            "p50_us",
+            "p99_us",
+            "bp_events",
+            "bp_blocked_ms",
+        ],
+        &[vec![
+            r.sent.to_string(),
+            r.delivered.to_string(),
+            r.shed.to_string(),
+            format!("{:.0}", r.throughput),
+            format!("{:.1}", r.p50_us),
+            format!("{:.1}", r.p99_us),
+            r.backpressure_events.to_string(),
+            format!("{:.2}", r.backpressure_blocked_ns as f64 / 1e6),
+        ]],
+    );
+    let headers = [
+        "dest",
+        "sent",
+        "delivered",
+        "shed",
+        "p99_us",
+        "final_nparcels",
+    ];
+    let rows: Vec<Vec<String>> = r
+        .per_dest
+        .iter()
+        .map(|d| {
+            vec![
+                d.dest.to_string(),
+                d.sent.to_string(),
+                d.delivered.to_string(),
+                d.shed.to_string(),
+                format!("{:.1}", d.p99_us),
+                d.final_nparcels.to_string(),
+            ]
+        })
+        .collect();
+    print_table("X-service — per-destination breakdown", &headers, &rows);
+    print_csv(&headers, &rows);
+    println!(
+        "{} steering decisions across {} destinations",
+        r.decisions.len(),
+        r.per_dest.len()
+    );
+    if let Ok(path) = std::env::var("RPX_SERVICE_CSV") {
+        if let Err(e) = std::fs::write(&path, service_series_csv(&r.series)) {
+            eprintln!("service: cannot write series CSV to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("service: parameter series written to {path}");
+    }
+    if !r.accounting_exact() {
+        eprintln!("service FAILED: per-endpoint-pair accounting is inexact: {r:?}");
+        std::process::exit(1);
+    }
+    let diverged = r.series.iter().any(|a| {
+        r.series
+            .iter()
+            .any(|b| a.t_ms == b.t_ms && a.dest != b.dest && a.nparcels != b.nparcels)
+    });
+    if !diverged {
+        eprintln!("service FAILED: per-destination parameters never diverged");
+        std::process::exit(1);
+    }
+    println!("service OK: accounting exact, per-destination parameters diverged");
+}
+
+fn service_series_csv(series: &[rpx_apps::ParamSample]) -> String {
+    let mut out = String::from("t_ms,dest,nparcels,interval_us\n");
+    for s in series {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            s.t_ms, s.dest, s.nparcels, s.interval_us
+        ));
+    }
+    out
+}
+
 /// `repro bench-compare [--baseline <path>] <current.json>…`: diff
 /// harness bench dumps against the committed baseline; >10% median
 /// slowdowns warn, and `RPX_BENCH_STRICT=1` turns warnings into a
@@ -662,6 +766,12 @@ fn run_launch(args: &[String]) -> ! {
                     sum("/parcels/coalesce-mailbox-replaced"),
                     sum("/parcels/coalesce-mailbox-flushed"),
                 );
+                println!(
+                    "launch: backpressure — events {}, shed {}, service delivered {}",
+                    sum("/network/backpressure-events"),
+                    sum("/network/backpressure-shed"),
+                    sum("/app/service-delivered"),
+                );
             }
             if let Some((rank, code)) = report.first_failure {
                 eprintln!("launch: rank {rank} failed with exit code {code}; survivors killed");
@@ -739,6 +849,10 @@ fn run_worker(args: &[String], scale: Scale) -> ! {
         transport,
         reliability: Some(rpx::ReliabilityConfig::default()),
         topology: Some(topology),
+        // The service scenario's egress watermark (None for the rest).
+        backpressure_watermark: std::env::var("RPX_SERVICE_WATERMARK")
+            .ok()
+            .and_then(|v| v.parse().ok()),
         ..rpx::RuntimeConfig::default()
     };
     let rt = match rpx::Runtime::try_new(config) {
@@ -753,8 +867,9 @@ fn run_worker(args: &[String], scale: Scale) -> ! {
         "toy" => worker_toy(&rt, scale, false),
         "chaos" => worker_toy(&rt, scale, true),
         "parquet" => worker_parquet(&rt, scale),
+        "service" => worker_service(&rt, scale, rank),
         other => {
-            eprintln!("unknown worker scenario '{other}' (toy|parquet|chaos)");
+            eprintln!("unknown worker scenario '{other}' (toy|parquet|chaos|service)");
             std::process::exit(2);
         }
     };
@@ -812,6 +927,71 @@ fn worker_toy(rt: &Arc<rpx::Runtime>, scale: Scale, chaos: bool) -> Result<(), S
             plan.duplicated(),
             plan.reordered()
         );
+    }
+    Ok(())
+}
+
+/// The service scenario for one rank: rank 0 drives the skewed
+/// open-loop load, every rank serves. Gates (p99 ceiling, mandatory
+/// backpressure) ride the environment so CI legs can assert different
+/// regimes with one binary.
+fn worker_service(rt: &Arc<rpx::Runtime>, scale: Scale, rank: u32) -> Result<(), String> {
+    let envf = |key: &str, default: f64| -> f64 {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let class = match std::env::var("RPX_SERVICE_CLASS").as_deref() {
+        Ok("besteffort") => rpx::DeliveryClass::BestEffort,
+        Err(_) | Ok("lossless") => rpx::DeliveryClass::Lossless,
+        Ok(other) => return Err(format!("unknown RPX_SERVICE_CLASS '{other}'")),
+    };
+    let config = rpx_apps::ServiceConfig {
+        sessions: envf("RPX_SERVICE_SESSIONS", scale.pick(4.0, 8.0)) as usize,
+        duration: Duration::from_millis(
+            envf("RPX_SERVICE_DURATION_MS", scale.pick(800.0, 2_500.0)) as u64,
+        ),
+        base_rate: envf("RPX_SERVICE_RATE", 1_500.0),
+        zipf_s: envf("RPX_SERVICE_ZIPF_S", 1.2),
+        class,
+        ..rpx_apps::ServiceConfig::default()
+    };
+    let report = rpx_apps::run_service_rank(rt, &config).map_err(|e| e.to_string())?;
+    println!(
+        "service rank {rank}: sent {} delivered_local {} shed {} probes {} \
+         probe_p99_us {:.1} backpressure_events {}",
+        report.sent,
+        report.delivered_local,
+        report.shed,
+        report.probes,
+        report.probe_p99_us,
+        report.backpressure_events
+    );
+    if rank == 0 {
+        if let Ok(path) = std::env::var("RPX_SERVICE_CSV") {
+            let mut csv = String::from("t_ms,dest,nparcels,interval_us\n");
+            for s in &report.series {
+                csv.push_str(&format!(
+                    "{},{},{},{}\n",
+                    s.t_ms, s.dest, s.nparcels, s.interval_us
+                ));
+            }
+            std::fs::write(&path, csv).map_err(|e| format!("series CSV {path}: {e}"))?;
+            println!("service rank 0: parameter series written to {path}");
+        }
+        let p99_ceiling = envf("RPX_SERVICE_P99_US", 0.0);
+        if p99_ceiling > 0.0 && report.probe_p99_us > p99_ceiling {
+            return Err(format!(
+                "probe p99 {:.1} µs exceeds the {p99_ceiling:.1} µs ceiling",
+                report.probe_p99_us
+            ));
+        }
+        if std::env::var("RPX_SERVICE_EXPECT_BACKPRESSURE").as_deref() == Ok("1")
+            && report.backpressure_events == 0
+        {
+            return Err("expected backpressure events, saw none".to_string());
+        }
     }
     Ok(())
 }

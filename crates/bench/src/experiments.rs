@@ -1355,6 +1355,29 @@ fn chaos_class_legs(scale: Scale, violations: &mut Vec<String>) -> Vec<ClassChao
     out
 }
 
+/// X-service: the skewed open-loop service generator on a Sim runtime
+/// with per-destination adaptive coalescing and egress backpressure
+/// enabled — sustains a 10× load swing while each destination's
+/// parameters are steered independently.
+pub fn exp_service(scale: Scale) -> rpx_apps::ServiceReport {
+    let rt = Runtime::new(rpx::RuntimeConfig {
+        localities: 4,
+        backpressure_watermark: Some(64),
+        transport: rpx::TransportKind::Sim(paper_link()),
+        ..rpx::RuntimeConfig::small_test()
+    });
+    let config = rpx_apps::ServiceConfig {
+        sessions: scale.pick(4, 16),
+        destinations: 3,
+        duration: Duration::from_millis(scale.pick(600, 3_000)),
+        base_rate: scale.pick(1_500.0, 3_000.0),
+        ..rpx_apps::ServiceConfig::default()
+    };
+    let report = rpx_apps::run_service(&rt, &config).expect("service run");
+    rt.shutdown();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,10 +2,21 @@
 //!
 //! One [`Coalescer`] serves one coalesced action: it fans parcels out to
 //! per-destination [`CoalescingQueue`]s (coalescing only combines parcels
-//! "bound to the same destination"), shares one [`ParamsHandle`] and one
-//! [`CoalescingCounters`] across them, and implements the parcel port's
+//! "bound to the same destination") and implements the parcel port's
 //! [`ParcelInterceptor`] interface — the RPX analogue of flagging an
 //! action with `HPX_ACTION_USES_MESSAGE_COALESCING`.
+//!
+//! Two parameter-sharing modes exist:
+//!
+//! * **Global** (the paper's setup, and the default): every destination
+//!   queue reads one shared [`ParamsHandle`] and records into one shared
+//!   [`CoalescingCounters`] — one knob per action.
+//! * **Per-destination** ([`Coalescer::per_destination`]): each
+//!   destination owns a private [`ParamsHandle`] (seeded from the shared
+//!   action-level handle) and private [`CoalescingCounters`] that forward
+//!   to the action-level aggregate. A per-destination adaptive controller
+//!   (`rpx-adaptive`) can then steer a hot peer and a cold peer to
+//!   different operating points simultaneously.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -20,15 +31,26 @@ use crate::counters::CoalescingCounters;
 use crate::params::{CoalescingParams, ParamsHandle};
 use crate::queue::{CoalescingQueue, FlushPolicy};
 
+/// Everything one destination owns: its queue plus the parameter handle
+/// and counters the queue reads (shared with the action in global mode,
+/// private in per-destination mode).
+#[derive(Clone)]
+struct DestState {
+    params: ParamsHandle,
+    counters: Arc<CoalescingCounters>,
+    queue: Arc<CoalescingQueue>,
+}
+
 /// The coalescing plug-in for one action.
 pub struct Coalescer {
     action_name: String,
     params: ParamsHandle,
     policy: FlushPolicy,
+    per_destination: bool,
     timer: Arc<TimerService>,
     path: Arc<dyn SendPath>,
     counters: Arc<CoalescingCounters>,
-    queues: RwLock<HashMap<u32, Arc<CoalescingQueue>>>,
+    dests: RwLock<HashMap<u32, DestState>>,
 }
 
 impl Coalescer {
@@ -66,14 +88,41 @@ impl Coalescer {
         timer: Arc<TimerService>,
         path: Arc<dyn SendPath>,
     ) -> Arc<Self> {
+        Self::build(action_name, params, policy, false, timer, path)
+    }
+
+    /// Create a coalescer in **per-destination** mode: every destination
+    /// gets a private parameter handle seeded from the current value of
+    /// `params` plus private counters forwarding to the action-level
+    /// aggregate, so each (action, destination) pair can be steered
+    /// independently.
+    pub fn per_destination(
+        action_name: &str,
+        params: ParamsHandle,
+        policy: FlushPolicy,
+        timer: Arc<TimerService>,
+        path: Arc<dyn SendPath>,
+    ) -> Arc<Self> {
+        Self::build(action_name, params, policy, true, timer, path)
+    }
+
+    fn build(
+        action_name: &str,
+        params: ParamsHandle,
+        policy: FlushPolicy,
+        per_destination: bool,
+        timer: Arc<TimerService>,
+        path: Arc<dyn SendPath>,
+    ) -> Arc<Self> {
         Arc::new(Coalescer {
             action_name: action_name.to_string(),
             params,
             policy,
+            per_destination,
             timer,
             path,
             counters: CoalescingCounters::new(),
-            queues: RwLock::new(HashMap::new()),
+            dests: RwLock::new(HashMap::new()),
         })
     }
 
@@ -93,9 +142,39 @@ impl Coalescer {
         &self.params
     }
 
-    /// The per-action counters.
+    /// The per-action counters (the aggregate across all destinations).
     pub fn counters(&self) -> &Arc<CoalescingCounters> {
         &self.counters
+    }
+
+    /// Whether each destination owns private parameters.
+    pub fn is_per_destination(&self) -> bool {
+        self.per_destination
+    }
+
+    /// The parameter handle steering parcels bound for `dst`, creating
+    /// the destination state on first use.
+    ///
+    /// In global mode this is the shared action-level handle; in
+    /// per-destination mode it is `dst`'s private handle.
+    pub fn params_for(&self, dst: u32) -> ParamsHandle {
+        self.dest_for(dst).params
+    }
+
+    /// The counters recording parcels bound for `dst`, creating the
+    /// destination state on first use.
+    ///
+    /// In global mode this is the action-level aggregate; in
+    /// per-destination mode it is `dst`'s private set (which forwards to
+    /// the aggregate).
+    pub fn counters_for(&self, dst: u32) -> Arc<CoalescingCounters> {
+        self.dest_for(dst).counters
+    }
+
+    /// Destinations this coalescer has seen traffic for (or had state
+    /// created for via [`Coalescer::params_for`]), unordered.
+    pub fn destinations(&self) -> Vec<u32> {
+        self.dests.read().keys().copied().collect()
     }
 
     /// Register this action's `/coalescing/*` counters in `registry`.
@@ -105,34 +184,55 @@ impl Coalescer {
 
     /// Parcels currently buffered across all destinations.
     pub fn pending(&self) -> usize {
-        self.queues.read().values().map(|q| q.pending()).sum()
+        self.dests.read().values().map(|d| d.queue.pending()).sum()
     }
 
-    fn queue_for(&self, dst: u32) -> Arc<CoalescingQueue> {
-        if let Some(q) = self.queues.read().get(&dst) {
-            return Arc::clone(q);
+    fn dest_for(&self, dst: u32) -> DestState {
+        if let Some(d) = self.dests.read().get(&dst) {
+            return d.clone();
         }
-        let mut queues = self.queues.write();
-        Arc::clone(queues.entry(dst).or_insert_with(|| {
-            CoalescingQueue::with_policy(
-                dst,
-                self.params.clone(),
-                self.policy,
-                Arc::clone(&self.timer),
-                Arc::clone(&self.path),
-                Arc::clone(&self.counters),
-            )
-        }))
+        let mut dests = self.dests.write();
+        dests
+            .entry(dst)
+            .or_insert_with(|| {
+                let (params, counters) = if self.per_destination {
+                    (
+                        ParamsHandle::new(self.params.load()),
+                        CoalescingCounters::with_parent(Arc::clone(&self.counters)),
+                    )
+                } else {
+                    (self.params.clone(), Arc::clone(&self.counters))
+                };
+                let queue = CoalescingQueue::with_policy(
+                    dst,
+                    params.clone(),
+                    self.policy,
+                    Arc::clone(&self.timer),
+                    Arc::clone(&self.path),
+                    Arc::clone(&counters),
+                );
+                DestState {
+                    params,
+                    counters,
+                    queue,
+                }
+            })
+            .clone()
     }
 }
 
 impl ParcelInterceptor for Coalescer {
     fn submit(&self, parcel: Parcel) {
-        self.queue_for(parcel.dest_locality).submit(parcel);
+        self.dest_for(parcel.dest_locality).queue.submit(parcel);
     }
 
     fn flush(&self) {
-        let queues: Vec<_> = self.queues.read().values().cloned().collect();
+        let queues: Vec<_> = self
+            .dests
+            .read()
+            .values()
+            .map(|d| Arc::clone(&d.queue))
+            .collect();
         for q in queues {
             q.flush();
         }
@@ -266,6 +366,74 @@ mod tests {
             let expect = if *dst == 1 { 9 } else { 109 };
             assert_eq!(batch[0].id, expect, "newest value for dst {dst}");
         }
+    }
+
+    #[test]
+    fn per_destination_params_are_independent() {
+        let path = Arc::new(MockPath {
+            batches: Mutex::new(Vec::new()),
+        });
+        let timer = Arc::new(TimerService::new("coalescer-perdest"));
+        let c = Coalescer::per_destination(
+            "act",
+            ParamsHandle::new(CoalescingParams::new(100, Duration::from_secs(10))),
+            FlushPolicy::Append,
+            Arc::clone(&timer),
+            path.clone() as _,
+        );
+        assert!(c.is_per_destination());
+        // Seeded from the shared handle...
+        assert_eq!(c.params_for(1).load().nparcels, 100);
+        // ...but tuning dst 1 leaves dst 2 alone.
+        c.params_for(1).set_nparcels(2);
+        assert_eq!(c.params_for(1).load().nparcels, 2);
+        assert_eq!(c.params_for(2).load().nparcels, 100);
+        c.submit(parcel(1, 1));
+        c.submit(parcel(2, 1));
+        c.submit(parcel(3, 2));
+        c.submit(parcel(4, 2));
+        let batches = path.batches.lock();
+        assert_eq!(batches.len(), 1, "only dst 1 hit its threshold");
+        assert_eq!(batches[0].0, 1);
+        let mut dests = c.destinations();
+        dests.sort_unstable();
+        assert_eq!(dests, vec![1, 2]);
+    }
+
+    #[test]
+    fn per_destination_counters_split_and_aggregate() {
+        let path = Arc::new(MockPath {
+            batches: Mutex::new(Vec::new()),
+        });
+        let timer = Arc::new(TimerService::new("coalescer-perdest-counters"));
+        let c = Coalescer::per_destination(
+            "act",
+            ParamsHandle::new(CoalescingParams::new(2, Duration::from_secs(10))),
+            FlushPolicy::Append,
+            Arc::clone(&timer),
+            path.clone() as _,
+        );
+        for i in 0..6 {
+            c.submit(parcel(i, 1));
+        }
+        for i in 0..2 {
+            c.submit(parcel(100 + i, 2));
+        }
+        assert_eq!(c.counters_for(1).parcels.get(), 6);
+        assert_eq!(c.counters_for(2).parcels.get(), 2);
+        assert_eq!(c.counters_for(1).messages.get(), 3);
+        // The action-level aggregate still matches the paper's counters.
+        assert_eq!(c.counters().parcels.get(), 8);
+        assert_eq!(c.counters().messages.get(), 4);
+    }
+
+    #[test]
+    fn global_mode_params_for_returns_shared_handle() {
+        let (c, _path, _t) = coalescer(CoalescingParams::new(10, Duration::from_secs(10)));
+        assert!(!c.is_per_destination());
+        c.params_for(3).set_nparcels(5);
+        assert_eq!(c.params().load().nparcels, 5, "global handle is shared");
+        assert_eq!(c.params_for(7).load().nparcels, 5);
     }
 
     #[test]

@@ -24,8 +24,13 @@ pub const HIST_BUCKETS: usize = 100;
 
 /// The per-action coalescing counter set.
 ///
-/// One instance is shared by all destination queues of an action, so the
-/// counters aggregate per action exactly as in the paper.
+/// In the default (global) mode one instance is shared by all destination
+/// queues of an action, so the counters aggregate per action exactly as
+/// in the paper. In per-destination mode each destination queue records
+/// into its own instance created with [`CoalescingCounters::with_parent`],
+/// which forwards every event to the shared action-level instance — the
+/// paper's aggregate counters stay exact while the adaptive controller
+/// reads the per-destination children.
 pub struct CoalescingCounters {
     /// Parcels submitted for this action.
     pub parcels: Arc<MonotoneCounter>,
@@ -37,17 +42,23 @@ pub struct CoalescingCounters {
     pub average_arrival: Arc<AverageCounter>,
     /// Histogram of arrival gaps in microseconds.
     pub arrival_histogram: Arc<Histogram>,
+    /// Action-level aggregate this instance forwards to (per-destination
+    /// mode only).
+    parent: Option<Arc<CoalescingCounters>>,
 }
 
 impl CoalescingCounters {
     /// Fresh counters (not yet registered anywhere).
     pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Fresh per-destination counters that forward every recorded event
+    /// to `parent` (the action-level aggregate).
+    pub fn with_parent(parent: Arc<CoalescingCounters>) -> Arc<Self> {
         Arc::new(CoalescingCounters {
-            parcels: MonotoneCounter::new(),
-            messages: MonotoneCounter::new(),
-            parcels_per_message: RatioCounter::new(),
-            average_arrival: AverageCounter::new(),
-            arrival_histogram: Arc::new(Histogram::new(0, HIST_MAX_US, HIST_BUCKETS)),
+            parent: Some(parent),
+            ..Self::default()
         })
     }
 
@@ -94,6 +105,9 @@ impl CoalescingCounters {
             self.average_arrival.record(gap_ns);
             self.arrival_histogram.record(gap_ns / 1_000);
         }
+        if let Some(parent) = &self.parent {
+            parent.record_arrival(gap_ns);
+        }
     }
 
     /// Record the emission of one message carrying `parcels` parcels.
@@ -101,6 +115,9 @@ impl CoalescingCounters {
         self.messages.increment();
         self.parcels_per_message.add_numerator(parcels as u64);
         self.parcels_per_message.add_denominator(1);
+        if let Some(parent) = &self.parent {
+            parent.record_message(parcels);
+        }
     }
 }
 
@@ -112,6 +129,7 @@ impl Default for CoalescingCounters {
             parcels_per_message: RatioCounter::new(),
             average_arrival: AverageCounter::new(),
             arrival_histogram: Arc::new(Histogram::new(0, HIST_MAX_US, HIST_BUCKETS)),
+            parent: None,
         }
     }
 }
@@ -193,6 +211,27 @@ mod tests {
                 .unwrap(),
             0.0
         );
+    }
+
+    #[test]
+    fn child_counters_forward_to_parent() {
+        let parent = CoalescingCounters::new();
+        let a = CoalescingCounters::with_parent(Arc::clone(&parent));
+        let b = CoalescingCounters::with_parent(Arc::clone(&parent));
+        a.record_arrival(None);
+        a.record_arrival(Some(2_000));
+        b.record_arrival(Some(4_000));
+        a.record_message(2);
+        b.record_message(1);
+        // Children keep their own view...
+        assert_eq!(a.parcels.get(), 2);
+        assert_eq!(b.parcels.get(), 1);
+        assert_eq!(a.messages.get(), 1);
+        // ...while the action-level aggregate sees everything.
+        assert_eq!(parent.parcels.get(), 3);
+        assert_eq!(parent.messages.get(), 2);
+        assert_eq!(parent.parcels_per_message.ratio(), 1.5);
+        assert_eq!(parent.average_arrival.mean(), 3_000.0);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use rpx_adaptive::{AdaptiveConfig, OverheadController};
-use rpx_coalesce::{Coalescer, CoalescingCounters, CoalescingParams, ParamsHandle};
+use rpx_adaptive::{AdaptiveConfig, OverheadController, PerDestController};
+use rpx_coalesce::{Coalescer, CoalescingCounters, CoalescingParams, FlushPolicy, ParamsHandle};
 use rpx_parcel::{ActionId, SendPath};
 
 use crate::error::RuntimeError;
@@ -28,6 +28,7 @@ pub struct CoalescingControl {
     hosted_ids: Vec<u32>,
     per_locality: Vec<Arc<Coalescer>>,
     continuation_coalescers: Vec<Arc<Coalescer>>,
+    per_destination: bool,
 }
 
 impl std::fmt::Debug for CoalescingControl {
@@ -45,6 +46,7 @@ impl CoalescingControl {
         rt: &Arc<Runtime>,
         action_name: &str,
         params: CoalescingParams,
+        per_destination: bool,
     ) -> Result<CoalescingControl, RuntimeError> {
         let hosted = rt.hosted();
         let action_id = hosted[0]
@@ -54,17 +56,30 @@ impl CoalescingControl {
             .ok_or_else(|| RuntimeError::UnknownAction(action_name.to_string()))?;
         let continuation_id = hosted[0].port.actions().lookup("rpx::set-lco");
         let handle = ParamsHandle::new(params);
+        let build = |name: &str, locality: &crate::runtime::Locality| {
+            if per_destination {
+                Coalescer::per_destination(
+                    name,
+                    handle.clone(),
+                    FlushPolicy::Append,
+                    Arc::clone(rt.timer()),
+                    Arc::clone(&locality.port) as Arc<dyn SendPath>,
+                )
+            } else {
+                Coalescer::with_handle(
+                    name,
+                    handle.clone(),
+                    Arc::clone(rt.timer()),
+                    Arc::clone(&locality.port) as Arc<dyn SendPath>,
+                )
+            }
+        };
         let mut hosted_ids = Vec::with_capacity(hosted.len());
         let mut per_locality = Vec::with_capacity(hosted.len());
         let mut continuation_coalescers = Vec::new();
         for locality in hosted {
             hosted_ids.push(locality.id());
-            let coalescer = Coalescer::with_handle(
-                action_name,
-                handle.clone(),
-                Arc::clone(rt.timer()),
-                Arc::clone(&locality.port) as Arc<dyn SendPath>,
-            );
+            let coalescer = build(action_name, locality);
             coalescer.register_counters(&locality.registry);
             locality
                 .port
@@ -76,12 +91,7 @@ impl CoalescingControl {
             // knob (in HPX the set-value continuation action is flagged
             // alongside the application action).
             if let Some(cont_id) = continuation_id {
-                let cont = Coalescer::with_handle(
-                    "rpx::set-lco",
-                    handle.clone(),
-                    Arc::clone(rt.timer()),
-                    Arc::clone(&locality.port) as Arc<dyn SendPath>,
-                );
+                let cont = build("rpx::set-lco", locality);
                 cont.register_counters(&locality.registry);
                 locality
                     .port
@@ -97,7 +107,23 @@ impl CoalescingControl {
             hosted_ids,
             per_locality,
             continuation_coalescers,
+            per_destination,
         })
+    }
+
+    /// Whether each destination owns independent parameters and counters
+    /// (installed via `enable_coalescing_per_destination`).
+    pub fn is_per_destination(&self) -> bool {
+        self.per_destination
+    }
+
+    /// The request-side coalescer installed on one hosted locality
+    /// (`None` for remote ranks in multi-process mode). Gives access to
+    /// per-destination [`ParamsHandle`]s and counters in per-destination
+    /// mode.
+    pub fn coalescer(&self, locality: u32) -> Option<&Arc<Coalescer>> {
+        let pos = self.hosted_ids.iter().position(|&id| id == locality)?;
+        self.per_locality.get(pos)
     }
 
     /// The controlled action's name.
@@ -216,6 +242,60 @@ impl CoalescingControl {
             service,
             self.params.clone(),
             Arc::clone(self.counters(locality).expect("locality in range")),
+            config,
+        )
+    }
+
+    /// Start the per-destination adaptive controller for `locality`'s
+    /// coalescer: one hill-climbing core per destination, each steering
+    /// that destination's own [`ParamsHandle`] from its private parcel
+    /// counters (the locality-wide Eq. 4 overhead is the shared reward
+    /// signal). Requires a control installed with
+    /// `enable_coalescing_per_destination`.
+    pub fn start_adaptive_per_dest(
+        &self,
+        rt: &Runtime,
+        locality: u32,
+        config: AdaptiveConfig,
+    ) -> PerDestController {
+        assert!(
+            self.per_destination,
+            "start_adaptive_per_dest requires enable_coalescing_per_destination"
+        );
+        PerDestController::start(
+            rt.metrics(locality),
+            Arc::clone(self.coalescer(locality).expect("locality in range")),
+            config,
+        )
+    }
+
+    /// Like [`CoalescingControl::start_adaptive_per_dest`], but reading
+    /// the windowed Eq. 4 overhead from the locality's sampled telemetry
+    /// ring buffers (started on demand with `sampling` as the interval).
+    pub fn start_adaptive_per_dest_sampled(
+        &self,
+        rt: &Runtime,
+        locality: u32,
+        sampling: Duration,
+        config: AdaptiveConfig,
+    ) -> PerDestController {
+        assert!(
+            self.per_destination,
+            "start_adaptive_per_dest_sampled requires enable_coalescing_per_destination"
+        );
+        let service = rt
+            .start_telemetry(
+                locality,
+                rpx_counters::TelemetryConfig {
+                    interval: sampling,
+                    patterns: vec!["/threads/*".to_string(), "/coalescing/*".to_string()],
+                    ..rpx_counters::TelemetryConfig::default()
+                },
+            )
+            .expect("locality in range");
+        PerDestController::start_sampled(
+            service,
+            Arc::clone(self.coalescer(locality).expect("locality in range")),
             config,
         )
     }
@@ -386,5 +466,81 @@ mod tests {
         assert!(svc.is_running());
         rt.shutdown();
         assert!(!svc.is_running(), "shutdown must stop the sampler");
+    }
+
+    #[test]
+    fn per_destination_control_splits_params_and_keeps_aggregates() {
+        let rt = Runtime::new(RuntimeConfig {
+            localities: 3,
+            ..RuntimeConfig::small_test()
+        });
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let act = rt.action("pd").register(move |(): ()| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        let control = rt
+            .enable_coalescing_per_destination(
+                "pd",
+                CoalescingParams::new(8, Duration::from_micros(500)),
+            )
+            .unwrap();
+        assert!(control.is_per_destination());
+
+        rt.run_on(0, move |ctx| {
+            let mut futures = Vec::new();
+            for _ in 0..40 {
+                futures.push(ctx.async_action(&act, 1, ()));
+            }
+            for _ in 0..10 {
+                futures.push(ctx.async_action(&act, 2, ()));
+            }
+            ctx.wait_all(futures).unwrap();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 50);
+
+        let coalescer = control.coalescer(0).unwrap();
+        // Per-destination split, exact action-level aggregate.
+        assert_eq!(coalescer.counters_for(1).parcels.get(), 40);
+        assert_eq!(coalescer.counters_for(2).parcels.get(), 10);
+        assert_eq!(control.counters(0).unwrap().parcels.get(), 50);
+
+        // Each destination owns its own live handle: steering dst 1 must
+        // not move dst 2.
+        coalescer.params_for(1).set_nparcels(64);
+        assert_eq!(coalescer.params_for(1).load().nparcels, 64);
+        assert_eq!(coalescer.params_for(2).load().nparcels, 8);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn per_dest_adaptive_controller_attaches_and_stops() {
+        let rt = test_runtime();
+        let _act = rt.action("pda").register(|(): ()| ());
+        let control = rt
+            .enable_coalescing_per_destination("pda", CoalescingParams::default())
+            .unwrap();
+        let controller = control.start_adaptive_per_dest(&rt, 0, AdaptiveConfig::default());
+        std::thread::sleep(Duration::from_millis(50));
+        let _decisions = controller.stop();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn per_dest_sampled_adaptive_controller_attaches_and_stops() {
+        let rt = test_runtime();
+        let _act = rt.action("pdas").register(|(): ()| ());
+        let control = rt
+            .enable_coalescing_per_destination("pdas", CoalescingParams::default())
+            .unwrap();
+        let controller = control.start_adaptive_per_dest_sampled(
+            &rt,
+            0,
+            Duration::from_millis(1),
+            AdaptiveConfig::default(),
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        let _decisions = controller.stop();
+        rt.shutdown();
     }
 }

@@ -70,7 +70,9 @@ pub use runtime::{
 };
 
 // Re-export the pieces applications touch directly.
-pub use rpx_adaptive::{AdaptiveConfig, OverheadController, PicsTuner};
+pub use rpx_adaptive::{
+    AdaptiveConfig, DestDecision, OverheadController, PerDestController, PicsTuner,
+};
 pub use rpx_coalesce::{CoalescingParams, ParamsHandle};
 pub use rpx_counters::{
     CounterError, CounterPath, CounterRegistry, CounterValue, Sample, TelemetryConfig,

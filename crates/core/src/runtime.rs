@@ -65,6 +65,14 @@ pub struct RuntimeConfig {
     /// `/network/best-effort-dropped` — best-effort traffic may shed
     /// under pressure, never stall quiescence.
     pub best_effort_backlog: usize,
+    /// Per-destination egress backpressure watermark: when one
+    /// destination's egress backlog reaches this many entries, admission
+    /// control engages for further parcels to that destination —
+    /// BestEffort traffic is shed (counted in
+    /// `/network/backpressure-shed`), Lossless/Coalesce submitters block
+    /// briefly (time in `/network/backpressure-blocked-ns`) before being
+    /// admitted. `None` (the default) disables the watermark.
+    pub backpressure_watermark: Option<usize>,
     /// Idle park interval of scheduler workers.
     pub idle_park: Duration,
     /// Fixed CPU cost charged on the caller for every remote invocation
@@ -91,6 +99,7 @@ impl Default for RuntimeConfig {
             reliability: None,
             egress_drain_budget: ParcelPortConfig::default().egress_drain_budget,
             best_effort_backlog: ParcelPortConfig::default().best_effort_backlog,
+            backpressure_watermark: ParcelPortConfig::default().backpressure_watermark,
             idle_park: Duration::from_micros(200),
             invocation_overhead: Duration::from_nanos(1_500),
             topology: None,
@@ -116,6 +125,7 @@ impl RuntimeConfig {
             reliability: None,
             egress_drain_budget: ParcelPortConfig::default().egress_drain_budget,
             best_effort_backlog: ParcelPortConfig::default().best_effort_backlog,
+            backpressure_watermark: ParcelPortConfig::default().backpressure_watermark,
             idle_park: Duration::from_micros(200),
             invocation_overhead: Duration::ZERO,
             topology: None,
@@ -161,9 +171,8 @@ const DEFAULT_COALESCE_INTERVAL: Duration = Duration::from_micros(100);
 
 /// The unified action-registration builder ([`Runtime::action`]).
 ///
-/// Collapses the old `register_action`/`register_action_with_locality`
-/// pair and carries the action's delivery contract from registration to
-/// the wire:
+/// The single registration surface: it carries the action's delivery
+/// contract from registration to the wire:
 ///
 /// ```ignore
 /// // A lossless request/response action (the default):
@@ -362,6 +371,13 @@ impl Locality {
         &self.objects
     }
 
+    /// The locality's parcel-level traffic statistics: backpressure
+    /// counters plus the per-destination shed breakdown behind exact
+    /// `delivered + shed == sent` endpoint-pair accounting.
+    pub fn parcel_stats(&self) -> &rpx_parcel::port::ParcelPortStats {
+        self.port.stats()
+    }
+
     /// Cooperative progress for a blocked waiter: pump the parcel port
     /// (charged as in-task background time), and if the network is dry,
     /// help execute one pending scheduler task so single-worker
@@ -507,6 +523,23 @@ fn register_parcel_counters(registry: &Arc<CounterRegistry>, port: &Arc<ParcelPo
     registry.register_or_replace(
         "/parcels/coalesce-mailbox-flushed",
         mk(port, |s| s.coalesce_mailbox_flushed.load(Ordering::Relaxed)),
+    );
+    // Egress backpressure accounting, exported under `/network/*` so
+    // fleet aggregation groups it with the other wire-pressure signals.
+    // All three are monotone counters: they can never wedge quiescence,
+    // and per-rank dumps sum exactly (delivered + shed == sent holds per
+    // endpoint pair).
+    registry.register_or_replace(
+        "/network/backpressure-events",
+        mk(port, |s| s.backpressure_events.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/backpressure-shed",
+        mk(port, |s| s.backpressure_shed.load(Ordering::Relaxed)),
+    );
+    registry.register_or_replace(
+        "/network/backpressure-blocked-ns",
+        mk(port, |s| s.backpressure_blocked_ns.load(Ordering::Relaxed)),
     );
     let stats = port.stats();
     registry.register_or_replace(
@@ -825,7 +858,7 @@ impl Runtime {
         for id in hosted {
             // Per-locality action registry, mirroring HPX where every
             // process registers the same actions; ids stay aligned because
-            // registration is mirrored in order (see register_action).
+            // registration is mirrored in order (see register_classed).
             let actions = ActionRegistry::new();
             let scheduler = Scheduler::new(SchedulerConfig {
                 workers: config.workers_per_locality,
@@ -844,6 +877,8 @@ impl Runtime {
                 ParcelPortConfig {
                     egress_drain_budget: config.egress_drain_budget,
                     best_effort_backlog: config.best_effort_backlog,
+                    backpressure_watermark: config.backpressure_watermark,
+                    ..ParcelPortConfig::default()
                 },
             );
 
@@ -1078,41 +1113,6 @@ impl Runtime {
         }
     }
 
-    /// Register a typed action on every locality; returns its handle.
-    ///
-    /// The handler runs on the destination locality inside a scheduler
-    /// task, with its arguments deserialized from the parcel and its
-    /// result serialized back (HPX_PLAIN_ACTION).
-    #[deprecated(note = "use the registration builder: rt.action(name).register(f)")]
-    pub fn register_action<A, R>(
-        self: &Arc<Self>,
-        name: &str,
-        f: impl Fn(A) -> R + Send + Sync + 'static,
-    ) -> ActionHandle<A, R>
-    where
-        A: Wire + Send + 'static,
-        R: Wire + Send + 'static,
-    {
-        self.action(name).register(f)
-    }
-
-    /// Register a typed action whose handler also receives the executing
-    /// locality id (needed by workloads that index distributed state).
-    #[deprecated(
-        note = "use the registration builder: rt.action(name).with_locality().register(f)"
-    )]
-    pub fn register_action_with_locality<A, R>(
-        self: &Arc<Self>,
-        name: &str,
-        f: impl Fn(u32, A) -> R + Send + Sync + 'static,
-    ) -> ActionHandle<A, R>
-    where
-        A: Wire + Send + 'static,
-        R: Wire + Send + 'static,
-    {
-        self.action(name).with_locality().register(f)
-    }
-
     /// The shared registration core behind [`Runtime::action`]: mirror
     /// the handler into every hosted locality's registry under `class`,
     /// stamp the class into each parcel port's dispatch tables, and —
@@ -1174,7 +1174,22 @@ impl Runtime {
         action_name: &str,
         params: rpx_coalesce::CoalescingParams,
     ) -> Result<CoalescingControl, RuntimeError> {
-        CoalescingControl::install(self, action_name, params)
+        CoalescingControl::install(self, action_name, params, false)
+    }
+
+    /// Enable message coalescing with **per-destination** parameters:
+    /// every (locality, destination) queue owns a private parameter
+    /// handle seeded from `params`, so a per-destination adaptive
+    /// controller ([`CoalescingControl::start_adaptive_per_dest`]) can
+    /// steer a hot peer and a cold peer to different operating points.
+    /// The shared handle on the returned control still works as a
+    /// broadcast seed for destinations discovered later.
+    pub fn enable_coalescing_per_destination(
+        self: &Arc<Self>,
+        action_name: &str,
+        params: rpx_coalesce::CoalescingParams,
+    ) -> Result<CoalescingControl, RuntimeError> {
+        CoalescingControl::install(self, action_name, params, true)
     }
 
     /// Disable coalescing for an action (parcels flow directly again).
@@ -1292,7 +1307,7 @@ impl Runtime {
     /// actions in the same order, so wire action ids dispatch to the
     /// same handlers everywhere.
     ///
-    /// Call once after all [`Runtime::register_action`] calls and before
+    /// Call once after all [`Runtime::action`] registrations and before
     /// remote traffic. In the default all-in-one mode this compares the
     /// mirrored per-locality registries directly. In multi-process mode
     /// each rank broadcasts its [`ActionRegistry::order_hash`] over the
@@ -1535,35 +1550,6 @@ impl Drop for Runtime {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The deprecated `register_action*` shims and the builder are the
-    /// same registration surface: identical ids, identical order hashes
-    /// (the multi-rank mirroring invariant must hold across old and new
-    /// code paths).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_builder_registration() {
-        let old = Runtime::new(RuntimeConfig::small_test());
-        let a1 = old.register_action("shim::a", |x: u64| x);
-        let b1 = old.register_action_with_locality("shim::b", |here, (): ()| here);
-
-        let new = Runtime::new(RuntimeConfig::small_test());
-        let a2 = new.action("shim::a").register(|x: u64| x);
-        let b2 = new
-            .action("shim::b")
-            .with_locality()
-            .register(|here, (): ()| here);
-
-        assert_eq!(a1.id(), a2.id());
-        assert_eq!(b1.id(), b2.id());
-        assert_eq!(
-            old.localities[0].actions.order_hash(),
-            new.localities[0].actions.order_hash(),
-            "shims and builder must produce identical registration hashes"
-        );
-        old.shutdown();
-        new.shutdown();
-    }
 
     #[test]
     fn builder_stamps_class_on_every_locality() {

@@ -7,7 +7,7 @@
 //! a single lock hold, and `push` is one short lock hold on the producer
 //! side.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use parking_lot::Mutex;
 
@@ -16,10 +16,19 @@ use crate::batch::ParcelBatch;
 /// One egress entry: a destination locality and the batch bound for it.
 pub type EgressEntry = (u32, ParcelBatch);
 
+#[derive(Default)]
+struct State {
+    entries: VecDeque<EgressEntry>,
+    /// Entries queued per destination — the signal egress backpressure
+    /// watermarks read. Kept alongside the deque so both views update
+    /// under one lock hold.
+    per_dest: HashMap<u32, usize>,
+}
+
 /// Multi-producer queue of batches awaiting encoding.
 #[derive(Default)]
 pub struct EgressQueue {
-    entries: Mutex<VecDeque<EgressEntry>>,
+    state: Mutex<State>,
 }
 
 impl EgressQueue {
@@ -30,26 +39,43 @@ impl EgressQueue {
 
     /// Enqueue a batch for `dst`.
     pub fn push(&self, dst: u32, batch: ParcelBatch) {
-        self.entries.lock().push_back((dst, batch));
+        let mut state = self.state.lock();
+        state.entries.push_back((dst, batch));
+        *state.per_dest.entry(dst).or_insert(0) += 1;
     }
 
     /// Move up to `n` entries into `out` under one lock hold, returning
     /// how many were taken.
     pub fn drain_into(&self, out: &mut Vec<EgressEntry>, n: usize) -> usize {
-        let mut entries = self.entries.lock();
-        let take = entries.len().min(n);
-        out.extend(entries.drain(..take));
+        let mut state = self.state.lock();
+        let take = state.entries.len().min(n);
+        let start = out.len();
+        out.extend(state.entries.drain(..take));
+        for (dst, _) in &out[start..] {
+            if let Some(count) = state.per_dest.get_mut(dst) {
+                *count -= 1;
+                if *count == 0 {
+                    let dst = *dst;
+                    state.per_dest.remove(&dst);
+                }
+            }
+        }
         take
     }
 
     /// Entries currently queued.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.state.lock().entries.len()
+    }
+
+    /// Entries currently queued for `dst`.
+    pub fn dest_backlog(&self, dst: u32) -> usize {
+        self.state.lock().per_dest.get(&dst).copied().unwrap_or(0)
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.state.lock().entries.is_empty()
     }
 }
 
@@ -89,6 +115,26 @@ mod tests {
         out.clear();
         assert_eq!(q.drain_into(&mut out, 10), 2);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_destination_backlog_tracks_push_and_drain() {
+        let q = EgressQueue::new();
+        for i in 0..4 {
+            q.push(1, ParcelBatch::single(parcel(i)));
+        }
+        q.push(2, ParcelBatch::single(parcel(10)));
+        assert_eq!(q.dest_backlog(1), 4);
+        assert_eq!(q.dest_backlog(2), 1);
+        assert_eq!(q.dest_backlog(3), 0);
+        let mut out = Vec::new();
+        q.drain_into(&mut out, 3);
+        assert_eq!(q.dest_backlog(1), 1, "FIFO drained dst 1 first");
+        assert_eq!(q.dest_backlog(2), 1);
+        out.clear();
+        q.drain_into(&mut out, 10);
+        assert_eq!(q.dest_backlog(1), 0);
+        assert_eq!(q.dest_backlog(2), 0);
     }
 
     #[test]

@@ -126,6 +126,33 @@ pub struct ParcelPortStats {
     /// Received Coalesce-class parcels discarded because a newer value
     /// from the same (source, action) was already delivered.
     pub coalesce_stale_dropped: AtomicU64,
+    /// Submissions that found their destination's egress backlog at or
+    /// above the backpressure watermark (each such admission counts once,
+    /// whether it ended in shedding or blocking).
+    pub backpressure_events: AtomicU64,
+    /// BestEffort parcels shed by backpressure admission control (the
+    /// send-side half of the `delivered + shed == sent` accounting;
+    /// disjoint from the transport's `best_effort_dropped`).
+    pub backpressure_shed: AtomicU64,
+    /// Nanoseconds Lossless/Coalesce submitters spent blocked waiting for
+    /// a destination's backlog to fall below the watermark.
+    pub backpressure_blocked_ns: AtomicU64,
+    /// Send-side sheds per destination locality (backpressure sheds plus
+    /// global BestEffort backlog-bound sheds) — the per-endpoint-pair
+    /// breakdown behind the exact `delivered + shed == sent` accounting.
+    shed_by_dest: Mutex<HashMap<u32, u64>>,
+}
+
+impl ParcelPortStats {
+    /// Parcels this port shed at submit time that were bound for `dst`
+    /// (backpressure admission plus the global BestEffort backlog bound).
+    pub fn sheds_to(&self, dst: u32) -> u64 {
+        self.shed_by_dest.lock().get(&dst).copied().unwrap_or(0)
+    }
+
+    fn record_shed(&self, dst: u32) {
+        *self.shed_by_dest.lock().entry(dst).or_insert(0) += 1;
+    }
 }
 
 impl Default for ParcelPortStats {
@@ -143,6 +170,10 @@ impl Default for ParcelPortStats {
             coalesce_mailbox_replaced: AtomicU64::new(0),
             coalesce_mailbox_flushed: AtomicU64::new(0),
             coalesce_stale_dropped: AtomicU64::new(0),
+            backpressure_events: AtomicU64::new(0),
+            backpressure_shed: AtomicU64::new(0),
+            backpressure_blocked_ns: AtomicU64::new(0),
+            shed_by_dest: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -164,6 +195,20 @@ pub struct ParcelPortConfig {
     /// `best_effort_dropped` statistic instead of queued — bounded
     /// memory under overload, by contract.
     pub best_effort_backlog: usize,
+    /// Per-destination egress backpressure watermark: when the number of
+    /// egress entries queued for one destination reaches this bound,
+    /// admission control engages for further parcels to that destination
+    /// — BestEffort parcels are shed (counted in `backpressure_shed`),
+    /// Lossless/Coalesce submitters block for up to
+    /// `backpressure_block_us` waiting for the backlog to drain (time
+    /// counted in `backpressure_blocked_ns`), then proceed. `None`
+    /// disables the watermark (the default).
+    pub backpressure_watermark: Option<usize>,
+    /// Upper bound, in microseconds, on how long one Lossless/Coalesce
+    /// submission may block at the watermark before being admitted
+    /// anyway. Bounded so a submitter on a pump thread can never
+    /// deadlock against its own drain.
+    pub backpressure_block_us: u64,
 }
 
 impl Default for ParcelPortConfig {
@@ -171,6 +216,8 @@ impl Default for ParcelPortConfig {
         ParcelPortConfig {
             egress_drain_budget: 8,
             best_effort_backlog: 1024,
+            backpressure_watermark: None,
+            backpressure_block_us: 500,
         }
     }
 }
@@ -632,6 +679,48 @@ fn action_class(inner: &Inner, action: ActionId) -> DeliveryClass {
     }
 }
 
+/// Per-destination egress admission control: returns `false` if the
+/// parcel must be shed.
+///
+/// When the destination's egress backlog sits at or above the watermark,
+/// the action's [`DeliveryClass`] decides the response: BestEffort load
+/// is shed immediately (bounded memory, accounted exactly), while
+/// Lossless and Coalesce submitters block — in short sleeps, re-checking
+/// the backlog — for at most `backpressure_block_us` before being
+/// admitted anyway (the bound makes deadlock against the submitter's own
+/// pump impossible). Every admission that hits the watermark increments
+/// `backpressure_events` exactly once.
+fn backpressure_admit(inner: &Inner, dst: u32, class: DeliveryClass) -> bool {
+    let Some(watermark) = inner.config.backpressure_watermark else {
+        return true;
+    };
+    if inner.egress.dest_backlog(dst) < watermark {
+        return true;
+    }
+    inner
+        .stats
+        .backpressure_events
+        .fetch_add(1, Ordering::Relaxed);
+    if class == DeliveryClass::BestEffort {
+        inner
+            .stats
+            .backpressure_shed
+            .fetch_add(1, Ordering::Relaxed);
+        inner.stats.record_shed(dst);
+        return false;
+    }
+    let started = std::time::Instant::now();
+    let deadline = std::time::Duration::from_micros(inner.config.backpressure_block_us);
+    while started.elapsed() < deadline && inner.egress.dest_backlog(dst) >= watermark {
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+    inner
+        .stats
+        .backpressure_blocked_ns
+        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    true
+}
+
 /// Hand `parcel` to its action's interceptor, or straight to egress.
 fn route_parcel(inner: &Inner, parcel: Parcel) {
     if inner.best_effort_actions.test(parcel.action.0 as usize)
@@ -646,6 +735,14 @@ fn route_parcel(inner: &Inner, parcel: Parcel) {
             .stats()
             .best_effort_dropped
             .fetch_add(1, Ordering::Relaxed);
+        inner.stats.record_shed(parcel.dest_locality);
+        return;
+    }
+    if !backpressure_admit(
+        inner,
+        parcel.dest_locality,
+        action_class(inner, parcel.action),
+    ) {
         return;
     }
     match inner.interceptors.get(parcel.action.0 as usize) {
@@ -1361,6 +1458,7 @@ mod tests {
             ParcelPortConfig {
                 egress_drain_budget: 8,
                 best_effort_backlog: 4,
+                ..ParcelPortConfig::default()
             },
         );
         p0.set_action_class(be, DeliveryClass::BestEffort);
@@ -1485,5 +1583,86 @@ mod tests {
             || p1.stats().parcels_received.load(Ordering::Relaxed) == 50,
             Duration::from_secs(2)
         ));
+    }
+
+    /// A three-locality port with a tight backpressure watermark and no
+    /// pumping, so backlogs build deterministically.
+    fn watermarked_port(
+        watermark: usize,
+        actions: &Arc<ActionRegistry>,
+    ) -> (Arc<ParcelPort>, Arc<Fabric>) {
+        let fabric = Fabric::new(3, LinkModel::zero());
+        let p0 = ParcelPort::with_config(
+            0,
+            Arc::new(fabric.port(0)),
+            Arc::clone(actions),
+            ParcelPortConfig {
+                backpressure_watermark: Some(watermark),
+                backpressure_block_us: 200,
+                ..ParcelPortConfig::default()
+            },
+        );
+        p0.set_spawner(inline_spawner());
+        (p0, fabric)
+    }
+
+    #[test]
+    fn backpressure_sheds_best_effort_per_destination() {
+        let actions = ActionRegistry::new();
+        let be = actions.register_with_class(
+            "be",
+            DeliveryClass::BestEffort,
+            Arc::new(|_| Ok(Bytes::new())),
+        );
+        let (p0, _fabric) = watermarked_port(2, &actions);
+        p0.set_action_class(be, DeliveryClass::BestEffort);
+        for _ in 0..6 {
+            p0.send_parcel(plain_parcel(1, be, Bytes::new()));
+        }
+        // dst 1 capped at the watermark, overflow shed and accounted.
+        assert_eq!(p0.stats().backpressure_events.load(Ordering::SeqCst), 4);
+        assert_eq!(p0.stats().backpressure_shed.load(Ordering::SeqCst), 4);
+        assert_eq!(p0.egress_backlog(), 2);
+        // A different destination is unaffected by dst 1's backlog.
+        p0.send_parcel(plain_parcel(2, be, Bytes::new()));
+        assert_eq!(p0.stats().backpressure_shed.load(Ordering::SeqCst), 4);
+        assert_eq!(p0.egress_backlog(), 3);
+        // Exactness: sent == queued + shed, and the per-destination
+        // breakdown attributes every shed to the saturated pair.
+        assert_eq!(
+            p0.stats().parcels_sent.load(Ordering::SeqCst),
+            p0.egress_backlog() as u64 + p0.stats().backpressure_shed.load(Ordering::SeqCst)
+        );
+        assert_eq!(p0.stats().sheds_to(1), 4);
+        assert_eq!(p0.stats().sheds_to(2), 0);
+    }
+
+    #[test]
+    fn backpressure_blocks_lossless_briefly_but_never_sheds() {
+        let actions = ActionRegistry::new();
+        let ll = actions.register("ll", Arc::new(|_| Ok(Bytes::new())));
+        let (p0, _fabric) = watermarked_port(1, &actions);
+        for _ in 0..4 {
+            p0.send_parcel(plain_parcel(1, ll, Bytes::new()));
+        }
+        // All four queued: Lossless is delayed, never dropped.
+        assert_eq!(p0.egress_backlog(), 4);
+        assert_eq!(p0.stats().backpressure_events.load(Ordering::SeqCst), 3);
+        assert_eq!(p0.stats().backpressure_shed.load(Ordering::SeqCst), 0);
+        assert!(
+            p0.stats().backpressure_blocked_ns.load(Ordering::SeqCst) > 0,
+            "watermark hits must account blocked time"
+        );
+    }
+
+    #[test]
+    fn backpressure_disabled_by_default() {
+        let (p0, _p1, actions) = two_ports();
+        let act = actions.register("plain2", Arc::new(|_| Ok(Bytes::new())));
+        for _ in 0..100 {
+            p0.send_parcel(plain_parcel(1, act, Bytes::new()));
+        }
+        assert_eq!(p0.stats().backpressure_events.load(Ordering::SeqCst), 0);
+        assert_eq!(p0.egress_backlog(), 100);
     }
 }
